@@ -1,0 +1,55 @@
+// Ablation (the paper's stated future work): scripted provisioning.
+//
+// "Use of third party software to address mundane, repeatable tasks (e.g.
+// doit) or predefined images for IaaS could significantly reduce this cost
+// and will form the focus of our future work." The model: authoring the
+// automation costs once; every platform then pays only the residual
+// (admin interactions, site quirks). The table shows per-platform effort
+// and the break-even platform count.
+
+#include <iostream>
+
+#include "provision/planner.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+
+  provision::AutomationModel model;
+  model.authoring_hours = args.get_double("authoring", 6.0);
+  model.residual_fraction = args.get_double("residual", 0.25);
+
+  std::cout << "# Ablation — manual vs scripted provisioning ("
+            << fmt_double(model.authoring_hours, 1)
+            << " h authoring, " << fmt_double(model.residual_fraction, 2)
+            << " residual)\n";
+  Table table({"platform", "manual[h]", "automated[h]", "saved[h]"});
+  std::vector<provision::ProvisionPlan> plans;
+  double manual_total = 0.0;
+  double auto_total = model.authoring_hours;
+  for (const auto* spec : platform::all_platforms()) {
+    auto plan = provision::plan_provisioning(*spec);
+    const double manual = plan.total_hours();
+    const double automated = provision::automated_hours(plan, model);
+    table.add_row({spec->name, fmt_double(manual, 1),
+                   fmt_double(automated, 1),
+                   fmt_double(manual - automated, 1)});
+    manual_total += manual;
+    auto_total += automated;
+    plans.push_back(std::move(plan));
+  }
+  table.add_row({"TOTAL", fmt_double(manual_total, 1),
+                 fmt_double(auto_total, 1),
+                 fmt_double(manual_total - auto_total, 1)});
+  if (csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+  std::cout << "\n# Break-even: automation pays for itself after "
+            << provision::automation_break_even(plans, model)
+            << " provisioned platform(s).\n";
+  return 0;
+}

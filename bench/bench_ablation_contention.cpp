@@ -1,0 +1,63 @@
+// Sensitivity analysis: the fabric oversubscription constant.
+//
+// docs/calibration.md flags oversubscription as the least certain model
+// constant. This sweep shows how the 1GbE weak-scaling shape (the paper's
+// ellipse curve) responds to it: with 0 the curve stays flat (pure LogGP
+// costs are negligible at these message sizes), and the paper's observed
+// collapse beyond 125 processes needs a value in the tens — evidence that
+// switch-tier contention, not link speed, drove the measured behaviour.
+
+#include <iostream>
+
+#include "netsim/fabric.hpp"
+#include "perf/scaling_model.hpp"
+#include "platform/platform_spec.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+
+  std::cout << "# Sensitivity — 1GbE oversubscription vs RD weak-scaling "
+               "shape (ellipse CPU model, 4 ranks/node)\n";
+  const auto model = perf::rd_model();
+  const auto cpu = platform::ellipse().cpu_model();
+
+  Table table({"oversub", "p=1", "p=64", "p=125", "p=343", "p=512",
+               "degradation 1->512"});
+  for (double oversub : {0.0, 6.0, 12.0, 24.0, 48.0}) {
+    netsim::FabricParams params =
+        netsim::Fabric::gigabit_ethernet().params();
+    params.oversubscription = oversub;
+    const netsim::Fabric fabric(params);
+    std::vector<std::string> row{fmt_double(oversub, 0)};
+    double t1 = 0.0;
+    double t512 = 0.0;
+    for (int p : {1, 64, 125, 343, 512}) {
+      const auto topo = netsim::Topology::uniform(
+          p, 4, fabric, netsim::Fabric::shared_memory());
+      const double t =
+          perf::project_iteration(model, topo, cpu, p).total_s;
+      row.push_back(fmt_double(t, 2));
+      if (p == 1) {
+        t1 = t;
+      }
+      if (p == 512) {
+        t512 = t;
+      }
+    }
+    row.push_back(fmt_double(t512 / t1, 2));
+    table.add_row(std::move(row));
+  }
+  if (csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+  std::cout << "\n# The committed value (24) reproduces the paper's "
+               "post-125 collapse; without contention the 1GbE curve would "
+               "have stayed flat, contradicting the measurement.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: what if the home cluster had a better network?
+//
+// The paper concludes that "a modern local computing cluster, with an
+// efficient interconnection network will outperform an on-demand assembly".
+// This what-if swaps puma's 1GbE for 10GbE and InfiniBand while keeping its
+// Opteron cores, and compares the resulting RD weak-scaling curve against
+// the real ec2 model — quantifying how much of the platform gap is *network*
+// and how much is CPU generation.
+
+#include <iostream>
+
+#include "netsim/fabric.hpp"
+#include "perf/scaling_model.hpp"
+#include "platform/platform_spec.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+
+  std::cout << "# Ablation — puma's Opteron nodes behind different "
+               "fabrics (RD weak scaling)\n";
+  const auto model = perf::rd_model();
+  const auto cpu = platform::puma().cpu_model();
+
+  Table table({"fabric", "procs", "solve[s]", "total[s]"});
+  const std::pair<const char*, netsim::Fabric> fabrics[] = {
+      {"1GbE (real puma)", netsim::Fabric::gigabit_ethernet()},
+      {"10GbE", netsim::Fabric::ten_gigabit_ethernet()},
+      {"IB 4X DDR", netsim::Fabric::infiniband_ddr_4x()},
+  };
+  for (const auto& [name, fabric] : fabrics) {
+    for (int p : {1, 27, 64, 125}) {
+      const auto topo = netsim::Topology::uniform(
+          p, platform::puma().cores_per_node(), fabric,
+          netsim::Fabric::shared_memory());
+      const auto b = perf::project_iteration(model, topo, cpu, p);
+      table.add_row({name, std::to_string(p), fmt_double(b.solve_s, 2),
+                     fmt_double(b.total_s, 2)});
+    }
+  }
+  if (csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+
+  // Reference: the real ec2 at 125 ranks (modern CPU + 10GbE).
+  const auto& ec2 = platform::ec2();
+  const auto b =
+      perf::project_iteration(model, ec2.topology(125), ec2.cpu_model(), 125);
+  std::cout << "\n# ec2 (Xeon E5 + 10GbE) at 125 procs: "
+            << fmt_double(b.total_s, 2)
+            << " s/iter — an IB-upgraded puma closes the *scaling* gap but "
+               "not the CPU-generation gap.\n";
+  return 0;
+}

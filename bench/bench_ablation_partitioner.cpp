@@ -1,0 +1,80 @@
+// Ablation: mesh partitioner quality (paper step i).
+//
+// The paper delegates partitioning to ParMETIS "guaranteeing a proper load
+// balancing". This bench compares heterolab's partitioners — structured
+// blocks, recursive coordinate bisection, and greedy graph growing — on
+// load imbalance and edge cut, and converts the cut into halo-exchange time
+// on the 1GbE fabric to show why partition quality is a *network* concern.
+
+#include <iostream>
+
+#include "mesh/box_mesh.hpp"
+#include "netsim/fabric.hpp"
+#include "netsim/topology.hpp"
+#include "partition/partitioner.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+  const int n = static_cast<int>(args.get_int("cells", 12));
+  const int parts = static_cast<int>(args.get_int("parts", 8));
+
+  std::cout << "# Ablation — partitioners on a " << n << "^3 box mesh, "
+            << parts << " parts\n";
+  const auto mesh = mesh::build_box_mesh({n, n, n});
+  const auto graph = partition::build_dual_graph(mesh);
+
+  const auto topo = netsim::Topology::uniform(
+      parts, 4, netsim::Fabric::gigabit_ethernet(),
+      netsim::Fabric::shared_memory());
+
+  Table table({"partitioner", "imbalance", "edge cut", "cut fraction",
+               "halo exchange[ms]"});
+  auto add = [&](const std::string& name, const std::vector<int>& part) {
+    const auto m = partition::evaluate_partition(graph, part, parts);
+    // Each cut dual edge is one shared face: ~6 P2 dofs of 8 bytes each,
+    // split across the parts.
+    const auto bytes = static_cast<std::uint64_t>(
+        m.edge_cut * 6 * 8 / static_cast<std::size_t>(parts));
+    const double halo =
+        topo.exchange_time(bytes, 6, bytes / 4, 2) * 1e3;
+    table.add_row({name, fmt_double(m.imbalance, 3),
+                   std::to_string(m.edge_cut),
+                   fmt_double(static_cast<double>(m.edge_cut) /
+                                  static_cast<double>(graph.edge_count()),
+                              3),
+                   fmt_double(halo, 3)});
+  };
+
+  // Structured block decomposition via the cell grid.
+  {
+    mesh::BoxMeshSpec spec{n, n, n};
+    mesh::BlockDecomposition dec(spec, parts);
+    std::vector<int> part(mesh.tet_count());
+    std::size_t t = 0;
+    for (int ck = 0; ck < n; ++ck) {
+      for (int cj = 0; cj < n; ++cj) {
+        for (int ci = 0; ci < n; ++ci) {
+          const int rank = dec.rank_of_cell(ci, cj, ck);
+          for (int s = 0; s < 6; ++s) {
+            part[t++] = rank;
+          }
+        }
+      }
+    }
+    // The box mesh emits cells in the same (x-fastest) order.
+    add("block", part);
+  }
+  add("rcb", partition::partition_rcb(mesh, parts));
+  add("greedy", partition::partition_greedy(graph, parts));
+
+  if (csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: ranks per node vs fabric quality.
+//
+// The paper explains EC2's comparatively mild degradation by its 16-core
+// nodes: "the on-demand assembly exploits notably fewer hosts hence the
+// smaller volume of data is exchanged by the 10GbE network". This sweep
+// runs the RD projection at 512 ranks with 1/4/8/16 ranks per node on each
+// fabric to expose exactly that effect.
+
+#include <iostream>
+
+#include "netsim/fabric.hpp"
+#include "perf/scaling_model.hpp"
+#include "platform/platform_spec.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+  const int ranks = static_cast<int>(args.get_int("ranks", 512));
+
+  std::cout << "# Ablation — ranks per node vs fabric (RD projection at "
+            << ranks << " ranks, identical CPU model)\n";
+  const auto model = perf::rd_model();
+  apps::CpuCostModel cpu;  // reference core so only the network varies
+
+  Table table({"fabric", "ranks/node", "nodes", "solve[s]", "total[s]"});
+  const std::pair<const char*, netsim::Fabric> fabrics[] = {
+      {"1GbE", netsim::Fabric::gigabit_ethernet()},
+      {"10GbE", netsim::Fabric::ten_gigabit_ethernet()},
+      {"IB 4X DDR", netsim::Fabric::infiniband_ddr_4x()},
+  };
+  for (const auto& [name, fabric] : fabrics) {
+    for (int rpn : {1, 4, 8, 16}) {
+      const auto topo = netsim::Topology::uniform(
+          ranks, rpn, fabric, netsim::Fabric::shared_memory());
+      const auto b = perf::project_iteration(model, topo, cpu, ranks);
+      table.add_row({name, std::to_string(rpn), std::to_string(topo.nodes()),
+                     fmt_double(b.solve_s, 2), fmt_double(b.total_s, 2)});
+    }
+  }
+  if (csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+  std::cout << "\n# Fatter nodes -> fewer NICs sharing the same traffic -> "
+               "less fabric contention; the effect is strongest on the "
+               "oversubscribed Ethernet fabrics.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Extension: strong scaling (fixed global problem), which the paper leaves
+// to future work — its campaign is weak scaling only.
+//
+// A fixed 80^3-element RD problem is split over growing process counts:
+// per-rank work shrinks while latency costs per iteration do not, so the
+// network-quality gap between the platforms opens even faster than in the
+// weak-scaling figures, and every platform eventually stops speeding up.
+
+#include <cmath>
+#include <iostream>
+
+#include "perf/scaling_model.hpp"
+#include "platform/platform_spec.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+  const int global = static_cast<int>(args.get_int("global_cells", 80));
+
+  std::cout << "# Extension — strong scaling of the RD application "
+               "(fixed " << global << "^3-element mesh)\n";
+  Table table({"platform", "procs", "cells/rank", "total[s]", "speedup",
+               "efficiency"});
+  for (const auto* spec : platform::all_platforms()) {
+    double t1 = 0.0;
+    for (int p : {1, 8, 27, 64, 125}) {
+      if (!spec->can_launch(p)) {
+        continue;
+      }
+      const int k = static_cast<int>(std::round(std::cbrt(p)));
+      const int cells = std::max(1, global / k);
+      perf::ModelConfig model = perf::rd_model();
+      model.cells_per_rank_axis = cells;
+      // Fixed global problem: the iteration count depends on the global
+      // mesh, not on p.
+      model.iteration_exponent = 0.0;
+      const auto b = perf::project_iteration(model, spec->topology(p),
+                                             spec->cpu_model(), p);
+      if (p == 1) {
+        t1 = b.total_s;
+      }
+      const double speedup = t1 / b.total_s;
+      table.add_row({spec->name, std::to_string(p), std::to_string(cells),
+                     fmt_double(b.total_s, 2), fmt_double(speedup, 2),
+                     fmt_double(speedup / p, 3)});
+    }
+  }
+  if (csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+  std::cout << "\n# Parallel efficiency collapses fastest on the "
+               "oversubscribed 1GbE fabrics; InfiniBand holds it longest.\n";
+  return 0;
+}

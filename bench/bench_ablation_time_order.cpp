@@ -1,0 +1,55 @@
+// Ablation: time discretization order (the paper's BDF2 choice).
+//
+// The RD exact solution t^2 |x|^2 is quadratic in time, so BDF2 reproduces
+// it to solver tolerance while BDF1 commits an O(dt) error — and halving dt
+// halves it. Direct runs of the real solver demonstrate both, justifying
+// the paper's second-order scheme.
+
+#include <iostream>
+
+#include "apps/rd_solver.hpp"
+#include "platform/platform_spec.hpp"
+#include "simmpi/runtime.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+
+  std::cout << "# Ablation — BDF order on the RD exactness oracle "
+               "(direct run, 8 ranks, 6^3 cells, 4 steps)\n";
+  Table table({"scheme", "dt", "max nodal error", "exact?"});
+  auto run_case = [&](int order, double dt) {
+    simmpi::Runtime runtime(platform::puma().topology(8));
+    double error = 0.0;
+    runtime.run([&](simmpi::Comm& comm) {
+      apps::RdConfig config;
+      config.global_cells = 6;
+      config.time_order = order;
+      config.dt = dt;
+      apps::RdSolver solver(comm, config);
+      const auto records = solver.run(4);
+      if (comm.rank() == 0) {
+        error = records.back().nodal_error;
+      }
+    });
+    table.add_row({order == 2 ? "BDF2" : "BDF1", fmt_double(dt, 3),
+                   fmt_double(error, 10), error < 1e-7 ? "yes" : "no"});
+    return error;
+  };
+  run_case(2, 0.1);
+  run_case(2, 0.05);
+  const double e1 = run_case(1, 0.1);
+  const double e2 = run_case(1, 0.05);
+  if (csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+  std::cout << "\n# BDF1 error ratio for dt halving: "
+            << fmt_double(e1 / e2, 2)
+            << " (~2 confirms first order; BDF2 is exact on this solution)\n";
+  return 0;
+}

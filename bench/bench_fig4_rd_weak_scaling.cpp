@@ -1,0 +1,86 @@
+// Regenerates Figure 4: weak scaling of the RD 3-D simulation.
+// 20^3 elements per MPI process; process counts 1, 8, 27, ..., 1000 on the
+// four platforms; per-iteration assembly / preconditioner / solve / total
+// times. Platform launch failures appear exactly where the paper hit them
+// (puma's 128-core ceiling, ellipse above 512 ranks, lagrange above 343).
+//
+// Flags: --csv          emit CSV instead of the aligned table
+//        --cells N      elements per rank per axis (default 20)
+//        --validate     additionally run a small direct (thread-level)
+//                       execution of the real solver and print its phase
+//                       times next to the model's at the same size.
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+  const int cells = static_cast<int>(args.get_int("cells", 20));
+
+  core::ExperimentRunner runner(42);
+  std::cout << "# Figure 4 — weak scaling of the RD 3-D simulation "
+               "(initial mesh "
+            << cells << "^3 per process)\n";
+  const auto procs = core::paper_process_counts();
+  Table table({"platform", "procs", "assembly[s]", "precond[s]", "solve[s]",
+               "total[s]", "iters", "status"});
+  for (const auto* spec : platform::all_platforms()) {
+    for (int p : procs) {
+      core::Experiment e;
+      e.app = perf::AppKind::kReactionDiffusion;
+      e.platform = spec->name;
+      e.ranks = p;
+      e.cells_per_rank_axis = cells;
+      const auto r = runner.run(e);
+      if (!r.launched) {
+        table.add_row({spec->name, std::to_string(p), "-", "-", "-", "-",
+                       "-", "FAILED: " + r.failure_reason});
+        continue;
+      }
+      table.add_row({spec->name, std::to_string(p),
+                     fmt_double(r.iteration.assembly_s, 3),
+                     fmt_double(r.iteration.preconditioner_s, 3),
+                     fmt_double(r.iteration.solve_s, 3),
+                     fmt_double(r.iteration.total_s, 2),
+                     fmt_double(r.iteration.solver_iterations, 0), "ok"});
+    }
+  }
+  if (csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+
+  if (args.get_bool("validate", false)) {
+    std::cout << "\n# Direct-run validation (real solver through the "
+                 "simulated MPI, 4^3 cells per rank)\n";
+    Table v({"platform", "procs", "mode", "assembly[s]", "precond[s]",
+             "solve[s]", "nodal error"});
+    for (int p : {1, 8}) {
+      core::Experiment e;
+      e.platform = "puma";
+      e.ranks = p;
+      e.cells_per_rank_axis = 4;
+      e.mode = core::Mode::kDirect;
+      e.direct_steps = 3;
+      const auto rd = runner.run(e);
+      v.add_row({"puma", std::to_string(p), "direct",
+                 fmt_double(rd.iteration.assembly_s, 3),
+                 fmt_double(rd.iteration.preconditioner_s, 3),
+                 fmt_double(rd.iteration.solve_s, 3),
+                 fmt_double(rd.nodal_error, 10)});
+      e.mode = core::Mode::kModeled;
+      const auto rm = runner.run(e);
+      v.add_row({"puma", std::to_string(p), "modeled",
+                 fmt_double(rm.iteration.assembly_s, 3),
+                 fmt_double(rm.iteration.preconditioner_s, 3),
+                 fmt_double(rm.iteration.solve_s, 3), "-"});
+    }
+    v.render_text(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Regenerates Figure 6: per-iteration dollar costs of the four platforms
+// for the RD weak-scaling benchmark, plus the "ec2 mix" cost-aware spot
+// strategy. Whole-instance billing makes EC2 disproportionately expensive
+// at 1 and 8 processes (a 16-core instance is charged either way).
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+
+  core::ExperimentRunner runner(42);
+  std::cout << "# Figure 6 — per-iteration costs, RD application weak "
+               "scaling\n";
+  const auto procs = core::paper_process_counts();
+  const Table table = core::cost_figure(
+      runner, perf::AppKind::kReactionDiffusion, procs);
+  if (csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+  std::cout << "\n# Core-hour rates: puma 2.3c (capital+operations), "
+               "ellipse 5c flat, lagrange 19.19c (EUR 0.15), ec2 15c "
+               "on-demand / 3.375c spot, whole 16-core instances billed.\n";
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Microbenchmarks (google-benchmark) of the numerical kernels behind the
+// phase-time model: element assembly, CSR construction and spmv, mesh
+// generation, edge enumeration, and partitioning. These measure *host*
+// performance; the platform models translate work counts into simulated
+// 2012-era times — comparing the two is how the CPU rate constants were
+// sanity-checked.
+
+#include <benchmark/benchmark.h>
+
+#include "fem/assembler.hpp"
+#include "fem/fe_space.hpp"
+#include "la/csr_matrix.hpp"
+#include "la/system_builder.hpp"
+#include "mesh/box_mesh.hpp"
+#include "mesh/edges.hpp"
+#include "netsim/fabric.hpp"
+#include "partition/partitioner.hpp"
+#include "simmpi/runtime.hpp"
+#include "solvers/preconditioner.hpp"
+
+namespace {
+
+using namespace hetero;
+
+void BM_BuildBoxMesh(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto mesh = mesh::build_box_mesh({n, n, n});
+    benchmark::DoNotOptimize(mesh.tet_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 6 * n * n * n);
+}
+BENCHMARK(BM_BuildBoxMesh)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EdgeEnumeration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto mesh = mesh::build_box_mesh({n, n, n});
+  for (auto _ : state) {
+    auto edges = mesh::build_edges(mesh);
+    benchmark::DoNotOptimize(edges.edges.size());
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.tet_count());
+}
+BENCHMARK(BM_EdgeEnumeration)->Arg(4)->Arg(8);
+
+void BM_ElementStiffnessP2(benchmark::State& state) {
+  const auto mesh = mesh::build_box_mesh({4, 4, 4});
+  fem::FeSpace space(mesh, 2, static_cast<std::int64_t>(mesh.vertex_count()));
+  fem::ElementKernel kernel(space, 4);
+  std::vector<double> ke(100);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    kernel.stiffness(t, ke);
+    benchmark::DoNotOptimize(ke[0]);
+    t = (t + 1) % mesh.tet_count();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ElementStiffnessP2);
+
+void BM_ElementMassP1(benchmark::State& state) {
+  const auto mesh = mesh::build_box_mesh({4, 4, 4});
+  fem::FeSpace space(mesh, 1, static_cast<std::int64_t>(mesh.vertex_count()));
+  fem::ElementKernel kernel(space, 2);
+  std::vector<double> me(16);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    kernel.mass(t, me);
+    benchmark::DoNotOptimize(me[0]);
+    t = (t + 1) % mesh.tet_count();
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ElementMassP1);
+
+la::CsrMatrix make_laplacian(int n) {
+  std::vector<la::Triplet> triplets;
+  for (int i = 0; i < n; ++i) {
+    triplets.push_back({i, i, 2.0});
+    if (i > 0) {
+      triplets.push_back({i, i - 1, -1.0});
+    }
+    if (i + 1 < n) {
+      triplets.push_back({i, i + 1, -1.0});
+    }
+  }
+  return la::CsrMatrix::from_triplets(n, n, triplets);
+}
+
+void BM_CsrSpmv(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = make_laplacian(n);
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * a.nonzeros());
+}
+BENCHMARK(BM_CsrSpmv)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_CsrFromTriplets(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<la::Triplet> triplets;
+  for (int i = 0; i < n; ++i) {
+    triplets.push_back({i, i, 1.0});
+    triplets.push_back({i, (i * 7 + 3) % n, 0.5});
+    triplets.push_back({i, i, 1.0});  // duplicate to merge
+  }
+  for (auto _ : state) {
+    auto m = la::CsrMatrix::from_triplets(n, n, triplets);
+    benchmark::DoNotOptimize(m.nonzeros());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(triplets.size()));
+}
+BENCHMARK(BM_CsrFromTriplets)->Arg(1 << 12);
+
+/// Assembles a serial tridiagonal system inside a 1-rank runtime; the
+/// builder (and its map/halo/matrix) stays valid after run() returns, and
+/// Preconditioner::build/apply never communicate, so they can be timed
+/// outside the runtime.
+std::unique_ptr<la::DistSystemBuilder> make_dist_fixture(int n) {
+  auto runtime = std::make_shared<simmpi::Runtime>(netsim::Topology::uniform(
+      1, 1, netsim::Fabric::shared_memory(), netsim::Fabric::shared_memory()));
+  std::unique_ptr<la::DistSystemBuilder> builder;
+  runtime->run([&](simmpi::Comm& comm) {
+    std::vector<la::GlobalId> touched;
+    for (int g = 0; g < n; ++g) {
+      touched.push_back(g);
+    }
+    builder = std::make_unique<la::DistSystemBuilder>(comm, touched);
+    builder->begin_assembly();
+    for (int g = 0; g < n; ++g) {
+      builder->add_matrix(g, g, 2.0);
+      if (g > 0) {
+        builder->add_matrix(g, g - 1, -1.0);
+      }
+      if (g + 1 < n) {
+        builder->add_matrix(g, g + 1, -1.0);
+      }
+    }
+    builder->finalize(comm);
+  });
+  return builder;
+}
+
+void BM_Ilu0Factorize(benchmark::State& state) {
+  const auto builder = make_dist_fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    solvers::Ilu0Preconditioner ilu;
+    ilu.build(builder->matrix());
+    benchmark::DoNotOptimize(&ilu);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          builder->matrix().local().nonzeros());
+}
+BENCHMARK(BM_Ilu0Factorize)->Arg(1 << 14);
+
+void BM_Ilu0Apply(benchmark::State& state) {
+  const auto builder = make_dist_fixture(static_cast<int>(state.range(0)));
+  solvers::Ilu0Preconditioner ilu;
+  ilu.build(builder->matrix());
+  la::DistVector r(builder->map());
+  la::DistVector z(builder->map());
+  r.set_all(1.0);
+  for (auto _ : state) {
+    ilu.apply(r, z);
+    benchmark::DoNotOptimize(z[0]);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          builder->matrix().local().nonzeros());
+}
+BENCHMARK(BM_Ilu0Apply)->Arg(1 << 14);
+
+void BM_Partition(benchmark::State& state) {
+  const auto mesh = mesh::build_box_mesh({8, 8, 8});
+  const bool greedy = state.range(0) == 1;
+  const auto graph = partition::build_dual_graph(mesh);
+  for (auto _ : state) {
+    auto part = greedy ? partition::partition_greedy(graph, 8)
+                       : partition::partition_rcb(mesh, 8);
+    benchmark::DoNotOptimize(part[0]);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mesh.tet_count()));
+  state.SetLabel(greedy ? "greedy" : "rcb");
+}
+BENCHMARK(BM_Partition)->Arg(0)->Arg(1);
+
+}  // namespace

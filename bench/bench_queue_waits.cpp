@@ -1,0 +1,53 @@
+// Availability distributions: queue-wait histograms per platform.
+//
+// The paper's summary argues that the cloud's immediate availability "might
+// offset any additional expense" against hour-scale local/grid queues.
+// This bench samples each scheduler's wait model and prints the
+// distribution (log-scale percentiles + ASCII histogram), making the
+// qualitative availability row of Table I quantitative.
+
+#include <iostream>
+
+#include "platform/platform_spec.hpp"
+#include "sched/scheduler.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const int ranks = static_cast<int>(args.get_int("ranks", 64));
+  const int samples = static_cast<int>(args.get_int("samples", 2000));
+
+  std::cout << "# Queue-wait distributions (" << ranks << "-rank jobs, "
+            << samples << " submissions per platform)\n\n";
+  Table table({"platform", "p50", "p90", "p99", "mean"});
+  for (const auto* spec : platform::all_platforms()) {
+    auto scheduler = sched::make_scheduler(*spec);
+    Rng rng(2012);
+    std::vector<double> waits;
+    SampleStats stats;
+    waits.reserve(static_cast<std::size_t>(samples));
+    for (int i = 0; i < samples; ++i) {
+      const auto out = scheduler->submit({ranks, 3600.0}, rng);
+      waits.push_back(out.wait_s);
+      stats.add(out.wait_s);
+    }
+    table.add_row({spec->name, format_seconds(percentile(waits, 0.5)),
+                   format_seconds(percentile(waits, 0.9)),
+                   format_seconds(percentile(waits, 0.99)),
+                   format_seconds(stats.mean())});
+    if (spec->name == "lagrange" || spec->name == "ec2") {
+      std::cout << "## " << spec->name << " wait histogram (minutes)\n";
+      Histogram h(0.0, spec->name == "ec2" ? 15.0 : 2400.0, 12);
+      for (double w : waits) {
+        h.add(w / 60.0);
+      }
+      std::cout << h.render(36) << "\n";
+    }
+  }
+  table.render_text(std::cout);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// The paper's §VIII bottom line as one table: "each of the platforms to
+// which we had access had its particular benefits and drawbacks" across
+// deployment effort, availability, size, performance, and cost.
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+  const int ranks = static_cast<int>(args.get_int("ranks", 125));
+
+  core::ExperimentRunner runner(42);
+  std::cout << "# Summary (Section VIII) — all axes at " << ranks
+            << " processes\n";
+  const Table table = core::summary_table(runner, ranks);
+  if (csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+  std::cout <<
+      "\n# puma: cheapest core-hour, zero porting — but only 128 cores.\n"
+      "# ellipse: big but serial-configured SGE and a 1GbE fabric.\n"
+      "# lagrange: fastest network and cores — priciest, longest queue,\n"
+      "#   and an IB volume cap at 343 ranks.\n"
+      "# ec2: boots in minutes at any size; whole-node billing and a\n"
+      "#   virtualized fabric — the spot market changes its economics.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Regenerates Table I: the capability matrix of the four target platforms,
+// plus the provisioning summary ("how we addressed the missing
+// capabilities" — the coloured cells of the paper's table).
+
+#include <iostream>
+
+#include "netsim/fabric.hpp"
+#include "platform/capability_table.hpp"
+#include "provision/planner.hpp"
+#include "support/cli.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+
+  std::cout << "# Table I — specification of the test architectures\n";
+  const Table table = platform::capability_table();
+  if (csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+
+  std::cout << "\n# Porting effort summary (Section VI)\n";
+  Table effort({"platform", "source builds", "man-hours", "note"});
+  for (const auto* spec : platform::all_platforms()) {
+    const auto plan = provision::plan_provisioning(*spec);
+    std::string note = "-";
+    if (spec->name == "puma") {
+      note = "home platform: fully provisioned";
+    } else if (spec->name == "ec2") {
+      note = "bare image: yum bootstrap + cloud conditioning";
+    } else {
+      note = "user-space source installs";
+    }
+    effort.add_row({spec->name, std::to_string(plan.source_builds()),
+                    fmt_double(plan.total_hours(), 1), note});
+  }
+  if (csv) {
+    effort.render_csv(std::cout);
+  } else {
+    effort.render_text(std::cout);
+  }
+
+  std::cout << "\n# Interconnect models behind the 'network' row\n";
+  Table fabrics({"fabric", "latency", "bandwidth", "eager limit",
+                 "node injection", "oversubscription"});
+  for (const auto& fabric :
+       {netsim::Fabric::gigabit_ethernet(),
+        netsim::Fabric::ten_gigabit_ethernet(),
+        netsim::Fabric::infiniband_ddr_4x(), netsim::Fabric::shared_memory()}) {
+    const auto& p = fabric.params();
+    fabrics.add_row({p.name, format_seconds(p.latency_s),
+                     format_bitrate(p.bandwidth_bps * 8.0),
+                     format_bytes(p.eager_threshold_bytes),
+                     format_bitrate(p.node_injection_bps * 8.0),
+                     fmt_double(p.oversubscription, 1)});
+  }
+  if (csv) {
+    fabrics.render_csv(std::cout);
+  } else {
+    fabrics.render_text(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Regenerates Table II: comparison of two EC2 cc2.8xlarge assemblies for
+// the RD application — fully paid instances in a single placement group
+// ("full") versus spot requests spread over four placement groups topped up
+// with on-demand hosts ("mix").
+//
+// Reproduced findings:
+//   * the single placement group buys no performance (times match);
+//   * the spot strategy costs ~4.4x less per iteration;
+//   * a full 63-host spot assembly is never obtained (the spot-hosts
+//     column saturates below 63, as in the paper's experience).
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+
+  core::ExperimentRunner runner(42);
+  std::cout << "# Table II — EC2 cc2.8xlarge assemblies: full (on-demand, "
+               "one placement group) vs mix (spot + on-demand, four groups)\n";
+  const auto procs = core::paper_process_counts();
+  const Table table = core::table2_ec2_assemblies(runner, procs);
+  if (csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+  std::cout << "\n# Regular $2.40/host-h vs spot ~$0.54/host-h: the mix's "
+               "estimated cost is ~4.4x lower at equal time.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Mesh-convergence study: the accuracy side of §IV ("the finer the
+// reticulation ... the more precise the solution"). Solves the Poisson
+// problem -lap(u) = f with a smooth manufactured solution on a sequence of
+// uniformly refined meshes and reports L2 / H1 errors with their observed
+// orders: P1 converges at h^2 / h^1, P2 at h^3 / h^2.
+//
+// Usage: mesh_convergence [--levels 3] [--order 1|2]
+
+#include <cmath>
+#include <iostream>
+
+#include "fem/bc.hpp"
+#include "fem/error_norms.hpp"
+#include "mesh/box_mesh.hpp"
+#include "mesh/refine.hpp"
+#include "netsim/fabric.hpp"
+#include "simmpi/runtime.hpp"
+#include "solvers/krylov.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const int levels = static_cast<int>(args.get_int("levels", 3));
+  const int order = static_cast<int>(args.get_int("order", 2));
+
+  auto exact = [](const mesh::Vec3& p) {
+    return std::sin(M_PI * p.x) * std::sin(M_PI * p.y) * p.z;
+  };
+  auto grad_exact = [](const mesh::Vec3& p) {
+    return mesh::Vec3{M_PI * std::cos(M_PI * p.x) * std::sin(M_PI * p.y) * p.z,
+                      M_PI * std::sin(M_PI * p.x) * std::cos(M_PI * p.y) * p.z,
+                      std::sin(M_PI * p.x) * std::sin(M_PI * p.y)};
+  };
+  auto f = [](const mesh::Vec3& p) {
+    // -lap(u) for the solution above.
+    return 2.0 * M_PI * M_PI * std::sin(M_PI * p.x) * std::sin(M_PI * p.y) *
+           p.z;
+  };
+
+  std::cout << "Poisson convergence under uniform refinement (P" << order
+            << " elements)\n\n";
+  Table table({"level", "cells", "dofs", "L2 error", "L2 order", "H1 error",
+               "H1 order", "worst edge ratio"});
+
+  simmpi::Runtime rt(netsim::Topology::uniform(
+      1, 1, netsim::Fabric::infiniband_ddr_4x(),
+      netsim::Fabric::shared_memory()));
+  rt.run([&](simmpi::Comm& comm) {
+    mesh::TetMesh current = mesh::build_box_mesh({2, 2, 2});
+    double prev_l2 = 0.0;
+    double prev_h1 = 0.0;
+    for (int level = 0; level < levels; ++level) {
+      if (level > 0) {
+        current = mesh::refine_uniform(current);
+      }
+      fem::FeSpace space(current, order,
+                         static_cast<std::int64_t>(current.vertex_count()));
+      la::DistSystemBuilder builder(comm, space.dof_gids());
+      fem::ElementKernel kernel(space, 4);
+      const int n = kernel.n();
+      std::vector<double> ke(static_cast<std::size_t>(n * n));
+      std::vector<double> fe(static_cast<std::size_t>(n));
+      std::vector<la::GlobalId> gids(static_cast<std::size_t>(n));
+      builder.begin_assembly();
+      for (std::size_t t = 0; t < current.tet_count(); ++t) {
+        kernel.stiffness(t, ke);
+        kernel.load(t, f, fe);
+        space.tet_dof_gids(t, gids);
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < n; ++j) {
+            builder.add_matrix(gids[static_cast<std::size_t>(i)],
+                               gids[static_cast<std::size_t>(j)],
+                               ke[static_cast<std::size_t>(i * n + j)]);
+          }
+          builder.add_rhs(gids[static_cast<std::size_t>(i)],
+                          fe[static_cast<std::size_t>(i)]);
+        }
+      }
+      builder.finalize(comm);
+      auto on_boundary = [](const mesh::Vec3& x) {
+        const double eps = 1e-12;
+        return x.x < eps || x.x > 1.0 - eps || x.y < eps ||
+               x.y > 1.0 - eps || x.z < eps || x.z > 1.0 - eps;
+      };
+      const auto bc = fem::make_dirichlet(comm, space, builder.map(),
+                                          builder.halo(), on_boundary, exact);
+      la::DistVector x(builder.map());
+      fem::apply_dirichlet(builder.matrix(), builder.rhs(), x, bc);
+      solvers::Ilu0Preconditioner ilu;
+      ilu.build(builder.matrix());
+      solvers::SolverConfig sc;
+      sc.rel_tolerance = 1e-12;
+      sc.max_iterations = 4000;
+      const auto report =
+          solvers::cg_solve(comm, builder.matrix(), ilu, builder.rhs(), x, sc);
+      if (!report.converged) {
+        std::cerr << "solver did not converge at level " << level << "\n";
+      }
+      x.update_ghosts(comm, builder.halo());
+      const double l2 = fem::l2_error(comm, kernel, builder.map(), x, exact);
+      const double h1 = fem::h1_seminorm_error(comm, kernel, builder.map(),
+                                               x, grad_exact);
+      table.add_row(
+          {std::to_string(level), std::to_string(current.tet_count() / 6),
+           std::to_string(builder.map().global_count()), fmt_double(l2, 7),
+           level == 0 ? "-" : fmt_double(std::log2(prev_l2 / l2), 2),
+           fmt_double(h1, 6),
+           level == 0 ? "-" : fmt_double(std::log2(prev_h1 / h1), 2),
+           fmt_double(mesh::worst_edge_ratio(current), 3)});
+      prev_l2 = l2;
+      prev_h1 = h1;
+    }
+  });
+  table.render_text(std::cout);
+  std::cout << "\nExpected orders: P1 -> L2 2, H1 1; P2 -> L2 3, H1 2.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// The paper's second test case: incompressible Navier-Stokes with the
+// Ethier-Steinman exact solution (Figure 2's field). Runs the stabilized
+// P1/P1 Oseen/BDF2 solver on simulated ranks, reports per-step timings and
+// velocity errors, and exports velocity + pressure for ParaView.
+//
+// Usage: navier_stokes_benchmark [--ranks 4] [--cells 5] [--steps 3]
+//                                [--dt 0.002] [--vtk ns_solution.vtk]
+
+#include <iostream>
+
+#include "apps/ns_solver.hpp"
+#include "mesh/vtk_writer.hpp"
+#include "platform/platform_spec.hpp"
+#include "simmpi/runtime.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const int ranks = static_cast<int>(args.get_int("ranks", 4));
+  const int cells = static_cast<int>(args.get_int("cells", 5));
+  const int steps = static_cast<int>(args.get_int("steps", 3));
+  const double dt = args.get_double("dt", 0.002);
+  const std::string vtk = args.get_string("vtk", "ns_solution.vtk");
+
+  std::cout << "Ethier-Steinman Navier-Stokes benchmark: " << ranks
+            << " simulated ranks (lagrange model), " << cells
+            << "^3 cells on [-1,1]^3, dt = " << dt << "\n\n";
+
+  const auto& spec = platform::lagrange();
+  simmpi::Runtime runtime(spec.topology(ranks));
+
+  Table table({"step", "t", "assembly[s]", "precond[s]", "solve[s]",
+               "GMRES iters", "max |u - u_exact|", "L2(u1) error"});
+  runtime.run([&](simmpi::Comm& comm) {
+    apps::NsConfig config;
+    config.global_cells = cells;
+    config.dt = dt;
+    config.cpu = spec.cpu_model();
+    apps::NsSolver solver(comm, config);
+    for (int s = 0; s < steps; ++s) {
+      const auto r = solver.step();
+      if (comm.rank() == 0) {
+        table.add_row({std::to_string(s + 1), fmt_double(r.time, 4),
+                       fmt_double(r.timing.assembly_s, 3),
+                       fmt_double(r.timing.preconditioner_s, 3),
+                       fmt_double(r.timing.solve_s, 3),
+                       std::to_string(r.solver_iterations),
+                       fmt_double(r.nodal_error, 5),
+                       fmt_double(r.l2_error, 6)});
+      }
+    }
+    if (comm.rank() == 0 && !vtk.empty()) {
+      const auto& space = solver.space();
+      const auto& mesh = space.mesh();
+      std::vector<double> velocity(3 * mesh.vertex_count());
+      std::vector<double> pressure(mesh.vertex_count());
+      for (std::size_t v = 0; v < mesh.vertex_count(); ++v) {
+        for (int c = 0; c < 3; ++c) {
+          velocity[3 * v + static_cast<std::size_t>(c)] =
+              solver.solution_at(static_cast<int>(v), c);
+        }
+        pressure[v] = solver.solution_at(static_cast<int>(v), 3);
+      }
+      mesh::VtkWriter writer(mesh);
+      writer.add_vector_field("velocity", std::move(velocity));
+      writer.add_scalar_field("pressure", std::move(pressure));
+      writer.write(vtk);
+    }
+  });
+
+  table.render_text(std::cout);
+  std::cout << "\nVelocity errors reflect the P1 discretization at this "
+               "mesh; refine --cells to watch them shrink. Rank 0's "
+               "velocity/pressure field written to "
+            << vtk << " (Figure 2's arrows + isosurfaces in ParaView).\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Platform shootout: the paper's bottom-line comparison for one job.
+// Pick an application and a process count; see, for every platform, whether
+// it can run the job at all, how long provisioning and the queue take, what
+// one iteration costs, and the effective time to a full campaign.
+//
+// Usage: platform_shootout [--app rd|ns] [--ranks 125] [--iterations 500]
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "support/cli.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const std::string app_name = args.get_string("app", "rd");
+  const int ranks = static_cast<int>(args.get_int("ranks", 125));
+  const int iterations = static_cast<int>(args.get_int("iterations", 500));
+  const perf::AppKind app = app_name == "ns"
+                                ? perf::AppKind::kNavierStokes
+                                : perf::AppKind::kReactionDiffusion;
+
+  std::cout << "Platform shootout — "
+            << (app == perf::AppKind::kNavierStokes ? "Navier-Stokes"
+                                                    : "reaction-diffusion")
+            << ", " << ranks << " processes, " << iterations
+            << "-iteration campaign\n\n";
+
+  core::ExperimentRunner runner(42);
+  Table table({"platform", "status", "porting", "queue wait", "s/iter",
+               "campaign run", "campaign cost", "effective total"});
+  for (const auto* spec : platform::all_platforms()) {
+    core::Experiment e;
+    e.app = app;
+    e.platform = spec->name;
+    e.ranks = ranks;
+    const auto r = runner.run(e);
+    if (!r.launched) {
+      table.add_row({spec->name, "FAILED: " + r.failure_reason, "-", "-",
+                     "-", "-", "-", "-"});
+      continue;
+    }
+    const double run_s = r.iteration.total_s * iterations;
+    table.add_row(
+        {spec->name, "ok", fmt_double(r.provisioning_hours, 1) + " h",
+         format_seconds(r.queue_wait_s), fmt_double(r.iteration.total_s, 2),
+         format_seconds(run_s),
+         fmt_usd(r.cost_per_iteration_usd * iterations),
+         format_seconds(r.queue_wait_s + run_s)});
+  }
+  table.render_text(std::cout);
+
+  std::cout << "\nEach platform wins somewhere: puma is cheapest per "
+               "core-hour (when the job fits its 128 cores), lagrange is "
+               "fastest per iteration, ec2 starts in minutes and scales to "
+               "sizes nobody else offers, and the spot market undercuts "
+               "every fixed price — the paper's central observation.\n";
+  return 0;
+}

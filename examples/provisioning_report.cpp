@@ -1,0 +1,36 @@
+// The porting narrative of §VI as a report: for each platform, the full
+// dependency-ordered provisioning plan for the LifeV-based CFD stack —
+// what is already there, what yum can deliver, what the vendor libraries
+// cover, and what must be built from source — with man-hour estimates.
+//
+// Usage: provisioning_report [--platform puma|ellipse|lagrange|ec2]
+
+#include <iostream>
+
+#include "platform/platform_spec.hpp"
+#include "provision/planner.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const std::string only = args.get_string("platform", "");
+
+  for (const auto* spec : platform::all_platforms()) {
+    if (!only.empty() && spec->name != only) {
+      continue;
+    }
+    const auto plan = provision::plan_provisioning(*spec);
+    std::cout << "=== " << spec->name << " — provisioning the CFD stack ("
+              << fmt_double(plan.total_hours(), 1) << " man-hours, "
+              << plan.source_builds() << " source builds) ===\n";
+    plan.to_table().render_text(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "The paper's experience: puma needed nothing (home "
+               "platform); ellipse and lagrange took ~8 man-hours of "
+               "user-space source builds each; the bare EC2 image took "
+               "about a day including system update, ssh keys, the "
+               "security group, and boot-partition resizing.\n";
+  return 0;
+}

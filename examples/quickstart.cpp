@@ -1,0 +1,99 @@
+// Quickstart: run the paper's first test case — the 3-D reaction-diffusion
+// equation with the exact solution u = t^2 (x1^2 + x2^2 + x3^2) — on eight
+// simulated MPI ranks of the "puma" home cluster, print per-step phase
+// timings and exact-solution errors, and export the final field for
+// ParaView (the paper's Figure 1 artifact).
+//
+// Usage: quickstart [--ranks 8] [--cells 8] [--steps 5] [--vtk out.vtk]
+
+#include <iostream>
+
+#include "apps/rd_solver.hpp"
+#include "fem/error_norms.hpp"
+#include "mesh/vtk_writer.hpp"
+#include "platform/platform_spec.hpp"
+#include "simmpi/runtime.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const int ranks = static_cast<int>(args.get_int("ranks", 8));
+  const int cells = static_cast<int>(args.get_int("cells", 8));
+  const int steps = static_cast<int>(args.get_int("steps", 5));
+  const std::string vtk = args.get_string("vtk", "rd_solution.vtk");
+  // Optional ParaView time series: one frame per step + a .pvd collection.
+  const std::string series_base = args.get_string("series", "");
+
+  std::cout << "heterolab quickstart: RD equation, " << ranks
+            << " simulated ranks on the '" << platform::puma().name
+            << "' platform model, " << cells << "^3 global cells, " << steps
+            << " BDF2 steps\n\n";
+
+  const auto& spec = platform::puma();
+  simmpi::Runtime runtime(spec.topology(ranks));
+
+  Table table({"step", "t", "assembly[s]", "precond[s]", "solve[s]",
+               "total[s]", "CG iters", "max nodal error"});
+  runtime.run([&](simmpi::Comm& comm) {
+    apps::RdConfig config;
+    config.global_cells = cells;
+    config.cpu = spec.cpu_model();
+    apps::RdSolver solver(comm, config);
+    mesh::VtkSeriesWriter series(series_base.empty() ? "unused"
+                                                     : series_base);
+    auto nodal_field = [&]() {
+      const auto& mesh = solver.local_mesh();
+      std::vector<double> nodal(mesh.vertex_count());
+      for (std::size_t v = 0; v < mesh.vertex_count(); ++v) {
+        const int l =
+            solver.map().local(mesh.vertex_gid(static_cast<int>(v)));
+        nodal[v] = l >= 0 ? solver.solution()[l] : 0.0;
+      }
+      return nodal;
+    };
+    for (int s = 0; s < steps; ++s) {
+      const auto r = solver.step();
+      if (comm.rank() == 0) {
+        table.add_row({std::to_string(s + 1), fmt_double(r.time, 2),
+                       fmt_double(r.timing.assembly_s, 3),
+                       fmt_double(r.timing.preconditioner_s, 3),
+                       fmt_double(r.timing.solve_s, 3),
+                       fmt_double(r.timing.total_s, 3),
+                       std::to_string(r.solver_iterations),
+                       fmt_double(r.nodal_error, 12)});
+        if (!series_base.empty()) {
+          mesh::VtkWriter frame(solver.local_mesh());
+          frame.add_scalar_field("u", nodal_field());
+          series.add_step(r.time, frame);
+        }
+      }
+    }
+    if (comm.rank() == 0 && !series_base.empty()) {
+      series.finalize();
+    }
+    // Rank 0's submesh (with its share of the solution) goes to ParaView.
+    if (comm.rank() == 0 && !vtk.empty()) {
+      const auto& space = solver.space();
+      const auto& mesh = solver.local_mesh();
+      std::vector<double> nodal(mesh.vertex_count());
+      for (std::size_t v = 0; v < mesh.vertex_count(); ++v) {
+        const int l = solver.map().local(mesh.vertex_gid(static_cast<int>(v)));
+        nodal[v] = l >= 0 ? solver.solution()[l] : 0.0;
+      }
+      (void)space;
+      mesh::VtkWriter writer(mesh);
+      writer.add_scalar_field("u", std::move(nodal));
+      writer.write(vtk);
+    }
+  });
+
+  table.render_text(std::cout);
+  std::cout << "\nThe max nodal error sits at the CG tolerance: the exact "
+               "solution is quadratic in space and time, so P2 + BDF2 "
+               "reproduce it exactly (the paper's correctness check).\n";
+  std::cout << "Rank 0 submesh written to " << vtk << " (open in ParaView "
+            << "to reproduce Figure 1's isosurfaces).\n";
+  return 0;
+}

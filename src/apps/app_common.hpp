@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file app_common.hpp
+/// Shared application-level types: per-iteration phase timing (the paper's
+/// assembly / preconditioner / solver split), work counters for the
+/// performance model, and the CPU cost model hook that charges modeled
+/// compute time to the virtual rank clocks.
+
+#include <cstdint>
+
+namespace hetero::apps {
+
+/// Per-core compute rates of the platform the job "runs on". Direct-mode
+/// runs charge these to the virtual clocks so phase times reflect the
+/// simulated machine rather than the host. All units: seconds.
+struct CpuCostModel {
+  // Rates are calibrated so a 20^3-elements-per-rank step reproduces the
+  // per-iteration magnitudes the paper reports (Table II: ~4.8 s at one
+  // rank on the EC2-class core). They reflect a 2012-era core running a
+  // generic quadrature-loop FEM assembly, not a tuned modern kernel.
+
+  /// Cost to compute and scatter one element matrix entry (quadrature
+  /// loop + gather/scatter); multiplied by tets x (dofs/tet)^2.
+  double assembly_sec_per_entry = 1.0e-6;
+  /// ILU(0) factorization cost per local nonzero.
+  double ilu_sec_per_nnz = 6.0e-7;
+  /// One sparse matrix-vector product, per nonzero (bandwidth bound).
+  double spmv_sec_per_nnz = 3.0e-8;
+  /// Triangular solves of the preconditioner apply, per nonzero.
+  double trisolve_sec_per_nnz = 4.0e-8;
+  /// Vector ops (axpy/dot), per entry.
+  double vec_sec_per_entry = 2.0e-9;
+
+  /// Uniform speed scale: 1.0 = reference core; a 2x faster CPU halves
+  /// every rate. Platform models set this.
+  double speed_factor = 1.0;
+
+  double scale(double seconds) const { return seconds / speed_factor; }
+};
+
+/// Work performed by one rank in one time step (inputs to the perf model).
+struct WorkCounts {
+  std::int64_t local_tets = 0;
+  std::int64_t local_rows = 0;
+  std::int64_t local_nonzeros = 0;
+  std::int64_t matrix_entries_assembled = 0;
+  std::int64_t halo_doubles = 0;
+  int solver_iterations = 0;
+};
+
+/// Virtual-clock durations of the paper's phases, for one iteration.
+/// Values are maxima over ranks (the paper reports the slowest rank).
+struct IterationTiming {
+  double assembly_s = 0.0;        // step (ii)
+  double preconditioner_s = 0.0;  // step (iiia)
+  double solve_s = 0.0;           // step (iiib)
+  double total_s = 0.0;           // whole iteration including overheads
+};
+
+/// Outcome of one time step of an application.
+struct StepRecord {
+  double time = 0.0;  // simulated physical time reached
+  IterationTiming timing;
+  WorkCounts work;
+  int solver_iterations = 0;
+  bool solver_converged = false;
+  double residual = 0.0;
+  /// Discretization-error oracles (filled when error checks are enabled).
+  double nodal_error = 0.0;
+  double l2_error = 0.0;
+};
+
+}  // namespace hetero::apps

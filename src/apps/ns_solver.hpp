@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file ns_solver.hpp
+/// The paper's second test case: the incompressible Navier–Stokes equations
+/// on a cube, benchmarked against the exact 3-D solution of Ethier &
+/// Steinman (1994).
+///
+/// Discretization: BDF2 in time with second-order extrapolation of the
+/// convective velocity (a linearized Oseen problem per step — the standard
+/// semi-implicit scheme used by LifeV), mixed velocity/pressure elements,
+/// and a monolithic GMRES + local-ILU0 solve of the coupled saddle-point
+/// system. Two element pairs are available:
+///
+///   * velocity_order = 1 — equal-order P1/P1 with Brezzi–Pitkäranta
+///     pressure stabilization (cheap; the default for the platform benches);
+///   * velocity_order = 2 — Taylor–Hood P2/P1, the tetrahedral analogue of
+///     the paper's Q2/Q1 pair (inf-sup stable; a small pressure-Laplacian
+///     regularization keeps the local ILU0 factorizable).
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "apps/app_common.hpp"
+#include "fem/assembler.hpp"
+#include "fem/bc.hpp"
+#include "fem/fe_space.hpp"
+#include "la/system_builder.hpp"
+#include "mesh/box_mesh.hpp"
+#include "solvers/krylov.hpp"
+
+namespace hetero::apps {
+
+struct NsConfig {
+  /// Cells per axis of the global cube mesh on [-1, 1]^3.
+  int global_cells = 6;
+  double density = 1.0;    // rho
+  double viscosity = 1.0;  // mu (nu = mu / rho)
+  double t0 = 0.0;
+  double dt = 1e-3;
+  /// Velocity element order: 1 (stabilized P1/P1) or 2 (Taylor-Hood P2/P1).
+  int velocity_order = 1;
+  /// Pressure-Laplacian coefficient: delta * h_K^2 / mu. For P1/P1 this is
+  /// the Brezzi-Pitkaranta stabilization; for Taylor-Hood a much smaller
+  /// value (regularization for the local ILU0) is substituted when the
+  /// default is left untouched.
+  double stabilization = 0.05;
+  std::string preconditioner = "ilu0";
+  /// Krylov method for the nonsymmetric system: "gmres" or "bicgstab".
+  std::string krylov = "gmres";
+  double solver_tolerance = 1e-8;
+  int max_solver_iterations = 4000;
+  int gmres_restart = 80;
+  bool compute_errors = true;
+  CpuCostModel cpu;
+};
+
+/// Ethier–Steinman exact velocity (component c = 0,1,2) and pressure at
+/// physical time t with kinematic viscosity nu.
+double es_velocity(const mesh::Vec3& x, double t, double nu, int comp);
+double es_pressure(const mesh::Vec3& x, double t, double nu);
+
+class NsSolver {
+ public:
+  /// Collective; builds the rank-local problem and freezes the block
+  /// sparsity (3 velocity components per velocity dof + 1 pressure per
+  /// pressure dof).
+  NsSolver(simmpi::Comm& comm, NsConfig config);
+
+  /// One Oseen/BDF2 step; collective.
+  StepRecord step();
+  std::vector<StepRecord> run(int steps);
+
+  /// Restart support: overwrites the two BDF history levels and the clock
+  /// (vectors must live on this solver's map).
+  void restore_state(const la::DistVector& x_now,
+                     const la::DistVector& x_prev, double time);
+  const la::DistVector& state() const { return *x_now_; }
+  const la::DistVector& previous_state() const { return *x_prev_; }
+  const la::HaloExchange& halo() const { return builder_->halo(); }
+
+  double current_time() const { return time_; }
+  const fem::FeSpace& space() const { return *space_v_; }
+  const fem::FeSpace& velocity_space() const { return *space_v_; }
+  const fem::FeSpace& pressure_space() const { return *space_p_; }
+  const la::IndexMap& map() const { return builder_->map(); }
+  std::int64_t global_dofs() const { return map().global_count(); }
+
+  /// Velocity component c = 0..2 at velocity-space dof `dof`, or pressure
+  /// (c = 3) at pressure-space dof `dof`, from the current solution.
+  double solution_at(int dof, int comp) const;
+
+ private:
+  void assemble();
+  la::GlobalId vel_gid(int dof, int comp) const;
+  la::GlobalId pres_gid(int dof) const;
+  std::vector<double> velocity_values(const la::DistVector& v,
+                                      int comp) const;
+
+  simmpi::Comm* comm_;
+  NsConfig config_;
+  mesh::BoxMeshSpec spec_;
+  mesh::TetMesh submesh_;
+  std::unique_ptr<fem::FeSpace> space_v_;
+  std::unique_ptr<fem::FeSpace> space_p_;
+  std::unique_ptr<fem::ElementKernel> kernel_v_;
+  std::unique_ptr<fem::ElementKernel> kernel_p_;
+  std::unique_ptr<fem::MixedElementKernel> kernel_vp_;
+  std::unique_ptr<la::DistSystemBuilder> builder_;
+  std::unique_ptr<solvers::Preconditioner> precond_;
+  std::optional<la::DistVector> x_now_;   // [u, p]^k
+  std::optional<la::DistVector> x_prev_;  // [u, p]^{k-1}
+  double stab_delta_ = 0.05;
+  double time_ = 0.0;
+  int steps_ = 0;
+};
+
+}  // namespace hetero::apps

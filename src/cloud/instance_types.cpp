@@ -1,0 +1,32 @@
+#include "cloud/instance_types.hpp"
+
+#include "support/error.hpp"
+
+namespace hetero::cloud {
+
+const std::vector<InstanceType>& instance_catalog() {
+  static const std::vector<InstanceType> catalog = {
+      {"t1.micro", 1, 0.6, "slow", 0, 0.02, 0.008, false},
+      {"m1.small", 1, 1.7, "slow", 0, 0.08, 0.03, false},
+      {"m1.large", 2, 7.5, "1GbE", 0, 0.32, 0.12, false},
+      {"m1.xlarge", 4, 15.0, "1GbE", 0, 0.64, 0.24, false},
+      // Cluster Compute generation 1: the build target of §VI-D.
+      {"cc1.4xlarge", 8, 23.0, "10GbE", 0, 1.30, 0.45, true},
+      // GPU cluster instance mentioned in §V-D.
+      {"cg1.4xlarge", 8, 22.0, "10GbE", 2, 2.10, 0.70, true},
+      // The instance the experiments run on: 2x 8-core Xeon E5, 60.5 GB.
+      {"cc2.8xlarge", 16, 60.5, "10GbE", 0, 2.40, 0.54, true},
+  };
+  return catalog;
+}
+
+const InstanceType& instance_type(const std::string& name) {
+  for (const auto& t : instance_catalog()) {
+    if (t.name == name) {
+      return t;
+    }
+  }
+  throw Error("unknown EC2 instance type: " + name);
+}
+
+}  // namespace hetero::cloud

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file instance_types.hpp
+/// The EC2 resource-class catalog as of the paper's study (§V-D): from
+/// t1.micro up to the Cluster Compute instances, with the pricing the
+/// paper reports for cc2.8xlarge ($2.40 on demand, ~54 cents spot).
+
+#include <string>
+#include <vector>
+
+namespace hetero::cloud {
+
+struct InstanceType {
+  std::string name;
+  int cores = 1;
+  double ram_gb = 1.0;
+  /// Inter-node fabric class: "slow" (sub-gigabit), "1GbE", "10GbE".
+  std::string network;
+  int gpus = 0;
+  double on_demand_hourly_usd = 0.0;
+  /// Long-run average spot price; the market model reverts to this.
+  double typical_spot_hourly_usd = 0.0;
+  /// Cluster Compute types support placement groups and HVM images.
+  bool cluster_compute = false;
+};
+
+/// All instance types heterolab models.
+const std::vector<InstanceType>& instance_catalog();
+
+/// Lookup by API name; throws on unknown types.
+const InstanceType& instance_type(const std::string& name);
+
+}  // namespace hetero::cloud

@@ -1,0 +1,79 @@
+#include "cloud/staging.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace hetero::cloud {
+
+namespace {
+// Throughput figures of the era (bytes/second).
+constexpr double kEbsCloneBps = 80e6;    // snapshot -> volume hydration
+constexpr double kNfsServerBps = 110e6;  // one 10GbE NFS server, TCP-bound
+constexpr double kImageBakeBps = 60e6;   // building + uploading the AMI
+constexpr double kEbsPerVolumeSetupS = 45.0;  // create + attach + mount
+constexpr double kNfsServiceSetupS = 300.0;   // install + export + mounts
+}  // namespace
+
+std::string to_string(StagingMethod method) {
+  switch (method) {
+    case StagingMethod::kBootImage: return "boot image";
+    case StagingMethod::kEbsVolumes: return "EBS volumes";
+    case StagingMethod::kNfs: return "NFS";
+  }
+  return "?";
+}
+
+double staging_time_s(StagingMethod method, std::uint64_t bytes,
+                      int instances) {
+  HETERO_REQUIRE(instances >= 1, "staging needs at least one instance");
+  switch (method) {
+    case StagingMethod::kBootImage:
+      // Data arrives with the image; nothing to do per launch.
+      return 0.0;
+    case StagingMethod::kEbsVolumes:
+      // Volumes hydrate in parallel, one per instance.
+      return kEbsPerVolumeSetupS + static_cast<double>(bytes) / kEbsCloneBps;
+    case StagingMethod::kNfs:
+      // Every client pulls the input through the single server.
+      return kNfsServiceSetupS +
+             static_cast<double>(bytes) * instances / kNfsServerBps;
+  }
+  throw Error("unknown staging method");
+}
+
+double staging_setup_s(StagingMethod method, std::uint64_t bytes) {
+  switch (method) {
+    case StagingMethod::kBootImage:
+      // Resize the boot partition, copy the inputs, snapshot the AMI.
+      return 600.0 + static_cast<double>(bytes) / kImageBakeBps;
+    case StagingMethod::kEbsVolumes:
+      // Upload one snapshot the volumes clone from.
+      return 120.0 + static_cast<double>(bytes) / kEbsCloneBps;
+    case StagingMethod::kNfs:
+      return 0.0;  // conditioning happens at first launch instead
+  }
+  throw Error("unknown staging method");
+}
+
+StagingMethod recommend_staging(std::uint64_t bytes, int instances,
+                                int launches_planned) {
+  HETERO_REQUIRE(launches_planned >= 1, "plan at least one launch");
+  const StagingMethod methods[] = {StagingMethod::kBootImage,
+                                   StagingMethod::kEbsVolumes,
+                                   StagingMethod::kNfs};
+  StagingMethod best = StagingMethod::kBootImage;
+  double best_total = -1.0;
+  for (StagingMethod m : methods) {
+    const double total = staging_setup_s(m, bytes) +
+                         launches_planned * staging_time_s(m, bytes,
+                                                           instances);
+    if (best_total < 0.0 || total < best_total - 1e-9) {
+      best_total = total;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace hetero::cloud

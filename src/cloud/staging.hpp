@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file staging.hpp
+/// Input staging onto a cloud assembly — the §VI-D storage discussion.
+///
+/// The paper's image provided 20 GB boot partitions, too small for the
+/// problem meshes; the options it weighed were (a) an NFS service, (b)
+/// Elastic Block Store volumes ("one volume may be mounted to a single EC2
+/// instance only"), and (c) resizing the boot partition and baking the
+/// inputs into the private image — which they chose. This model quantifies
+/// the trade-off for a given input size and assembly width.
+
+#include <cstdint>
+#include <string>
+
+namespace hetero::cloud {
+
+enum class StagingMethod {
+  /// Inputs baked into the (resized) boot image: paid once at image
+  /// creation, free per instance at run time — the paper's choice.
+  kBootImage,
+  /// One EBS volume per instance, each cloned from a snapshot.
+  kEbsVolumes,
+  /// One instance exports the data over NFS to the rest.
+  kNfs,
+};
+
+std::string to_string(StagingMethod method);
+
+/// Time to make `bytes` of input visible on every one of `instances`
+/// hosts at job start (excludes one-time image preparation).
+double staging_time_s(StagingMethod method, std::uint64_t bytes,
+                      int instances);
+
+/// One-time preparation cost of the method (image bake / snapshot upload /
+/// NFS service conditioning), seconds.
+double staging_setup_s(StagingMethod method, std::uint64_t bytes);
+
+/// The method with the lowest per-launch staging time for this shape;
+/// ties break toward the boot image (operationally simplest).
+StagingMethod recommend_staging(std::uint64_t bytes, int instances,
+                                int launches_planned);
+
+}  // namespace hetero::cloud

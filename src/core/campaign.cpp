@@ -1,0 +1,158 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cloud/ec2_service.hpp"
+#include "platform/platform_spec.hpp"
+#include "support/error.hpp"
+
+namespace hetero::core {
+
+namespace {
+
+/// Re-acquires enough hosts to reach `hosts` total, spot-first.
+/// Returns instances added and the setup delay.
+cloud::Launch acquire(cloud::Ec2Service& service, int hosts, int have,
+                      const CampaignConfig& config,
+                      const std::vector<int>& groups, int* spot_granted) {
+  cloud::Launch combined;
+  const int missing = hosts - have;
+  if (missing <= 0) {
+    return combined;
+  }
+  if (config.use_spot) {
+    auto spot = service.request_spot("cc2.8xlarge", missing,
+                                     config.spot_bid_usd, groups);
+    *spot_granted = static_cast<int>(spot.instances.size());
+    combined = std::move(spot);
+  } else {
+    *spot_granted = 0;
+  }
+  const int still_missing =
+      missing - static_cast<int>(combined.instances.size());
+  if (still_missing > 0) {
+    auto fill =
+        service.request_on_demand("cc2.8xlarge", still_missing, groups[0]);
+    combined.instances.insert(combined.instances.end(),
+                              fill.instances.begin(), fill.instances.end());
+    combined.ready_after_s =
+        std::max(combined.ready_after_s, fill.ready_after_s);
+  }
+  return combined;
+}
+
+}  // namespace
+
+CampaignResult simulate_ec2_campaign(const CampaignConfig& config) {
+  HETERO_REQUIRE(config.ranks >= 1 && config.iterations >= 1,
+                 "campaign needs ranks and iterations");
+  const auto& spec = platform::ec2();
+  const int hosts =
+      (config.ranks + spec.cores_per_node() - 1) / spec.cores_per_node();
+
+  cloud::Ec2Service service(config.seed);
+  service.authorize_intranet_tcp();
+  std::vector<int> groups;
+  for (int g = 0; g < 4; ++g) {
+    groups.push_back(service.create_placement_group("hl-" + std::to_string(g)));
+  }
+
+  CampaignResult result;
+  int spot_granted = 0;
+  auto launch = acquire(service, hosts, 0, config, groups, &spot_granted);
+  result.initial_spot_hosts = spot_granted;
+  std::vector<cloud::Instance> assembly = launch.instances;
+  service.advance(launch.ready_after_s);
+
+  // Iteration time on the current assembly (recomputed after reshaping —
+  // the blended rate changes but the topology shape stays hosts x 16).
+  const perf::ModelConfig model = config.app == perf::AppKind::kNavierStokes
+                                      ? perf::ns_model()
+                                      : perf::rd_model();
+  auto iteration_seconds = [&]() {
+    const auto topo = service.assembly_topology(assembly, config.ranks, 0.02);
+    return perf::project_iteration(model, topo, spec.cpu_model(),
+                                   config.ranks)
+        .total_s;
+  };
+  double iter_s = iteration_seconds();
+
+  int done = 0;
+  int last_checkpoint = 0;
+
+  // Any advance may cross an hour boundary and lose spot hosts; purge them
+  // from the assembly and report whether the job was interrupted.
+  auto advance_and_purge = [&](double seconds) {
+    const auto reclaimed = service.advance(seconds);
+    for (const auto& gone : reclaimed) {
+      assembly.erase(std::remove_if(assembly.begin(), assembly.end(),
+                                    [&](const cloud::Instance& inst) {
+                                      return inst.id == gone.id;
+                                    }),
+                     assembly.end());
+    }
+    return !reclaimed.empty();
+  };
+  auto roll_back = [&]() {
+    ++result.interruptions;
+    result.iterations_redone += done - last_checkpoint;
+    done = last_checkpoint;
+  };
+
+  while (done < config.iterations) {
+    HETERO_REQUIRE(service.now_s() < config.max_wall_clock_s,
+                   "campaign exceeded the wall-clock safety limit");
+    // Restore a full assembly first (interruptions may have shrunk it).
+    if (static_cast<int>(assembly.size()) < hosts) {
+      int regranted = 0;
+      auto refill =
+          acquire(service, hosts, static_cast<int>(assembly.size()), config,
+                  groups, &regranted);
+      assembly.insert(assembly.end(), refill.instances.begin(),
+                      refill.instances.end());
+      if (advance_and_purge(refill.ready_after_s)) {
+        roll_back();
+        continue;  // lost hosts while booting; re-acquire
+      }
+      iter_s = iteration_seconds();
+    }
+
+    // Run until the next hour boundary (where the spot market can move).
+    const double now = service.now_s();
+    const double next_hour = (std::floor(now / 3600.0) + 1.0) * 3600.0;
+    double budget = next_hour - now;
+    while (done < config.iterations && budget >= iter_s) {
+      advance_and_purge(iter_s);  // stays within the hour: no reclaims
+      budget -= iter_s;
+      ++done;
+      if (config.checkpoint_interval > 0 &&
+          (done - last_checkpoint) >= config.checkpoint_interval &&
+          done < config.iterations) {
+        advance_and_purge(std::min(budget, config.checkpoint_write_s));
+        budget -= config.checkpoint_write_s;
+        last_checkpoint = done;
+        ++result.checkpoints_written;
+        if (budget < 0.0) {
+          budget = 0.0;
+        }
+      }
+    }
+    if (done >= config.iterations) {
+      break;
+    }
+    // Cross the hour boundary: the market may reclaim spot hosts.
+    if (advance_and_purge(budget + 1.0)) {
+      roll_back();
+    }
+  }
+
+  service.terminate(assembly);
+  result.completed = true;
+  result.wall_clock_s = service.now_s();
+  result.billed_usd = service.billed_usd();
+  result.accrued_usd = service.accrued_usd();
+  return result;
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file campaign.hpp
+/// End-to-end simulation of a multi-iteration production campaign on EC2
+/// spot instances with checkpoint/restart — the "further conditioning may
+/// provide a high-availability computing cluster with services such as
+/// monitoring or automatic checkpointing" that §VI-D sketches as future
+/// work, made concrete.
+///
+/// The simulator drives the cloud service hour by hour: spot instances are
+/// reclaimed whenever the market moves above the bid, losing all progress
+/// since the last checkpoint; replacements are (re)acquired (topping up
+/// with on-demand hosts when the market is dry); every instance-hour is
+/// billed Amazon-style. The checkpoint interval trades I/O overhead against
+/// redone work — swept by bench_ablation_checkpoint.
+
+#include <cstdint>
+
+#include "perf/scaling_model.hpp"
+
+namespace hetero::core {
+
+struct CampaignConfig {
+  perf::AppKind app = perf::AppKind::kReactionDiffusion;
+  int ranks = 512;
+  /// Time-step iterations the campaign must complete.
+  int iterations = 500;
+  /// Iterations between checkpoints; 0 disables checkpointing (an
+  /// interruption then restarts the whole campaign).
+  int checkpoint_interval = 25;
+  /// Wall-clock cost of writing one checkpoint (gather + storage), seconds.
+  double checkpoint_write_s = 30.0;
+  /// Acquire spot instances at this bid; on-demand fills any shortfall.
+  bool use_spot = true;
+  double spot_bid_usd = 0.70;
+  std::uint64_t seed = 42;
+  /// Safety valve for pathological configurations.
+  double max_wall_clock_s = 60.0 * 24.0 * 3600.0;
+};
+
+struct CampaignResult {
+  bool completed = false;
+  double wall_clock_s = 0.0;
+  /// Whole-instance-hour (Amazon-style) bill for the campaign.
+  double billed_usd = 0.0;
+  /// Pro-rated accrual, for comparison.
+  double accrued_usd = 0.0;
+  int interruptions = 0;
+  int iterations_redone = 0;
+  int checkpoints_written = 0;
+  /// Spot instances obtained at the initial acquisition.
+  int initial_spot_hosts = 0;
+};
+
+/// Runs the campaign simulation; deterministic in config.seed.
+CampaignResult simulate_ec2_campaign(const CampaignConfig& config);
+
+}  // namespace hetero::core

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file experiment.hpp
+/// The heterolab public API: describe an application run on a target
+/// platform, and get back everything the paper measures — per-iteration
+/// phase times, dollar cost, queue wait, provisioning effort, and whether
+/// the platform could launch the job at all.
+///
+/// Two execution modes share the same platform/network models:
+///   * kModeled — analytic projection (perf::project_iteration); instant,
+///     used for the paper's full 1..1000-rank sweeps;
+///   * kDirect  — actually runs the application through the simulated MPI
+///     runtime (threads + virtual clocks); used at small scale for
+///     validation and for the exact-solution oracles.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "apps/app_common.hpp"
+#include "perf/scaling_model.hpp"
+#include "platform/platform_spec.hpp"
+
+namespace hetero::core {
+
+enum class Mode { kModeled, kDirect };
+
+struct Experiment {
+  perf::AppKind app = perf::AppKind::kReactionDiffusion;
+  std::string platform = "puma";
+  int ranks = 1;
+  /// Elements per axis per rank (weak scaling; the paper uses 20).
+  int cells_per_rank_axis = 20;
+  Mode mode = Mode::kModeled;
+  /// Direct mode: number of time steps to run (first steps are warm-up).
+  int direct_steps = 3;
+
+  // --- EC2-specific knobs ----------------------------------------------------
+  /// Assemble from spot requests spread over several placement groups,
+  /// topping up with on-demand hosts (the paper's "mix" configuration).
+  bool ec2_spot_mix = false;
+  int ec2_placement_groups = 1;
+  /// Extra latency fraction for traffic crossing placement groups. The
+  /// paper measured "no benefit" from a single group, i.e. a small value.
+  double cross_group_penalty = 0.02;
+  double ec2_spot_bid_usd = 1.20;
+
+  std::uint64_t seed = 42;
+};
+
+struct ExperimentResult {
+  bool launched = false;
+  std::string failure_reason;
+
+  /// Time from submission to job start (queue / boot / setup).
+  double queue_wait_s = 0.0;
+  /// One-time porting effort for this platform (man-hours, §VI).
+  double provisioning_hours = 0.0;
+
+  /// Per-iteration phase times (the paper's figures 4/5).
+  perf::PhaseBreakdown iteration;
+  /// Nodes the job occupies.
+  int hosts = 0;
+
+  /// Dollar cost of one iteration at the real (billed) rate.
+  double cost_per_iteration_usd = 0.0;
+  /// EC2 mix: hypothetical all-spot estimate (Table II's "est. cost").
+  double est_cost_per_iteration_usd = 0.0;
+
+  /// Spot instances actually obtained (EC2 mix only).
+  int spot_hosts = 0;
+
+  apps::WorkCounts work_per_rank;
+
+  // Direct mode extras: exact-solution oracles from the real run.
+  double nodal_error = 0.0;
+  bool solver_converged = true;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(std::uint64_t seed = 42);
+
+  /// Runs one experiment; never throws for platform-capability failures
+  /// (those come back as launched = false with the paper's reason).
+  ExperimentResult run(const Experiment& experiment);
+
+ private:
+  ExperimentResult run_modeled(const Experiment& experiment,
+                               const platform::PlatformSpec& spec);
+  ExperimentResult run_direct(const Experiment& experiment,
+                              const platform::PlatformSpec& spec);
+
+  std::uint64_t seed_;
+};
+
+}  // namespace hetero::core

@@ -1,0 +1,152 @@
+#include "core/report.hpp"
+
+#include <cmath>
+
+#include "support/units.hpp"
+
+namespace hetero::core {
+
+std::vector<int> paper_process_counts() {
+  return {1, 8, 27, 64, 125, 216, 343, 512, 729, 1000};
+}
+
+Table weak_scaling_figure(ExperimentRunner& runner, perf::AppKind app,
+                          std::span<const int> process_counts) {
+  Table table({"platform", "procs", "assembly[s]", "precond[s]", "solve[s]",
+               "total[s]", "iters", "status"});
+  for (const auto* spec : platform::all_platforms()) {
+    for (int p : process_counts) {
+      Experiment e;
+      e.app = app;
+      e.platform = spec->name;
+      e.ranks = p;
+      const auto r = runner.run(e);
+      if (!r.launched) {
+        table.add_row({spec->name, std::to_string(p), "-", "-", "-", "-",
+                       "-", "FAILED: " + r.failure_reason});
+        continue;
+      }
+      table.add_row({spec->name, std::to_string(p),
+                     fmt_double(r.iteration.assembly_s, 3),
+                     fmt_double(r.iteration.preconditioner_s, 3),
+                     fmt_double(r.iteration.solve_s, 3),
+                     fmt_double(r.iteration.total_s, 2),
+                     fmt_double(r.iteration.solver_iterations, 0), "ok"});
+    }
+  }
+  return table;
+}
+
+Table table2_ec2_assemblies(ExperimentRunner& runner,
+                            std::span<const int> process_counts) {
+  Table table({"# mpi", "# hosts", "full time[s]", "full real cost[$]",
+               "mix time[s]", "mix est. cost[$]", "mix spot hosts"});
+  for (int p : process_counts) {
+    Experiment full;
+    full.app = perf::AppKind::kReactionDiffusion;
+    full.platform = "ec2";
+    full.ranks = p;
+    full.ec2_spot_mix = false;
+    full.ec2_placement_groups = 1;
+    const auto rf = runner.run(full);
+
+    Experiment mix = full;
+    mix.ec2_spot_mix = true;
+    mix.ec2_placement_groups = 4;
+    const auto rm = runner.run(mix);
+
+    table.add_row({std::to_string(p), std::to_string(rf.hosts),
+                   fmt_double(rf.iteration.total_s, 2),
+                   fmt_double(rf.cost_per_iteration_usd, 4),
+                   fmt_double(rm.iteration.total_s, 2),
+                   fmt_double(rm.est_cost_per_iteration_usd, 4),
+                   std::to_string(rm.spot_hosts)});
+  }
+  return table;
+}
+
+Table cost_figure(ExperimentRunner& runner, perf::AppKind app,
+                  std::span<const int> process_counts) {
+  Table table({"procs", "puma[$]", "ellipse[$]", "lagrange[$]", "ec2[$]",
+               "ec2 mix[$]"});
+  for (int p : process_counts) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto* spec : platform::all_platforms()) {
+      Experiment e;
+      e.app = app;
+      e.platform = spec->name;
+      e.ranks = p;
+      const auto r = runner.run(e);
+      row.push_back(r.launched ? fmt_double(r.cost_per_iteration_usd, 4)
+                               : "-");
+    }
+    Experiment mix;
+    mix.app = app;
+    mix.platform = "ec2";
+    mix.ranks = p;
+    mix.ec2_spot_mix = true;
+    mix.ec2_placement_groups = 4;
+    const auto rm = runner.run(mix);
+    row.push_back(fmt_double(rm.est_cost_per_iteration_usd, 4));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table availability_table(ExperimentRunner& runner, perf::AppKind app,
+                         int ranks, int iterations) {
+  Table table({"platform", "provision[h]", "queue wait", "run time",
+               "effective total", "cost[$]", "status"});
+  for (const auto* spec : platform::all_platforms()) {
+    Experiment e;
+    e.app = app;
+    e.platform = spec->name;
+    e.ranks = ranks;
+    const auto r = runner.run(e);
+    if (!r.launched) {
+      table.add_row({spec->name, fmt_double(r.provisioning_hours, 1), "-",
+                     "-", "-", "-", "FAILED: " + r.failure_reason});
+      continue;
+    }
+    const double run_s = r.iteration.total_s * iterations;
+    const double total_s = r.queue_wait_s + run_s;
+    table.add_row({spec->name, fmt_double(r.provisioning_hours, 1),
+                   format_seconds(r.queue_wait_s), format_seconds(run_s),
+                   format_seconds(total_s),
+                   fmt_double(r.cost_per_iteration_usd * iterations, 2),
+                   "ok"});
+  }
+  return table;
+}
+
+Table summary_table(ExperimentRunner& runner, int ranks) {
+  Table table({"platform", "porting[h]", "median wait", "max ranks",
+               "RD s/iter", "RD $/iter", "NS s/iter", "NS $/iter"});
+  for (const auto* spec : platform::all_platforms()) {
+    Experiment rd;
+    rd.app = perf::AppKind::kReactionDiffusion;
+    rd.platform = spec->name;
+    rd.ranks = ranks;
+    const auto r_rd = runner.run(rd);
+    Experiment ns = rd;
+    ns.app = perf::AppKind::kNavierStokes;
+    const auto r_ns = runner.run(ns);
+    const std::string max_ranks =
+        spec->max_ranks == 0 ? std::to_string(spec->max_cores())
+                             : std::to_string(spec->max_ranks);
+    if (!r_rd.launched) {
+      table.add_row({spec->name, fmt_double(r_rd.provisioning_hours, 1), "-",
+                     max_ranks, "-", "-", "-", "-"});
+      continue;
+    }
+    table.add_row({spec->name, fmt_double(r_rd.provisioning_hours, 1),
+                   format_seconds(r_rd.queue_wait_s), max_ranks,
+                   fmt_double(r_rd.iteration.total_s, 2),
+                   fmt_double(r_rd.cost_per_iteration_usd, 4),
+                   fmt_double(r_ns.iteration.total_s, 2),
+                   fmt_double(r_ns.cost_per_iteration_usd, 4)});
+  }
+  return table;
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file report.hpp
+/// Generators for every quantitative artifact in the paper's evaluation:
+/// the weak-scaling figures (4, 5), the placement-group/spot study
+/// (Table II), the cost-per-iteration figures (6, 7), and the
+/// availability summary of §VIII. Each returns a support::Table ready for
+/// text/CSV/markdown rendering.
+
+#include <span>
+
+#include "core/experiment.hpp"
+#include "support/table.hpp"
+
+namespace hetero::core {
+
+/// The paper's weak-scaling process counts: cubes 1..1000.
+std::vector<int> paper_process_counts();
+
+/// Fig. 4 (RD) / Fig. 5 (NS): per-iteration assembly / preconditioner /
+/// solve / total times for every platform and process count. Platforms
+/// that cannot launch a size show the failure reason instead.
+Table weak_scaling_figure(ExperimentRunner& runner, perf::AppKind app,
+                          std::span<const int> process_counts);
+
+/// Table II: EC2 cc2.8xlarge "full" (on-demand, one placement group)
+/// versus "mix" (spot + on-demand over four groups): per-iteration time and
+/// real / estimated cost.
+Table table2_ec2_assemblies(ExperimentRunner& runner,
+                            std::span<const int> process_counts);
+
+/// Fig. 6 (RD) / Fig. 7 (NS): per-iteration cost for the four platforms
+/// plus the "ec2 mix" cost-aware strategy.
+Table cost_figure(ExperimentRunner& runner, perf::AppKind app,
+                  std::span<const int> process_counts);
+
+/// §VIII effective-time-to-solution: queue wait + provisioning effort +
+/// run time for a fixed job size on every platform.
+Table availability_table(ExperimentRunner& runner, perf::AppKind app,
+                         int ranks, int iterations);
+
+/// §VIII summary: one row per platform condensing every axis the paper
+/// weighs — porting effort, availability, peak size, per-iteration time and
+/// cost for both applications at a common size — "each of the platforms ...
+/// had its particular benefits and drawbacks".
+Table summary_table(ExperimentRunner& runner, int ranks);
+
+}  // namespace hetero::core

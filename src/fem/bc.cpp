@@ -1,0 +1,91 @@
+#include "fem/bc.hpp"
+
+#include "support/error.hpp"
+
+namespace hetero::fem {
+
+DirichletData make_dirichlet(simmpi::Comm& comm, const FeSpace& space,
+                             const la::IndexMap& map,
+                             const la::HaloExchange& halo,
+                             const BoundaryPredicate& on_boundary,
+                             const BoundaryValueFn& g) {
+  DirichletData bc(map);
+  for (int d = 0; d < space.local_dof_count(); ++d) {
+    const int l = map.local(space.dof_gid(d));
+    if (l == la::kInvalidLocal || !map.is_owned_local(l)) {
+      continue;  // owner fills it; we'll see it via the halo
+    }
+    const mesh::Vec3& x = space.dof_coord(d);
+    if (on_boundary(x)) {
+      bc.flags[l] = 1.0;
+      bc.values[l] = g(x);
+    }
+  }
+  bc.flags.update_ghosts(comm, halo);
+  bc.values.update_ghosts(comm, halo);
+  return bc;
+}
+
+DirichletData make_dirichlet_block(
+    simmpi::Comm& comm, const FeSpace& space, const la::IndexMap& map,
+    const la::HaloExchange& halo, int ncomp,
+    const BoundaryPredicate& on_boundary,
+    const std::function<bool(const mesh::Vec3&, int)>& constrained_comp,
+    const std::function<double(const mesh::Vec3&, int)>& g_comp) {
+  DirichletData bc(map);
+  for (int d = 0; d < space.local_dof_count(); ++d) {
+    const mesh::Vec3& x = space.dof_coord(d);
+    if (!on_boundary(x)) {
+      continue;
+    }
+    for (int c = 0; c < ncomp; ++c) {
+      const int l = map.local(FeSpace::block_gid(space.dof_gid(d), c, ncomp));
+      if (l == la::kInvalidLocal || !map.is_owned_local(l)) {
+        continue;
+      }
+      if (constrained_comp(x, c)) {
+        bc.flags[l] = 1.0;
+        bc.values[l] = g_comp(x, c);
+      }
+    }
+  }
+  bc.flags.update_ghosts(comm, halo);
+  bc.values.update_ghosts(comm, halo);
+  return bc;
+}
+
+void apply_dirichlet(la::DistCsrMatrix& a, la::DistVector& rhs,
+                     la::DistVector& x, const DirichletData& bc) {
+  la::CsrMatrix& m = a.local_mut();
+  const auto row_ptr = m.row_ptr();
+  const auto col_idx = m.col_idx();
+  auto values = m.values_mut();
+  const int rows = m.rows();
+  HETERO_REQUIRE(rhs.owned_count() == rows && x.owned_count() == rows,
+                 "apply_dirichlet: vector size mismatch");
+  for (int r = 0; r < rows; ++r) {
+    const auto begin = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(r)]);
+    const auto end =
+        static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(r) + 1]);
+    if (bc.flags[r] != 0.0) {
+      // Constrained row -> identity.
+      for (std::size_t k = begin; k < end; ++k) {
+        values[k] = (col_idx[k] == r) ? 1.0 : 0.0;
+      }
+      rhs[r] = bc.values[r];
+      x[r] = bc.values[r];
+      continue;
+    }
+    // Free row: fold constrained columns into the rhs (ghosts included —
+    // their flags/values were refreshed when the data was built).
+    for (std::size_t k = begin; k < end; ++k) {
+      const int c = col_idx[k];
+      if (bc.flags[c] != 0.0) {
+        rhs[r] -= values[k] * bc.values[c];
+        values[k] = 0.0;
+      }
+    }
+  }
+}
+
+}  // namespace hetero::fem

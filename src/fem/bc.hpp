@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file bc.hpp
+/// Dirichlet boundary conditions with symmetric elimination: constrained
+/// rows become identity, and constrained *columns* are folded into the
+/// right-hand side so symmetric operators stay symmetric (CG-compatible).
+/// Constraint flags/values of ghost columns are fetched from their owners
+/// through the halo — one extra exchange per application.
+
+#include <functional>
+
+#include "fem/fe_space.hpp"
+#include "la/dist_matrix.hpp"
+#include "la/system_builder.hpp"
+
+namespace hetero::fem {
+
+/// Geometric predicate selecting constrained dofs, and the boundary value.
+using BoundaryPredicate = std::function<bool(const mesh::Vec3&)>;
+using BoundaryValueFn = std::function<double(const mesh::Vec3&)>;
+
+/// Per-local-dof constraint data aligned with an IndexMap.
+struct DirichletData {
+  la::DistVector flags;   // 1.0 constrained, 0.0 free (ghosts refreshed)
+  la::DistVector values;  // boundary value where constrained
+
+  DirichletData(const la::IndexMap& map)
+      : flags(map), values(map) {}
+};
+
+/// Builds constraint data for the scalar `space`: every owned dof whose
+/// coordinate satisfies `on_boundary` is constrained to `g(coord)`.
+/// Collective (refreshes ghosts).
+DirichletData make_dirichlet(simmpi::Comm& comm, const FeSpace& space,
+                             const la::IndexMap& map,
+                             const la::HaloExchange& halo,
+                             const BoundaryPredicate& on_boundary,
+                             const BoundaryValueFn& g);
+
+/// Same for a block system of `ncomp` components: `g_comp(coord, c)` gives
+/// the value of component c; `constrained_comp(coord, c)` selects which
+/// components are constrained at a boundary location.
+DirichletData make_dirichlet_block(
+    simmpi::Comm& comm, const FeSpace& space, const la::IndexMap& map,
+    const la::HaloExchange& halo, int ncomp,
+    const BoundaryPredicate& on_boundary,
+    const std::function<bool(const mesh::Vec3&, int)>& constrained_comp,
+    const std::function<double(const mesh::Vec3&, int)>& g_comp);
+
+/// Applies symmetric elimination to the assembled system in place and sets
+/// the constrained entries of `x` (initial guess) to the boundary values.
+void apply_dirichlet(la::DistCsrMatrix& a, la::DistVector& rhs,
+                     la::DistVector& x, const DirichletData& bc);
+
+}  // namespace hetero::fem

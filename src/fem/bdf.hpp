@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file bdf.hpp
+/// Backward Differentiation Formula coefficients. The paper's applications
+/// use BDF2 for the time derivative:
+///   du/dt |_{t_{k+1}} ~ (alpha u^{k+1} - sum_i beta_i u^{k-i}) / dt.
+
+#include <array>
+
+#include "support/error.hpp"
+
+namespace hetero::fem {
+
+struct BdfScheme {
+  int order = 1;
+  /// Coefficient of the new solution (divided by dt by the caller).
+  double alpha = 1.0;
+  /// History coefficients beta[0] (u^k), beta[1] (u^{k-1}).
+  std::array<double, 2> beta{1.0, 0.0};
+};
+
+/// order 1: u' ~ (u^{k+1} - u^k)/dt.
+/// order 2: u' ~ (1.5 u^{k+1} - 2 u^k + 0.5 u^{k-1})/dt, exact for
+/// quadratic-in-time solutions — the RD oracle depends on this.
+inline BdfScheme bdf_scheme(int order) {
+  HETERO_REQUIRE(order == 1 || order == 2, "bdf_scheme supports order 1, 2");
+  if (order == 1) {
+    return BdfScheme{1, 1.0, {1.0, 0.0}};
+  }
+  return BdfScheme{2, 1.5, {2.0, -0.5}};
+}
+
+/// Second-order extrapolation of the convective velocity:
+/// u* = 2 u^k - u^{k-1} (order 2) or u^k (order 1).
+inline std::array<double, 2> bdf_extrapolation(int order) {
+  HETERO_REQUIRE(order == 1 || order == 2, "extrapolation supports order 1, 2");
+  if (order == 1) {
+    return {1.0, 0.0};
+  }
+  return {2.0, -1.0};
+}
+
+}  // namespace hetero::fem

@@ -1,0 +1,142 @@
+#include "fem/boundary.hpp"
+
+#include <algorithm>
+
+#include "mesh/edges.hpp"
+#include "support/error.hpp"
+
+namespace hetero::fem {
+
+const std::vector<TriQuadPoint>& tri_quadrature(int degree) {
+  static const std::vector<TriQuadPoint> d1 = {
+      {1.0 / 3.0, 1.0 / 3.0, 0.5},
+  };
+  static const std::vector<TriQuadPoint> d2 = {
+      // Edge-midpoint rule, degree 2.
+      {0.5, 0.0, 1.0 / 6.0},
+      {0.5, 0.5, 1.0 / 6.0},
+      {0.0, 0.5, 1.0 / 6.0},
+  };
+  static const std::vector<TriQuadPoint> d4 = [] {
+    // Cowper 6-point, degree 4 (weights normalized to area 1/2).
+    const double a1 = 0.445948490915965;
+    const double w1 = 0.223381589678011 / 2.0;
+    const double a2 = 0.091576213509771;
+    const double w2 = 0.109951743655322 / 2.0;
+    std::vector<TriQuadPoint> pts;
+    pts.push_back({a1, a1, w1});
+    pts.push_back({1.0 - 2.0 * a1, a1, w1});
+    pts.push_back({a1, 1.0 - 2.0 * a1, w1});
+    pts.push_back({a2, a2, w2});
+    pts.push_back({1.0 - 2.0 * a2, a2, w2});
+    pts.push_back({a2, 1.0 - 2.0 * a2, w2});
+    return pts;
+  }();
+  switch (degree) {
+    case 0:
+    case 1: return d1;
+    case 2: return d2;
+    case 3:
+    case 4: return d4;
+    default:
+      throw Error("tri_quadrature: unsupported degree (max 4)");
+  }
+}
+
+namespace {
+
+/// P2 shape values on the reference triangle: 3 vertices then the 3 edge
+/// bubbles on edges (0,1), (1,2), (0,2).
+std::array<double, 6> tri_p2_values(double x, double y) {
+  const double l0 = 1.0 - x - y;
+  const double l1 = x;
+  const double l2 = y;
+  return {l0 * (2 * l0 - 1), l1 * (2 * l1 - 1), l2 * (2 * l2 - 1),
+          4 * l0 * l1, 4 * l1 * l2, 4 * l0 * l2};
+}
+
+}  // namespace
+
+void assemble_boundary_load(const FeSpace& space, const SpatialFn& g,
+                            const std::vector<int>& markers,
+                            la::DistSystemBuilder& builder,
+                            int quad_degree) {
+  const mesh::TetMesh& mesh = space.mesh();
+  const auto& rule = tri_quadrature(quad_degree);
+  const bool p2 = space.order() == 2;
+
+  for (const auto& face : mesh.boundary_faces()) {
+    if (!markers.empty() &&
+        std::find(markers.begin(), markers.end(), face.marker) ==
+            markers.end()) {
+      continue;
+    }
+    const mesh::Vec3& a = mesh.vertex(face.vertices[0]);
+    const mesh::Vec3& b = mesh.vertex(face.vertices[1]);
+    const mesh::Vec3& c = mesh.vertex(face.vertices[2]);
+    const double double_area = (b - a).cross(c - a).norm();
+    HETERO_REQUIRE(double_area > 0.0, "degenerate boundary face");
+
+    // Face dof gids: vertices, then (for P2) the three edge midpoints in
+    // the (0,1), (1,2), (0,2) order matching tri_p2_values.
+    la::GlobalId gids[6];
+    for (int v = 0; v < 3; ++v) {
+      gids[v] = mesh.vertex_gid(face.vertices[static_cast<std::size_t>(v)]);
+    }
+    int n = 3;
+    std::array<mesh::Vec3, 3> verts{a, b, c};
+    if (p2) {
+      // Edge dof gids come from the same formula the FeSpace used, keyed by
+      // the global vertex count it was built with.
+      n = 6;
+      const auto pair = [&](int u, int v) {
+        return mesh::edge_gid(gids[u], gids[v], space.global_vertex_count());
+      };
+      gids[3] = pair(0, 1);
+      gids[4] = pair(1, 2);
+      gids[5] = pair(0, 2);
+    }
+
+    double fe[6] = {0, 0, 0, 0, 0, 0};
+    for (const auto& qp : rule) {
+      const double l0 = 1.0 - qp.x - qp.y;
+      const mesh::Vec3 xq = verts[0] * l0 + verts[1] * qp.x + verts[2] * qp.y;
+      const double gq = g(xq);
+      // Weights are for the reference area 1/2; |J| of the affine map is
+      // double_area, so w * |J| integrates over the physical triangle.
+      const double w = qp.weight * double_area;
+      if (p2) {
+        const auto phi = tri_p2_values(qp.x, qp.y);
+        for (int i = 0; i < 6; ++i) {
+          fe[i] += w * gq * phi[static_cast<std::size_t>(i)];
+        }
+      } else {
+        fe[0] += w * gq * l0;
+        fe[1] += w * gq * qp.x;
+        fe[2] += w * gq * qp.y;
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      builder.add_rhs(gids[i], fe[i]);
+    }
+  }
+}
+
+double boundary_area(const mesh::TetMesh& mesh,
+                     const std::vector<int>& markers) {
+  double area = 0.0;
+  for (const auto& face : mesh.boundary_faces()) {
+    if (!markers.empty() &&
+        std::find(markers.begin(), markers.end(), face.marker) ==
+            markers.end()) {
+      continue;
+    }
+    const mesh::Vec3& a = mesh.vertex(face.vertices[0]);
+    const mesh::Vec3& b = mesh.vertex(face.vertices[1]);
+    const mesh::Vec3& c = mesh.vertex(face.vertices[2]);
+    area += 0.5 * (b - a).cross(c - a).norm();
+  }
+  return area;
+}
+
+}  // namespace hetero::fem

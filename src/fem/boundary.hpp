@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file boundary.hpp
+/// Surface integrals over boundary faces: Neumann/flux contributions
+/// int_Gamma g phi dS assembled into the right-hand side. Supports P1 and
+/// P2 traces; faces are selected by their box-side marker (1..6).
+
+#include <vector>
+
+#include "fem/assembler.hpp"
+#include "la/system_builder.hpp"
+
+namespace hetero::fem {
+
+/// One quadrature point on the reference triangle (barycentric l0, l1, l2
+/// = 1-x-y, x, y) with weight; weights sum to the reference area 1/2.
+struct TriQuadPoint {
+  double x = 0.0;
+  double y = 0.0;
+  double weight = 0.0;
+};
+
+/// Triangle rules: degree 1 (centroid), 2 (edge midpoints), 4 (Cowper 6pt).
+const std::vector<TriQuadPoint>& tri_quadrature(int degree);
+
+/// Adds int_{Gamma_m} g phi_i dS to the builder's rhs for every boundary
+/// face of the space's mesh whose marker is in `markers` (empty = all).
+/// Must be called between begin_assembly() and finalize(). The face trace
+/// uses the space's own order (P1: 3 vertex dofs; P2: + 3 edge dofs).
+void assemble_boundary_load(const FeSpace& space, const SpatialFn& g,
+                            const std::vector<int>& markers,
+                            la::DistSystemBuilder& builder,
+                            int quad_degree = 4);
+
+/// Total area of the selected boundary faces (rank-local; reduce yourself).
+double boundary_area(const mesh::TetMesh& mesh,
+                     const std::vector<int>& markers);
+
+}  // namespace hetero::fem

@@ -1,0 +1,95 @@
+#include "fem/error_norms.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hetero::fem {
+
+la::DistVector interpolate(simmpi::Comm& comm, const FeSpace& space,
+                           const la::IndexMap& map,
+                           const la::HaloExchange& halo, const SpatialFn& f) {
+  la::DistVector u(map);
+  for (int d = 0; d < space.local_dof_count(); ++d) {
+    const int l = map.local(space.dof_gid(d));
+    if (l != la::kInvalidLocal) {
+      u[l] = f(space.dof_coord(d));
+    }
+  }
+  // Ghosts not belonging to this rank's elements get their values from the
+  // owners (which always have them locally).
+  u.update_ghosts(comm, halo);
+  return u;
+}
+
+std::vector<double> space_values(const FeSpace& space,
+                                 const la::IndexMap& map,
+                                 const la::DistVector& u) {
+  std::vector<double> out(static_cast<std::size_t>(space.local_dof_count()),
+                          0.0);
+  for (int d = 0; d < space.local_dof_count(); ++d) {
+    const int l = map.local(space.dof_gid(d));
+    HETERO_REQUIRE(l != la::kInvalidLocal,
+                   "space_values: dof missing from the index map");
+    out[static_cast<std::size_t>(d)] = u[l];
+  }
+  return out;
+}
+
+double l2_error(simmpi::Comm& comm, const ElementKernel& kernel,
+                const la::IndexMap& map, const la::DistVector& u,
+                const SpatialFn& exact) {
+  const FeSpace& space = kernel.space();
+  const std::vector<double> values = space_values(space, map, u);
+  const std::size_t nq = kernel.quad_count();
+  std::vector<double> uh(nq);
+  std::vector<mesh::Vec3> xq(nq);
+  double local = 0.0;
+  for (std::size_t t = 0; t < space.mesh().tet_count(); ++t) {
+    kernel.eval_at_quad(t, values, uh);
+    kernel.quad_points(t, xq);
+    const auto geo = TetGeometry::compute(space.mesh(), t);
+    for (std::size_t q = 0; q < nq; ++q) {
+      const double diff = uh[q] - exact(xq[q]);
+      local += kernel.table().points[q].weight * geo.det * diff * diff;
+    }
+  }
+  return std::sqrt(comm.allreduce(local, simmpi::ReduceOp::kSum));
+}
+
+double h1_seminorm_error(simmpi::Comm& comm, const ElementKernel& kernel,
+                         const la::IndexMap& map, const la::DistVector& u,
+                         const VectorFn& grad_exact) {
+  const FeSpace& space = kernel.space();
+  const std::vector<double> values = space_values(space, map, u);
+  const std::size_t nq = kernel.quad_count();
+  std::vector<mesh::Vec3> grad_h(nq);
+  std::vector<mesh::Vec3> xq(nq);
+  double local = 0.0;
+  for (std::size_t t = 0; t < space.mesh().tet_count(); ++t) {
+    kernel.eval_grad_at_quad(t, values, grad_h);
+    kernel.quad_points(t, xq);
+    const auto geo = TetGeometry::compute(space.mesh(), t);
+    for (std::size_t q = 0; q < nq; ++q) {
+      const mesh::Vec3 diff = grad_h[q] - grad_exact(xq[q]);
+      local += kernel.table().points[q].weight * geo.det * diff.norm2();
+    }
+  }
+  return std::sqrt(comm.allreduce(local, simmpi::ReduceOp::kSum));
+}
+
+double nodal_max_error(simmpi::Comm& comm, const FeSpace& space,
+                       const la::IndexMap& map, const la::DistVector& u,
+                       const SpatialFn& exact) {
+  double local = 0.0;
+  for (int d = 0; d < space.local_dof_count(); ++d) {
+    const int l = map.local(space.dof_gid(d));
+    if (l == la::kInvalidLocal || !map.is_owned_local(l)) {
+      continue;
+    }
+    local = std::max(local, std::fabs(u[l] - exact(space.dof_coord(d))));
+  }
+  return comm.allreduce(local, simmpi::ReduceOp::kMax);
+}
+
+}  // namespace hetero::fem

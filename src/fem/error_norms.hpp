@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file error_norms.hpp
+/// Discretization-error measurement against analytic solutions — the
+/// "mathematical correctness" check the paper runs via known exact
+/// solutions for both test cases.
+
+#include "fem/assembler.hpp"
+#include "la/dist_vector.hpp"
+
+namespace hetero::fem {
+
+/// Interpolates `f` at every dof of `space` present in `map` (owned and
+/// ghost alike; dof coordinates are known locally so no communication is
+/// needed for the space's own dofs) and refreshes remaining ghosts.
+/// Collective.
+la::DistVector interpolate(simmpi::Comm& comm, const FeSpace& space,
+                           const la::IndexMap& map,
+                           const la::HaloExchange& halo, const SpatialFn& f);
+
+/// Global L2 norm of (u_h - u_exact) over the rank-local elements, reduced
+/// across ranks. `u` must have fresh ghosts. Collective.
+double l2_error(simmpi::Comm& comm, const ElementKernel& kernel,
+                const la::IndexMap& map, const la::DistVector& u,
+                const SpatialFn& exact);
+
+/// Maximum nodal error |u_h(dof) - u_exact(dof)| over owned dofs; collective.
+double nodal_max_error(simmpi::Comm& comm, const FeSpace& space,
+                       const la::IndexMap& map, const la::DistVector& u,
+                       const SpatialFn& exact);
+
+/// Global H1 seminorm of (u_h - u_exact): the L2 norm of the gradient
+/// error, against the analytic gradient. `u` must have fresh ghosts.
+/// Collective.
+double h1_seminorm_error(simmpi::Comm& comm, const ElementKernel& kernel,
+                         const la::IndexMap& map, const la::DistVector& u,
+                         const VectorFn& grad_exact);
+
+/// Gathers the space-local dof values of `u` (by space dof index) so element
+/// kernels can evaluate the FE function; ghosts must be fresh.
+std::vector<double> space_values(const FeSpace& space, const la::IndexMap& map,
+                                 const la::DistVector& u);
+
+}  // namespace hetero::fem

@@ -1,0 +1,64 @@
+#include "fem/fe_space.hpp"
+
+#include "support/error.hpp"
+
+namespace hetero::fem {
+
+FeSpace::FeSpace(const mesh::TetMesh& mesh, int order,
+                 std::int64_t global_vertex_count)
+    : mesh_(&mesh), order_(order), global_vertex_count_(global_vertex_count) {
+  HETERO_REQUIRE(order == 1 || order == 2, "FeSpace supports order 1 and 2");
+  HETERO_REQUIRE(global_vertex_count >=
+                     static_cast<std::int64_t>(mesh.vertex_count()),
+                 "global vertex count below local vertex count");
+
+  const int nv = static_cast<int>(mesh.vertex_count());
+  dof_gids_.reserve(static_cast<std::size_t>(nv));
+  dof_coords_.reserve(static_cast<std::size_t>(nv));
+  for (int v = 0; v < nv; ++v) {
+    dof_gids_.push_back(mesh.vertex_gid(v));
+    dof_coords_.push_back(mesh.vertex(v));
+  }
+
+  const int per_tet = dofs_per_tet();
+  tet_dofs_.resize(mesh.tet_count() * static_cast<std::size_t>(per_tet));
+
+  if (order == 1) {
+    for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+      for (int i = 0; i < 4; ++i) {
+        tet_dofs_[t * 4 + static_cast<std::size_t>(i)] =
+            mesh.tet(t)[static_cast<std::size_t>(i)];
+      }
+    }
+    return;
+  }
+
+  // P2: append one dof per unique edge.
+  const mesh::EdgeSet edges = mesh::build_edges(mesh);
+  for (const auto& e : edges.edges) {
+    dof_gids_.push_back(mesh::edge_gid(mesh.vertex_gid(e[0]),
+                                       mesh.vertex_gid(e[1]),
+                                       global_vertex_count));
+    dof_coords_.push_back(mesh::midpoint(mesh.vertex(e[0]), mesh.vertex(e[1])));
+  }
+  for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+    for (int i = 0; i < 4; ++i) {
+      tet_dofs_[t * 10 + static_cast<std::size_t>(i)] =
+          mesh.tet(t)[static_cast<std::size_t>(i)];
+    }
+    for (int e = 0; e < 6; ++e) {
+      tet_dofs_[t * 10 + 4 + static_cast<std::size_t>(e)] =
+          nv + edges.tet_edges[t][static_cast<std::size_t>(e)];
+    }
+  }
+}
+
+void FeSpace::tet_dof_gids(std::size_t t, std::span<la::GlobalId> out) const {
+  const auto dofs = tet_dofs(t);
+  HETERO_REQUIRE(out.size() == dofs.size(), "tet_dof_gids: bad span size");
+  for (std::size_t i = 0; i < dofs.size(); ++i) {
+    out[i] = dof_gids_[static_cast<std::size_t>(dofs[i])];
+  }
+}
+
+}  // namespace hetero::fem

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file fe_space.hpp
+/// Scalar Lagrange finite-element space (P1 or P2) over a rank-local
+/// tetrahedral mesh, with globally consistent dof ids:
+///   * vertex dofs reuse the mesh's global vertex ids;
+///   * P2 edge dofs use mesh::edge_gid over the global vertex pair,
+/// so two ranks sharing a partition interface agree on every shared dof id
+/// without any communication.
+///
+/// Vector-valued fields (Navier–Stokes velocity+pressure) expand scalar ids
+/// component-wise through `block_gid`.
+
+#include <span>
+#include <vector>
+
+#include "la/index_map.hpp"
+#include "mesh/edges.hpp"
+#include "mesh/tet_mesh.hpp"
+
+namespace hetero::fem {
+
+class FeSpace {
+ public:
+  /// `mesh` must outlive the space. `global_vertex_count` is the vertex
+  /// count of the *global* mesh (for serial meshes: mesh.vertex_count()).
+  FeSpace(const mesh::TetMesh& mesh, int order,
+          std::int64_t global_vertex_count);
+
+  const mesh::TetMesh& mesh() const { return *mesh_; }
+  int order() const { return order_; }
+  int dofs_per_tet() const { return order_ == 1 ? 4 : 10; }
+  std::int64_t global_vertex_count() const { return global_vertex_count_; }
+
+  /// Number of dofs this rank touches (vertices + edges of its elements).
+  int local_dof_count() const { return static_cast<int>(dof_gids_.size()); }
+
+  la::GlobalId dof_gid(int dof) const {
+    return dof_gids_[static_cast<std::size_t>(dof)];
+  }
+  const std::vector<la::GlobalId>& dof_gids() const { return dof_gids_; }
+
+  /// Geometric location of a dof (vertex or edge midpoint).
+  const mesh::Vec3& dof_coord(int dof) const {
+    return dof_coords_[static_cast<std::size_t>(dof)];
+  }
+
+  /// The space-local dof indices of tet `t`, in P1/P2 shape-function order.
+  std::span<const int> tet_dofs(std::size_t t) const {
+    const int n = dofs_per_tet();
+    return {tet_dofs_.data() + static_cast<std::ptrdiff_t>(t) * n,
+            static_cast<std::size_t>(n)};
+  }
+
+  /// dof gids of tet `t` (convenience for assembly).
+  void tet_dof_gids(std::size_t t, std::span<la::GlobalId> out) const;
+
+  /// Expands a scalar gid into component `comp` of an `ncomp` block system.
+  static la::GlobalId block_gid(la::GlobalId scalar_gid, int comp,
+                                int ncomp) {
+    return scalar_gid * ncomp + comp;
+  }
+
+ private:
+  const mesh::TetMesh* mesh_;
+  int order_;
+  std::int64_t global_vertex_count_ = 0;
+  std::vector<la::GlobalId> dof_gids_;
+  std::vector<mesh::Vec3> dof_coords_;
+  std::vector<int> tet_dofs_;  // dofs_per_tet() entries per tet
+};
+
+}  // namespace hetero::fem

@@ -1,0 +1,153 @@
+#include "fem/reference.hpp"
+
+#include "mesh/edges.hpp"
+#include "support/error.hpp"
+
+namespace hetero::fem {
+
+namespace {
+
+std::vector<QuadPoint> make_degree1() {
+  return {{{0.25, 0.25, 0.25}, 1.0 / 6.0}};
+}
+
+std::vector<QuadPoint> make_degree2() {
+  // Four symmetric points, degree 2.
+  const double a = 0.585410196624969;   // (5 + 3*sqrt(5)) / 20
+  const double b = 0.138196601125011;   // (5 - sqrt(5)) / 20
+  const double w = 1.0 / 24.0;
+  // Barycentric (a, b, b, b) permutations; xi = (l1, l2, l3).
+  return {
+      {{b, b, b}, w},  // a at l0
+      {{a, b, b}, w},
+      {{b, a, b}, w},
+      {{b, b, a}, w},
+  };
+}
+
+std::vector<QuadPoint> make_degree3() {
+  // Centroid + four points, degree 3 (negative centroid weight).
+  const double w0 = -2.0 / 15.0;
+  const double w1 = 3.0 / 40.0;
+  const double a = 0.5;
+  const double b = 1.0 / 6.0;
+  return {
+      {{0.25, 0.25, 0.25}, w0},
+      {{b, b, b}, w1},  // a at l0
+      {{a, b, b}, w1},
+      {{b, a, b}, w1},
+      {{b, b, a}, w1},
+  };
+}
+
+std::vector<QuadPoint> make_degree4() {
+  // Keast 11-point rule, degree 4.
+  std::vector<QuadPoint> pts;
+  const double w0 = -0.0131555555555556;
+  pts.push_back({{0.25, 0.25, 0.25}, w0});
+  const double a = 1.0 / 14.0;       // barycentric (11/14, 1/14, 1/14, 1/14)
+  const double w1 = 0.00762222222222222;
+  const double a0 = 11.0 / 14.0;
+  pts.push_back({{a, a, a}, w1});    // big weight at l0
+  pts.push_back({{a0, a, a}, w1});
+  pts.push_back({{a, a0, a}, w1});
+  pts.push_back({{a, a, a0}, w1});
+  const double b = 0.399403576166799;
+  const double c = 0.100596423833201;
+  const double w2 = 0.0248888888888889;
+  // Barycentric permutations of (b, b, c, c); xi drops l0.
+  pts.push_back({{b, c, c}, w2});    // (b,b,c,c)
+  pts.push_back({{c, b, c}, w2});    // (b,c,b,c)
+  pts.push_back({{c, c, b}, w2});    // (b,c,c,b)
+  pts.push_back({{b, b, c}, w2});    // (c,b,b,c)
+  pts.push_back({{b, c, b}, w2});    // (c,b,c,b)
+  pts.push_back({{c, b, b}, w2});    // (c,c,b,b)
+  return pts;
+}
+
+}  // namespace
+
+const std::vector<QuadPoint>& tet_quadrature(int degree) {
+  static const std::vector<QuadPoint> d1 = make_degree1();
+  static const std::vector<QuadPoint> d2 = make_degree2();
+  static const std::vector<QuadPoint> d3 = make_degree3();
+  static const std::vector<QuadPoint> d4 = make_degree4();
+  switch (degree) {
+    case 0:
+    case 1: return d1;
+    case 2: return d2;
+    case 3: return d3;
+    case 4: return d4;
+    default:
+      throw Error("tet_quadrature: unsupported degree (max 4)");
+  }
+}
+
+std::array<double, 4> p1_values(const mesh::Vec3& xi) {
+  return {1.0 - xi.x - xi.y - xi.z, xi.x, xi.y, xi.z};
+}
+
+std::array<mesh::Vec3, 4> p1_gradients() {
+  return {mesh::Vec3{-1.0, -1.0, -1.0}, mesh::Vec3{1.0, 0.0, 0.0},
+          mesh::Vec3{0.0, 1.0, 0.0}, mesh::Vec3{0.0, 0.0, 1.0}};
+}
+
+std::array<double, 10> p2_values(const mesh::Vec3& xi) {
+  const auto l = p1_values(xi);
+  std::array<double, 10> v{};
+  for (int i = 0; i < 4; ++i) {
+    v[static_cast<std::size_t>(i)] =
+        l[static_cast<std::size_t>(i)] * (2.0 * l[static_cast<std::size_t>(i)] - 1.0);
+  }
+  for (std::size_t e = 0; e < mesh::kTetEdgeVertices.size(); ++e) {
+    const int a = mesh::kTetEdgeVertices[e][0];
+    const int b = mesh::kTetEdgeVertices[e][1];
+    v[4 + e] = 4.0 * l[static_cast<std::size_t>(a)] * l[static_cast<std::size_t>(b)];
+  }
+  return v;
+}
+
+std::array<mesh::Vec3, 10> p2_gradients(const mesh::Vec3& xi) {
+  const auto l = p1_values(xi);
+  const auto g = p1_gradients();
+  std::array<mesh::Vec3, 10> out{};
+  for (int i = 0; i < 4; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        g[static_cast<std::size_t>(i)] *
+        (4.0 * l[static_cast<std::size_t>(i)] - 1.0);
+  }
+  for (std::size_t e = 0; e < mesh::kTetEdgeVertices.size(); ++e) {
+    const int a = mesh::kTetEdgeVertices[e][0];
+    const int b = mesh::kTetEdgeVertices[e][1];
+    out[4 + e] = 4.0 * (g[static_cast<std::size_t>(a)] * l[static_cast<std::size_t>(b)] +
+                        g[static_cast<std::size_t>(b)] * l[static_cast<std::size_t>(a)]);
+  }
+  return out;
+}
+
+ShapeTable build_shape_table(int order, int quad_degree) {
+  HETERO_REQUIRE(order == 1 || order == 2,
+                 "build_shape_table supports order 1 and 2");
+  ShapeTable table;
+  table.dofs = order == 1 ? kP1Dofs : kP2Dofs;
+  table.points = tet_quadrature(quad_degree);
+  table.values.resize(table.points.size());
+  table.grads.resize(table.points.size());
+  for (std::size_t q = 0; q < table.points.size(); ++q) {
+    const auto& xi = table.points[q].xi;
+    if (order == 1) {
+      const auto v = p1_values(xi);
+      const auto g = p1_gradients();
+      table.values[q].assign(v.begin(), v.end());
+      table.grads[q].assign(g.begin(), g.end());
+    } else {
+      const auto v = p2_values(xi);
+      const auto g = p2_gradients(xi);
+      table.values[q].assign(v.begin(), v.end());
+      table.grads[q].assign(g.begin(), g.end());
+    }
+  }
+  return table;
+}
+
+}  // namespace hetero::fem

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file reference.hpp
+/// Reference tetrahedron: P1/P2 Lagrange shape functions and Gauss-type
+/// quadrature rules (Keast) up to polynomial degree 4 — enough for exact P2
+/// mass matrices, which the reaction–diffusion exactness oracle relies on.
+///
+/// Reference element: vertices (0,0,0), (1,0,0), (0,1,0), (0,0,1);
+/// barycentric coordinates l0 = 1-x-y-z, l1 = x, l2 = y, l3 = z.
+/// P2 dof order: 4 vertex functions, then 6 edge bubbles in the canonical
+/// mesh::kTetEdgeVertices order.
+
+#include <array>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+
+namespace hetero::fem {
+
+/// One quadrature point in reference coordinates with weight (weights sum
+/// to the reference volume 1/6).
+struct QuadPoint {
+  mesh::Vec3 xi;
+  double weight = 0.0;
+};
+
+/// Returns the lightest Keast rule integrating polynomials of `degree`
+/// exactly (supported: 1..4). Throws for higher degrees.
+const std::vector<QuadPoint>& tet_quadrature(int degree);
+
+/// Number of scalar shape functions: 4 (P1) or 10 (P2).
+inline constexpr int kP1Dofs = 4;
+inline constexpr int kP2Dofs = 10;
+
+/// Values of the P1 shape functions at `xi`.
+std::array<double, 4> p1_values(const mesh::Vec3& xi);
+/// Reference-space gradients of the P1 shape functions (constant).
+std::array<mesh::Vec3, 4> p1_gradients();
+
+/// Values of the P2 shape functions at `xi`.
+std::array<double, 10> p2_values(const mesh::Vec3& xi);
+/// Reference-space gradients of the P2 shape functions at `xi`.
+std::array<mesh::Vec3, 10> p2_gradients(const mesh::Vec3& xi);
+
+/// Pre-tabulated shapes at every point of a quadrature rule.
+struct ShapeTable {
+  int dofs = 0;                                  // 4 or 10
+  std::vector<QuadPoint> points;
+  std::vector<std::vector<double>> values;       // [q][dof]
+  std::vector<std::vector<mesh::Vec3>> grads;    // [q][dof], reference space
+};
+
+/// Builds the table for P1 (order 1) or P2 (order 2) at the rule of
+/// `quad_degree`.
+ShapeTable build_shape_table(int order, int quad_degree);
+
+}  // namespace hetero::fem

@@ -1,0 +1,55 @@
+#include "io/checkpoint.hpp"
+
+#include <unordered_map>
+
+#include "io/h5lite.hpp"
+#include "support/error.hpp"
+
+namespace hetero::io {
+
+void save_checkpoint(simmpi::Comm& comm, const la::DistVector& v,
+                     const std::string& label, const std::string& path) {
+  const la::IndexMap& map = v.map();
+  std::vector<la::GlobalId> gids(map.gids().begin(),
+                                 map.gids().begin() + map.owned_count());
+  std::vector<double> values(v.owned().begin(), v.owned().end());
+  const auto all_gids = comm.allgatherv(std::span<const la::GlobalId>(gids));
+  const auto all_values = comm.allgatherv(std::span<const double>(values));
+  if (comm.rank() == 0) {
+    H5LiteWriter writer(path);
+    writer.write_ints(label + "/gids",
+                      {static_cast<std::uint64_t>(all_gids.size())},
+                      all_gids);
+    writer.write_doubles(label + "/values",
+                         {static_cast<std::uint64_t>(all_values.size())},
+                         all_values);
+    writer.close();
+  }
+  comm.barrier();  // nobody reads the file before it is complete
+}
+
+void load_checkpoint(simmpi::Comm& comm, la::DistVector& v,
+                     const std::string& label, const std::string& path) {
+  // Every rank reads the (host-shared) file and picks its owned entries —
+  // mirroring the staging-from-shared-volume pattern the paper uses on EC2.
+  H5LiteReader reader(path);
+  const auto gids = reader.read_ints(label + "/gids");
+  const auto values = reader.read_doubles(label + "/values");
+  HETERO_REQUIRE(gids.size() == values.size(),
+                 "checkpoint: gid/value size mismatch");
+  std::unordered_map<la::GlobalId, double> by_gid;
+  by_gid.reserve(gids.size());
+  for (std::size_t i = 0; i < gids.size(); ++i) {
+    by_gid.emplace(gids[i], values[i]);
+  }
+  const la::IndexMap& map = v.map();
+  for (int l = 0; l < map.owned_count(); ++l) {
+    const auto it = by_gid.find(map.gid(l));
+    HETERO_REQUIRE(it != by_gid.end(),
+                   "checkpoint: file is missing a required gid");
+    v[l] = it->second;
+  }
+  comm.barrier();
+}
+
+}  // namespace hetero::io

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Checkpoint/restart of distributed vectors. Rank 0 gathers owned slices
+/// (gids + values) and writes one H5Lite file; restart redistributes by gid,
+/// so the job may restart on a *different* rank count — the capability a
+/// spot-instance assembly needs when hosts disappear (§VI-D discusses
+/// checkpointing as part of conditioning an EC2 image).
+
+#include <string>
+
+#include "la/dist_vector.hpp"
+#include "simmpi/comm.hpp"
+
+namespace hetero::io {
+
+/// Collective: writes `v`'s owned entries (with gids) to `path`. The file is
+/// written by rank 0 only. `label` names the dataset pair.
+void save_checkpoint(simmpi::Comm& comm, const la::DistVector& v,
+                     const std::string& label, const std::string& path);
+
+/// Collective: fills `v` (owned entries; ghosts refreshed by the caller)
+/// from the checkpoint written by save_checkpoint, matching by gid. Missing
+/// gids are an error; extra gids in the file are ignored.
+void load_checkpoint(simmpi::Comm& comm, la::DistVector& v,
+                     const std::string& label, const std::string& path);
+
+}  // namespace hetero::io

@@ -1,0 +1,206 @@
+#include "io/h5lite.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace hetero::io {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x48354C4954453031ULL;  // "H5LITE01"
+
+void write_all(int fd, const void* data, std::size_t bytes) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::write(fd, p, bytes);
+    HETERO_REQUIRE(n > 0, "h5lite: write failed");
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+}
+
+void read_all(int fd, void* data, std::size_t bytes) {
+  char* p = static_cast<char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::read(fd, p, bytes);
+    HETERO_REQUIRE(n > 0, "h5lite: short read (corrupt file?)");
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+}
+}  // namespace
+
+H5LiteWriter::H5LiteWriter(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  HETERO_REQUIRE(fd_ >= 0, "h5lite: cannot create " + path);
+  write_all(fd_, &kMagic, sizeof(kMagic));
+  cursor_ = sizeof(kMagic);
+}
+
+H5LiteWriter::~H5LiteWriter() {
+  if (!closed_) {
+    try {
+      close();
+    } catch (...) {
+      // Destructor must not throw; the file may be unusable.
+    }
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void H5LiteWriter::write_raw(const std::string& name, DType dtype,
+                             const std::vector<std::uint64_t>& shape,
+                             const void* data, std::size_t bytes) {
+  HETERO_REQUIRE(!closed_, "h5lite: writer already closed");
+  HETERO_REQUIRE(!name.empty(), "h5lite: dataset name must not be empty");
+  HETERO_REQUIRE(toc_.find(name) == toc_.end(),
+                 "h5lite: duplicate dataset name: " + name);
+  Entry entry;
+  entry.info.dtype = dtype;
+  entry.info.shape = shape;
+  const std::size_t element_size = 8;
+  HETERO_REQUIRE(entry.info.element_count() * element_size == bytes,
+                 "h5lite: shape does not match data size for " + name);
+  entry.offset = cursor_;
+  write_all(fd_, data, bytes);
+  cursor_ += bytes;
+  toc_.emplace(name, entry);
+}
+
+void H5LiteWriter::write_doubles(const std::string& name,
+                                 const std::vector<std::uint64_t>& shape,
+                                 const std::vector<double>& data) {
+  write_raw(name, DType::kFloat64, shape, data.data(), data.size() * 8);
+}
+
+void H5LiteWriter::write_ints(const std::string& name,
+                              const std::vector<std::uint64_t>& shape,
+                              const std::vector<std::int64_t>& data) {
+  write_raw(name, DType::kInt64, shape, data.data(), data.size() * 8);
+}
+
+void H5LiteWriter::close() {
+  if (closed_) {
+    return;
+  }
+  // TOC layout: per entry {u32 name_len, name bytes, u32 dtype, u32 ndims,
+  // u64 dims..., u64 offset}; footer {u64 toc_offset, u64 count, magic}.
+  const std::uint64_t toc_offset = cursor_;
+  for (const auto& [name, entry] : toc_) {
+    const auto name_len = static_cast<std::uint32_t>(name.size());
+    write_all(fd_, &name_len, sizeof(name_len));
+    write_all(fd_, name.data(), name.size());
+    const auto dtype = static_cast<std::uint32_t>(entry.info.dtype);
+    write_all(fd_, &dtype, sizeof(dtype));
+    const auto ndims = static_cast<std::uint32_t>(entry.info.shape.size());
+    write_all(fd_, &ndims, sizeof(ndims));
+    for (std::uint64_t d : entry.info.shape) {
+      write_all(fd_, &d, sizeof(d));
+    }
+    write_all(fd_, &entry.offset, sizeof(entry.offset));
+  }
+  const std::uint64_t count = toc_.size();
+  write_all(fd_, &toc_offset, sizeof(toc_offset));
+  write_all(fd_, &count, sizeof(count));
+  write_all(fd_, &kMagic, sizeof(kMagic));
+  closed_ = true;
+}
+
+H5LiteReader::H5LiteReader(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  HETERO_REQUIRE(fd_ >= 0, "h5lite: cannot open " + path);
+  std::uint64_t magic = 0;
+  read_at(0, &magic, sizeof(magic));
+  HETERO_REQUIRE(magic == kMagic, "h5lite: bad magic in " + path);
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  HETERO_REQUIRE(size >= static_cast<off_t>(3 * sizeof(std::uint64_t)),
+                 "h5lite: file truncated: " + path);
+  std::uint64_t footer[3];
+  read_at(static_cast<std::uint64_t>(size) - sizeof(footer), footer,
+          sizeof(footer));
+  HETERO_REQUIRE(footer[2] == kMagic,
+                 "h5lite: missing footer (file not closed?): " + path);
+  const std::uint64_t toc_offset = footer[0];
+  const std::uint64_t count = footer[1];
+  ::lseek(fd_, static_cast<off_t>(toc_offset), SEEK_SET);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t name_len = 0;
+    read_all(fd_, &name_len, sizeof(name_len));
+    std::string name(name_len, '\0');
+    read_all(fd_, name.data(), name_len);
+    std::uint32_t dtype = 0;
+    std::uint32_t ndims = 0;
+    read_all(fd_, &dtype, sizeof(dtype));
+    read_all(fd_, &ndims, sizeof(ndims));
+    Entry entry;
+    entry.info.dtype = static_cast<DType>(dtype);
+    entry.info.shape.resize(ndims);
+    for (auto& d : entry.info.shape) {
+      read_all(fd_, &d, sizeof(d));
+    }
+    read_all(fd_, &entry.offset, sizeof(entry.offset));
+    toc_.emplace(std::move(name), entry);
+  }
+}
+
+H5LiteReader::~H5LiteReader() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+bool H5LiteReader::has(const std::string& name) const {
+  return toc_.find(name) != toc_.end();
+}
+
+std::vector<std::string> H5LiteReader::names() const {
+  std::vector<std::string> out;
+  out.reserve(toc_.size());
+  for (const auto& [name, entry] : toc_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+const H5LiteReader::Entry& H5LiteReader::entry(
+    const std::string& name) const {
+  const auto it = toc_.find(name);
+  HETERO_REQUIRE(it != toc_.end(), "h5lite: no dataset named " + name);
+  return it->second;
+}
+
+DatasetInfo H5LiteReader::info(const std::string& name) const {
+  return entry(name).info;
+}
+
+void H5LiteReader::read_at(std::uint64_t offset, void* out,
+                           std::size_t bytes) const {
+  ::lseek(fd_, static_cast<off_t>(offset), SEEK_SET);
+  read_all(fd_, out, bytes);
+}
+
+std::vector<double> H5LiteReader::read_doubles(const std::string& name) const {
+  const Entry& e = entry(name);
+  HETERO_REQUIRE(e.info.dtype == DType::kFloat64,
+                 "h5lite: dataset is not float64: " + name);
+  std::vector<double> out(e.info.element_count());
+  read_at(e.offset, out.data(), out.size() * 8);
+  return out;
+}
+
+std::vector<std::int64_t> H5LiteReader::read_ints(
+    const std::string& name) const {
+  const Entry& e = entry(name);
+  HETERO_REQUIRE(e.info.dtype == DType::kInt64,
+                 "h5lite: dataset is not int64: " + name);
+  std::vector<std::int64_t> out(e.info.element_count());
+  read_at(e.offset, out.data(), out.size() * 8);
+  return out;
+}
+
+}  // namespace hetero::io

@@ -1,0 +1,134 @@
+#include "la/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hetero::la {
+
+CsrMatrix CsrMatrix::from_triplets(int rows, int cols,
+                                   std::span<const Triplet> triplets) {
+  HETERO_REQUIRE(rows >= 0 && cols >= 0, "matrix shape must be non-negative");
+  std::vector<Triplet> sorted(triplets.begin(), triplets.end());
+  for (const auto& t : sorted) {
+    HETERO_REQUIRE(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols,
+                   "triplet index out of range");
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Triplet& a,
+                                             const Triplet& b) {
+    return a.row < b.row || (a.row == b.row && a.col < b.col);
+  });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(sorted.size());
+  m.values_.reserve(sorted.size());
+  std::size_t i = 0;
+  for (int r = 0; r < rows; ++r) {
+    while (i < sorted.size() && sorted[i].row == r) {
+      const int c = sorted[i].col;
+      double v = 0.0;
+      while (i < sorted.size() && sorted[i].row == r && sorted[i].col == c) {
+        v += sorted[i].value;
+        ++i;
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(v);
+    }
+    m.row_ptr_[static_cast<std::size_t>(r) + 1] =
+        static_cast<std::int64_t>(m.col_idx_.size());
+  }
+  return m;
+}
+
+void CsrMatrix::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  HETERO_REQUIRE(static_cast<int>(x.size()) == cols_ &&
+                     static_cast<int>(y.size()) == rows_,
+                 "spmv: size mismatch");
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const auto begin = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r)]);
+    const auto end =
+        static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r) + 1]);
+    for (std::size_t k = begin; k < end; ++k) {
+      acc += values_[k] * x[static_cast<std::size_t>(col_idx_[k])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void CsrMatrix::multiply_add(std::span<const double> x,
+                             std::span<double> y) const {
+  HETERO_REQUIRE(static_cast<int>(x.size()) == cols_ &&
+                     static_cast<int>(y.size()) == rows_,
+                 "spmv: size mismatch");
+  for (int r = 0; r < rows_; ++r) {
+    double acc = y[static_cast<std::size_t>(r)];
+    const auto begin = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r)]);
+    const auto end =
+        static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r) + 1]);
+    for (std::size_t k = begin; k < end; ++k) {
+      acc += values_[k] * x[static_cast<std::size_t>(col_idx_[k])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+double CsrMatrix::at(int row, int col) const {
+  const std::int64_t s = slot(row, col);
+  return s < 0 ? 0.0 : values_[static_cast<std::size_t>(s)];
+}
+
+std::int64_t CsrMatrix::slot(int row, int col) const {
+  HETERO_REQUIRE(row >= 0 && row < rows_, "slot: row out of range");
+  const auto begin = row_ptr_[static_cast<std::size_t>(row)];
+  const auto end = row_ptr_[static_cast<std::size_t>(row) + 1];
+  const auto* first = col_idx_.data() + begin;
+  const auto* last = col_idx_.data() + end;
+  const auto* it = std::lower_bound(first, last, col);
+  if (it == last || *it != col) {
+    return -1;
+  }
+  return begin + (it - first);
+}
+
+double CsrMatrix::symmetry_error() const {
+  const int n = std::min(rows_, cols_);
+  double err = 0.0;
+  for (int r = 0; r < n; ++r) {
+    const auto begin = row_ptr_[static_cast<std::size_t>(r)];
+    const auto end = row_ptr_[static_cast<std::size_t>(r) + 1];
+    for (auto k = begin; k < end; ++k) {
+      const int c = col_idx_[static_cast<std::size_t>(k)];
+      if (c >= n || c < r) {
+        continue;  // scan the upper triangle once
+      }
+      const double upper = values_[static_cast<std::size_t>(k)];
+      const double lower = at(c, r);
+      err = std::max(err, std::fabs(upper - lower));
+    }
+  }
+  return err;
+}
+
+double CsrMatrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v * v;
+  }
+  return std::sqrt(sum);
+}
+
+std::vector<double> CsrMatrix::diagonal() const {
+  std::vector<double> d(static_cast<std::size_t>(rows_), 0.0);
+  for (int r = 0; r < rows_ && r < cols_; ++r) {
+    d[static_cast<std::size_t>(r)] = at(r, r);
+  }
+  return d;
+}
+
+}  // namespace hetero::la

@@ -1,0 +1,69 @@
+#include "la/dist_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hetero::la {
+
+DistVector::DistVector(const IndexMap& map)
+    : map_(&map),
+      values_(static_cast<std::size_t>(map.local_count()), 0.0) {}
+
+void DistVector::set_all(double value) {
+  std::fill(values_.begin(), values_.end(), value);
+}
+
+void DistVector::axpy(double a, const DistVector& x) {
+  HETERO_REQUIRE(x.map_ == map_, "axpy: vectors use different maps");
+  const std::size_t n = static_cast<std::size_t>(owned_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    values_[i] += a * x.values_[i];
+  }
+}
+
+void DistVector::axpby(double a, const DistVector& x, double b) {
+  HETERO_REQUIRE(x.map_ == map_, "axpby: vectors use different maps");
+  const std::size_t n = static_cast<std::size_t>(owned_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    values_[i] = a * x.values_[i] + b * values_[i];
+  }
+}
+
+void DistVector::scale(double a) {
+  const std::size_t n = static_cast<std::size_t>(owned_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    values_[i] *= a;
+  }
+}
+
+void DistVector::copy_from(const DistVector& x) {
+  HETERO_REQUIRE(x.map_ == map_, "copy_from: vectors use different maps");
+  values_ = x.values_;
+}
+
+double DistVector::dot(simmpi::Comm& comm, const DistVector& other) const {
+  HETERO_REQUIRE(other.map_ == map_, "dot: vectors use different maps");
+  double local = 0.0;
+  const std::size_t n = static_cast<std::size_t>(owned_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    local += values_[i] * other.values_[i];
+  }
+  return comm.allreduce(local, simmpi::ReduceOp::kSum);
+}
+
+double DistVector::norm2(simmpi::Comm& comm) const {
+  return std::sqrt(dot(comm, *this));
+}
+
+double DistVector::norm_inf(simmpi::Comm& comm) const {
+  double local = 0.0;
+  const std::size_t n = static_cast<std::size_t>(owned_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    local = std::max(local, std::fabs(values_[i]));
+  }
+  return comm.allreduce(local, simmpi::ReduceOp::kMax);
+}
+
+}  // namespace hetero::la

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file dist_vector.hpp
+/// Distributed vector over an IndexMap: owned entries are authoritative,
+/// ghost entries are a cache refreshed by HaloExchange::import_ghosts.
+/// Reductions (dot, norms) run over owned entries plus one allreduce — the
+/// latency-bound operation that dominates Krylov solvers at scale.
+
+#include <span>
+#include <vector>
+
+#include "la/halo.hpp"
+#include "la/index_map.hpp"
+
+namespace hetero::la {
+
+class DistVector {
+ public:
+  /// Zero-initialized vector over `map` (which must outlive the vector).
+  explicit DistVector(const IndexMap& map);
+
+  const IndexMap& map() const { return *map_; }
+  int owned_count() const { return map_->owned_count(); }
+  int local_count() const { return map_->local_count(); }
+
+  double& operator[](int l) { return values_[static_cast<std::size_t>(l)]; }
+  double operator[](int l) const {
+    return values_[static_cast<std::size_t>(l)];
+  }
+
+  std::span<double> values() { return values_; }
+  std::span<const double> values() const { return values_; }
+  std::span<double> owned() {
+    return {values_.data(), static_cast<std::size_t>(owned_count())};
+  }
+  std::span<const double> owned() const {
+    return {values_.data(), static_cast<std::size_t>(owned_count())};
+  }
+
+  void set_all(double value);
+  /// this = a*x + this (owned entries; ghosts left stale).
+  void axpy(double a, const DistVector& x);
+  /// this = a*x + b*this.
+  void axpby(double a, const DistVector& x, double b);
+  void scale(double a);
+  /// Copies owned (and ghost) entries from x.
+  void copy_from(const DistVector& x);
+
+  /// Global dot product over owned entries; collective.
+  double dot(simmpi::Comm& comm, const DistVector& other) const;
+  /// Global 2-norm; collective.
+  double norm2(simmpi::Comm& comm) const;
+  /// Global infinity norm; collective.
+  double norm_inf(simmpi::Comm& comm) const;
+
+  /// Refreshes ghost entries from owners.
+  void update_ghosts(simmpi::Comm& comm, const HaloExchange& halo) {
+    halo.import_ghosts(comm, values_);
+  }
+
+ private:
+  const IndexMap* map_;
+  std::vector<double> values_;
+};
+
+}  // namespace hetero::la

@@ -1,0 +1,115 @@
+#include "la/halo.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace hetero::la {
+
+namespace {
+constexpr int kTagRequest = 7001;
+constexpr int kTagImport = 7002;
+constexpr int kTagExport = 7003;
+}  // namespace
+
+HaloExchange::HaloExchange(simmpi::Comm& comm, const IndexMap& map)
+    : map_(&map) {
+  const int p = comm.size();
+
+  // Group ghosts by owner and request those gids.
+  std::vector<std::vector<GlobalId>> wanted(static_cast<std::size_t>(p));
+  for (int l = map.owned_count(); l < map.local_count(); ++l) {
+    wanted[static_cast<std::size_t>(map.ghost_owner(l))].push_back(map.gid(l));
+  }
+  const auto requests = comm.alltoallv(wanted);
+
+  // Assemble peers: we *send* to ranks that requested our owned gids and
+  // *receive* from ranks owning our ghosts.
+  std::vector<Peer> peers(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    peers[static_cast<std::size_t>(r)].rank = r;
+    for (GlobalId g : requests[static_cast<std::size_t>(r)]) {
+      const int l = map.local(g);
+      HETERO_REQUIRE(l != kInvalidLocal && map.is_owned_local(l),
+                     "halo request for a gid this rank does not own");
+      peers[static_cast<std::size_t>(r)].send_lids.push_back(l);
+    }
+    for (GlobalId g : wanted[static_cast<std::size_t>(r)]) {
+      const int l = map.local(g);
+      HETERO_CHECK(l != kInvalidLocal && !map.is_owned_local(l));
+      peers[static_cast<std::size_t>(r)].recv_lids.push_back(l);
+    }
+  }
+  for (auto& peer : peers) {
+    if (!peer.send_lids.empty() || !peer.recv_lids.empty()) {
+      peers_.push_back(std::move(peer));
+    }
+  }
+  (void)kTagRequest;
+}
+
+void HaloExchange::import_ghosts(simmpi::Comm& comm,
+                                 std::span<double> values) const {
+  HETERO_REQUIRE(static_cast<int>(values.size()) == map_->local_count(),
+                 "import_ghosts: value array size mismatch");
+  // Buffered sends first, then receives: deadlock-free with eager sends.
+  std::vector<double> buffer;
+  for (const auto& peer : peers_) {
+    if (peer.send_lids.empty()) {
+      continue;
+    }
+    buffer.resize(peer.send_lids.size());
+    for (std::size_t i = 0; i < peer.send_lids.size(); ++i) {
+      buffer[i] = values[static_cast<std::size_t>(peer.send_lids[i])];
+    }
+    comm.send(std::span<const double>(buffer), peer.rank, kTagImport);
+  }
+  for (const auto& peer : peers_) {
+    if (peer.recv_lids.empty()) {
+      continue;
+    }
+    const auto got = comm.recv<double>(peer.rank, kTagImport);
+    HETERO_CHECK(got.size() == peer.recv_lids.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      values[static_cast<std::size_t>(peer.recv_lids[i])] = got[i];
+    }
+  }
+}
+
+void HaloExchange::export_add(simmpi::Comm& comm,
+                              std::span<double> values) const {
+  HETERO_REQUIRE(static_cast<int>(values.size()) == map_->local_count(),
+                 "export_add: value array size mismatch");
+  std::vector<double> buffer;
+  for (const auto& peer : peers_) {
+    if (peer.recv_lids.empty()) {
+      continue;
+    }
+    buffer.resize(peer.recv_lids.size());
+    for (std::size_t i = 0; i < peer.recv_lids.size(); ++i) {
+      buffer[i] = values[static_cast<std::size_t>(peer.recv_lids[i])];
+      values[static_cast<std::size_t>(peer.recv_lids[i])] = 0.0;
+    }
+    comm.send(std::span<const double>(buffer), peer.rank, kTagExport);
+  }
+  for (const auto& peer : peers_) {
+    if (peer.send_lids.empty()) {
+      continue;
+    }
+    const auto got = comm.recv<double>(peer.rank, kTagExport);
+    HETERO_CHECK(got.size() == peer.send_lids.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      values[static_cast<std::size_t>(peer.send_lids[i])] += got[i];
+    }
+  }
+}
+
+std::size_t HaloExchange::import_size() const {
+  std::size_t n = 0;
+  for (const auto& peer : peers_) {
+    n += peer.recv_lids.size();
+  }
+  return n;
+}
+
+}  // namespace hetero::la

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file halo.hpp
+/// Ghost-value exchange plan over an IndexMap (Trilinos Import analogue).
+///
+/// Building the plan is collective: ghost consumers tell owners which of
+/// their entries they need. Executing an import updates every ghost slot of
+/// a local value array from its owner's owned slot, using point-to-point
+/// messages between neighbouring ranks only — this is the communication the
+/// paper's weak-scaling curves are sensitive to.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "la/index_map.hpp"
+
+namespace hetero::la {
+
+class HaloExchange {
+ public:
+  /// Collective. `map` must outlive the plan.
+  HaloExchange(simmpi::Comm& comm, const IndexMap& map);
+
+  /// Fills values[owned_count ...] from owners; values must have
+  /// map.local_count() entries. Collective among neighbours.
+  void import_ghosts(simmpi::Comm& comm, std::span<double> values) const;
+
+  /// Reverse operation: adds each ghost slot's value into the owner's owned
+  /// slot and zeroes the ghost slot (Trilinos Export-with-ADD analogue).
+  void export_add(simmpi::Comm& comm, std::span<double> values) const;
+
+  /// Ranks this rank exchanges data with (either direction).
+  int neighbour_count() const { return static_cast<int>(peers_.size()); }
+
+  /// Total doubles imported per exchange (ghost count).
+  std::size_t import_size() const;
+
+ private:
+  struct Peer {
+    int rank = 0;
+    /// Owned local indices this rank sends to `rank` on import (and
+    /// receives-and-adds from on export).
+    std::vector<int> send_lids;
+    /// Ghost local indices filled from `rank` on import.
+    std::vector<int> recv_lids;
+  };
+
+  const IndexMap* map_;
+  std::vector<Peer> peers_;
+};
+
+}  // namespace hetero::la

@@ -1,0 +1,125 @@
+#include "la/index_map.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace hetero::la {
+
+namespace {
+int directory_rank(GlobalId gid, int ranks) {
+  // Cheap integer hash; gids are structured so plain modulo would cluster.
+  std::uint64_t x = static_cast<std::uint64_t>(gid);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<std::uint64_t>(ranks));
+}
+}  // namespace
+
+GidDirectory GidDirectory::build(simmpi::Comm& comm,
+                                 std::span<const GlobalId> touched) {
+  const int p = comm.size();
+  GidDirectory dir;
+  dir.ranks_ = p;
+
+  // Route each touched gid to its directory rank.
+  std::vector<std::vector<GlobalId>> outgoing(static_cast<std::size_t>(p));
+  for (GlobalId g : touched) {
+    outgoing[static_cast<std::size_t>(directory_rank(g, p))].push_back(g);
+  }
+  const auto incoming = comm.alltoallv(outgoing);
+
+  // Min rank that registered a gid becomes its owner.
+  for (int src = 0; src < p; ++src) {
+    for (GlobalId g : incoming[static_cast<std::size_t>(src)]) {
+      auto [it, inserted] = dir.owner_of_.try_emplace(g, src);
+      if (!inserted && src < it->second) {
+        it->second = src;
+      }
+    }
+  }
+  return dir;
+}
+
+std::vector<int> GidDirectory::lookup(simmpi::Comm& comm,
+                                      std::span<const GlobalId> gids) const {
+  const int p = comm.size();
+  // Queries routed to directory ranks; answers return in the same per-rank
+  // order, so positions can be reconciled without sending indices.
+  std::vector<std::vector<GlobalId>> queries(static_cast<std::size_t>(p));
+  std::vector<std::vector<std::size_t>> positions(static_cast<std::size_t>(p));
+  for (std::size_t i = 0; i < gids.size(); ++i) {
+    const int d = directory_rank(gids[i], p);
+    queries[static_cast<std::size_t>(d)].push_back(gids[i]);
+    positions[static_cast<std::size_t>(d)].push_back(i);
+  }
+  const auto received = comm.alltoallv(queries);
+
+  std::vector<std::vector<std::int64_t>> answers(static_cast<std::size_t>(p));
+  for (int src = 0; src < p; ++src) {
+    auto& out = answers[static_cast<std::size_t>(src)];
+    out.reserve(received[static_cast<std::size_t>(src)].size());
+    for (GlobalId g : received[static_cast<std::size_t>(src)]) {
+      const auto it = owner_of_.find(g);
+      HETERO_REQUIRE(it != owner_of_.end(),
+                     "GidDirectory::lookup: gid was never registered");
+      out.push_back(it->second);
+    }
+  }
+  const auto replies = comm.alltoallv(answers);
+
+  std::vector<int> owners(gids.size(), -1);
+  for (int d = 0; d < p; ++d) {
+    const auto& reply = replies[static_cast<std::size_t>(d)];
+    const auto& pos = positions[static_cast<std::size_t>(d)];
+    HETERO_CHECK(reply.size() == pos.size());
+    for (std::size_t i = 0; i < reply.size(); ++i) {
+      owners[pos[i]] = static_cast<int>(reply[i]);
+    }
+  }
+  return owners;
+}
+
+IndexMap IndexMap::build(simmpi::Comm& comm, const GidDirectory& directory,
+                         std::span<const GlobalId> touched,
+                         std::span<const GlobalId> extra_ghosts) {
+  // Deduplicate the union of touched and extra ghosts.
+  std::vector<GlobalId> all(touched.begin(), touched.end());
+  all.insert(all.end(), extra_ghosts.begin(), extra_ghosts.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  const std::vector<int> owners = directory.lookup(comm, all);
+
+  IndexMap map;
+  // Owned first (already gid-sorted), then ghosts sorted by (owner, gid).
+  std::vector<std::pair<int, GlobalId>> ghosts;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (owners[i] == comm.rank()) {
+      map.gids_.push_back(all[i]);
+    } else {
+      ghosts.emplace_back(owners[i], all[i]);
+    }
+  }
+  map.owned_count_ = static_cast<int>(map.gids_.size());
+  std::sort(ghosts.begin(), ghosts.end());
+  for (const auto& [owner, gid] : ghosts) {
+    map.gids_.push_back(gid);
+    map.ghost_owner_.push_back(owner);
+  }
+  map.local_of_.reserve(map.gids_.size());
+  for (std::size_t l = 0; l < map.gids_.size(); ++l) {
+    map.local_of_.emplace(map.gids_[l], static_cast<int>(l));
+  }
+  map.global_count_ = comm.allreduce(
+      static_cast<std::int64_t>(map.owned_count_), simmpi::ReduceOp::kSum);
+  return map;
+}
+
+int IndexMap::local(GlobalId gid) const {
+  const auto it = local_of_.find(gid);
+  return it == local_of_.end() ? kInvalidLocal : it->second;
+}
+
+}  // namespace hetero::la

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file index_map.hpp
+/// Distribution of global unknown ids over ranks — heterolab's equivalent of
+/// a Trilinos Epetra_Map.
+///
+/// Global ids (gids) are arbitrary unique 64-bit integers (they need not be
+/// contiguous; the FEM layer derives them from mesh entities). Ownership is
+/// decided by a distributed directory: every gid is hashed to a directory
+/// rank; the lowest rank that registered the gid becomes its owner. The
+/// directory persists so ids discovered later (off-process matrix columns)
+/// resolve to the same owner.
+///
+/// Local index convention: owned ids first (sorted by gid), then ghost ids
+/// (sorted by owner rank, then gid).
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace hetero::la {
+
+using GlobalId = std::int64_t;
+inline constexpr int kInvalidLocal = -1;
+
+/// Distributed gid -> owner directory. All methods are collective.
+class GidDirectory {
+ public:
+  /// Registers `touched` for this rank and assigns owners (min rank wins).
+  static GidDirectory build(simmpi::Comm& comm,
+                            std::span<const GlobalId> touched);
+
+  /// Owner rank of each queried gid; collective. Unknown gids are an error.
+  std::vector<int> lookup(simmpi::Comm& comm,
+                          std::span<const GlobalId> gids) const;
+
+ private:
+  /// Entries this rank is the directory for.
+  std::unordered_map<GlobalId, int> owner_of_;
+  int ranks_ = 1;
+};
+
+/// Immutable distribution of unknowns over ranks.
+class IndexMap {
+ public:
+  /// Builds a map whose owned set is {g in touched : owner(g) == my rank}
+  /// and whose ghost set is the rest of `touched` plus `extra_ghosts`.
+  /// Collective. `directory` must have been built over the union of all
+  /// ranks' touched sets.
+  static IndexMap build(simmpi::Comm& comm, const GidDirectory& directory,
+                        std::span<const GlobalId> touched,
+                        std::span<const GlobalId> extra_ghosts = {});
+
+  int owned_count() const { return owned_count_; }
+  int ghost_count() const {
+    return static_cast<int>(gids_.size()) - owned_count_;
+  }
+  int local_count() const { return static_cast<int>(gids_.size()); }
+  std::int64_t global_count() const { return global_count_; }
+
+  /// gid of local index l (owned then ghost).
+  GlobalId gid(int l) const { return gids_[static_cast<std::size_t>(l)]; }
+  const std::vector<GlobalId>& gids() const { return gids_; }
+
+  /// Local index of `gid`, or kInvalidLocal when not on this rank.
+  int local(GlobalId gid) const;
+
+  bool is_owned_local(int l) const { return l < owned_count_; }
+
+  /// Owner rank of ghost local index l (l >= owned_count()).
+  int ghost_owner(int l) const {
+    return ghost_owner_[static_cast<std::size_t>(l - owned_count_)];
+  }
+
+ private:
+  std::vector<GlobalId> gids_;
+  std::unordered_map<GlobalId, int> local_of_;
+  std::vector<int> ghost_owner_;
+  int owned_count_ = 0;
+  std::int64_t global_count_ = 0;
+};
+
+}  // namespace hetero::la

@@ -1,0 +1,243 @@
+#include "la/system_builder.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace hetero::la {
+
+DistSystemBuilder::DistSystemBuilder(simmpi::Comm& comm,
+                                     std::vector<GlobalId> touched)
+    : touched_(std::move(touched)) {
+  std::sort(touched_.begin(), touched_.end());
+  touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                 touched_.end());
+  directory_ = GidDirectory::build(comm, touched_);
+  const auto owners = directory_->lookup(comm, touched_);
+  touched_owner_.reserve(touched_.size());
+  for (std::size_t i = 0; i < touched_.size(); ++i) {
+    touched_owner_.emplace(touched_[i], owners[i]);
+  }
+}
+
+void DistSystemBuilder::begin_assembly() {
+  mat_pending_.clear();
+  rhs_pending_.clear();
+}
+
+void DistSystemBuilder::add_matrix(GlobalId row, GlobalId col, double value) {
+  mat_pending_.push_back({row, col, value});
+}
+
+void DistSystemBuilder::add_rhs(GlobalId row, double value) {
+  rhs_pending_.push_back({row, value});
+}
+
+int DistSystemBuilder::owner_of_row(GlobalId row) const {
+  const auto it = touched_owner_.find(row);
+  HETERO_REQUIRE(it != touched_owner_.end(),
+                 "contribution to a row this rank never declared as touched");
+  return it->second;
+}
+
+void DistSystemBuilder::finalize(simmpi::Comm& comm) {
+  if (!frozen_) {
+    first_finalize(comm);
+  } else {
+    replay_finalize(comm);
+  }
+}
+
+void DistSystemBuilder::first_finalize(simmpi::Comm& comm) {
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  // ---- route matrix triplets by row owner -------------------------------
+  mat_route_.assign(static_cast<std::size_t>(p), {});
+  mat_kept_.clear();
+  for (std::size_t i = 0; i < mat_pending_.size(); ++i) {
+    const int owner = owner_of_row(mat_pending_[i].row);
+    if (owner == me) {
+      mat_kept_.push_back(i);
+    } else {
+      mat_route_[static_cast<std::size_t>(owner)].push_back(i);
+    }
+  }
+  std::vector<std::vector<GlobalTriplet>> mat_out(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i : mat_route_[static_cast<std::size_t>(r)]) {
+      mat_out[static_cast<std::size_t>(r)].push_back(mat_pending_[i]);
+    }
+  }
+  const auto mat_in = comm.alltoallv(mat_out);
+
+  // Combined deterministic order: kept first, then per-source blocks.
+  std::vector<GlobalTriplet> combined;
+  combined.reserve(mat_kept_.size());
+  for (std::size_t i : mat_kept_) {
+    combined.push_back(mat_pending_[i]);
+  }
+  for (const auto& block : mat_in) {
+    combined.insert(combined.end(), block.begin(), block.end());
+  }
+
+  // ---- route rhs pairs ---------------------------------------------------
+  rhs_route_.assign(static_cast<std::size_t>(p), {});
+  rhs_kept_.clear();
+  for (std::size_t i = 0; i < rhs_pending_.size(); ++i) {
+    const int owner = owner_of_row(rhs_pending_[i].row);
+    if (owner == me) {
+      rhs_kept_.push_back(i);
+    } else {
+      rhs_route_[static_cast<std::size_t>(owner)].push_back(i);
+    }
+  }
+  std::vector<std::vector<GlobalPair>> rhs_out(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i : rhs_route_[static_cast<std::size_t>(r)]) {
+      rhs_out[static_cast<std::size_t>(r)].push_back(rhs_pending_[i]);
+    }
+  }
+  const auto rhs_in = comm.alltoallv(rhs_out);
+  std::vector<GlobalPair> rhs_combined;
+  for (std::size_t i : rhs_kept_) {
+    rhs_combined.push_back(rhs_pending_[i]);
+  }
+  for (const auto& block : rhs_in) {
+    rhs_combined.insert(rhs_combined.end(), block.begin(), block.end());
+  }
+
+  // ---- resolve columns and build the index map ---------------------------
+  std::vector<GlobalId> extra;
+  for (const auto& t : combined) {
+    if (touched_owner_.find(t.col) == touched_owner_.end()) {
+      extra.push_back(t.col);
+    }
+  }
+  map_ = IndexMap::build(comm, *directory_, touched_, extra);
+  halo_ = std::make_unique<HaloExchange>(comm, *map_);
+
+  // ---- build the CSR pattern + value slots --------------------------------
+  std::vector<Triplet> local;
+  local.reserve(combined.size());
+  for (const auto& t : combined) {
+    const int rl = map_->local(t.row);
+    const int cl = map_->local(t.col);
+    HETERO_CHECK(rl != kInvalidLocal && map_->is_owned_local(rl));
+    HETERO_CHECK(cl != kInvalidLocal);
+    local.push_back({rl, cl, t.value});
+  }
+  CsrMatrix csr = CsrMatrix::from_triplets(map_->owned_count(),
+                                           map_->local_count(), local);
+  mat_slots_.resize(combined.size());
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    mat_slots_[i] = csr.slot(local[i].row, local[i].col);
+    HETERO_CHECK(mat_slots_[i] >= 0);
+  }
+  matrix_.emplace(*map_, *halo_, std::move(csr));
+
+  rhs_.emplace(*map_);
+  rhs_slots_.resize(rhs_combined.size());
+  for (std::size_t i = 0; i < rhs_combined.size(); ++i) {
+    const int rl = map_->local(rhs_combined[i].row);
+    HETERO_CHECK(rl != kInvalidLocal && map_->is_owned_local(rl));
+    rhs_slots_[i] = rl;
+    (*rhs_)[rl] += rhs_combined[i].value;
+  }
+
+  mat_sequence_ = std::move(mat_pending_);
+  rhs_sequence_ = std::move(rhs_pending_);
+  mat_pending_.clear();
+  rhs_pending_.clear();
+  frozen_ = true;
+}
+
+void DistSystemBuilder::replay_finalize(simmpi::Comm& comm) {
+  const int p = comm.size();
+  HETERO_REQUIRE(mat_pending_.size() == mat_sequence_.size(),
+                 "refill produced a different number of matrix entries");
+  HETERO_REQUIRE(rhs_pending_.size() == rhs_sequence_.size(),
+                 "refill produced a different number of rhs entries");
+  // Structural identity check (indices must repeat exactly).
+  for (std::size_t i = 0; i < mat_pending_.size(); ++i) {
+    HETERO_REQUIRE(mat_pending_[i].row == mat_sequence_[i].row &&
+                       mat_pending_[i].col == mat_sequence_[i].col,
+                   "refill changed the matrix sparsity sequence");
+  }
+  for (std::size_t i = 0; i < rhs_pending_.size(); ++i) {
+    HETERO_REQUIRE(rhs_pending_[i].row == rhs_sequence_[i].row,
+                   "refill changed the rhs sequence");
+  }
+
+  // Ship values only, in the frozen routing order.
+  std::vector<std::vector<double>> mat_out(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i : mat_route_[static_cast<std::size_t>(r)]) {
+      mat_out[static_cast<std::size_t>(r)].push_back(mat_pending_[i].value);
+    }
+  }
+  const auto mat_in = comm.alltoallv(mat_out);
+  std::vector<std::vector<double>> rhs_out(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i : rhs_route_[static_cast<std::size_t>(r)]) {
+      rhs_out[static_cast<std::size_t>(r)].push_back(rhs_pending_[i].value);
+    }
+  }
+  const auto rhs_in = comm.alltoallv(rhs_out);
+
+  auto values = matrix_->local_mut().values_mut();
+  std::fill(values.begin(), values.end(), 0.0);
+  std::size_t k = 0;
+  for (std::size_t i : mat_kept_) {
+    values[static_cast<std::size_t>(mat_slots_[k++])] +=
+        mat_pending_[i].value;
+  }
+  for (const auto& block : mat_in) {
+    for (double v : block) {
+      values[static_cast<std::size_t>(mat_slots_[k++])] += v;
+    }
+  }
+  HETERO_CHECK(k == mat_slots_.size());
+
+  rhs_->set_all(0.0);
+  k = 0;
+  for (std::size_t i : rhs_kept_) {
+    (*rhs_)[rhs_slots_[k++]] += rhs_pending_[i].value;
+  }
+  for (const auto& block : rhs_in) {
+    for (double v : block) {
+      (*rhs_)[rhs_slots_[k++]] += v;
+    }
+  }
+  HETERO_CHECK(k == rhs_slots_.size());
+
+  mat_pending_.clear();
+  rhs_pending_.clear();
+}
+
+const IndexMap& DistSystemBuilder::map() const {
+  HETERO_REQUIRE(frozen_, "map() requires a finalized system");
+  return *map_;
+}
+
+const HaloExchange& DistSystemBuilder::halo() const {
+  HETERO_REQUIRE(frozen_, "halo() requires a finalized system");
+  return *halo_;
+}
+
+DistCsrMatrix& DistSystemBuilder::matrix() {
+  HETERO_REQUIRE(frozen_, "matrix() requires a finalized system");
+  return *matrix_;
+}
+
+const DistCsrMatrix& DistSystemBuilder::matrix() const {
+  HETERO_REQUIRE(frozen_, "matrix() requires a finalized system");
+  return *matrix_;
+}
+
+DistVector& DistSystemBuilder::rhs() {
+  HETERO_REQUIRE(frozen_, "rhs() requires a finalized system");
+  return *rhs_;
+}
+
+}  // namespace hetero::la

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file system_builder.hpp
+/// Distributed linear-system assembly with global ids (the Trilinos
+/// FECrsMatrix/globalAssemble analogue).
+///
+/// Ranks add matrix and right-hand-side contributions by *global* id,
+/// including rows they do not own (FEM elements on partition boundaries
+/// produce those). `finalize()` ships off-process contributions to the row
+/// owners, resolves ghost columns, and builds the distributed CSR matrix.
+///
+/// Time-dependent problems reassemble every step with an identical sparsity
+/// pattern, so the first finalize() freezes the structure (index maps, halo
+/// plan, CSR pattern, communication routing) and later assemble→finalize
+/// rounds replay it shipping *values only* — the same optimization real FEM
+/// codes use.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "la/dist_matrix.hpp"
+#include "la/dist_vector.hpp"
+#include "la/halo.hpp"
+#include "la/index_map.hpp"
+
+namespace hetero::la {
+
+class DistSystemBuilder {
+ public:
+  /// Collective: establishes ownership of the dof gids this rank touches.
+  DistSystemBuilder(simmpi::Comm& comm, std::vector<GlobalId> touched);
+
+  /// Starts an assembly round; clears pending contributions.
+  void begin_assembly();
+
+  /// Adds A(row, col) += value. After the structure is frozen, calls must
+  /// repeat the first round's (row, col) sequence exactly.
+  void add_matrix(GlobalId row, GlobalId col, double value);
+
+  /// Adds b(row) += value. Rows may repeat freely within a round, but the
+  /// sequence must repeat across rounds once frozen.
+  void add_rhs(GlobalId row, double value);
+
+  /// Collective: ships contributions, builds (first time) or refills the
+  /// distributed system.
+  void finalize(simmpi::Comm& comm);
+
+  bool structure_frozen() const { return frozen_; }
+
+  const IndexMap& map() const;
+  const HaloExchange& halo() const;
+  DistCsrMatrix& matrix();
+  const DistCsrMatrix& matrix() const;
+  DistVector& rhs();
+
+ private:
+  struct GlobalTriplet {
+    GlobalId row = 0;
+    GlobalId col = 0;
+    double value = 0.0;
+  };
+  struct GlobalPair {
+    GlobalId row = 0;
+    double value = 0.0;
+  };
+
+  void first_finalize(simmpi::Comm& comm);
+  void replay_finalize(simmpi::Comm& comm);
+  int owner_of_row(GlobalId row) const;
+
+  std::vector<GlobalId> touched_;
+  std::unordered_map<GlobalId, int> touched_owner_;
+  std::optional<GidDirectory> directory_;
+
+  // Pending contributions of the current round.
+  std::vector<GlobalTriplet> mat_pending_;
+  std::vector<GlobalPair> rhs_pending_;
+
+  // Frozen structure.
+  bool frozen_ = false;
+  std::optional<IndexMap> map_;
+  std::unique_ptr<HaloExchange> halo_;
+  std::optional<DistCsrMatrix> matrix_;
+  std::optional<DistVector> rhs_;
+
+  // Replay plans (first-round routing, reused verbatim).
+  // For matrix triplets: indices into mat_pending_ destined to each rank.
+  std::vector<std::vector<std::size_t>> mat_route_;
+  std::vector<std::size_t> mat_kept_;          // indices staying local
+  std::vector<std::int64_t> mat_slots_;        // CSR slot per combined triplet
+  std::vector<GlobalTriplet> mat_sequence_;    // first-round sequence (checks)
+  std::vector<std::vector<std::size_t>> rhs_route_;
+  std::vector<std::size_t> rhs_kept_;
+  std::vector<int> rhs_slots_;                 // owned lid per combined pair
+  std::vector<GlobalPair> rhs_sequence_;
+};
+
+}  // namespace hetero::la

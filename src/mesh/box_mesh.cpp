@@ -1,0 +1,291 @@
+#include "mesh/box_mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace hetero::mesh {
+
+GlobalId BoxMeshSpec::vertex_gid(int i, int j, int k) const {
+  return static_cast<GlobalId>(i) +
+         static_cast<GlobalId>(nx + 1) *
+             (static_cast<GlobalId>(j) +
+              static_cast<GlobalId>(ny + 1) * static_cast<GlobalId>(k));
+}
+
+std::int64_t BoxMeshSpec::vertex_count() const {
+  return static_cast<std::int64_t>(nx + 1) * (ny + 1) * (nz + 1);
+}
+
+std::int64_t BoxMeshSpec::cell_count() const {
+  return static_cast<std::int64_t>(nx) * ny * nz;
+}
+
+Vec3 BoxMeshSpec::vertex_coord(int i, int j, int k) const {
+  const double fx = static_cast<double>(i) / nx;
+  const double fy = static_cast<double>(j) / ny;
+  const double fz = static_cast<double>(k) / nz;
+  return {lo.x + fx * (hi.x - lo.x), lo.y + fy * (hi.y - lo.y),
+          lo.z + fz * (hi.z - lo.z)};
+}
+
+namespace {
+
+/// The six Kuhn tetrahedra of the unit cube, as paths 000 -> 111 adding one
+/// axis at a time; vertex offsets are (di, dj, dk). Orientation is fixed up
+/// at emission time by swapping two vertices when the signed volume is
+/// negative.
+constexpr std::array<std::array<int, 3>, 6> kAxisOrders = {{
+    {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+}};
+
+std::array<std::array<int, 3>, 4> kuhn_offsets(int path) {
+  std::array<std::array<int, 3>, 4> offs{};
+  offs[0] = {0, 0, 0};
+  std::array<int, 3> acc{0, 0, 0};
+  for (int step = 0; step < 3; ++step) {
+    acc[static_cast<std::size_t>(kAxisOrders[static_cast<std::size_t>(path)]
+                                           [static_cast<std::size_t>(step)])] = 1;
+    offs[static_cast<std::size_t>(step + 1)] = acc;
+  }
+  return offs;
+}
+
+/// Emits the six tets of cell (ci, cj, ck) through `vertex_index`, which maps
+/// structured (i, j, k) to a local vertex index.
+template <class VertexIndexFn>
+void emit_cell_tets(int ci, int cj, int ck, const VertexIndexFn& vertex_index,
+                    const std::vector<Vec3>& coords,
+                    std::vector<std::array<int, 4>>& tets) {
+  for (int path = 0; path < 6; ++path) {
+    const auto offs = kuhn_offsets(path);
+    std::array<int, 4> tet{};
+    for (int v = 0; v < 4; ++v) {
+      const auto& o = offs[static_cast<std::size_t>(v)];
+      tet[static_cast<std::size_t>(v)] =
+          vertex_index(ci + o[0], cj + o[1], ck + o[2]);
+    }
+    const double vol = tet_signed_volume(
+        coords[static_cast<std::size_t>(tet[0])],
+        coords[static_cast<std::size_t>(tet[1])],
+        coords[static_cast<std::size_t>(tet[2])],
+        coords[static_cast<std::size_t>(tet[3])]);
+    if (vol < 0.0) {
+      std::swap(tet[2], tet[3]);
+    }
+    tets.push_back(tet);
+  }
+}
+
+/// Collects the boundary faces of the tets lying on the domain boundary.
+/// Faces are detected per cell: cells at the grid boundary contribute the
+/// triangles of their exposed cube faces. Works for both the full mesh and
+/// submeshes (then only the *global* domain boundary is marked).
+template <class VertexIndexFn>
+void emit_boundary_faces(const BoxMeshSpec& spec, const CellBox& box,
+                         const VertexIndexFn& vertex_index,
+                         std::vector<BoundaryFace>& faces) {
+  // Each exposed cube face is split along its Kuhn diagonal (low corner to
+  // high corner) into two triangles. Marker values: 1 -x, 2 +x, 3 -y, 4 +y,
+  // 5 -z, 6 +z.
+  struct FaceSpec {
+    int marker;
+    // Corner offsets of the quad (low-to-high winding).
+    std::array<std::array<int, 3>, 4> quad;
+  };
+  auto cell_faces = [&](int ci, int cj, int ck,
+                        std::vector<FaceSpec>& out) {
+    out.clear();
+    if (ci == 0) {
+      out.push_back({1, {{{0, 0, 0}, {0, 1, 0}, {0, 1, 1}, {0, 0, 1}}}});
+    }
+    if (ci == spec.nx - 1) {
+      out.push_back({2, {{{1, 0, 0}, {1, 1, 0}, {1, 1, 1}, {1, 0, 1}}}});
+    }
+    if (cj == 0) {
+      out.push_back({3, {{{0, 0, 0}, {1, 0, 0}, {1, 0, 1}, {0, 0, 1}}}});
+    }
+    if (cj == spec.ny - 1) {
+      out.push_back({4, {{{0, 1, 0}, {1, 1, 0}, {1, 1, 1}, {0, 1, 1}}}});
+    }
+    if (ck == 0) {
+      out.push_back({5, {{{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0}}}});
+    }
+    if (ck == spec.nz - 1) {
+      out.push_back({6, {{{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}}}});
+    }
+  };
+  std::vector<FaceSpec> specs;
+  for (int ck = box.k0; ck < box.k1; ++ck) {
+    for (int cj = box.j0; cj < box.j1; ++cj) {
+      for (int ci = box.i0; ci < box.i1; ++ci) {
+        cell_faces(ci, cj, ck, specs);
+        for (const auto& fs : specs) {
+          // Quad corners in local vertex indices; split along the diagonal
+          // between the quad's min (corner 0) and max (corner 2) corners,
+          // matching the Kuhn triangulation's face diagonals.
+          std::array<int, 4> q{};
+          for (int c = 0; c < 4; ++c) {
+            const auto& o = fs.quad[static_cast<std::size_t>(c)];
+            q[static_cast<std::size_t>(c)] =
+                vertex_index(ci + o[0], cj + o[1], ck + o[2]);
+          }
+          faces.push_back({{q[0], q[1], q[2]}, fs.marker});
+          faces.push_back({{q[0], q[2], q[3]}, fs.marker});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BlockDecomposition::BlockDecomposition(const BoxMeshSpec& spec, int ranks)
+    : spec_(spec) {
+  HETERO_REQUIRE(ranks >= 1, "block decomposition requires >= 1 rank");
+  // Most cubic factorization px >= py >= pz by brute force; the grid does
+  // not need to divide evenly (split_sizes balances remainders).
+  int best_px = ranks, best_py = 1, best_pz = 1;
+  double best_score = 1e300;
+  for (int px = 1; px <= ranks; ++px) {
+    if (ranks % px != 0) {
+      continue;
+    }
+    const int rest = ranks / px;
+    for (int py = 1; py <= rest; ++py) {
+      if (rest % py != 0) {
+        continue;
+      }
+      const int pz = rest / py;
+      if (px > spec.nx || py > spec.ny || pz > spec.nz) {
+        continue;
+      }
+      // Surface-to-volume heuristic for a unit cube of work.
+      const double score = static_cast<double>(px) / spec.nx +
+                           static_cast<double>(py) / spec.ny +
+                           static_cast<double>(pz) / spec.nz;
+      if (score < best_score) {
+        best_score = score;
+        best_px = px;
+        best_py = py;
+        best_pz = pz;
+      }
+    }
+  }
+  HETERO_REQUIRE(best_px <= spec.nx && best_py <= spec.ny && best_pz <= spec.nz,
+                 "more ranks than cells along an axis");
+  px_ = best_px;
+  py_ = best_py;
+  pz_ = best_pz;
+  xs_ = split_sizes(spec.nx, px_);
+  ys_ = split_sizes(spec.ny, py_);
+  zs_ = split_sizes(spec.nz, pz_);
+}
+
+std::vector<int> BlockDecomposition::split_sizes(int n, int parts) {
+  // Boundaries 0 = b[0] <= b[1] <= ... <= b[parts] = n, sizes within one.
+  std::vector<int> bounds(static_cast<std::size_t>(parts) + 1, 0);
+  for (int p = 0; p <= parts; ++p) {
+    bounds[static_cast<std::size_t>(p)] =
+        static_cast<int>((static_cast<std::int64_t>(n) * p) / parts);
+  }
+  return bounds;
+}
+
+std::array<int, 3> BlockDecomposition::block_coords(int rank) const {
+  HETERO_REQUIRE(rank >= 0 && rank < ranks(), "rank out of range");
+  return {rank % px_, (rank / px_) % py_, rank / (px_ * py_)};
+}
+
+CellBox BlockDecomposition::box(int rank) const {
+  const auto [bx, by, bz] = block_coords(rank);
+  return CellBox{
+      xs_[static_cast<std::size_t>(bx)], xs_[static_cast<std::size_t>(bx) + 1],
+      ys_[static_cast<std::size_t>(by)], ys_[static_cast<std::size_t>(by) + 1],
+      zs_[static_cast<std::size_t>(bz)], zs_[static_cast<std::size_t>(bz) + 1]};
+}
+
+int BlockDecomposition::rank_of_cell(int i, int j, int k) const {
+  HETERO_REQUIRE(i >= 0 && i < spec_.nx && j >= 0 && j < spec_.ny && k >= 0 &&
+                     k < spec_.nz,
+                 "cell index out of range");
+  auto find_block = [](const std::vector<int>& bounds, int c) {
+    // bounds is sorted; block b covers [bounds[b], bounds[b+1]).
+    const auto it = std::upper_bound(bounds.begin(), bounds.end(), c);
+    return static_cast<int>(it - bounds.begin()) - 1;
+  };
+  const int bx = find_block(xs_, i);
+  const int by = find_block(ys_, j);
+  const int bz = find_block(zs_, k);
+  return bx + px_ * (by + py_ * bz);
+}
+
+int BlockDecomposition::rank_of_vertex(int i, int j, int k) const {
+  // Lowest incident cell: clamp (i-1, j-1, k-1) into the grid.
+  const int ci = std::clamp(i - 1, 0, spec_.nx - 1);
+  const int cj = std::clamp(j - 1, 0, spec_.ny - 1);
+  const int ck = std::clamp(k - 1, 0, spec_.nz - 1);
+  return rank_of_cell(ci, cj, ck);
+}
+
+int BlockDecomposition::face_neighbours(int rank) const {
+  const auto [bx, by, bz] = block_coords(rank);
+  int n = 0;
+  n += (bx > 0) + (bx < px_ - 1);
+  n += (by > 0) + (by < py_ - 1);
+  n += (bz > 0) + (bz < pz_ - 1);
+  return n;
+}
+
+TetMesh build_box_mesh(const BoxMeshSpec& spec) {
+  return build_box_submesh(spec, CellBox{0, spec.nx, 0, spec.ny, 0, spec.nz});
+}
+
+TetMesh build_box_submesh(const BoxMeshSpec& spec, const CellBox& box) {
+  HETERO_REQUIRE(spec.nx >= 1 && spec.ny >= 1 && spec.nz >= 1,
+                 "box mesh needs at least one cell per axis");
+  HETERO_REQUIRE(box.i0 >= 0 && box.i1 <= spec.nx && box.j0 >= 0 &&
+                     box.j1 <= spec.ny && box.k0 >= 0 && box.k1 <= spec.nz &&
+                     box.cells() > 0,
+                 "cell box out of range or empty");
+
+  const int vi = box.i1 - box.i0 + 1;
+  const int vj = box.j1 - box.j0 + 1;
+  const int vk = box.k1 - box.k0 + 1;
+  std::vector<Vec3> coords;
+  std::vector<GlobalId> gids;
+  coords.reserve(static_cast<std::size_t>(vi) * vj * vk);
+  gids.reserve(coords.capacity());
+  for (int k = box.k0; k <= box.k1; ++k) {
+    for (int j = box.j0; j <= box.j1; ++j) {
+      for (int i = box.i0; i <= box.i1; ++i) {
+        coords.push_back(spec.vertex_coord(i, j, k));
+        gids.push_back(spec.vertex_gid(i, j, k));
+      }
+    }
+  }
+  auto vertex_index = [&](int i, int j, int k) {
+    return (i - box.i0) + vi * ((j - box.j0) + vj * (k - box.k0));
+  };
+
+  std::vector<std::array<int, 4>> tets;
+  tets.reserve(static_cast<std::size_t>(box.cells()) * 6);
+  for (int ck = box.k0; ck < box.k1; ++ck) {
+    for (int cj = box.j0; cj < box.j1; ++cj) {
+      for (int ci = box.i0; ci < box.i1; ++ci) {
+        emit_cell_tets(ci, cj, ck, vertex_index, coords, tets);
+      }
+    }
+  }
+
+  TetMesh mesh(std::move(coords), std::move(tets));
+  mesh.set_vertex_gids(std::move(gids));
+  std::vector<BoundaryFace> faces;
+  emit_boundary_faces(spec, box, vertex_index, faces);
+  mesh.set_boundary_faces(std::move(faces));
+  return mesh;
+}
+
+}  // namespace hetero::mesh

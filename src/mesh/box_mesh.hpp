@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file box_mesh.hpp
+/// Structured tetrahedral meshes of a box, and the block decomposition used
+/// to hand each rank its own submesh (the paper's mesh-partitioning step (i)
+/// for the weak-scaling runs, where the global mesh never fits one node).
+///
+/// Each hexahedral cell is split into six tetrahedra around the main
+/// diagonal (Kuhn/Freudenthal triangulation), which is conforming across
+/// cell faces when every cell uses the same diagonal.
+
+#include <array>
+#include <cstdint>
+
+#include "mesh/tet_mesh.hpp"
+
+namespace hetero::mesh {
+
+/// A box [lo, hi]³ discretized into nx × ny × nz hexahedral cells.
+struct BoxMeshSpec {
+  int nx = 1;
+  int ny = 1;
+  int nz = 1;
+  Vec3 lo{0.0, 0.0, 0.0};
+  Vec3 hi{1.0, 1.0, 1.0};
+
+  /// Global structured id of vertex (i, j, k), i in [0, nx] etc.
+  GlobalId vertex_gid(int i, int j, int k) const;
+  std::int64_t vertex_count() const;
+  std::int64_t cell_count() const;
+  Vec3 vertex_coord(int i, int j, int k) const;
+};
+
+/// Half-open cell index ranges of one rank's sub-box.
+struct CellBox {
+  int i0 = 0, i1 = 0;
+  int j0 = 0, j1 = 0;
+  int k0 = 0, k1 = 0;
+
+  int cells() const { return (i1 - i0) * (j1 - j0) * (k1 - k0); }
+  bool contains(int i, int j, int k) const {
+    return i >= i0 && i < i1 && j >= j0 && j < j1 && k >= k0 && k < k1;
+  }
+};
+
+/// Splits the cell grid into px × py × pz blocks (one per rank).
+class BlockDecomposition {
+ public:
+  /// Picks the most cubic factorization of `ranks` that divides into the
+  /// grid; exact cubes (1, 8, 27, ...) become k × k × k.
+  BlockDecomposition(const BoxMeshSpec& spec, int ranks);
+
+  int ranks() const { return px_ * py_ * pz_; }
+  std::array<int, 3> grid() const { return {px_, py_, pz_}; }
+
+  /// Cell box of `rank` (ranks numbered x-fastest).
+  CellBox box(int rank) const;
+
+  /// Rank owning cell (i, j, k).
+  int rank_of_cell(int i, int j, int k) const;
+
+  /// Rank owning vertex (i, j, k): the owner of the lexicographically lowest
+  /// cell incident to the vertex. Every rank touching the vertex can compute
+  /// this locally.
+  int rank_of_vertex(int i, int j, int k) const;
+
+  /// Number of face-neighbour blocks of `rank` (for halo models).
+  int face_neighbours(int rank) const;
+
+ private:
+  std::array<int, 3> block_coords(int rank) const;
+  static std::vector<int> split_sizes(int n, int parts);
+
+  BoxMeshSpec spec_;
+  int px_ = 1, py_ = 1, pz_ = 1;
+  std::vector<int> xs_, ys_, zs_;  // cell-range boundaries per axis
+};
+
+/// Builds the complete mesh of `spec` with boundary faces marked 1..6.
+TetMesh build_box_mesh(const BoxMeshSpec& spec);
+
+/// Builds the submesh covering `box` (cells only; vertices are the box's
+/// vertices). Vertex gids are the structured global ids of `spec`.
+TetMesh build_box_submesh(const BoxMeshSpec& spec, const CellBox& box);
+
+}  // namespace hetero::mesh

@@ -1,0 +1,55 @@
+#include "mesh/edges.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace hetero::mesh {
+
+namespace {
+struct PairHash {
+  std::size_t operator()(const std::array<int, 2>& e) const {
+    return std::hash<std::int64_t>()(
+        (static_cast<std::int64_t>(e[0]) << 32) ^ e[1]);
+  }
+};
+}  // namespace
+
+EdgeSet build_edges(const TetMesh& mesh) {
+  EdgeSet set;
+  set.tet_edges.resize(mesh.tet_count());
+  std::unordered_map<std::array<int, 2>, int, PairHash> index;
+  index.reserve(mesh.tet_count() * 2);
+  for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+    const auto& tet = mesh.tet(t);
+    for (std::size_t e = 0; e < kTetEdgeVertices.size(); ++e) {
+      int a = tet[static_cast<std::size_t>(kTetEdgeVertices[e][0])];
+      int b = tet[static_cast<std::size_t>(kTetEdgeVertices[e][1])];
+      if (a > b) {
+        std::swap(a, b);
+      }
+      const std::array<int, 2> key{a, b};
+      auto [it, inserted] =
+          index.try_emplace(key, static_cast<int>(set.edges.size()));
+      if (inserted) {
+        set.edges.push_back(key);
+      }
+      set.tet_edges[t][e] = it->second;
+    }
+  }
+  return set;
+}
+
+GlobalId edge_gid(GlobalId vertex_a, GlobalId vertex_b,
+                  std::int64_t global_vertex_count) {
+  HETERO_REQUIRE(vertex_a != vertex_b, "edge endpoints must differ");
+  HETERO_REQUIRE(vertex_a >= 0 && vertex_a < global_vertex_count &&
+                     vertex_b >= 0 && vertex_b < global_vertex_count,
+                 "edge endpoint gid out of range");
+  const GlobalId lo = std::min(vertex_a, vertex_b);
+  const GlobalId hi = std::max(vertex_a, vertex_b);
+  return global_vertex_count + lo * global_vertex_count + hi;
+}
+
+}  // namespace hetero::mesh

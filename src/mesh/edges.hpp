@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file edges.hpp
+/// Unique edge enumeration of a tetrahedral mesh, needed by the quadratic
+/// (P2) finite-element space whose extra unknowns sit at edge midpoints.
+
+#include <array>
+#include <vector>
+
+#include "mesh/tet_mesh.hpp"
+
+namespace hetero::mesh {
+
+/// Canonical local edge order of a tetrahedron (pairs of local vertices).
+/// P2 shape functions index their edge bubbles in this order.
+inline constexpr std::array<std::array<int, 2>, 6> kTetEdgeVertices = {{
+    {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+}};
+
+struct EdgeSet {
+  /// Unique edges as pairs of local vertex indices, lower index first.
+  std::vector<std::array<int, 2>> edges;
+  /// For each tet, its six edge ids in kTetEdgeVertices order.
+  std::vector<std::array<int, 6>> tet_edges;
+};
+
+/// Enumerates the unique edges of `mesh`.
+EdgeSet build_edges(const TetMesh& mesh);
+
+/// Globally unique id of the edge between two *global* vertex ids, given the
+/// total global vertex count: ids start at `global_vertex_count` and encode
+/// the sorted vertex pair. Collision-free for meshes below ~3e9 vertices.
+GlobalId edge_gid(GlobalId vertex_a, GlobalId vertex_b,
+                  std::int64_t global_vertex_count);
+
+}  // namespace hetero::mesh

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file geometry.hpp
+/// Small 3-D geometry value types used across mesh / fem.
+
+#include <array>
+#include <cmath>
+
+namespace hetero::mesh {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  double norm2() const { return dot(*this); }
+};
+
+inline Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Signed volume of the tetrahedron (a, b, c, d); positive when (b-a, c-a,
+/// d-a) form a right-handed frame.
+inline double tet_signed_volume(const Vec3& a, const Vec3& b, const Vec3& c,
+                                const Vec3& d) {
+  return (b - a).cross(c - a).dot(d - a) / 6.0;
+}
+
+/// Midpoint of a segment.
+inline Vec3 midpoint(const Vec3& a, const Vec3& b) {
+  return {(a.x + b.x) / 2.0, (a.y + b.y) / 2.0, (a.z + b.z) / 2.0};
+}
+
+}  // namespace hetero::mesh

@@ -1,0 +1,128 @@
+#include "mesh/refine.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "mesh/edges.hpp"
+#include "support/error.hpp"
+
+namespace hetero::mesh {
+
+TetMesh refine_uniform(const TetMesh& mesh) {
+  const EdgeSet edges = build_edges(mesh);
+  const int nv = static_cast<int>(mesh.vertex_count());
+
+  // Vertices: originals first, then one midpoint per unique edge.
+  std::vector<Vec3> vertices(mesh.vertices());
+  vertices.reserve(vertices.size() + edges.edges.size());
+  for (const auto& e : edges.edges) {
+    vertices.push_back(midpoint(mesh.vertex(e[0]), mesh.vertex(e[1])));
+  }
+  auto mid = [&](std::size_t t, int local_edge) {
+    return nv + edges.tet_edges[t][static_cast<std::size_t>(local_edge)];
+  };
+
+  // Local edge order (kTetEdgeVertices): 0:(0,1) 1:(0,2) 2:(0,3) 3:(1,2)
+  // 4:(1,3) 5:(2,3).
+  std::vector<std::array<int, 4>> tets;
+  tets.reserve(mesh.tet_count() * 8);
+  auto emit = [&](int a, int b, int c, int d) {
+    std::array<int, 4> tet{a, b, c, d};
+    if (tet_signed_volume(vertices[static_cast<std::size_t>(a)],
+                          vertices[static_cast<std::size_t>(b)],
+                          vertices[static_cast<std::size_t>(c)],
+                          vertices[static_cast<std::size_t>(d)]) < 0.0) {
+      std::swap(tet[2], tet[3]);
+    }
+    tets.push_back(tet);
+  };
+  for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+    const auto& v = mesh.tet(t);
+    const int e01 = mid(t, 0);
+    const int e02 = mid(t, 1);
+    const int e03 = mid(t, 2);
+    const int e12 = mid(t, 3);
+    const int e13 = mid(t, 4);
+    const int e23 = mid(t, 5);
+    // Four corner tets.
+    emit(v[0], e01, e02, e03);
+    emit(e01, v[1], e12, e13);
+    emit(e02, e12, v[2], e23);
+    emit(e03, e13, e23, v[3]);
+    // Inner octahedron split along the (e02, e13) diagonal (Bey's rule).
+    emit(e01, e02, e03, e13);
+    emit(e01, e02, e12, e13);
+    emit(e02, e03, e13, e23);
+    emit(e02, e12, e13, e23);
+  }
+
+  TetMesh refined(std::move(vertices), std::move(tets));
+
+  // Boundary faces: split each marked triangle into four using the same
+  // midpoints; look them up via the global edge keys.
+  std::unordered_map<std::int64_t, int> edge_mid;
+  edge_mid.reserve(edges.edges.size());
+  for (std::size_t e = 0; e < edges.edges.size(); ++e) {
+    const auto key = static_cast<std::int64_t>(edges.edges[e][0]) *
+                         static_cast<std::int64_t>(nv) +
+                     edges.edges[e][1];
+    edge_mid.emplace(key, nv + static_cast<int>(e));
+  }
+  auto midpoint_of = [&](int a, int b) {
+    const auto key = static_cast<std::int64_t>(std::min(a, b)) *
+                         static_cast<std::int64_t>(nv) +
+                     std::max(a, b);
+    const auto it = edge_mid.find(key);
+    HETERO_REQUIRE(it != edge_mid.end(),
+                   "boundary face edge missing from the mesh edge set");
+    return it->second;
+  };
+  std::vector<BoundaryFace> faces;
+  faces.reserve(mesh.boundary_faces().size() * 4);
+  for (const auto& f : mesh.boundary_faces()) {
+    const int a = f.vertices[0];
+    const int b = f.vertices[1];
+    const int c = f.vertices[2];
+    const int ab = midpoint_of(a, b);
+    const int bc = midpoint_of(b, c);
+    const int ca = midpoint_of(c, a);
+    faces.push_back({{a, ab, ca}, f.marker});
+    faces.push_back({{ab, b, bc}, f.marker});
+    faces.push_back({{ca, bc, c}, f.marker});
+    faces.push_back({{ab, bc, ca}, f.marker});
+  }
+  refined.set_boundary_faces(std::move(faces));
+  return refined;
+}
+
+double tet_edge_ratio(const TetMesh& mesh, std::size_t t) {
+  const auto& tet = mesh.tet(t);
+  double shortest = 0.0;
+  double longest = 0.0;
+  bool first = true;
+  for (const auto& e : kTetEdgeVertices) {
+    const double len =
+        (mesh.vertex(tet[static_cast<std::size_t>(e[0])]) -
+         mesh.vertex(tet[static_cast<std::size_t>(e[1])]))
+            .norm();
+    if (first) {
+      shortest = longest = len;
+      first = false;
+    } else {
+      shortest = std::min(shortest, len);
+      longest = std::max(longest, len);
+    }
+  }
+  HETERO_REQUIRE(shortest > 0.0, "degenerate tet edge");
+  return longest / shortest;
+}
+
+double worst_edge_ratio(const TetMesh& mesh) {
+  double worst = 1.0;
+  for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+    worst = std::max(worst, tet_edge_ratio(mesh, t));
+  }
+  return worst;
+}
+
+}  // namespace hetero::mesh

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file refine.hpp
+/// Uniform refinement of tetrahedral meshes (Bey's 1:8 red refinement):
+/// every tet splits into four corner tets plus four tets tiling the inner
+/// octahedron. Edge midpoints are shared, so the refined mesh is conforming;
+/// boundary faces split 1:4 with markers preserved. Used by the mesh
+/// convergence studies (the accuracy axis the paper's §IV sketches:
+/// "the finer the reticulation ... the more precise the solution").
+
+#include "mesh/tet_mesh.hpp"
+
+namespace hetero::mesh {
+
+/// One level of uniform refinement; the result is a self-contained mesh
+/// with identity gids (treat it as a new global mesh).
+TetMesh refine_uniform(const TetMesh& mesh);
+
+/// Longest-to-shortest edge ratio of tet `t` (1..~1.7 for Kuhn tets; red
+/// refinement must not degrade it).
+double tet_edge_ratio(const TetMesh& mesh, std::size_t t);
+
+/// Worst edge ratio over the whole mesh.
+double worst_edge_ratio(const TetMesh& mesh);
+
+}  // namespace hetero::mesh

@@ -1,0 +1,66 @@
+#include "mesh/tet_mesh.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace hetero::mesh {
+
+TetMesh::TetMesh(std::vector<Vec3> vertices,
+                 std::vector<std::array<int, 4>> tets)
+    : vertices_(std::move(vertices)), tets_(std::move(tets)) {
+  vertex_gids_.resize(vertices_.size());
+  std::iota(vertex_gids_.begin(), vertex_gids_.end(), GlobalId{0});
+}
+
+void TetMesh::set_vertex_gids(std::vector<GlobalId> gids) {
+  HETERO_REQUIRE(gids.size() == vertices_.size(),
+                 "vertex gid array size must match vertex count");
+  vertex_gids_ = std::move(gids);
+}
+
+double TetMesh::tet_volume(std::size_t t) const {
+  const auto& tet = tets_[t];
+  return tet_signed_volume(vertex(tet[0]), vertex(tet[1]), vertex(tet[2]),
+                           vertex(tet[3]));
+}
+
+void TetMesh::validate() const {
+  const int nv = static_cast<int>(vertices_.size());
+  for (const auto& tet : tets_) {
+    for (int v : tet) {
+      HETERO_REQUIRE(v >= 0 && v < nv, "tet vertex index out of range");
+    }
+  }
+  for (std::size_t t = 0; t < tets_.size(); ++t) {
+    HETERO_REQUIRE(tet_volume(t) > 0.0,
+                   "tet is degenerate or inverted (non-positive volume)");
+  }
+  HETERO_REQUIRE(vertex_gids_.size() == vertices_.size(),
+                 "vertex gid array size mismatch");
+  for (const auto& face : boundary_faces_) {
+    for (int v : face.vertices) {
+      HETERO_REQUIRE(v >= 0 && v < nv, "boundary face vertex out of range");
+    }
+  }
+}
+
+MeshMetrics TetMesh::metrics() const {
+  MeshMetrics m;
+  m.vertex_count = vertices_.size();
+  m.tet_count = tets_.size();
+  if (tets_.empty()) {
+    return m;
+  }
+  m.min_tet_volume = m.max_tet_volume = tet_volume(0);
+  for (std::size_t t = 0; t < tets_.size(); ++t) {
+    const double vol = tet_volume(t);
+    m.total_volume += vol;
+    m.min_tet_volume = std::min(m.min_tet_volume, vol);
+    m.max_tet_volume = std::max(m.max_tet_volume, vol);
+  }
+  return m;
+}
+
+}  // namespace hetero::mesh

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file tet_mesh.hpp
+/// Linear tetrahedral mesh with optional global vertex numbering.
+///
+/// A `TetMesh` may be a complete domain (serial runs, partitioner input) or
+/// one rank's submesh of a distributed domain. In the latter case
+/// `vertex_gid()` carries the structured global vertex ids that the FEM dof
+/// maps use to identify shared unknowns across ranks.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+
+namespace hetero::mesh {
+
+using GlobalId = std::int64_t;
+
+/// Boundary face: three local vertex indices plus an integer marker
+/// (1..6 for the box faces -x,+x,-y,+y,-z,+z).
+struct BoundaryFace {
+  std::array<int, 3> vertices{};
+  int marker = 0;
+};
+
+/// Mesh quality / size metrics.
+struct MeshMetrics {
+  std::size_t vertex_count = 0;
+  std::size_t tet_count = 0;
+  double total_volume = 0.0;
+  double min_tet_volume = 0.0;
+  double max_tet_volume = 0.0;
+};
+
+class TetMesh {
+ public:
+  TetMesh() = default;
+  TetMesh(std::vector<Vec3> vertices, std::vector<std::array<int, 4>> tets);
+
+  std::size_t vertex_count() const { return vertices_.size(); }
+  std::size_t tet_count() const { return tets_.size(); }
+
+  const Vec3& vertex(int v) const { return vertices_[static_cast<std::size_t>(v)]; }
+  const std::array<int, 4>& tet(std::size_t t) const { return tets_[t]; }
+  const std::vector<Vec3>& vertices() const { return vertices_; }
+  const std::vector<std::array<int, 4>>& tets() const { return tets_; }
+
+  /// Global vertex ids; identity (0..n-1) unless set by a submesh builder.
+  const std::vector<GlobalId>& vertex_gids() const { return vertex_gids_; }
+  GlobalId vertex_gid(int v) const {
+    return vertex_gids_[static_cast<std::size_t>(v)];
+  }
+  void set_vertex_gids(std::vector<GlobalId> gids);
+
+  const std::vector<BoundaryFace>& boundary_faces() const {
+    return boundary_faces_;
+  }
+  void set_boundary_faces(std::vector<BoundaryFace> faces) {
+    boundary_faces_ = std::move(faces);
+  }
+
+  /// Signed volume of tet `t` (positive for correctly oriented meshes).
+  double tet_volume(std::size_t t) const;
+
+  /// Throws hetero::Error if any vertex index is out of range, any tet is
+  /// degenerate or inverted, or gid array size mismatches.
+  void validate() const;
+
+  MeshMetrics metrics() const;
+
+ private:
+  std::vector<Vec3> vertices_;
+  std::vector<std::array<int, 4>> tets_;
+  std::vector<GlobalId> vertex_gids_;
+  std::vector<BoundaryFace> boundary_faces_;
+};
+
+}  // namespace hetero::mesh

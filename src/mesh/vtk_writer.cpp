@@ -1,0 +1,93 @@
+#include "mesh/vtk_writer.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace hetero::mesh {
+
+std::string VtkSeriesWriter::step_path(int index) const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "_%04d.vtk", index);
+  return basename_ + buf;
+}
+
+void VtkSeriesWriter::add_step(double time, const VtkWriter& frame) {
+  frame.write(step_path(static_cast<int>(times_.size())));
+  times_.push_back(time);
+}
+
+void VtkSeriesWriter::finalize() const {
+  std::ofstream os(basename_ + ".pvd");
+  HETERO_REQUIRE(os.good(), "cannot open PVD collection: " + basename_);
+  os << "<?xml version=\"1.0\"?>\n"
+     << "<VTKFile type=\"Collection\" version=\"0.1\">\n"
+     << "  <Collection>\n";
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    // Relative file reference: ParaView resolves next to the .pvd.
+    std::string file = step_path(static_cast<int>(i));
+    const auto slash = file.find_last_of('/');
+    if (slash != std::string::npos) {
+      file = file.substr(slash + 1);
+    }
+    os << "    <DataSet timestep=\"" << times_[i] << "\" file=\"" << file
+       << "\"/>\n";
+  }
+  os << "  </Collection>\n</VTKFile>\n";
+  HETERO_REQUIRE(os.good(), "I/O error while writing the PVD collection");
+}
+
+void VtkWriter::add_scalar_field(const std::string& name,
+                                 std::vector<double> values) {
+  HETERO_REQUIRE(values.size() == mesh_->vertex_count(),
+                 "scalar field size must equal vertex count");
+  scalars_[name] = std::move(values);
+}
+
+void VtkWriter::add_vector_field(const std::string& name,
+                                 std::vector<double> xyz) {
+  HETERO_REQUIRE(xyz.size() == 3 * mesh_->vertex_count(),
+                 "vector field size must equal 3 x vertex count");
+  vectors_[name] = std::move(xyz);
+}
+
+void VtkWriter::write(const std::string& path) const {
+  std::ofstream os(path);
+  HETERO_REQUIRE(os.good(), "cannot open VTK output file: " + path);
+  os << "# vtk DataFile Version 3.0\n"
+     << "heterolab export\nASCII\nDATASET UNSTRUCTURED_GRID\n";
+  os << "POINTS " << mesh_->vertex_count() << " double\n";
+  for (const auto& v : mesh_->vertices()) {
+    os << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+  os << "CELLS " << mesh_->tet_count() << ' ' << mesh_->tet_count() * 5
+     << '\n';
+  for (const auto& tet : mesh_->tets()) {
+    os << "4 " << tet[0] << ' ' << tet[1] << ' ' << tet[2] << ' ' << tet[3]
+       << '\n';
+  }
+  os << "CELL_TYPES " << mesh_->tet_count() << '\n';
+  for (std::size_t t = 0; t < mesh_->tet_count(); ++t) {
+    os << "10\n";  // VTK_TETRA
+  }
+  if (!scalars_.empty() || !vectors_.empty()) {
+    os << "POINT_DATA " << mesh_->vertex_count() << '\n';
+    for (const auto& [name, values] : scalars_) {
+      os << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+      for (double v : values) {
+        os << v << '\n';
+      }
+    }
+    for (const auto& [name, values] : vectors_) {
+      os << "VECTORS " << name << " double\n";
+      for (std::size_t i = 0; i < values.size(); i += 3) {
+        os << values[i] << ' ' << values[i + 1] << ' ' << values[i + 2]
+           << '\n';
+      }
+    }
+  }
+  HETERO_REQUIRE(os.good(), "I/O error while writing " + path);
+}
+
+}  // namespace hetero::mesh

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file vtk_writer.hpp
+/// Legacy-VTK (ASCII) export of a tetrahedral mesh with nodal scalar and
+/// vector fields — the paper's visualization step (iv), consumable by
+/// ParaView.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mesh/tet_mesh.hpp"
+
+namespace hetero::mesh {
+
+/// Time-series export: one legacy-VTK file per step plus a ParaView .pvd
+/// collection indexing them by physical time.
+class VtkSeriesWriter {
+ public:
+  /// Files land at `basename_NNNN.vtk` + `basename.pvd`.
+  explicit VtkSeriesWriter(std::string basename)
+      : basename_(std::move(basename)) {}
+
+  /// Writes one step; the writer takes `frame` fully configured.
+  void add_step(double time, const class VtkWriter& frame);
+
+  /// Writes the .pvd collection; call once after the last step.
+  void finalize() const;
+
+  int steps() const { return static_cast<int>(times_.size()); }
+
+ private:
+  std::string step_path(int index) const;
+
+  std::string basename_;
+  std::vector<double> times_;
+};
+
+class VtkWriter {
+ public:
+  explicit VtkWriter(const TetMesh& mesh) : mesh_(&mesh) {}
+
+  /// Adds a nodal scalar field (one value per vertex).
+  void add_scalar_field(const std::string& name, std::vector<double> values);
+
+  /// Adds a nodal vector field (three values per vertex, xyz interleaved).
+  void add_vector_field(const std::string& name, std::vector<double> xyz);
+
+  /// Writes the dataset; throws on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  const TetMesh* mesh_;
+  std::map<std::string, std::vector<double>> scalars_;
+  std::map<std::string, std::vector<double>> vectors_;
+};
+
+}  // namespace hetero::mesh

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file fabric.hpp
+/// Point-to-point interconnect performance models.
+///
+/// Each fabric is described by a small LogGP-style parameter set: one-way
+/// small-message latency, sustained bandwidth, an eager/rendezvous protocol
+/// switch (as in Open MPI), and a per-node injection limit that caps how fast
+/// all ranks sharing one NIC can push data. The four builtin fabrics mirror
+/// the paper's platforms: 1 GbE (puma, ellipse), 10 GbE (ec2), InfiniBand 4X
+/// DDR (lagrange), plus the intra-node shared-memory transport.
+
+#include <cstdint>
+#include <string>
+
+namespace hetero::netsim {
+
+/// Parameter set for one transport.
+struct FabricParams {
+  std::string name;
+  /// One-way latency for a small (eager) message, seconds.
+  double latency_s = 0.0;
+  /// Sustained point-to-point bandwidth, bytes/second.
+  double bandwidth_bps = 0.0;
+  /// Messages >= this many bytes use the rendezvous protocol.
+  std::uint64_t eager_threshold_bytes = 0;
+  /// Extra handshake cost paid once per rendezvous message, seconds.
+  double rendezvous_extra_s = 0.0;
+  /// Aggregate injection bandwidth of one node's NIC, bytes/second. All
+  /// ranks on a node share it; 0 means "same as bandwidth_bps".
+  double node_injection_bps = 0.0;
+  /// Switch-fabric contention: effective off-node costs scale by
+  /// 1 + oversubscription * (nodes - 1) / 32 (one 32-port switch tier).
+  /// Commodity Ethernet of the era was heavily oversubscribed and TCP
+  /// collectives suffered incast collapse; InfiniBand fat-trees were not.
+  double oversubscription = 0.0;
+};
+
+/// Immutable point-to-point cost model for one fabric.
+class Fabric {
+ public:
+  explicit Fabric(FabricParams params);
+
+  const std::string& name() const { return params_.name; }
+  const FabricParams& params() const { return params_; }
+
+  /// Time for a single point-to-point message of `bytes` between two ranks
+  /// with no competing traffic.
+  double message_time(std::uint64_t bytes) const;
+
+  /// Time for `flows` concurrent messages of `bytes` each leaving one node:
+  /// per-message cost plus serialization on the node's injection bandwidth.
+  double injection_time(std::uint64_t bytes, int flows) const;
+
+  /// Effective bandwidth (bytes/s) observed by one large message.
+  double effective_bandwidth(std::uint64_t bytes) const;
+
+  // Builtin fabrics (parameters documented in fabric.cpp).
+  static Fabric gigabit_ethernet();
+  static Fabric ten_gigabit_ethernet();
+  static Fabric infiniband_ddr_4x();
+  static Fabric shared_memory();
+
+ private:
+  FabricParams params_;
+};
+
+}  // namespace hetero::netsim

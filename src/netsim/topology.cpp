@@ -1,0 +1,111 @@
+#include "netsim/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hetero::netsim {
+
+Topology::Topology(TopologySpec spec, Fabric inter_node, Fabric intra_node)
+    : spec_(std::move(spec)),
+      inter_(std::move(inter_node)),
+      intra_(std::move(intra_node)) {
+  HETERO_REQUIRE(spec_.ranks >= 1, "topology requires >= 1 rank");
+  HETERO_REQUIRE(spec_.ranks_per_node >= 1,
+                 "topology requires >= 1 rank per node");
+  HETERO_REQUIRE(spec_.cross_group_penalty >= 0.0,
+                 "cross-group penalty must be >= 0");
+  node_count_ = (spec_.ranks + spec_.ranks_per_node - 1) / spec_.ranks_per_node;
+  if (spec_.node_group.empty()) {
+    spec_.node_group.assign(static_cast<std::size_t>(node_count_), 0);
+  }
+  HETERO_REQUIRE(static_cast<int>(spec_.node_group.size()) == node_count_,
+                 "node_group size must equal the node count");
+}
+
+int Topology::node_of(int rank) const {
+  HETERO_REQUIRE(rank >= 0 && rank < spec_.ranks, "rank out of range");
+  return rank / spec_.ranks_per_node;
+}
+
+int Topology::group_of(int node) const {
+  HETERO_REQUIRE(node >= 0 && node < node_count_, "node out of range");
+  return spec_.node_group[static_cast<std::size_t>(node)];
+}
+
+bool Topology::same_node(int rank_a, int rank_b) const {
+  return node_of(rank_a) == node_of(rank_b);
+}
+
+bool Topology::same_group(int rank_a, int rank_b) const {
+  return group_of(node_of(rank_a)) == group_of(node_of(rank_b));
+}
+
+double Topology::contention_scale() const {
+  if (node_count_ <= 1) {
+    return 1.0;
+  }
+  return 1.0 + inter_.params().oversubscription *
+                   static_cast<double>(node_count_ - 1) / 32.0;
+}
+
+double Topology::message_time(int rank_a, int rank_b,
+                              std::uint64_t bytes) const {
+  if (rank_a == rank_b) {
+    return 0.0;
+  }
+  if (same_node(rank_a, rank_b)) {
+    return intra_.message_time(bytes);
+  }
+  double time = inter_.message_time(bytes) * contention_scale();
+  if (!same_group(rank_a, rank_b)) {
+    time *= 1.0 + spec_.cross_group_penalty;
+  }
+  return time;
+}
+
+double Topology::exchange_time(std::uint64_t bytes_off_node,
+                               int off_node_peers,
+                               std::uint64_t bytes_on_node, int on_node_peers,
+                               double cross_group_fraction) const {
+  HETERO_REQUIRE(off_node_peers >= 0 && on_node_peers >= 0,
+                 "peer counts must be >= 0");
+  HETERO_REQUIRE(cross_group_fraction >= 0.0 && cross_group_fraction <= 1.0,
+                 "cross_group_fraction must be in [0,1]");
+  double off = 0.0;
+  if (off_node_peers > 0 && bytes_off_node > 0) {
+    const std::uint64_t per_msg =
+        bytes_off_node / static_cast<std::uint64_t>(off_node_peers);
+    // Every rank on the node injects concurrently: flows on the shared NIC
+    // is (ranks on node that talk off-node) × (messages each).
+    const int flows = spec_.ranks_per_node * off_node_peers;
+    off = inter_.injection_time(std::max<std::uint64_t>(per_msg, 1), flows);
+    // Per-message latency for the sequence of distinct peers.
+    off += inter_.params().latency_s * static_cast<double>(off_node_peers - 1);
+    off *= contention_scale();
+    off *= 1.0 + spec_.cross_group_penalty * cross_group_fraction;
+  }
+  double on = 0.0;
+  if (on_node_peers > 0 && bytes_on_node > 0) {
+    const std::uint64_t per_msg =
+        bytes_on_node / static_cast<std::uint64_t>(on_node_peers);
+    on = intra_.injection_time(std::max<std::uint64_t>(per_msg, 1),
+                               on_node_peers);
+  }
+  // Off-node wire time dominates and overlaps with on-node copies only
+  // partially; take the max plus a fraction of the smaller term.
+  return std::max(off, on) + 0.25 * std::min(off, on);
+}
+
+Topology Topology::uniform(int ranks, int ranks_per_node, Fabric inter_node,
+                           Fabric intra_node, double cross_group_penalty) {
+  TopologySpec spec;
+  spec.ranks = ranks;
+  spec.ranks_per_node = ranks_per_node;
+  spec.cross_group_penalty = cross_group_penalty;
+  return Topology(std::move(spec), std::move(inter_node),
+                  std::move(intra_node));
+}
+
+}  // namespace hetero::netsim

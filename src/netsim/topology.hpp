@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file topology.hpp
+/// Rank placement: which node hosts each rank, which placement group hosts
+/// each node, and the resulting per-message transport choice.
+///
+/// Three transports are distinguished:
+///   * same node            -> shared-memory fabric
+///   * same placement group -> inter-node fabric
+///   * different groups     -> inter-node fabric × (1 + cross_group_penalty)
+///
+/// The paper's EC2 experiment (Table II) found essentially *no* benefit from
+/// a single placement group, so the ec2 default penalty is small; the
+/// ablation bench sweeps it.
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/fabric.hpp"
+
+namespace hetero::netsim {
+
+/// Declarative description of a machine assembly.
+struct TopologySpec {
+  int ranks = 1;
+  int ranks_per_node = 1;
+  /// Placement group of each node; empty means "all nodes in group 0".
+  std::vector<int> node_group;
+  /// Fractional latency/bandwidth penalty for traffic crossing groups.
+  double cross_group_penalty = 0.0;
+};
+
+/// Immutable placement + transport model.
+class Topology {
+ public:
+  Topology(TopologySpec spec, Fabric inter_node, Fabric intra_node);
+
+  int ranks() const { return spec_.ranks; }
+  int nodes() const { return node_count_; }
+  int ranks_per_node() const { return spec_.ranks_per_node; }
+
+  int node_of(int rank) const;
+  int group_of(int node) const;
+  bool same_node(int rank_a, int rank_b) const;
+  bool same_group(int rank_a, int rank_b) const;
+
+  const Fabric& inter_node_fabric() const { return inter_; }
+  const Fabric& intra_node_fabric() const { return intra_; }
+  double cross_group_penalty() const { return spec_.cross_group_penalty; }
+
+  /// Fabric contention multiplier for off-node traffic: grows with the node
+  /// count according to the inter-node fabric's oversubscription (see
+  /// FabricParams::oversubscription). 1.0 for single-node jobs.
+  double contention_scale() const;
+
+  /// Time for one message of `bytes` from rank_a to rank_b, idle network.
+  double message_time(int rank_a, int rank_b, std::uint64_t bytes) const;
+
+  /// Time for a neighbour exchange in which every rank simultaneously sends
+  /// `bytes_off_node` to off-node peers spread over `off_node_peers`
+  /// messages, and `bytes_on_node` to on-node peers over `on_node_peers`
+  /// messages. Captures the NIC-sharing contention of `ranks_per_node`
+  /// ranks per node. Peer counts of zero skip that component.
+  double exchange_time(std::uint64_t bytes_off_node, int off_node_peers,
+                       std::uint64_t bytes_on_node, int on_node_peers,
+                       double cross_group_fraction = 0.0) const;
+
+  /// Convenience: uniform single-group topology.
+  static Topology uniform(int ranks, int ranks_per_node, Fabric inter_node,
+                          Fabric intra_node, double cross_group_penalty = 0.0);
+
+ private:
+  TopologySpec spec_;
+  Fabric inter_;
+  Fabric intra_;
+  int node_count_ = 0;
+};
+
+}  // namespace hetero::netsim

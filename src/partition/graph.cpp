@@ -1,0 +1,80 @@
+#include "partition/graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace hetero::partition {
+
+void Graph::validate() const {
+  HETERO_REQUIRE(!xadj.empty() && xadj.front() == 0 &&
+                     xadj.back() == static_cast<std::int64_t>(adjncy.size()),
+                 "graph xadj is inconsistent with adjncy");
+  const int n = static_cast<int>(vertex_count());
+  for (std::size_t v = 0; v + 1 < xadj.size(); ++v) {
+    HETERO_REQUIRE(xadj[v] <= xadj[v + 1], "graph xadj must be monotone");
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v : neighbours(u)) {
+      HETERO_REQUIRE(v >= 0 && v < n, "graph neighbour out of range");
+      HETERO_REQUIRE(v != u, "graph has a self loop");
+      const auto back = neighbours(v);
+      HETERO_REQUIRE(std::find(back.begin(), back.end(), u) != back.end(),
+                     "graph adjacency is not symmetric");
+    }
+  }
+}
+
+Graph build_dual_graph(const mesh::TetMesh& mesh) {
+  // Face key: sorted vertex triple. Each interior face is shared by exactly
+  // two tets; boundary faces by one.
+  struct FaceHash {
+    std::size_t operator()(const std::array<int, 3>& f) const {
+      std::size_t h = 1469598103934665603ULL;
+      for (int v : f) {
+        h ^= static_cast<std::size_t>(v);
+        h *= 1099511628211ULL;
+      }
+      return h;
+    }
+  };
+  std::unordered_map<std::array<int, 3>, int, FaceHash> first_owner;
+  first_owner.reserve(mesh.tet_count() * 2);
+
+  const std::array<std::array<int, 3>, 4> local_faces = {{
+      {1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2},
+  }};
+  std::vector<std::vector<int>> adj(mesh.tet_count());
+  for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+    const auto& tet = mesh.tet(t);
+    for (const auto& lf : local_faces) {
+      std::array<int, 3> key{tet[static_cast<std::size_t>(lf[0])],
+                             tet[static_cast<std::size_t>(lf[1])],
+                             tet[static_cast<std::size_t>(lf[2])]};
+      std::sort(key.begin(), key.end());
+      auto [it, inserted] = first_owner.try_emplace(key, static_cast<int>(t));
+      if (!inserted) {
+        const int other = it->second;
+        HETERO_REQUIRE(other != static_cast<int>(t),
+                       "mesh has a duplicated face within one tet");
+        adj[t].push_back(other);
+        adj[static_cast<std::size_t>(other)].push_back(static_cast<int>(t));
+      }
+    }
+  }
+
+  Graph g;
+  g.xadj.resize(mesh.tet_count() + 1, 0);
+  for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+    g.xadj[t + 1] = g.xadj[t] + static_cast<std::int64_t>(adj[t].size());
+  }
+  g.adjncy.reserve(static_cast<std::size_t>(g.xadj.back()));
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    g.adjncy.insert(g.adjncy.end(), list.begin(), list.end());
+  }
+  return g;
+}
+
+}  // namespace hetero::partition

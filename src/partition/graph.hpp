@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file graph.hpp
+/// Compressed adjacency graphs and the element dual graph (tets adjacent
+/// through a shared face) — the structure the paper hands to ParMETIS for
+/// load-balanced mesh splitting.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mesh/tet_mesh.hpp"
+
+namespace hetero::partition {
+
+/// CSR-style undirected graph.
+struct Graph {
+  std::vector<std::int64_t> xadj;   // size n+1
+  std::vector<int> adjncy;          // neighbour lists
+
+  std::size_t vertex_count() const {
+    return xadj.empty() ? 0 : xadj.size() - 1;
+  }
+  std::size_t edge_count() const { return adjncy.size() / 2; }
+
+  /// Neighbours of vertex v.
+  std::span<const int> neighbours(int v) const {
+    const auto b = static_cast<std::size_t>(xadj[static_cast<std::size_t>(v)]);
+    const auto e =
+        static_cast<std::size_t>(xadj[static_cast<std::size_t>(v) + 1]);
+    return {adjncy.data() + b, e - b};
+  }
+
+  /// Throws if xadj/adjncy are inconsistent or adjacency is not symmetric.
+  void validate() const;
+};
+
+/// Dual graph of a tetrahedral mesh: one graph vertex per tet, edges between
+/// tets sharing a triangular face.
+Graph build_dual_graph(const mesh::TetMesh& mesh);
+
+}  // namespace hetero::partition

@@ -1,0 +1,293 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace hetero::partition {
+
+namespace {
+
+mesh::Vec3 centroid(const mesh::TetMesh& mesh, std::size_t t) {
+  const auto& tet = mesh.tet(t);
+  mesh::Vec3 c;
+  for (int v : tet) {
+    c = c + mesh.vertex(v);
+  }
+  return c * 0.25;
+}
+
+/// Recursively assigns `count` parts starting at `first_part` to the element
+/// index range [begin, end) of `order`, splitting along the longest axis of
+/// the current bounding box.
+void rcb_recurse(const mesh::TetMesh& mesh,
+                 const std::vector<mesh::Vec3>& centroids,
+                 std::vector<int>& order, std::size_t begin, std::size_t end,
+                 int first_part, int count, std::vector<int>& part) {
+  if (count == 1) {
+    for (std::size_t i = begin; i < end; ++i) {
+      part[static_cast<std::size_t>(order[i])] = first_part;
+    }
+    return;
+  }
+  // Bounding box of the subset.
+  mesh::Vec3 lo = centroids[static_cast<std::size_t>(order[begin])];
+  mesh::Vec3 hi = lo;
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& c = centroids[static_cast<std::size_t>(order[i])];
+    lo = {std::min(lo.x, c.x), std::min(lo.y, c.y), std::min(lo.z, c.z)};
+    hi = {std::max(hi.x, c.x), std::max(hi.y, c.y), std::max(hi.z, c.z)};
+  }
+  const mesh::Vec3 extent = hi - lo;
+  int axis = 0;
+  if (extent.y > extent.x && extent.y >= extent.z) {
+    axis = 1;
+  } else if (extent.z > extent.x && extent.z > extent.y) {
+    axis = 2;
+  }
+  auto key = [&](int e) {
+    const auto& c = centroids[static_cast<std::size_t>(e)];
+    return axis == 0 ? c.x : axis == 1 ? c.y : c.z;
+  };
+  // Split parts (and elements proportionally) as evenly as possible.
+  const int left_parts = count / 2;
+  const int right_parts = count - left_parts;
+  const std::size_t n = end - begin;
+  const std::size_t left_n =
+      n * static_cast<std::size_t>(left_parts) / static_cast<std::size_t>(count);
+  std::nth_element(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                   order.begin() + static_cast<std::ptrdiff_t>(begin + left_n),
+                   order.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](int a, int b) {
+                     const double ka = key(a);
+                     const double kb = key(b);
+                     return ka < kb || (ka == kb && a < b);
+                   });
+  rcb_recurse(mesh, centroids, order, begin, begin + left_n, first_part,
+              left_parts, part);
+  rcb_recurse(mesh, centroids, order, begin + left_n, end,
+              first_part + left_parts, right_parts, part);
+}
+
+}  // namespace
+
+std::vector<int> partition_rcb(const mesh::TetMesh& mesh, int parts) {
+  HETERO_REQUIRE(parts >= 1, "partition_rcb requires parts >= 1");
+  HETERO_REQUIRE(mesh.tet_count() >= static_cast<std::size_t>(parts),
+                 "fewer elements than parts");
+  std::vector<mesh::Vec3> centroids(mesh.tet_count());
+  for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+    centroids[t] = centroid(mesh, t);
+  }
+  std::vector<int> order(mesh.tet_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<int> part(mesh.tet_count(), -1);
+  rcb_recurse(mesh, centroids, order, 0, order.size(), 0, parts, part);
+  return part;
+}
+
+std::vector<int> partition_greedy(const Graph& graph, int parts) {
+  HETERO_REQUIRE(parts >= 1, "partition_greedy requires parts >= 1");
+  const int n = static_cast<int>(graph.vertex_count());
+  HETERO_REQUIRE(n >= parts, "fewer graph vertices than parts");
+  std::vector<int> part(static_cast<std::size_t>(n), -1);
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+
+  int assigned = 0;
+  int seed = 0;  // first seed: vertex 0; later seeds: farthest unassigned
+  for (int p = 0; p < parts; ++p) {
+    const std::size_t remaining_parts = static_cast<std::size_t>(parts - p);
+    const std::size_t target =
+        (static_cast<std::size_t>(n) - static_cast<std::size_t>(assigned) +
+         remaining_parts - 1) /
+        remaining_parts;
+    // Grow part p from `seed` by BFS over unassigned vertices.
+    std::deque<int> queue;
+    if (part[static_cast<std::size_t>(seed)] != -1) {
+      // Seed got swallowed; find any unassigned vertex.
+      seed = static_cast<int>(std::find(part.begin(), part.end(), -1) -
+                              part.begin());
+    }
+    queue.push_back(seed);
+    part[static_cast<std::size_t>(seed)] = p;
+    ++assigned;
+    std::size_t size = 1;
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[static_cast<std::size_t>(seed)] = 0;
+    int last_visited = seed;
+    while (size < target && assigned < n) {
+      if (queue.empty()) {
+        // The unassigned region is disconnected from this part's frontier;
+        // restart the BFS from any unassigned vertex so no vertex is left
+        // without a part.
+        const int fresh = static_cast<int>(
+            std::find(part.begin(), part.end(), -1) - part.begin());
+        HETERO_CHECK(fresh < n);
+        part[static_cast<std::size_t>(fresh)] = p;
+        dist[static_cast<std::size_t>(fresh)] = 0;
+        queue.push_back(fresh);
+        last_visited = fresh;
+        ++assigned;
+        ++size;
+        continue;
+      }
+      const int u = queue.front();
+      queue.pop_front();
+      for (int v : graph.neighbours(u)) {
+        if (part[static_cast<std::size_t>(v)] == -1) {
+          part[static_cast<std::size_t>(v)] = p;
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          last_visited = v;
+          ++assigned;
+          ++size;
+          queue.push_back(v);
+          if (size >= target) {
+            break;
+          }
+        }
+      }
+    }
+    // Next seed: a vertex adjacent to the frontier but unassigned, ideally
+    // far from this part — use the last visited vertex's unassigned
+    // neighbour, else scan.
+    seed = -1;
+    for (int v : graph.neighbours(last_visited)) {
+      if (part[static_cast<std::size_t>(v)] == -1) {
+        seed = v;
+        break;
+      }
+    }
+    if (seed == -1) {
+      const auto it = std::find(part.begin(), part.end(), -1);
+      seed = it == part.end() ? 0 : static_cast<int>(it - part.begin());
+    }
+  }
+
+  // Safety net: any leftover vertex joins the last part.
+  for (auto& pv : part) {
+    if (pv == -1) {
+      pv = parts - 1;
+      ++assigned;
+    }
+  }
+
+  // One boundary-refinement sweep: move a vertex to the neighbouring part
+  // where it has strictly more neighbours, if that does not unbalance.
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(parts), 0);
+  for (int v = 0; v < n; ++v) {
+    ++sizes[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])];
+  }
+  const std::size_t max_size =
+      (static_cast<std::size_t>(n) + static_cast<std::size_t>(parts) - 1) /
+          static_cast<std::size_t>(parts) +
+      1;
+  std::vector<int> gain(static_cast<std::size_t>(parts), 0);
+  for (int v = 0; v < n; ++v) {
+    const int pv = part[static_cast<std::size_t>(v)];
+    std::fill(gain.begin(), gain.end(), 0);
+    for (int u : graph.neighbours(v)) {
+      ++gain[static_cast<std::size_t>(part[static_cast<std::size_t>(u)])];
+    }
+    int best = pv;
+    for (int p = 0; p < parts; ++p) {
+      if (p != pv && gain[static_cast<std::size_t>(p)] >
+                         gain[static_cast<std::size_t>(best)] &&
+          sizes[static_cast<std::size_t>(p)] + 1 <= max_size &&
+          sizes[static_cast<std::size_t>(pv)] > 1) {
+        best = p;
+      }
+    }
+    if (best != pv) {
+      part[static_cast<std::size_t>(v)] = best;
+      --sizes[static_cast<std::size_t>(pv)];
+      ++sizes[static_cast<std::size_t>(best)];
+    }
+  }
+  return part;
+}
+
+mesh::TetMesh extract_submesh(const mesh::TetMesh& global,
+                              std::span<const int> part, int rank) {
+  HETERO_REQUIRE(part.size() == global.tet_count(),
+                 "extract_submesh: partition size mismatch");
+  // Map surviving global-local vertices to compact local indices.
+  std::vector<int> local_of(global.vertex_count(), -1);
+  std::vector<mesh::Vec3> vertices;
+  std::vector<mesh::GlobalId> gids;
+  std::vector<std::array<int, 4>> tets;
+  for (std::size_t t = 0; t < global.tet_count(); ++t) {
+    if (part[t] != rank) {
+      continue;
+    }
+    std::array<int, 4> tet{};
+    for (int i = 0; i < 4; ++i) {
+      const int gv = global.tet(t)[static_cast<std::size_t>(i)];
+      int& lv = local_of[static_cast<std::size_t>(gv)];
+      if (lv == -1) {
+        lv = static_cast<int>(vertices.size());
+        vertices.push_back(global.vertex(gv));
+        gids.push_back(global.vertex_gid(gv));
+      }
+      tet[static_cast<std::size_t>(i)] = lv;
+    }
+    tets.push_back(tet);
+  }
+  HETERO_REQUIRE(!tets.empty(), "extract_submesh: rank owns no elements");
+  mesh::TetMesh sub(std::move(vertices), std::move(tets));
+  sub.set_vertex_gids(std::move(gids));
+  // Keep global boundary faces fully contained in the local vertex set.
+  std::vector<mesh::BoundaryFace> faces;
+  for (const auto& face : global.boundary_faces()) {
+    std::array<int, 3> lf{};
+    bool keep = true;
+    for (int i = 0; i < 3 && keep; ++i) {
+      const int lv = local_of[static_cast<std::size_t>(
+          face.vertices[static_cast<std::size_t>(i)])];
+      if (lv == -1) {
+        keep = false;
+      } else {
+        lf[static_cast<std::size_t>(i)] = lv;
+      }
+    }
+    if (keep) {
+      faces.push_back({lf, face.marker});
+    }
+  }
+  sub.set_boundary_faces(std::move(faces));
+  return sub;
+}
+
+PartitionMetrics evaluate_partition(const Graph& graph,
+                                    const std::vector<int>& part, int parts) {
+  HETERO_REQUIRE(part.size() == graph.vertex_count(),
+                 "partition size must match graph");
+  HETERO_REQUIRE(parts >= 1, "parts must be >= 1");
+  PartitionMetrics m;
+  m.parts = parts;
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(parts), 0);
+  for (int p : part) {
+    HETERO_REQUIRE(p >= 0 && p < parts, "part id out of range");
+    ++sizes[static_cast<std::size_t>(p)];
+  }
+  m.min_part_size = *std::min_element(sizes.begin(), sizes.end());
+  m.max_part_size = *std::max_element(sizes.begin(), sizes.end());
+  const double ideal =
+      static_cast<double>(graph.vertex_count()) / static_cast<double>(parts);
+  m.imbalance = static_cast<double>(m.max_part_size) / ideal;
+  std::size_t cut = 0;
+  for (int u = 0; u < static_cast<int>(graph.vertex_count()); ++u) {
+    for (int v : graph.neighbours(u)) {
+      if (u < v && part[static_cast<std::size_t>(u)] !=
+                       part[static_cast<std::size_t>(v)]) {
+        ++cut;
+      }
+    }
+  }
+  m.edge_cut = cut;
+  return m;
+}
+
+}  // namespace hetero::partition

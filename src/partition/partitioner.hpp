@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file partitioner.hpp
+/// Mesh/graph partitioners standing in for ParMETIS: recursive coordinate
+/// bisection (geometric) and greedy graph growing with boundary refinement
+/// (combinatorial), plus the quality metrics the paper cares about — load
+/// balance (elements per process) and interface size (communication volume).
+
+#include <vector>
+
+#include "mesh/tet_mesh.hpp"
+#include "partition/graph.hpp"
+
+namespace hetero::partition {
+
+/// Load balance and communication metrics of an element partition.
+struct PartitionMetrics {
+  int parts = 0;
+  std::size_t min_part_size = 0;
+  std::size_t max_part_size = 0;
+  /// max part size / ideal part size; 1.0 is perfect.
+  double imbalance = 0.0;
+  /// Dual-graph edges crossing part boundaries (proportional to halo data).
+  std::size_t edge_cut = 0;
+};
+
+/// Recursive coordinate bisection over element centroids. Deterministic.
+/// Returns the part id of every element; parts need not be a power of two.
+std::vector<int> partition_rcb(const mesh::TetMesh& mesh, int parts);
+
+/// Greedy graph growing: seeds part after part from the farthest unassigned
+/// vertex, grows by BFS to the target size, then one pass of boundary
+/// refinement reduces the edge cut without breaking balance. Deterministic.
+std::vector<int> partition_greedy(const Graph& graph, int parts);
+
+/// Evaluates a partition against its dual graph.
+PartitionMetrics evaluate_partition(const Graph& graph,
+                                    const std::vector<int>& part, int parts);
+
+/// Extracts rank `rank`'s submesh from a partitioned global mesh: elements
+/// with part[t] == rank, vertices compacted to local indices, global vertex
+/// ids preserved (so distributed FEM dof ids stay consistent across ranks),
+/// and global boundary faces whose vertices all survive locally. This is
+/// the hand-off from the ParMETIS-style partitioners to the solvers —
+/// step (i) of the paper's pipeline for unstructured decompositions.
+mesh::TetMesh extract_submesh(const mesh::TetMesh& global,
+                              std::span<const int> part, int rank);
+
+}  // namespace hetero::partition

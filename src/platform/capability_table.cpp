@@ -1,0 +1,77 @@
+#include "platform/capability_table.hpp"
+
+#include <cstdio>
+
+namespace hetero::platform {
+
+Table capability_table(std::vector<const PlatformSpec*> platforms) {
+  if (platforms.empty()) {
+    platforms = all_platforms();
+  }
+  std::vector<std::string> header{"attribute"};
+  for (const auto* p : platforms) {
+    header.push_back(p->name);
+  }
+  Table table(std::move(header));
+
+  auto row = [&](const std::string& label, auto&& getter) {
+    std::vector<std::string> cells{label};
+    for (const auto* p : platforms) {
+      cells.push_back(getter(*p));
+    }
+    table.add_row(std::move(cells));
+  };
+
+  row("cpu arch.", [](const PlatformSpec& p) { return p.cpu_arch; });
+  row("# cpu/cores", [](const PlatformSpec& p) {
+    return std::to_string(p.sockets) + "/" +
+           std::to_string(p.cores_per_socket);
+  });
+  row("RAM/core", [](const PlatformSpec& p) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fGB", p.ram_per_core_gb);
+    return std::string(buf);
+  });
+  row("network", [](const PlatformSpec& p) { return p.network_name; });
+  row("storage", [](const PlatformSpec& p) { return p.storage_note; });
+  row("access", [](const PlatformSpec& p) {
+    return p.access == AccessMode::kRoot ? std::string("root")
+                                         : std::string("user space");
+  });
+  row("support", [](const PlatformSpec& p) { return p.support_level; });
+  row("build env.", [](const PlatformSpec& p) { return p.build_env_note; });
+  row("compiler", [](const PlatformSpec& p) { return p.compiler_note; });
+  row("dependencies",
+      [](const PlatformSpec& p) { return p.dependencies_note; });
+  row("MPI", [](const PlatformSpec& p) { return p.mpi_note; });
+  row("parallel jobs", [](const PlatformSpec& p) {
+    return p.parallel_jobs_configured ? std::string("yes")
+                                      : std::string("no");
+  });
+  row("execution", [](const PlatformSpec& p) {
+    switch (p.scheduler) {
+      case SchedulerKind::kPbs: return std::string("PBS");
+      case SchedulerKind::kSge: return std::string("SGE");
+      case SchedulerKind::kShell: return std::string("shell");
+    }
+    return std::string("?");
+  });
+  row("cost/core-hour", [](const PlatformSpec& p) {
+    char buf[48];
+    if (p.whole_node_billing) {
+      std::snprintf(buf, sizeof(buf), "%.3f c (node $%.2f/h)",
+                    p.cost_per_core_hour_usd * 100.0, p.node_hour_usd);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.2f c",
+                    p.cost_per_core_hour_usd * 100.0);
+    }
+    return std::string(buf);
+  });
+  row("launch limit", [](const PlatformSpec& p) {
+    return p.max_ranks == 0 ? std::string("none")
+                            : std::to_string(p.max_ranks) + " ranks";
+  });
+  return table;
+}
+
+}  // namespace hetero::platform

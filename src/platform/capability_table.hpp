@@ -1,0 +1,16 @@
+#pragma once
+
+/// \file capability_table.hpp
+/// Renders the paper's Table I: the side-by-side capability matrix of the
+/// four platforms, including the "how we addressed the missing capability"
+/// annotations.
+
+#include "platform/platform_spec.hpp"
+#include "support/table.hpp"
+
+namespace hetero::platform {
+
+/// Builds Table I over the given platforms (defaults to all four).
+Table capability_table(std::vector<const PlatformSpec*> platforms = {});
+
+}  // namespace hetero::platform

@@ -1,0 +1,191 @@
+#include "platform/platform_spec.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hetero::platform {
+
+netsim::Fabric PlatformSpec::fabric() const {
+  if (network_name == "1GbE") {
+    return netsim::Fabric::gigabit_ethernet();
+  }
+  if (network_name == "10GbE") {
+    return netsim::Fabric::ten_gigabit_ethernet();
+  }
+  if (network_name == "IB 4X DDR") {
+    return netsim::Fabric::infiniband_ddr_4x();
+  }
+  throw Error("unknown network fabric: " + network_name);
+}
+
+apps::CpuCostModel PlatformSpec::cpu_model() const {
+  apps::CpuCostModel cpu;
+  cpu.speed_factor = cpu_speed_factor;
+  return cpu;
+}
+
+netsim::Topology PlatformSpec::topology(int ranks) const {
+  return netsim::Topology::uniform(ranks, cores_per_node(), fabric(),
+                                   netsim::Fabric::shared_memory());
+}
+
+double PlatformSpec::cost_usd(int ranks, double seconds, bool spot) const {
+  HETERO_REQUIRE(ranks >= 1 && seconds >= 0.0,
+                 "cost_usd: bad ranks or duration");
+  const double hours = seconds / 3600.0;
+  if (whole_node_billing) {
+    const int nodes = (ranks + cores_per_node() - 1) / cores_per_node();
+    const double price =
+        spot && spot_node_hour_usd > 0.0 ? spot_node_hour_usd : node_hour_usd;
+    return nodes * price * hours;
+  }
+  HETERO_REQUIRE(!spot, "platform has no spot market: " + name);
+  return ranks * cost_per_core_hour_usd * hours;
+}
+
+// ---------------------------------------------------------------------------
+// Builtin platforms. Numbers are from §V and §VII-D of the paper; CPU speed
+// factors are relative single-core throughput estimates for the era
+// (reference: puma's Opteron 2214 = 1.0).
+// ---------------------------------------------------------------------------
+
+const PlatformSpec& puma() {
+  static const PlatformSpec spec = [] {
+    PlatformSpec s;
+    s.name = "puma";
+    s.cpu_arch = "Opteron 2214";
+    s.sockets = 2;
+    s.cores_per_socket = 2;
+    s.ram_per_core_gb = 1.0;
+    s.network_name = "1GbE";
+    s.cpu_speed_factor = 1.0;
+    s.max_nodes = 32;  // 128 cores: the LifeV home cluster
+    s.storage_note = "OK (80GB local scratch)";
+    s.access = AccessMode::kUserSpace;
+    s.support_level = "full";
+    s.build_env_note = "yes";
+    s.compiler_note = "GCC 4.3.4";
+    s.dependencies_note = "all preinstalled";
+    s.mpi_note = "Open MPI";
+    s.parallel_jobs_configured = true;
+    s.scheduler = SchedulerKind::kPbs;
+    s.max_ranks = 0;
+    s.cost_per_core_hour_usd = 0.023;  // capital + operating estimate
+    s.queue_wait_median_s = 15.0 * 60.0;  // small internal queue
+    s.queue_wait_sigma = 0.8;
+    return s;
+  }();
+  return spec;
+}
+
+const PlatformSpec& ellipse() {
+  static const PlatformSpec spec = [] {
+    PlatformSpec s;
+    s.name = "ellipse";
+    s.cpu_arch = "Opteron 2218";
+    s.sockets = 2;
+    s.cores_per_socket = 2;
+    s.ram_per_core_gb = 1.0;
+    s.network_name = "1GbE";
+    s.cpu_speed_factor = 1.15;  // 2.6 GHz vs 2.2 GHz
+    s.max_nodes = 256;
+    s.storage_note = "insufficient disk quota";
+    s.access = AccessMode::kUserSpace;
+    s.support_level = "very limited";
+    s.build_env_note = "yes";
+    s.compiler_note = "GCC 4.1.2";
+    s.dependencies_note = "none; source install";
+    s.mpi_note = "none; source install";
+    s.parallel_jobs_configured = false;  // SGE serial batches only
+    s.scheduler = SchedulerKind::kSge;
+    // mpiexec could not initialize jobs above 512 remote daemons (§VII-A).
+    s.max_ranks = 512;
+    s.limit_reason = "SGE not configured for parallel jobs; mpiexec fails "
+                     "to spawn > 512 remote daemons";
+    s.cost_per_core_hour_usd = 0.05;  // university flat rate
+    s.queue_wait_median_s = 2.0 * 3600.0;
+    s.queue_wait_sigma = 1.0;
+    return s;
+  }();
+  return spec;
+}
+
+const PlatformSpec& lagrange() {
+  static const PlatformSpec spec = [] {
+    PlatformSpec s;
+    s.name = "lagrange";
+    s.cpu_arch = "Xeon X5660";
+    s.sockets = 2;
+    s.cores_per_socket = 6;
+    s.ram_per_core_gb = 2.0;  // 24 GB / 12 cores
+    s.network_name = "IB 4X DDR";
+    s.cpu_speed_factor = 2.2;  // Westmere vs K8
+    s.max_nodes = 100;  // ample: TOP500 #136 when assembled
+    s.storage_note = "OK";
+    s.access = AccessMode::kUserSpace;
+    s.support_level = "limited";
+    s.build_env_note = "yes";
+    s.compiler_note = "GCC 4.1.2 / Intel 12.1";
+    s.dependencies_note = "blas, lapack (MKL); rest source install";
+    s.mpi_note = "Open MPI / Intel MPI";
+    s.parallel_jobs_configured = true;
+    s.scheduler = SchedulerKind::kPbs;
+    // IB adapters hit the configured data-volume cap above 343 ranks.
+    s.max_ranks = 343;
+    s.limit_reason = "configured IB data-volume limit exceeded above 343 "
+                     "processes";
+    s.cost_per_core_hour_usd = 0.1919;  // EUR 0.15 at the prevailing rate
+    s.queue_wait_median_s = 8.0 * 3600.0;  // shared supercomputer queue
+    s.queue_wait_sigma = 1.2;
+    return s;
+  }();
+  return spec;
+}
+
+const PlatformSpec& ec2() {
+  static const PlatformSpec spec = [] {
+    PlatformSpec s;
+    s.name = "ec2";
+    s.cpu_arch = "Xeon E5 (cc2.8xlarge)";
+    s.sockets = 2;
+    s.cores_per_socket = 8;
+    s.ram_per_core_gb = 3.8;  // 60.5 GB / 16 cores
+    s.network_name = "10GbE";
+    s.cpu_speed_factor = 2.8;  // Sandy Bridge
+    s.max_nodes = 1000;  // effectively unlimited on demand
+    s.storage_note = "insufficient; boot image resized";
+    s.access = AccessMode::kRoot;
+    s.support_level = "none";
+    s.build_env_note = "none; yum install";
+    s.compiler_note = "none; yum (GCC 4.4.5)";
+    s.dependencies_note = "none; source install";
+    s.mpi_note = "none; yum (Open MPI 1.4.4)";
+    s.parallel_jobs_configured = false;  // plain shell + hosts file
+    s.scheduler = SchedulerKind::kShell;
+    s.max_ranks = 0;
+    s.cost_per_core_hour_usd = 0.15;  // $2.40 / 16 cores
+    s.whole_node_billing = true;
+    s.node_hour_usd = 2.40;
+    s.spot_node_hour_usd = 0.54;
+    s.queue_wait_median_s = 3.0 * 60.0;  // instance boot + image start
+    s.queue_wait_sigma = 0.3;
+    return s;
+  }();
+  return spec;
+}
+
+std::vector<const PlatformSpec*> all_platforms() {
+  return {&puma(), &ellipse(), &lagrange(), &ec2()};
+}
+
+const PlatformSpec& platform_by_name(const std::string& name) {
+  for (const PlatformSpec* spec : all_platforms()) {
+    if (spec->name == name) {
+      return *spec;
+    }
+  }
+  throw Error("unknown platform: " + name);
+}
+
+}  // namespace hetero::platform

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file platform_spec.hpp
+/// The four heterogeneous target platforms of the paper (§V, Table I) as
+/// data: hardware shape, interconnect, access/support/build attributes,
+/// cost model, scheduler kind, queue behaviour, and the platform-specific
+/// *launch limits* the paper ran into (ellipse's >512-rank mpiexec failure,
+/// lagrange's InfiniBand data-volume cap above 343 ranks).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/app_common.hpp"
+#include "netsim/fabric.hpp"
+#include "netsim/topology.hpp"
+
+namespace hetero::platform {
+
+enum class AccessMode { kUserSpace, kRoot };
+enum class SchedulerKind { kPbs, kSge, kShell };
+
+/// Everything Table I records about one platform, plus the quantitative
+/// models derived from §V and §VII-D.
+struct PlatformSpec {
+  std::string name;
+
+  // --- hardware -----------------------------------------------------------
+  std::string cpu_arch;
+  int sockets = 2;
+  int cores_per_socket = 2;
+  double ram_per_core_gb = 1.0;
+  std::string network_name;
+  /// Relative per-core throughput; 1.0 = puma's Opteron 2214 reference.
+  double cpu_speed_factor = 1.0;
+  /// Largest assembly the site can provide, in nodes.
+  int max_nodes = 1;
+
+  // --- secondary attributes (Table I rows) ---------------------------------
+  std::string storage_note;
+  AccessMode access = AccessMode::kUserSpace;
+  std::string support_level;
+  std::string build_env_note;
+  std::string compiler_note;
+  std::string dependencies_note;
+  std::string mpi_note;
+  bool parallel_jobs_configured = true;
+  SchedulerKind scheduler = SchedulerKind::kPbs;
+
+  // --- launch limits observed in §VII-A ------------------------------------
+  /// Jobs above this rank count fail to launch (0 = unlimited).
+  int max_ranks = 0;
+  std::string limit_reason;
+
+  // --- cost model (§VII-D) --------------------------------------------------
+  double cost_per_core_hour_usd = 0.0;
+  /// EC2 charges whole instances regardless of cores used.
+  bool whole_node_billing = false;
+  double node_hour_usd = 0.0;       // on-demand, when whole-node billed
+  double spot_node_hour_usd = 0.0;  // 0 = no spot market
+
+  // --- availability (queue wait) --------------------------------------------
+  /// Lognormal queue-wait parameters (seconds) for a modest job; the
+  /// scheduler scales the wait with requested fraction of the machine.
+  double queue_wait_median_s = 0.0;
+  double queue_wait_sigma = 0.5;
+
+  int cores_per_node() const { return sockets * cores_per_socket; }
+  int max_cores() const { return max_nodes * cores_per_node(); }
+
+  /// Can this platform even launch `ranks` processes?
+  bool can_launch(int ranks) const {
+    if (ranks > max_cores()) {
+      return false;
+    }
+    return max_ranks == 0 || ranks <= max_ranks;
+  }
+
+  /// Inter-node fabric model for this platform.
+  netsim::Fabric fabric() const;
+
+  /// Per-core compute rates for the virtual clocks / perf model.
+  apps::CpuCostModel cpu_model() const;
+
+  /// Topology for a `ranks`-process job packed `cores_per_node()` per node.
+  netsim::Topology topology(int ranks) const;
+
+  /// Dollar cost of running `ranks` ranks for `seconds`. With whole-node
+  /// billing the cost covers ceil(ranks / cores_per_node()) nodes; `spot`
+  /// uses the spot node price when one exists.
+  double cost_usd(int ranks, double seconds, bool spot = false) const;
+};
+
+/// Builtin platforms (paper §V-A..D).
+const PlatformSpec& puma();
+const PlatformSpec& ellipse();
+const PlatformSpec& lagrange();
+const PlatformSpec& ec2();
+
+/// All four, in the paper's order.
+std::vector<const PlatformSpec*> all_platforms();
+
+/// Lookup by name; throws for unknown names.
+const PlatformSpec& platform_by_name(const std::string& name);
+
+}  // namespace hetero::platform

@@ -1,0 +1,82 @@
+#include "provision/packages.hpp"
+
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace hetero::provision {
+
+const std::vector<Package>& package_db() {
+  // Versions follow the porting report in §VI.
+  static const std::vector<Package> db = {
+      {"gcc", "4.x", {}, 0.3, 0.1, "C/C++ compiler"},
+      {"gfortran", "4.x", {"gcc"}, 0.2, 0.1, "Fortran compiler (optional)"},
+      {"gnu-make", "3.x", {}, 0.1, 0.05, ""},
+      {"autotools", "2.59+", {"gnu-make"}, 0.2, 0.1,
+       "libtool/autoconf/automake"},
+      {"cmake", "2.8", {"gnu-make"}, 0.5, 0.1,
+       "2.8 required; often missing from repositories"},
+      {"openmpi", "1.4.4", {"gcc", "gnu-make"}, 1.0, 0.2,
+       "MPI toolset; must liaise with the site scheduler"},
+      {"blas-lapack", "vendor or source", {"gfortran", "gnu-make"}, 1.4, 0.2,
+       "ACML / MKL / GotoBLAS2 1.13 + LAPACK 3.3.1"},
+      {"boost", "1.47", {"gcc"}, 1.0, 0.2,
+       "smart pointers and memory management"},
+      {"hdf5", "1.8.7", {"gcc", "gnu-make"}, 0.8, 0.2,
+       "built with the 1.6 compatibility interface"},
+      {"parmetis", "3.1.1", {"openmpi", "gnu-make"}, 0.5, 0.2,
+       "mesh partitioning"},
+      {"suitesparse", "3.6.1", {"blas-lapack", "gnu-make"}, 0.7, 0.2,
+       "support library extending Trilinos"},
+      {"trilinos", "10.6.4",
+       {"cmake", "openmpi", "blas-lapack", "boost", "hdf5", "parmetis",
+        "suitesparse"},
+       2.5, 0.5, "distributed data structures and solvers"},
+      {"lifev", "2.0.0",
+       {"trilinos", "parmetis", "hdf5", "boost", "autotools"},
+       1.5, 0.5, "the FEM library itself"},
+      {"cfd-app", "paper",
+       {"lifev", "gnu-make"},
+       0.2, 0.2, "update the Makefile and build the two solvers"},
+  };
+  return db;
+}
+
+const Package& package(const std::string& name) {
+  for (const auto& p : package_db()) {
+    if (p.name == name) {
+      return p;
+    }
+  }
+  throw Error("unknown package: " + name);
+}
+
+namespace {
+void visit(const std::string& name, std::set<std::string>& seen,
+           std::vector<std::string>& order,
+           std::set<std::string>& in_progress) {
+  if (seen.count(name)) {
+    return;
+  }
+  HETERO_REQUIRE(!in_progress.count(name),
+                 "package dependency cycle through " + name);
+  in_progress.insert(name);
+  for (const auto& dep : package(name).deps) {
+    visit(dep, seen, order, in_progress);
+  }
+  in_progress.erase(name);
+  seen.insert(name);
+  order.push_back(name);
+}
+}  // namespace
+
+std::vector<std::string> dependency_order(const std::string& target) {
+  std::set<std::string> seen;
+  std::set<std::string> in_progress;
+  std::vector<std::string> order;
+  visit(target, seen, order, in_progress);
+  return order;
+}
+
+}  // namespace hetero::provision

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file packages.hpp
+/// The software stack of §IV-D as a dependency database: LifeV and its
+/// third-party scientific libraries, the general-purpose/communication
+/// layer, compilers, and deployment tools — everything that had to exist on
+/// a target platform before the CFD applications would build.
+
+#include <string>
+#include <vector>
+
+namespace hetero::provision {
+
+struct Package {
+  std::string name;
+  std::string version;
+  /// Names of packages that must be present first.
+  std::vector<std::string> deps;
+  /// Man-hours for an experienced developer to build from source on a new
+  /// machine (configure + build + fix the inevitable issues).
+  double source_build_hours = 0.5;
+  /// Man-hours when a system package manager can install it (root access).
+  double system_install_hours = 0.1;
+  std::string note;
+};
+
+/// All packages, topologically orderable; the application target is
+/// "cfd-app" (the two LifeV-based solvers).
+const std::vector<Package>& package_db();
+
+const Package& package(const std::string& name);
+
+/// Transitive dependency closure of `target` in dependency-first order
+/// (every package appears after all of its dependencies).
+std::vector<std::string> dependency_order(const std::string& target);
+
+}  // namespace hetero::provision

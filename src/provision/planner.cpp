@@ -1,0 +1,159 @@
+#include "provision/planner.hpp"
+
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace hetero::provision {
+
+std::string to_string(InstallMethod method) {
+  switch (method) {
+    case InstallMethod::kPreinstalled: return "preinstalled";
+    case InstallMethod::kVendorLibrary: return "vendor library";
+    case InstallMethod::kSystemPackage: return "system package (yum)";
+    case InstallMethod::kSourceBuild: return "source build";
+  }
+  return "?";
+}
+
+PlatformState initial_state(const platform::PlatformSpec& spec) {
+  PlatformState state;
+  if (spec.name == "puma") {
+    // The home platform: everything is already there (§VI-A).
+    for (const auto& p : package_db()) {
+      state.preinstalled.insert(p.name);
+    }
+    return state;
+  }
+  if (spec.name == "ellipse") {
+    // GNU toolchain present in a compatible version; nothing scientific.
+    state.preinstalled = {"gcc", "gfortran", "gnu-make", "autotools",
+                          "cmake"};
+    state.vendor_provided = {"blas-lapack"};  // ACML 4.0.1
+    return state;
+  }
+  if (spec.name == "lagrange") {
+    // Compilers, MPI and vendor BLAS/LAPACK provided by the site (§VI-C).
+    state.preinstalled = {"gcc", "gfortran", "gnu-make", "autotools",
+                          "cmake", "openmpi"};
+    state.vendor_provided = {"blas-lapack"};  // MKL
+    return state;
+  }
+  if (spec.name == "ec2") {
+    // Bare image: nothing preinstalled, but root + yum (§VI-D). CMake 2.8
+    // was NOT in the repositories and required a source install.
+    state.has_root = true;
+    state.system_packages = {"gcc", "gfortran", "gnu-make", "autotools",
+                             "openmpi"};
+    state.extra_steps = {
+        {"yum update of the obsolete CentOS 5.4 image", 0.5},
+        {"generate + distribute ssh host keys for mpiexec", 0.3},
+        {"security group: open intranet TCP ports for MPI", 0.2},
+        {"resize 20GB boot partition for mesh staging", 0.5},
+        {"create the private AMI with the conditioned stack", 0.5},
+    };
+    return state;
+  }
+  throw Error("no provisioning model for platform: " + spec.name);
+}
+
+double ProvisionPlan::total_hours() const {
+  double h = 0.0;
+  for (const auto& a : actions) {
+    h += a.hours;
+  }
+  for (const auto& [step, hours] : extra_steps) {
+    h += hours;
+  }
+  return h;
+}
+
+int ProvisionPlan::source_builds() const {
+  int n = 0;
+  for (const auto& a : actions) {
+    n += a.method == InstallMethod::kSourceBuild;
+  }
+  return n;
+}
+
+Table ProvisionPlan::to_table() const {
+  Table table({"package", "method", "hours", "note"});
+  char buf[32];
+  for (const auto& a : actions) {
+    std::snprintf(buf, sizeof(buf), "%.2f", a.hours);
+    table.add_row({a.package, to_string(a.method), buf, a.note});
+  }
+  for (const auto& [step, hours] : extra_steps) {
+    std::snprintf(buf, sizeof(buf), "%.2f", hours);
+    table.add_row({"(platform step)", "manual", buf, step});
+  }
+  return table;
+}
+
+double automated_hours(const ProvisionPlan& plan,
+                       const AutomationModel& model) {
+  HETERO_REQUIRE(model.residual_fraction >= 0.0 &&
+                     model.residual_fraction <= 1.0,
+                 "residual fraction must be in [0, 1]");
+  return plan.total_hours() * model.residual_fraction;
+}
+
+int automation_break_even(const std::vector<ProvisionPlan>& plans,
+                          const AutomationModel& model) {
+  // Find the smallest k such that authoring + k * automated <= k * manual
+  // when provisioning the platforms in the given (repeating) order.
+  double manual = 0.0;
+  double automated = model.authoring_hours;
+  int k = 0;
+  const int limit = 1000;
+  while (k < limit) {
+    if (k > 0 && automated <= manual) {
+      return k;
+    }
+    if (plans.empty()) {
+      return 0;
+    }
+    const ProvisionPlan& plan = plans[static_cast<std::size_t>(k) %
+                                      plans.size()];
+    manual += plan.total_hours();
+    automated += automated_hours(plan, model);
+    ++k;
+  }
+  return limit;
+}
+
+ProvisionPlan plan_provisioning(const platform::PlatformSpec& spec,
+                                const std::string& target) {
+  const PlatformState state = initial_state(spec);
+  ProvisionPlan plan;
+  plan.platform = spec.name;
+  plan.target = target;
+  plan.extra_steps = state.extra_steps;
+
+  for (const auto& name : dependency_order(target)) {
+    const Package& pkg = package(name);
+    ProvisionAction action;
+    action.package = name;
+    if (state.preinstalled.count(name)) {
+      action.method = InstallMethod::kPreinstalled;
+      action.hours = 0.0;
+      action.note = "already on the platform";
+    } else if (state.vendor_provided.count(name)) {
+      action.method = InstallMethod::kVendorLibrary;
+      action.hours = 0.3;  // locate + link against the vendor stack
+      action.note = "vendor-optimized implementation";
+    } else if (state.has_root && state.system_packages.count(name)) {
+      action.method = InstallMethod::kSystemPackage;
+      action.hours = pkg.system_install_hours;
+      action.note = "yum install";
+    } else {
+      action.method = InstallMethod::kSourceBuild;
+      action.hours = pkg.source_build_hours;
+      action.note = pkg.note;
+    }
+    plan.actions.push_back(std::move(action));
+  }
+  return plan;
+}
+
+}  // namespace hetero::provision

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file planner.hpp
+/// Provisioning planner: given a target platform's initial state (Table I)
+/// and the package database, decide how each dependency gets provided —
+/// already there, system package manager, vendor library, or source build —
+/// and estimate the man-hour effort, reproducing the §VI porting narrative
+/// (puma: nothing to do; ellipse/lagrange: ~8 h of source builds; EC2:
+/// about a day including the cloud-specific steps).
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "platform/platform_spec.hpp"
+#include "provision/packages.hpp"
+#include "support/table.hpp"
+
+namespace hetero::provision {
+
+enum class InstallMethod {
+  kPreinstalled,
+  kVendorLibrary,   // e.g. ACML / MKL BLAS
+  kSystemPackage,   // yum (requires root)
+  kSourceBuild,
+};
+
+std::string to_string(InstallMethod method);
+
+/// What a platform offers before any porting work (derived from Table I).
+struct PlatformState {
+  std::set<std::string> preinstalled;
+  /// Packages a vendor library satisfies (counted as cheap installs).
+  std::set<std::string> vendor_provided;
+  bool has_root = false;
+  /// Packages the system package manager can deliver (needs root).
+  std::set<std::string> system_packages;
+  /// Cloud-only extra conditioning steps (ssh keys, security group, ...).
+  std::vector<std::pair<std::string, double>> extra_steps;
+};
+
+/// Initial state of the four paper platforms.
+PlatformState initial_state(const platform::PlatformSpec& spec);
+
+struct ProvisionAction {
+  std::string package;
+  InstallMethod method = InstallMethod::kSourceBuild;
+  double hours = 0.0;
+  std::string note;
+};
+
+struct ProvisionPlan {
+  std::string platform;
+  std::string target;
+  std::vector<ProvisionAction> actions;
+  std::vector<std::pair<std::string, double>> extra_steps;
+
+  double total_hours() const;
+  int source_builds() const;
+  Table to_table() const;
+};
+
+/// Plans the provisioning of `target` (default: the paper's applications).
+ProvisionPlan plan_provisioning(const platform::PlatformSpec& spec,
+                                const std::string& target = "cfd-app");
+
+/// Effort model for scripted provisioning — the paper's stated future work
+/// ("use of third party software to address mundane, repeatable tasks
+/// (e.g. doit) or predefined images for IaaS could significantly reduce
+/// this cost"). Authoring the automation costs once; every subsequent
+/// platform pays only a fraction of the manual effort (the non-scriptable
+/// interactions with administrators remain).
+struct AutomationModel {
+  /// One-time cost of writing/validating the provisioning scripts.
+  double authoring_hours = 6.0;
+  /// Fraction of the manual per-platform effort that remains once
+  /// automated (debugging site quirks, admin interactions).
+  double residual_fraction = 0.25;
+};
+
+/// Per-platform hours when the plan is executed by the automation.
+double automated_hours(const ProvisionPlan& plan,
+                       const AutomationModel& model);
+
+/// Number of provisioned platforms at which automation breaks even against
+/// repeating the manual plans (ceil; 0 when the manual total is zero).
+int automation_break_even(const std::vector<ProvisionPlan>& plans,
+                          const AutomationModel& model);
+
+}  // namespace hetero::provision

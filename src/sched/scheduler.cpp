@@ -1,0 +1,95 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hetero::sched {
+
+namespace {
+
+/// Lognormal wait with the platform's median, scaled by how much of the
+/// machine the job asks for: requesting most of a busy cluster means
+/// waiting for drain.
+double queue_wait(const platform::PlatformSpec& spec, int ranks, Rng& rng) {
+  const double fraction =
+      static_cast<double>(ranks) / std::max(1, spec.max_cores());
+  const double scale = 1.0 + 3.0 * fraction;
+  const double mu = std::log(std::max(1.0, spec.queue_wait_median_s * scale));
+  return rng.lognormal(mu, spec.queue_wait_sigma);
+}
+
+JobOutcome launch_failure(const platform::PlatformSpec& spec, int ranks) {
+  JobOutcome out;
+  out.launched = false;
+  if (ranks > spec.max_cores()) {
+    out.failure_reason = spec.name + " has only " +
+                         std::to_string(spec.max_cores()) + " cores";
+  } else {
+    out.failure_reason = spec.limit_reason;
+  }
+  return out;
+}
+
+}  // namespace
+
+JobOutcome PbsScheduler::submit(const JobRequest& request, Rng& rng) {
+  HETERO_REQUIRE(request.ranks >= 1, "job needs at least one rank");
+  if (!spec_->can_launch(request.ranks)) {
+    return launch_failure(*spec_, request.ranks);
+  }
+  JobOutcome out;
+  out.launched = true;
+  out.wait_s = queue_wait(*spec_, request.ranks, rng);
+  return out;
+}
+
+JobOutcome SgeScheduler::submit(const JobRequest& request, Rng& rng) {
+  HETERO_REQUIRE(request.ranks >= 1, "job needs at least one rank");
+  if (!spec_->can_launch(request.ranks)) {
+    return launch_failure(*spec_, request.ranks);
+  }
+  JobOutcome out;
+  out.launched = true;
+  // Serial-only SGE: reservation happens per slot, and Open MPI must spawn
+  // its own daemons afterwards — an extra start-up cost per node.
+  const int nodes =
+      (request.ranks + spec_->cores_per_node() - 1) / spec_->cores_per_node();
+  out.wait_s = queue_wait(*spec_, request.ranks, rng) +
+               0.25 * static_cast<double>(nodes);
+  return out;
+}
+
+JobOutcome ShellLauncher::submit(const JobRequest& request, Rng& rng) {
+  HETERO_REQUIRE(request.ranks >= 1, "job needs at least one rank");
+  if (!spec_->can_launch(request.ranks)) {
+    return launch_failure(*spec_, request.ranks);
+  }
+  JobOutcome out;
+  out.launched = true;
+  // No queue: wait = instance boot (per batch, not per node — EC2 starts
+  // them concurrently) + writing the hosts file from assigned intranet IPs.
+  const double boot =
+      rng.lognormal(std::log(spec_->queue_wait_median_s),
+                    spec_->queue_wait_sigma);
+  const int nodes =
+      (request.ranks + spec_->cores_per_node() - 1) / spec_->cores_per_node();
+  out.wait_s = boot + 2.0 * static_cast<double>(nodes) / 63.0;
+  return out;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(
+    const platform::PlatformSpec& spec) {
+  switch (spec.scheduler) {
+    case platform::SchedulerKind::kPbs:
+      return std::make_unique<PbsScheduler>(spec);
+    case platform::SchedulerKind::kSge:
+      return std::make_unique<SgeScheduler>(spec);
+    case platform::SchedulerKind::kShell:
+      return std::make_unique<ShellLauncher>(spec);
+  }
+  throw Error("unknown scheduler kind");
+}
+
+}  // namespace hetero::sched

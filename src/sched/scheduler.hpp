@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Batch-system simulators for the paper's "availability" axis: how long a
+/// job waits before it runs, and which jobs fail to launch at all.
+///
+///  * PBS (puma, lagrange) — classic batch queue; waits grow with the
+///    requested fraction of the machine.
+///  * SGE as configured on ellipse — serial-only queue; Open MPI liaises
+///    with it to place ranks, but launches above the observed daemon limit
+///    fail (§VI-B, §VII-A).
+///  * Shell launch on EC2 — no queue; "wait" is instance boot time, and
+///    there is a per-run setup step (hosts file from assigned intranet IPs,
+///    §VI-D).
+///
+/// All stochastic draws come from a caller-provided Rng, so experiments are
+/// reproducible.
+
+#include <memory>
+#include <string>
+
+#include "platform/platform_spec.hpp"
+#include "support/rng.hpp"
+
+namespace hetero::sched {
+
+struct JobRequest {
+  int ranks = 1;
+  /// Informational; some sites prioritize short jobs.
+  double estimated_runtime_s = 0.0;
+};
+
+struct JobOutcome {
+  bool launched = false;
+  /// Time from submission until the job starts (queue wait, boot, setup).
+  double wait_s = 0.0;
+  std::string failure_reason;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  /// Submits a job; draws waits from `rng`.
+  virtual JobOutcome submit(const JobRequest& request, Rng& rng) = 0;
+};
+
+/// PBS-style batch queue (puma's Torque, lagrange's PBS Professional).
+class PbsScheduler final : public Scheduler {
+ public:
+  explicit PbsScheduler(const platform::PlatformSpec& spec) : spec_(&spec) {}
+  std::string name() const override { return "pbs"; }
+  JobOutcome submit(const JobRequest& request, Rng& rng) override;
+
+ private:
+  const platform::PlatformSpec* spec_;
+};
+
+/// SGE as found on ellipse: serial-only configuration; Open MPI detects SGE
+/// and spawns remote daemons itself, which breaks down above the limit.
+class SgeScheduler final : public Scheduler {
+ public:
+  explicit SgeScheduler(const platform::PlatformSpec& spec) : spec_(&spec) {}
+  std::string name() const override { return "sge"; }
+  JobOutcome submit(const JobRequest& request, Rng& rng) override;
+
+ private:
+  const platform::PlatformSpec* spec_;
+};
+
+/// Direct mpiexec from a shell with a hosts file (EC2).
+class ShellLauncher final : public Scheduler {
+ public:
+  explicit ShellLauncher(const platform::PlatformSpec& spec) : spec_(&spec) {}
+  std::string name() const override { return "shell"; }
+  JobOutcome submit(const JobRequest& request, Rng& rng) override;
+
+ private:
+  const platform::PlatformSpec* spec_;
+};
+
+/// Builds the right scheduler for a platform.
+std::unique_ptr<Scheduler> make_scheduler(const platform::PlatformSpec& spec);
+
+}  // namespace hetero::sched

@@ -1,0 +1,321 @@
+#include "simmpi/runtime.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "simmpi/comm.hpp"
+
+namespace hetero::simmpi {
+
+Runtime::Runtime(netsim::Topology topology)
+    : topology_(std::move(topology)),
+      mailboxes_(static_cast<std::size_t>(topology_.ranks())),
+      clocks_(static_cast<std::size_t>(topology_.ranks())),
+      stats_(static_cast<std::size_t>(topology_.ranks())),
+      coll_inputs_(static_cast<std::size_t>(topology_.ranks())) {}
+
+Runtime::~Runtime() = default;
+
+void Runtime::run(const std::function<void(Comm&)>& rank_main) {
+  const int p = size();
+  for (int r = 0; r < p; ++r) {
+    clocks_[static_cast<std::size_t>(r)].reset();
+    stats_[static_cast<std::size_t>(r)] = CommStats{};
+    stats_[static_cast<std::size_t>(r)].bytes_by_dest.assign(
+        static_cast<std::size_t>(p), 0);
+    mailboxes_[static_cast<std::size_t>(r)].queue.clear();
+  }
+  aborted_.store(false);
+  coll_arrived_ = 0;
+  coll_generation_ = 0;
+  groups_.clear();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(*this, r);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+        abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+double Runtime::elapsed_sim_seconds() const {
+  double t = 0.0;
+  for (const auto& clock : clocks_) {
+    t = std::max(t, clock.time());
+  }
+  return t;
+}
+
+const CommStats& Runtime::stats(int rank) const {
+  HETERO_REQUIRE(rank >= 0 && rank < size(), "stats(): rank out of range");
+  return stats_[static_cast<std::size_t>(rank)];
+}
+
+void Runtime::post_send(int source, int dest, int tag, std::uint64_t group,
+                        std::vector<std::byte> payload, double depart_time) {
+  HETERO_REQUIRE(dest >= 0 && dest < size(), "send: destination out of range");
+  auto& box = mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(
+        Envelope{source, tag, group, std::move(payload), depart_time});
+  }
+  box.cv.notify_all();
+}
+
+Runtime::Envelope Runtime::blocking_recv(int self, int source, int tag,
+                                         std::uint64_t group) {
+  HETERO_REQUIRE(source >= 0 && source < size(), "recv: source out of range");
+  auto& box = mailboxes_[static_cast<std::size_t>(self)];
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    check_abort();
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->source == source && it->tag == tag && it->group == group) {
+        Envelope env = std::move(*it);
+        box.queue.erase(it);
+        return env;
+      }
+    }
+    if (recv_timeout_s_ > 0.0) {
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (waited > recv_timeout_s_) {
+        // A matching message never arrived: almost certainly a deadlocked
+        // or mismatched communication pattern. Fail loudly instead of
+        // hanging the host process.
+        abort_all();
+        throw Error("simmpi: rank " + std::to_string(self) +
+                    " waited " + std::to_string(waited) +
+                    " s for a message from rank " + std::to_string(source) +
+                    " (tag " + std::to_string(tag) +
+                    ") — deadlock or mismatched send/recv pattern");
+      }
+    }
+    box.cv.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+std::uint64_t Runtime::intern_group(std::vector<int> members) {
+  HETERO_REQUIRE(!members.empty(), "a group needs at least one member");
+  // FNV over the member list; nudge on (astronomically unlikely) collision.
+  std::uint64_t id = 1469598103934665603ULL;
+  for (int m : members) {
+    id ^= static_cast<std::uint64_t>(m) + 0x9e3779b9ULL;
+    id *= 1099511628211ULL;
+  }
+  if (id == 0) {
+    id = 1;  // 0 is the world communicator
+  }
+  std::lock_guard<std::mutex> lock(coll_mutex_);
+  for (;;) {
+    auto it = groups_.find(id);
+    if (it == groups_.end()) {
+      GroupState state;
+      state.members = std::move(members);
+      state.inputs.resize(state.members.size());
+      groups_.emplace(id, std::move(state));
+      return id;
+    }
+    if (it->second.members == members) {
+      return id;  // same membership: safe to share (generation-counted)
+    }
+    ++id;
+  }
+}
+
+const Runtime::GroupState& Runtime::group(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(coll_mutex_);
+  const auto it = groups_.find(id);
+  HETERO_REQUIRE(it != groups_.end(), "unknown communicator group");
+  return it->second;
+}
+
+std::vector<std::byte> Runtime::group_collective(
+    std::uint64_t group_id, int member_index, std::vector<std::byte> input,
+    const CombineFn& combine, double cost_seconds, double entry_time,
+    double* exit_time) {
+  std::unique_lock<std::mutex> lock(coll_mutex_);
+  check_abort();
+  auto it = groups_.find(group_id);
+  HETERO_REQUIRE(it != groups_.end(), "unknown communicator group");
+  GroupState& g = it->second;
+  const std::uint64_t my_generation = g.generation;
+  g.inputs[static_cast<std::size_t>(member_index)] = std::move(input);
+  g.max_entry = (g.arrived == 0) ? entry_time
+                                 : std::max(g.max_entry, entry_time);
+  g.cost = (g.arrived == 0) ? cost_seconds : std::max(g.cost, cost_seconds);
+  ++g.arrived;
+  if (g.arrived == static_cast<int>(g.members.size())) {
+    g.personalized = false;
+    g.result = combine ? combine(g.inputs) : std::vector<std::byte>{};
+    g.exit = g.max_entry + g.cost;
+    g.arrived = 0;
+    ++g.generation;
+    for (auto& in : g.inputs) {
+      in.clear();
+    }
+    coll_cv_.notify_all();
+  } else {
+    coll_cv_.wait(lock, [&] {
+      return g.generation != my_generation || aborted_.load();
+    });
+    check_abort();
+  }
+  *exit_time = g.exit;
+  return g.result;
+}
+
+std::vector<std::byte> Runtime::group_collective_personalized(
+    std::uint64_t group_id, int member_index, std::vector<std::byte> input,
+    const CombinePerRankFn& combine, double cost_seconds, double entry_time,
+    double* exit_time) {
+  std::unique_lock<std::mutex> lock(coll_mutex_);
+  check_abort();
+  auto it = groups_.find(group_id);
+  HETERO_REQUIRE(it != groups_.end(), "unknown communicator group");
+  GroupState& g = it->second;
+  const std::uint64_t my_generation = g.generation;
+  g.inputs[static_cast<std::size_t>(member_index)] = std::move(input);
+  g.max_entry = (g.arrived == 0) ? entry_time
+                                 : std::max(g.max_entry, entry_time);
+  g.cost = (g.arrived == 0) ? cost_seconds : std::max(g.cost, cost_seconds);
+  ++g.arrived;
+  if (g.arrived == static_cast<int>(g.members.size())) {
+    g.personalized = true;
+    g.results_per_rank = combine(g.inputs);
+    HETERO_CHECK(g.results_per_rank.size() == g.members.size());
+    g.exit = g.max_entry + g.cost;
+    g.arrived = 0;
+    ++g.generation;
+    for (auto& in : g.inputs) {
+      in.clear();
+    }
+    coll_cv_.notify_all();
+  } else {
+    coll_cv_.wait(lock, [&] {
+      return g.generation != my_generation || aborted_.load();
+    });
+    check_abort();
+  }
+  HETERO_CHECK(g.personalized);
+  *exit_time = g.exit;
+  return g.results_per_rank[static_cast<std::size_t>(member_index)];
+}
+
+namespace {
+/// Runs the shared rendezvous: returns true on the rank that arrived last
+/// (which must fill the result slots before others read them).
+}  // namespace
+
+std::vector<std::byte> Runtime::collective(int rank,
+                                           std::vector<std::byte> input,
+                                           const CombineFn& combine,
+                                           double cost_seconds,
+                                           double entry_time,
+                                           double* exit_time) {
+  std::unique_lock<std::mutex> lock(coll_mutex_);
+  check_abort();
+  const std::uint64_t my_generation = coll_generation_;
+  coll_inputs_[static_cast<std::size_t>(rank)] = std::move(input);
+  coll_max_entry_ = (coll_arrived_ == 0)
+                        ? entry_time
+                        : std::max(coll_max_entry_, entry_time);
+  coll_cost_ = (coll_arrived_ == 0) ? cost_seconds
+                                    : std::max(coll_cost_, cost_seconds);
+  ++coll_arrived_;
+  if (coll_arrived_ == size()) {
+    // Last arrival performs the combine and releases everyone.
+    coll_personalized_ = false;
+    coll_result_ = combine ? combine(coll_inputs_) : std::vector<std::byte>{};
+    coll_exit_ = coll_max_entry_ + coll_cost_;
+    coll_arrived_ = 0;
+    ++coll_generation_;
+    for (auto& in : coll_inputs_) {
+      in.clear();
+    }
+    coll_cv_.notify_all();
+  } else {
+    coll_cv_.wait(lock, [&] {
+      return coll_generation_ != my_generation || aborted_.load();
+    });
+    check_abort();
+  }
+  *exit_time = coll_exit_;
+  return coll_result_;
+}
+
+std::vector<std::byte> Runtime::collective_personalized(
+    int rank, std::vector<std::byte> input, const CombinePerRankFn& combine,
+    double cost_seconds, double entry_time, double* exit_time) {
+  std::unique_lock<std::mutex> lock(coll_mutex_);
+  check_abort();
+  const std::uint64_t my_generation = coll_generation_;
+  coll_inputs_[static_cast<std::size_t>(rank)] = std::move(input);
+  coll_max_entry_ = (coll_arrived_ == 0)
+                        ? entry_time
+                        : std::max(coll_max_entry_, entry_time);
+  coll_cost_ = (coll_arrived_ == 0) ? cost_seconds
+                                    : std::max(coll_cost_, cost_seconds);
+  ++coll_arrived_;
+  if (coll_arrived_ == size()) {
+    coll_personalized_ = true;
+    coll_results_per_rank_ = combine(coll_inputs_);
+    HETERO_CHECK(static_cast<int>(coll_results_per_rank_.size()) == size());
+    coll_exit_ = coll_max_entry_ + coll_cost_;
+    coll_arrived_ = 0;
+    ++coll_generation_;
+    for (auto& in : coll_inputs_) {
+      in.clear();
+    }
+    coll_cv_.notify_all();
+  } else {
+    coll_cv_.wait(lock, [&] {
+      return coll_generation_ != my_generation || aborted_.load();
+    });
+    check_abort();
+  }
+  HETERO_CHECK(coll_personalized_);
+  *exit_time = coll_exit_;
+  return coll_results_per_rank_[static_cast<std::size_t>(rank)];
+}
+
+void Runtime::abort_all() {
+  aborted_.store(true);
+  for (auto& box : mailboxes_) {
+    box.cv.notify_all();
+  }
+  coll_cv_.notify_all();
+}
+
+void Runtime::check_abort() const {
+  if (aborted_.load()) {
+    throw Aborted();
+  }
+}
+
+}  // namespace hetero::simmpi

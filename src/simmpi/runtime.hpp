@@ -1,0 +1,200 @@
+#pragma once
+
+/// \file runtime.hpp
+/// The simulated message-passing runtime.
+///
+/// `Runtime` executes N ranks as host threads inside one process. Messages
+/// are moved through in-memory mailboxes (so the numerics are exactly what a
+/// real MPI job would compute) while a netsim `Topology` prices every
+/// transfer and collective into per-rank virtual clocks. This replaces the
+/// paper's physical clusters: the applications run the real message-passing
+/// code path; only *time* is modeled.
+///
+/// Semantics implemented (deliberately the subset the applications and
+/// substrates use, with MPI-compatible behaviour):
+///   * `send` is buffered and never blocks (eager-protocol semantics);
+///   * `recv(src, tag)` blocks until a matching message arrives; matching is
+///     by exact (source, tag), preserving MPI's non-overtaking order per
+///     (source, tag) pair;
+///   * collectives are synchronizing: all clocks merge to
+///     max(entry clocks) + modeled collective cost.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/topology.hpp"
+#include "simmpi/simclock.hpp"
+
+namespace hetero::simmpi {
+
+class Comm;
+
+/// Per-rank traffic counters (virtual-time accounting).
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t collectives = 0;
+  /// Virtual seconds this rank spent inside communication calls.
+  double comm_seconds = 0.0;
+  /// Point-to-point payload bytes sent to each destination rank — the
+  /// row of the job's traffic matrix owned by this rank. Collectives are
+  /// not included (they move through the rendezvous, not the mailboxes).
+  std::vector<std::uint64_t> bytes_by_dest;
+};
+
+/// Thrown inside rank bodies when another rank failed and the job is being
+/// torn down; rank code should let it propagate.
+class Aborted : public Error {
+ public:
+  Aborted() : Error("simmpi: job aborted by another rank") {}
+};
+
+class Runtime {
+ public:
+  /// Creates a runtime for `topology.ranks()` ranks.
+  explicit Runtime(netsim::Topology topology);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int size() const { return topology_.ranks(); }
+  const netsim::Topology& topology() const { return topology_; }
+
+  /// Runs `rank_main` once per rank, each on its own thread, and joins.
+  /// If any rank throws, all others are aborted and the first exception is
+  /// rethrown here.
+  void run(const std::function<void(Comm&)>& rank_main);
+
+  /// Virtual completion time of the job: max over rank clocks after run().
+  double elapsed_sim_seconds() const;
+
+  /// Per-rank statistics collected during the last run().
+  const CommStats& stats(int rank) const;
+
+  /// Host-time guard against deadlocked receives: a recv that matches
+  /// nothing for this long aborts the job with a diagnostic instead of
+  /// hanging the process. Default 120 s; 0 disables the guard.
+  void set_recv_timeout(double host_seconds) {
+    recv_timeout_s_ = host_seconds;
+  }
+  double recv_timeout() const { return recv_timeout_s_; }
+
+ private:
+  friend class Comm;
+
+  struct Envelope {
+    int source = 0;  // world rank
+    int tag = 0;
+    /// Communicator the message was sent on (0 = world); matching requires
+    /// the same group, so sub-communicators isolate their tag spaces as in
+    /// MPI.
+    std::uint64_t group = 0;
+    std::vector<std::byte> payload;
+    /// Sender virtual time at which the message left.
+    double depart_time = 0.0;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Envelope> queue;
+  };
+
+  // --- point-to-point (called by Comm) ---
+  void post_send(int source, int dest, int tag, std::uint64_t group,
+                 std::vector<std::byte> payload, double depart_time);
+  Envelope blocking_recv(int self, int source, int tag, std::uint64_t group);
+
+  // --- sub-communicator support ---
+  /// State of one process group (world communicator = group id 0, created
+  /// implicitly). Guarded by coll_mutex_ like the world collective state.
+  struct GroupState {
+    std::vector<int> members;  // world ranks, ordered by (key, world rank)
+    std::uint64_t generation = 0;
+    int arrived = 0;
+    std::vector<std::vector<std::byte>> inputs;
+    std::vector<std::byte> result;
+    std::vector<std::vector<std::byte>> results_per_rank;
+    bool personalized = false;
+    double max_entry = 0.0;
+    double cost = 0.0;
+    double exit = 0.0;
+  };
+
+  /// Registers (or finds) the group with these members; returns its id.
+  std::uint64_t intern_group(std::vector<int> members);
+  const GroupState& group(std::uint64_t id);
+
+  // --- generic synchronizing collective ---
+  /// Every rank contributes `input` and a cost (all ranks must pass the same
+  /// cost). Rank 0's `combine` runs once over all inputs (indexed by rank);
+  /// its result is returned to every rank. Returns {result, exit_time}.
+  using CombineFn = std::function<std::vector<std::byte>(
+      const std::vector<std::vector<std::byte>>&)>;
+  std::vector<std::byte> collective(int rank, std::vector<std::byte> input,
+                                    const CombineFn& combine,
+                                    double cost_seconds, double entry_time,
+                                    double* exit_time);
+
+  /// Personalized variant: `combine` (run once, by the last arrival) returns
+  /// one result *per rank*; each rank receives its own slot. Used by
+  /// alltoallv, where every rank gets different data.
+  using CombinePerRankFn = std::function<std::vector<std::vector<std::byte>>(
+      const std::vector<std::vector<std::byte>>&)>;
+  std::vector<std::byte> collective_personalized(
+      int rank, std::vector<std::byte> input, const CombinePerRankFn& combine,
+      double cost_seconds, double entry_time, double* exit_time);
+
+  /// Group-scoped synchronizing collectives (same semantics as the world
+  /// variants, but over the group's members; `member_index` is the caller's
+  /// position in the group).
+  std::vector<std::byte> group_collective(std::uint64_t group_id,
+                                          int member_index,
+                                          std::vector<std::byte> input,
+                                          const CombineFn& combine,
+                                          double cost_seconds,
+                                          double entry_time,
+                                          double* exit_time);
+  std::vector<std::byte> group_collective_personalized(
+      std::uint64_t group_id, int member_index, std::vector<std::byte> input,
+      const CombinePerRankFn& combine, double cost_seconds, double entry_time,
+      double* exit_time);
+
+  void abort_all();
+  void check_abort() const;
+
+  netsim::Topology topology_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<SimClock> clocks_;
+  std::vector<CommStats> stats_;
+
+  std::unordered_map<std::uint64_t, GroupState> groups_;
+
+  // Collective rendezvous state (generation-counted so it is reusable).
+  std::mutex coll_mutex_;
+  std::condition_variable coll_cv_;
+  std::uint64_t coll_generation_ = 0;
+  int coll_arrived_ = 0;
+  std::vector<std::vector<std::byte>> coll_inputs_;
+  std::vector<std::byte> coll_result_;
+  std::vector<std::vector<std::byte>> coll_results_per_rank_;
+  bool coll_personalized_ = false;
+  double coll_max_entry_ = 0.0;
+  double coll_cost_ = 0.0;
+  double coll_exit_ = 0.0;
+
+  std::atomic<bool> aborted_{false};
+  double recv_timeout_s_ = 120.0;
+};
+
+}  // namespace hetero::simmpi

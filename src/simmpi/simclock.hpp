@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file simclock.hpp
+/// Per-rank virtual clock.
+///
+/// Every simulated rank owns a SimClock measuring *platform* seconds — the
+/// time the computation would have taken on the target machine, not host
+/// wall time. Compute phases advance it by modeled amounts; the message-
+/// passing runtime advances it by netsim-modeled transfer costs and merges
+/// clocks at synchronizing collectives.
+
+#include "support/error.hpp"
+
+namespace hetero::simmpi {
+
+class SimClock {
+ public:
+  /// Current virtual time in seconds since rank start.
+  double time() const { return time_s_; }
+
+  /// Advances by a non-negative duration (compute or send overhead).
+  void advance(double seconds) {
+    HETERO_REQUIRE(seconds >= 0.0, "SimClock cannot run backwards");
+    time_s_ += seconds;
+  }
+
+  /// Moves the clock forward to `t` if it is ahead of the current time
+  /// (message arrival, collective exit). Never moves backwards.
+  void advance_to(double t) {
+    if (t > time_s_) {
+      time_s_ = t;
+    }
+  }
+
+  void reset() { time_s_ = 0.0; }
+
+ private:
+  double time_s_ = 0.0;
+};
+
+}  // namespace hetero::simmpi

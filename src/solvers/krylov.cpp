@@ -1,0 +1,264 @@
+#include "solvers/krylov.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hetero::solvers {
+
+namespace {
+/// Convergence threshold from the initial residual; guards b == 0.
+double threshold(double r0, const SolverConfig& config) {
+  return config.rel_tolerance * (r0 > 0.0 ? r0 : 1.0);
+}
+}  // namespace
+
+SolveReport cg_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
+                     const Preconditioner& m, const la::DistVector& b,
+                     la::DistVector& x, const SolverConfig& config) {
+  SolveReport report;
+  report.solver = "cg";
+  la::DistVector r(a.map());
+  la::DistVector z(a.map());
+  la::DistVector p(a.map());
+  la::DistVector ap(a.map());
+
+  // r = b - A x
+  a.multiply(comm, x, r);
+  r.axpby(1.0, b, -1.0);
+  report.initial_residual = r.norm2(comm);
+  const double eps = threshold(report.initial_residual, config);
+
+  m.apply(r, z);
+  p.copy_from(z);
+  double rz = r.dot(comm, z);
+  double rnorm = report.initial_residual;
+
+  while (report.iterations < config.max_iterations && rnorm > eps) {
+    a.multiply(comm, p, ap);
+    const double pap = p.dot(comm, ap);
+    HETERO_REQUIRE(pap != 0.0, "CG breakdown: p'Ap == 0");
+    const double alpha = rz / pap;
+    x.axpy(alpha, p);
+    r.axpy(-alpha, ap);
+    rnorm = r.norm2(comm);
+    ++report.iterations;
+    if (config.record_history) {
+      report.residual_history.push_back(rnorm);
+    }
+    if (rnorm <= eps) {
+      break;
+    }
+    m.apply(r, z);
+    const double rz_next = r.dot(comm, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    p.axpby(1.0, z, beta);
+  }
+  report.final_residual = rnorm;
+  report.converged = rnorm <= eps;
+  return report;
+}
+
+SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
+                           const Preconditioner& m, const la::DistVector& b,
+                           la::DistVector& x, const SolverConfig& config) {
+  SolveReport report;
+  report.solver = "bicgstab";
+  la::DistVector r(a.map());
+  la::DistVector r0(a.map());
+  la::DistVector p(a.map());
+  la::DistVector v(a.map());
+  la::DistVector s(a.map());
+  la::DistVector t(a.map());
+  la::DistVector phat(a.map());
+  la::DistVector shat(a.map());
+
+  a.multiply(comm, x, r);
+  r.axpby(1.0, b, -1.0);
+  r0.copy_from(r);
+  report.initial_residual = r.norm2(comm);
+  const double eps = threshold(report.initial_residual, config);
+
+  double rho_prev = 1.0;
+  double alpha = 1.0;
+  double omega = 1.0;
+  double rnorm = report.initial_residual;
+
+  while (report.iterations < config.max_iterations && rnorm > eps) {
+    const double rho = r0.dot(comm, r);
+    if (rho == 0.0) {
+      break;  // breakdown
+    }
+    if (report.iterations == 0) {
+      p.copy_from(r);
+    } else {
+      const double beta = (rho / rho_prev) * (alpha / omega);
+      // p = r + beta (p - omega v)
+      p.axpy(-omega, v);
+      p.axpby(1.0, r, beta);
+    }
+    m.apply(p, phat);
+    a.multiply(comm, phat, v);
+    const double r0v = r0.dot(comm, v);
+    if (r0v == 0.0) {
+      break;
+    }
+    alpha = rho / r0v;
+    s.copy_from(r);
+    s.axpy(-alpha, v);
+    const double snorm = s.norm2(comm);
+    if (snorm <= eps) {
+      x.axpy(alpha, phat);
+      rnorm = snorm;
+      ++report.iterations;
+      if (config.record_history) {
+        report.residual_history.push_back(rnorm);
+      }
+      break;
+    }
+    m.apply(s, shat);
+    a.multiply(comm, shat, t);
+    const double tt = t.dot(comm, t);
+    if (tt == 0.0) {
+      break;
+    }
+    omega = t.dot(comm, s) / tt;
+    x.axpy(alpha, phat);
+    x.axpy(omega, shat);
+    r.copy_from(s);
+    r.axpy(-omega, t);
+    rho_prev = rho;
+    rnorm = r.norm2(comm);
+    ++report.iterations;
+    if (config.record_history) {
+      report.residual_history.push_back(rnorm);
+    }
+    if (omega == 0.0) {
+      break;
+    }
+  }
+  report.final_residual = rnorm;
+  report.converged = rnorm <= eps;
+  return report;
+}
+
+SolveReport gmres_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
+                        const Preconditioner& m, const la::DistVector& b,
+                        la::DistVector& x, const SolverConfig& config) {
+  SolveReport report;
+  report.solver = "gmres";
+  const int restart = config.restart;
+  HETERO_REQUIRE(restart >= 1, "GMRES restart must be >= 1");
+
+  la::DistVector r(a.map());
+  la::DistVector w(a.map());
+  la::DistVector z(a.map());
+
+  // Left preconditioning: iterate on M^{-1} A x = M^{-1} b; residual norms
+  // below are preconditioned norms, which is also what Trilinos AztecOO
+  // reports by default.
+  a.multiply(comm, x, r);
+  r.axpby(1.0, b, -1.0);
+  m.apply(r, z);
+  report.initial_residual = z.norm2(comm);
+  const double eps = threshold(report.initial_residual, config);
+  double beta = report.initial_residual;
+
+  std::vector<la::DistVector> basis;  // Krylov basis V
+  std::vector<std::vector<double>> h(
+      static_cast<std::size_t>(restart) + 1,
+      std::vector<double>(static_cast<std::size_t>(restart), 0.0));
+  std::vector<double> cs(static_cast<std::size_t>(restart), 0.0);
+  std::vector<double> sn(static_cast<std::size_t>(restart), 0.0);
+  std::vector<double> g(static_cast<std::size_t>(restart) + 1, 0.0);
+
+  while (report.iterations < config.max_iterations && beta > eps) {
+    // (Re)start: r = M^{-1}(b - A x), v1 = r / |r|.
+    a.multiply(comm, x, r);
+    r.axpby(1.0, b, -1.0);
+    m.apply(r, z);
+    beta = z.norm2(comm);
+    if (beta <= eps) {
+      break;
+    }
+    basis.clear();
+    basis.emplace_back(a.map());
+    basis.back().copy_from(z);
+    basis.back().scale(1.0 / beta);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int k = 0;
+    for (; k < restart && report.iterations < config.max_iterations; ++k) {
+      // w = M^{-1} A v_k
+      a.multiply(comm, basis[static_cast<std::size_t>(k)], w);
+      m.apply(w, z);
+      // Modified Gram-Schmidt.
+      for (int i = 0; i <= k; ++i) {
+        const double hik = z.dot(comm, basis[static_cast<std::size_t>(i)]);
+        h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = hik;
+        z.axpy(-hik, basis[static_cast<std::size_t>(i)]);
+      }
+      const double hkk = z.norm2(comm);
+      h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = hkk;
+      ++report.iterations;
+      if (hkk != 0.0) {
+        basis.emplace_back(a.map());
+        basis.back().copy_from(z);
+        basis.back().scale(1.0 / hkk);
+      }
+      // Apply accumulated Givens rotations to the new column.
+      for (int i = 0; i < k; ++i) {
+        const double t1 = h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+        const double t2 =
+            h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)];
+        h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
+            cs[static_cast<std::size_t>(i)] * t1 + sn[static_cast<std::size_t>(i)] * t2;
+        h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)] =
+            -sn[static_cast<std::size_t>(i)] * t1 + cs[static_cast<std::size_t>(i)] * t2;
+      }
+      // New rotation to zero h(k+1, k).
+      const double t1 = h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)];
+      const double t2 = h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)];
+      const double denom = std::hypot(t1, t2);
+      HETERO_REQUIRE(denom > 0.0, "GMRES breakdown: zero Hessenberg column");
+      cs[static_cast<std::size_t>(k)] = t1 / denom;
+      sn[static_cast<std::size_t>(k)] = t2 / denom;
+      h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)] = denom;
+      h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = 0.0;
+      const double gk = g[static_cast<std::size_t>(k)];
+      g[static_cast<std::size_t>(k)] = cs[static_cast<std::size_t>(k)] * gk;
+      g[static_cast<std::size_t>(k) + 1] = -sn[static_cast<std::size_t>(k)] * gk;
+      beta = std::fabs(g[static_cast<std::size_t>(k) + 1]);
+      if (config.record_history) {
+        report.residual_history.push_back(beta);
+      }
+      if (beta <= eps || hkk == 0.0) {
+        ++k;
+        break;
+      }
+    }
+    // Solve the k×k triangular system and update x.
+    std::vector<double> y(static_cast<std::size_t>(k), 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      double acc = g[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < k; ++j) {
+        acc -= h[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+               y[static_cast<std::size_t>(j)];
+      }
+      y[static_cast<std::size_t>(i)] =
+          acc / h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < k; ++i) {
+      x.axpy(y[static_cast<std::size_t>(i)],
+             basis[static_cast<std::size_t>(i)]);
+    }
+  }
+  report.final_residual = beta;
+  report.converged = beta <= eps;
+  return report;
+}
+
+}  // namespace hetero::solvers

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file krylov.hpp
+/// Distributed Krylov solvers: CG (SPD systems — the RD application),
+/// BiCGStab and restarted GMRES (nonsymmetric — the Navier–Stokes Oseen
+/// systems). All global reductions go through the simulated communicator,
+/// so every dot product costs an allreduce on the rank clocks, exactly the
+/// latency sensitivity the paper observes at high process counts.
+
+#include <string>
+
+#include "la/dist_matrix.hpp"
+#include "solvers/preconditioner.hpp"
+
+namespace hetero::solvers {
+
+struct SolverConfig {
+  double rel_tolerance = 1e-8;
+  int max_iterations = 1000;
+  /// GMRES restart length.
+  int restart = 50;
+  /// Record the residual norm after every iteration (convergence studies).
+  bool record_history = false;
+};
+
+struct SolveReport {
+  bool converged = false;
+  int iterations = 0;
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  std::string solver;
+  /// Residual norms per iteration (empty unless record_history was set).
+  std::vector<double> residual_history;
+};
+
+/// Preconditioned conjugate gradient; requires an SPD operator.
+SolveReport cg_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
+                     const Preconditioner& m, const la::DistVector& b,
+                     la::DistVector& x, const SolverConfig& config);
+
+/// Preconditioned BiCGStab.
+SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
+                           const Preconditioner& m, const la::DistVector& b,
+                           la::DistVector& x, const SolverConfig& config);
+
+/// Restarted GMRES with left preconditioning.
+SolveReport gmres_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
+                        const Preconditioner& m, const la::DistVector& b,
+                        la::DistVector& x, const SolverConfig& config);
+
+}  // namespace hetero::solvers

@@ -1,0 +1,228 @@
+#include "solvers/preconditioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hetero::solvers {
+
+void IdentityPreconditioner::build(const la::DistCsrMatrix& matrix) {
+  rows_ = matrix.local().rows();
+}
+
+void IdentityPreconditioner::apply(const la::DistVector& r,
+                                   la::DistVector& z) const {
+  HETERO_REQUIRE(r.owned_count() == rows_ && z.owned_count() == rows_,
+                 "identity preconditioner size mismatch");
+  std::copy_n(r.values().data(), rows_, z.values().data());
+}
+
+void JacobiPreconditioner::build(const la::DistCsrMatrix& matrix) {
+  inv_diag_ = matrix.local().diagonal();
+  for (double& d : inv_diag_) {
+    HETERO_REQUIRE(d != 0.0, "Jacobi preconditioner hit a zero diagonal");
+    d = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(const la::DistVector& r,
+                                 la::DistVector& z) const {
+  HETERO_REQUIRE(static_cast<std::size_t>(r.owned_count()) ==
+                     inv_diag_.size(),
+                 "Jacobi preconditioner size mismatch");
+  for (std::size_t i = 0; i < inv_diag_.size(); ++i) {
+    z[static_cast<int>(i)] = inv_diag_[i] * r[static_cast<int>(i)];
+  }
+}
+
+SsorPreconditioner::SsorPreconditioner(double omega) : omega_(omega) {
+  HETERO_REQUIRE(omega > 0.0 && omega < 2.0,
+                 "SSOR requires omega in (0, 2)");
+}
+
+void SsorPreconditioner::build(const la::DistCsrMatrix& matrix) {
+  const la::CsrMatrix& a = matrix.local();
+  n_ = a.rows();
+  row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  col_idx_.clear();
+  values_.clear();
+  diag_.assign(static_cast<std::size_t>(n_), 0.0);
+  const auto arp = a.row_ptr();
+  const auto aci = a.col_idx();
+  const auto av = a.values();
+  for (int i = 0; i < n_; ++i) {
+    for (auto k = arp[static_cast<std::size_t>(i)];
+         k < arp[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int c = aci[static_cast<std::size_t>(k)];
+      if (c < n_) {
+        col_idx_.push_back(c);
+        values_.push_back(av[static_cast<std::size_t>(k)]);
+        if (c == i) {
+          diag_[static_cast<std::size_t>(i)] = av[static_cast<std::size_t>(k)];
+        }
+      }
+    }
+    row_ptr_[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int64_t>(col_idx_.size());
+    HETERO_REQUIRE(diag_[static_cast<std::size_t>(i)] != 0.0,
+                   "SSOR hit a zero diagonal");
+  }
+}
+
+void SsorPreconditioner::apply(const la::DistVector& r,
+                               la::DistVector& z) const {
+  HETERO_REQUIRE(r.owned_count() == n_ && z.owned_count() == n_,
+                 "SSOR preconditioner size mismatch");
+  const double w = omega_;
+  // Forward sweep: (D/w + L) y = r.
+  for (int i = 0; i < n_; ++i) {
+    double acc = r[i];
+    for (auto k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int c = col_idx_[static_cast<std::size_t>(k)];
+      if (c < i) {
+        acc -= values_[static_cast<std::size_t>(k)] * z[c];
+      }
+    }
+    z[i] = acc * w / diag_[static_cast<std::size_t>(i)];
+  }
+  // Scale by D/w x (2-w)/w  ->  z = ((2-w)/w) D z ... combined below.
+  for (int i = 0; i < n_; ++i) {
+    z[i] *= (2.0 - w) / w * diag_[static_cast<std::size_t>(i)];
+  }
+  // Backward sweep: (D/w + U) z = y~.
+  for (int i = n_ - 1; i >= 0; --i) {
+    double acc = z[i];
+    for (auto k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int c = col_idx_[static_cast<std::size_t>(k)];
+      if (c > i) {
+        acc -= values_[static_cast<std::size_t>(k)] * z[c];
+      }
+    }
+    z[i] = acc * w / diag_[static_cast<std::size_t>(i)];
+  }
+}
+
+void Ilu0Preconditioner::build(const la::DistCsrMatrix& matrix) {
+  // Extract the owned square block (drop ghost columns).
+  const la::CsrMatrix& a = matrix.local();
+  n_ = a.rows();
+  row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  col_idx_.clear();
+  values_.clear();
+  const auto arp = a.row_ptr();
+  const auto aci = a.col_idx();
+  const auto av = a.values();
+  for (int i = 0; i < n_; ++i) {
+    for (auto k = arp[static_cast<std::size_t>(i)];
+         k < arp[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int c = aci[static_cast<std::size_t>(k)];
+      if (c < n_) {
+        col_idx_.push_back(c);
+        values_.push_back(av[static_cast<std::size_t>(k)]);
+      }
+    }
+    row_ptr_[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int64_t>(col_idx_.size());
+  }
+
+  // Diagonal slots (must exist for a factorizable block).
+  diag_slot_.assign(static_cast<std::size_t>(n_), -1);
+  for (int i = 0; i < n_; ++i) {
+    for (auto k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (col_idx_[static_cast<std::size_t>(k)] == i) {
+        diag_slot_[static_cast<std::size_t>(i)] = k;
+        break;
+      }
+    }
+    HETERO_REQUIRE(diag_slot_[static_cast<std::size_t>(i)] >= 0,
+                   "ILU(0): local block is missing a diagonal entry");
+  }
+
+  // In-place IKJ ILU(0). `where[c]` maps a column to its slot in row i.
+  std::vector<std::int64_t> where(static_cast<std::size_t>(n_), -1);
+  for (int i = 0; i < n_; ++i) {
+    const auto begin = row_ptr_[static_cast<std::size_t>(i)];
+    const auto end = row_ptr_[static_cast<std::size_t>(i) + 1];
+    for (auto k = begin; k < end; ++k) {
+      where[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] =
+          k;
+    }
+    for (auto k = begin; k < end; ++k) {
+      const int kc = col_idx_[static_cast<std::size_t>(k)];
+      if (kc >= i) {
+        break;  // columns are sorted; lower part done
+      }
+      const double ukk =
+          values_[static_cast<std::size_t>(diag_slot_[static_cast<std::size_t>(kc)])];
+      HETERO_REQUIRE(std::fabs(ukk) > 1e-300, "ILU(0) hit a zero pivot");
+      const double lik = values_[static_cast<std::size_t>(k)] / ukk;
+      values_[static_cast<std::size_t>(k)] = lik;
+      // Row update: a_i* -= l_ik * u_k* for stored positions only.
+      for (auto kk = diag_slot_[static_cast<std::size_t>(kc)] + 1;
+           kk < row_ptr_[static_cast<std::size_t>(kc) + 1]; ++kk) {
+        const int c = col_idx_[static_cast<std::size_t>(kk)];
+        const auto slot = where[static_cast<std::size_t>(c)];
+        if (slot >= 0) {
+          values_[static_cast<std::size_t>(slot)] -=
+              lik * values_[static_cast<std::size_t>(kk)];
+        }
+      }
+    }
+    for (auto k = begin; k < end; ++k) {
+      where[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] =
+          -1;
+    }
+  }
+}
+
+void Ilu0Preconditioner::apply(const la::DistVector& r,
+                               la::DistVector& z) const {
+  HETERO_REQUIRE(r.owned_count() == n_ && z.owned_count() == n_,
+                 "ILU(0) preconditioner size mismatch");
+  // Forward solve L y = r (unit diagonal).
+  for (int i = 0; i < n_; ++i) {
+    double acc = r[i];
+    for (auto k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int c = col_idx_[static_cast<std::size_t>(k)];
+      if (c >= i) {
+        break;
+      }
+      acc -= values_[static_cast<std::size_t>(k)] * z[c];
+    }
+    z[i] = acc;
+  }
+  // Backward solve U z = y.
+  for (int i = n_ - 1; i >= 0; --i) {
+    double acc = z[i];
+    const auto dslot = diag_slot_[static_cast<std::size_t>(i)];
+    for (auto k = dslot + 1; k < row_ptr_[static_cast<std::size_t>(i) + 1];
+         ++k) {
+      acc -= values_[static_cast<std::size_t>(k)] *
+             z[col_idx_[static_cast<std::size_t>(k)]];
+    }
+    z[i] = acc / values_[static_cast<std::size_t>(dslot)];
+  }
+}
+
+std::unique_ptr<Preconditioner> make_preconditioner(const std::string& name) {
+  if (name == "identity") {
+    return std::make_unique<IdentityPreconditioner>();
+  }
+  if (name == "jacobi") {
+    return std::make_unique<JacobiPreconditioner>();
+  }
+  if (name == "ssor") {
+    return std::make_unique<SsorPreconditioner>();
+  }
+  if (name == "ilu0") {
+    return std::make_unique<Ilu0Preconditioner>();
+  }
+  throw Error("unknown preconditioner: " + name);
+}
+
+}  // namespace hetero::solvers

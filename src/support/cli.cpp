@@ -1,0 +1,81 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace hetero {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  HETERO_REQUIRE(argc >= 1, "CliArgs requires argv[0]");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    HETERO_REQUIRE(arg.size() > 2, "lone '--' is not a valid flag");
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";  // boolean flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return flags_.count(key) != 0;
+}
+
+std::string CliArgs::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  HETERO_REQUIRE(end != nullptr && *end == '\0',
+                 "flag --" + key + " is not an integer: " + it->second);
+  return value;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  HETERO_REQUIRE(end != nullptr && *end == '\0',
+                 "flag --" + key + " is not a number: " + it->second);
+  return value;
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  throw Error("flag --" + key + " is not a boolean: " + v);
+}
+
+}  // namespace hetero

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file cli.hpp
+/// Tiny command-line flag parser for the bench and example binaries.
+/// Supports `--key=value`, `--key value`, and boolean `--flag` forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hetero {
+
+class CliArgs {
+ public:
+  /// Parses argv; throws hetero::Error on malformed input (a lone "--").
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Non-flag positional arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hetero

@@ -1,0 +1,17 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace hetero::detail {
+
+void throw_error(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "heterolab: check failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace hetero::detail

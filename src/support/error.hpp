@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling primitives shared by every heterolab module.
+///
+/// Policy (follows C++ Core Guidelines E.2/E.3): programming errors and
+/// violated preconditions throw `hetero::Error` carrying the failed
+/// expression and source location; callers that can recover catch it,
+/// everything else terminates with a readable message.
+
+#include <stdexcept>
+#include <string>
+
+namespace hetero {
+
+/// Exception thrown by HETERO_REQUIRE / HETERO_CHECK and by modules that
+/// detect unrecoverable misuse (bad arguments, broken invariants).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Builds the message and throws; out-of-line so the macro stays cheap.
+[[noreturn]] void throw_error(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace hetero
+
+/// Precondition / invariant check that is always on (release included).
+/// `msg` is a string (or string expression) appended to the report.
+#define HETERO_REQUIRE(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::hetero::detail::throw_error(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                     \
+  } while (false)
+
+/// Internal consistency check; same behaviour as HETERO_REQUIRE but signals
+/// a heterolab bug rather than caller misuse.
+#define HETERO_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::hetero::detail::throw_error(#expr, __FILE__, __LINE__,             \
+                                    "internal invariant violated");        \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,37 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace hetero {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info ";
+    case LogLevel::kWarn: return "warn ";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  // Ranks run as threads; serialize emission so lines do not interleave.
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace hetero

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logger. Logging is process-global and off by default so
+/// tests and benches stay quiet; examples turn it on for narration.
+
+#include <sstream>
+#include <string>
+
+namespace hetero {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace hetero
+
+#define HETERO_LOG(level, stream_expr)                          \
+  do {                                                          \
+    if (static_cast<int>(level) >=                              \
+        static_cast<int>(::hetero::log_level())) {              \
+      std::ostringstream hetero_log_os;                         \
+      hetero_log_os << stream_expr;                             \
+      ::hetero::detail::log_emit(level, hetero_log_os.str());   \
+    }                                                           \
+  } while (false)
+
+#define HETERO_INFO(stream_expr) HETERO_LOG(::hetero::LogLevel::kInfo, stream_expr)
+#define HETERO_WARN(stream_expr) HETERO_LOG(::hetero::LogLevel::kWarn, stream_expr)
+#define HETERO_DEBUG(stream_expr) HETERO_LOG(::hetero::LogLevel::kDebug, stream_expr)

@@ -1,0 +1,113 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace hetero {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro state must not be all-zero; splitmix64 guarantees that in
+  // practice and also decorrelates nearby seeds.
+  for (auto& word : state_) {
+    word = splitmix64(seed);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  HETERO_REQUIRE(lo <= hi, "uniform(lo,hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  HETERO_REQUIRE(lo <= hi, "uniform_int(lo,hi) requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % span;
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) {
+    draw = next_u64();
+  }
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::normal() {
+  // Box–Muller; u1 is kept away from 0 so log() stays finite.
+  double u1 = uniform();
+  while (u1 <= 1e-300) {
+    u1 = uniform();
+  }
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double sigma) {
+  HETERO_REQUIRE(sigma >= 0.0, "normal() requires sigma >= 0");
+  return mean + sigma * normal();
+}
+
+double Rng::exponential(double rate) {
+  HETERO_REQUIRE(rate > 0.0, "exponential() requires rate > 0");
+  double u = uniform();
+  while (u <= 1e-300) {
+    u = uniform();
+  }
+  return -std::log(u) / rate;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+bool Rng::bernoulli(double p) {
+  HETERO_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli() requires p in [0,1]");
+  return uniform() < p;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+void Rng::shuffle(std::vector<std::size_t>& values) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace hetero

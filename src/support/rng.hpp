@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number generation.
+///
+/// Everything stochastic in heterolab (spot market, queue waits, network
+/// jitter) draws from an explicitly seeded `Rng` so every experiment is
+/// reproducible bit-for-bit. The generator is xoshiro256**, seeded through
+/// splitmix64 per the reference implementation.
+
+#include <cstdint>
+#include <vector>
+
+namespace hetero {
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (no state caching: one sample per call).
+  double normal();
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma);
+
+  /// Exponential with the given rate (rate > 0); mean is 1/rate.
+  double exponential(double rate);
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Derives an independent child generator; used to hand each simulated
+  /// rank / market its own stream without sharing state across threads.
+  Rng split();
+
+  /// Fisher–Yates shuffle of an index vector.
+  void shuffle(std::vector<std::size_t>& values);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace hetero

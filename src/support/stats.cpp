@@ -1,0 +1,137 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace hetero {
+
+void SampleStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void SampleStats::merge(const SampleStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double SampleStats::mean() const {
+  HETERO_REQUIRE(count_ > 0, "mean() of empty SampleStats");
+  return mean_;
+}
+
+double SampleStats::stddev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double SampleStats::min() const {
+  HETERO_REQUIRE(count_ > 0, "min() of empty SampleStats");
+  return min_;
+}
+
+double SampleStats::max() const {
+  HETERO_REQUIRE(count_ > 0, "max() of empty SampleStats");
+  return max_;
+}
+
+double percentile(std::vector<double> values, double q) {
+  HETERO_REQUIRE(!values.empty(), "percentile() of empty sample");
+  HETERO_REQUIRE(q >= 0.0 && q <= 1.0, "percentile() requires q in [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  HETERO_REQUIRE(hi > lo, "Histogram requires hi > lo");
+  HETERO_REQUIRE(bins >= 1, "Histogram requires at least one bin");
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double value) {
+  const double f = (value - lo_) / (hi_ - lo_);
+  int bin = static_cast<int>(f * static_cast<double>(counts_.size()));
+  bin = std::max(0, std::min(bin, bins() - 1));
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(int bin) const {
+  HETERO_REQUIRE(bin >= 0 && bin < bins(), "Histogram bin out of range");
+  return counts_[static_cast<std::size_t>(bin)];
+}
+
+double Histogram::bin_lo(int bin) const {
+  return lo_ + (hi_ - lo_) * bin / bins();
+}
+
+double Histogram::bin_hi(int bin) const {
+  return lo_ + (hi_ - lo_) * (bin + 1) / bins();
+}
+
+std::string Histogram::render(int width) const {
+  HETERO_REQUIRE(width >= 1, "Histogram render width must be >= 1");
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  char buf[96];
+  for (int b = 0; b < bins(); ++b) {
+    const auto bar = static_cast<int>(
+        static_cast<double>(bin_count(b)) / static_cast<double>(peak) * width);
+    std::snprintf(buf, sizeof(buf), "[%9.1f, %9.1f) %6zu  ", bin_lo(b),
+                  bin_hi(b), bin_count(b));
+    out += buf;
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double mean_after_warmup(const std::vector<double>& values,
+                         std::size_t warmup) {
+  HETERO_REQUIRE(values.size() > warmup,
+                 "mean_after_warmup(): not enough samples past warmup");
+  double sum = 0.0;
+  for (std::size_t i = warmup; i < values.size(); ++i) {
+    sum += values[i];
+  }
+  return sum / static_cast<double>(values.size() - warmup);
+}
+
+}  // namespace hetero

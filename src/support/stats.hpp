@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming and batch statistics used by timing collectors. The paper
+/// discards the first iterations (MPI start-up artifacts) and reports
+/// averages; `SampleStats` supports exactly that workflow.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hetero {
+
+/// Accumulates scalar samples; mean/variance use Welford's algorithm so the
+/// results are stable for long runs.
+class SampleStats {
+ public:
+  void add(double value);
+
+  /// Merges another accumulator (parallel reduction of per-rank stats).
+  void merge(const SampleStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample standard deviation (n-1); zero when fewer than two samples.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation between order
+/// statistics); `q` in [0,1]. The input is copied and sorted.
+double percentile(std::vector<double> values, double q);
+
+/// Arithmetic mean of `values` after dropping the first `warmup` entries —
+/// the paper's "discard the first 5 iterations" averaging rule.
+double mean_after_warmup(const std::vector<double>& values,
+                         std::size_t warmup);
+
+/// Fixed-range histogram with linear bins; samples outside [lo, hi) land in
+/// the edge bins. Renders as ASCII bars for the distribution benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double value);
+  std::size_t count() const { return total_; }
+  std::size_t bin_count(int bin) const;
+  double bin_lo(int bin) const;
+  double bin_hi(int bin) const;
+  int bins() const { return static_cast<int>(counts_.size()); }
+
+  /// One line per bin: "[lo, hi)  count  ####…" scaled to `width` chars.
+  std::string render(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hetero

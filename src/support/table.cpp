@@ -1,0 +1,150 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hetero {
+
+namespace {
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) {
+    return false;
+  }
+  bool digit_seen = false;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' &&
+               c != '$' && c != '%' && c != ',') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  HETERO_REQUIRE(!header_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HETERO_REQUIRE(cells.size() == header_.size(),
+                 "Table row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  HETERO_REQUIRE(i < rows_.size(), "Table row index out of range");
+  return rows_[i];
+}
+
+void Table::render_text(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = width[c] - row[c].size();
+      os << (c == 0 ? "" : "  ");
+      if (looks_numeric(row[c])) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+void Table::render_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+void Table::render_markdown(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (const auto& cell : row) {
+      os << ' ' << cell << " |";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << "---|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::string Table::to_text() const {
+  std::ostringstream os;
+  render_text(os);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  render_csv(os);
+  return os.str();
+}
+
+std::string fmt_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_usd(double dollars) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "$%.4f", dollars);
+  return buf;
+}
+
+}  // namespace hetero

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file table.hpp
+/// Column-aligned text tables with CSV and Markdown renderers. The bench
+/// harness prints every paper table/figure series through this type so the
+/// output format is uniform and machine-readable.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hetero {
+
+/// A rectangular table of strings with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Pretty column-aligned rendering (right-aligns numeric-looking cells).
+  void render_text(std::ostream& os) const;
+  void render_csv(std::ostream& os) const;
+  void render_markdown(std::ostream& os) const;
+
+  std::string to_text() const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers used when filling tables.
+std::string fmt_double(double value, int precision);
+std::string fmt_usd(double dollars);
+
+}  // namespace hetero

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock stopwatch (steady clock). Used only for host-side measurement
+/// (kernel calibration, bench self-timing); simulated platform time lives in
+/// simmpi::SimClock.
+
+#include <chrono>
+
+namespace hetero {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hetero

@@ -1,0 +1,65 @@
+#include "support/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hetero {
+
+namespace {
+std::string fmt(const char* format, double value, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value, suffix);
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  const char* suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int idx = 0;
+  while (value >= 1024.0 && idx < 4) {
+    value /= 1024.0;
+    ++idx;
+  }
+  return fmt(idx == 0 ? "%.0f %s" : "%.2f %s", value, suffixes[idx]);
+}
+
+std::string format_seconds(double seconds) {
+  const double magnitude = std::fabs(seconds);
+  if (magnitude < 1e-3) {
+    return fmt("%.2f %s", seconds * 1e6, "us");
+  }
+  if (magnitude < 1.0) {
+    return fmt("%.2f %s", seconds * 1e3, "ms");
+  }
+  if (magnitude < 120.0) {
+    return fmt("%.2f %s", seconds, "s");
+  }
+  if (magnitude < 7200.0) {
+    return fmt("%.1f %s", seconds / 60.0, "min");
+  }
+  return fmt("%.2f %s", seconds / 3600.0, "h");
+}
+
+std::string format_bitrate(double bits_per_second) {
+  const char* suffixes[] = {"bit/s", "kbit/s", "Mbit/s", "Gbit/s"};
+  double value = bits_per_second;
+  int idx = 0;
+  while (value >= 1000.0 && idx < 3) {
+    value /= 1000.0;
+    ++idx;
+  }
+  return fmt("%.1f %s", value, suffixes[idx]);
+}
+
+std::string format_money(double dollars) {
+  char buf[64];
+  if (std::fabs(dollars) < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f cents", dollars * 100.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "$%.2f", dollars);
+  }
+  return buf;
+}
+
+}  // namespace hetero

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file units.hpp
+/// Human-readable formatting for the quantities heterolab reports:
+/// bytes, seconds, rates, and dollar amounts.
+
+#include <cstdint>
+#include <string>
+
+namespace hetero {
+
+/// "1.5 KiB", "2.0 GiB" etc. (binary prefixes).
+std::string format_bytes(std::uint64_t bytes);
+
+/// "12.3 us", "4.56 ms", "7.8 s", "2.1 min", "3.4 h".
+std::string format_seconds(double seconds);
+
+/// "9.6 Gbit/s" style link-rate formatting (decimal prefixes, as vendors do).
+std::string format_bitrate(double bits_per_second);
+
+/// Cents with the paper's style: "2.3¢" below a dollar, "$2.40" above.
+std::string format_money(double dollars);
+
+/// Conversion constants.
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+
+}  // namespace hetero

@@ -1,0 +1,671 @@
+// Tests for the FEM layer: quadrature, shape functions, element kernels,
+// dof spaces, boundary conditions, and full distributed Poisson solves with
+// analytic oracles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/assembler.hpp"
+#include "fem/bc.hpp"
+#include "fem/bdf.hpp"
+#include "fem/boundary.hpp"
+#include "fem/error_norms.hpp"
+#include "fem/fe_space.hpp"
+#include "fem/reference.hpp"
+#include "mesh/box_mesh.hpp"
+#include "netsim/fabric.hpp"
+#include "simmpi/runtime.hpp"
+#include "solvers/krylov.hpp"
+
+namespace hetero::fem {
+namespace {
+
+simmpi::Runtime make_runtime(int ranks) {
+  return simmpi::Runtime(netsim::Topology::uniform(
+      ranks, 4, netsim::Fabric::infiniband_ddr_4x(),
+      netsim::Fabric::shared_memory()));
+}
+
+double factorial(int n) {
+  double f = 1.0;
+  for (int i = 2; i <= n; ++i) {
+    f *= i;
+  }
+  return f;
+}
+
+/// Exact integral of x^a y^b z^c over the reference tetrahedron.
+double monomial_integral(int a, int b, int c) {
+  return factorial(a) * factorial(b) * factorial(c) /
+         factorial(a + b + c + 3);
+}
+
+struct Monomial {
+  int degree;
+  int a, b, c;
+};
+
+class QuadratureExactness : public ::testing::TestWithParam<Monomial> {};
+
+TEST_P(QuadratureExactness, IntegratesMonomialExactly) {
+  const auto [degree, a, b, c] = GetParam();
+  const auto& rule = tet_quadrature(degree);
+  double sum = 0.0;
+  for (const auto& qp : rule) {
+    sum += qp.weight * std::pow(qp.xi.x, a) * std::pow(qp.xi.y, b) *
+           std::pow(qp.xi.z, c);
+  }
+  EXPECT_NEAR(sum, monomial_integral(a, b, c), 1e-12)
+      << "degree " << degree << " monomial " << a << b << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDegrees, QuadratureExactness,
+    ::testing::Values(
+        Monomial{1, 0, 0, 0}, Monomial{1, 1, 0, 0},
+        Monomial{2, 2, 0, 0}, Monomial{2, 1, 1, 0},
+        Monomial{3, 3, 0, 0}, Monomial{3, 1, 1, 1}, Monomial{3, 2, 1, 0},
+        Monomial{4, 4, 0, 0}, Monomial{4, 2, 2, 0}, Monomial{4, 2, 1, 1},
+        Monomial{4, 3, 1, 0}));
+
+TEST(Quadrature, WeightsSumToReferenceVolume) {
+  for (int degree = 1; degree <= 4; ++degree) {
+    double sum = 0.0;
+    for (const auto& qp : tet_quadrature(degree)) {
+      sum += qp.weight;
+    }
+    EXPECT_NEAR(sum, 1.0 / 6.0, 1e-12) << "degree " << degree;
+  }
+  EXPECT_THROW(tet_quadrature(5), Error);
+}
+
+TEST(ShapeFunctions, PartitionOfUnity) {
+  const mesh::Vec3 pts[] = {{0.1, 0.2, 0.3}, {0.25, 0.25, 0.25},
+                            {0.0, 0.0, 0.0}, {0.6, 0.1, 0.2}};
+  for (const auto& xi : pts) {
+    double s1 = 0.0;
+    for (double v : p1_values(xi)) {
+      s1 += v;
+    }
+    EXPECT_NEAR(s1, 1.0, 1e-14);
+    double s2 = 0.0;
+    for (double v : p2_values(xi)) {
+      s2 += v;
+    }
+    EXPECT_NEAR(s2, 1.0, 1e-14);
+    // Gradients of a partition of unity sum to zero.
+    mesh::Vec3 g2;
+    for (const auto& g : p2_gradients(xi)) {
+      g2 = g2 + g;
+    }
+    EXPECT_NEAR(g2.norm(), 0.0, 1e-13);
+  }
+}
+
+TEST(ShapeFunctions, P2KroneckerAtNodes) {
+  // Nodes: 4 vertices then 6 edge midpoints (canonical edge order).
+  std::vector<mesh::Vec3> nodes = {
+      {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  const mesh::Vec3 verts[] = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  for (const auto& e : mesh::kTetEdgeVertices) {
+    nodes.push_back(mesh::midpoint(verts[e[0]], verts[e[1]]));
+  }
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const auto v = p2_values(nodes[n]);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_NEAR(v[i], i == n ? 1.0 : 0.0, 1e-13)
+          << "shape " << i << " at node " << n;
+    }
+  }
+}
+
+TEST(TetGeometry, ReferenceTetIsIdentityMap) {
+  mesh::TetMesh ref({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+                    {{0, 1, 2, 3}});
+  const auto geo = TetGeometry::compute(ref, 0);
+  EXPECT_NEAR(geo.det, 1.0, 1e-14);
+  const mesh::Vec3 g{1.0, 2.0, 3.0};
+  const auto pg = geo.physical_grad(g);
+  EXPECT_NEAR(pg.x, 1.0, 1e-14);
+  EXPECT_NEAR(pg.y, 2.0, 1e-14);
+  EXPECT_NEAR(pg.z, 3.0, 1e-14);
+  const auto p = geo.map_point({0.2, 0.3, 0.4});
+  EXPECT_NEAR(p.x, 0.2, 1e-14);
+  EXPECT_NEAR(p.y, 0.3, 1e-14);
+  EXPECT_NEAR(p.z, 0.4, 1e-14);
+}
+
+TEST(ElementKernel, P1MassMatrixKnownValues) {
+  // For any tet of volume V: M_ii = V/10, M_ij = V/20.
+  mesh::TetMesh ref({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+                    {{0, 1, 2, 3}});
+  FeSpace space(ref, 1, 4);
+  ElementKernel kernel(space, 2);
+  std::vector<double> m(16);
+  kernel.mass(0, m);
+  const double volume = 1.0 / 6.0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(m[static_cast<std::size_t>(i * 4 + j)],
+                  i == j ? volume / 10.0 : volume / 20.0, 1e-14);
+    }
+  }
+}
+
+TEST(ElementKernel, StiffnessRowsSumToZero) {
+  const auto box = mesh::build_box_mesh({2, 2, 2});
+  for (int order : {1, 2}) {
+    FeSpace space(box, order, static_cast<std::int64_t>(box.vertex_count()));
+    ElementKernel kernel(space, 2);
+    const int n = kernel.n();
+    std::vector<double> k(static_cast<std::size_t>(n * n));
+    kernel.stiffness(5, k);
+    for (int i = 0; i < n; ++i) {
+      double row = 0.0;
+      for (int j = 0; j < n; ++j) {
+        row += k[static_cast<std::size_t>(i * n + j)];
+      }
+      EXPECT_NEAR(row, 0.0, 1e-12);
+      // Symmetry.
+      for (int j = 0; j < n; ++j) {
+        EXPECT_NEAR(k[static_cast<std::size_t>(i * n + j)],
+                    k[static_cast<std::size_t>(j * n + i)], 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ElementKernel, ConvectionRowsSumToZeroForConstantBeta) {
+  const auto box = mesh::build_box_mesh({1, 1, 1});
+  FeSpace space(box, 2, static_cast<std::int64_t>(box.vertex_count()));
+  ElementKernel kernel(space, 3);
+  const int n = kernel.n();
+  std::vector<mesh::Vec3> beta(kernel.quad_count(), {1.0, -2.0, 0.5});
+  std::vector<double> c(static_cast<std::size_t>(n * n));
+  kernel.convection(0, beta, c);
+  // sum_j (beta . grad phi_j) = beta . grad(1) = 0.
+  for (int i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < n; ++j) {
+      row += c[static_cast<std::size_t>(i * n + j)];
+    }
+    EXPECT_NEAR(row, 0.0, 1e-12);
+  }
+}
+
+TEST(ElementKernel, LumpedMassMatchesRowSums) {
+  const auto box = mesh::build_box_mesh({2, 2, 2});
+  for (int order : {1, 2}) {
+    FeSpace space(box, order, static_cast<std::int64_t>(box.vertex_count()));
+    ElementKernel kernel(space, 4);
+    const int n = kernel.n();
+    std::vector<double> me(static_cast<std::size_t>(n * n));
+    std::vector<double> lumped(static_cast<std::size_t>(n));
+    kernel.mass(7, me);
+    kernel.lumped_mass(7, lumped);
+    for (int i = 0; i < n; ++i) {
+      double row = 0.0;
+      for (int j = 0; j < n; ++j) {
+        row += me[static_cast<std::size_t>(i * n + j)];
+      }
+      EXPECT_NEAR(lumped[static_cast<std::size_t>(i)], row, 1e-14);
+    }
+    // Total lumped mass over one tet = its volume.
+    double total = 0.0;
+    for (double v : lumped) {
+      total += v;
+    }
+    EXPECT_NEAR(total, box.tet_volume(7), 1e-14);
+  }
+}
+
+TEST(ElementKernel, LoadOfOneSumsToVolume) {
+  const auto box = mesh::build_box_mesh({1, 1, 1});
+  for (int order : {1, 2}) {
+    FeSpace space(box, order, static_cast<std::int64_t>(box.vertex_count()));
+    ElementKernel kernel(space, 4);
+    double total = 0.0;
+    std::vector<double> f(static_cast<std::size_t>(kernel.n()));
+    for (std::size_t t = 0; t < box.tet_count(); ++t) {
+      kernel.load(t, [](const mesh::Vec3&) { return 1.0; }, f);
+      for (double v : f) {
+        total += v;
+      }
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << "order " << order;
+  }
+}
+
+TEST(ElementKernel, EvalReproducesQuadraticForP2) {
+  const auto box = mesh::build_box_mesh({2, 2, 2});
+  FeSpace space(box, 2, static_cast<std::int64_t>(box.vertex_count()));
+  ElementKernel kernel(space, 4);
+  auto f = [](const mesh::Vec3& x) {
+    return x.x * x.x + 2.0 * x.y * x.z - x.z + 3.0;
+  };
+  std::vector<double> dof_values(
+      static_cast<std::size_t>(space.local_dof_count()));
+  for (int d = 0; d < space.local_dof_count(); ++d) {
+    dof_values[static_cast<std::size_t>(d)] = f(space.dof_coord(d));
+  }
+  std::vector<double> at_q(kernel.quad_count());
+  std::vector<mesh::Vec3> xq(kernel.quad_count());
+  for (std::size_t t = 0; t < box.tet_count(); t += 7) {
+    kernel.eval_at_quad(t, dof_values, at_q);
+    kernel.quad_points(t, xq);
+    for (std::size_t q = 0; q < at_q.size(); ++q) {
+      EXPECT_NEAR(at_q[q], f(xq[q]), 1e-12);
+    }
+  }
+}
+
+TEST(FeSpace, DofCountsMatchMeshEntities) {
+  const auto box = mesh::build_box_mesh({2, 2, 2});
+  FeSpace p1(box, 1, static_cast<std::int64_t>(box.vertex_count()));
+  EXPECT_EQ(p1.local_dof_count(), static_cast<int>(box.vertex_count()));
+  EXPECT_EQ(p1.dofs_per_tet(), 4);
+  const auto edges = mesh::build_edges(box);
+  FeSpace p2(box, 2, static_cast<std::int64_t>(box.vertex_count()));
+  EXPECT_EQ(p2.local_dof_count(),
+            static_cast<int>(box.vertex_count() + edges.edges.size()));
+  EXPECT_EQ(p2.dofs_per_tet(), 10);
+}
+
+TEST(FeSpace, SharedEdgeDofsAgreeAcrossSubmeshes) {
+  // Two adjacent submeshes must derive identical gids for interface dofs.
+  mesh::BoxMeshSpec spec{4, 2, 2};
+  const auto left = mesh::build_box_submesh(spec, {0, 2, 0, 2, 0, 2});
+  const auto right = mesh::build_box_submesh(spec, {2, 4, 0, 2, 0, 2});
+  FeSpace sl(left, 2, spec.vertex_count());
+  FeSpace sr(right, 2, spec.vertex_count());
+  // Collect gid -> coordinate from both; shared gids must agree on coords.
+  std::map<la::GlobalId, mesh::Vec3> coords;
+  for (int d = 0; d < sl.local_dof_count(); ++d) {
+    coords[sl.dof_gid(d)] = sl.dof_coord(d);
+  }
+  int shared = 0;
+  for (int d = 0; d < sr.local_dof_count(); ++d) {
+    const auto it = coords.find(sr.dof_gid(d));
+    if (it != coords.end()) {
+      ++shared;
+      EXPECT_NEAR(it->second.x, sr.dof_coord(d).x, 1e-14);
+      EXPECT_NEAR(it->second.y, sr.dof_coord(d).y, 1e-14);
+      EXPECT_NEAR(it->second.z, sr.dof_coord(d).z, 1e-14);
+    }
+  }
+  // Interface plane x=0.5 of a 4x2x2 grid: 3x3 vertices + edges within it.
+  EXPECT_GT(shared, 9);
+}
+
+TEST(Bdf, CoefficientsAreConsistent) {
+  const auto b1 = bdf_scheme(1);
+  EXPECT_DOUBLE_EQ(b1.alpha, b1.beta[0] + b1.beta[1]);
+  const auto b2 = bdf_scheme(2);
+  // Consistency: alpha = sum(beta) (constant solutions are stationary).
+  EXPECT_DOUBLE_EQ(b2.alpha, b2.beta[0] + b2.beta[1]);
+  // Second-order exactness on u(t) = t: alpha*t_{k+1} - b0*t_k - b1*t_{k-1}
+  // = dt for unit dt steps.
+  EXPECT_DOUBLE_EQ(b2.alpha * 2.0 - b2.beta[0] * 1.0 - b2.beta[1] * 0.0, 1.0);
+  EXPECT_THROW(bdf_scheme(3), Error);
+  const auto ex = bdf_extrapolation(2);
+  EXPECT_DOUBLE_EQ(ex[0] + ex[1], 1.0);  // reproduces constants
+}
+
+/// Solves -laplace(u) = 0 on the unit box with Dirichlet data from the
+/// linear exact solution u = x + 2y + 3z, distributed over `ranks` ranks.
+/// P1 reproduces linears exactly, so the discrete solution must match to
+/// solver tolerance.
+void check_poisson_linear_exact(int ranks, int order) {
+  auto rt = make_runtime(ranks);
+  rt.run([&](simmpi::Comm& comm) {
+    mesh::BoxMeshSpec spec{4, 4, 4};
+    mesh::BlockDecomposition dec(spec, comm.size());
+    const auto sub = mesh::build_box_submesh(spec, dec.box(comm.rank()));
+    FeSpace space(sub, order, spec.vertex_count());
+    la::DistSystemBuilder builder(comm, space.dof_gids());
+
+    ElementKernel kernel(space, order == 1 ? 2 : 4);
+    const int n = kernel.n();
+    std::vector<double> ke(static_cast<std::size_t>(n * n));
+    std::vector<la::GlobalId> gids(static_cast<std::size_t>(n));
+    builder.begin_assembly();
+    for (std::size_t t = 0; t < sub.tet_count(); ++t) {
+      kernel.stiffness(t, ke);
+      space.tet_dof_gids(t, gids);
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          builder.add_matrix(gids[static_cast<std::size_t>(i)],
+                             gids[static_cast<std::size_t>(j)],
+                             ke[static_cast<std::size_t>(i * n + j)]);
+        }
+        builder.add_rhs(gids[static_cast<std::size_t>(i)], 0.0);
+      }
+    }
+    builder.finalize(comm);
+
+    auto exact = [](const mesh::Vec3& x) {
+      return x.x + 2.0 * x.y + 3.0 * x.z;
+    };
+    auto on_boundary = [](const mesh::Vec3& x) {
+      const double eps = 1e-12;
+      return x.x < eps || x.x > 1.0 - eps || x.y < eps || x.y > 1.0 - eps ||
+             x.z < eps || x.z > 1.0 - eps;
+    };
+    const DirichletData bc = make_dirichlet(comm, space, builder.map(),
+                                            builder.halo(), on_boundary,
+                                            exact);
+    la::DistVector x(builder.map());
+    apply_dirichlet(builder.matrix(), builder.rhs(), x, bc);
+
+    solvers::Ilu0Preconditioner ilu;
+    ilu.build(builder.matrix());
+    solvers::SolverConfig config;
+    config.rel_tolerance = 1e-12;
+    config.max_iterations = 500;
+    const auto report = solvers::cg_solve(comm, builder.matrix(), ilu,
+                                          builder.rhs(), x, config);
+    EXPECT_TRUE(report.converged);
+
+    x.update_ghosts(comm, builder.halo());
+    const double err = nodal_max_error(comm, space, builder.map(), x, exact);
+    EXPECT_LT(err, 1e-8) << "ranks " << ranks << " order " << order;
+    const double l2 = l2_error(comm, kernel, builder.map(), x, exact);
+    EXPECT_LT(l2, 1e-8);
+  });
+}
+
+TEST(Poisson, LinearExactP1Serial) { check_poisson_linear_exact(1, 1); }
+TEST(Poisson, LinearExactP1TwoRanks) { check_poisson_linear_exact(2, 1); }
+TEST(Poisson, LinearExactP1EightRanks) { check_poisson_linear_exact(8, 1); }
+TEST(Poisson, LinearExactP2FourRanks) { check_poisson_linear_exact(4, 2); }
+
+TEST(Poisson, QuadraticExactWithP2) {
+  // -laplace(x^2 + y^2) = -4 with P2: in-space solution, f = -4 constant.
+  auto rt = make_runtime(4);
+  rt.run([&](simmpi::Comm& comm) {
+    mesh::BoxMeshSpec spec{3, 3, 3};
+    mesh::BlockDecomposition dec(spec, comm.size());
+    const auto sub = mesh::build_box_submesh(spec, dec.box(comm.rank()));
+    FeSpace space(sub, 2, spec.vertex_count());
+    la::DistSystemBuilder builder(comm, space.dof_gids());
+    ElementKernel kernel(space, 4);
+    const int n = kernel.n();
+    std::vector<double> ke(static_cast<std::size_t>(n * n));
+    std::vector<double> fe(static_cast<std::size_t>(n));
+    std::vector<la::GlobalId> gids(static_cast<std::size_t>(n));
+    builder.begin_assembly();
+    for (std::size_t t = 0; t < sub.tet_count(); ++t) {
+      kernel.stiffness(t, ke);
+      kernel.load(t, [](const mesh::Vec3&) { return -4.0; }, fe);
+      space.tet_dof_gids(t, gids);
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          builder.add_matrix(gids[static_cast<std::size_t>(i)],
+                             gids[static_cast<std::size_t>(j)],
+                             ke[static_cast<std::size_t>(i * n + j)]);
+        }
+        builder.add_rhs(gids[static_cast<std::size_t>(i)],
+                        fe[static_cast<std::size_t>(i)]);
+      }
+    }
+    builder.finalize(comm);
+
+    auto exact = [](const mesh::Vec3& x) { return x.x * x.x + x.y * x.y; };
+    auto on_boundary = [](const mesh::Vec3& x) {
+      const double eps = 1e-12;
+      return x.x < eps || x.x > 1.0 - eps || x.y < eps || x.y > 1.0 - eps ||
+             x.z < eps || x.z > 1.0 - eps;
+    };
+    const DirichletData bc = make_dirichlet(comm, space, builder.map(),
+                                            builder.halo(), on_boundary,
+                                            exact);
+    la::DistVector x(builder.map());
+    apply_dirichlet(builder.matrix(), builder.rhs(), x, bc);
+    solvers::Ilu0Preconditioner ilu;
+    ilu.build(builder.matrix());
+    solvers::SolverConfig config;
+    config.rel_tolerance = 1e-12;
+    config.max_iterations = 800;
+    const auto report = solvers::cg_solve(comm, builder.matrix(), ilu,
+                                          builder.rhs(), x, config);
+    EXPECT_TRUE(report.converged);
+    x.update_ghosts(comm, builder.halo());
+    EXPECT_LT(nodal_max_error(comm, space, builder.map(), x, exact), 1e-7);
+  });
+}
+
+TEST(Poisson, EliminatedOperatorStaysSymmetric) {
+  // Symmetric Dirichlet elimination must leave the local owned block of a
+  // serial Laplacian exactly symmetric (CG-compatibility).
+  auto rt = make_runtime(1);
+  rt.run([&](simmpi::Comm& comm) {
+    mesh::BoxMeshSpec spec{3, 3, 3};
+    const auto box = mesh::build_box_mesh(spec);
+    FeSpace space(box, 1, spec.vertex_count());
+    la::DistSystemBuilder builder(comm, space.dof_gids());
+    ElementKernel kernel(space, 2);
+    std::vector<double> ke(16);
+    std::vector<la::GlobalId> gids(4);
+    builder.begin_assembly();
+    for (std::size_t t = 0; t < box.tet_count(); ++t) {
+      kernel.stiffness(t, ke);
+      space.tet_dof_gids(t, gids);
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+          builder.add_matrix(gids[static_cast<std::size_t>(i)],
+                             gids[static_cast<std::size_t>(j)],
+                             ke[static_cast<std::size_t>(i * 4 + j)]);
+        }
+        builder.add_rhs(gids[static_cast<std::size_t>(i)], 0.0);
+      }
+    }
+    builder.finalize(comm);
+    EXPECT_LT(builder.matrix().local().symmetry_error(), 1e-13);
+    auto on_boundary = [](const mesh::Vec3& x) {
+      const double eps = 1e-12;
+      return x.x < eps || x.x > 1.0 - eps || x.y < eps || x.y > 1.0 - eps ||
+             x.z < eps || x.z > 1.0 - eps;
+    };
+    const auto bc =
+        make_dirichlet(comm, space, builder.map(), builder.halo(),
+                       on_boundary, [](const mesh::Vec3&) { return 1.0; });
+    la::DistVector x(builder.map());
+    apply_dirichlet(builder.matrix(), builder.rhs(), x, bc);
+    EXPECT_LT(builder.matrix().local().symmetry_error(), 1e-13);
+  });
+}
+
+TEST(Interpolate, ReproducesInSpaceFunctions) {
+  auto rt = make_runtime(2);
+  rt.run([&](simmpi::Comm& comm) {
+    mesh::BoxMeshSpec spec{2, 2, 2};
+    mesh::BlockDecomposition dec(spec, comm.size());
+    const auto sub = mesh::build_box_submesh(spec, dec.box(comm.rank()));
+    FeSpace space(sub, 1, spec.vertex_count());
+    la::DistSystemBuilder builder(comm, space.dof_gids());
+    // Minimal mass pattern so map/halo exist.
+    ElementKernel kernel(space, 2);
+    std::vector<double> me(16);
+    std::vector<la::GlobalId> gids(4);
+    builder.begin_assembly();
+    for (std::size_t t = 0; t < sub.tet_count(); ++t) {
+      kernel.mass(t, me);
+      space.tet_dof_gids(t, gids);
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+          builder.add_matrix(gids[static_cast<std::size_t>(i)],
+                             gids[static_cast<std::size_t>(j)],
+                             me[static_cast<std::size_t>(i * 4 + j)]);
+        }
+      }
+    }
+    builder.finalize(comm);
+    auto f = [](const mesh::Vec3& x) { return 1.0 - x.x + 0.5 * x.y; };
+    const auto u =
+        interpolate(comm, space, builder.map(), builder.halo(), f);
+    EXPECT_LT(l2_error(comm, kernel, builder.map(), u, f), 1e-13);
+    EXPECT_LT(nodal_max_error(comm, space, builder.map(), u, f), 1e-13);
+  });
+}
+
+TEST(TriQuadrature, IntegratesMonomialsExactly) {
+  // Exact integral of x^a y^b over the reference triangle:
+  // a! b! / (a+b+2)!.
+  auto exact = [](int a, int b) {
+    double num = 1.0;
+    for (int i = 2; i <= a; ++i) num *= i;
+    for (int i = 2; i <= b; ++i) num *= i;
+    double den = 1.0;
+    for (int i = 2; i <= a + b + 2; ++i) den *= i;
+    return num / den;
+  };
+  const int degree_pairs[][3] = {{1, 0, 0}, {1, 1, 0}, {2, 2, 0}, {2, 1, 1},
+                                 {4, 4, 0}, {4, 2, 2}, {4, 3, 1}};
+  for (const auto& [deg, a, b] : degree_pairs) {
+    double sum = 0.0;
+    for (const auto& qp : tri_quadrature(deg)) {
+      sum += qp.weight * std::pow(qp.x, a) * std::pow(qp.y, b);
+    }
+    EXPECT_NEAR(sum, exact(a, b), 1e-12) << "deg " << deg << " x^" << a
+                                         << " y^" << b;
+  }
+  EXPECT_THROW(tri_quadrature(5), Error);
+}
+
+TEST(BoundaryArea, MatchesBoxGeometry) {
+  const auto box = mesh::build_box_mesh({3, 3, 3});
+  EXPECT_NEAR(boundary_area(box, {}), 6.0, 1e-12);       // whole unit cube
+  EXPECT_NEAR(boundary_area(box, {1}), 1.0, 1e-12);      // one face
+  EXPECT_NEAR(boundary_area(box, {1, 2, 5}), 3.0, 1e-12);
+}
+
+class BoundaryLoadOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundaryLoadOrder, SumsToSurfaceIntegral) {
+  // sum_i int g phi_i dS = int g dS because the shapes partition unity.
+  const int order = GetParam();
+  auto rt = make_runtime(2);
+  rt.run([&](simmpi::Comm& comm) {
+    mesh::BoxMeshSpec spec{4, 4, 4};
+    mesh::BlockDecomposition dec(spec, comm.size());
+    const auto sub = mesh::build_box_submesh(spec, dec.box(comm.rank()));
+    FeSpace space(sub, order, spec.vertex_count());
+    la::DistSystemBuilder builder(comm, space.dof_gids());
+    builder.begin_assembly();
+    // Minimal diagonal pattern so the builder has rows for every dof.
+    for (la::GlobalId g : space.dof_gids()) {
+      builder.add_matrix(g, g, 1.0);
+    }
+    auto g = [](const mesh::Vec3& x) { return 1.0 + x.y + x.z * x.z; };
+    // Integrate over the +x face (marker 2): x == 1, area 1.
+    assemble_boundary_load(space, g, {2}, builder);
+    builder.finalize(comm);
+    double local = 0.0;
+    for (int l = 0; l < builder.map().owned_count(); ++l) {
+      local += builder.rhs()[l];
+    }
+    const double total = comm.allreduce(local, simmpi::ReduceOp::kSum);
+    // int over [0,1]^2 of (1 + y + z^2) dy dz = 1 + 1/2 + 1/3.
+    EXPECT_NEAR(total, 1.0 + 0.5 + 1.0 / 3.0, 1e-12) << "order " << order;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BoundaryLoadOrder, ::testing::Values(1, 2));
+
+TEST(H1Error, ZeroForInSpaceGradient) {
+  auto rt = make_runtime(1);
+  rt.run([&](simmpi::Comm& comm) {
+    mesh::BoxMeshSpec spec{3, 3, 3};
+    const auto box = mesh::build_box_mesh(spec);
+    FeSpace space(box, 2, spec.vertex_count());
+    la::DistSystemBuilder builder(comm, space.dof_gids());
+    builder.begin_assembly();
+    for (la::GlobalId g : space.dof_gids()) {
+      builder.add_matrix(g, g, 1.0);
+    }
+    builder.finalize(comm);
+    ElementKernel kernel(space, 4);
+    auto f = [](const mesh::Vec3& x) {
+      return x.x * x.x - x.y * x.z + 2.0 * x.z;
+    };
+    auto grad_f = [](const mesh::Vec3& x) {
+      return mesh::Vec3{2.0 * x.x, -x.z, -x.y + 2.0};
+    };
+    const auto u = interpolate(comm, space, builder.map(), builder.halo(), f);
+    EXPECT_LT(h1_seminorm_error(comm, kernel, builder.map(), u, grad_f),
+              1e-12);
+  });
+}
+
+TEST(H1Error, ConvergesAtFirstOrderForP1) {
+  auto run_once = [&](int cells) {
+    double err = 0.0;
+    auto rt = make_runtime(1);
+    rt.run([&](simmpi::Comm& comm) {
+      mesh::BoxMeshSpec spec{cells, cells, cells};
+      const auto box = mesh::build_box_mesh(spec);
+      FeSpace space(box, 1, spec.vertex_count());
+      la::DistSystemBuilder builder(comm, space.dof_gids());
+      builder.begin_assembly();
+      for (la::GlobalId g : space.dof_gids()) {
+        builder.add_matrix(g, g, 1.0);
+      }
+      builder.finalize(comm);
+      ElementKernel kernel(space, 4);
+      auto f = [](const mesh::Vec3& x) { return std::sin(M_PI * x.x); };
+      auto grad_f = [](const mesh::Vec3& x) {
+        return mesh::Vec3{M_PI * std::cos(M_PI * x.x), 0.0, 0.0};
+      };
+      const auto u =
+          interpolate(comm, space, builder.map(), builder.halo(), f);
+      err = h1_seminorm_error(comm, kernel, builder.map(), u, grad_f);
+    });
+    return err;
+  };
+  const double coarse = run_once(2);
+  const double fine = run_once(4);
+  EXPECT_GT(coarse / fine, 1.6);  // ~2 for O(h)
+  EXPECT_LT(coarse / fine, 2.6);
+}
+
+TEST(L2Error, ConvergesAtSecondOrderForP1) {
+  // Interpolation error of a smooth non-polynomial function: O(h^2) in L2.
+  auto run_once = [&](int cells) {
+    double err = 0.0;
+    auto rt = make_runtime(1);
+    rt.run([&](simmpi::Comm& comm) {
+      mesh::BoxMeshSpec spec{cells, cells, cells};
+      const auto box = mesh::build_box_mesh(spec);
+      FeSpace space(box, 1, spec.vertex_count());
+      la::DistSystemBuilder builder(comm, space.dof_gids());
+      ElementKernel kernel(space, 4);
+      std::vector<double> me(16);
+      std::vector<la::GlobalId> gids(4);
+      builder.begin_assembly();
+      for (std::size_t t = 0; t < box.tet_count(); ++t) {
+        kernel.mass(t, me);
+        space.tet_dof_gids(t, gids);
+        for (int i = 0; i < 4; ++i) {
+          builder.add_matrix(gids[static_cast<std::size_t>(i)],
+                             gids[static_cast<std::size_t>(i)], 1.0);
+        }
+      }
+      builder.finalize(comm);
+      auto f = [](const mesh::Vec3& x) {
+        return std::sin(M_PI * x.x) * std::cos(M_PI * x.y);
+      };
+      const auto u =
+          interpolate(comm, space, builder.map(), builder.halo(), f);
+      err = l2_error(comm, kernel, builder.map(), u, f);
+    });
+    return err;
+  };
+  const double coarse = run_once(2);
+  const double fine = run_once(4);
+  EXPECT_GT(coarse / fine, 3.0);  // ~4 for O(h^2)
+  EXPECT_LT(coarse / fine, 5.5);
+}
+
+}  // namespace
+}  // namespace hetero::fem

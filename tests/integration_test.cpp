@@ -1,0 +1,279 @@
+// End-to-end integration tests cutting across module boundaries:
+//   * the unstructured partitioner path feeding the distributed FEM stack,
+//   * application checkpoint/restart across a rank-count change (the spot
+//     instance elasticity scenario),
+//   * the cloud-service-built topology driving a real direct run.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "apps/ns_solver.hpp"
+#include "apps/rd_solver.hpp"
+#include "cloud/ec2_service.hpp"
+#include "core/experiment.hpp"
+#include "fem/bc.hpp"
+#include "fem/error_norms.hpp"
+#include "io/checkpoint.hpp"
+#include "mesh/box_mesh.hpp"
+#include "partition/partitioner.hpp"
+#include "platform/platform_spec.hpp"
+#include "simmpi/runtime.hpp"
+#include "solvers/krylov.hpp"
+
+namespace hetero {
+namespace {
+
+/// Solves -lap(u) = 0 with a linear exact solution on a submesh produced
+/// by the given element partition of a shared global mesh.
+void run_partitioned_poisson(simmpi::Comm& comm,
+                             const mesh::TetMesh& global,
+                             const std::vector<int>& part, int order) {
+  const auto sub = partition::extract_submesh(global, part, comm.rank());
+  sub.validate();
+  fem::FeSpace space(sub, order,
+                     static_cast<std::int64_t>(global.vertex_count()));
+  la::DistSystemBuilder builder(comm, space.dof_gids());
+  fem::ElementKernel kernel(space, order == 1 ? 2 : 4);
+  const int n = kernel.n();
+  std::vector<double> ke(static_cast<std::size_t>(n * n));
+  std::vector<la::GlobalId> gids(static_cast<std::size_t>(n));
+  builder.begin_assembly();
+  for (std::size_t t = 0; t < sub.tet_count(); ++t) {
+    kernel.stiffness(t, ke);
+    space.tet_dof_gids(t, gids);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        builder.add_matrix(gids[static_cast<std::size_t>(i)],
+                           gids[static_cast<std::size_t>(j)],
+                           ke[static_cast<std::size_t>(i * n + j)]);
+      }
+      builder.add_rhs(gids[static_cast<std::size_t>(i)], 0.0);
+    }
+  }
+  builder.finalize(comm);
+  auto exact = [](const mesh::Vec3& x) {
+    return 2.0 * x.x - x.y + 0.5 * x.z + 1.0;
+  };
+  auto on_boundary = [](const mesh::Vec3& x) {
+    const double eps = 1e-12;
+    return x.x < eps || x.x > 1.0 - eps || x.y < eps || x.y > 1.0 - eps ||
+           x.z < eps || x.z > 1.0 - eps;
+  };
+  const auto bc = fem::make_dirichlet(comm, space, builder.map(),
+                                      builder.halo(), on_boundary, exact);
+  la::DistVector x(builder.map());
+  fem::apply_dirichlet(builder.matrix(), builder.rhs(), x, bc);
+  solvers::Ilu0Preconditioner ilu;
+  ilu.build(builder.matrix());
+  solvers::SolverConfig config;
+  config.rel_tolerance = 1e-12;
+  config.max_iterations = 600;
+  const auto report = solvers::cg_solve(comm, builder.matrix(), ilu,
+                                        builder.rhs(), x, config);
+  EXPECT_TRUE(report.converged);
+  x.update_ghosts(comm, builder.halo());
+  EXPECT_LT(fem::nodal_max_error(comm, space, builder.map(), x, exact),
+            1e-8);
+}
+
+TEST(Integration, GreedyPartitionFeedsDistributedFem) {
+  simmpi::Runtime rt(platform::lagrange().topology(4));
+  rt.run([&](simmpi::Comm& comm) {
+    // Every rank builds the same global mesh and the same deterministic
+    // partition, then keeps only its elements — the ParMETIS workflow.
+    const auto global = mesh::build_box_mesh({4, 4, 4});
+    const auto graph = partition::build_dual_graph(global);
+    const auto part = partition::partition_greedy(graph, comm.size());
+    run_partitioned_poisson(comm, global, part, /*order=*/1);
+  });
+}
+
+TEST(Integration, RcbPartitionFeedsDistributedFemP2) {
+  simmpi::Runtime rt(platform::lagrange().topology(3));
+  rt.run([&](simmpi::Comm& comm) {
+    const auto global = mesh::build_box_mesh({3, 3, 3});
+    const auto part = partition::partition_rcb(global, comm.size());
+    run_partitioned_poisson(comm, global, part, /*order=*/2);
+  });
+}
+
+TEST(Integration, ExtractSubmeshPreservesVolumeAndBoundary) {
+  const auto global = mesh::build_box_mesh({4, 4, 4});
+  const auto part = partition::partition_rcb(global, 5);
+  double volume = 0.0;
+  std::size_t tets = 0;
+  for (int r = 0; r < 5; ++r) {
+    const auto sub = partition::extract_submesh(global, part, r);
+    sub.validate();
+    volume += sub.metrics().total_volume;
+    tets += sub.tet_count();
+  }
+  EXPECT_NEAR(volume, 1.0, 1e-12);
+  EXPECT_EQ(tets, global.tet_count());
+}
+
+TEST(Integration, RdCheckpointRestartAcrossRankCounts) {
+  const std::string path = "/tmp/heterolab_rd_restart.h5l";
+  apps::RdConfig config;
+  config.global_cells = 4;
+  config.dt = 0.1;
+
+  // Reference: 4 uninterrupted steps on 1 rank.
+  double reference_error = 0.0;
+  {
+    simmpi::Runtime rt(platform::puma().topology(1));
+    rt.run([&](simmpi::Comm& comm) {
+      apps::RdSolver solver(comm, config);
+      const auto records = solver.run(4);
+      reference_error = records.back().nodal_error;
+    });
+  }
+
+  // Run 2 steps on 1 rank, checkpoint both BDF levels.
+  double t_at_checkpoint = 0.0;
+  {
+    simmpi::Runtime rt(platform::puma().topology(1));
+    rt.run([&](simmpi::Comm& comm) {
+      apps::RdSolver solver(comm, config);
+      solver.run(2);
+      t_at_checkpoint = solver.current_time();
+      io::save_checkpoint(comm, solver.solution(), "u_now", path);
+      io::save_checkpoint(comm, solver.previous_solution(), "u_prev",
+                          path + ".prev");
+    });
+  }
+
+  // Restart on 8 ranks (the assembly grew), run the remaining 2 steps.
+  {
+    simmpi::Runtime rt(platform::puma().topology(8));
+    rt.run([&](simmpi::Comm& comm) {
+      apps::RdSolver solver(comm, config);
+      la::DistVector u_now(solver.map());
+      la::DistVector u_prev(solver.map());
+      io::load_checkpoint(comm, u_now, "u_now", path);
+      io::load_checkpoint(comm, u_prev, "u_prev", path + ".prev");
+      solver.restore_state(u_now, u_prev, t_at_checkpoint);
+      const auto records = solver.run(2);
+      // Same discrete trajectory: the exactness oracle must hold as if the
+      // run had never been interrupted.
+      EXPECT_NEAR(solver.current_time(), 1.0 + 4 * 0.1, 1e-12);
+      EXPECT_LT(records.back().nodal_error, 1e-6);
+      EXPECT_LT(std::fabs(records.back().nodal_error - reference_error),
+                1e-6);
+    });
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+}
+
+TEST(Integration, NsCheckpointRestartMatchesUninterruptedRun) {
+  const std::string path = "/tmp/heterolab_ns_restart.h5l";
+  apps::NsConfig config;
+  config.global_cells = 3;
+  config.dt = 2e-3;
+
+  // Reference: 3 uninterrupted steps.
+  double reference = 0.0;
+  {
+    simmpi::Runtime rt(platform::lagrange().topology(2));
+    rt.run([&](simmpi::Comm& comm) {
+      apps::NsSolver solver(comm, config);
+      reference = solver.run(3).back().l2_error;
+    });
+  }
+  // 2 steps, checkpoint, restart on a different rank count, 1 more step.
+  double t_ckpt = 0.0;
+  {
+    simmpi::Runtime rt(platform::lagrange().topology(2));
+    rt.run([&](simmpi::Comm& comm) {
+      apps::NsSolver solver(comm, config);
+      solver.run(2);
+      t_ckpt = solver.current_time();
+      io::save_checkpoint(comm, solver.state(), "x", path);
+      io::save_checkpoint(comm, solver.previous_state(), "xp",
+                          path + ".prev");
+    });
+  }
+  {
+    simmpi::Runtime rt(platform::lagrange().topology(4));
+    rt.run([&](simmpi::Comm& comm) {
+      apps::NsSolver solver(comm, config);
+      la::DistVector x(solver.map());
+      la::DistVector xp(solver.map());
+      io::load_checkpoint(comm, x, "x", path);
+      io::load_checkpoint(comm, xp, "xp", path + ".prev");
+      solver.restore_state(x, xp, t_ckpt);
+      const auto r = solver.run(1).back();
+      EXPECT_TRUE(r.solver_converged);
+      // Same discrete trajectory to solver tolerance.
+      EXPECT_NEAR(r.l2_error, reference, 1e-5 + 0.01 * reference);
+    });
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+}
+
+TEST(Integration, AbortInsideACollectivePropagates) {
+  // One rank fails while the others sit inside an allreduce; the abort
+  // must wake them and surface the original error, not hang.
+  simmpi::Runtime rt(platform::puma().topology(4));
+  try {
+    rt.run([&](simmpi::Comm& comm) {
+      if (comm.rank() == 2) {
+        throw Error("injected failure before the collective");
+      }
+      comm.allreduce(1.0, simmpi::ReduceOp::kSum);  // waits for rank 2
+    });
+    FAIL() << "the injected failure should have propagated";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(what.find("injected failure") != std::string::npos ||
+                what.find("aborted") != std::string::npos)
+        << what;
+  }
+}
+
+TEST(Integration, RunnerDirectModeHandlesNs) {
+  core::ExperimentRunner runner(42);
+  core::Experiment e;
+  e.app = perf::AppKind::kNavierStokes;
+  e.platform = "ec2";
+  e.ranks = 1;
+  e.mode = core::Mode::kDirect;
+  e.cells_per_rank_axis = 3;
+  e.direct_steps = 2;
+  const auto r = runner.run(e);
+  EXPECT_TRUE(r.launched);
+  EXPECT_TRUE(r.solver_converged);
+  EXPECT_GT(r.iteration.total_s, 0.0);
+  EXPECT_LT(r.nodal_error, 0.5);
+}
+
+TEST(Integration, CloudAssemblyDrivesADirectRun) {
+  // Instances from the EC2 simulator define the topology of a real
+  // (thread-level) run of the RD application.
+  cloud::Ec2Service service(9);
+  service.authorize_intranet_tcp();
+  const int group = service.create_placement_group("direct");
+  const auto launch = service.request_on_demand("cc2.8xlarge", 1, group);
+  const auto topo = service.assembly_topology(launch.instances, 8, 0.02);
+
+  simmpi::Runtime rt(topo);
+  rt.run([&](simmpi::Comm& comm) {
+    apps::RdConfig config;
+    config.global_cells = 4;
+    config.cpu = platform::ec2().cpu_model();
+    apps::RdSolver solver(comm, config);
+    const auto r = solver.step();
+    EXPECT_TRUE(r.solver_converged);
+    EXPECT_LT(r.nodal_error, 1e-6);
+  });
+  // Bill the hour and shut the assembly down.
+  service.advance(600.0);
+  EXPECT_NEAR(service.billed_usd(), 2.40, 1e-9);
+  service.terminate(launch.instances);
+}
+
+}  // namespace
+}  // namespace hetero

@@ -1,0 +1,344 @@
+// Tests for structured box meshes, block decomposition, edges, and VTK
+// export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include <cmath>
+
+#include "mesh/box_mesh.hpp"
+#include "mesh/edges.hpp"
+#include "mesh/refine.hpp"
+#include "mesh/tet_mesh.hpp"
+#include "mesh/vtk_writer.hpp"
+#include "support/error.hpp"
+
+namespace hetero::mesh {
+namespace {
+
+TEST(BoxMesh, CountsMatchFormulae) {
+  for (int n : {1, 2, 3, 5}) {
+    BoxMeshSpec spec{n, n, n};
+    const TetMesh mesh = build_box_mesh(spec);
+    EXPECT_EQ(mesh.vertex_count(),
+              static_cast<std::size_t>((n + 1) * (n + 1) * (n + 1)));
+    EXPECT_EQ(mesh.tet_count(), static_cast<std::size_t>(6 * n * n * n));
+    mesh.validate();
+  }
+}
+
+TEST(BoxMesh, TotalVolumeEqualsBoxVolume) {
+  BoxMeshSpec spec{3, 4, 5, {0.0, 0.0, 0.0}, {2.0, 1.0, 3.0}};
+  const TetMesh mesh = build_box_mesh(spec);
+  const auto m = mesh.metrics();
+  EXPECT_NEAR(m.total_volume, 2.0 * 1.0 * 3.0, 1e-12);
+  EXPECT_GT(m.min_tet_volume, 0.0);
+}
+
+TEST(BoxMesh, BoundaryFaceCountIs12NSquaredPerCube) {
+  for (int n : {1, 2, 4}) {
+    BoxMeshSpec spec{n, n, n};
+    const TetMesh mesh = build_box_mesh(spec);
+    // 6 cube faces x n^2 quads x 2 triangles.
+    EXPECT_EQ(mesh.boundary_faces().size(),
+              static_cast<std::size_t>(12 * n * n));
+  }
+}
+
+TEST(BoxMesh, BoundaryMarkersCoverAllSixSides) {
+  const TetMesh mesh = build_box_mesh({2, 2, 2});
+  std::set<int> markers;
+  for (const auto& f : mesh.boundary_faces()) {
+    markers.insert(f.marker);
+  }
+  EXPECT_EQ(markers, (std::set<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(BoxMesh, SubmeshAgreesWithFullMeshGeometry) {
+  BoxMeshSpec spec{4, 4, 4};
+  const TetMesh sub = build_box_submesh(spec, CellBox{1, 3, 0, 2, 2, 4});
+  sub.validate();
+  EXPECT_EQ(sub.tet_count(), static_cast<std::size_t>(6 * 2 * 2 * 2));
+  // Each submesh vertex gid must decode back to its coordinate.
+  for (std::size_t v = 0; v < sub.vertex_count(); ++v) {
+    const GlobalId gid = sub.vertex_gid(static_cast<int>(v));
+    const int i = static_cast<int>(gid % (spec.nx + 1));
+    const int j = static_cast<int>((gid / (spec.nx + 1)) % (spec.ny + 1));
+    const int k = static_cast<int>(gid / ((spec.nx + 1) * (spec.ny + 1)));
+    const Vec3 expect = spec.vertex_coord(i, j, k);
+    const Vec3& got = sub.vertex(static_cast<int>(v));
+    EXPECT_NEAR(got.x, expect.x, 1e-14);
+    EXPECT_NEAR(got.y, expect.y, 1e-14);
+    EXPECT_NEAR(got.z, expect.z, 1e-14);
+  }
+}
+
+TEST(BoxMesh, SubmeshesTileTheDomain) {
+  BoxMeshSpec spec{4, 4, 4};
+  BlockDecomposition dec(spec, 8);
+  double volume = 0.0;
+  for (int r = 0; r < 8; ++r) {
+    const TetMesh sub = build_box_submesh(spec, dec.box(r));
+    volume += sub.metrics().total_volume;
+  }
+  EXPECT_NEAR(volume, 1.0, 1e-12);
+}
+
+TEST(BoxMesh, SubmeshBoundaryOnlyOnDomainBoundary) {
+  BoxMeshSpec spec{4, 4, 4};
+  // Interior block: no boundary faces at all.
+  const TetMesh inner = build_box_submesh(spec, CellBox{1, 3, 1, 3, 1, 3});
+  EXPECT_TRUE(inner.boundary_faces().empty());
+  // Corner block: exactly three exposed sides.
+  const TetMesh corner = build_box_submesh(spec, CellBox{0, 2, 0, 2, 0, 2});
+  std::set<int> markers;
+  for (const auto& f : corner.boundary_faces()) {
+    markers.insert(f.marker);
+  }
+  EXPECT_EQ(markers, (std::set<int>{1, 3, 5}));
+}
+
+TEST(BlockDecomposition, ExactCubesUseCubicGrids) {
+  BoxMeshSpec spec{20, 20, 20};
+  for (int p : {1, 8, 27}) {
+    BlockDecomposition dec(spec, p);
+    const auto g = dec.grid();
+    const int k = g[0];
+    EXPECT_EQ(g[1], k);
+    EXPECT_EQ(g[2], k);
+    EXPECT_EQ(k * k * k, p);
+  }
+}
+
+TEST(BlockDecomposition, BoxesPartitionCellsExactly) {
+  BoxMeshSpec spec{10, 7, 5};
+  for (int p : {2, 4, 6, 10}) {
+    BlockDecomposition dec(spec, p);
+    std::int64_t cells = 0;
+    for (int r = 0; r < p; ++r) {
+      cells += dec.box(r).cells();
+    }
+    EXPECT_EQ(cells, spec.cell_count());
+    // Every cell maps to the rank whose box contains it.
+    for (int k = 0; k < spec.nz; ++k) {
+      for (int j = 0; j < spec.ny; ++j) {
+        for (int i = 0; i < spec.nx; ++i) {
+          const int r = dec.rank_of_cell(i, j, k);
+          EXPECT_TRUE(dec.box(r).contains(i, j, k));
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockDecomposition, VertexOwnerTouchesTheVertex) {
+  BoxMeshSpec spec{6, 6, 6};
+  BlockDecomposition dec(spec, 8);
+  for (int k = 0; k <= spec.nz; ++k) {
+    for (int j = 0; j <= spec.ny; ++j) {
+      for (int i = 0; i <= spec.nx; ++i) {
+        const int owner = dec.rank_of_vertex(i, j, k);
+        // Owner's box must contain a cell incident to (i, j, k).
+        const CellBox box = dec.box(owner);
+        bool incident = false;
+        for (int dk = -1; dk <= 0 && !incident; ++dk) {
+          for (int dj = -1; dj <= 0 && !incident; ++dj) {
+            for (int di = -1; di <= 0 && !incident; ++di) {
+              const int ci = i + di;
+              const int cj = j + dj;
+              const int ck = k + dk;
+              if (ci >= 0 && ci < spec.nx && cj >= 0 && cj < spec.ny &&
+                  ck >= 0 && ck < spec.nz && box.contains(ci, cj, ck)) {
+                incident = true;
+              }
+            }
+          }
+        }
+        EXPECT_TRUE(incident) << "vertex " << i << "," << j << "," << k;
+      }
+    }
+  }
+}
+
+TEST(BlockDecomposition, FaceNeighbourCounts) {
+  BoxMeshSpec spec{6, 6, 6};
+  BlockDecomposition dec(spec, 27);
+  int total = 0;
+  for (int r = 0; r < 27; ++r) {
+    total += dec.face_neighbours(r);
+  }
+  // 3 axes x 2 faces x interior-face count: each of the 27 blocks has
+  // between 3 (corner) and 6 (centre) face neighbours.
+  EXPECT_EQ(total, 2 * 3 * 3 * 3 * 2);  // 2 * number of interior block faces
+  EXPECT_EQ(dec.face_neighbours(13), 6);  // centre block of the 3x3x3 grid
+  EXPECT_EQ(dec.face_neighbours(0), 3);   // corner
+}
+
+TEST(BlockDecomposition, RejectsOverDecomposition) {
+  BoxMeshSpec spec{2, 2, 2};
+  EXPECT_THROW(BlockDecomposition(spec, 1000), Error);
+}
+
+TEST(Edges, SingleCubeHas19UniqueEdges) {
+  // 12 cube edges + 6 face diagonals + 1 body diagonal.
+  const TetMesh mesh = build_box_mesh({1, 1, 1});
+  const EdgeSet set = build_edges(mesh);
+  EXPECT_EQ(set.edges.size(), 19u);
+  EXPECT_EQ(set.tet_edges.size(), mesh.tet_count());
+}
+
+TEST(Edges, TetEdgeIndicesAreConsistent) {
+  const TetMesh mesh = build_box_mesh({2, 2, 2});
+  const EdgeSet set = build_edges(mesh);
+  for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+    for (std::size_t e = 0; e < 6; ++e) {
+      const auto& edge = set.edges[static_cast<std::size_t>(set.tet_edges[t][e])];
+      const int a = mesh.tet(t)[static_cast<std::size_t>(kTetEdgeVertices[e][0])];
+      const int b = mesh.tet(t)[static_cast<std::size_t>(kTetEdgeVertices[e][1])];
+      EXPECT_EQ(std::min(a, b), edge[0]);
+      EXPECT_EQ(std::max(a, b), edge[1]);
+    }
+  }
+}
+
+TEST(Edges, EdgeGidIsSymmetricAndUnique) {
+  const std::int64_t nv = 1000;
+  EXPECT_EQ(edge_gid(3, 7, nv), edge_gid(7, 3, nv));
+  EXPECT_NE(edge_gid(3, 7, nv), edge_gid(3, 8, nv));
+  EXPECT_NE(edge_gid(3, 7, nv), edge_gid(4, 7, nv));
+  // Edge gids never collide with vertex gids.
+  EXPECT_GE(edge_gid(0, 1, nv), nv);
+  EXPECT_THROW(edge_gid(5, 5, nv), Error);
+  EXPECT_THROW(edge_gid(-1, 5, nv), Error);
+}
+
+TEST(Refine, ProducesEightTimesTheTets) {
+  const TetMesh coarse = build_box_mesh({2, 2, 2});
+  const TetMesh fine = refine_uniform(coarse);
+  fine.validate();
+  EXPECT_EQ(fine.tet_count(), 8 * coarse.tet_count());
+  // New vertex count: originals + one per unique edge.
+  const auto edges = build_edges(coarse);
+  EXPECT_EQ(fine.vertex_count(), coarse.vertex_count() + edges.edges.size());
+}
+
+TEST(Refine, ConservesVolume) {
+  BoxMeshSpec spec{2, 3, 2, {0.0, 0.0, 0.0}, {2.0, 1.5, 1.0}};
+  TetMesh mesh = build_box_mesh(spec);
+  const double volume = mesh.metrics().total_volume;
+  for (int level = 0; level < 2; ++level) {
+    mesh = refine_uniform(mesh);
+    EXPECT_NEAR(mesh.metrics().total_volume, volume, 1e-12);
+  }
+}
+
+TEST(Refine, BoundaryFacesSplitInFourWithMarkers) {
+  const TetMesh coarse = build_box_mesh({2, 2, 2});
+  const TetMesh fine = refine_uniform(coarse);
+  EXPECT_EQ(fine.boundary_faces().size(), 4 * coarse.boundary_faces().size());
+  std::set<int> markers;
+  for (const auto& f : fine.boundary_faces()) {
+    markers.insert(f.marker);
+  }
+  EXPECT_EQ(markers, (std::set<int>{1, 2, 3, 4, 5, 6}));
+  // Refined boundary faces still tile the same area: the unit cube's 6.
+  double area = 0.0;
+  for (const auto& f : fine.boundary_faces()) {
+    const Vec3& a = fine.vertex(f.vertices[0]);
+    const Vec3& b = fine.vertex(f.vertices[1]);
+    const Vec3& c = fine.vertex(f.vertices[2]);
+    area += 0.5 * (b - a).cross(c - a).norm();
+  }
+  EXPECT_NEAR(area, 6.0, 1e-12);
+}
+
+TEST(Refine, MeshQualityStaysBounded) {
+  // Bey refinement cycles through finitely many similarity classes, so the
+  // edge ratio must not blow up under repeated refinement.
+  TetMesh mesh = build_box_mesh({1, 1, 1});
+  const double initial = worst_edge_ratio(mesh);
+  EXPECT_NEAR(initial, std::sqrt(3.0), 1e-12);  // Kuhn tets
+  double last = initial;
+  for (int level = 0; level < 3; ++level) {
+    mesh = refine_uniform(mesh);
+    last = worst_edge_ratio(mesh);
+  }
+  EXPECT_LT(last, 3.0);
+}
+
+TEST(Refine, EdgeRatioOfRegularTet) {
+  TetMesh reference({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+                    {{0, 1, 2, 3}});
+  EXPECT_NEAR(tet_edge_ratio(reference, 0), std::sqrt(2.0), 1e-12);
+}
+
+TEST(TetMesh, ValidateCatchesBadMeshes) {
+  // Out-of-range vertex index.
+  TetMesh bad({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+              {{0, 1, 2, 7}});
+  EXPECT_THROW(bad.validate(), Error);
+  // Inverted tet (negative volume).
+  TetMesh inverted({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+                   {{0, 2, 1, 3}});
+  EXPECT_THROW(inverted.validate(), Error);
+}
+
+TEST(VtkWriter, WritesAllSectionsAndFields) {
+  const TetMesh mesh = build_box_mesh({2, 2, 2});
+  VtkWriter writer(mesh);
+  writer.add_scalar_field("u", std::vector<double>(mesh.vertex_count(), 1.5));
+  writer.add_vector_field(
+      "vel", std::vector<double>(3 * mesh.vertex_count(), 0.25));
+  const std::string path = "/tmp/heterolab_vtk_test.vtk";
+  writer.write(path);
+  std::ifstream is(path);
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("POINTS 27 double"), std::string::npos);
+  EXPECT_NE(content.find("CELLS 48"), std::string::npos);
+  EXPECT_NE(content.find("SCALARS u double 1"), std::string::npos);
+  EXPECT_NE(content.find("VECTORS vel double"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(VtkSeriesWriter, WritesStepsAndCollection) {
+  const TetMesh mesh = build_box_mesh({1, 1, 1});
+  VtkSeriesWriter series("/tmp/heterolab_series");
+  for (int s = 0; s < 3; ++s) {
+    VtkWriter frame(mesh);
+    frame.add_scalar_field(
+        "u", std::vector<double>(mesh.vertex_count(), 1.0 * s));
+    series.add_step(0.1 * s, frame);
+  }
+  series.finalize();
+  EXPECT_EQ(series.steps(), 3);
+  std::ifstream pvd("/tmp/heterolab_series.pvd");
+  std::string content((std::istreambuf_iterator<char>(pvd)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("timestep=\"0.2\""), std::string::npos);
+  EXPECT_NE(content.find("heterolab_series_0002.vtk"), std::string::npos);
+  // The step files exist and are valid VTK.
+  std::ifstream step("/tmp/heterolab_series_0001.vtk");
+  std::string line;
+  std::getline(step, line);
+  EXPECT_NE(line.find("vtk DataFile"), std::string::npos);
+  for (int s = 0; s < 3; ++s) {
+    char path[64];
+    std::snprintf(path, sizeof(path), "/tmp/heterolab_series_%04d.vtk", s);
+    std::remove(path);
+  }
+  std::remove("/tmp/heterolab_series.pvd");
+}
+
+TEST(VtkWriter, RejectsWrongFieldSizes) {
+  const TetMesh mesh = build_box_mesh({1, 1, 1});
+  VtkWriter writer(mesh);
+  EXPECT_THROW(writer.add_scalar_field("u", {1.0}), Error);
+  EXPECT_THROW(writer.add_vector_field("v", {1.0, 2.0}), Error);
+}
+
+}  // namespace
+}  // namespace hetero::mesh

@@ -1,0 +1,140 @@
+// Tests for the dual graph and the ParMETIS-substitute partitioners.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mesh/box_mesh.hpp"
+#include "partition/graph.hpp"
+#include "partition/partitioner.hpp"
+#include "support/error.hpp"
+
+namespace hetero::partition {
+namespace {
+
+TEST(DualGraph, IsSymmetricAndBounded) {
+  const auto mesh = mesh::build_box_mesh({3, 3, 3});
+  const Graph g = build_dual_graph(mesh);
+  g.validate();
+  EXPECT_EQ(g.vertex_count(), mesh.tet_count());
+  for (int v = 0; v < static_cast<int>(g.vertex_count()); ++v) {
+    EXPECT_LE(g.neighbours(v).size(), 4u);  // a tet has four faces
+    EXPECT_GE(g.neighbours(v).size(), 1u);  // Kuhn tets always touch others
+  }
+}
+
+TEST(DualGraph, SingleCubeEdgeCount) {
+  // The 6 Kuhn tets of one cube form a "fan" around the main diagonal:
+  // each tet shares interior faces with exactly two neighbours (a 6-cycle),
+  // so the dual graph has 6 edges.
+  const auto mesh = mesh::build_box_mesh({1, 1, 1});
+  const Graph g = build_dual_graph(mesh);
+  EXPECT_EQ(g.vertex_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 6u);
+}
+
+TEST(DualGraph, GrowsAcrossCellBoundaries) {
+  const auto one = mesh::build_box_mesh({1, 1, 1});
+  const auto two = mesh::build_box_mesh({2, 1, 1});
+  const Graph g1 = build_dual_graph(one);
+  const Graph g2 = build_dual_graph(two);
+  // Two cubes share a face: strictly more than twice the single-cube edges.
+  EXPECT_GT(g2.edge_count(), 2 * g1.edge_count());
+}
+
+class PartitionerBalance : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionerBalance, RcbBalancesAnyPartCount) {
+  const int parts = GetParam();
+  const auto mesh = mesh::build_box_mesh({4, 4, 4});
+  const auto part = partition_rcb(mesh, parts);
+  const Graph g = build_dual_graph(mesh);
+  const auto m = evaluate_partition(g, part, parts);
+  EXPECT_EQ(m.parts, parts);
+  EXPECT_GT(m.min_part_size, 0u);
+  EXPECT_LE(m.imbalance, 1.10);
+}
+
+TEST_P(PartitionerBalance, GreedyBalancesAnyPartCount) {
+  const int parts = GetParam();
+  const auto mesh = mesh::build_box_mesh({4, 4, 4});
+  const Graph g = build_dual_graph(mesh);
+  const auto part = partition_greedy(g, parts);
+  const auto m = evaluate_partition(g, part, parts);
+  EXPECT_GT(m.min_part_size, 0u);
+  EXPECT_LE(m.imbalance, 1.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, PartitionerBalance,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 16));
+
+TEST(Partitioner, RcbCutBeatsRandomByFar) {
+  const auto mesh = mesh::build_box_mesh({6, 6, 6});
+  const Graph g = build_dual_graph(mesh);
+  const auto part = partition_rcb(mesh, 8);
+  const auto m = evaluate_partition(g, part, 8);
+  // Random 8-way split of n vertices cuts ~7/8 of edges; a geometric split
+  // of a cube must cut far less.
+  EXPECT_LT(static_cast<double>(m.edge_cut),
+            0.25 * static_cast<double>(g.edge_count()));
+}
+
+TEST(Partitioner, RcbIsDeterministic) {
+  const auto mesh = mesh::build_box_mesh({4, 4, 4});
+  EXPECT_EQ(partition_rcb(mesh, 6), partition_rcb(mesh, 6));
+}
+
+TEST(Partitioner, GreedyRefinementKeepsAssignmentsValid) {
+  const auto mesh = mesh::build_box_mesh({5, 5, 5});
+  const Graph g = build_dual_graph(mesh);
+  for (int parts : {2, 9}) {
+    const auto part = partition_greedy(g, parts);
+    std::set<int> used(part.begin(), part.end());
+    EXPECT_EQ(static_cast<int>(used.size()), parts);
+    for (int p : part) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, parts);
+    }
+  }
+}
+
+TEST(Partitioner, SinglePartIsTrivial) {
+  const auto mesh = mesh::build_box_mesh({2, 2, 2});
+  const auto part = partition_rcb(mesh, 1);
+  for (int p : part) {
+    EXPECT_EQ(p, 0);
+  }
+}
+
+TEST(Partitioner, RejectsImpossibleInputs) {
+  const auto mesh = mesh::build_box_mesh({1, 1, 1});
+  EXPECT_THROW(partition_rcb(mesh, 0), Error);
+  EXPECT_THROW(partition_rcb(mesh, 7), Error);  // 6 tets, 7 parts
+  const Graph g = build_dual_graph(mesh);
+  EXPECT_THROW(partition_greedy(g, 7), Error);
+}
+
+TEST(EvaluatePartition, KnownTinyCase) {
+  // Path graph 0-1-2-3 split in the middle: one cut edge.
+  Graph g;
+  g.xadj = {0, 1, 3, 5, 6};
+  g.adjncy = {1, 0, 2, 1, 3, 2};
+  g.validate();
+  const std::vector<int> part{0, 0, 1, 1};
+  const auto m = evaluate_partition(g, part, 2);
+  EXPECT_EQ(m.edge_cut, 1u);
+  EXPECT_EQ(m.min_part_size, 2u);
+  EXPECT_EQ(m.max_part_size, 2u);
+  EXPECT_DOUBLE_EQ(m.imbalance, 1.0);
+}
+
+TEST(EvaluatePartition, RejectsBadPartitionVectors) {
+  Graph g;
+  g.xadj = {0, 0};
+  g.adjncy = {};
+  EXPECT_THROW(evaluate_partition(g, {0, 0}, 1), Error);  // size mismatch
+  EXPECT_THROW(evaluate_partition(g, {5}, 2), Error);     // id out of range
+}
+
+}  // namespace
+}  // namespace hetero::partition

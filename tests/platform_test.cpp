@@ -1,0 +1,111 @@
+// Tests for the platform specifications (Table I) and their derived models.
+
+#include <gtest/gtest.h>
+
+#include "platform/capability_table.hpp"
+#include "platform/platform_spec.hpp"
+#include "support/error.hpp"
+
+namespace hetero::platform {
+namespace {
+
+TEST(Platforms, AllFourExistInPaperOrder) {
+  const auto all = all_platforms();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->name, "puma");
+  EXPECT_EQ(all[1]->name, "ellipse");
+  EXPECT_EQ(all[2]->name, "lagrange");
+  EXPECT_EQ(all[3]->name, "ec2");
+  EXPECT_THROW(platform_by_name("azure"), Error);
+}
+
+TEST(Platforms, NodeShapesMatchThePaper) {
+  EXPECT_EQ(puma().cores_per_node(), 4);       // 2x Opteron 2214
+  EXPECT_EQ(ellipse().cores_per_node(), 4);    // 2x Opteron 2218
+  EXPECT_EQ(lagrange().cores_per_node(), 12);  // 2x 6-core Xeon X5660
+  EXPECT_EQ(ec2().cores_per_node(), 16);       // 2x 8-core Xeon E5
+  EXPECT_EQ(puma().max_cores(), 128);          // the 128-core home cluster
+}
+
+TEST(Platforms, CostRatesMatchSectionViiD) {
+  EXPECT_DOUBLE_EQ(puma().cost_per_core_hour_usd, 0.023);
+  EXPECT_DOUBLE_EQ(ellipse().cost_per_core_hour_usd, 0.05);
+  EXPECT_DOUBLE_EQ(lagrange().cost_per_core_hour_usd, 0.1919);
+  EXPECT_DOUBLE_EQ(ec2().cost_per_core_hour_usd, 0.15);
+  EXPECT_DOUBLE_EQ(ec2().node_hour_usd, 2.40);
+  EXPECT_DOUBLE_EQ(ec2().spot_node_hour_usd, 0.54);
+  // Spot per core: 0.54/16 = 3.375 cents.
+  EXPECT_NEAR(ec2().spot_node_hour_usd / 16.0, 0.03375, 1e-12);
+}
+
+TEST(Platforms, LaunchLimitsMatchSectionViiA) {
+  EXPECT_TRUE(puma().can_launch(128));
+  EXPECT_FALSE(puma().can_launch(129));
+  EXPECT_TRUE(ellipse().can_launch(512));
+  EXPECT_FALSE(ellipse().can_launch(513));
+  EXPECT_TRUE(lagrange().can_launch(343));
+  EXPECT_FALSE(lagrange().can_launch(344));
+  EXPECT_TRUE(ec2().can_launch(1000));
+}
+
+TEST(Platforms, WholeNodeBillingOnlyOnEc2) {
+  // One core for one hour.
+  EXPECT_NEAR(puma().cost_usd(1, 3600.0), 0.023, 1e-12);
+  EXPECT_NEAR(ellipse().cost_usd(1, 3600.0), 0.05, 1e-12);
+  // EC2 charges the full 16-core instance even for one rank.
+  EXPECT_NEAR(ec2().cost_usd(1, 3600.0), 2.40, 1e-12);
+  EXPECT_NEAR(ec2().cost_usd(16, 3600.0), 2.40, 1e-12);
+  EXPECT_NEAR(ec2().cost_usd(17, 3600.0), 4.80, 1e-12);
+  // Spot pricing.
+  EXPECT_NEAR(ec2().cost_usd(16, 3600.0, /*spot=*/true), 0.54, 1e-12);
+  // No spot market on premises.
+  EXPECT_THROW(puma().cost_usd(4, 3600.0, true), Error);
+}
+
+TEST(Platforms, Table2CostFormulaReproduces) {
+  // Table II, last row: 63 hosts, 162.09 s/iteration -> $6.8077.
+  EXPECT_NEAR(ec2().cost_usd(1000, 162.09), 6.8078, 5e-3);
+  // Mix estimate: 63 hosts at 54 cents, 148.98 s -> $1.4079.
+  EXPECT_NEAR(ec2().cost_usd(1000, 148.98, true), 1.4079, 5e-3);
+}
+
+TEST(Platforms, FabricsMatchInterconnects) {
+  EXPECT_EQ(puma().fabric().name(), "1GbE");
+  EXPECT_EQ(ellipse().fabric().name(), "1GbE");
+  EXPECT_EQ(lagrange().fabric().name(), "IB 4X DDR");
+  EXPECT_EQ(ec2().fabric().name(), "10GbE");
+}
+
+TEST(Platforms, CpuSpeedOrderingIsModernFirst) {
+  EXPECT_GT(ec2().cpu_speed_factor, lagrange().cpu_speed_factor);
+  EXPECT_GT(lagrange().cpu_speed_factor, ellipse().cpu_speed_factor);
+  EXPECT_GT(ellipse().cpu_speed_factor, puma().cpu_speed_factor);
+  EXPECT_DOUBLE_EQ(puma().cpu_speed_factor, 1.0);
+  EXPECT_DOUBLE_EQ(puma().cpu_model().speed_factor, 1.0);
+}
+
+TEST(Platforms, TopologyPacksRanksPerNode) {
+  const auto topo = lagrange().topology(24);
+  EXPECT_EQ(topo.ranks(), 24);
+  EXPECT_EQ(topo.ranks_per_node(), 12);
+  EXPECT_EQ(topo.nodes(), 2);
+}
+
+TEST(CapabilityTable, ContainsTheTableIRows) {
+  const Table table = capability_table();
+  EXPECT_EQ(table.cols(), 5u);  // attribute + 4 platforms
+  const std::string text = table.to_text();
+  for (const char* needle :
+       {"cpu arch.", "network", "IB 4X DDR", "10GbE", "user space", "root",
+        "PBS", "SGE", "shell", "Opteron 2214", "insufficient"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(CapabilityTable, SupportsSubsets) {
+  const Table table = capability_table({&puma(), &ec2()});
+  EXPECT_EQ(table.cols(), 3u);
+}
+
+}  // namespace
+}  // namespace hetero::platform

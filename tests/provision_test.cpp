@@ -1,0 +1,167 @@
+// Tests for the package database and the provisioning planner (§VI).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "provision/packages.hpp"
+#include "provision/planner.hpp"
+#include "support/error.hpp"
+
+namespace hetero::provision {
+namespace {
+
+TEST(Packages, DatabaseCoversSectionIvD) {
+  for (const char* name :
+       {"lifev", "trilinos", "parmetis", "suitesparse", "blas-lapack",
+        "boost", "hdf5", "openmpi", "gcc", "gfortran", "gnu-make",
+        "autotools", "cmake", "cfd-app"}) {
+    EXPECT_NO_THROW(package(name)) << name;
+  }
+  EXPECT_THROW(package("petsc"), Error);
+}
+
+TEST(Packages, DependencyOrderPutsDepsFirst) {
+  const auto order = dependency_order("cfd-app");
+  std::map<std::string, std::size_t> position;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[order[i]] = i;
+  }
+  for (const auto& name : order) {
+    for (const auto& dep : package(name).deps) {
+      EXPECT_LT(position.at(dep), position.at(name))
+          << dep << " must precede " << name;
+    }
+  }
+  EXPECT_EQ(order.back(), "cfd-app");
+  // The full stack is pulled in.
+  EXPECT_TRUE(position.count("trilinos"));
+  EXPECT_TRUE(position.count("blas-lapack"));
+}
+
+TEST(Planner, PumaNeedsNoWork) {
+  const auto plan = plan_provisioning(platform::puma());
+  EXPECT_DOUBLE_EQ(plan.total_hours(), 0.0);
+  EXPECT_EQ(plan.source_builds(), 0);
+  for (const auto& a : plan.actions) {
+    EXPECT_EQ(a.method, InstallMethod::kPreinstalled);
+  }
+}
+
+TEST(Planner, EllipseTakesAboutEightManHours) {
+  // §VI-B: "about 8 man-hours of work by an experienced member".
+  const auto plan = plan_provisioning(platform::ellipse());
+  EXPECT_GT(plan.total_hours(), 6.0);
+  EXPECT_LT(plan.total_hours(), 10.0);
+  EXPECT_GE(plan.source_builds(), 6);
+  // MPI had to be built from source; BLAS came from the vendor (ACML).
+  std::map<std::string, InstallMethod> method;
+  for (const auto& a : plan.actions) {
+    method[a.package] = a.method;
+  }
+  EXPECT_EQ(method.at("openmpi"), InstallMethod::kSourceBuild);
+  EXPECT_EQ(method.at("blas-lapack"), InstallMethod::kVendorLibrary);
+  EXPECT_EQ(method.at("gcc"), InstallMethod::kPreinstalled);
+}
+
+TEST(Planner, LagrangeIsLighterThanEllipse) {
+  // The site provides MPI and MKL, so fewer source builds are needed.
+  const auto ellipse_plan = plan_provisioning(platform::ellipse());
+  const auto lagrange_plan = plan_provisioning(platform::lagrange());
+  EXPECT_LT(lagrange_plan.source_builds(), ellipse_plan.source_builds());
+  EXPECT_LT(lagrange_plan.total_hours(), ellipse_plan.total_hours());
+  EXPECT_GT(lagrange_plan.total_hours(), 4.0);
+  std::map<std::string, InstallMethod> method;
+  for (const auto& a : lagrange_plan.actions) {
+    method[a.package] = a.method;
+  }
+  EXPECT_EQ(method.at("openmpi"), InstallMethod::kPreinstalled);
+  EXPECT_EQ(method.at("blas-lapack"), InstallMethod::kVendorLibrary);
+}
+
+TEST(Planner, Ec2TakesAboutADayIncludingCloudSteps) {
+  // §VIII: "provisioning of a machine took about a day".
+  const auto plan = plan_provisioning(platform::ec2());
+  EXPECT_GT(plan.total_hours(), 8.0);
+  EXPECT_LT(plan.total_hours(), 14.0);
+  // Cloud-specific conditioning steps are present.
+  EXPECT_EQ(plan.extra_steps.size(), 5u);
+  bool security_group = false;
+  bool ssh_keys = false;
+  for (const auto& [step, hours] : plan.extra_steps) {
+    security_group |= step.find("security group") != std::string::npos;
+    ssh_keys |= step.find("ssh") != std::string::npos;
+  }
+  EXPECT_TRUE(security_group);
+  EXPECT_TRUE(ssh_keys);
+  std::map<std::string, InstallMethod> method;
+  for (const auto& a : plan.actions) {
+    method[a.package] = a.method;
+  }
+  // Root + yum covers the toolchain, but CMake 2.8 was not in the repos.
+  EXPECT_EQ(method.at("gcc"), InstallMethod::kSystemPackage);
+  EXPECT_EQ(method.at("openmpi"), InstallMethod::kSystemPackage);
+  EXPECT_EQ(method.at("cmake"), InstallMethod::kSourceBuild);
+  EXPECT_EQ(method.at("trilinos"), InstallMethod::kSourceBuild);
+}
+
+TEST(Planner, EffortOrderingMatchesTheNarrative) {
+  const double puma_h = plan_provisioning(platform::puma()).total_hours();
+  const double lagrange_h =
+      plan_provisioning(platform::lagrange()).total_hours();
+  const double ellipse_h =
+      plan_provisioning(platform::ellipse()).total_hours();
+  const double ec2_h = plan_provisioning(platform::ec2()).total_hours();
+  EXPECT_LT(puma_h, lagrange_h);
+  EXPECT_LT(lagrange_h, ellipse_h);
+  EXPECT_LT(ellipse_h, ec2_h);
+}
+
+TEST(Planner, TableRendersEveryAction) {
+  const auto plan = plan_provisioning(platform::ec2());
+  const Table table = plan.to_table();
+  EXPECT_EQ(table.rows(), plan.actions.size() + plan.extra_steps.size());
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("yum"), std::string::npos);
+  EXPECT_NE(text.find("source build"), std::string::npos);
+}
+
+TEST(Automation, ReducesPerPlatformEffort) {
+  const auto plan = plan_provisioning(platform::ellipse());
+  const AutomationModel model;
+  const double automated = automated_hours(plan, model);
+  EXPECT_LT(automated, plan.total_hours() / 2.0);
+  EXPECT_GT(automated, 0.0);
+  AutomationModel bad;
+  bad.residual_fraction = 1.5;
+  EXPECT_THROW(automated_hours(plan, bad), Error);
+}
+
+TEST(Automation, BreakEvenWithinAFewPlatforms) {
+  // Across the three non-home platforms (~8-12 h each), saving 75% per
+  // platform repays a 6 h authoring cost after the first one or two.
+  std::vector<ProvisionPlan> plans{
+      plan_provisioning(platform::ellipse()),
+      plan_provisioning(platform::lagrange()),
+      plan_provisioning(platform::ec2()),
+  };
+  const AutomationModel model;
+  const int k = automation_break_even(plans, model);
+  EXPECT_GE(k, 1);
+  EXPECT_LE(k, 3);
+}
+
+TEST(Automation, NeverBreaksEvenOnFreePlatforms) {
+  std::vector<ProvisionPlan> plans{plan_provisioning(platform::puma())};
+  EXPECT_GE(automation_break_even(plans, AutomationModel{}), 1000);
+}
+
+TEST(Planner, UnknownPlatformThrows) {
+  platform::PlatformSpec fake;
+  fake.name = "styx";
+  EXPECT_THROW(initial_state(fake), Error);
+}
+
+}  // namespace
+}  // namespace hetero::provision

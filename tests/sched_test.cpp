@@ -1,0 +1,120 @@
+// Tests for the batch-scheduler simulators: queue waits, launch limits, and
+// per-platform behaviour.
+
+#include <gtest/gtest.h>
+
+#include "platform/platform_spec.hpp"
+#include "sched/scheduler.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace hetero::sched {
+namespace {
+
+TEST(MakeScheduler, PicksThePlatformKind) {
+  EXPECT_EQ(make_scheduler(platform::puma())->name(), "pbs");
+  EXPECT_EQ(make_scheduler(platform::ellipse())->name(), "sge");
+  EXPECT_EQ(make_scheduler(platform::lagrange())->name(), "pbs");
+  EXPECT_EQ(make_scheduler(platform::ec2())->name(), "shell");
+}
+
+TEST(Pbs, LaunchesWithinCapacity) {
+  Rng rng(1);
+  PbsScheduler pbs(platform::puma());
+  const auto out = pbs.submit({64, 3600.0}, rng);
+  EXPECT_TRUE(out.launched);
+  EXPECT_GT(out.wait_s, 0.0);
+  EXPECT_TRUE(out.failure_reason.empty());
+}
+
+TEST(Pbs, RejectsOversizedJobsWithAReason) {
+  Rng rng(1);
+  PbsScheduler pbs(platform::puma());
+  const auto out = pbs.submit({256, 3600.0}, rng);
+  EXPECT_FALSE(out.launched);
+  EXPECT_NE(out.failure_reason.find("128 cores"), std::string::npos);
+}
+
+TEST(Sge, EllipseFailsAbove512Ranks) {
+  Rng rng(1);
+  SgeScheduler sge(platform::ellipse());
+  EXPECT_TRUE(sge.submit({512, 0.0}, rng).launched);
+  const auto out = sge.submit({513, 0.0}, rng);
+  EXPECT_FALSE(out.launched);
+  EXPECT_NE(out.failure_reason.find("mpiexec"), std::string::npos);
+}
+
+TEST(Pbs, LagrangeFailsAbove343Ranks) {
+  Rng rng(1);
+  PbsScheduler pbs(platform::lagrange());
+  EXPECT_TRUE(pbs.submit({343, 0.0}, rng).launched);
+  const auto out = pbs.submit({344, 0.0}, rng);
+  EXPECT_FALSE(out.launched);
+  EXPECT_NE(out.failure_reason.find("IB"), std::string::npos);
+}
+
+TEST(Shell, Ec2ProvidesLargeAssembliesQuickly) {
+  Rng rng(1);
+  ShellLauncher shell(platform::ec2());
+  const auto out = shell.submit({1000, 0.0}, rng);
+  EXPECT_TRUE(out.launched);
+  // Minutes, not hours: the cloud's availability advantage.
+  EXPECT_LT(out.wait_s, 30.0 * 60.0);
+}
+
+TEST(Schedulers, AverageWaitOrderingMatchesAvailability) {
+  // EC2 boot << puma's internal queue << ellipse << lagrange's grid queue.
+  auto mean_wait = [](Scheduler& s, int ranks) {
+    Rng rng(7);
+    SampleStats stats;
+    for (int i = 0; i < 200; ++i) {
+      const auto out = s.submit({ranks, 3600.0}, rng);
+      EXPECT_TRUE(out.launched);
+      stats.add(out.wait_s);
+    }
+    return stats.mean();
+  };
+  ShellLauncher ec2(platform::ec2());
+  PbsScheduler puma(platform::puma());
+  SgeScheduler ellipse(platform::ellipse());
+  PbsScheduler lagrange(platform::lagrange());
+  const double w_ec2 = mean_wait(ec2, 64);
+  const double w_puma = mean_wait(puma, 64);
+  const double w_ellipse = mean_wait(ellipse, 64);
+  const double w_lagrange = mean_wait(lagrange, 64);
+  EXPECT_LT(w_ec2, w_puma);
+  EXPECT_LT(w_puma, w_ellipse);
+  EXPECT_LT(w_ellipse, w_lagrange);
+}
+
+TEST(Schedulers, BiggerJobsWaitLonger) {
+  PbsScheduler pbs(platform::lagrange());
+  auto mean_wait = [&](int ranks) {
+    Rng rng(13);
+    SampleStats stats;
+    for (int i = 0; i < 300; ++i) {
+      stats.add(pbs.submit({ranks, 3600.0}, rng).wait_s);
+    }
+    return stats.mean();
+  };
+  EXPECT_LT(mean_wait(12), mean_wait(343));
+}
+
+TEST(Schedulers, DeterministicGivenTheSameRngState) {
+  PbsScheduler pbs(platform::puma());
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(pbs.submit({8, 0.0}, a).wait_s,
+                     pbs.submit({8, 0.0}, b).wait_s);
+  }
+}
+
+TEST(Schedulers, RejectZeroRankJobs) {
+  Rng rng(1);
+  PbsScheduler pbs(platform::puma());
+  EXPECT_THROW(pbs.submit({0, 0.0}, rng), Error);
+}
+
+}  // namespace
+}  // namespace hetero::sched

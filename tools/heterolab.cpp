@@ -1,0 +1,212 @@
+// heterolab — unified command-line driver for the library.
+//
+//   heterolab platforms                      Table I capability matrix
+//   heterolab run --app rd --platform ec2 --ranks 125 [--mode direct]
+//   heterolab fig4 | fig5 | table2 | fig6 | fig7 [--csv]
+//   heterolab summary [--ranks 125]
+//   heterolab campaign --ranks 512 --iterations 500 [--ondemand]
+//                      [--ckpt 25] [--bid 0.70]
+//   heterolab provision [--platform ec2]
+//
+// Everything is deterministic in --seed (default 42).
+
+#include <iostream>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "platform/capability_table.hpp"
+#include "provision/planner.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using namespace hetero;
+
+void render(const Table& table, const CliArgs& args) {
+  if (args.get_bool("csv", false)) {
+    table.render_csv(std::cout);
+  } else {
+    table.render_text(std::cout);
+  }
+}
+
+int cmd_platforms(const CliArgs& args) {
+  render(platform::capability_table(), args);
+  return 0;
+}
+
+int cmd_run(const CliArgs& args) {
+  core::Experiment e;
+  e.app = args.get_string("app", "rd") == "ns"
+              ? perf::AppKind::kNavierStokes
+              : perf::AppKind::kReactionDiffusion;
+  e.platform = args.get_string("platform", "puma");
+  e.ranks = static_cast<int>(args.get_int("ranks", 8));
+  e.cells_per_rank_axis = static_cast<int>(args.get_int("cells", 20));
+  e.mode = args.get_string("mode", "modeled") == "direct"
+               ? core::Mode::kDirect
+               : core::Mode::kModeled;
+  e.ec2_spot_mix = args.get_bool("spot", false);
+  if (e.ec2_spot_mix) {
+    e.ec2_placement_groups = 4;
+  }
+  if (e.mode == core::Mode::kDirect &&
+      e.cells_per_rank_axis == 20 && !args.has("cells")) {
+    e.cells_per_rank_axis = 4;  // keep direct runs laptop-sized by default
+  }
+  core::ExperimentRunner runner(
+      static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  const auto r = runner.run(e);
+  if (!r.launched) {
+    std::cout << "LAUNCH FAILED on " << e.platform << ": "
+              << r.failure_reason << "\n";
+    return 1;
+  }
+  std::cout << "platform      " << e.platform << " (" << r.hosts
+            << " hosts)\n"
+            << "provisioning  " << fmt_double(r.provisioning_hours, 1)
+            << " man-hours (one-time)\n"
+            << "queue wait    " << format_seconds(r.queue_wait_s) << "\n"
+            << "assembly      " << fmt_double(r.iteration.assembly_s, 3)
+            << " s/iter\n"
+            << "precondition  "
+            << fmt_double(r.iteration.preconditioner_s, 3) << " s/iter\n"
+            << "solve         " << fmt_double(r.iteration.solve_s, 3)
+            << " s/iter (" << fmt_double(r.iteration.solver_iterations, 0)
+            << " Krylov iters)\n"
+            << "total         " << fmt_double(r.iteration.total_s, 3)
+            << " s/iter\n"
+            << "cost          " << fmt_usd(r.cost_per_iteration_usd)
+            << " per iteration\n";
+  if (r.spot_hosts > 0) {
+    std::cout << "spot hosts    " << r.spot_hosts << " of " << r.hosts
+              << " (est. all-spot cost "
+              << fmt_usd(r.est_cost_per_iteration_usd) << "/iter)\n";
+  }
+  if (e.mode == core::Mode::kDirect) {
+    std::cout << "direct run    nodal error "
+              << fmt_double(r.nodal_error, 10) << ", solver "
+              << (r.solver_converged ? "converged" : "DID NOT CONVERGE")
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_report(const std::string& which, const CliArgs& args) {
+  core::ExperimentRunner runner(
+      static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  const auto procs = core::paper_process_counts();
+  if (which == "fig4") {
+    render(core::weak_scaling_figure(
+               runner, perf::AppKind::kReactionDiffusion, procs),
+           args);
+  } else if (which == "fig5") {
+    render(core::weak_scaling_figure(runner, perf::AppKind::kNavierStokes,
+                                     procs),
+           args);
+  } else if (which == "table2") {
+    render(core::table2_ec2_assemblies(runner, procs), args);
+  } else if (which == "fig6") {
+    render(core::cost_figure(runner, perf::AppKind::kReactionDiffusion,
+                             procs),
+           args);
+  } else if (which == "fig7") {
+    render(core::cost_figure(runner, perf::AppKind::kNavierStokes, procs),
+           args);
+  } else if (which == "summary") {
+    render(core::summary_table(
+               runner, static_cast<int>(args.get_int("ranks", 125))),
+           args);
+  }
+  return 0;
+}
+
+int cmd_campaign(const CliArgs& args) {
+  core::CampaignConfig config;
+  config.ranks = static_cast<int>(args.get_int("ranks", 512));
+  config.iterations = static_cast<int>(args.get_int("iterations", 500));
+  config.checkpoint_interval = static_cast<int>(args.get_int("ckpt", 25));
+  config.use_spot = !args.get_bool("ondemand", false);
+  config.spot_bid_usd = args.get_double("bid", 0.70);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto r = core::simulate_ec2_campaign(config);
+  std::cout << "strategy       "
+            << (config.use_spot ? "spot (bid $" +
+                                      fmt_double(config.spot_bid_usd, 2) + ")"
+                                : "on-demand")
+            << "\n"
+            << "wall clock     " << format_seconds(r.wall_clock_s) << "\n"
+            << "billed         " << fmt_usd(r.billed_usd)
+            << " (accrued " << fmt_usd(r.accrued_usd) << ")\n"
+            << "interruptions  " << r.interruptions << " ("
+            << r.iterations_redone << " iterations redone)\n"
+            << "checkpoints    " << r.checkpoints_written << "\n"
+            << "spot hosts     " << r.initial_spot_hosts
+            << " at first acquisition\n";
+  return 0;
+}
+
+int cmd_provision(const CliArgs& args) {
+  const std::string only = args.get_string("platform", "");
+  for (const auto* spec : platform::all_platforms()) {
+    if (!only.empty() && spec->name != only) {
+      continue;
+    }
+    const auto plan = provision::plan_provisioning(*spec);
+    std::cout << "=== " << spec->name << " ("
+              << fmt_double(plan.total_hours(), 1) << " man-hours) ===\n";
+    plan.to_table().render_text(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cout <<
+      "usage: heterolab <command> [flags]\n"
+      "  platforms                         Table I capability matrix\n"
+      "  run --app rd|ns --platform P --ranks N [--mode direct|modeled]\n"
+      "      [--cells C] [--spot] [--seed S]\n"
+      "  fig4 | fig5 | table2 | fig6 | fig7 [--csv]\n"
+      "  summary [--ranks N]\n"
+      "  campaign --ranks N --iterations K [--ondemand] [--ckpt I]\n"
+      "      [--bid USD]\n"
+      "  provision [--platform P]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  try {
+    const CliArgs args(argc, argv);
+    if (args.positional().empty()) {
+      return usage();
+    }
+    const std::string command = args.positional().front();
+    if (command == "platforms") {
+      return cmd_platforms(args);
+    }
+    if (command == "run") {
+      return cmd_run(args);
+    }
+    if (command == "fig4" || command == "fig5" || command == "table2" ||
+        command == "fig6" || command == "fig7" || command == "summary") {
+      return cmd_report(command, args);
+    }
+    if (command == "campaign") {
+      return cmd_campaign(args);
+    }
+    if (command == "provision") {
+      return cmd_provision(args);
+    }
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}
