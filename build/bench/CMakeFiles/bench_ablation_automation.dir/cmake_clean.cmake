@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_automation.dir/bench_ablation_automation.cpp.o"
+  "CMakeFiles/bench_ablation_automation.dir/bench_ablation_automation.cpp.o.d"
+  "bench_ablation_automation"
+  "bench_ablation_automation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_automation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

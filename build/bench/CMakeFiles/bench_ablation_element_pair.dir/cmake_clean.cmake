@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_element_pair.dir/bench_ablation_element_pair.cpp.o"
+  "CMakeFiles/bench_ablation_element_pair.dir/bench_ablation_element_pair.cpp.o.d"
+  "bench_ablation_element_pair"
+  "bench_ablation_element_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_element_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

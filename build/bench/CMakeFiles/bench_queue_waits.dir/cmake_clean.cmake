@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queue_waits.dir/bench_queue_waits.cpp.o"
+  "CMakeFiles/bench_queue_waits.dir/bench_queue_waits.cpp.o.d"
+  "bench_queue_waits"
+  "bench_queue_waits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queue_waits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_spot_strategy.dir/cloud_spot_strategy.cpp.o"
+  "CMakeFiles/cloud_spot_strategy.dir/cloud_spot_strategy.cpp.o.d"
+  "cloud_spot_strategy"
+  "cloud_spot_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_spot_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

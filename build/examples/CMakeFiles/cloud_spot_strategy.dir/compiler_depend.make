@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cloud_spot_strategy.
+# This may be replaced when dependencies are built.

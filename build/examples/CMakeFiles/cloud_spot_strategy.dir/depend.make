@@ -1,0 +1,2 @@
+# Empty dependencies file for cloud_spot_strategy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_restart.dir/elastic_restart.cpp.o"
+  "CMakeFiles/elastic_restart.dir/elastic_restart.cpp.o.d"
+  "elastic_restart"
+  "elastic_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

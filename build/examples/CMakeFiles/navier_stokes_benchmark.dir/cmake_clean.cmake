@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navier_stokes_benchmark.dir/navier_stokes_benchmark.cpp.o"
+  "CMakeFiles/navier_stokes_benchmark.dir/navier_stokes_benchmark.cpp.o.d"
+  "navier_stokes_benchmark"
+  "navier_stokes_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navier_stokes_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provisioning_report.dir/provisioning_report.cpp.o"
+  "CMakeFiles/provisioning_report.dir/provisioning_report.cpp.o.d"
+  "provisioning_report"
+  "provisioning_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provisioning_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--cells" "4" "--steps" "2" "--vtk" "/root/repo/build/examples/smoke_rd.vtk")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_navier_stokes "/root/repo/build/examples/navier_stokes_benchmark" "--cells" "3" "--steps" "1" "--vtk" "/root/repo/build/examples/smoke_ns.vtk")
+set_tests_properties(example_navier_stokes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_platform_shootout "/root/repo/build/examples/platform_shootout" "--ranks" "27" "--iterations" "10")
+set_tests_properties(example_platform_shootout PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cloud_spot_strategy "/root/repo/build/examples/cloud_spot_strategy" "--hosts" "8" "--hours" "3")
+set_tests_properties(example_cloud_spot_strategy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_provisioning_report "/root/repo/build/examples/provisioning_report")
+set_tests_properties(example_provisioning_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mesh_convergence "/root/repo/build/examples/mesh_convergence" "--levels" "2" "--order" "1")
+set_tests_properties(example_mesh_convergence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_elastic_restart "/root/repo/build/examples/elastic_restart" "--cells" "4" "--steps" "4")
+set_tests_properties(example_elastic_restart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

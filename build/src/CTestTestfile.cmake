@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("netsim")
+subdirs("simmpi")
+subdirs("mesh")
+subdirs("partition")
+subdirs("la")
+subdirs("solvers")
+subdirs("fem")
+subdirs("io")
+subdirs("apps")
+subdirs("platform")
+subdirs("cloud")
+subdirs("sched")
+subdirs("provision")
+subdirs("perf")
+subdirs("core")

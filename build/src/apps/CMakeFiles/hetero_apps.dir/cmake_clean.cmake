@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_apps.dir/ns_solver.cpp.o"
+  "CMakeFiles/hetero_apps.dir/ns_solver.cpp.o.d"
+  "CMakeFiles/hetero_apps.dir/rd_solver.cpp.o"
+  "CMakeFiles/hetero_apps.dir/rd_solver.cpp.o.d"
+  "libhetero_apps.a"
+  "libhetero_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

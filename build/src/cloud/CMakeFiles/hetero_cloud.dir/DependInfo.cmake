@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/ec2_service.cpp" "src/cloud/CMakeFiles/hetero_cloud.dir/ec2_service.cpp.o" "gcc" "src/cloud/CMakeFiles/hetero_cloud.dir/ec2_service.cpp.o.d"
+  "/root/repo/src/cloud/instance_types.cpp" "src/cloud/CMakeFiles/hetero_cloud.dir/instance_types.cpp.o" "gcc" "src/cloud/CMakeFiles/hetero_cloud.dir/instance_types.cpp.o.d"
+  "/root/repo/src/cloud/spot_market.cpp" "src/cloud/CMakeFiles/hetero_cloud.dir/spot_market.cpp.o" "gcc" "src/cloud/CMakeFiles/hetero_cloud.dir/spot_market.cpp.o.d"
+  "/root/repo/src/cloud/staging.cpp" "src/cloud/CMakeFiles/hetero_cloud.dir/staging.cpp.o" "gcc" "src/cloud/CMakeFiles/hetero_cloud.dir/staging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hetero_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/hetero_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_cloud.dir/ec2_service.cpp.o"
+  "CMakeFiles/hetero_cloud.dir/ec2_service.cpp.o.d"
+  "CMakeFiles/hetero_cloud.dir/instance_types.cpp.o"
+  "CMakeFiles/hetero_cloud.dir/instance_types.cpp.o.d"
+  "CMakeFiles/hetero_cloud.dir/spot_market.cpp.o"
+  "CMakeFiles/hetero_cloud.dir/spot_market.cpp.o.d"
+  "CMakeFiles/hetero_cloud.dir/staging.cpp.o"
+  "CMakeFiles/hetero_cloud.dir/staging.cpp.o.d"
+  "libhetero_cloud.a"
+  "libhetero_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_core.dir/campaign.cpp.o"
+  "CMakeFiles/hetero_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/hetero_core.dir/experiment.cpp.o"
+  "CMakeFiles/hetero_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/hetero_core.dir/report.cpp.o"
+  "CMakeFiles/hetero_core.dir/report.cpp.o.d"
+  "libhetero_core.a"
+  "libhetero_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fem/assembler.cpp" "src/fem/CMakeFiles/hetero_fem.dir/assembler.cpp.o" "gcc" "src/fem/CMakeFiles/hetero_fem.dir/assembler.cpp.o.d"
+  "/root/repo/src/fem/bc.cpp" "src/fem/CMakeFiles/hetero_fem.dir/bc.cpp.o" "gcc" "src/fem/CMakeFiles/hetero_fem.dir/bc.cpp.o.d"
+  "/root/repo/src/fem/boundary.cpp" "src/fem/CMakeFiles/hetero_fem.dir/boundary.cpp.o" "gcc" "src/fem/CMakeFiles/hetero_fem.dir/boundary.cpp.o.d"
+  "/root/repo/src/fem/error_norms.cpp" "src/fem/CMakeFiles/hetero_fem.dir/error_norms.cpp.o" "gcc" "src/fem/CMakeFiles/hetero_fem.dir/error_norms.cpp.o.d"
+  "/root/repo/src/fem/fe_space.cpp" "src/fem/CMakeFiles/hetero_fem.dir/fe_space.cpp.o" "gcc" "src/fem/CMakeFiles/hetero_fem.dir/fe_space.cpp.o.d"
+  "/root/repo/src/fem/reference.cpp" "src/fem/CMakeFiles/hetero_fem.dir/reference.cpp.o" "gcc" "src/fem/CMakeFiles/hetero_fem.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hetero_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/hetero_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/hetero_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/hetero_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/hetero_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_fem.dir/assembler.cpp.o"
+  "CMakeFiles/hetero_fem.dir/assembler.cpp.o.d"
+  "CMakeFiles/hetero_fem.dir/bc.cpp.o"
+  "CMakeFiles/hetero_fem.dir/bc.cpp.o.d"
+  "CMakeFiles/hetero_fem.dir/boundary.cpp.o"
+  "CMakeFiles/hetero_fem.dir/boundary.cpp.o.d"
+  "CMakeFiles/hetero_fem.dir/error_norms.cpp.o"
+  "CMakeFiles/hetero_fem.dir/error_norms.cpp.o.d"
+  "CMakeFiles/hetero_fem.dir/fe_space.cpp.o"
+  "CMakeFiles/hetero_fem.dir/fe_space.cpp.o.d"
+  "CMakeFiles/hetero_fem.dir/reference.cpp.o"
+  "CMakeFiles/hetero_fem.dir/reference.cpp.o.d"
+  "libhetero_fem.a"
+  "libhetero_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

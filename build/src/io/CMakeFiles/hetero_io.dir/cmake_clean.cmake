@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/hetero_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/hetero_io.dir/h5lite.cpp.o"
+  "CMakeFiles/hetero_io.dir/h5lite.cpp.o.d"
+  "libhetero_io.a"
+  "libhetero_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

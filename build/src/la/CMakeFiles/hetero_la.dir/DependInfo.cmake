@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/csr_matrix.cpp" "src/la/CMakeFiles/hetero_la.dir/csr_matrix.cpp.o" "gcc" "src/la/CMakeFiles/hetero_la.dir/csr_matrix.cpp.o.d"
+  "/root/repo/src/la/dist_matrix.cpp" "src/la/CMakeFiles/hetero_la.dir/dist_matrix.cpp.o" "gcc" "src/la/CMakeFiles/hetero_la.dir/dist_matrix.cpp.o.d"
+  "/root/repo/src/la/dist_vector.cpp" "src/la/CMakeFiles/hetero_la.dir/dist_vector.cpp.o" "gcc" "src/la/CMakeFiles/hetero_la.dir/dist_vector.cpp.o.d"
+  "/root/repo/src/la/halo.cpp" "src/la/CMakeFiles/hetero_la.dir/halo.cpp.o" "gcc" "src/la/CMakeFiles/hetero_la.dir/halo.cpp.o.d"
+  "/root/repo/src/la/index_map.cpp" "src/la/CMakeFiles/hetero_la.dir/index_map.cpp.o" "gcc" "src/la/CMakeFiles/hetero_la.dir/index_map.cpp.o.d"
+  "/root/repo/src/la/system_builder.cpp" "src/la/CMakeFiles/hetero_la.dir/system_builder.cpp.o" "gcc" "src/la/CMakeFiles/hetero_la.dir/system_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hetero_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/hetero_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/hetero_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_la.dir/csr_matrix.cpp.o"
+  "CMakeFiles/hetero_la.dir/csr_matrix.cpp.o.d"
+  "CMakeFiles/hetero_la.dir/dist_matrix.cpp.o"
+  "CMakeFiles/hetero_la.dir/dist_matrix.cpp.o.d"
+  "CMakeFiles/hetero_la.dir/dist_vector.cpp.o"
+  "CMakeFiles/hetero_la.dir/dist_vector.cpp.o.d"
+  "CMakeFiles/hetero_la.dir/halo.cpp.o"
+  "CMakeFiles/hetero_la.dir/halo.cpp.o.d"
+  "CMakeFiles/hetero_la.dir/index_map.cpp.o"
+  "CMakeFiles/hetero_la.dir/index_map.cpp.o.d"
+  "CMakeFiles/hetero_la.dir/system_builder.cpp.o"
+  "CMakeFiles/hetero_la.dir/system_builder.cpp.o.d"
+  "libhetero_la.a"
+  "libhetero_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

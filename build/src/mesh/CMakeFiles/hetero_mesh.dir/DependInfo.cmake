@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/box_mesh.cpp" "src/mesh/CMakeFiles/hetero_mesh.dir/box_mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/hetero_mesh.dir/box_mesh.cpp.o.d"
+  "/root/repo/src/mesh/edges.cpp" "src/mesh/CMakeFiles/hetero_mesh.dir/edges.cpp.o" "gcc" "src/mesh/CMakeFiles/hetero_mesh.dir/edges.cpp.o.d"
+  "/root/repo/src/mesh/refine.cpp" "src/mesh/CMakeFiles/hetero_mesh.dir/refine.cpp.o" "gcc" "src/mesh/CMakeFiles/hetero_mesh.dir/refine.cpp.o.d"
+  "/root/repo/src/mesh/tet_mesh.cpp" "src/mesh/CMakeFiles/hetero_mesh.dir/tet_mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/hetero_mesh.dir/tet_mesh.cpp.o.d"
+  "/root/repo/src/mesh/vtk_writer.cpp" "src/mesh/CMakeFiles/hetero_mesh.dir/vtk_writer.cpp.o" "gcc" "src/mesh/CMakeFiles/hetero_mesh.dir/vtk_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hetero_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

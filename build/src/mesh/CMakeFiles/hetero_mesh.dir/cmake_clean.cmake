@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_mesh.dir/box_mesh.cpp.o"
+  "CMakeFiles/hetero_mesh.dir/box_mesh.cpp.o.d"
+  "CMakeFiles/hetero_mesh.dir/edges.cpp.o"
+  "CMakeFiles/hetero_mesh.dir/edges.cpp.o.d"
+  "CMakeFiles/hetero_mesh.dir/refine.cpp.o"
+  "CMakeFiles/hetero_mesh.dir/refine.cpp.o.d"
+  "CMakeFiles/hetero_mesh.dir/tet_mesh.cpp.o"
+  "CMakeFiles/hetero_mesh.dir/tet_mesh.cpp.o.d"
+  "CMakeFiles/hetero_mesh.dir/vtk_writer.cpp.o"
+  "CMakeFiles/hetero_mesh.dir/vtk_writer.cpp.o.d"
+  "libhetero_mesh.a"
+  "libhetero_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/collectives.cpp" "src/netsim/CMakeFiles/hetero_netsim.dir/collectives.cpp.o" "gcc" "src/netsim/CMakeFiles/hetero_netsim.dir/collectives.cpp.o.d"
+  "/root/repo/src/netsim/fabric.cpp" "src/netsim/CMakeFiles/hetero_netsim.dir/fabric.cpp.o" "gcc" "src/netsim/CMakeFiles/hetero_netsim.dir/fabric.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/netsim/CMakeFiles/hetero_netsim.dir/topology.cpp.o" "gcc" "src/netsim/CMakeFiles/hetero_netsim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hetero_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

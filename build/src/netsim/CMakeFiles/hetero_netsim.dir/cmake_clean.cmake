@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_netsim.dir/collectives.cpp.o"
+  "CMakeFiles/hetero_netsim.dir/collectives.cpp.o.d"
+  "CMakeFiles/hetero_netsim.dir/fabric.cpp.o"
+  "CMakeFiles/hetero_netsim.dir/fabric.cpp.o.d"
+  "CMakeFiles/hetero_netsim.dir/topology.cpp.o"
+  "CMakeFiles/hetero_netsim.dir/topology.cpp.o.d"
+  "libhetero_netsim.a"
+  "libhetero_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/graph.cpp" "src/partition/CMakeFiles/hetero_partition.dir/graph.cpp.o" "gcc" "src/partition/CMakeFiles/hetero_partition.dir/graph.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/partition/CMakeFiles/hetero_partition.dir/partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/hetero_partition.dir/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hetero_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/hetero_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

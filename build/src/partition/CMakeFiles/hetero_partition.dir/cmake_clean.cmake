@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_partition.dir/graph.cpp.o"
+  "CMakeFiles/hetero_partition.dir/graph.cpp.o.d"
+  "CMakeFiles/hetero_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/hetero_partition.dir/partitioner.cpp.o.d"
+  "libhetero_partition.a"
+  "libhetero_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_perf.dir/scaling_model.cpp.o"
+  "CMakeFiles/hetero_perf.dir/scaling_model.cpp.o.d"
+  "libhetero_perf.a"
+  "libhetero_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

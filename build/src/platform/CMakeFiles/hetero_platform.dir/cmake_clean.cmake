@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_platform.dir/capability_table.cpp.o"
+  "CMakeFiles/hetero_platform.dir/capability_table.cpp.o.d"
+  "CMakeFiles/hetero_platform.dir/platform_spec.cpp.o"
+  "CMakeFiles/hetero_platform.dir/platform_spec.cpp.o.d"
+  "libhetero_platform.a"
+  "libhetero_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_provision.dir/packages.cpp.o"
+  "CMakeFiles/hetero_provision.dir/packages.cpp.o.d"
+  "CMakeFiles/hetero_provision.dir/planner.cpp.o"
+  "CMakeFiles/hetero_provision.dir/planner.cpp.o.d"
+  "libhetero_provision.a"
+  "libhetero_provision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_provision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/hetero_sched.dir/scheduler.cpp.o.d"
+  "libhetero_sched.a"
+  "libhetero_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/hetero_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/hetero_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/hetero_simmpi.dir/runtime.cpp.o.d"
+  "libhetero_simmpi.a"
+  "libhetero_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

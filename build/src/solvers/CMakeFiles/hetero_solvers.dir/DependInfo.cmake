@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/krylov.cpp" "src/solvers/CMakeFiles/hetero_solvers.dir/krylov.cpp.o" "gcc" "src/solvers/CMakeFiles/hetero_solvers.dir/krylov.cpp.o.d"
+  "/root/repo/src/solvers/preconditioner.cpp" "src/solvers/CMakeFiles/hetero_solvers.dir/preconditioner.cpp.o" "gcc" "src/solvers/CMakeFiles/hetero_solvers.dir/preconditioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/hetero_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/hetero_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/hetero_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hetero_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

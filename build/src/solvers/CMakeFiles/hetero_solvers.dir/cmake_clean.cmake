@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_solvers.dir/krylov.cpp.o"
+  "CMakeFiles/hetero_solvers.dir/krylov.cpp.o.d"
+  "CMakeFiles/hetero_solvers.dir/preconditioner.cpp.o"
+  "CMakeFiles/hetero_solvers.dir/preconditioner.cpp.o.d"
+  "libhetero_solvers.a"
+  "libhetero_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhetero_solvers.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_support.dir/cli.cpp.o"
+  "CMakeFiles/hetero_support.dir/cli.cpp.o.d"
+  "CMakeFiles/hetero_support.dir/error.cpp.o"
+  "CMakeFiles/hetero_support.dir/error.cpp.o.d"
+  "CMakeFiles/hetero_support.dir/log.cpp.o"
+  "CMakeFiles/hetero_support.dir/log.cpp.o.d"
+  "CMakeFiles/hetero_support.dir/rng.cpp.o"
+  "CMakeFiles/hetero_support.dir/rng.cpp.o.d"
+  "CMakeFiles/hetero_support.dir/stats.cpp.o"
+  "CMakeFiles/hetero_support.dir/stats.cpp.o.d"
+  "CMakeFiles/hetero_support.dir/table.cpp.o"
+  "CMakeFiles/hetero_support.dir/table.cpp.o.d"
+  "CMakeFiles/hetero_support.dir/units.cpp.o"
+  "CMakeFiles/hetero_support.dir/units.cpp.o.d"
+  "libhetero_support.a"
+  "libhetero_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

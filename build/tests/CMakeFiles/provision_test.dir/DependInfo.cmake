@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/provision_test.cpp" "tests/CMakeFiles/provision_test.dir/provision_test.cpp.o" "gcc" "tests/CMakeFiles/provision_test.dir/provision_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hetero_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/hetero_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/hetero_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/hetero_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/hetero_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/hetero_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/hetero_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/fem/CMakeFiles/hetero_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hetero_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hetero_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hetero_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hetero_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hetero_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/provision/CMakeFiles/hetero_provision.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hetero_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetero_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

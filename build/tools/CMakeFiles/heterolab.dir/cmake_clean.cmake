@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterolab.dir/heterolab.cpp.o"
+  "CMakeFiles/heterolab.dir/heterolab.cpp.o.d"
+  "heterolab"
+  "heterolab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterolab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_platforms "/root/repo/build/tools/heterolab" "platforms")
+set_tests_properties(cli_platforms PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_modeled "/root/repo/build/tools/heterolab" "run" "--app" "rd" "--platform" "ec2" "--ranks" "343" "--spot")
+set_tests_properties(cli_run_modeled PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_direct "/root/repo/build/tools/heterolab" "run" "--platform" "puma" "--ranks" "8" "--mode" "direct" "--cells" "3")
+set_tests_properties(cli_run_direct PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_summary "/root/repo/build/tools/heterolab" "summary" "--ranks" "64")
+set_tests_properties(cli_summary PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_campaign "/root/repo/build/tools/heterolab" "campaign" "--ranks" "64" "--iterations" "20" "--ckpt" "5")
+set_tests_properties(cli_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_provision "/root/repo/build/tools/heterolab" "provision" "--platform" "lagrange")
+set_tests_properties(cli_provision PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_launch_failure "/root/repo/build/tools/heterolab" "run" "--platform" "lagrange" "--ranks" "512")
+set_tests_properties(cli_launch_failure PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/heterolab" "frobnicate")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
