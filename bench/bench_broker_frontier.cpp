@@ -1,0 +1,84 @@
+// Broker frontier bench: the automated platform selection the paper's
+// §VIII leaves as future work, run for both applications at 10^6 total
+// elements. Emits the recommended deployment per objective and the full
+// time/cost Pareto frontier, then asserts the paper-consistent sanity
+// checks: the pure-time winner at large p is lagrange (the InfiniBand
+// machine, the paper's fastest per-iteration platform), and the low-cost
+// winners are puma or an EC2 spot strategy (the cheap ends of §VII-D).
+
+#include <iostream>
+
+#include "broker/broker.hpp"
+#include "support/cli.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+
+  bool sane = true;
+  broker::Broker advisor(42);
+  for (const auto app : {perf::AppKind::kReactionDiffusion,
+                         perf::AppKind::kNavierStokes}) {
+    const char* app_name =
+        app == perf::AppKind::kReactionDiffusion ? "RD" : "NS";
+    broker::JobRequest request;
+    request.app = app;
+    request.total_elements = 1000000;
+    request.iterations = 100;
+
+    std::cout << "# " << app_name
+              << " at 10^6 total elements, 100 iterations\n";
+    for (const auto& objective :
+         {broker::min_time(), broker::min_cost(),
+          broker::min_effective_time()}) {
+      const auto rec = advisor.recommend(request, objective);
+      if (!rec.has_winner()) {
+        std::cout << "objective " << objective.name
+                  << ": no feasible candidate\n";
+        sane = false;
+        continue;
+      }
+      const auto& w = rec.winner();
+      std::cout << "objective " << objective.name << ": "
+                << w.candidate.label() << " (run "
+                << format_seconds(w.run_s) << ", effective "
+                << format_seconds(w.effective_s) << ", "
+                << fmt_usd(w.cost_usd) << ")\n";
+      if (objective.name == "time" && w.candidate.platform != "lagrange") {
+        std::cout << "  !! expected the pure-time winner to be lagrange "
+                     "(IB), got " << w.candidate.platform << "\n";
+        sane = false;
+      }
+      if (objective.name == "cost") {
+        const bool cheap_winner =
+            w.candidate.platform == "puma" ||
+            (w.candidate.platform == "ec2" &&
+             w.candidate.strategy != broker::Ec2Strategy::kOnDemand);
+        if (!cheap_winner) {
+          std::cout << "  !! expected the low-cost winner to be puma or an "
+                       "EC2 spot strategy, got " << w.candidate.label()
+                    << "\n";
+          sane = false;
+        }
+      }
+    }
+
+    const auto rec =
+        advisor.recommend(request, broker::min_effective_time());
+    std::cout << "\n";
+    const Table frontier = broker::frontier_table(rec);
+    if (csv) {
+      frontier.render_csv(std::cout);
+    } else {
+      frontier.render_text(std::cout);
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << (sane ? "# sanity checks passed: time winner lagrange (IB), "
+                       "cost winners puma/EC2-spot\n"
+                     : "# SANITY CHECK FAILED\n");
+  return sane ? 0 : 1;
+}

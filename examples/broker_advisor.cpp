@@ -1,0 +1,67 @@
+// Library-level tour of the broker: build a JobRequest, compare what each
+// objective recommends, and walk the time/cost Pareto frontier — the
+// decision the paper's users made by eyeballing figures 4–7, automated.
+//
+//   broker_advisor [--app rd|ns] [--elements 1000000] [--iterations 100]
+//                  [--deadline-h H] [--budget-usd D] [--risk R] [--seed S]
+
+#include <iostream>
+
+#include "broker/broker.hpp"
+#include "support/cli.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+
+  broker::JobRequest request;
+  request.app = args.get_string("app", "rd") == "ns"
+                    ? perf::AppKind::kNavierStokes
+                    : perf::AppKind::kReactionDiffusion;
+  request.total_elements = args.get_int("elements", 1000000);
+  request.iterations = static_cast<int>(args.get_int("iterations", 100));
+  if (args.has("deadline-h")) {
+    request.deadline_h = args.get_double("deadline-h", 0.0);
+  }
+  if (args.has("budget-usd")) {
+    request.budget_usd = args.get_double("budget-usd", 0.0);
+  }
+  request.risk_tolerance = args.get_double("risk", 0.5);
+
+  broker::Broker advisor(
+      static_cast<std::uint64_t>(args.get_int("seed", 42)));
+
+  // One request, four objectives: how much the "best" platform depends on
+  // what you optimize for is the paper's central experience.
+  std::cout << "=== what wins under each objective ===\n";
+  for (const auto& objective :
+       {broker::min_time(), broker::min_cost(),
+        broker::min_effective_time(), broker::weighted_blend(1.0, 1.0)}) {
+    const auto rec = advisor.recommend(request, objective);
+    std::cout << objective.name << ": ";
+    if (!rec.has_winner()) {
+      std::cout << "infeasible (" << rec.rejected.size()
+                << " candidates rejected)\n";
+      continue;
+    }
+    const auto& w = rec.winner();
+    std::cout << w.candidate.label() << " — run "
+              << format_seconds(w.run_s) << ", effective "
+              << format_seconds(w.effective_s) << ", "
+              << fmt_usd(w.cost_usd) << "\n";
+  }
+
+  const auto rec =
+      advisor.recommend(request, broker::min_effective_time());
+  std::cout << "\n=== time/cost Pareto frontier ("
+            << rec.frontier.size() << " points over " << rec.ranked.size()
+            << " feasible candidates) ===\n";
+  broker::frontier_table(rec).render_text(std::cout);
+
+  if (!rec.rejected.empty()) {
+    std::cout << "\n=== why the others were rejected ===\n";
+    broker::rejection_table(rec).render_text(std::cout);
+  }
+  return rec.has_winner() ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+#include "broker/broker.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace hetero::broker {
+
+const Prediction& Recommendation::winner() const {
+  HETERO_REQUIRE(has_winner(), "recommendation has no feasible candidate");
+  return ranked.front().prediction;
+}
+
+Broker::Broker(std::uint64_t seed) : predictor_(seed) {}
+
+Recommendation Broker::recommend(const JobRequest& request,
+                                 const Objective& objective) {
+  Recommendation out;
+  out.objective_name = objective.name;
+
+  std::vector<Prediction> feasible;
+  for (const Candidate& candidate : enumerate_candidates(request)) {
+    Prediction p = predictor_.predict(candidate, request);
+    std::string reason = rejection_reason(p, request);
+    if (reason.empty()) {
+      feasible.push_back(std::move(p));
+    } else {
+      out.rejected.push_back({std::move(p), std::move(reason)});
+    }
+  }
+
+  out.ranked.reserve(feasible.size());
+  for (Prediction& p : feasible) {
+    const double score = objective.score(p);
+    out.ranked.push_back({std::move(p), score});
+  }
+  // Stable sort keeps enumeration order on ties, so results are
+  // deterministic for a fixed seed.
+  std::stable_sort(out.ranked.begin(), out.ranked.end(),
+                   [](const RankedCandidate& a, const RankedCandidate& b) {
+                     return a.score < b.score;
+                   });
+
+  std::vector<Prediction> ranked_predictions;
+  ranked_predictions.reserve(out.ranked.size());
+  for (const auto& rc : out.ranked) {
+    ranked_predictions.push_back(rc.prediction);
+  }
+  out.frontier = pareto_frontier(ranked_predictions);
+  return out;
+}
+
+Table recommendation_table(const Recommendation& recommendation,
+                           std::size_t limit) {
+  Table table({"#", "candidate", "ranks", "hosts", "s/iter", "run",
+               "queue wait", "effort[h]", "effective", "cost[$]", "score"});
+  const std::size_t n =
+      limit == 0 ? recommendation.ranked.size()
+                 : std::min(limit, recommendation.ranked.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& rc = recommendation.ranked[i];
+    const auto& p = rc.prediction;
+    table.add_row({std::to_string(i + 1), p.candidate.label(),
+                   std::to_string(p.candidate.ranks),
+                   std::to_string(p.hosts),
+                   fmt_double(p.seconds_per_iteration, 3),
+                   format_seconds(p.run_s), format_seconds(p.queue_wait_s),
+                   fmt_double(p.provisioning_hours, 1),
+                   format_seconds(p.effective_s), fmt_double(p.cost_usd, 2),
+                   fmt_double(rc.score, 3)});
+  }
+  return table;
+}
+
+Table frontier_table(const Recommendation& recommendation) {
+  Table table({"candidate", "effective", "cost[$]"});
+  for (const auto& point : recommendation.frontier) {
+    const auto& p = recommendation.ranked[point.index].prediction;
+    table.add_row({p.candidate.label(), format_seconds(point.time_s),
+                   fmt_double(point.cost_usd, 2)});
+  }
+  return table;
+}
+
+Table rejection_table(const Recommendation& recommendation) {
+  Table table({"candidate", "rejected because"});
+  for (const auto& rejection : recommendation.rejected) {
+    table.add_row(
+        {rejection.prediction.candidate.label(), rejection.reason});
+  }
+  return table;
+}
+
+}  // namespace hetero::broker

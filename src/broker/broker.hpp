@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file broker.hpp
+/// The decision engine: enumerate deployment candidates, predict each with
+/// the calibrated models, filter against the request's constraints with
+/// explainable rejections, rank the survivors by a pluggable objective, and
+/// compute the time/cost Pareto frontier. Turns HeteroLab from a
+/// measurement rig (eyeballing figures 4–7) into an advisor — the
+/// automated target-platform selection §VIII names as the open problem.
+
+#include <cstdint>
+#include <vector>
+
+#include "broker/explain.hpp"
+#include "broker/frontier.hpp"
+#include "broker/objectives.hpp"
+#include "support/table.hpp"
+
+namespace hetero::broker {
+
+struct RankedCandidate {
+  Prediction prediction;
+  double score = 0.0;
+};
+
+struct Rejection {
+  Prediction prediction;
+  std::string reason;
+};
+
+struct Recommendation {
+  std::string objective_name;
+  /// Feasible candidates, best (lowest score) first.
+  std::vector<RankedCandidate> ranked;
+  /// Pareto frontier on (effective time, cost); indices into `ranked`.
+  std::vector<FrontierPoint> frontier;
+  /// Every infeasible candidate with its human-readable reason.
+  std::vector<Rejection> rejected;
+
+  bool has_winner() const { return !ranked.empty(); }
+  /// The top-ranked prediction; requires has_winner().
+  const Prediction& winner() const;
+};
+
+class Broker {
+ public:
+  explicit Broker(std::uint64_t seed = 42);
+
+  /// Full pipeline for one request; deterministic in the broker seed.
+  Recommendation recommend(const JobRequest& request,
+                           const Objective& objective);
+
+ private:
+  Predictor predictor_;
+};
+
+/// Ranked recommendations ("which platform, how many ranks, what it
+/// costs"); `limit` rows (0 = all).
+Table recommendation_table(const Recommendation& recommendation,
+                           std::size_t limit = 0);
+
+/// The time/cost Pareto frontier as a table.
+Table frontier_table(const Recommendation& recommendation);
+
+/// One row per rejected candidate with its reason.
+Table rejection_table(const Recommendation& recommendation);
+
+}  // namespace hetero::broker

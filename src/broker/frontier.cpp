@@ -1,0 +1,50 @@
+#include "broker/frontier.hpp"
+
+#include <algorithm>
+
+namespace hetero::broker {
+
+std::vector<FrontierPoint> pareto_frontier(
+    const std::vector<std::pair<double, double>>& time_cost) {
+  std::vector<FrontierPoint> points;
+  points.reserve(time_cost.size());
+  for (std::size_t i = 0; i < time_cost.size(); ++i) {
+    points.push_back({i, time_cost[i].first, time_cost[i].second});
+  }
+  // Sort by time, breaking ties by cost then original order; then a single
+  // sweep keeps every point that improves the best cost seen so far.
+  std::stable_sort(points.begin(), points.end(),
+                   [](const FrontierPoint& a, const FrontierPoint& b) {
+                     if (a.time_s != b.time_s) {
+                       return a.time_s < b.time_s;
+                     }
+                     return a.cost_usd < b.cost_usd;
+                   });
+  std::vector<FrontierPoint> frontier;
+  for (const auto& p : points) {
+    if (frontier.empty() || p.cost_usd < frontier.back().cost_usd) {
+      frontier.push_back(p);
+    }
+  }
+  return frontier;
+}
+
+std::vector<FrontierPoint> pareto_frontier(
+    const std::vector<Prediction>& predictions) {
+  std::vector<std::pair<double, double>> time_cost;
+  std::vector<std::size_t> original;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (!predictions[i].launched) {
+      continue;
+    }
+    time_cost.emplace_back(predictions[i].effective_s, predictions[i].cost_usd);
+    original.push_back(i);
+  }
+  auto frontier = pareto_frontier(time_cost);
+  for (auto& point : frontier) {
+    point.index = original[point.index];
+  }
+  return frontier;
+}
+
+}  // namespace hetero::broker

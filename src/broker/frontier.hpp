@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file frontier.hpp
+/// Time/cost Pareto frontier over a candidate set — the two axes the
+/// paper's figures 4–7 make the user trade off by eye ("Seeing Shapes in
+/// Clouds" frames platform selection as exactly this search). A point is
+/// on the frontier iff no other point is at least as good on both axes and
+/// strictly better on one.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "broker/predictor.hpp"
+
+namespace hetero::broker {
+
+struct FrontierPoint {
+  /// Index into the vector the frontier was computed from.
+  std::size_t index = 0;
+  double time_s = 0.0;
+  double cost_usd = 0.0;
+};
+
+/// Pareto-minimal subset of (time, cost) pairs, sorted by ascending time
+/// (hence descending cost). Duplicate-coordinate points keep the first.
+std::vector<FrontierPoint> pareto_frontier(
+    const std::vector<std::pair<double, double>>& time_cost);
+
+/// Frontier of feasible predictions on (effective time, dollar cost);
+/// indices refer to positions in `predictions`. Unlaunched predictions
+/// never appear.
+std::vector<FrontierPoint> pareto_frontier(
+    const std::vector<Prediction>& predictions);
+
+}  // namespace hetero::broker

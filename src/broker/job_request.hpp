@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file job_request.hpp
+/// What a user asks the broker for: an application, a problem size, how
+/// many time-step iterations the production run needs, and the constraints
+/// the recommendation must respect (deadline, budget, appetite for spot
+/// interruptions). This is the input side of the automated platform
+/// selection the paper's §VIII names as the open problem — "the choice of
+/// the most appropriate strategy was done by hand".
+
+#include <cstdint>
+#include <optional>
+
+#include "perf/scaling_model.hpp"
+
+namespace hetero::broker {
+
+struct JobRequest {
+  perf::AppKind app = perf::AppKind::kReactionDiffusion;
+
+  /// Total elements of the global cubic mesh. When > 0 the broker splits
+  /// the problem over each candidate rank count (cells per rank shrink as
+  /// ranks grow); when 0 the run is the paper-style weak-scaling job of
+  /// `cells_per_rank_axis`^3 elements on every rank.
+  std::int64_t total_elements = 0;
+
+  /// Fix the rank count (> 0) instead of sweeping the paper's cube sizes.
+  int ranks = 0;
+
+  /// Elements per axis per rank when total_elements == 0 (the paper's 20).
+  int cells_per_rank_axis = 20;
+
+  /// Production time-step iterations the campaign must complete.
+  int iterations = 100;
+
+  // --- constraints ----------------------------------------------------------
+  /// Wall-clock budget for effective time-to-solution (hours).
+  std::optional<double> deadline_h;
+  /// Dollar budget for the whole campaign.
+  std::optional<double> budget_usd;
+
+  /// Appetite for spot-market interruptions in [0, 1]: below 0.2 every spot
+  /// strategy is rejected; [0.2, 0.5) admits only the checkpointed spot
+  /// campaign; >= 0.5 also admits the uninsured spot mix.
+  double risk_tolerance = 0.5;
+
+  /// Fold the one-time porting effort (§VI man-hours) into effective
+  /// time-to-solution and the deadline check. Disable when every platform
+  /// is already provisioned.
+  bool include_provisioning = true;
+};
+
+/// Thresholds of the risk model above (documented in docs/broker.md).
+inline constexpr double kSpotCampaignRisk = 0.2;
+inline constexpr double kSpotMixRisk = 0.5;
+
+}  // namespace hetero::broker

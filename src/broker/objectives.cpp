@@ -1,0 +1,55 @@
+#include "broker/objectives.hpp"
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace hetero::broker {
+
+Objective min_time() {
+  return {"time", "minimize production run wall clock",
+          [](const Prediction& p) { return p.run_s; }};
+}
+
+Objective min_cost() {
+  return {"cost", "minimize total dollar cost",
+          [](const Prediction& p) { return p.cost_usd; }};
+}
+
+Objective min_effective_time() {
+  return {"effective",
+          "minimize effective time-to-solution (wait + effort + run)",
+          [](const Prediction& p) { return p.effective_s; }};
+}
+
+Objective weighted_blend(double time_weight, double cost_weight) {
+  HETERO_REQUIRE(time_weight >= 0.0 && cost_weight >= 0.0 &&
+                     time_weight + cost_weight > 0.0,
+                 "blend needs nonnegative weights with a positive sum");
+  return {"blend",
+          "minimize " + fmt_double(time_weight, 2) + " x effective hours + " +
+              fmt_double(cost_weight, 2) + " x dollars",
+          [time_weight, cost_weight](const Prediction& p) {
+            return time_weight * p.effective_s / kSecondsPerHour +
+                   cost_weight * p.cost_usd;
+          }};
+}
+
+Objective objective_by_name(const std::string& name) {
+  if (name == "time") {
+    return min_time();
+  }
+  if (name == "cost") {
+    return min_cost();
+  }
+  if (name == "effective") {
+    return min_effective_time();
+  }
+  if (name == "blend") {
+    return weighted_blend(1.0, 1.0);
+  }
+  throw Error("unknown objective: " + name +
+              " (expected time|cost|effective|blend)");
+}
+
+}  // namespace hetero::broker

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file objectives.hpp
+/// Pluggable scoring of predictions. An Objective maps a Prediction to a
+/// scalar (lower is better); the broker ranks feasible candidates by it.
+/// Builtins cover the paper's three axes — raw speed, dollar cost, and the
+/// §VIII effective time-to-solution (queue wait + porting effort + run) —
+/// plus a weighted blend of time and money for anything in between.
+
+#include <functional>
+#include <string>
+
+#include "broker/predictor.hpp"
+
+namespace hetero::broker {
+
+struct Objective {
+  std::string name;
+  std::string description;
+  /// Lower is better. Only called on feasible (launched) predictions.
+  std::function<double(const Prediction&)> score;
+};
+
+/// Minimize the production run's wall clock alone.
+Objective min_time();
+
+/// Minimize the total dollar bill.
+Objective min_cost();
+
+/// Minimize effective time-to-solution (wait + effort + run, §VIII).
+Objective min_effective_time();
+
+/// Minimize `time_weight` x effective hours + `cost_weight` x dollars.
+Objective weighted_blend(double time_weight, double cost_weight);
+
+/// "time" | "cost" | "effective" | "blend" (equal weights); throws on
+/// anything else.
+Objective objective_by_name(const std::string& name);
+
+}  // namespace hetero::broker

@@ -1,0 +1,89 @@
+#include "broker/predictor.hpp"
+
+#include "core/campaign.hpp"
+#include "platform/platform_spec.hpp"
+#include "provision/planner.hpp"
+#include "support/units.hpp"
+
+namespace hetero::broker {
+
+namespace {
+
+double effective_seconds(const Prediction& p, const JobRequest& request) {
+  double s = p.queue_wait_s + p.run_s;
+  if (request.include_provisioning) {
+    s += p.provisioning_hours * kSecondsPerHour;
+  }
+  return s;
+}
+
+}  // namespace
+
+Predictor::Predictor(std::uint64_t seed) : runner_(seed), seed_(seed) {}
+
+Prediction Predictor::predict(const Candidate& candidate,
+                              const JobRequest& request) {
+  if (candidate.strategy == Ec2Strategy::kSpotCampaign) {
+    return predict_campaign(candidate, request);
+  }
+  core::Experiment e;
+  e.app = request.app;
+  e.platform = candidate.platform;
+  e.ranks = candidate.ranks;
+  e.cells_per_rank_axis = candidate.cells_per_rank_axis;
+  e.mode = core::Mode::kModeled;
+  e.ec2_spot_mix = candidate.strategy == Ec2Strategy::kSpotMix;
+  e.ec2_placement_groups = candidate.placement_groups;
+  e.ec2_spot_bid_usd = candidate.spot_bid_usd;
+  const auto r = runner_.run(e);
+
+  Prediction p;
+  p.candidate = candidate;
+  p.launched = r.launched;
+  p.failure_reason = r.failure_reason;
+  p.provisioning_hours = r.provisioning_hours;
+  if (!r.launched) {
+    return p;
+  }
+  p.queue_wait_s = r.queue_wait_s;
+  p.seconds_per_iteration = r.iteration.total_s;
+  p.run_s = r.iteration.total_s * request.iterations;
+  p.cost_usd = r.cost_per_iteration_usd * request.iterations;
+  p.hosts = r.hosts;
+  p.spot_hosts = r.spot_hosts;
+  p.effective_s = effective_seconds(p, request);
+  return p;
+}
+
+Prediction Predictor::predict_campaign(const Candidate& candidate,
+                                       const JobRequest& request) {
+  core::CampaignConfig config;
+  config.app = request.app;
+  config.ranks = candidate.ranks;
+  config.cells_per_rank_axis = candidate.cells_per_rank_axis;
+  config.iterations = request.iterations;
+  config.checkpoint_interval = candidate.checkpoint_interval;
+  config.use_spot = true;
+  config.spot_bid_usd = candidate.spot_bid_usd;
+  config.seed = seed_;
+  const auto r = core::simulate_ec2_campaign(config);
+
+  const auto& spec = platform::ec2();
+  Prediction p;
+  p.candidate = candidate;
+  p.launched = r.completed;
+  p.provisioning_hours = provision::plan_provisioning(spec).total_hours();
+  // The simulated wall clock already contains boot and re-acquisition
+  // delays, so the campaign has no separate queue-wait term.
+  p.run_s = r.wall_clock_s;
+  p.seconds_per_iteration = r.wall_clock_s / request.iterations;
+  p.cost_usd = r.billed_usd;
+  p.hosts = (candidate.ranks + spec.cores_per_node() - 1) /
+            spec.cores_per_node();
+  p.spot_hosts = r.initial_spot_hosts;
+  p.interruptions = r.interruptions;
+  p.effective_s = effective_seconds(p, request);
+  return p;
+}
+
+}  // namespace hetero::broker

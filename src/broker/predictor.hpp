@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file predictor.hpp
+/// Predicts one deployment candidate end to end by *reusing* the calibrated
+/// machinery the figures are generated with: `core::ExperimentRunner` in
+/// modeled mode for per-iteration times, queue waits from `sched`, one-time
+/// provisioning effort from `provision`, and `core::simulate_ec2_campaign`
+/// for the checkpointed spot strategy. The broker therefore never disagrees
+/// with the paper artifacts — a prediction *is* a modeled experiment,
+/// scaled to the request's iteration count (tested as an invariant).
+
+#include <cstdint>
+#include <string>
+
+#include "broker/candidates.hpp"
+#include "core/experiment.hpp"
+
+namespace hetero::broker {
+
+struct Prediction {
+  Candidate candidate;
+
+  bool launched = false;
+  std::string failure_reason;
+
+  /// One-time porting effort for the platform (man-hours, §VI).
+  double provisioning_hours = 0.0;
+  /// Queue wait / instance boot before the job starts (seconds).
+  double queue_wait_s = 0.0;
+  /// Per-iteration wall time (campaign: amortized, including interruptions).
+  double seconds_per_iteration = 0.0;
+  /// Wall-clock of the production run (iterations x s/iter; campaign: the
+  /// simulated wall clock).
+  double run_s = 0.0;
+  /// Total dollar bill for the campaign.
+  double cost_usd = 0.0;
+  /// Effective time-to-solution: queue wait + run time, plus the porting
+  /// effort when the request folds it in (§VIII's accounting).
+  double effective_s = 0.0;
+
+  int hosts = 0;
+  int spot_hosts = 0;
+  /// Spot campaign only: reclaim events endured.
+  int interruptions = 0;
+};
+
+class Predictor {
+ public:
+  explicit Predictor(std::uint64_t seed = 42);
+
+  /// Predicts a candidate; infeasible launches come back with
+  /// launched = false and the scheduler's reason, never an exception.
+  Prediction predict(const Candidate& candidate, const JobRequest& request);
+
+ private:
+  Prediction predict_campaign(const Candidate& candidate,
+                              const JobRequest& request);
+
+  core::ExperimentRunner runner_;
+  std::uint64_t seed_;
+};
+
+}  // namespace hetero::broker

@@ -67,9 +67,12 @@ CampaignResult simulate_ec2_campaign(const CampaignConfig& config) {
 
   // Iteration time on the current assembly (recomputed after reshaping —
   // the blended rate changes but the topology shape stays hosts x 16).
-  const perf::ModelConfig model = config.app == perf::AppKind::kNavierStokes
-                                      ? perf::ns_model()
-                                      : perf::rd_model();
+  perf::ModelConfig model = config.app == perf::AppKind::kNavierStokes
+                                ? perf::ns_model()
+                                : perf::rd_model();
+  HETERO_REQUIRE(config.cells_per_rank_axis >= 1,
+                 "campaign needs cells_per_rank_axis >= 1");
+  model.cells_per_rank_axis = config.cells_per_rank_axis;
   auto iteration_seconds = [&]() {
     const auto topo = service.assembly_topology(assembly, config.ranks, 0.02);
     return perf::project_iteration(model, topo, spec.cpu_model(),

@@ -23,6 +23,8 @@ namespace hetero::core {
 struct CampaignConfig {
   perf::AppKind app = perf::AppKind::kReactionDiffusion;
   int ranks = 512;
+  /// Elements per axis per rank (the paper's weak-scaling load is 20).
+  int cells_per_rank_axis = 20;
   /// Time-step iterations the campaign must complete.
   int iterations = 500;
   /// Iterations between checkpoints; 0 disables checkpointing (an

@@ -32,6 +32,15 @@ bool CliArgs::has(const std::string& key) const {
   return flags_.count(key) != 0;
 }
 
+std::vector<std::string> CliArgs::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [key, value] : flags_) {
+    names.push_back(key);
+  }
+  return names;
+}
+
 std::string CliArgs::get_string(const std::string& key,
                                 const std::string& fallback) const {
   const auto it = flags_.find(key);

@@ -27,6 +27,10 @@ class CliArgs {
   /// Non-flag positional arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// All flag names that were passed, sorted; lets a driver reject flags
+  /// its subcommand does not understand.
+  std::vector<std::string> flag_names() const;
+
   /// Program name (argv[0]).
   const std::string& program() const { return program_; }
 

@@ -1,0 +1,299 @@
+// Tests for the broker: candidate enumeration (launch limits), prediction
+// consistency with the experiment runner, Pareto-frontier math, constraint
+// filtering with explained rejections, and end-to-end determinism.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "broker/broker.hpp"
+#include "core/experiment.hpp"
+#include "platform/platform_spec.hpp"
+#include "support/error.hpp"
+
+namespace hetero::broker {
+namespace {
+
+JobRequest million_element_request() {
+  JobRequest request;
+  request.app = perf::AppKind::kReactionDiffusion;
+  request.total_elements = 1000000;
+  request.iterations = 100;
+  return request;
+}
+
+TEST(Candidates, SplitShrinksPerRankLoadAsRanksGrow) {
+  const JobRequest request = million_element_request();
+  EXPECT_EQ(split_cells_per_rank_axis(request, 1), 100);
+  EXPECT_EQ(split_cells_per_rank_axis(request, 8), 50);
+  EXPECT_EQ(split_cells_per_rank_axis(request, 125), 20);
+  EXPECT_EQ(split_cells_per_rank_axis(request, 1000), 10);
+  JobRequest weak;
+  weak.cells_per_rank_axis = 20;
+  EXPECT_EQ(split_cells_per_rank_axis(weak, 729), 20);
+}
+
+TEST(Candidates, EnumerationRespectsLaunchLimits) {
+  const auto candidates = enumerate_candidates(million_element_request());
+  EXPECT_GT(candidates.size(), 20u);
+  for (const auto& c : candidates) {
+    const auto& spec = platform::platform_by_name(c.platform);
+    EXPECT_TRUE(spec.can_launch(c.ranks)) << c.label();
+  }
+  // The paper's limits: ellipse never above 512, lagrange never above 343,
+  // puma never above its 128 cores.
+  std::set<std::pair<std::string, int>> seen;
+  for (const auto& c : candidates) {
+    seen.insert({c.platform, c.ranks});
+  }
+  EXPECT_TRUE(seen.count({"ellipse", 512}));
+  EXPECT_FALSE(seen.count({"ellipse", 729}));
+  EXPECT_TRUE(seen.count({"lagrange", 343}));
+  EXPECT_FALSE(seen.count({"lagrange", 512}));
+  EXPECT_TRUE(seen.count({"puma", 125}));
+  EXPECT_FALSE(seen.count({"puma", 216}));
+  EXPECT_TRUE(seen.count({"ec2", 1000}));
+}
+
+TEST(Candidates, Ec2ExpandsIntoAcquisitionStrategies) {
+  JobRequest request = million_element_request();
+  request.ranks = 216;  // fixed rank count: one sweep entry
+  const auto candidates = enumerate_candidates(request);
+  int on_demand = 0;
+  int mix = 0;
+  int campaign = 0;
+  for (const auto& c : candidates) {
+    if (c.platform != "ec2") {
+      EXPECT_EQ(c.strategy, Ec2Strategy::kNone);
+      continue;
+    }
+    on_demand += c.strategy == Ec2Strategy::kOnDemand;
+    mix += c.strategy == Ec2Strategy::kSpotMix;
+    campaign += c.strategy == Ec2Strategy::kSpotCampaign;
+  }
+  EXPECT_EQ(on_demand, 1);
+  EXPECT_EQ(mix, 4);  // 1..4 placement groups
+  EXPECT_EQ(campaign, 1);
+}
+
+TEST(Candidates, TooFineSplitsAreDropped) {
+  JobRequest request;
+  request.total_elements = 8;  // 2x2x2 global mesh
+  request.ranks = 8;           // would leave 1 cell per rank axis
+  EXPECT_TRUE(enumerate_candidates(request).empty());
+}
+
+TEST(Predictor, AgreesWithExperimentRunnerModeledMode) {
+  // The broker invariant: a prediction *is* a modeled experiment.
+  JobRequest request = million_element_request();
+  request.iterations = 50;
+  Candidate c;
+  c.platform = "lagrange";
+  c.ranks = 216;
+  c.cells_per_rank_axis = split_cells_per_rank_axis(request, 216);
+
+  Predictor predictor(7);
+  const auto p = predictor.predict(c, request);
+  ASSERT_TRUE(p.launched);
+
+  core::ExperimentRunner runner(7);
+  core::Experiment e;
+  e.app = request.app;
+  e.platform = "lagrange";
+  e.ranks = 216;
+  e.cells_per_rank_axis = c.cells_per_rank_axis;
+  const auto r = runner.run(e);
+  ASSERT_TRUE(r.launched);
+
+  EXPECT_DOUBLE_EQ(p.seconds_per_iteration, r.iteration.total_s);
+  EXPECT_DOUBLE_EQ(p.run_s, r.iteration.total_s * 50);
+  EXPECT_DOUBLE_EQ(p.cost_usd, r.cost_per_iteration_usd * 50);
+  EXPECT_DOUBLE_EQ(p.queue_wait_s, r.queue_wait_s);
+  EXPECT_DOUBLE_EQ(p.provisioning_hours, r.provisioning_hours);
+  EXPECT_EQ(p.hosts, r.hosts);
+}
+
+TEST(Predictor, LaunchFailureCarriesTheSchedulerReason) {
+  JobRequest request;
+  request.ranks = 400;  // ellipse can launch this; lagrange cannot appear
+  Candidate c;
+  c.platform = "lagrange";
+  c.ranks = 400;  // hand-built candidate past the IB cap
+  Predictor predictor(42);
+  const auto p = predictor.predict(c, request);
+  EXPECT_FALSE(p.launched);
+  EXPECT_NE(p.failure_reason.find("IB"), std::string::npos);
+}
+
+TEST(Frontier, HandBuiltParetoSet) {
+  //           0        1       2       3         4 (dominated by 1)
+  const std::vector<std::pair<double, double>> points{
+      {2.0, 5.0}, {1.0, 10.0}, {0.5, 20.0}, {3.0, 7.0}, {1.5, 10.0}};
+  const auto frontier = pareto_frontier(points);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(frontier[0].index, 2u);  // fastest
+  EXPECT_EQ(frontier[1].index, 1u);
+  EXPECT_EQ(frontier[2].index, 0u);  // cheapest
+  // Sorted by ascending time, descending cost.
+  EXPECT_LT(frontier[0].time_s, frontier[1].time_s);
+  EXPECT_GT(frontier[0].cost_usd, frontier[1].cost_usd);
+}
+
+TEST(Frontier, DuplicatePointsKeepTheFirst) {
+  const std::vector<std::pair<double, double>> points{
+      {1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}};
+  const auto frontier = pareto_frontier(points);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0].index, 0u);
+}
+
+TEST(Frontier, SkipsUnlaunchedPredictions) {
+  Prediction ok;
+  ok.launched = true;
+  ok.effective_s = 10.0;
+  ok.cost_usd = 1.0;
+  Prediction dead;
+  dead.launched = false;
+  const std::vector<Prediction> predictions{dead, ok};
+  const auto frontier = pareto_frontier(predictions);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0].index, 1u);
+}
+
+TEST(Explain, InfeasibleConstraintsAreNamedAndQuantified) {
+  JobRequest request = million_element_request();
+  request.deadline_h = 0.001;
+  request.budget_usd = 0.000001;
+  Broker advisor(42);
+  const auto rec = advisor.recommend(request, min_effective_time());
+  // Nothing satisfies these constraints — but never a silent empty result:
+  // every candidate is present with a human-readable reason.
+  EXPECT_FALSE(rec.has_winner());
+  EXPECT_TRUE(rec.ranked.empty());
+  EXPECT_GT(rec.rejected.size(), 20u);
+  for (const auto& rejection : rec.rejected) {
+    EXPECT_FALSE(rejection.reason.empty())
+        << rejection.prediction.candidate.label();
+    const bool names_constraint =
+        rejection.reason.find("deadline") != std::string::npos ||
+        rejection.reason.find("budget") != std::string::npos ||
+        rejection.reason.find("cannot launch") != std::string::npos;
+    EXPECT_TRUE(names_constraint) << rejection.reason;
+  }
+}
+
+TEST(Explain, RiskToleranceGatesSpotStrategies) {
+  JobRequest averse = million_element_request();
+  averse.risk_tolerance = 0.0;
+  Broker advisor(42);
+  const auto rec = advisor.recommend(averse, min_cost());
+  ASSERT_TRUE(rec.has_winner());
+  for (const auto& rc : rec.ranked) {
+    EXPECT_NE(rc.prediction.candidate.strategy, Ec2Strategy::kSpotMix);
+    EXPECT_NE(rc.prediction.candidate.strategy, Ec2Strategy::kSpotCampaign);
+  }
+  int spot_rejected = 0;
+  for (const auto& rejection : rec.rejected) {
+    spot_rejected +=
+        rejection.reason.find("risk tolerance") != std::string::npos;
+  }
+  EXPECT_GT(spot_rejected, 0);
+
+  // A middling tolerance admits the checkpointed campaign but not the
+  // uninsured mix.
+  JobRequest cautious = million_element_request();
+  cautious.risk_tolerance = 0.3;
+  const auto rec2 = advisor.recommend(cautious, min_cost());
+  bool has_campaign = false;
+  for (const auto& rc : rec2.ranked) {
+    EXPECT_NE(rc.prediction.candidate.strategy, Ec2Strategy::kSpotMix);
+    has_campaign |=
+        rc.prediction.candidate.strategy == Ec2Strategy::kSpotCampaign;
+  }
+  EXPECT_TRUE(has_campaign);
+}
+
+TEST(Broker, RankedByObjectiveAndDeterministicInSeed) {
+  const JobRequest request = million_element_request();
+  Broker a(42);
+  Broker b(42);
+  const auto ra = a.recommend(request, min_time());
+  const auto rb = b.recommend(request, min_time());
+  ASSERT_TRUE(ra.has_winner());
+  ASSERT_EQ(ra.ranked.size(), rb.ranked.size());
+  for (std::size_t i = 0; i < ra.ranked.size(); ++i) {
+    EXPECT_EQ(ra.ranked[i].prediction.candidate.label(),
+              rb.ranked[i].prediction.candidate.label());
+    EXPECT_DOUBLE_EQ(ra.ranked[i].score, rb.ranked[i].score);
+    if (i > 0) {
+      EXPECT_GE(ra.ranked[i].score, ra.ranked[i - 1].score);
+    }
+  }
+  EXPECT_EQ(ra.frontier.size(), rb.frontier.size());
+}
+
+TEST(Broker, FrontierPointsAreMutuallyNonDominating) {
+  Broker advisor(42);
+  const auto rec =
+      advisor.recommend(million_element_request(), min_effective_time());
+  ASSERT_GE(rec.frontier.size(), 2u);
+  for (std::size_t i = 1; i < rec.frontier.size(); ++i) {
+    EXPECT_GT(rec.frontier[i].time_s, rec.frontier[i - 1].time_s);
+    EXPECT_LT(rec.frontier[i].cost_usd, rec.frontier[i - 1].cost_usd);
+  }
+}
+
+TEST(Broker, TablesRenderEveryCandidate) {
+  Broker advisor(42);
+  const auto rec =
+      advisor.recommend(million_element_request(), min_effective_time());
+  const Table ranked = recommendation_table(rec);
+  EXPECT_EQ(ranked.rows(), rec.ranked.size());
+  const Table top = recommendation_table(rec, 4);
+  EXPECT_EQ(top.rows(), 4u);
+  EXPECT_EQ(frontier_table(rec).rows(), rec.frontier.size());
+  EXPECT_EQ(rejection_table(rec).rows(), rec.rejected.size());
+}
+
+TEST(Objectives, ByNameAndBlendScoring) {
+  EXPECT_EQ(objective_by_name("time").name, "time");
+  EXPECT_EQ(objective_by_name("cost").name, "cost");
+  EXPECT_EQ(objective_by_name("effective").name, "effective");
+  EXPECT_EQ(objective_by_name("blend").name, "blend");
+  EXPECT_THROW(objective_by_name("vibes"), Error);
+
+  Prediction p;
+  p.run_s = 7200.0;
+  p.effective_s = 7200.0;
+  p.cost_usd = 3.0;
+  EXPECT_DOUBLE_EQ(min_time().score(p), 7200.0);
+  EXPECT_DOUBLE_EQ(min_cost().score(p), 3.0);
+  EXPECT_DOUBLE_EQ(weighted_blend(1.0, 1.0).score(p), 2.0 + 3.0);
+  EXPECT_DOUBLE_EQ(weighted_blend(2.0, 0.5).score(p), 4.0 + 1.5);
+  EXPECT_THROW(weighted_blend(0.0, 0.0), Error);
+}
+
+TEST(Broker, CampaignCandidateUsesTheSpotSimulator) {
+  JobRequest request = million_element_request();
+  request.ranks = 512;
+  request.risk_tolerance = 1.0;
+  Broker advisor(42);
+  const auto rec = advisor.recommend(request, min_cost());
+  const RankedCandidate* campaign = nullptr;
+  for (const auto& rc : rec.ranked) {
+    if (rc.prediction.candidate.strategy == Ec2Strategy::kSpotCampaign) {
+      campaign = &rc;
+      break;
+    }
+  }
+  ASSERT_NE(campaign, nullptr);
+  // The campaign bill is whole-instance-hours, so it is never below one
+  // spot instance-hour per host, and the wall clock subsumes the wait.
+  EXPECT_GT(campaign->prediction.cost_usd, 0.0);
+  EXPECT_GT(campaign->prediction.run_s, 0.0);
+  EXPECT_DOUBLE_EQ(campaign->prediction.queue_wait_s, 0.0);
+  EXPECT_GT(campaign->prediction.spot_hosts, 0);
+}
+
+}  // namespace
+}  // namespace hetero::broker

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local mirror of .github/workflows/ci.yml — the tier-1 verify gate:
+# configure, build with warnings-as-errors, run the full test suite, and
+# smoke the broker. Usage: tools/ci.sh [build-dir]
+set -eu
+
+BUILD_DIR="${1:-build-ci}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DHETERO_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j \
+    "$(nproc 2>/dev/null || echo 4)"
+
+"$BUILD_DIR"/tools/heterolab broker --app rd --elements 1000000 \
+    --deadline-h 24 --budget-usd 50
+"$BUILD_DIR"/bench/bench_broker_frontier
+
+echo "ci: all gates passed"

@@ -7,11 +7,16 @@
 //   heterolab campaign --ranks 512 --iterations 500 [--ondemand]
 //                      [--ckpt 25] [--bid 0.70]
 //   heterolab provision [--platform ec2]
+//   heterolab broker --app rd --elements 1000000 --deadline-h 24
+//                    --budget-usd 50 [--objective effective]
 //
-// Everything is deterministic in --seed (default 42).
+// Everything is deterministic in --seed (default 42). Unknown subcommands
+// or flags print the usage and exit non-zero.
 
+#include <algorithm>
 #include <iostream>
 
+#include "broker/broker.hpp"
 #include "core/campaign.hpp"
 #include "core/report.hpp"
 #include "platform/capability_table.hpp"
@@ -126,6 +131,7 @@ int cmd_report(const std::string& which, const CliArgs& args) {
 int cmd_campaign(const CliArgs& args) {
   core::CampaignConfig config;
   config.ranks = static_cast<int>(args.get_int("ranks", 512));
+  config.cells_per_rank_axis = static_cast<int>(args.get_int("cells", 20));
   config.iterations = static_cast<int>(args.get_int("iterations", 500));
   config.checkpoint_interval = static_cast<int>(args.get_int("ckpt", 25));
   config.use_spot = !args.get_bool("ondemand", false);
@@ -146,6 +152,60 @@ int cmd_campaign(const CliArgs& args) {
             << "spot hosts     " << r.initial_spot_hosts
             << " at first acquisition\n";
   return 0;
+}
+
+int cmd_broker(const CliArgs& args) {
+  broker::JobRequest request;
+  request.app = args.get_string("app", "rd") == "ns"
+                    ? perf::AppKind::kNavierStokes
+                    : perf::AppKind::kReactionDiffusion;
+  request.total_elements = args.get_int("elements", 0);
+  request.ranks = static_cast<int>(args.get_int("ranks", 0));
+  request.cells_per_rank_axis = static_cast<int>(args.get_int("cells", 20));
+  request.iterations = static_cast<int>(args.get_int("iterations", 100));
+  if (args.has("deadline-h")) {
+    request.deadline_h = args.get_double("deadline-h", 0.0);
+  }
+  if (args.has("budget-usd")) {
+    request.budget_usd = args.get_double("budget-usd", 0.0);
+  }
+  request.risk_tolerance = args.get_double("risk", 0.5);
+  request.include_provisioning = !args.get_bool("ported", false);
+
+  const auto objective =
+      broker::objective_by_name(args.get_string("objective", "effective"));
+  broker::Broker advisor(
+      static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  const auto rec = advisor.recommend(request, objective);
+
+  std::cout << "objective     " << objective.name << " — "
+            << objective.description << "\n"
+            << "candidates    " << rec.ranked.size() + rec.rejected.size()
+            << " considered, " << rec.ranked.size() << " feasible\n";
+  if (rec.has_winner()) {
+    const auto& w = rec.winner();
+    std::cout << "recommended   " << w.candidate.label() << " — "
+              << format_seconds(w.effective_s) << " effective, "
+              << fmt_usd(w.cost_usd) << "\n\n";
+  } else if (rec.rejected.empty()) {
+    std::cout << "recommended   nothing to rank: no deployment candidate "
+                 "fits this problem (each rank needs >= 2 cells per axis; "
+                 "check --elements/--ranks)\n\n";
+  } else {
+    std::cout << "recommended   nothing satisfies the constraints; every "
+                 "rejection is explained below\n\n";
+  }
+  const auto limit =
+      static_cast<std::size_t>(args.get_int("top", 12));
+  std::cout << "--- ranked candidates (top " << limit << ") ---\n";
+  render(broker::recommendation_table(rec, limit), args);
+  std::cout << "\n--- time/cost Pareto frontier ---\n";
+  render(broker::frontier_table(rec), args);
+  if (!rec.rejected.empty()) {
+    std::cout << "\n--- rejected candidates ---\n";
+    render(broker::rejection_table(rec), args);
+  }
+  return rec.has_winner() ? 0 : 1;
 }
 
 int cmd_provision(const CliArgs& args) {
@@ -172,9 +232,27 @@ int usage() {
       "  fig4 | fig5 | table2 | fig6 | fig7 [--csv]\n"
       "  summary [--ranks N]\n"
       "  campaign --ranks N --iterations K [--ondemand] [--ckpt I]\n"
-      "      [--bid USD]\n"
-      "  provision [--platform P]\n";
+      "      [--bid USD] [--cells C]\n"
+      "  provision [--platform P]\n"
+      "  broker --app rd|ns [--elements E | --ranks N [--cells C]]\n"
+      "      [--iterations K] [--deadline-h H] [--budget-usd D]\n"
+      "      [--objective time|cost|effective|blend] [--risk R]\n"
+      "      [--ported] [--top N] [--seed S]\n";
   return 2;
+}
+
+/// Rejects flags the subcommand does not understand (prints usage, exits
+/// non-zero) instead of silently ignoring them.
+bool flags_understood(const CliArgs& args,
+                      const std::vector<std::string>& allowed) {
+  bool ok = true;
+  for (const auto& name : args.flag_names()) {
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      std::cerr << "unknown flag for this command: --" << name << "\n";
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 }  // namespace
@@ -183,25 +261,52 @@ int main(int argc, char** argv) {
   using namespace hetero;
   try {
     const CliArgs args(argc, argv);
-    if (args.positional().empty()) {
+    if (args.positional().size() != 1) {
+      if (args.positional().size() > 1) {
+        std::cerr << "expected exactly one command, got: ";
+        for (const auto& p : args.positional()) {
+          std::cerr << p << " ";
+        }
+        std::cerr << "\n";
+      }
       return usage();
     }
     const std::string command = args.positional().front();
     if (command == "platforms") {
-      return cmd_platforms(args);
+      return flags_understood(args, {"csv"}) ? cmd_platforms(args) : usage();
     }
     if (command == "run") {
-      return cmd_run(args);
+      return flags_understood(args, {"app", "platform", "ranks", "cells",
+                                     "mode", "spot", "seed"})
+                 ? cmd_run(args)
+                 : usage();
     }
     if (command == "fig4" || command == "fig5" || command == "table2" ||
         command == "fig6" || command == "fig7" || command == "summary") {
-      return cmd_report(command, args);
+      const std::vector<std::string> allowed =
+          command == "summary" ? std::vector<std::string>{"csv", "seed",
+                                                          "ranks"}
+                               : std::vector<std::string>{"csv", "seed"};
+      return flags_understood(args, allowed) ? cmd_report(command, args)
+                                             : usage();
     }
     if (command == "campaign") {
-      return cmd_campaign(args);
+      return flags_understood(args, {"ranks", "iterations", "ckpt",
+                                     "ondemand", "bid", "cells", "seed"})
+                 ? cmd_campaign(args)
+                 : usage();
     }
     if (command == "provision") {
-      return cmd_provision(args);
+      return flags_understood(args, {"platform"}) ? cmd_provision(args)
+                                                  : usage();
+    }
+    if (command == "broker") {
+      return flags_understood(
+                 args, {"app", "elements", "ranks", "cells", "iterations",
+                        "deadline-h", "budget-usd", "objective", "risk",
+                        "ported", "top", "seed", "csv"})
+                 ? cmd_broker(args)
+                 : usage();
     }
     std::cerr << "unknown command: " << command << "\n";
     return usage();
