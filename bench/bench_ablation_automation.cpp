@@ -10,12 +10,13 @@
 #include <iostream>
 
 #include "provision/planner.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_automation");
 
   provision::AutomationModel model;
   model.authoring_hours = args.get_double("authoring", 6.0);
@@ -43,11 +44,7 @@ int main(int argc, char** argv) {
   table.add_row({"TOTAL", fmt_double(manual_total, 1),
                  fmt_double(auto_total, 1),
                  fmt_double(manual_total - auto_total, 1)});
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   std::cout << "\n# Break-even: automation pays for itself after "
             << provision::automation_break_even(plans, model)
             << " provisioned platform(s).\n";

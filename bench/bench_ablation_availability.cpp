@@ -8,13 +8,14 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "core/report.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_availability");
   const int iterations = static_cast<int>(args.get_int("iterations", 1000));
 
   core::ExperimentRunner runner(42);
@@ -23,11 +24,7 @@ int main(int argc, char** argv) {
               << " iterations\n";
     const Table table = core::availability_table(
         runner, perf::AppKind::kReactionDiffusion, ranks, iterations);
-    if (csv) {
-      table.render_csv(std::cout);
-    } else {
-      table.render_text(std::cout);
-    }
+    out.emit(table, "ranks=" + std::to_string(ranks));
     std::cout << "\n";
   }
   std::cout << "# The cloud's minutes-scale boot time beats hour-scale "

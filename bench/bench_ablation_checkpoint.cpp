@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/campaign.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
@@ -17,7 +18,7 @@
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_checkpoint");
   const int ranks = static_cast<int>(args.get_int("ranks", 512));
   const int iterations = static_cast<int>(args.get_int("iterations", 500));
 
@@ -49,10 +50,6 @@ int main(int argc, char** argv) {
                  fmt_double(r.billed_usd, 2), std::to_string(r.interruptions),
                  std::to_string(r.iterations_redone),
                  std::to_string(r.checkpoints_written)});
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   return 0;
 }

@@ -12,13 +12,14 @@
 #include "netsim/fabric.hpp"
 #include "perf/scaling_model.hpp"
 #include "platform/platform_spec.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_contention");
 
   std::cout << "# Sensitivity — 1GbE oversubscription vs RD weak-scaling "
                "shape (ellipse CPU model, 4 ranks/node)\n";
@@ -51,11 +52,7 @@ int main(int argc, char** argv) {
     row.push_back(fmt_double(t512 / t1, 2));
     table.add_row(std::move(row));
   }
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   std::cout << "\n# The committed value (24) reproduces the paper's "
                "post-125 collapse; without contention the 1GbE curve would "
                "have stayed flat, contradicting the measurement.\n";

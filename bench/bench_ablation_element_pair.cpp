@@ -12,13 +12,14 @@
 #include "apps/ns_solver.hpp"
 #include "platform/platform_spec.hpp"
 #include "simmpi/runtime.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_element_pair");
   const int cells = static_cast<int>(args.get_int("cells", 4));
 
   std::cout << "# Ablation — NS element pair (direct run, 4 ranks, " << cells
@@ -50,10 +51,6 @@ int main(int argc, char** argv) {
                    fmt_double(rec.nodal_error, 5),
                    fmt_double(rec.l2_error, 6)});
   }
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   return 0;
 }

@@ -12,13 +12,14 @@
 #include "netsim/fabric.hpp"
 #include "perf/scaling_model.hpp"
 #include "platform/platform_spec.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_interconnect");
 
   std::cout << "# Ablation — puma's Opteron nodes behind different "
                "fabrics (RD weak scaling)\n";
@@ -41,11 +42,7 @@ int main(int argc, char** argv) {
                      fmt_double(b.total_s, 2)});
     }
   }
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
 
   // Reference: the real ec2 at 125 ranks (modern CPU + 10GbE).
   const auto& ec2 = platform::ec2();

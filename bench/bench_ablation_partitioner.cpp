@@ -12,13 +12,14 @@
 #include "netsim/fabric.hpp"
 #include "netsim/topology.hpp"
 #include "partition/partitioner.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_partitioner");
   const int n = static_cast<int>(args.get_int("cells", 12));
   const int parts = static_cast<int>(args.get_int("parts", 8));
 
@@ -71,10 +72,6 @@ int main(int argc, char** argv) {
   add("rcb", partition::partition_rcb(mesh, parts));
   add("greedy", partition::partition_greedy(graph, parts));
 
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   return 0;
 }

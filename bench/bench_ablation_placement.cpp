@@ -11,12 +11,13 @@
 #include <iostream>
 
 #include "core/report.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_placement");
 
   core::ExperimentRunner runner(42);
   std::cout << "# Ablation — cross-placement-group penalty sweep "
@@ -42,10 +43,6 @@ int main(int argc, char** argv) {
                    fmt_double(rm.iteration.total_s / rf.iteration.total_s, 3),
                    fmt_double(rm.est_cost_per_iteration_usd, 4)});
   }
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   return 0;
 }

@@ -11,13 +11,14 @@
 #include "apps/rd_solver.hpp"
 #include "platform/platform_spec.hpp"
 #include "simmpi/runtime.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_precond");
   const int cells = static_cast<int>(args.get_int("cells", 8));
 
   std::cout << "# Ablation — preconditioners on the RD system (direct run, "
@@ -48,10 +49,6 @@ int main(int argc, char** argv) {
                    fmt_double(timing.solve_s, 3),
                    fmt_double(timing.total_s, 3), fmt_double(error, 10)});
   }
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   return 0;
 }

@@ -11,13 +11,14 @@
 #include "netsim/fabric.hpp"
 #include "perf/scaling_model.hpp"
 #include "platform/platform_spec.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_ranks_per_node");
   const int ranks = static_cast<int>(args.get_int("ranks", 512));
 
   std::cout << "# Ablation — ranks per node vs fabric (RD projection at "
@@ -40,11 +41,7 @@ int main(int argc, char** argv) {
                      fmt_double(b.solve_s, 2), fmt_double(b.total_s, 2)});
     }
   }
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   std::cout << "\n# Fatter nodes -> fewer NICs sharing the same traffic -> "
                "less fabric contention; the effect is strongest on the "
                "oversubscribed Ethernet fabrics.\n";

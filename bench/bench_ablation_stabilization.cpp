@@ -11,13 +11,14 @@
 #include "apps/ns_solver.hpp"
 #include "platform/platform_spec.hpp"
 #include "simmpi/runtime.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_stabilization");
   const int cells = static_cast<int>(args.get_int("cells", 4));
 
   std::cout << "# Ablation — pressure stabilization delta (NS direct run, "
@@ -47,10 +48,6 @@ int main(int argc, char** argv) {
                    converged ? "yes" : "no", fmt_double(nodal, 5),
                    fmt_double(l2, 6)});
   }
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   return 0;
 }

@@ -11,13 +11,14 @@
 
 #include "perf/scaling_model.hpp"
 #include "platform/platform_spec.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_strong_scaling");
   const int global = static_cast<int>(args.get_int("global_cells", 80));
 
   std::cout << "# Extension — strong scaling of the RD application "
@@ -48,11 +49,7 @@ int main(int argc, char** argv) {
                      fmt_double(speedup / p, 3)});
     }
   }
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   std::cout << "\n# Parallel efficiency collapses fastest on the "
                "oversubscribed 1GbE fabrics; InfiniBand holds it longest.\n";
   return 0;

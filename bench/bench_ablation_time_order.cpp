@@ -10,13 +10,14 @@
 #include "apps/rd_solver.hpp"
 #include "platform/platform_spec.hpp"
 #include "simmpi/runtime.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "ablation_time_order");
 
   std::cout << "# Ablation — BDF order on the RD exactness oracle "
                "(direct run, 8 ranks, 6^3 cells, 4 steps)\n";
@@ -43,11 +44,7 @@ int main(int argc, char** argv) {
   run_case(2, 0.05);
   const double e1 = run_case(1, 0.1);
   const double e2 = run_case(1, 0.05);
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   std::cout << "\n# BDF1 error ratio for dt halving: "
             << fmt_double(e1 / e2, 2)
             << " (~2 confirms first order; BDF2 is exact on this solution)\n";

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "broker/broker.hpp"
 #include "support/cli.hpp"
 #include "support/units.hpp"
@@ -15,7 +16,7 @@
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "broker_frontier");
 
   bool sane = true;
   broker::Broker advisor(42);
@@ -69,11 +70,7 @@ int main(int argc, char** argv) {
         advisor.recommend(request, broker::min_effective_time());
     std::cout << "\n";
     const Table frontier = broker::frontier_table(rec);
-    if (csv) {
-      frontier.render_csv(std::cout);
-    } else {
-      frontier.render_text(std::cout);
-    }
+    out.emit(frontier, app_name);
     std::cout << "\n";
   }
 

@@ -12,13 +12,14 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "core/report.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "fig4_rd_weak_scaling");
   const int cells = static_cast<int>(args.get_int("cells", 20));
 
   core::ExperimentRunner runner(42);
@@ -49,11 +50,7 @@ int main(int argc, char** argv) {
                      fmt_double(r.iteration.solver_iterations, 0), "ok"});
     }
   }
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
 
   if (args.get_bool("validate", false)) {
     std::cout << "\n# Direct-run validation (real solver through the "
@@ -81,6 +78,7 @@ int main(int argc, char** argv) {
                  fmt_double(rm.iteration.solve_s, 3), "-"});
     }
     v.render_text(std::cout);
+    out.record(v, "validate");
   }
   return 0;
 }

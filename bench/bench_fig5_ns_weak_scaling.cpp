@@ -8,12 +8,13 @@
 #include <iostream>
 
 #include "core/report.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "fig5_ns_weak_scaling");
   const int cells = static_cast<int>(args.get_int("cells", 20));
 
   core::ExperimentRunner runner(42);
@@ -23,11 +24,7 @@ int main(int argc, char** argv) {
   const auto procs = core::paper_process_counts();
   const Table table =
       core::weak_scaling_figure(runner, perf::AppKind::kNavierStokes, procs);
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
 
   // The paper's qualitative claims, checked numerically on the series.
   core::Experiment small_ec2;

@@ -6,12 +6,13 @@
 #include <iostream>
 
 #include "core/report.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "fig6_rd_cost");
 
   core::ExperimentRunner runner(42);
   std::cout << "# Figure 6 — per-iteration costs, RD application weak "
@@ -19,11 +20,7 @@ int main(int argc, char** argv) {
   const auto procs = core::paper_process_counts();
   const Table table = core::cost_figure(
       runner, perf::AppKind::kReactionDiffusion, procs);
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   std::cout << "\n# Core-hour rates: puma 2.3c (capital+operations), "
                "ellipse 5c flat, lagrange 19.19c (EUR 0.15), ec2 15c "
                "on-demand / 3.375c spot, whole 16-core instances billed.\n";

@@ -6,12 +6,13 @@
 #include <iostream>
 
 #include "core/report.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "fig7_ns_cost");
 
   core::ExperimentRunner runner(42);
   std::cout << "# Figure 7 — per-iteration costs, Navier-Stokes application "
@@ -19,11 +20,7 @@ int main(int argc, char** argv) {
   const auto procs = core::paper_process_counts();
   const Table table =
       core::cost_figure(runner, perf::AppKind::kNavierStokes, procs);
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
 
   // Spot-check the crossover claim at a mid size every platform can run.
   core::Experiment ec2;

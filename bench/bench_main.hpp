@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file bench_main.hpp
+/// Shared output plumbing for the bench binaries. Every main funnels its
+/// tables through a BenchOutput, which renders to stdout (aligned text, or
+/// CSV under `--csv`) and — when `--json <path>` is given — also appends
+/// one schema-versioned JSONL record per table row, the machine-readable
+/// results that `tools/check_bench.py` gates CI on.
+///
+/// The exception is bench_kernels, which links google-benchmark's own main
+/// and keeps its native `--benchmark_out` JSON instead.
+
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "obs/bench_io.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace hetero::bench {
+
+class BenchOutput {
+ public:
+  /// `bench_name` becomes the "bench" field of every JSONL record.
+  BenchOutput(const CliArgs& args, std::string bench_name)
+      : csv_(args.get_bool("csv", false)),
+        reporter_(args, std::move(bench_name)) {}
+
+  bool csv() const { return csv_; }
+
+  /// Renders the table to stdout and records its rows for the JSONL report.
+  /// `series` tags the records of benches that emit several tables.
+  void emit(const Table& table, const std::string& series = "") {
+    if (csv_) {
+      table.render_csv(std::cout);
+    } else {
+      table.render_text(std::cout);
+    }
+    reporter_.add_table(table, series);
+  }
+
+  /// Records table rows for the JSONL report without printing (for
+  /// supplementary tables the text output renders differently).
+  void record(const Table& table, const std::string& series = "") {
+    reporter_.add_table(table, series);
+  }
+
+  /// Records one hand-built datapoint (non-tabular results).
+  void record(obs::Json record) { reporter_.add_record(std::move(record)); }
+
+ private:
+  bool csv_;
+  obs::BenchReporter reporter_;
+};
+
+}  // namespace hetero::bench

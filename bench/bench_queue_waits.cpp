@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "platform/platform_spec.hpp"
 #include "sched/scheduler.hpp"
 #include "support/cli.hpp"
@@ -18,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
+  bench::BenchOutput out(args, "queue_waits");
   const int ranks = static_cast<int>(args.get_int("ranks", 64));
   const int samples = static_cast<int>(args.get_int("samples", 2000));
 
@@ -48,6 +50,6 @@ int main(int argc, char** argv) {
       std::cout << h.render(36) << "\n";
     }
   }
-  table.render_text(std::cout);
+  out.emit(table);
   return 0;
 }

@@ -4,24 +4,21 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "core/report.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "summary");
   const int ranks = static_cast<int>(args.get_int("ranks", 125));
 
   core::ExperimentRunner runner(42);
   std::cout << "# Summary (Section VIII) — all axes at " << ranks
             << " processes\n";
   const Table table = core::summary_table(runner, ranks);
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   std::cout <<
       "\n# puma: cheapest core-hour, zero porting — but only 128 cores.\n"
       "# ellipse: big but serial-configured SGE and a 1GbE fabric.\n"

@@ -7,21 +7,18 @@
 #include "netsim/fabric.hpp"
 #include "platform/capability_table.hpp"
 #include "provision/planner.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 #include "support/units.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "table1_capabilities");
 
   std::cout << "# Table I — specification of the test architectures\n";
   const Table table = platform::capability_table();
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
 
   std::cout << "\n# Porting effort summary (Section VI)\n";
   Table effort({"platform", "source builds", "man-hours", "note"});
@@ -38,11 +35,7 @@ int main(int argc, char** argv) {
     effort.add_row({spec->name, std::to_string(plan.source_builds()),
                     fmt_double(plan.total_hours(), 1), note});
   }
-  if (csv) {
-    effort.render_csv(std::cout);
-  } else {
-    effort.render_text(std::cout);
-  }
+  out.emit(effort);
 
   std::cout << "\n# Interconnect models behind the 'network' row\n";
   Table fabrics({"fabric", "latency", "bandwidth", "eager limit",
@@ -58,10 +51,6 @@ int main(int argc, char** argv) {
                      format_bitrate(p.node_injection_bps * 8.0),
                      fmt_double(p.oversubscription, 1)});
   }
-  if (csv) {
-    fabrics.render_csv(std::cout);
-  } else {
-    fabrics.render_text(std::cout);
-  }
+  out.emit(fabrics);
   return 0;
 }

@@ -12,23 +12,20 @@
 #include <iostream>
 
 #include "core/report.hpp"
+#include "bench_main.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetero;
   const CliArgs args(argc, argv);
-  const bool csv = args.get_bool("csv", false);
+  bench::BenchOutput out(args, "table2_placement_groups");
 
   core::ExperimentRunner runner(42);
   std::cout << "# Table II — EC2 cc2.8xlarge assemblies: full (on-demand, "
                "one placement group) vs mix (spot + on-demand, four groups)\n";
   const auto procs = core::paper_process_counts();
   const Table table = core::table2_ec2_assemblies(runner, procs);
-  if (csv) {
-    table.render_csv(std::cout);
-  } else {
-    table.render_text(std::cout);
-  }
+  out.emit(table);
   std::cout << "\n# Regular $2.40/host-h vs spot ~$0.54/host-h: the mix's "
                "estimated cost is ~4.4x lower at equal time.\n";
   return 0;

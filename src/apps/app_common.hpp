@@ -8,6 +8,9 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace hetero::apps {
 
 /// Per-core compute rates of the platform the job "runs on". Direct-mode
@@ -56,6 +59,47 @@ struct IterationTiming {
   double solve_s = 0.0;           // step (iiib)
   double total_s = 0.0;           // whole iteration including overheads
 };
+
+namespace detail {
+/// Registry handles resolved once (lookup takes a mutex).
+struct PhaseMetrics {
+  obs::Counter& steps = obs::metrics().counter("app.steps");
+  obs::Counter& assembly_s = obs::metrics().counter("app.phase.assembly_s");
+  obs::Counter& preconditioner_s =
+      obs::metrics().counter("app.phase.preconditioner_s");
+  obs::Counter& solve_s = obs::metrics().counter("app.phase.solve_s");
+  obs::Counter& total_s = obs::metrics().counter("app.phase.total_s");
+};
+
+inline PhaseMetrics& phase_metrics() {
+  static PhaseMetrics metrics;
+  return metrics;
+}
+}  // namespace detail
+
+/// Emits this rank's phase spans for one time step onto its trace row. The
+/// timestamps are the virtual-clock marks the applications already take.
+inline void trace_step_phases(int rank, double t_begin, double t_assembled,
+                              double t_preconditioned, double t_solved) {
+  if (auto* trace = obs::current_trace()) {
+    trace->complete(rank, "assembly", "app", t_begin, t_assembled);
+    trace->complete(rank, "preconditioner", "app", t_assembled,
+                    t_preconditioned);
+    trace->complete(rank, "solve", "app", t_preconditioned, t_solved);
+  }
+}
+
+/// Rank 0 accumulates the allreduced phase maxima, so `app.phase.*_s`
+/// divided by `app.steps` equals the per-iteration means an
+/// ExperimentResult reports — the invariant obs_test asserts.
+inline void record_phase_metrics(const IterationTiming& timing) {
+  auto& metrics = detail::phase_metrics();
+  metrics.steps.increment();
+  metrics.assembly_s.add(timing.assembly_s);
+  metrics.preconditioner_s.add(timing.preconditioner_s);
+  metrics.solve_s.add(timing.solve_s);
+  metrics.total_s.add(timing.total_s);
+}
 
 /// Outcome of one time step of an application.
 struct StepRecord {

@@ -407,6 +407,12 @@ StepRecord NsSolver::step() {
   record.timing.solve_s = maxed[2];
   record.timing.total_s = maxed[3];
 
+  trace_step_phases(comm_->world_rank(), t_begin, t_assembled,
+                    t_preconditioned, t_solved);
+  if (comm_->rank() == 0) {
+    record_phase_metrics(record.timing);
+  }
+
   if (config_.compute_errors) {
     x_now_->update_ghosts(*comm_, builder_->halo());
     // Max nodal velocity error over owned dofs and components.

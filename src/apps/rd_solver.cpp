@@ -188,6 +188,12 @@ StepRecord RdSolver::step() {
   record.timing.solve_s = maxed[2];
   record.timing.total_s = maxed[3];
 
+  trace_step_phases(comm_->world_rank(), t_begin, t_assembled,
+                    t_preconditioned, t_solved);
+  if (comm_->rank() == 0) {
+    record_phase_metrics(record.timing);
+  }
+
   if (config_.compute_errors) {
     u_now_->update_ghosts(*comm_, builder_->halo());
     auto exact = [&](const mesh::Vec3& p) {

@@ -3,9 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace hetero::cloud {
+
+namespace {
+
+struct CloudMetrics {
+  obs::Counter& instances_launched =
+      obs::metrics().counter("cloud.instances_launched");
+  obs::Counter& spot_reclaims = obs::metrics().counter("cloud.spot_reclaims");
+  obs::Gauge& billed_usd = obs::metrics().gauge("cloud.billed_usd");
+};
+
+CloudMetrics& cloud_metrics() {
+  static CloudMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 Ec2Service::Ec2Service(std::uint64_t seed)
     : seed_(seed), rng_(seed), market_(seed ^ 0x5107B007ULL) {}
@@ -30,6 +48,14 @@ std::vector<Instance> Ec2Service::advance(double seconds) {
       }
     }
   }
+  if (!reclaimed.empty()) {
+    // The unpredictability the paper warns about: surface it on the trace
+    // timeline (service wall clock) and in the metric totals.
+    cloud_metrics().spot_reclaims.add(static_cast<double>(reclaimed.size()));
+    obs::trace_instant("spot_reclaim", "cloud", clock_s_, "instances",
+                       static_cast<double>(reclaimed.size()));
+  }
+  cloud_metrics().billed_usd.set(billed_usd());
   return reclaimed;
 }
 
@@ -61,6 +87,7 @@ Instance Ec2Service::make_instance(const InstanceType& type, bool spot,
   inst.private_ip = "10.0." + std::to_string(inst.id / 256) + "." +
                     std::to_string(inst.id % 256);
   charges_.push_back({inst.id, price, clock_s_, -1.0});
+  cloud_metrics().instances_launched.increment();
   return inst;
 }
 

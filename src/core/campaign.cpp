@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "cloud/ec2_service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "platform/platform_spec.hpp"
 #include "support/error.hpp"
 
@@ -100,6 +102,13 @@ CampaignResult simulate_ec2_campaign(const CampaignConfig& config) {
   auto roll_back = [&]() {
     ++result.interruptions;
     result.iterations_redone += done - last_checkpoint;
+    obs::metrics().counter("campaign.interruptions").increment();
+    obs::metrics()
+        .counter("campaign.iterations_redone")
+        .add(static_cast<double>(done - last_checkpoint));
+    obs::trace_instant("spot_interruption", "campaign", service.now_s(),
+                       "iterations_lost",
+                       static_cast<double>(done - last_checkpoint));
     done = last_checkpoint;
   };
 
@@ -136,6 +145,9 @@ CampaignResult simulate_ec2_campaign(const CampaignConfig& config) {
         budget -= config.checkpoint_write_s;
         last_checkpoint = done;
         ++result.checkpoints_written;
+        obs::metrics().counter("campaign.checkpoints").increment();
+        obs::trace_instant("checkpoint", "campaign", service.now_s(),
+                           "iterations_done", static_cast<double>(done));
         if (budget < 0.0) {
           budget = 0.0;
         }

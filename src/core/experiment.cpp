@@ -1,10 +1,14 @@
 #include "core/experiment.hpp"
 
 #include <cmath>
+#include <memory>
+#include <optional>
 
 #include "apps/ns_solver.hpp"
 #include "apps/rd_solver.hpp"
 #include "cloud/ec2_service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "provision/planner.hpp"
 #include "sched/scheduler.hpp"
 #include "simmpi/runtime.hpp"
@@ -22,6 +26,18 @@ perf::ModelConfig model_for(const Experiment& e) {
   m.cells_per_rank_axis = e.cells_per_rank_axis;
   return m;
 }
+
+/// Installs a trace recorder for the duration of a scope; uninstalls on
+/// exit so an exception inside the run cannot leave a dangling recorder.
+class ScopedTraceInstall {
+ public:
+  explicit ScopedTraceInstall(obs::TraceRecorder* recorder) {
+    obs::set_current_trace(recorder);
+  }
+  ScopedTraceInstall(const ScopedTraceInstall&) = delete;
+  ScopedTraceInstall& operator=(const ScopedTraceInstall&) = delete;
+  ~ScopedTraceInstall() { obs::set_current_trace(nullptr); }
+};
 
 }  // namespace
 
@@ -61,6 +77,9 @@ ExperimentResult ExperimentRunner::run(const Experiment& experiment) {
   run_part.queue_wait_s = result.queue_wait_s;
   run_part.provisioning_hours = result.provisioning_hours;
   run_part.hosts = result.hosts;
+  if (!experiment.metrics_path.empty()) {
+    obs::metrics().write_json(experiment.metrics_path);
+  }
   return run_part;
 }
 
@@ -135,6 +154,13 @@ ExperimentResult ExperimentRunner::run_direct(
   ExperimentResult result;
   simmpi::Runtime runtime(spec.topology(experiment.ranks));
 
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  std::optional<ScopedTraceInstall> install;
+  if (!experiment.trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>(experiment.ranks);
+    install.emplace(recorder.get());
+  }
+
   // Global mesh: cells_per_rank_axis^3 per rank, cube decomposition.
   const int k = static_cast<int>(std::round(std::cbrt(experiment.ranks)));
   HETERO_REQUIRE(k * k * k == experiment.ranks,
@@ -178,6 +204,10 @@ ExperimentResult ExperimentRunner::run_direct(
       }
     }
   });
+
+  if (recorder) {
+    recorder->write_chrome_json(experiment.trace_path);
+  }
 
   result.iteration.assembly_s = assembly.mean();
   result.iteration.preconditioner_s = precond.mean();

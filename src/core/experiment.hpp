@@ -45,6 +45,13 @@ struct Experiment {
   double cross_group_penalty = 0.02;
   double ec2_spot_bid_usd = 1.20;
 
+  // --- observability knobs ---------------------------------------------------
+  /// Direct mode: write a Chrome trace_event JSON (one row per rank, virtual
+  /// microseconds — loads in chrome://tracing / Perfetto). Empty = off.
+  std::string trace_path;
+  /// Write the global metrics registry as JSON after the run. Empty = off.
+  std::string metrics_path;
+
   std::uint64_t seed = 42;
 };
 

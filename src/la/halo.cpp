@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace hetero::la {
@@ -10,6 +12,16 @@ namespace {
 constexpr int kTagRequest = 7001;
 constexpr int kTagImport = 7002;
 constexpr int kTagExport = 7003;
+
+struct HaloMetrics {
+  obs::Counter& exchanges = obs::metrics().counter("la.halo.exchanges");
+  obs::Counter& bytes = obs::metrics().counter("la.halo.bytes");
+};
+
+HaloMetrics& halo_metrics() {
+  static HaloMetrics metrics;
+  return metrics;
+}
 }  // namespace
 
 HaloExchange::HaloExchange(simmpi::Comm& comm, const IndexMap& map)
@@ -52,6 +64,12 @@ void HaloExchange::import_ghosts(simmpi::Comm& comm,
                                  std::span<double> values) const {
   HETERO_REQUIRE(static_cast<int>(values.size()) == map_->local_count(),
                  "import_ghosts: value array size mismatch");
+  obs::ScopedSpan span(comm, "halo_import", "la");
+  const double moved = static_cast<double>(import_size() * sizeof(double));
+  span.set_arg("bytes", moved);
+  auto& metrics = halo_metrics();
+  metrics.exchanges.increment();
+  metrics.bytes.add(moved);
   // Buffered sends first, then receives: deadlock-free with eager sends.
   std::vector<double> buffer;
   for (const auto& peer : peers_) {
@@ -80,6 +98,16 @@ void HaloExchange::export_add(simmpi::Comm& comm,
                               std::span<double> values) const {
   HETERO_REQUIRE(static_cast<int>(values.size()) == map_->local_count(),
                  "export_add: value array size mismatch");
+  obs::ScopedSpan span(comm, "halo_export", "la");
+  std::size_t ghost_doubles = 0;
+  for (const auto& peer : peers_) {
+    ghost_doubles += peer.recv_lids.size();
+  }
+  const double moved = static_cast<double>(ghost_doubles * sizeof(double));
+  span.set_arg("bytes", moved);
+  auto& metrics = halo_metrics();
+  metrics.exchanges.increment();
+  metrics.bytes.add(moved);
   std::vector<double> buffer;
   for (const auto& peer : peers_) {
     if (peer.recv_lids.empty()) {

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file bench_io.hpp
+/// Structured results layer: schema-versioned JSONL records for the bench
+/// suite and the CLI, one record per datapoint. This is what
+/// `tools/check_bench.py` reads to gate CI on the *shape* of the paper's
+/// figures rather than on "it ran".
+///
+/// Record layout (schema "heterolab-bench-v1"): a flat JSON object per line
+///   {"schema":"heterolab-bench-v1","bench":"fig4_rd_weak_scaling",
+///    "platform":"lagrange","procs":343,"total_s":9.42,...}
+/// Field names derive from table headers via `field_name()` ("assembly[s]"
+/// -> "assembly_s", "full real cost[$]" -> "full_real_cost_usd"); numeric
+/// cells become JSON numbers and the "-" placeholder becomes null.
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace hetero::obs {
+
+/// Version tag stamped on every bench record.
+inline constexpr const char* kBenchSchema = "heterolab-bench-v1";
+
+/// Canonical JSON field name for a table column header.
+std::string field_name(const std::string& header);
+
+/// Table cell -> JSON: numbers parse to numbers, "-" to null, rest verbatim.
+Json cell_value(const std::string& cell);
+
+/// Appends one JSON document per line; creates/truncates `path` on open.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(const std::string& path);
+  ~JsonlWriter();
+
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  void write(const Json& record);
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string buffer_;
+};
+
+/// Parses a JSONL file into one Json per non-empty line.
+std::vector<Json> read_jsonl(const std::string& path);
+
+/// Per-binary reporter: reads `--json <path>` from the CLI args and, when
+/// present, writes every added record on destruction. With no `--json` flag
+/// it is a cheap no-op, so bench mains call it unconditionally.
+class BenchReporter {
+ public:
+  /// `bench` is the record's "bench" field (binary name sans path).
+  BenchReporter(const CliArgs& args, std::string bench);
+  ~BenchReporter();
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  /// True when --json was passed (records will be written).
+  bool enabled() const { return !path_.empty(); }
+
+  /// One record per table row; `series` tags the record (e.g. which of a
+  /// bench's tables it came from) when non-empty.
+  void add_table(const Table& table, const std::string& series = "");
+
+  /// One hand-built record; "schema"/"bench" fields are stamped on top.
+  void add_record(Json record);
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<Json> records_;
+};
+
+}  // namespace hetero::obs

@@ -1,0 +1,187 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace hetero::obs {
+
+namespace detail {
+
+std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+void atomic_update_min(std::atomic<double>& slot, double value) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (value < current && !slot.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_update_max(std::atomic<double>& slot, double value) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (value > current && !slot.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+double Counter::value() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& shard : shards_) {
+    shard.value.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::min() const {
+  double result = 0.0;
+  bool seen = false;
+  for (const auto& shard : shards_) {
+    if (shard.count.load(std::memory_order_relaxed) == 0) {
+      continue;
+    }
+    const double v = shard.min.load(std::memory_order_relaxed);
+    result = seen ? std::min(result, v) : v;
+    seen = true;
+  }
+  return result;
+}
+
+double Histogram::max() const {
+  double result = 0.0;
+  bool seen = false;
+  for (const auto& shard : shards_) {
+    if (shard.count.load(std::memory_order_relaxed) == 0) {
+      continue;
+    }
+    const double v = shard.max.load(std::memory_order_relaxed);
+    result = seen ? std::max(result, v) : v;
+    seen = true;
+  }
+  return result;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void Histogram::reset() {
+  for (auto& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(0.0, std::memory_order_relaxed);
+    shard.max.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+template <class T>
+T& MetricsRegistry::find_or_create(std::vector<Named<T>>& list,
+                                   const std::string& name) {
+  for (auto& entry : list) {
+    if (entry.name == name) {
+      return *entry.metric;
+    }
+  }
+  list.push_back(Named<T>{name, std::make_unique<T>()});
+  return *list.back().metric;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(histograms_, name);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) {
+    entry.metric->reset();
+  }
+  for (auto& entry : gauges_) {
+    entry.metric->reset();
+  }
+  for (auto& entry : histograms_) {
+    entry.metric->reset();
+  }
+}
+
+Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json counters = Json::object();
+  for (const auto& entry : counters_) {
+    counters.set(entry.name, entry.metric->value());
+  }
+  Json gauges = Json::object();
+  for (const auto& entry : gauges_) {
+    gauges.set(entry.name, entry.metric->value());
+  }
+  Json histograms = Json::object();
+  for (const auto& entry : histograms_) {
+    Json h = Json::object();
+    h.set("count", static_cast<std::uint64_t>(entry.metric->count()));
+    h.set("sum", entry.metric->sum());
+    h.set("min", entry.metric->min());
+    h.set("max", entry.metric->max());
+    h.set("mean", entry.metric->mean());
+    histograms.set(entry.name, std::move(h));
+  }
+  Json doc = Json::object();
+  doc.set("schema", "heterolab-metrics-v1");
+  doc.set("counters", std::move(counters));
+  doc.set("gauges", std::move(gauges));
+  doc.set("histograms", std::move(histograms));
+  return doc;
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  HETERO_REQUIRE(os.good(), "cannot open metrics output file: " + path);
+  os << to_json().dump() << "\n";
+  HETERO_REQUIRE(os.good(), "failed writing metrics output file: " + path);
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace hetero::obs

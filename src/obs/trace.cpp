@@ -1,0 +1,252 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace hetero::obs {
+
+namespace {
+
+// Streaming serialization helpers for write_chrome_json: a large direct run
+// records ~1e5 events, and building a Json DOM for them (or calling
+// snprintf per number) costs more than the run itself. std::to_chars emits
+// the shortest round-trippable representation, which any JSON parser reads
+// back to the identical double.
+void stream_number(std::string& out, double v) {
+  HETERO_REQUIRE(std::isfinite(v),
+                 "trace: cannot serialize a non-finite number");
+  char buf[40];
+  std::to_chars_result result;
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    result = std::to_chars(buf, buf + sizeof(buf),
+                           static_cast<long long>(v));
+  } else {
+    result = std::to_chars(buf, buf + sizeof(buf), v);
+  }
+  out.append(buf, result.ptr);
+}
+
+// Event names/categories are string literals chosen by instrumentation
+// sites; escape the JSON-special characters anyway so a stray quote cannot
+// corrupt the file.
+void stream_string(std::string& out, const char* s) {
+  out.push_back('"');
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(int ranks, std::size_t capacity_per_rank)
+    : buffers_(static_cast<std::size_t>(ranks)), capacity_(capacity_per_rank) {
+  HETERO_REQUIRE(ranks >= 1, "TraceRecorder needs at least one rank");
+  HETERO_REQUIRE(capacity_ >= 1, "TraceRecorder needs a nonzero capacity");
+}
+
+void TraceRecorder::record(int rank, const TraceEvent& event) {
+  HETERO_REQUIRE(rank >= 0 && rank < ranks(),
+                 "TraceRecorder: rank out of range");
+  RankBuffer& buffer = buffers_[static_cast<std::size_t>(rank)];
+  if (buffer.ring.size() < capacity_) {
+    buffer.ring.push_back(event);
+  } else {
+    buffer.ring[buffer.recorded % capacity_] = event;
+  }
+  ++buffer.recorded;
+}
+
+void TraceRecorder::complete(int rank, const char* name, const char* category,
+                             double t0_s, double t1_s, const char* arg_name,
+                             double arg) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'X';
+  event.rank = rank;
+  event.ts_s = t0_s;
+  event.dur_s = t1_s > t0_s ? t1_s - t0_s : 0.0;
+  event.arg_name = arg_name;
+  event.arg = arg;
+  record(rank, event);
+}
+
+void TraceRecorder::instant(int rank, const char* name, const char* category,
+                            double ts_s, const char* arg_name, double arg) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.rank = rank;
+  event.ts_s = ts_s;
+  event.arg_name = arg_name;
+  event.arg = arg;
+  record(rank, event);
+}
+
+std::vector<TraceEvent> TraceRecorder::events(int rank) const {
+  HETERO_REQUIRE(rank >= 0 && rank < ranks(),
+                 "TraceRecorder: rank out of range");
+  const RankBuffer& buffer = buffers_[static_cast<std::size_t>(rank)];
+  std::vector<TraceEvent> out;
+  out.reserve(buffer.ring.size());
+  if (buffer.recorded <= capacity_) {
+    out = buffer.ring;
+  } else {
+    const std::size_t oldest = buffer.recorded % capacity_;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(buffer.ring[(oldest + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::merged() const {
+  std::vector<TraceEvent> all;
+  for (int r = 0; r < ranks(); ++r) {
+    const auto rank_events = events(r);
+    all.insert(all.end(), rank_events.begin(), rank_events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_s != b.ts_s) {
+                       return a.ts_s < b.ts_s;
+                     }
+                     return a.rank < b.rank;
+                   });
+  return all;
+}
+
+std::uint64_t TraceRecorder::recorded(int rank) const {
+  HETERO_REQUIRE(rank >= 0 && rank < ranks(),
+                 "TraceRecorder: rank out of range");
+  return buffers_[static_cast<std::size_t>(rank)].recorded;
+}
+
+std::uint64_t TraceRecorder::dropped(int rank) const {
+  const std::uint64_t total = recorded(rank);
+  return total > capacity_ ? total - capacity_ : 0;
+}
+
+Json TraceRecorder::chrome_json() const {
+  Json events_json = Json::array();
+  // Thread metadata first: Perfetto names each rank's row.
+  for (int r = 0; r < ranks(); ++r) {
+    Json meta = Json::object();
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", 0);
+    meta.set("tid", r);
+    Json args = Json::object();
+    args.set("name", "rank " + std::to_string(r));
+    meta.set("args", std::move(args));
+    events_json.push_back(std::move(meta));
+  }
+  constexpr double kMicro = 1e6;  // virtual seconds -> trace microseconds
+  for (const TraceEvent& event : merged()) {
+    Json e = Json::object();
+    e.set("name", event.name);
+    e.set("cat", event.category);
+    e.set("ph", std::string(1, event.phase));
+    e.set("ts", event.ts_s * kMicro);
+    if (event.phase == 'X') {
+      e.set("dur", event.dur_s * kMicro);
+    }
+    if (event.phase == 'i') {
+      e.set("s", "t");  // thread-scoped instant
+    }
+    e.set("pid", 0);
+    e.set("tid", event.rank);
+    if (event.arg_name != nullptr) {
+      Json args = Json::object();
+      args.set(event.arg_name, event.arg);
+      e.set("args", std::move(args));
+    }
+    events_json.push_back(std::move(e));
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events_json));
+  doc.set("displayTimeUnit", "ms");
+  Json meta = Json::object();
+  meta.set("clock", "virtual platform seconds (simmpi::SimClock), as us");
+  doc.set("metadata", std::move(meta));
+  return doc;
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  HETERO_REQUIRE(os.good(), "cannot open trace output file: " + path);
+
+  // Streamed equivalent of chrome_json().dump(): serialize each event
+  // straight into one reused buffer instead of materializing a Json DOM.
+  std::string out;
+  out.reserve(1 << 20);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (int r = 0; r < ranks(); ++r) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    stream_number(out, r);
+    out += ",\"args\":{\"name\":\"rank ";
+    stream_number(out, r);
+    out += "\"}}";
+  }
+  constexpr double kMicro = 1e6;  // virtual seconds -> trace microseconds
+  for (const TraceEvent& event : merged()) {
+    out += ",{\"name\":";
+    stream_string(out, event.name);
+    out += ",\"cat\":";
+    stream_string(out, event.category);
+    out += ",\"ph\":\"";
+    out.push_back(event.phase);
+    out += "\",\"ts\":";
+    stream_number(out, event.ts_s * kMicro);
+    if (event.phase == 'X') {
+      out += ",\"dur\":";
+      stream_number(out, event.dur_s * kMicro);
+    }
+    if (event.phase == 'i') {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    out += ",\"pid\":0,\"tid\":";
+    stream_number(out, event.rank);
+    if (event.arg_name != nullptr) {
+      out += ",\"args\":{";
+      stream_string(out, event.arg_name);
+      out.push_back(':');
+      stream_number(out, event.arg);
+      out.push_back('}');
+    }
+    out.push_back('}');
+    if (out.size() >= (1 << 20)) {
+      os.write(out.data(), static_cast<std::streamsize>(out.size()));
+      out.clear();
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"metadata\":{\"clock\":"
+         "\"virtual platform seconds (simmpi::SimClock), as us\"}}\n";
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+  HETERO_REQUIRE(os.good(), "failed writing trace output file: " + path);
+}
+
+}  // namespace hetero::obs

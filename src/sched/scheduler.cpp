@@ -3,11 +3,41 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace hetero::sched {
 
 namespace {
+
+struct SchedMetrics {
+  obs::Counter& submissions = obs::metrics().counter("sched.submissions");
+  obs::Counter& launch_failures =
+      obs::metrics().counter("sched.launch_failures");
+  obs::Histogram& queue_wait_s =
+      obs::metrics().histogram("sched.queue_wait_s");
+};
+
+SchedMetrics& sched_metrics() {
+  static SchedMetrics metrics;
+  return metrics;
+}
+
+/// Shared queue-event bookkeeping for every scheduler flavour. Host-side
+/// events land on trace row 0 with the queue wait as their timestamp.
+void record_outcome(const JobOutcome& out) {
+  auto& metrics = sched_metrics();
+  metrics.submissions.increment();
+  if (!out.launched) {
+    metrics.launch_failures.increment();
+    obs::trace_instant("launch_failed", "sched", 0.0);
+    return;
+  }
+  metrics.queue_wait_s.observe(out.wait_s);
+  obs::trace_instant("job_launched", "sched", out.wait_s, "wait_s",
+                     out.wait_s);
+}
 
 /// Lognormal wait with the platform's median, scaled by how much of the
 /// machine the job asks for: requesting most of a busy cluster means
@@ -37,18 +67,23 @@ JobOutcome launch_failure(const platform::PlatformSpec& spec, int ranks) {
 JobOutcome PbsScheduler::submit(const JobRequest& request, Rng& rng) {
   HETERO_REQUIRE(request.ranks >= 1, "job needs at least one rank");
   if (!spec_->can_launch(request.ranks)) {
-    return launch_failure(*spec_, request.ranks);
+    const JobOutcome out = launch_failure(*spec_, request.ranks);
+    record_outcome(out);
+    return out;
   }
   JobOutcome out;
   out.launched = true;
   out.wait_s = queue_wait(*spec_, request.ranks, rng);
+  record_outcome(out);
   return out;
 }
 
 JobOutcome SgeScheduler::submit(const JobRequest& request, Rng& rng) {
   HETERO_REQUIRE(request.ranks >= 1, "job needs at least one rank");
   if (!spec_->can_launch(request.ranks)) {
-    return launch_failure(*spec_, request.ranks);
+    const JobOutcome out = launch_failure(*spec_, request.ranks);
+    record_outcome(out);
+    return out;
   }
   JobOutcome out;
   out.launched = true;
@@ -58,13 +93,16 @@ JobOutcome SgeScheduler::submit(const JobRequest& request, Rng& rng) {
       (request.ranks + spec_->cores_per_node() - 1) / spec_->cores_per_node();
   out.wait_s = queue_wait(*spec_, request.ranks, rng) +
                0.25 * static_cast<double>(nodes);
+  record_outcome(out);
   return out;
 }
 
 JobOutcome ShellLauncher::submit(const JobRequest& request, Rng& rng) {
   HETERO_REQUIRE(request.ranks >= 1, "job needs at least one rank");
   if (!spec_->can_launch(request.ranks)) {
-    return launch_failure(*spec_, request.ranks);
+    const JobOutcome out = launch_failure(*spec_, request.ranks);
+    record_outcome(out);
+    return out;
   }
   JobOutcome out;
   out.launched = true;
@@ -76,6 +114,7 @@ JobOutcome ShellLauncher::submit(const JobRequest& request, Rng& rng) {
   const int nodes =
       (request.ranks + spec_->cores_per_node() - 1) / spec_->cores_per_node();
   out.wait_s = boot + 2.0 * static_cast<double>(nodes) / 63.0;
+  record_outcome(out);
   return out;
 }
 

@@ -4,10 +4,27 @@
 #include <array>
 
 #include "netsim/collectives.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hetero::simmpi {
 
 namespace {
+
+/// Registry handles hoisted out of the per-message paths (the registry
+/// lookup takes a mutex; these references are stable for process lifetime).
+struct CommMetrics {
+  obs::Counter& messages = obs::metrics().counter("simmpi.messages");
+  obs::Counter& p2p_bytes = obs::metrics().counter("simmpi.p2p_bytes");
+  obs::Counter& collectives = obs::metrics().counter("simmpi.collectives");
+  obs::Counter& collective_wait_s =
+      obs::metrics().counter("simmpi.collective_wait_s");
+};
+
+CommMetrics& comm_metrics() {
+  static CommMetrics metrics;
+  return metrics;
+}
 
 /// Element-wise combine for reductions over a flat byte image of T.
 template <class T>
@@ -96,11 +113,19 @@ void Comm::send_bytes(std::vector<std::byte> payload, int dest, int tag) {
   const netsim::Fabric& fabric = topo.same_node(rank_, world_dest)
                                      ? topo.intra_node_fabric()
                                      : topo.inter_node_fabric();
+  const double bytes = static_cast<double>(payload.size());
   const double overhead =
-      0.5 * fabric.params().latency_s +
-      static_cast<double>(payload.size()) / fabric.params().bandwidth_bps;
+      0.5 * fabric.params().latency_s + bytes / fabric.params().bandwidth_bps;
+  const double before = now();
   clock().advance(overhead);
   stats.comm_seconds += overhead;
+
+  if (auto* trace = obs::current_trace()) {
+    trace->complete(rank_, "send", "simmpi", before, now(), "bytes", bytes);
+  }
+  auto& metrics = comm_metrics();
+  metrics.messages.increment();
+  metrics.p2p_bytes.add(bytes);
 
   runtime_->post_send(rank_, world_dest, tag, group_, std::move(payload),
                       now());
@@ -117,14 +142,34 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
       env.source, rank_, env.payload.size());
   clock().advance_to(env.depart_time + transfer);
   stats.comm_seconds += now() - before;
+  if (auto* trace = obs::current_trace()) {
+    trace->complete(rank_, "recv", "simmpi", before, now(), "bytes",
+                    static_cast<double>(env.payload.size()));
+  }
   return std::move(env.payload);
+}
+
+void Comm::finish_collective(double exit_time, const char* name,
+                             double bytes) {
+  auto& stats = runtime_->stats_[static_cast<std::size_t>(rank_)];
+  ++stats.collectives;
+  const double before = now();
+  clock().advance_to(exit_time);
+  const double waited = now() - before;
+  stats.comm_seconds += waited;
+  if (auto* trace = obs::current_trace()) {
+    trace->complete(rank_, name, "simmpi", before, now(), "bytes", bytes);
+  }
+  auto& metrics = comm_metrics();
+  metrics.collectives.increment();
+  metrics.collective_wait_s.add(waited);
 }
 
 void Comm::barrier() {
   const double cost = netsim::barrier_time(topology());
   double exit_time = 0.0;
   run_collective({}, nullptr, cost, &exit_time);
-  finish_collective(exit_time);
+  finish_collective(exit_time, "barrier");
 }
 
 std::vector<std::byte> Comm::bcast_bytes(std::vector<std::byte> input,
@@ -141,7 +186,7 @@ std::vector<std::byte> Comm::bcast_bytes(std::vector<std::byte> input,
         return inputs[static_cast<std::size_t>(root)];
       },
       cost, &exit_time);
-  finish_collective(exit_time);
+  finish_collective(exit_time, "bcast", static_cast<double>(result.size()));
   return result;
 }
 
@@ -184,7 +229,8 @@ std::vector<std::byte> Comm::reduce_like(std::span<const std::byte> input,
                          : combine_reduce<std::int64_t>(inputs, op);
       },
       cost, &exit_time);
-  finish_collective(exit_time);
+  finish_collective(exit_time, "allreduce",
+                    static_cast<double>(cost_bytes));
   return result;
 }
 
@@ -208,7 +254,8 @@ std::vector<std::byte> Comm::allgatherv_bytes(std::vector<std::byte> input,
         return out;
       },
       cost, &exit_time);
-  finish_collective(exit_time);
+  finish_collective(exit_time, "allgatherv",
+                    static_cast<double>(result.size()));
   return result;
 }
 
@@ -235,7 +282,8 @@ std::vector<std::byte> Comm::gatherv_bytes(std::vector<std::byte> input,
         return out;
       },
       cost, &exit_time);
-  finish_collective(exit_time);
+  finish_collective(exit_time, "gatherv",
+                    static_cast<double>(result.size()));
   return result;
 }
 
@@ -278,7 +326,8 @@ std::vector<std::byte> Comm::scatterv_bytes(
         return out;
       },
       cost, &exit_time);
-  finish_collective(exit_time);
+  finish_collective(exit_time, "scatterv",
+                    static_cast<double>(mine.size()));
   return mine;
 }
 
@@ -328,7 +377,8 @@ std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
         return out;
       },
       cost, &exit_time);
-  finish_collective(exit_time);
+  finish_collective(exit_time, "alltoallv",
+                    static_cast<double>(mine.size()));
 
   // Deframe into per-source blocks.
   std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));

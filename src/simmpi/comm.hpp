@@ -271,14 +271,10 @@ class Comm {
                                      ReduceOp op, bool is_double,
                                      std::uint64_t cost_bytes);
 
-  /// Advances the clock to the collective exit time and updates stats.
-  void finish_collective(double exit_time) {
-    auto& stats = runtime_->stats_[static_cast<std::size_t>(rank_)];
-    ++stats.collectives;
-    const double before = now();
-    clock().advance_to(exit_time);
-    stats.comm_seconds += now() - before;
-  }
+  /// Advances the clock to the collective exit time, updates stats, and
+  /// emits a `name` trace span covering this rank's wait (if tracing).
+  void finish_collective(double exit_time, const char* name,
+                         double bytes = 0.0);
 
   /// World rank of communicator-relative rank `r`.
   int world_of(int r) const {

@@ -3,6 +3,7 @@
 #include <exception>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "simmpi/comm.hpp"
 
 namespace hetero::simmpi {
@@ -37,6 +38,8 @@ void Runtime::run(const std::function<void(Comm&)>& rank_main) {
 
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
+      // Each rank thread records trace events on its own row.
+      obs::bind_trace_rank(r);
       Comm comm(*this, r);
       try {
         rank_main(comm);

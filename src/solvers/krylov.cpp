@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace hetero::solvers {
@@ -12,6 +14,25 @@ namespace {
 double threshold(double r0, const SolverConfig& config) {
   return config.rel_tolerance * (r0 > 0.0 ? r0 : 1.0);
 }
+
+struct SolverMetrics {
+  obs::Counter& solves = obs::metrics().counter("solvers.solves");
+  obs::Counter& iterations = obs::metrics().counter("solvers.iterations");
+};
+
+SolverMetrics& solver_metrics() {
+  static SolverMetrics metrics;
+  return metrics;
+}
+
+/// Shared epilogue: metric totals plus the span's iteration-count argument.
+template <class Span>
+void finish_solve(Span& span, const SolveReport& report) {
+  span.set_arg("iterations", static_cast<double>(report.iterations));
+  auto& metrics = solver_metrics();
+  metrics.solves.increment();
+  metrics.iterations.add(static_cast<double>(report.iterations));
+}
 }  // namespace
 
 SolveReport cg_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
@@ -19,6 +40,7 @@ SolveReport cg_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
                      la::DistVector& x, const SolverConfig& config) {
   SolveReport report;
   report.solver = "cg";
+  obs::ScopedSpan span(comm, "cg_solve", "solver");
   la::DistVector r(a.map());
   la::DistVector z(a.map());
   la::DistVector p(a.map());
@@ -44,6 +66,7 @@ SolveReport cg_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
     r.axpy(-alpha, ap);
     rnorm = r.norm2(comm);
     ++report.iterations;
+    obs::trace_instant("iteration", "solver", comm.now(), "residual", rnorm);
     if (config.record_history) {
       report.residual_history.push_back(rnorm);
     }
@@ -58,6 +81,7 @@ SolveReport cg_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
   }
   report.final_residual = rnorm;
   report.converged = rnorm <= eps;
+  finish_solve(span, report);
   return report;
 }
 
@@ -66,6 +90,7 @@ SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
                            la::DistVector& x, const SolverConfig& config) {
   SolveReport report;
   report.solver = "bicgstab";
+  obs::ScopedSpan span(comm, "bicgstab_solve", "solver");
   la::DistVector r(a.map());
   la::DistVector r0(a.map());
   la::DistVector p(a.map());
@@ -113,6 +138,8 @@ SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
       x.axpy(alpha, phat);
       rnorm = snorm;
       ++report.iterations;
+      obs::trace_instant("iteration", "solver", comm.now(), "residual",
+                         rnorm);
       if (config.record_history) {
         report.residual_history.push_back(rnorm);
       }
@@ -132,6 +159,7 @@ SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
     rho_prev = rho;
     rnorm = r.norm2(comm);
     ++report.iterations;
+    obs::trace_instant("iteration", "solver", comm.now(), "residual", rnorm);
     if (config.record_history) {
       report.residual_history.push_back(rnorm);
     }
@@ -141,6 +169,7 @@ SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
   }
   report.final_residual = rnorm;
   report.converged = rnorm <= eps;
+  finish_solve(span, report);
   return report;
 }
 
@@ -149,6 +178,7 @@ SolveReport gmres_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
                         la::DistVector& x, const SolverConfig& config) {
   SolveReport report;
   report.solver = "gmres";
+  obs::ScopedSpan span(comm, "gmres_solve", "solver");
   const int restart = config.restart;
   HETERO_REQUIRE(restart >= 1, "GMRES restart must be >= 1");
 
@@ -232,6 +262,7 @@ SolveReport gmres_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
       g[static_cast<std::size_t>(k)] = cs[static_cast<std::size_t>(k)] * gk;
       g[static_cast<std::size_t>(k) + 1] = -sn[static_cast<std::size_t>(k)] * gk;
       beta = std::fabs(g[static_cast<std::size_t>(k) + 1]);
+      obs::trace_instant("iteration", "solver", comm.now(), "residual", beta);
       if (config.record_history) {
         report.residual_history.push_back(beta);
       }
@@ -258,6 +289,7 @@ SolveReport gmres_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
   }
   report.final_residual = beta;
   report.converged = beta <= eps;
+  finish_solve(span, report);
   return report;
 }
 

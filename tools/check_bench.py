@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Gate CI on the *shape* of the paper's figures.
+
+Reads the JSONL a bench binary wrote with --json (schema
+"heterolab-bench-v1", one flat object per row) and checks it against a
+baseline file from bench/baselines/.  Baselines express shape invariants
+with tolerances — "lagrange stays near-flat to 343 ranks", "the mixed
+placement-group assembly costs ~4.4x at the same speed" — rather than exact
+numbers, so harmless model tweaks do not trip the gate but a regression in
+the reproduced qualitative result does.
+
+Usage:
+    tools/check_bench.py --baseline bench/baselines/fig4.json RESULTS.jsonl
+
+Baseline format (JSON):
+    {
+      "bench": "fig4_rd_weak_scaling",   # expected "bench" field
+      "min_records": 40,                 # at least this many rows
+      "checks": [
+        # a numeric field of one record, by expectation or bounds:
+        {"type": "value", "match": {"platform": "lagrange", "procs": 343},
+         "field": "total_s", "expect": 9.42, "rel_tol": 0.10},
+        {"type": "value", "match": {...}, "field": "mix_spot_hosts",
+         "min": 1, "max": 45},
+        # the field must be null (a launch-failure cell):
+        {"type": "null", "match": {"platform": "puma", "procs": 216},
+         "field": "total_s"},
+        # ratio of two (record, field) picks, bounded:
+        {"type": "ratio",
+         "num": {"match": {"platform": "lagrange", "procs": 343},
+                 "field": "total_s"},
+         "den": {"match": {"platform": "lagrange", "procs": 1},
+                 "field": "total_s"},
+         "min": 1.0, "max": 2.0, "note": "IB keeps weak scaling flat"}
+      ]
+    }
+
+Every check may carry a "note" explaining which claim of the paper it pins.
+Exit status: 0 when everything holds, 1 with a FAIL line per violation.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "heterolab-bench-v1"
+
+
+def load_jsonl(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{line_no}: invalid JSON: {err}")
+    return records
+
+
+def matches(record, match):
+    return all(record.get(key) == value for key, value in match.items())
+
+
+def pick(records, match, context):
+    found = [r for r in records if matches(r, match)]
+    if not found:
+        raise CheckFailure(f"{context}: no record matches {match}")
+    if len(found) > 1:
+        raise CheckFailure(
+            f"{context}: {len(found)} records match {match}; "
+            "baseline match keys must identify exactly one row")
+    return found[0]
+
+
+def numeric(record, field, context):
+    value = record.get(field)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise CheckFailure(
+            f"{context}: field '{field}' is {value!r}, expected a number")
+    return float(value)
+
+
+class CheckFailure(Exception):
+    pass
+
+
+def describe(check):
+    note = check.get("note")
+    kind = check.get("type", "?")
+    target = check.get("match") or {
+        "num": check.get("num", {}).get("match"),
+        "den": check.get("den", {}).get("match"),
+    }
+    base = f"{kind} {check.get('field', '')} {target}"
+    return f"{base} ({note})" if note else base
+
+
+def run_check(check, records):
+    kind = check.get("type")
+    context = describe(check)
+    if kind == "value":
+        record = pick(records, check["match"], context)
+        value = numeric(record, check["field"], context)
+        if "expect" in check:
+            expect = float(check["expect"])
+            rel_tol = float(check.get("rel_tol", 0.05))
+            abs_tol = float(check.get("abs_tol", 0.0))
+            allowed = max(abs(expect) * rel_tol, abs_tol)
+            if abs(value - expect) > allowed:
+                raise CheckFailure(
+                    f"{context}: {value:g} deviates from {expect:g} "
+                    f"by more than {allowed:g}")
+        if "min" in check and value < float(check["min"]):
+            raise CheckFailure(
+                f"{context}: {value:g} < minimum {check['min']:g}")
+        if "max" in check and value > float(check["max"]):
+            raise CheckFailure(
+                f"{context}: {value:g} > maximum {check['max']:g}")
+        return f"{context}: {value:g}"
+    if kind == "null":
+        record = pick(records, check["match"], context)
+        value = record.get(check["field"], "<absent>")
+        if value is not None:
+            raise CheckFailure(
+                f"{context}: expected null (launch failure), got {value!r}")
+        return f"{context}: null as expected"
+    if kind == "ratio":
+        num_rec = pick(records, check["num"]["match"], context)
+        den_rec = pick(records, check["den"]["match"], context)
+        num = numeric(num_rec, check["num"]["field"], context)
+        den = numeric(den_rec, check["den"]["field"], context)
+        if den == 0.0:
+            raise CheckFailure(f"{context}: denominator is zero")
+        ratio = num / den
+        if "min" in check and ratio < float(check["min"]):
+            raise CheckFailure(
+                f"{context}: ratio {ratio:g} < minimum {check['min']:g}")
+        if "max" in check and ratio > float(check["max"]):
+            raise CheckFailure(
+                f"{context}: ratio {ratio:g} > maximum {check['max']:g}")
+        return f"{context}: ratio {ratio:g}"
+    raise CheckFailure(f"unknown check type: {kind!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Check bench JSONL output against a baseline.")
+    parser.add_argument("results", help="JSONL written by a bench's --json")
+    parser.add_argument("--baseline", required=True,
+                        help="baseline JSON from bench/baselines/")
+    args = parser.parse_args()
+
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    records = load_jsonl(args.results)
+
+    failures = []
+    if not records:
+        failures.append(f"{args.results}: no records")
+    for record in records:
+        if record.get("schema") != SCHEMA:
+            failures.append(
+                f"record has schema {record.get('schema')!r}, "
+                f"expected {SCHEMA!r}: {record}")
+            break
+    expected_bench = baseline.get("bench")
+    if expected_bench and records:
+        benches = {r.get("bench") for r in records}
+        if benches != {expected_bench}:
+            failures.append(
+                f"records carry bench field(s) {sorted(benches)}, "
+                f"baseline expects {expected_bench!r}")
+    min_records = int(baseline.get("min_records", 1))
+    if len(records) < min_records:
+        failures.append(
+            f"only {len(records)} records, baseline requires "
+            f">= {min_records}")
+
+    passed = 0
+    for check in baseline.get("checks", []):
+        try:
+            message = run_check(check, records)
+        except CheckFailure as err:
+            failures.append(str(err))
+        except KeyError as err:
+            failures.append(f"{describe(check)}: baseline missing key {err}")
+        else:
+            passed += 1
+            print(f"  ok: {message}")
+
+    name = expected_bench or args.results
+    if failures:
+        for failure in failures:
+            print(f"FAIL [{name}]: {failure}", file=sys.stderr)
+        return 1
+    print(f"PASS [{name}]: {passed} checks over {len(records)} records")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,18 +1,121 @@
 #!/usr/bin/env sh
-# Local mirror of .github/workflows/ci.yml — the tier-1 verify gate:
-# configure, build with warnings-as-errors, run the full test suite, and
-# smoke the broker. Usage: tools/ci.sh [build-dir]
+# Local mirror of .github/workflows/ci.yml, one function per CI job.
+#
+# Usage: tools/ci.sh [job ...]
+#   release   Release + -Werror build, full ctest, broker smoke
+#   debug     Debug build, full ctest
+#   bench     bench-regression: run the four paper-figure benches with
+#             --json and hold them to bench/baselines/ via check_bench.py
+#   asan      ASan+UBSan build, full ctest
+#   tsan      TSan build, concurrency tests only (simmpi/la/obs)
+#   all       everything above, in that order (the default)
+#
+# Each job builds in its own directory (build-ci-<job>) so sanitizer and
+# debug artifacts never mix. ccache is used automatically when installed.
 set -eu
 
-BUILD_DIR="${1:-build-ci}"
+# Portable parallelism: GNU nproc, then POSIX getconf, then BSD sysctl.
+detect_jobs() {
+  nproc 2>/dev/null ||
+    getconf _NPROCESSORS_ONLN 2>/dev/null ||
+    sysctl -n hw.ncpu 2>/dev/null ||
+    echo 4
+}
+JOBS="$(detect_jobs)"
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DHETERO_WERROR=ON
-cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j \
-    "$(nproc 2>/dev/null || echo 4)"
+LAUNCHER_FLAG=""
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_FLAG="-DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
+fi
 
-"$BUILD_DIR"/tools/heterolab broker --app rd --elements 1000000 \
-    --deadline-h 24 --budget-usd 50
-"$BUILD_DIR"/bench/bench_broker_frontier
+configure_and_build() {
+  # $1 build dir; remaining args are extra cmake cache settings.
+  dir="$1"
+  shift
+  # $LAUNCHER_FLAG is intentionally unquoted: empty means "no extra flag".
+  # shellcheck disable=SC2086
+  cmake -B "$dir" -S . $LAUNCHER_FLAG "$@"
+  cmake --build "$dir" -j "$JOBS"
+}
 
-echo "ci: all gates passed"
+job_release() {
+  echo "== ci job: release (Release + -Werror, full ctest, broker smoke) =="
+  configure_and_build build-ci-release \
+      -DCMAKE_BUILD_TYPE=Release -DHETERO_WERROR=ON
+  ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+  if [ ! -x build-ci-release/tools/heterolab ]; then
+    echo "ci: FAIL — heterolab binary missing after build" >&2
+    exit 1
+  fi
+  if [ ! -x build-ci-release/bench/bench_broker_frontier ]; then
+    echo "ci: FAIL — broker smoke binary bench_broker_frontier missing" >&2
+    exit 1
+  fi
+  build-ci-release/tools/heterolab broker --app rd --elements 1000000 \
+      --deadline-h 24 --budget-usd 50
+  build-ci-release/bench/bench_broker_frontier
+}
+
+job_debug() {
+  echo "== ci job: debug (Debug build, full ctest) =="
+  configure_and_build build-ci-debug \
+      -DCMAKE_BUILD_TYPE=Debug -DHETERO_WERROR=ON
+  ctest --test-dir build-ci-debug --output-on-failure -j "$JOBS"
+}
+
+job_bench() {
+  echo "== ci job: bench (paper-figure regression gate) =="
+  configure_and_build build-ci-release -DCMAKE_BUILD_TYPE=Release \
+      -DHETERO_WERROR=ON
+  out_dir=build-ci-release/bench-out
+  mkdir -p "$out_dir"
+  for bench in fig4_rd_weak_scaling fig5_ns_weak_scaling \
+               fig6_rd_cost table2_placement_groups; do
+    if [ ! -x build-ci-release/bench/bench_"$bench" ]; then
+      echo "ci: FAIL — bench binary bench_$bench missing" >&2
+      exit 1
+    fi
+    build-ci-release/bench/bench_"$bench" --json "$out_dir/$bench.jsonl"
+    python3 tools/check_bench.py --baseline bench/baselines/"$bench".json \
+        "$out_dir/$bench.jsonl"
+  done
+}
+
+job_asan() {
+  echo "== ci job: asan (ASan+UBSan, full ctest) =="
+  configure_and_build build-ci-asan \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=address
+  ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+}
+
+job_tsan() {
+  echo "== ci job: tsan (TSan, concurrency tests) =="
+  configure_and_build build-ci-tsan \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=thread
+  ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
+      -R '^(simmpi_test|la_test|obs_test)$'
+}
+
+run_job() {
+  case "$1" in
+    release) job_release ;;
+    debug) job_debug ;;
+    bench) job_bench ;;
+    asan) job_asan ;;
+    tsan) job_tsan ;;
+    all) job_release; job_debug; job_bench; job_asan; job_tsan ;;
+    *)
+      echo "ci: unknown job '$1' (expected release|debug|bench|asan|tsan|all)" >&2
+      exit 2
+      ;;
+  esac
+}
+
+if [ "$#" -eq 0 ]; then
+  set -- all
+fi
+for job in "$@"; do
+  run_job "$job"
+done
+
+echo "ci: all requested gates passed ($*)"

@@ -19,6 +19,7 @@
 #include "broker/broker.hpp"
 #include "core/campaign.hpp"
 #include "core/report.hpp"
+#include "obs/bench_io.hpp"
 #include "platform/capability_table.hpp"
 #include "provision/planner.hpp"
 #include "support/cli.hpp"
@@ -61,9 +62,37 @@ int cmd_run(const CliArgs& args) {
       e.cells_per_rank_axis == 20 && !args.has("cells")) {
     e.cells_per_rank_axis = 4;  // keep direct runs laptop-sized by default
   }
+  e.trace_path = args.get_string("trace", "");
+  e.metrics_path = args.get_string("metrics", "");
+  HETERO_REQUIRE(e.trace_path.empty() || e.mode == core::Mode::kDirect,
+                 "--trace records the simulated MPI run: needs --mode direct");
   core::ExperimentRunner runner(
       static_cast<std::uint64_t>(args.get_int("seed", 42)));
   const auto r = runner.run(e);
+  obs::BenchReporter reporter(args, "heterolab_run");
+  if (reporter.enabled()) {
+    obs::Json record = obs::Json::object();
+    record.set("app", args.get_string("app", "rd"));
+    record.set("platform", e.platform);
+    record.set("procs", static_cast<double>(e.ranks));
+    record.set("mode",
+               e.mode == core::Mode::kDirect ? "direct" : "modeled");
+    record.set("launched", r.launched);
+    if (r.launched) {
+      record.set("hosts", static_cast<double>(r.hosts));
+      record.set("queue_wait_s", r.queue_wait_s);
+      record.set("provisioning_hours", r.provisioning_hours);
+      record.set("assembly_s", r.iteration.assembly_s);
+      record.set("precond_s", r.iteration.preconditioner_s);
+      record.set("solve_s", r.iteration.solve_s);
+      record.set("total_s", r.iteration.total_s);
+      record.set("iters", r.iteration.solver_iterations);
+      record.set("cost_usd", r.cost_per_iteration_usd);
+    } else {
+      record.set("failure_reason", r.failure_reason);
+    }
+    reporter.add_record(std::move(record));
+  }
   if (!r.launched) {
     std::cout << "LAUNCH FAILED on " << e.platform << ": "
               << r.failure_reason << "\n";
@@ -103,28 +132,33 @@ int cmd_report(const std::string& which, const CliArgs& args) {
   core::ExperimentRunner runner(
       static_cast<std::uint64_t>(args.get_int("seed", 42)));
   const auto procs = core::paper_process_counts();
-  if (which == "fig4") {
-    render(core::weak_scaling_figure(
-               runner, perf::AppKind::kReactionDiffusion, procs),
-           args);
-  } else if (which == "fig5") {
-    render(core::weak_scaling_figure(runner, perf::AppKind::kNavierStokes,
-                                     procs),
-           args);
-  } else if (which == "table2") {
-    render(core::table2_ec2_assemblies(runner, procs), args);
-  } else if (which == "fig6") {
-    render(core::cost_figure(runner, perf::AppKind::kReactionDiffusion,
-                             procs),
-           args);
-  } else if (which == "fig7") {
-    render(core::cost_figure(runner, perf::AppKind::kNavierStokes, procs),
-           args);
-  } else if (which == "summary") {
-    render(core::summary_table(
-               runner, static_cast<int>(args.get_int("ranks", 125))),
-           args);
-  }
+  const Table table = [&]() -> Table {
+    if (which == "fig4") {
+      return core::weak_scaling_figure(runner,
+                                       perf::AppKind::kReactionDiffusion,
+                                       procs);
+    }
+    if (which == "fig5") {
+      return core::weak_scaling_figure(runner, perf::AppKind::kNavierStokes,
+                                       procs);
+    }
+    if (which == "table2") {
+      return core::table2_ec2_assemblies(runner, procs);
+    }
+    if (which == "fig6") {
+      return core::cost_figure(runner, perf::AppKind::kReactionDiffusion,
+                               procs);
+    }
+    if (which == "fig7") {
+      return core::cost_figure(runner, perf::AppKind::kNavierStokes, procs);
+    }
+    HETERO_REQUIRE(which == "summary", "unknown report command: " + which);
+    return core::summary_table(runner,
+                               static_cast<int>(args.get_int("ranks", 125)));
+  }();
+  render(table, args);
+  obs::BenchReporter reporter(args, "heterolab_" + which);
+  reporter.add_table(table);
   return 0;
 }
 
@@ -228,8 +262,9 @@ int usage() {
       "usage: heterolab <command> [flags]\n"
       "  platforms                         Table I capability matrix\n"
       "  run --app rd|ns --platform P --ranks N [--mode direct|modeled]\n"
-      "      [--cells C] [--spot] [--seed S]\n"
-      "  fig4 | fig5 | table2 | fig6 | fig7 [--csv]\n"
+      "      [--cells C] [--spot] [--seed S] [--json OUT.jsonl]\n"
+      "      [--trace OUT.trace.json] [--metrics OUT.metrics.json]\n"
+      "  fig4 | fig5 | table2 | fig6 | fig7 [--csv] [--json OUT.jsonl]\n"
       "  summary [--ranks N]\n"
       "  campaign --ranks N --iterations K [--ondemand] [--ckpt I]\n"
       "      [--bid USD] [--cells C]\n"
@@ -277,16 +312,17 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       return flags_understood(args, {"app", "platform", "ranks", "cells",
-                                     "mode", "spot", "seed"})
+                                     "mode", "spot", "seed", "json", "trace",
+                                     "metrics"})
                  ? cmd_run(args)
                  : usage();
     }
     if (command == "fig4" || command == "fig5" || command == "table2" ||
         command == "fig6" || command == "fig7" || command == "summary") {
       const std::vector<std::string> allowed =
-          command == "summary" ? std::vector<std::string>{"csv", "seed",
-                                                          "ranks"}
-                               : std::vector<std::string>{"csv", "seed"};
+          command == "summary"
+              ? std::vector<std::string>{"csv", "seed", "ranks", "json"}
+              : std::vector<std::string>{"csv", "seed", "json"};
       return flags_understood(args, allowed) ? cmd_report(command, args)
                                              : usage();
     }
