@@ -18,12 +18,12 @@ int main(int argc, char** argv) {
   bench::BenchOutput out(args, "ablation_availability");
   const int iterations = static_cast<int>(args.get_int("iterations", 1000));
 
-  core::ExperimentRunner runner(42);
+  auto engine = bench::make_engine(args);
   for (int ranks : {64, 343}) {
     std::cout << "# Availability — RD, " << ranks << " ranks, " << iterations
               << " iterations\n";
     const Table table = core::availability_table(
-        runner, perf::AppKind::kReactionDiffusion, ranks, iterations);
+        engine, perf::AppKind::kReactionDiffusion, ranks, iterations);
     out.emit(table, "ranks=" + std::to_string(ranks));
     std::cout << "\n";
   }

@@ -19,25 +19,32 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::BenchOutput out(args, "ablation_placement");
 
-  core::ExperimentRunner runner(42);
+  auto engine = bench::make_engine(args);
   std::cout << "# Ablation — cross-placement-group penalty sweep "
                "(RD, 1000 ranks, 63 hosts)\n";
   Table table({"penalty", "full time[s]", "mix time[s]", "mix/full",
                "mix est. cost[$]"});
-  for (double penalty : {0.0, 0.02, 0.05, 0.10, 0.20, 0.50}) {
+  const std::vector<double> penalties{0.0, 0.02, 0.05, 0.10, 0.20, 0.50};
+  std::vector<core::Experiment> batch;
+  batch.reserve(2 * penalties.size());
+  for (double penalty : penalties) {
     core::Experiment full;
     full.platform = "ec2";
     full.ranks = 1000;
     full.cross_group_penalty = penalty;
     full.ec2_placement_groups = 1;
-    const auto rf = runner.run(full);
+    batch.push_back(full);
 
     core::Experiment mix = full;
     mix.ec2_spot_mix = true;
     mix.ec2_placement_groups = 4;
-    const auto rm = runner.run(mix);
-
-    table.add_row({fmt_double(penalty, 2),
+    batch.push_back(mix);
+  }
+  const auto results = engine.run_batch(batch);
+  for (std::size_t i = 0; i < penalties.size(); ++i) {
+    const auto& rf = results[2 * i];
+    const auto& rm = results[2 * i + 1];
+    table.add_row({fmt_double(penalties[i], 2),
                    fmt_double(rf.iteration.total_s, 2),
                    fmt_double(rm.iteration.total_s, 2),
                    fmt_double(rm.iteration.total_s / rf.iteration.total_s, 3),

@@ -6,6 +6,8 @@
 //
 // Flags: --csv          emit CSV instead of the aligned table
 //        --cells N      elements per rank per axis (default 20)
+//        --jobs N       evaluate experiments on N worker threads; the
+//                       table (and the JSONL) is byte-identical at any N
 //        --validate     additionally run a small direct (thread-level)
 //                       execution of the real solver and print its phase
 //                       times next to the model's at the same size.
@@ -22,13 +24,15 @@ int main(int argc, char** argv) {
   bench::BenchOutput out(args, "fig4_rd_weak_scaling");
   const int cells = static_cast<int>(args.get_int("cells", 20));
 
-  core::ExperimentRunner runner(42);
+  auto engine = bench::make_engine(args);
   std::cout << "# Figure 4 — weak scaling of the RD 3-D simulation "
                "(initial mesh "
             << cells << "^3 per process)\n";
   const auto procs = core::paper_process_counts();
   Table table({"platform", "procs", "assembly[s]", "precond[s]", "solve[s]",
                "total[s]", "iters", "status"});
+  std::vector<core::Experiment> batch;
+  batch.reserve(platform::all_platforms().size() * procs.size());
   for (const auto* spec : platform::all_platforms()) {
     for (int p : procs) {
       core::Experiment e;
@@ -36,7 +40,14 @@ int main(int argc, char** argv) {
       e.platform = spec->name;
       e.ranks = p;
       e.cells_per_rank_axis = cells;
-      const auto r = runner.run(e);
+      batch.push_back(e);
+    }
+  }
+  const auto results = engine.run_batch(batch);
+  std::size_t i = 0;
+  for (const auto* spec : platform::all_platforms()) {
+    for (int p : procs) {
+      const auto& r = results[i++];
       if (!r.launched) {
         table.add_row({spec->name, std::to_string(p), "-", "-", "-", "-",
                        "-", "FAILED: " + r.failure_reason});
@@ -64,14 +75,14 @@ int main(int argc, char** argv) {
       e.cells_per_rank_axis = 4;
       e.mode = core::Mode::kDirect;
       e.direct_steps = 3;
-      const auto rd = runner.run(e);
+      const auto rd = engine.run(e);
       v.add_row({"puma", std::to_string(p), "direct",
                  fmt_double(rd.iteration.assembly_s, 3),
                  fmt_double(rd.iteration.preconditioner_s, 3),
                  fmt_double(rd.iteration.solve_s, 3),
                  fmt_double(rd.nodal_error, 10)});
       e.mode = core::Mode::kModeled;
-      const auto rm = runner.run(e);
+      const auto rm = engine.run(e);
       v.add_row({"puma", std::to_string(p), "modeled",
                  fmt_double(rm.iteration.assembly_s, 3),
                  fmt_double(rm.iteration.preconditioner_s, 3),

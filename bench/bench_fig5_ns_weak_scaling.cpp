@@ -17,13 +17,13 @@ int main(int argc, char** argv) {
   bench::BenchOutput out(args, "fig5_ns_weak_scaling");
   const int cells = static_cast<int>(args.get_int("cells", 20));
 
-  core::ExperimentRunner runner(42);
+  auto engine = bench::make_engine(args);
   std::cout << "# Figure 5 — weak scaling of the Navier-Stokes 3-D "
                "simulation (initial mesh "
             << cells << "^3 per process)\n";
   const auto procs = core::paper_process_counts();
   const Table table =
-      core::weak_scaling_figure(runner, perf::AppKind::kNavierStokes, procs);
+      core::weak_scaling_figure(engine, perf::AppKind::kNavierStokes, procs);
   out.emit(table);
 
   // The paper's qualitative claims, checked numerically on the series.
@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
   small_ec2.ranks = 8;
   core::Experiment small_puma = small_ec2;
   small_puma.platform = "puma";
-  const auto re = runner.run(small_ec2);
-  const auto rp = runner.run(small_puma);
+  const auto re = engine.run(small_ec2);
+  const auto rp = engine.run(small_puma);
   std::cout << "\n# At 8 processes: ec2 " << fmt_double(re.iteration.total_s, 2)
             << " s/iter vs puma " << fmt_double(rp.iteration.total_s, 2)
             << " s/iter — \"for computationally intensive tasks ... EC2 "

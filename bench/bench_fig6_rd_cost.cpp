@@ -14,12 +14,12 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::BenchOutput out(args, "fig6_rd_cost");
 
-  core::ExperimentRunner runner(42);
+  auto engine = bench::make_engine(args);
   std::cout << "# Figure 6 — per-iteration costs, RD application weak "
                "scaling\n";
   const auto procs = core::paper_process_counts();
   const Table table = core::cost_figure(
-      runner, perf::AppKind::kReactionDiffusion, procs);
+      engine, perf::AppKind::kReactionDiffusion, procs);
   out.emit(table);
   std::cout << "\n# Core-hour rates: puma 2.3c (capital+operations), "
                "ellipse 5c flat, lagrange 19.19c (EUR 0.15), ec2 15c "

@@ -14,12 +14,12 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::BenchOutput out(args, "fig7_ns_cost");
 
-  core::ExperimentRunner runner(42);
+  auto engine = bench::make_engine(args);
   std::cout << "# Figure 7 — per-iteration costs, Navier-Stokes application "
                "weak scaling\n";
   const auto procs = core::paper_process_counts();
   const Table table =
-      core::cost_figure(runner, perf::AppKind::kNavierStokes, procs);
+      core::cost_figure(engine, perf::AppKind::kNavierStokes, procs);
   out.emit(table);
 
   // Spot-check the crossover claim at a mid size every platform can run.
@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
   core::Experiment puma = ec2;
   puma.platform = "puma";
   puma.ec2_spot_mix = false;
-  const auto re = runner.run(ec2);
-  const auto rp = runner.run(puma);
+  const auto re = engine.run(ec2);
+  const auto rp = engine.run(puma);
   std::cout << "\n# At 64 processes (spot strategy): ec2 "
             << fmt_usd(re.est_cost_per_iteration_usd) << " and "
             << fmt_double(re.iteration.total_s, 1) << " s/iter vs puma "

@@ -14,11 +14,22 @@
 #include <string>
 #include <utility>
 
+#include "core/campaign_engine.hpp"
 #include "obs/bench_io.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 namespace hetero::bench {
+
+/// Engine every bench evaluates experiments through: `--jobs N` (or
+/// HETEROLAB_JOBS, or the hardware thread count) workers, memoizing, with
+/// output byte-identical at any jobs level.
+inline core::CampaignEngine make_engine(const CliArgs& args,
+                                        std::uint64_t seed = 42) {
+  core::CampaignEngineOptions opt;
+  opt.jobs = static_cast<int>(args.get_int("jobs", 0));
+  return core::CampaignEngine(seed, opt);
+}
 
 class BenchOutput {
  public:

@@ -14,10 +14,10 @@ int main(int argc, char** argv) {
   bench::BenchOutput out(args, "summary");
   const int ranks = static_cast<int>(args.get_int("ranks", 125));
 
-  core::ExperimentRunner runner(42);
+  auto engine = bench::make_engine(args);
   std::cout << "# Summary (Section VIII) — all axes at " << ranks
             << " processes\n";
-  const Table table = core::summary_table(runner, ranks);
+  const Table table = core::summary_table(engine, ranks);
   out.emit(table);
   std::cout <<
       "\n# puma: cheapest core-hour, zero porting — but only 128 cores.\n"

@@ -20,11 +20,11 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::BenchOutput out(args, "table2_placement_groups");
 
-  core::ExperimentRunner runner(42);
+  auto engine = bench::make_engine(args);
   std::cout << "# Table II — EC2 cc2.8xlarge assemblies: full (on-demand, "
                "one placement group) vs mix (spot + on-demand, four groups)\n";
   const auto procs = core::paper_process_counts();
-  const Table table = core::table2_ec2_assemblies(runner, procs);
+  const Table table = core::table2_ec2_assemblies(engine, procs);
   out.emit(table);
   std::cout << "\n# Regular $2.40/host-h vs spot ~$0.54/host-h: the mix's "
                "estimated cost is ~4.4x lower at equal time.\n";

@@ -12,16 +12,26 @@ const Prediction& Recommendation::winner() const {
   return ranked.front().prediction;
 }
 
-Broker::Broker(std::uint64_t seed) : predictor_(seed) {}
+Broker::Broker(std::uint64_t seed, int jobs)
+    : engine_(seed, core::CampaignEngineOptions{.jobs = jobs}),
+      predictor_(engine_) {}
 
 Recommendation Broker::recommend(const JobRequest& request,
                                  const Objective& objective) {
   Recommendation out;
   out.objective_name = objective.name;
 
+  // Predict every candidate concurrently into a slot indexed by its
+  // enumeration position, then filter and rank sequentially — the output
+  // is byte-identical at any jobs level.
+  const auto candidates = enumerate_candidates(request);
+  std::vector<Prediction> predictions(candidates.size());
+  engine_.parallel_for(candidates.size(), [&](std::size_t i) {
+    predictions[i] = predictor_.predict(candidates[i], request);
+  });
+
   std::vector<Prediction> feasible;
-  for (const Candidate& candidate : enumerate_candidates(request)) {
-    Prediction p = predictor_.predict(candidate, request);
+  for (Prediction& p : predictions) {
     std::string reason = rejection_reason(p, request);
     if (reason.empty()) {
       feasible.push_back(std::move(p));

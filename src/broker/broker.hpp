@@ -14,6 +14,7 @@
 #include "broker/explain.hpp"
 #include "broker/frontier.hpp"
 #include "broker/objectives.hpp"
+#include "core/campaign_engine.hpp"
 #include "support/table.hpp"
 
 namespace hetero::broker {
@@ -44,13 +45,21 @@ struct Recommendation {
 
 class Broker {
  public:
-  explicit Broker(std::uint64_t seed = 42);
+  /// `jobs` caps concurrent candidate predictions (0 = --jobs resolution:
+  /// HETEROLAB_JOBS, then hardware concurrency). Predictions run through a
+  /// memoizing CampaignEngine, so repeat recommendations are cache hits.
+  explicit Broker(std::uint64_t seed = 42, int jobs = 0);
 
-  /// Full pipeline for one request; deterministic in the broker seed.
+  /// Full pipeline for one request; deterministic in the broker seed and
+  /// independent of the jobs level (candidates keep enumeration order).
   Recommendation recommend(const JobRequest& request,
                            const Objective& objective);
 
+  /// The engine predictions run through, for stats / instrumentation.
+  const core::CampaignEngine& engine() const { return engine_; }
+
  private:
+  core::CampaignEngine engine_;
   Predictor predictor_;
 };
 

@@ -12,7 +12,9 @@ std::vector<FrontierPoint> pareto_frontier(
     points.push_back({i, time_cost[i].first, time_cost[i].second});
   }
   // Sort by time, breaking ties by cost then original order; then a single
-  // sweep keeps every point that improves the best cost seen so far.
+  // sweep keeps every point that improves the best cost seen so far. Exact
+  // (time, cost) ties are all kept: neither candidate dominates the other,
+  // and the broker must be able to surface every equally-good platform.
   std::stable_sort(points.begin(), points.end(),
                    [](const FrontierPoint& a, const FrontierPoint& b) {
                      if (a.time_s != b.time_s) {
@@ -22,7 +24,9 @@ std::vector<FrontierPoint> pareto_frontier(
                    });
   std::vector<FrontierPoint> frontier;
   for (const auto& p : points) {
-    if (frontier.empty() || p.cost_usd < frontier.back().cost_usd) {
+    if (frontier.empty() || p.cost_usd < frontier.back().cost_usd ||
+        (p.cost_usd == frontier.back().cost_usd &&
+         p.time_s == frontier.back().time_s)) {
       frontier.push_back(p);
     }
   }

@@ -23,7 +23,9 @@ struct FrontierPoint {
 };
 
 /// Pareto-minimal subset of (time, cost) pairs, sorted by ascending time
-/// (hence descending cost). Duplicate-coordinate points keep the first.
+/// (hence descending cost). Points with exactly equal coordinates do not
+/// dominate each other, so every member of such a tie group is kept (in
+/// input order).
 std::vector<FrontierPoint> pareto_frontier(
     const std::vector<std::pair<double, double>>& time_cost);
 

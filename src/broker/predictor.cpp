@@ -19,7 +19,12 @@ double effective_seconds(const Prediction& p, const JobRequest& request) {
 
 }  // namespace
 
-Predictor::Predictor(std::uint64_t seed) : runner_(seed), seed_(seed) {}
+Predictor::Predictor(std::uint64_t seed)
+    : owned_engine_(std::make_unique<core::CampaignEngine>(
+          seed, core::CampaignEngineOptions{.jobs = 1})),
+      engine_(owned_engine_.get()) {}
+
+Predictor::Predictor(core::CampaignEngine& engine) : engine_(&engine) {}
 
 Prediction Predictor::predict(const Candidate& candidate,
                               const JobRequest& request) {
@@ -35,7 +40,7 @@ Prediction Predictor::predict(const Candidate& candidate,
   e.ec2_spot_mix = candidate.strategy == Ec2Strategy::kSpotMix;
   e.ec2_placement_groups = candidate.placement_groups;
   e.ec2_spot_bid_usd = candidate.spot_bid_usd;
-  const auto r = runner_.run(e);
+  const auto r = engine_->run(e);
 
   Prediction p;
   p.candidate = candidate;
@@ -65,7 +70,7 @@ Prediction Predictor::predict_campaign(const Candidate& candidate,
   config.checkpoint_interval = candidate.checkpoint_interval;
   config.use_spot = true;
   config.spot_bid_usd = candidate.spot_bid_usd;
-  config.seed = seed_;
+  config.seed = engine_->seed();
   const auto r = core::simulate_ec2_campaign(config);
 
   const auto& spec = platform::ec2();

@@ -10,9 +10,11 @@
 /// scaled to the request's iteration count (tested as an invariant).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "broker/candidates.hpp"
+#include "core/campaign_engine.hpp"
 #include "core/experiment.hpp"
 
 namespace hetero::broker {
@@ -46,7 +48,14 @@ struct Prediction {
 
 class Predictor {
  public:
+  /// Owns a private sequential CampaignEngine seeded with `seed`.
   explicit Predictor(std::uint64_t seed = 42);
+
+  /// Predicts through a shared engine: experiments hit the engine's
+  /// memoization cache, so candidates a figure already evaluated are free,
+  /// and predict() is safe to call from engine.parallel_for tasks. The
+  /// engine must outlive the predictor.
+  explicit Predictor(core::CampaignEngine& engine);
 
   /// Predicts a candidate; infeasible launches come back with
   /// launched = false and the scheduler's reason, never an exception.
@@ -56,8 +65,8 @@ class Predictor {
   Prediction predict_campaign(const Candidate& candidate,
                               const JobRequest& request);
 
-  core::ExperimentRunner runner_;
-  std::uint64_t seed_;
+  std::unique_ptr<core::CampaignEngine> owned_engine_;
+  core::CampaignEngine* engine_;
 };
 
 }  // namespace hetero::broker

@@ -10,17 +10,26 @@ std::vector<int> paper_process_counts() {
   return {1, 8, 27, 64, 125, 216, 343, 512, 729, 1000};
 }
 
-Table weak_scaling_figure(ExperimentRunner& runner, perf::AppKind app,
+Table weak_scaling_figure(CampaignEngine& engine, perf::AppKind app,
                           std::span<const int> process_counts) {
   Table table({"platform", "procs", "assembly[s]", "precond[s]", "solve[s]",
                "total[s]", "iters", "status"});
+  std::vector<Experiment> batch;
+  batch.reserve(4 * process_counts.size());
   for (const auto* spec : platform::all_platforms()) {
     for (int p : process_counts) {
       Experiment e;
       e.app = app;
       e.platform = spec->name;
       e.ranks = p;
-      const auto r = runner.run(e);
+      batch.push_back(e);
+    }
+  }
+  const auto results = engine.run_batch(batch);
+  std::size_t i = 0;
+  for (const auto* spec : platform::all_platforms()) {
+    for (int p : process_counts) {
+      const auto& r = results[i++];
       if (!r.launched) {
         table.add_row({spec->name, std::to_string(p), "-", "-", "-", "-",
                        "-", "FAILED: " + r.failure_reason});
@@ -37,10 +46,12 @@ Table weak_scaling_figure(ExperimentRunner& runner, perf::AppKind app,
   return table;
 }
 
-Table table2_ec2_assemblies(ExperimentRunner& runner,
+Table table2_ec2_assemblies(CampaignEngine& engine,
                             std::span<const int> process_counts) {
   Table table({"# mpi", "# hosts", "full time[s]", "full real cost[$]",
                "mix time[s]", "mix est. cost[$]", "mix spot hosts"});
+  std::vector<Experiment> batch;
+  batch.reserve(2 * process_counts.size());
   for (int p : process_counts) {
     Experiment full;
     full.app = perf::AppKind::kReactionDiffusion;
@@ -48,14 +59,19 @@ Table table2_ec2_assemblies(ExperimentRunner& runner,
     full.ranks = p;
     full.ec2_spot_mix = false;
     full.ec2_placement_groups = 1;
-    const auto rf = runner.run(full);
+    batch.push_back(full);
 
     Experiment mix = full;
     mix.ec2_spot_mix = true;
     mix.ec2_placement_groups = 4;
-    const auto rm = runner.run(mix);
-
-    table.add_row({std::to_string(p), std::to_string(rf.hosts),
+    batch.push_back(mix);
+  }
+  const auto results = engine.run_batch(batch);
+  for (std::size_t i = 0; i < process_counts.size(); ++i) {
+    const auto& rf = results[2 * i];
+    const auto& rm = results[2 * i + 1];
+    table.add_row({std::to_string(process_counts[i]),
+                   std::to_string(rf.hosts),
                    fmt_double(rf.iteration.total_s, 2),
                    fmt_double(rf.cost_per_iteration_usd, 4),
                    fmt_double(rm.iteration.total_s, 2),
@@ -65,20 +81,20 @@ Table table2_ec2_assemblies(ExperimentRunner& runner,
   return table;
 }
 
-Table cost_figure(ExperimentRunner& runner, perf::AppKind app,
+Table cost_figure(CampaignEngine& engine, perf::AppKind app,
                   std::span<const int> process_counts) {
   Table table({"procs", "puma[$]", "ellipse[$]", "lagrange[$]", "ec2[$]",
                "ec2 mix[$]"});
+  const auto& platforms = platform::all_platforms();
+  std::vector<Experiment> batch;
+  batch.reserve((platforms.size() + 1) * process_counts.size());
   for (int p : process_counts) {
-    std::vector<std::string> row{std::to_string(p)};
-    for (const auto* spec : platform::all_platforms()) {
+    for (const auto* spec : platforms) {
       Experiment e;
       e.app = app;
       e.platform = spec->name;
       e.ranks = p;
-      const auto r = runner.run(e);
-      row.push_back(r.launched ? fmt_double(r.cost_per_iteration_usd, 4)
-                               : "-");
+      batch.push_back(e);
     }
     Experiment mix;
     mix.app = app;
@@ -86,23 +102,40 @@ Table cost_figure(ExperimentRunner& runner, perf::AppKind app,
     mix.ranks = p;
     mix.ec2_spot_mix = true;
     mix.ec2_placement_groups = 4;
-    const auto rm = runner.run(mix);
+    batch.push_back(mix);
+  }
+  const auto results = engine.run_batch(batch);
+  std::size_t i = 0;
+  for (int p : process_counts) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (std::size_t s = 0; s < platforms.size(); ++s) {
+      const auto& r = results[i++];
+      row.push_back(r.launched ? fmt_double(r.cost_per_iteration_usd, 4)
+                               : "-");
+    }
+    const auto& rm = results[i++];
     row.push_back(fmt_double(rm.est_cost_per_iteration_usd, 4));
     table.add_row(std::move(row));
   }
   return table;
 }
 
-Table availability_table(ExperimentRunner& runner, perf::AppKind app,
+Table availability_table(CampaignEngine& engine, perf::AppKind app,
                          int ranks, int iterations) {
   Table table({"platform", "provision[h]", "queue wait", "run time",
                "effective total", "cost[$]", "status"});
+  std::vector<Experiment> batch;
   for (const auto* spec : platform::all_platforms()) {
     Experiment e;
     e.app = app;
     e.platform = spec->name;
     e.ranks = ranks;
-    const auto r = runner.run(e);
+    batch.push_back(e);
+  }
+  const auto results = engine.run_batch(batch);
+  std::size_t i = 0;
+  for (const auto* spec : platform::all_platforms()) {
+    const auto& r = results[i++];
     if (!r.launched) {
       table.add_row({spec->name, fmt_double(r.provisioning_hours, 1), "-",
                      "-", "-", "-", "FAILED: " + r.failure_reason});
@@ -119,18 +152,25 @@ Table availability_table(ExperimentRunner& runner, perf::AppKind app,
   return table;
 }
 
-Table summary_table(ExperimentRunner& runner, int ranks) {
+Table summary_table(CampaignEngine& engine, int ranks) {
   Table table({"platform", "porting[h]", "median wait", "max ranks",
                "RD s/iter", "RD $/iter", "NS s/iter", "NS $/iter"});
+  std::vector<Experiment> batch;
   for (const auto* spec : platform::all_platforms()) {
     Experiment rd;
     rd.app = perf::AppKind::kReactionDiffusion;
     rd.platform = spec->name;
     rd.ranks = ranks;
-    const auto r_rd = runner.run(rd);
+    batch.push_back(rd);
     Experiment ns = rd;
     ns.app = perf::AppKind::kNavierStokes;
-    const auto r_ns = runner.run(ns);
+    batch.push_back(ns);
+  }
+  const auto results = engine.run_batch(batch);
+  std::size_t i = 0;
+  for (const auto* spec : platform::all_platforms()) {
+    const auto& r_rd = results[i++];
+    const auto& r_ns = results[i++];
     const std::string max_ranks =
         spec->max_ranks == 0 ? std::to_string(spec->max_cores())
                              : std::to_string(spec->max_ranks);

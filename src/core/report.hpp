@@ -6,9 +6,15 @@
 /// (Table II), the cost-per-iteration figures (6, 7), and the
 /// availability summary of §VIII. Each returns a support::Table ready for
 /// text/CSV/markdown rendering.
+///
+/// Every generator evaluates its sweep as one CampaignEngine batch: rows
+/// keep submission order (so output is identical at any --jobs level) and
+/// points shared between artifacts — fig4 and fig6 run the same modeled
+/// experiments — are computed once per engine.
 
 #include <span>
 
+#include "core/campaign_engine.hpp"
 #include "core/experiment.hpp"
 #include "support/table.hpp"
 
@@ -20,29 +26,29 @@ std::vector<int> paper_process_counts();
 /// Fig. 4 (RD) / Fig. 5 (NS): per-iteration assembly / preconditioner /
 /// solve / total times for every platform and process count. Platforms
 /// that cannot launch a size show the failure reason instead.
-Table weak_scaling_figure(ExperimentRunner& runner, perf::AppKind app,
+Table weak_scaling_figure(CampaignEngine& engine, perf::AppKind app,
                           std::span<const int> process_counts);
 
 /// Table II: EC2 cc2.8xlarge "full" (on-demand, one placement group)
 /// versus "mix" (spot + on-demand over four groups): per-iteration time and
 /// real / estimated cost.
-Table table2_ec2_assemblies(ExperimentRunner& runner,
+Table table2_ec2_assemblies(CampaignEngine& engine,
                             std::span<const int> process_counts);
 
 /// Fig. 6 (RD) / Fig. 7 (NS): per-iteration cost for the four platforms
 /// plus the "ec2 mix" cost-aware strategy.
-Table cost_figure(ExperimentRunner& runner, perf::AppKind app,
+Table cost_figure(CampaignEngine& engine, perf::AppKind app,
                   std::span<const int> process_counts);
 
 /// §VIII effective-time-to-solution: queue wait + provisioning effort +
 /// run time for a fixed job size on every platform.
-Table availability_table(ExperimentRunner& runner, perf::AppKind app,
+Table availability_table(CampaignEngine& engine, perf::AppKind app,
                          int ranks, int iterations);
 
 /// §VIII summary: one row per platform condensing every axis the paper
 /// weighs — porting effort, availability, peak size, per-iteration time and
 /// cost for both applications at a common size — "each of the platforms ...
 /// had its particular benefits and drawbacks".
-Table summary_table(ExperimentRunner& runner, int ranks);
+Table summary_table(CampaignEngine& engine, int ranks);
 
 }  // namespace hetero::core

@@ -124,7 +124,13 @@ void append_escaped(std::string& out, const std::string& s) {
 }
 
 void append_number(std::string& out, double v) {
-  HETERO_REQUIRE(std::isfinite(v), "Json: cannot serialize a non-finite number");
+  // JSON has no NaN/Infinity literal. A FAILED experiment row can carry a
+  // non-finite phase time; serialize it as null so one bad cell cannot kill
+  // a whole JSONL export mid-campaign.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
   if (v == std::floor(v) && std::fabs(v) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
@@ -312,6 +318,27 @@ class Parser {
     }
   }
 
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+    }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code += static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code += static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code += static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -357,31 +384,37 @@ class Parser {
           out.push_back('\f');
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            fail("truncated \\u escape");
+          unsigned code = parse_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
           }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code += static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code += static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              fail("bad hex digit in \\u escape");
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a \uDC00-\uDFFF low surrogate must follow and
+            // the pair decodes to one supplementary-plane code point.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u low surrogate");
             }
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("high surrogate followed by a non-low-surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
           }
-          // UTF-8 encode (BMP only; good enough for our ASCII outputs).
+          // UTF-8 encode (full Unicode range, surrogate pairs included).
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (code >> 6)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }
@@ -393,27 +426,56 @@ class Parser {
     }
   }
 
+  bool at_digit() const {
+    return pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]));
+  }
+
+  // Strict RFC 8259 grammar:
+  //   -? ( 0 | [1-9][0-9]* ) ( . [0-9]+ )? ( [eE] [+-]? [0-9]+ )?
+  // A leading '+', leading zeros, a bare '.', and a dangling exponent are
+  // all rejected here instead of being left for strtod to reinterpret.
   Json parse_number() {
     const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+    if (pos_ < text_.size() && text_[pos_] == '-') {
       ++pos_;
     }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
+    if (!at_digit()) {
       fail("expected a value");
     }
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double v = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') {
-      fail("malformed number '" + token + "'");
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (at_digit()) {
+        fail("leading zeros are not valid JSON");
+      }
+    } else {
+      while (at_digit()) {
+        ++pos_;
+      }
     }
-    return Json(v);
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!at_digit()) {
+        fail("expected a digit after the decimal point");
+      }
+      while (at_digit()) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!at_digit()) {
+        fail("expected a digit in the exponent");
+      }
+      while (at_digit()) {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    return Json(std::strtod(token.c_str(), nullptr));
   }
 
   const std::string& text_;

@@ -139,12 +139,31 @@ TEST(Frontier, HandBuiltParetoSet) {
   EXPECT_GT(frontier[0].cost_usd, frontier[1].cost_usd);
 }
 
-TEST(Frontier, DuplicatePointsKeepTheFirst) {
+TEST(Frontier, ExactTiesAreAllKept) {
+  // Two candidates at exactly the same (time, cost) do not dominate each
+  // other: both must stay on the frontier (a regression dropped the
+  // second), while the dominated point still goes.
   const std::vector<std::pair<double, double>> points{
       {1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}};
   const auto frontier = pareto_frontier(points);
-  ASSERT_EQ(frontier.size(), 1u);
+  ASSERT_EQ(frontier.size(), 2u);
   EXPECT_EQ(frontier[0].index, 0u);
+  EXPECT_EQ(frontier[1].index, 1u);
+}
+
+TEST(Frontier, TiedPredictionsBothSurface) {
+  Prediction a;
+  a.launched = true;
+  a.effective_s = 10.0;
+  a.cost_usd = 2.0;
+  Prediction b = a;  // a distinct platform with identical economics
+  Prediction worse = a;
+  worse.effective_s = 11.0;
+  const std::vector<Prediction> predictions{a, worse, b};
+  const auto frontier = pareto_frontier(predictions);
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0].index, 0u);
+  EXPECT_EQ(frontier[1].index, 2u);
 }
 
 TEST(Frontier, SkipsUnlaunchedPredictions) {
@@ -238,8 +257,18 @@ TEST(Broker, FrontierPointsAreMutuallyNonDominating) {
       advisor.recommend(million_element_request(), min_effective_time());
   ASSERT_GE(rec.frontier.size(), 2u);
   for (std::size_t i = 1; i < rec.frontier.size(); ++i) {
-    EXPECT_GT(rec.frontier[i].time_s, rec.frontier[i - 1].time_s);
-    EXPECT_LT(rec.frontier[i].cost_usd, rec.frontier[i - 1].cost_usd);
+    const auto& prev = rec.frontier[i - 1];
+    const auto& cur = rec.frontier[i];
+    // Consecutive points either trade time for cost, or tie exactly on
+    // both axes (e.g. spot-mix candidates differing only in placement
+    // groups, whose penalty is zero) — never dominate each other.
+    const bool trades =
+        cur.time_s > prev.time_s && cur.cost_usd < prev.cost_usd;
+    const bool exact_tie =
+        cur.time_s == prev.time_s && cur.cost_usd == prev.cost_usd;
+    EXPECT_TRUE(trades || exact_tie)
+        << "point " << i << ": (" << cur.time_s << ", " << cur.cost_usd
+        << ") after (" << prev.time_s << ", " << prev.cost_usd << ")";
   }
 }
 

@@ -1,0 +1,262 @@
+// CampaignEngine: parallel campaign evaluation must be indistinguishable
+// from the sequential sweep (determinism, submission-order results),
+// memoization must account its hits, the thread budget must bound in-flight
+// simulated threads, and failures must propagate with the lowest index.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign_engine.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace hetero::core {
+namespace {
+
+std::vector<Experiment> small_campaign() {
+  std::vector<Experiment> batch;
+  for (const char* platform : {"puma", "ellipse", "lagrange", "ec2"}) {
+    for (int ranks : {1, 8, 27, 64, 125, 343, 1000}) {
+      Experiment e;
+      e.platform = platform;
+      e.ranks = ranks;
+      batch.push_back(e);
+    }
+  }
+  Experiment mix;
+  mix.platform = "ec2";
+  mix.ranks = 1000;
+  mix.ec2_spot_mix = true;
+  mix.ec2_placement_groups = 4;
+  batch.push_back(mix);
+  return batch;
+}
+
+std::string results_fingerprint(const std::vector<ExperimentResult>& rs) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const auto& r : rs) {
+    out << r.launched << "|" << r.failure_reason << "|"
+        << r.iteration.total_s << "|" << r.cost_per_iteration_usd << "|"
+        << r.queue_wait_s << "|" << r.hosts << "|" << r.spot_hosts << "\n";
+  }
+  return out.str();
+}
+
+TEST(CampaignEngine, ResolveJobsPrefersExplicitRequest) {
+  EXPECT_EQ(resolve_jobs(3), 3);
+  EXPECT_GE(resolve_jobs(0), 1);  // env or hardware, never less than one
+}
+
+TEST(CampaignEngine, ParallelBatchMatchesSequentialByteForByte) {
+  const auto batch = small_campaign();
+  CampaignEngine sequential(42, {.jobs = 1});
+  CampaignEngine parallel(42, {.jobs = 8});
+  EXPECT_EQ(sequential.jobs(), 1);
+  EXPECT_EQ(parallel.jobs(), 8);
+  const auto rs = sequential.run_batch(batch);
+  const auto rp = parallel.run_batch(batch);
+  ASSERT_EQ(rs.size(), batch.size());
+  ASSERT_EQ(rp.size(), batch.size());
+  EXPECT_EQ(results_fingerprint(rs), results_fingerprint(rp));
+}
+
+TEST(CampaignEngine, GeneratedTablesAreIdenticalAtAnyJobsLevel) {
+  const auto procs = paper_process_counts();
+  CampaignEngine sequential(42, {.jobs = 1});
+  CampaignEngine parallel(42, {.jobs = 8});
+  const std::string text_seq =
+      weak_scaling_figure(sequential, perf::AppKind::kReactionDiffusion,
+                          procs)
+          .to_text();
+  const std::string text_par =
+      weak_scaling_figure(parallel, perf::AppKind::kReactionDiffusion, procs)
+          .to_text();
+  EXPECT_EQ(text_seq, text_par);
+
+  const std::string cost_seq =
+      cost_figure(sequential, perf::AppKind::kNavierStokes, procs).to_text();
+  const std::string cost_par =
+      cost_figure(parallel, perf::AppKind::kNavierStokes, procs).to_text();
+  EXPECT_EQ(cost_seq, cost_par);
+}
+
+TEST(CampaignEngine, MemoizationAccountsHitsAndReplaysResults) {
+  CampaignEngine engine(42, {.jobs = 2});
+  Experiment e;
+  e.platform = "puma";
+  e.ranks = 27;
+
+  const auto first = engine.run(e);
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.jobs_run, 1u);
+
+  const auto second = engine.run(e);
+  stats = engine.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.jobs_run, 1u);  // nothing re-executed
+  EXPECT_DOUBLE_EQ(first.iteration.total_s, second.iteration.total_s);
+  EXPECT_DOUBLE_EQ(first.cost_per_iteration_usd,
+                   second.cost_per_iteration_usd);
+
+  // A batch of duplicates computes the descriptor once.
+  const std::vector<Experiment> dupes(6, e);
+  const auto results = engine.run_batch(dupes);
+  stats = engine.stats();
+  EXPECT_EQ(stats.jobs_run, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  for (const auto& r : results) {
+    EXPECT_DOUBLE_EQ(r.iteration.total_s, first.iteration.total_s);
+  }
+}
+
+TEST(CampaignEngine, CacheKeySeparatesSeedsAndDescriptors) {
+  Experiment a;
+  a.platform = "puma";
+  a.ranks = 27;
+  Experiment b = a;
+  b.ranks = 64;
+  EXPECT_NE(experiment_cache_key(a, 42), experiment_cache_key(b, 42));
+  EXPECT_NE(experiment_cache_key(a, 42), experiment_cache_key(a, 43));
+  EXPECT_EQ(experiment_cache_key(a, 42), experiment_cache_key(a, 42));
+  Experiment spot = a;
+  spot.platform = "ec2";
+  spot.ranks = 1000;
+  Experiment ondemand = spot;
+  spot.ec2_spot_mix = true;
+  EXPECT_NE(experiment_cache_key(spot, 42),
+            experiment_cache_key(ondemand, 42));
+}
+
+TEST(CampaignEngine, MemoizationCanBeDisabled) {
+  CampaignEngine engine(42, {.jobs = 1, .memoize = false});
+  Experiment e;
+  e.platform = "puma";
+  e.ranks = 8;
+  const auto a = engine.run(e);
+  const auto b = engine.run(e);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.jobs_run, 2u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_DOUBLE_EQ(a.iteration.total_s, b.iteration.total_s);
+}
+
+TEST(CampaignEngine, DirectModeThreadBudgetBoundsInflightThreads) {
+  // Four direct 8-rank jobs on 4 workers with a budget of 8 simulated
+  // threads: never more than one such job (weight 8) in flight.
+  CampaignEngine engine(42, {.jobs = 4, .thread_budget = 8,
+                             .memoize = false});
+  std::vector<Experiment> batch;
+  for (int i = 0; i < 4; ++i) {
+    Experiment e;
+    e.platform = "puma";
+    e.ranks = 8;
+    e.cells_per_rank_axis = 3;
+    e.mode = Mode::kDirect;
+    e.direct_steps = 2;
+    batch.push_back(e);
+  }
+  const auto results = engine.run_batch(batch);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.launched);
+    EXPECT_TRUE(r.solver_converged);
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.jobs_run, 4u);
+  EXPECT_LE(stats.peak_inflight_threads, 8);
+  EXPECT_GE(stats.peak_inflight_threads, 8);  // each job alone weighs 8
+}
+
+TEST(CampaignEngine, ModeledJobsRespectNarrowBudget) {
+  CampaignEngine engine(42, {.jobs = 4, .thread_budget = 2,
+                             .memoize = false});
+  std::vector<Experiment> batch;
+  for (int ranks : {1, 8, 27, 64, 125, 216}) {
+    Experiment e;
+    e.platform = "ellipse";
+    e.ranks = ranks;
+    batch.push_back(e);
+  }
+  engine.run_batch(batch);
+  EXPECT_LE(engine.stats().peak_inflight_threads, 2);
+}
+
+TEST(CampaignEngine, MixedModeledAndDirectBatchIsDeterministic) {
+  // Modeled jobs (weight 1) interleave with direct jobs (weight ranks)
+  // under one budget — the TSan workhorse case — and the result must
+  // still be byte-identical to the sequential sweep.
+  std::vector<Experiment> batch;
+  for (int ranks : {1, 8, 27, 64}) {
+    Experiment m;
+    m.platform = "ec2";
+    m.ranks = ranks;
+    batch.push_back(m);
+    Experiment d;
+    d.platform = "puma";
+    d.ranks = ranks <= 8 ? ranks : 1;
+    d.cells_per_rank_axis = 3;
+    d.mode = Mode::kDirect;
+    d.direct_steps = 2;
+    batch.push_back(d);
+  }
+  CampaignEngine sequential(42, {.jobs = 1});
+  CampaignEngine parallel(42, {.jobs = 4});
+  const auto rs = sequential.run_batch(batch);
+  const auto rp = parallel.run_batch(batch);
+  EXPECT_EQ(results_fingerprint(rs), results_fingerprint(rp));
+}
+
+TEST(CampaignEngine, FirstFailureByIndexPropagates) {
+  std::vector<Experiment> batch;
+  Experiment ok;
+  ok.platform = "puma";
+  ok.ranks = 8;
+  Experiment bad;  // direct mode requires cubic ranks: 6 throws
+  bad.platform = "puma";
+  bad.ranks = 6;
+  bad.mode = Mode::kDirect;
+  batch.push_back(ok);
+  batch.push_back(bad);
+  batch.push_back(ok);
+  CampaignEngine engine(42, {.jobs = 4});
+  EXPECT_THROW(engine.run_batch(batch), Error);
+  // The engine survives a failed batch and keeps serving.
+  const auto r = engine.run(ok);
+  EXPECT_TRUE(r.launched);
+}
+
+TEST(CampaignEngine, ParallelForCoversEveryIndexOnce) {
+  CampaignEngine engine(42, {.jobs = 8});
+  constexpr std::size_t kN = 300;
+  std::vector<int> touched(kN, 0);
+  engine.parallel_for(kN, [&](std::size_t i) { touched[i] += 1; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(touched[i], 1) << "index " << i;
+  }
+  EXPECT_GE(engine.stats().batches, 1u);
+}
+
+TEST(CampaignEngine, NestedParallelForRunsInline) {
+  CampaignEngine engine(42, {.jobs = 4});
+  std::vector<int> inner_sum(8, 0);
+  engine.parallel_for(8, [&](std::size_t i) {
+    // Must not deadlock: the inner loop runs inline on the worker.
+    engine.parallel_for(4, [&](std::size_t j) {
+      inner_sum[i] += static_cast<int>(j) + 1;
+    });
+  });
+  for (int s : inner_sum) {
+    EXPECT_EQ(s, 10);
+  }
+}
+
+}  // namespace
+}  // namespace hetero::core

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/campaign.hpp"
+#include "core/campaign_engine.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "support/error.hpp"
@@ -115,10 +116,10 @@ TEST(Report, PaperProcessCountsAreTheCubes) {
 }
 
 TEST(Report, WeakScalingFigureCoversAllPlatformsAndSizes) {
-  ExperimentRunner runner(42);
+  CampaignEngine engine(42);
   const std::vector<int> procs{1, 125, 216, 512, 1000};
   const Table table = weak_scaling_figure(
-      runner, perf::AppKind::kReactionDiffusion, procs);
+      engine, perf::AppKind::kReactionDiffusion, procs);
   EXPECT_EQ(table.rows(), 4 * procs.size());
   // Failures appear exactly where the paper hit them.
   int failures = 0;
@@ -131,9 +132,9 @@ TEST(Report, WeakScalingFigureCoversAllPlatformsAndSizes) {
 }
 
 TEST(Report, Table2HasTheTenPaperRows) {
-  ExperimentRunner runner(42);
+  CampaignEngine engine(42);
   const auto procs = paper_process_counts();
-  const Table table = table2_ec2_assemblies(runner, procs);
+  const Table table = table2_ec2_assemblies(engine, procs);
   EXPECT_EQ(table.rows(), 10u);
   // Last row: 1000 ranks on 63 hosts.
   const auto& last = table.row(9);
@@ -142,10 +143,10 @@ TEST(Report, Table2HasTheTenPaperRows) {
 }
 
 TEST(Report, CostFigureOrdersPlatformsAtSmallScale) {
-  ExperimentRunner runner(42);
+  CampaignEngine engine(42);
   const std::vector<int> procs{64};
   const Table table =
-      cost_figure(runner, perf::AppKind::kReactionDiffusion, procs);
+      cost_figure(engine, perf::AppKind::kReactionDiffusion, procs);
   ASSERT_EQ(table.rows(), 1u);
   const auto& row = table.row(0);
   const double puma_usd = std::stod(row[1]);
@@ -162,9 +163,9 @@ TEST(Report, CostFigureOrdersPlatformsAtSmallScale) {
 }
 
 TEST(Report, AvailabilityTableShowsCloudAdvantage) {
-  ExperimentRunner runner(42);
+  CampaignEngine engine(42);
   const Table table = availability_table(
-      runner, perf::AppKind::kReactionDiffusion, 64, 100);
+      engine, perf::AppKind::kReactionDiffusion, 64, 100);
   EXPECT_EQ(table.rows(), 4u);
   const std::string text = table.to_text();
   EXPECT_NE(text.find("puma"), std::string::npos);
@@ -172,8 +173,8 @@ TEST(Report, AvailabilityTableShowsCloudAdvantage) {
 }
 
 TEST(Report, SummaryTableCoversAllPlatformAxes) {
-  ExperimentRunner runner(42);
-  const Table table = summary_table(runner, 125);
+  CampaignEngine engine(42);
+  const Table table = summary_table(engine, 125);
   EXPECT_EQ(table.rows(), 4u);
   EXPECT_EQ(table.cols(), 8u);
   // At 125 ranks everyone runs; every cell is filled.
@@ -183,7 +184,7 @@ TEST(Report, SummaryTableCoversAllPlatformAxes) {
     }
   }
   // At 500 ranks puma and lagrange drop out.
-  const Table big = summary_table(runner, 500);
+  const Table big = summary_table(engine, 500);
   int dashes = 0;
   for (std::size_t r = 0; r < big.rows(); ++r) {
     dashes += big.row(r)[4] == "-";
@@ -252,15 +253,15 @@ TEST(Campaign, ValidatesConfig) {
 }
 
 TEST(Report, AllTablesRenderBothFormats) {
-  ExperimentRunner runner(42);
+  CampaignEngine engine(42);
   const std::vector<int> procs{1, 64};
   std::ostringstream sink;
   for (const Table& table :
-       {weak_scaling_figure(runner, perf::AppKind::kReactionDiffusion, procs),
-        table2_ec2_assemblies(runner, procs),
-        cost_figure(runner, perf::AppKind::kNavierStokes, procs),
-        availability_table(runner, perf::AppKind::kReactionDiffusion, 64, 10),
-        summary_table(runner, 64)}) {
+       {weak_scaling_figure(engine, perf::AppKind::kReactionDiffusion, procs),
+        table2_ec2_assemblies(engine, procs),
+        cost_figure(engine, perf::AppKind::kNavierStokes, procs),
+        availability_table(engine, perf::AppKind::kReactionDiffusion, 64, 10),
+        summary_table(engine, 64)}) {
     table.render_text(sink);
     table.render_csv(sink);
     table.render_markdown(sink);

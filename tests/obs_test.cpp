@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -254,6 +255,72 @@ TEST(Json, RoundTripsThroughDumpAndParse) {
   EXPECT_TRUE(parsed.at("missing").is_null());
   EXPECT_EQ(parsed.at("list")[1].as_string(), "two");
   EXPECT_THROW(obs::Json::parse("{\"unterminated\": "), Error);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  // JSON has no NaN/Infinity literal; a failed experiment's non-finite
+  // phase time must degrade to null instead of aborting the export.
+  EXPECT_EQ(obs::Json(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+  EXPECT_EQ(obs::Json(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(obs::Json(-std::numeric_limits<double>::infinity()).dump(),
+            "null");
+
+  obs::Json row = obs::Json::object();
+  row.set("platform", "puma");
+  row.set("total_s", std::numeric_limits<double>::quiet_NaN());
+  row.set("iters", 12);
+  EXPECT_EQ(row.dump(), "{\"platform\":\"puma\",\"total_s\":null,"
+                        "\"iters\":12}");
+  // And the row still parses back: the bad cell is null, the rest is intact.
+  const obs::Json parsed = obs::Json::parse(row.dump());
+  EXPECT_TRUE(parsed.at("total_s").is_null());
+  EXPECT_DOUBLE_EQ(parsed.at("iters").as_number(), 12.0);
+}
+
+TEST(Json, SurrogatePairsDecodeToSupplementaryPlane) {
+  // \uD83D\uDE00 is U+1F600, UTF-8 f0 9f 98 80.
+  const obs::Json parsed = obs::Json::parse("\"\\uD83D\\uDE00\"");
+  EXPECT_EQ(parsed.as_string(), "\xF0\x9F\x98\x80");
+  // BMP escapes still decode as before.
+  EXPECT_EQ(obs::Json::parse("\"\\u00e9\"").as_string(), "\xC3\xA9");
+  EXPECT_EQ(obs::Json::parse("\"\\u0041\"").as_string(), "A");
+}
+
+TEST(Json, UnpairedSurrogatesAreRejected) {
+  // Lone high surrogate at end of string.
+  EXPECT_THROW(obs::Json::parse("\"\\uD83D\""), Error);
+  // High surrogate followed by a non-surrogate escape.
+  EXPECT_THROW(obs::Json::parse("\"\\uD83D\\u0041\""), Error);
+  // High surrogate followed by plain text.
+  EXPECT_THROW(obs::Json::parse("\"\\uD83Dxy\""), Error);
+  // Lone low surrogate.
+  EXPECT_THROW(obs::Json::parse("\"\\uDE00\""), Error);
+}
+
+TEST(Json, NumberGrammarIsStrict) {
+  // The scanner used to hand any sign/digit/dot soup to strtod; these are
+  // all invalid JSON and must now fail to parse.
+  EXPECT_THROW(obs::Json::parse("+1"), Error);
+  EXPECT_THROW(obs::Json::parse("01"), Error);
+  EXPECT_THROW(obs::Json::parse("-01"), Error);
+  EXPECT_THROW(obs::Json::parse("1."), Error);
+  EXPECT_THROW(obs::Json::parse(".5"), Error);
+  EXPECT_THROW(obs::Json::parse("1e"), Error);
+  EXPECT_THROW(obs::Json::parse("1e+"), Error);
+  EXPECT_THROW(obs::Json::parse("--1"), Error);
+  EXPECT_THROW(obs::Json::parse("1-2"), Error);
+  EXPECT_THROW(obs::Json::parse("1.2.3"), Error);
+  EXPECT_THROW(obs::Json::parse("[1, +2]"), Error);
+
+  // The full valid grammar still parses.
+  EXPECT_DOUBLE_EQ(obs::Json::parse("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(obs::Json::parse("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(obs::Json::parse("10.25").as_number(), 10.25);
+  EXPECT_DOUBLE_EQ(obs::Json::parse("2e3").as_number(), 2000.0);
+  EXPECT_DOUBLE_EQ(obs::Json::parse("2E-3").as_number(), 0.002);
+  EXPECT_DOUBLE_EQ(obs::Json::parse("1.5e+2").as_number(), 150.0);
 }
 
 TEST(BenchIo, FieldNamesAndCellValuesMatchTheJsonlSchema) {

@@ -22,6 +22,10 @@ Baseline format (JSON):
          "field": "total_s", "expect": 9.42, "rel_tol": 0.10},
         {"type": "value", "match": {...}, "field": "mix_spot_hosts",
          "min": 1, "max": 45},
+        # "allow_null": true skips the bounds when the cell is null (a
+        # non-finite value the serializer degraded rather than aborting):
+        {"type": "value", "match": {...}, "field": "total_s",
+         "min": 0.1, "allow_null": true},
         # the field must be null (a launch-failure cell):
         {"type": "null", "match": {"platform": "puma", "procs": 216},
          "field": "total_s"},
@@ -103,6 +107,8 @@ def run_check(check, records):
     context = describe(check)
     if kind == "value":
         record = pick(records, check["match"], context)
+        if check.get("allow_null") and record.get(check["field"]) is None:
+            return f"{context}: null (allowed)"
         value = numeric(record, check["field"], context)
         if "expect" in check:
             expect = float(check["expect"])

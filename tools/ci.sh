@@ -5,9 +5,11 @@
 #   release   Release + -Werror build, full ctest, broker smoke
 #   debug     Debug build, full ctest
 #   bench     bench-regression: run the four paper-figure benches with
-#             --json and hold them to bench/baselines/ via check_bench.py
+#             --json and hold them to bench/baselines/ via check_bench.py;
+#             then re-run fig4 with --jobs 8 and require byte-identical
+#             output (the campaign engine's determinism guarantee)
 #   asan      ASan+UBSan build, full ctest
-#   tsan      TSan build, concurrency tests only (simmpi/la/obs)
+#   tsan      TSan build, concurrency tests only (simmpi/la/obs/engine)
 #   all       everything above, in that order (the default)
 #
 # Each job builds in its own directory (build-ci-<job>) so sanitizer and
@@ -75,10 +77,21 @@ job_bench() {
       echo "ci: FAIL — bench binary bench_$bench missing" >&2
       exit 1
     fi
-    build-ci-release/bench/bench_"$bench" --json "$out_dir/$bench.jsonl"
+    build-ci-release/bench/bench_"$bench" --jobs 1 \
+        --json "$out_dir/$bench.jsonl"
     python3 tools/check_bench.py --baseline bench/baselines/"$bench".json \
         "$out_dir/$bench.jsonl"
   done
+  # Parallel determinism gate: --jobs 8 must reproduce --jobs 1 byte for
+  # byte, table and JSONL alike.
+  build-ci-release/bench/bench_fig4_rd_weak_scaling --jobs 8 \
+      --json "$out_dir/fig4_rd_weak_scaling.jobs8.jsonl" \
+      > "$out_dir/fig4.jobs8.txt"
+  build-ci-release/bench/bench_fig4_rd_weak_scaling --jobs 1 \
+      > "$out_dir/fig4.jobs1.txt"
+  diff "$out_dir/fig4.jobs1.txt" "$out_dir/fig4.jobs8.txt"
+  diff "$out_dir/fig4_rd_weak_scaling.jsonl" \
+      "$out_dir/fig4_rd_weak_scaling.jobs8.jsonl"
 }
 
 job_asan() {
@@ -93,7 +106,7 @@ job_tsan() {
   configure_and_build build-ci-tsan \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=thread
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-      -R '^(simmpi_test|la_test|obs_test)$'
+      -R '^(simmpi_test|la_test|obs_test|campaign_engine_test)$'
 }
 
 run_job() {

@@ -18,6 +18,7 @@
 
 #include "broker/broker.hpp"
 #include "core/campaign.hpp"
+#include "core/campaign_engine.hpp"
 #include "core/report.hpp"
 #include "obs/bench_io.hpp"
 #include "platform/capability_table.hpp"
@@ -43,6 +44,20 @@ int cmd_platforms(const CliArgs& args) {
   return 0;
 }
 
+/// --jobs N > HETEROLAB_JOBS > hardware concurrency; `direct_default_1`
+/// makes direct-mode runs sequential unless --jobs is given explicitly
+/// (each direct experiment already spawns one thread per rank).
+core::CampaignEngine make_engine(const CliArgs& args,
+                                 bool direct_default_1 = false) {
+  core::CampaignEngineOptions opt;
+  opt.jobs = static_cast<int>(args.get_int("jobs", 0));
+  if (opt.jobs == 0 && direct_default_1 && !args.has("jobs")) {
+    opt.jobs = 1;
+  }
+  return core::CampaignEngine(
+      static_cast<std::uint64_t>(args.get_int("seed", 42)), opt);
+}
+
 int cmd_run(const CliArgs& args) {
   core::Experiment e;
   e.app = args.get_string("app", "rd") == "ns"
@@ -66,9 +81,8 @@ int cmd_run(const CliArgs& args) {
   e.metrics_path = args.get_string("metrics", "");
   HETERO_REQUIRE(e.trace_path.empty() || e.mode == core::Mode::kDirect,
                  "--trace records the simulated MPI run: needs --mode direct");
-  core::ExperimentRunner runner(
-      static_cast<std::uint64_t>(args.get_int("seed", 42)));
-  const auto r = runner.run(e);
+  auto engine = make_engine(args, e.mode == core::Mode::kDirect);
+  const auto r = engine.run(e);
   obs::BenchReporter reporter(args, "heterolab_run");
   if (reporter.enabled()) {
     obs::Json record = obs::Json::object();
@@ -129,31 +143,30 @@ int cmd_run(const CliArgs& args) {
 }
 
 int cmd_report(const std::string& which, const CliArgs& args) {
-  core::ExperimentRunner runner(
-      static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  auto engine = make_engine(args);
   const auto procs = core::paper_process_counts();
   const Table table = [&]() -> Table {
     if (which == "fig4") {
-      return core::weak_scaling_figure(runner,
+      return core::weak_scaling_figure(engine,
                                        perf::AppKind::kReactionDiffusion,
                                        procs);
     }
     if (which == "fig5") {
-      return core::weak_scaling_figure(runner, perf::AppKind::kNavierStokes,
+      return core::weak_scaling_figure(engine, perf::AppKind::kNavierStokes,
                                        procs);
     }
     if (which == "table2") {
-      return core::table2_ec2_assemblies(runner, procs);
+      return core::table2_ec2_assemblies(engine, procs);
     }
     if (which == "fig6") {
-      return core::cost_figure(runner, perf::AppKind::kReactionDiffusion,
+      return core::cost_figure(engine, perf::AppKind::kReactionDiffusion,
                                procs);
     }
     if (which == "fig7") {
-      return core::cost_figure(runner, perf::AppKind::kNavierStokes, procs);
+      return core::cost_figure(engine, perf::AppKind::kNavierStokes, procs);
     }
     HETERO_REQUIRE(which == "summary", "unknown report command: " + which);
-    return core::summary_table(runner,
+    return core::summary_table(engine,
                                static_cast<int>(args.get_int("ranks", 125)));
   }();
   render(table, args);
@@ -209,7 +222,8 @@ int cmd_broker(const CliArgs& args) {
   const auto objective =
       broker::objective_by_name(args.get_string("objective", "effective"));
   broker::Broker advisor(
-      static_cast<std::uint64_t>(args.get_int("seed", 42)));
+      static_cast<std::uint64_t>(args.get_int("seed", 42)),
+      static_cast<int>(args.get_int("jobs", 0)));
   const auto rec = advisor.recommend(request, objective);
 
   std::cout << "objective     " << objective.name << " — "
@@ -262,17 +276,21 @@ int usage() {
       "usage: heterolab <command> [flags]\n"
       "  platforms                         Table I capability matrix\n"
       "  run --app rd|ns --platform P --ranks N [--mode direct|modeled]\n"
-      "      [--cells C] [--spot] [--seed S] [--json OUT.jsonl]\n"
+      "      [--cells C] [--spot] [--seed S] [--jobs J] [--json OUT.jsonl]\n"
       "      [--trace OUT.trace.json] [--metrics OUT.metrics.json]\n"
-      "  fig4 | fig5 | table2 | fig6 | fig7 [--csv] [--json OUT.jsonl]\n"
-      "  summary [--ranks N]\n"
+      "  fig4 | fig5 | table2 | fig6 | fig7 [--csv] [--jobs J]\n"
+      "      [--json OUT.jsonl]\n"
+      "  summary [--ranks N] [--jobs J]\n"
       "  campaign --ranks N --iterations K [--ondemand] [--ckpt I]\n"
       "      [--bid USD] [--cells C]\n"
       "  provision [--platform P]\n"
       "  broker --app rd|ns [--elements E | --ranks N [--cells C]]\n"
       "      [--iterations K] [--deadline-h H] [--budget-usd D]\n"
       "      [--objective time|cost|effective|blend] [--risk R]\n"
-      "      [--ported] [--top N] [--seed S]\n";
+      "      [--ported] [--top N] [--seed S] [--jobs J]\n"
+      "--jobs J evaluates experiments on J worker threads (output is\n"
+      "byte-identical at any J). Default: HETEROLAB_JOBS if set, else the\n"
+      "hardware thread count; direct-mode runs default to 1.\n";
   return 2;
 }
 
@@ -312,8 +330,8 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       return flags_understood(args, {"app", "platform", "ranks", "cells",
-                                     "mode", "spot", "seed", "json", "trace",
-                                     "metrics"})
+                                     "mode", "spot", "seed", "jobs", "json",
+                                     "trace", "metrics"})
                  ? cmd_run(args)
                  : usage();
     }
@@ -321,8 +339,9 @@ int main(int argc, char** argv) {
         command == "fig6" || command == "fig7" || command == "summary") {
       const std::vector<std::string> allowed =
           command == "summary"
-              ? std::vector<std::string>{"csv", "seed", "ranks", "json"}
-              : std::vector<std::string>{"csv", "seed", "json"};
+              ? std::vector<std::string>{"csv", "seed", "ranks", "jobs",
+                                         "json"}
+              : std::vector<std::string>{"csv", "seed", "jobs", "json"};
       return flags_understood(args, allowed) ? cmd_report(command, args)
                                              : usage();
     }
@@ -340,7 +359,7 @@ int main(int argc, char** argv) {
       return flags_understood(
                  args, {"app", "elements", "ranks", "cells", "iterations",
                         "deadline-h", "budget-usd", "objective", "risk",
-                        "ported", "top", "seed", "csv"})
+                        "ported", "top", "seed", "jobs", "csv"})
                  ? cmd_broker(args)
                  : usage();
     }
