@@ -58,6 +58,18 @@ Recommendation Broker::recommend(const JobRequest& request,
     ranked_predictions.push_back(rc.prediction);
   }
   out.frontier = pareto_frontier(ranked_predictions);
+
+  // Graceful degradation: a candidate priced out by the risk budget is not
+  // a dead end — name the candidate the work failed over to (the winner
+  // after re-ranking) so the decision is explainable end to end.
+  if (out.has_winner()) {
+    const std::string target = out.winner().candidate.label();
+    for (auto& rejection : out.rejected) {
+      if (rejection.reason.find("exceeds risk budget") != std::string::npos) {
+        rejection.reason += "; failing over to " + target;
+      }
+    }
+  }
   return out;
 }
 

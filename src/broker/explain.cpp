@@ -48,6 +48,12 @@ std::string rejection_reason(const Prediction& prediction,
     append(&reasons, "over budget: " + fmt_usd(prediction.cost_usd) + " > " +
                          fmt_usd(*request.budget_usd));
   }
+  if (request.risk_budget_usd &&
+      prediction.risk_usd > *request.risk_budget_usd) {
+    append(&reasons, "exceeds risk budget: predicted failure cost " +
+                         fmt_usd(prediction.risk_usd) + " > " +
+                         fmt_usd(*request.risk_budget_usd));
+  }
   return reasons;
 }
 

@@ -44,6 +44,12 @@ struct JobRequest {
   /// campaign; >= 0.5 also admits the uninsured spot mix.
   double risk_tolerance = 0.5;
 
+  /// Cap on a candidate's *predicted failure cost* (Prediction.risk_usd,
+  /// dollars expected to buy redone or forfeited work). A candidate over
+  /// the cap is failed over: the broker re-ranks to the next feasible
+  /// candidate and the rejection explains where the work went.
+  std::optional<double> risk_budget_usd;
+
   /// Fold the one-time porting effort (§VI man-hours) into effective
   /// time-to-solution and the deadline check. Disable when every platform
   /// is already provisioned.

@@ -56,6 +56,10 @@ Prediction Predictor::predict(const Candidate& candidate,
   p.cost_usd = r.cost_per_iteration_usd * request.iterations;
   p.hosts = r.hosts;
   p.spot_hosts = r.spot_hosts;
+  if (p.candidate.strategy == Ec2Strategy::kSpotMix && p.hosts > 0) {
+    p.risk_usd = p.cost_usd * static_cast<double>(p.spot_hosts) /
+                 static_cast<double>(p.hosts);
+  }
   p.effective_s = effective_seconds(p, request);
   return p;
 }
@@ -87,6 +91,12 @@ Prediction Predictor::predict_campaign(const Candidate& candidate,
             spec.cores_per_node();
   p.spot_hosts = r.initial_spot_hosts;
   p.interruptions = r.interruptions;
+  const double total_done = static_cast<double>(request.iterations) +
+                            static_cast<double>(r.iterations_redone);
+  if (total_done > 0.0) {
+    p.risk_usd =
+        r.billed_usd * static_cast<double>(r.iterations_redone) / total_done;
+  }
   p.effective_s = effective_seconds(p, request);
   return p;
 }

@@ -44,6 +44,12 @@ struct Prediction {
   int spot_hosts = 0;
   /// Spot campaign only: reclaim events endured.
   int interruptions = 0;
+
+  /// Predicted failure cost: dollars expected to buy *redone or lost* work.
+  /// Campaign: the bill share of redone iterations. Uninsured spot mix: the
+  /// whole spot share of the bill (no checkpointing — a reclaim forfeits
+  /// it). On-premises and on-demand runs carry no reclaim risk.
+  double risk_usd = 0.0;
 };
 
 class Predictor {

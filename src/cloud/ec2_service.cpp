@@ -36,10 +36,17 @@ std::vector<Instance> Ec2Service::advance(double seconds) {
 
   std::vector<Instance> reclaimed;
   for (std::int64_t h = hour_before + 1; h <= hour_after; ++h) {
+    const bool storm = fault_plan_.reclaim_storm(h);
+    if (storm) {
+      obs::metrics().counter("resil.reclaim_storms").increment();
+      obs::trace_instant("reclaim_storm", "resil",
+                         static_cast<double>(h) * 3600.0);
+    }
     for (std::size_t i = 0; i < fleet_.size();) {
       const Instance& inst = fleet_[i];
       if (inst.spot &&
-          inst.bid_usd < market_.price(instance_type(inst.type), h)) {
+          (storm ||
+           inst.bid_usd < market_.price(instance_type(inst.type), h))) {
         reclaimed.push_back(inst);
         close_charge(inst.id);
         fleet_.erase(fleet_.begin() + static_cast<std::ptrdiff_t>(i));

@@ -13,6 +13,7 @@
 #include "cloud/instance_types.hpp"
 #include "cloud/spot_market.hpp"
 #include "netsim/topology.hpp"
+#include "resil/fault_plan.hpp"
 #include "support/rng.hpp"
 
 namespace hetero::cloud {
@@ -50,7 +51,13 @@ class Ec2Service {
   /// whose bid is below the hour's market price are *reclaimed* (terminated
   /// by the vendor, billing stopped); the reclaimed instances are returned
   /// so the caller can react — the unpredictability the paper warns about.
+  /// Hours the fault plan marks as a reclaim storm take *every* spot
+  /// instance, however high the bid.
   std::vector<Instance> advance(double seconds);
+
+  /// Installs injected reclaim storms. The plan's hour schedule is a pure
+  /// hash of its seed, so campaigns replay identically at any parallelism.
+  void set_fault_plan(resil::FaultPlan plan) { fault_plan_ = std::move(plan); }
 
   /// Placement groups (cluster-compute only).
   int create_placement_group(const std::string& name);
@@ -105,6 +112,7 @@ class Ec2Service {
   std::uint64_t seed_;
   Rng rng_;
   SpotMarket market_;
+  resil::FaultPlan fault_plan_;
   double clock_s_ = 0.0;
   int next_instance_id_ = 1;
   int next_group_id_ = 0;

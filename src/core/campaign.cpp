@@ -8,6 +8,7 @@
 #include "obs/trace.hpp"
 #include "platform/platform_spec.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
 
 namespace hetero::core {
 
@@ -54,6 +55,11 @@ CampaignResult simulate_ec2_campaign(const CampaignConfig& config) {
       (config.ranks + spec.cores_per_node() - 1) / spec.cores_per_node();
 
   cloud::Ec2Service service(config.seed);
+  if (config.faults.enabled()) {
+    service.set_fault_plan(resil::FaultPlan(
+        config.faults, hash_combine(0x73746f726dULL /* "storm" */,
+                                    config.seed)));
+  }
   service.authorize_intranet_tcp();
   std::vector<int> groups;
   for (int g = 0; g < 4; ++g) {

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "perf/scaling_model.hpp"
+#include "resil/fault_plan.hpp"
 
 namespace hetero::core {
 
@@ -36,6 +37,9 @@ struct CampaignConfig {
   bool use_spot = true;
   double spot_bid_usd = 0.70;
   std::uint64_t seed = 42;
+  /// Injected faults (reclaim storms use `reclaim_storm_rate`); the plan is
+  /// derived from `seed`, so the storm schedule replays deterministically.
+  resil::FaultSpec faults;
   /// Safety valve for pathological configurations.
   double max_wall_clock_s = 60.0 * 24.0 * 3600.0;
 };

@@ -67,6 +67,21 @@ std::string experiment_cache_key(const Experiment& e,
   append_int(key, e.ec2_placement_groups);
   append_bits(key, e.cross_group_penalty);
   append_bits(key, e.ec2_spot_bid_usd);
+  // Fault/recovery knobs change the result; omitting any would alias
+  // memoized entries across different fault configurations.
+  append_bits(key, e.faults.rank_crash_rate);
+  append_bits(key, e.faults.launch_failure_rate);
+  append_bits(key, e.faults.reclaim_storm_rate);
+  append_bits(key, e.faults.net_degrade_rate);
+  append_bits(key, e.faults.net_degrade_factor);
+  append_bits(key, e.faults.net_degrade_window_s);
+  append_int(key, static_cast<long long>(e.recovery.kind));
+  append_int(key, e.recovery.checkpoint_every);
+  append_int(key, e.recovery.max_attempts);
+  append_bits(key, e.recovery.backoff_base_s);
+  append_bits(key, e.recovery.backoff_factor);
+  append_bits(key, e.recovery.backoff_cap_s);
+  append_int(key, e.recovery.shrink_ranks_on_crash ? 1 : 0);
   append_int(key, static_cast<long long>(e.seed));
   append_int(key, static_cast<long long>(runner_seed));
   return key;

@@ -1,18 +1,24 @@
 #include "core/experiment.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <optional>
 
 #include "apps/ns_solver.hpp"
 #include "apps/rd_solver.hpp"
 #include "cloud/ec2_service.hpp"
+#include "io/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "provision/planner.hpp"
 #include "sched/scheduler.hpp"
 #include "simmpi/runtime.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/stats.hpp"
 
 namespace hetero::core {
@@ -39,9 +45,60 @@ class ScopedTraceInstall {
   ~ScopedTraceInstall() { obs::set_current_trace(nullptr); }
 };
 
+struct ResilMetrics {
+  obs::Counter& faults = obs::metrics().counter("resil.faults_injected");
+  obs::Counter& launch_retries =
+      obs::metrics().counter("resil.launch_retries");
+  obs::Counter& checkpoints =
+      obs::metrics().counter("resil.checkpoints_written");
+  obs::Counter& steps_wasted = obs::metrics().counter("resil.steps_wasted");
+  obs::Counter& steps_recovered =
+      obs::metrics().counter("resil.steps_recovered");
+  obs::Counter& retry_delay_s = obs::metrics().counter("resil.retry_delay_s");
+  obs::Counter& wasted_cost_usd =
+      obs::metrics().counter("resil.wasted_cost_usd");
+  obs::Counter& recoveries = obs::metrics().counter("resil.recoveries");
+  obs::Counter& unrecovered = obs::metrics().counter("resil.unrecovered");
+};
+
+ResilMetrics& resil_metrics() {
+  static ResilMetrics metrics;
+  return metrics;
+}
+
+/// Scratch file for checkpoint-restart. Unique per (process, call) so
+/// campaign-engine threads running direct experiments in parallel never
+/// share a file.
+std::string checkpoint_scratch_path() {
+  static std::atomic<std::uint64_t> counter{0};
+  return "/tmp/heterolab_ckpt_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".h5l";
+}
+
+// The two apps expose their BDF history under different names.
+const la::DistVector& state_now(const apps::RdSolver& s) {
+  return s.solution();
+}
+const la::DistVector& state_prev(const apps::RdSolver& s) {
+  return s.previous_solution();
+}
+const la::DistVector& state_now(const apps::NsSolver& s) { return s.state(); }
+const la::DistVector& state_prev(const apps::NsSolver& s) {
+  return s.previous_state();
+}
+
 }  // namespace
 
 ExperimentRunner::ExperimentRunner(std::uint64_t seed) : seed_(seed) {}
+
+resil::FaultPlan ExperimentRunner::make_plan(
+    const Experiment& experiment) const {
+  // Salted combine: the fault stream is independent of the Rng streams that
+  // draw queue waits and spot prices from the same two seeds.
+  const std::uint64_t plan_seed = hash_combine(
+      hash_combine(0x726573696cULL /* "resil" */, seed_), experiment.seed);
+  return resil::FaultPlan(experiment.faults, plan_seed);
+}
 
 ExperimentResult ExperimentRunner::run(const Experiment& experiment) {
   HETERO_REQUIRE(experiment.ranks >= 1, "experiment needs ranks >= 1");
@@ -52,20 +109,40 @@ ExperimentResult ExperimentRunner::run(const Experiment& experiment) {
   result.provisioning_hours =
       provision::plan_provisioning(spec).total_hours();
 
+  const resil::FaultPlan plan = make_plan(experiment);
+
   // Availability: can the platform even launch this job, and how long does
-  // it sit in the queue (or wait for instance boot)?
+  // it sit in the queue (or wait for instance boot)? Injected *transient*
+  // launch failures are retried under the recovery policy, each retry
+  // charging a capped exponential backoff to the wait; capability failures
+  // ("puma has only 128 cores") are never retried.
   Rng rng(seed_ ^ experiment.seed);
-  const auto scheduler = sched::make_scheduler(spec);
-  const auto outcome =
-      scheduler->submit({experiment.ranks, /*estimated_runtime_s=*/3600.0},
-                        rng);
+  std::unique_ptr<sched::Scheduler> scheduler = sched::make_scheduler(spec);
+  if (plan.enabled()) {
+    scheduler =
+        std::make_unique<sched::FaultyScheduler>(std::move(scheduler), plan);
+  }
+  sched::JobOutcome outcome;
+  for (int attempt = 0;; ++attempt) {
+    outcome = scheduler->submit(
+        {experiment.ranks, /*estimated_runtime_s=*/3600.0}, rng);
+    if (outcome.launched || !outcome.transient) break;
+    if (experiment.recovery.kind == resil::RecoveryKind::kNone ||
+        attempt + 1 >= experiment.recovery.max_attempts) {
+      break;
+    }
+    ++result.resil.launch_retries;
+    result.resil.retry_delay_s +=
+        resil::backoff_delay_s(experiment.recovery, attempt);
+    resil_metrics().launch_retries.increment();
+  }
   if (!outcome.launched) {
     result.launched = false;
     result.failure_reason = outcome.failure_reason;
     return result;
   }
   result.launched = true;
-  result.queue_wait_s = outcome.wait_s;
+  result.queue_wait_s = outcome.wait_s + result.resil.retry_delay_s;
   result.hosts = (experiment.ranks + spec.cores_per_node() - 1) /
                  spec.cores_per_node();
 
@@ -73,10 +150,16 @@ ExperimentResult ExperimentRunner::run(const Experiment& experiment) {
       experiment.mode == Mode::kModeled ? run_modeled(experiment, spec)
                                         : run_direct(experiment, spec);
   // Merge the run-phase output into the availability/effort scaffold.
-  run_part.launched = true;
+  // Direct mode decides `launched` itself: an unrecovered injected fault
+  // reports failure even though the scheduler said yes.
   run_part.queue_wait_s = result.queue_wait_s;
   run_part.provisioning_hours = result.provisioning_hours;
   run_part.hosts = result.hosts;
+  run_part.resil.launch_retries = result.resil.launch_retries;
+  run_part.resil.retry_delay_s += result.resil.retry_delay_s;
+  if (run_part.resil.final_ranks == 0) {
+    run_part.resil.final_ranks = experiment.ranks;
+  }
   if (!experiment.metrics_path.empty()) {
     obs::metrics().write_json(experiment.metrics_path);
   }
@@ -86,6 +169,7 @@ ExperimentResult ExperimentRunner::run(const Experiment& experiment) {
 ExperimentResult ExperimentRunner::run_modeled(
     const Experiment& experiment, const platform::PlatformSpec& spec) {
   ExperimentResult result;
+  result.launched = true;
   const perf::ModelConfig model = model_for(experiment);
   result.work_per_rank = perf::work_per_rank(model, experiment.ranks);
 
@@ -152,7 +236,9 @@ ExperimentResult ExperimentRunner::run_modeled(
 ExperimentResult ExperimentRunner::run_direct(
     const Experiment& experiment, const platform::PlatformSpec& spec) {
   ExperimentResult result;
-  simmpi::Runtime runtime(spec.topology(experiment.ranks));
+  const resil::FaultPlan plan = make_plan(experiment);
+  const resil::RecoveryPolicy& policy = experiment.recovery;
+  resil::RecoveryStats& rstats = result.resil;
 
   std::unique_ptr<obs::TraceRecorder> recorder;
   std::optional<ScopedTraceInstall> install;
@@ -161,11 +247,167 @@ ExperimentResult ExperimentRunner::run_direct(
     install.emplace(recorder.get());
   }
 
-  // Global mesh: cells_per_rank_axis^3 per rank, cube decomposition.
+  // Global mesh: cells_per_rank_axis^3 per rank, cube decomposition. The
+  // global problem is fixed by the *original* rank count and stays fixed
+  // when recovery shrinks the assembly (27 -> 8 after a reclaim) — the
+  // survivors take over the lost gids.
   const int k = static_cast<int>(std::round(std::cbrt(experiment.ranks)));
   HETERO_REQUIRE(k * k * k == experiment.ranks,
                  "direct mode needs a cubic rank count (1, 8, 27, ...)");
   const int global_cells = experiment.cells_per_rank_axis * k;
+  const int steps = experiment.direct_steps;
+
+  int ranks = experiment.ranks;
+  int axis = k;
+  rstats.final_ranks = ranks;
+
+  const bool use_ckpt =
+      policy.kind == resil::RecoveryKind::kCheckpointRestart;
+  const std::string ckpt_path = use_ckpt ? checkpoint_scratch_path() : "";
+  // Checkpoint bookkeeping. Written by rank 0 of the running attempt, read
+  // by the host thread and the next attempt — Runtime::run joins all rank
+  // threads first, so there is no cross-attempt race.
+  bool have_checkpoint = false;
+  int ckpt_step = 0;  // completed steps at the checkpoint
+
+  // Completed-step records by absolute step index; rank 0 writes. Re-run
+  // steps overwrite with identical values (same discrete trajectory).
+  std::vector<apps::StepRecord> records(static_cast<std::size_t>(steps));
+
+  // Steps the current attempt re-executes or runs; the crash cell lookup
+  // starts here, so a restart from a checkpoint exposes fewer cells.
+  auto resume_step = [&] {
+    return (use_ckpt && have_checkpoint) ? ckpt_step : 0;
+  };
+
+  // Runs one attempt of `solver` from `start_step`, injecting the planned
+  // crash and writing periodic checkpoints.
+  auto drive = [&](simmpi::Comm& comm, auto& solver, int start_step,
+                   const std::optional<resil::RankCrash>& crash) {
+    for (int s = start_step; s < steps; ++s) {
+      if (crash && s == crash->step && comm.rank() == crash->rank) {
+        obs::trace_instant("rank_crash", "resil", comm.now(), "step",
+                           static_cast<double>(s));
+        throw resil::InjectedFault(comm.rank(), s);
+      }
+      const apps::StepRecord record = solver.step();
+      if (comm.rank() == 0) {
+        records[static_cast<std::size_t>(s)] = record;
+      }
+      if (use_ckpt && (s + 1) % policy.checkpoint_every == 0 &&
+          s + 1 < steps) {
+        io::save_solver_checkpoint(comm, state_now(solver),
+                                   state_prev(solver), solver.current_time(),
+                                   s + 1, ckpt_path);
+        if (comm.rank() == 0) {
+          have_checkpoint = true;
+          ckpt_step = s + 1;
+          ++rstats.checkpoints_written;
+          resil_metrics().checkpoints.increment();
+          obs::trace_instant("checkpoint", "resil", comm.now(), "step",
+                             static_cast<double>(s + 1));
+        }
+      }
+    }
+  };
+
+  // One attempt: build the solver (restoring from the checkpoint if we
+  // have one) and drive it to the end or to the planned crash.
+  auto run_attempt = [&](simmpi::Runtime& runtime, auto make_solver,
+                         const std::optional<resil::RankCrash>& crash) {
+    runtime.run([&](simmpi::Comm& comm) {
+      auto solver = make_solver(comm);
+      int start_step = 0;
+      if (use_ckpt && have_checkpoint) {
+        la::DistVector u_now(solver.map());
+        la::DistVector u_prev(solver.map());
+        const io::SolverCheckpointMeta meta =
+            io::load_solver_checkpoint(comm, u_now, u_prev, ckpt_path);
+        solver.restore_state(u_now, u_prev, meta.time);
+        start_step = meta.steps_done;
+      }
+      drive(comm, solver, start_step, crash);
+    });
+  };
+
+  for (int attempt = 0;; ++attempt) {
+    rstats.attempts = attempt + 1;
+    const auto crash = plan.rank_crash(ranks, steps, attempt, resume_step());
+    simmpi::Runtime runtime(spec.topology(ranks));
+    if (plan.enabled()) {
+      runtime.set_degradation(plan.degradation());
+    }
+    try {
+      if (experiment.app == perf::AppKind::kReactionDiffusion) {
+        run_attempt(
+            runtime,
+            [&](simmpi::Comm& comm) {
+              apps::RdConfig config;
+              config.global_cells = global_cells;
+              config.cpu = spec.cpu_model();
+              return apps::RdSolver(comm, config);
+            },
+            crash);
+      } else {
+        run_attempt(
+            runtime,
+            [&](simmpi::Comm& comm) {
+              apps::NsConfig config;
+              config.global_cells = global_cells;
+              config.cpu = spec.cpu_model();
+              return apps::NsSolver(comm, config);
+            },
+            crash);
+      }
+      break;  // attempt survived
+    } catch (const resil::InjectedFault& fault) {
+      ++rstats.faults_injected;
+      const double dead_s = runtime.elapsed_sim_seconds();
+      rstats.wasted_sim_s += dead_s;
+      rstats.wasted_cost_usd += spec.cost_usd(ranks, dead_s);
+      rstats.steps_wasted += std::max(0, fault.step() - resume_step());
+      resil_metrics().faults.increment();
+      resil_metrics().steps_wasted.add(
+          static_cast<double>(std::max(0, fault.step() - resume_step())));
+      resil_metrics().wasted_cost_usd.add(spec.cost_usd(ranks, dead_s));
+      if (policy.kind == resil::RecoveryKind::kNone ||
+          attempt + 1 >= policy.max_attempts) {
+        resil_metrics().unrecovered.increment();
+        result.launched = false;
+        result.failure_reason =
+            std::string(fault.what()) + "; unrecovered after " +
+            std::to_string(attempt + 1) + " attempt(s) with policy '" +
+            resil::to_string(policy.kind) + "'";
+        if (use_ckpt) std::remove(ckpt_path.c_str());
+        return result;
+      }
+      const double delay = resil::backoff_delay_s(policy, attempt);
+      rstats.retry_delay_s += delay;
+      rstats.steps_recovered += resume_step();
+      resil_metrics().retry_delay_s.add(delay);
+      resil_metrics().steps_recovered.add(
+          static_cast<double>(resume_step()));
+      if (policy.shrink_ranks_on_crash && axis > 1) {
+        // A reclaim took hosts: restart on the next smaller cube. The
+        // checkpoint redistributes by gid, so the survivors pick up the
+        // lost ranks' share.
+        --axis;
+        ranks = axis * axis * axis;
+        rstats.final_ranks = ranks;
+      }
+      obs::trace_instant("recovery_restart", "resil", dead_s, "attempt",
+                         static_cast<double>(attempt + 1));
+    }
+  }
+  if (use_ckpt) std::remove(ckpt_path.c_str());
+  rstats.recovered = rstats.faults_injected > 0;
+  if (rstats.recovered) {
+    resil_metrics().recoveries.increment();
+  }
+
+  if (recorder) {
+    recorder->write_chrome_json(experiment.trace_path);
+  }
 
   SampleStats assembly;
   SampleStats precond;
@@ -175,40 +417,18 @@ ExperimentResult ExperimentRunner::run_direct(
   bool converged = true;
   apps::WorkCounts work;
   std::int64_t iters_total = 0;
-
-  runtime.run([&](simmpi::Comm& comm) {
-    std::vector<apps::StepRecord> records;
-    if (experiment.app == perf::AppKind::kReactionDiffusion) {
-      apps::RdConfig config;
-      config.global_cells = global_cells;
-      config.cpu = spec.cpu_model();
-      apps::RdSolver solver(comm, config);
-      records = solver.run(experiment.direct_steps);
-    } else {
-      apps::NsConfig config;
-      config.global_cells = global_cells;
-      config.cpu = spec.cpu_model();
-      apps::NsSolver solver(comm, config);
-      records = solver.run(experiment.direct_steps);
-    }
-    if (comm.rank() == 0) {
-      for (const auto& r : records) {
-        assembly.add(r.timing.assembly_s);
-        precond.add(r.timing.preconditioner_s);
-        solve.add(r.timing.solve_s);
-        total.add(r.timing.total_s);
-        nodal_error = std::max(nodal_error, r.nodal_error);
-        converged = converged && r.solver_converged;
-        work = r.work;
-        iters_total += r.solver_iterations;
-      }
-    }
-  });
-
-  if (recorder) {
-    recorder->write_chrome_json(experiment.trace_path);
+  for (const auto& r : records) {
+    assembly.add(r.timing.assembly_s);
+    precond.add(r.timing.preconditioner_s);
+    solve.add(r.timing.solve_s);
+    total.add(r.timing.total_s);
+    nodal_error = std::max(nodal_error, r.nodal_error);
+    converged = converged && r.solver_converged;
+    work = r.work;
+    iters_total += r.solver_iterations;
   }
 
+  result.launched = true;
   result.iteration.assembly_s = assembly.mean();
   result.iteration.preconditioner_s = precond.mean();
   result.iteration.solve_s = solve.mean();
@@ -219,7 +439,7 @@ ExperimentResult ExperimentRunner::run_direct(
   result.nodal_error = nodal_error;
   result.solver_converged = converged;
   result.cost_per_iteration_usd =
-      spec.cost_usd(experiment.ranks, result.iteration.total_s);
+      spec.cost_usd(ranks, result.iteration.total_s);
   result.est_cost_per_iteration_usd = result.cost_per_iteration_usd;
   return result;
 }

@@ -20,6 +20,8 @@
 #include "apps/app_common.hpp"
 #include "perf/scaling_model.hpp"
 #include "platform/platform_spec.hpp"
+#include "resil/fault_plan.hpp"
+#include "resil/recovery.hpp"
 
 namespace hetero::core {
 
@@ -52,6 +54,15 @@ struct Experiment {
   /// Write the global metrics registry as JSON after the run. Empty = off.
   std::string metrics_path;
 
+  // --- resilience knobs ------------------------------------------------------
+  /// Fault rates; all zero by default (nothing is injected). The concrete
+  /// fault schedule is a pure function of (faults, seed), so runs replay
+  /// byte-identically at any parallelism.
+  resil::FaultSpec faults;
+  /// What to do when a fault fires: give up, restart from scratch, or
+  /// checkpoint-restart — with capped exponential backoff between attempts.
+  resil::RecoveryPolicy recovery;
+
   std::uint64_t seed = 42;
 };
 
@@ -82,6 +93,10 @@ struct ExperimentResult {
   // Direct mode extras: exact-solution oracles from the real run.
   double nodal_error = 0.0;
   bool solver_converged = true;
+
+  /// Resilience ledger: attempts, wasted work, recovered steps, and what
+  /// the faults cost in simulated time and dollars.
+  resil::RecoveryStats resil;
 };
 
 class ExperimentRunner {
@@ -97,6 +112,8 @@ class ExperimentRunner {
                                const platform::PlatformSpec& spec);
   ExperimentResult run_direct(const Experiment& experiment,
                               const platform::PlatformSpec& spec);
+  /// The experiment's fault schedule, derived from (runner seed, its seed).
+  resil::FaultPlan make_plan(const Experiment& experiment) const;
 
   std::uint64_t seed_;
 };

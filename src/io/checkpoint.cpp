@@ -7,14 +7,67 @@
 
 namespace hetero::io {
 
-void save_checkpoint(simmpi::Comm& comm, const la::DistVector& v,
-                     const std::string& label, const std::string& path) {
+namespace {
+
+// Gathers (gids, values) of the owned slice onto every rank.
+void gather_owned(simmpi::Comm& comm, const la::DistVector& v,
+                  std::vector<la::GlobalId>* all_gids,
+                  std::vector<double>* all_values) {
   const la::IndexMap& map = v.map();
   std::vector<la::GlobalId> gids(map.gids().begin(),
                                  map.gids().begin() + map.owned_count());
   std::vector<double> values(v.owned().begin(), v.owned().end());
-  const auto all_gids = comm.allgatherv(std::span<const la::GlobalId>(gids));
-  const auto all_values = comm.allgatherv(std::span<const double>(values));
+  *all_gids = comm.allgatherv(std::span<const la::GlobalId>(gids));
+  *all_values = comm.allgatherv(std::span<const double>(values));
+}
+
+// Fills v's owned entries from a (gid -> value) table; every gid must be
+// present. `context` names the dataset for the error message.
+void scatter_owned(la::DistVector& v,
+                   const std::unordered_map<la::GlobalId, double>& by_gid,
+                   const std::string& context) {
+  const la::IndexMap& map = v.map();
+  for (int l = 0; l < map.owned_count(); ++l) {
+    const auto it = by_gid.find(map.gid(l));
+    HETERO_REQUIRE(it != by_gid.end(),
+                   "checkpoint: " + context + " is missing a required gid");
+    v[l] = it->second;
+  }
+}
+
+std::unordered_map<la::GlobalId, double> index_by_gid(
+    const std::vector<la::GlobalId>& gids, const std::vector<double>& values,
+    const std::string& context) {
+  HETERO_REQUIRE(gids.size() == values.size(),
+                 "checkpoint: gid/value size mismatch in " + context);
+  std::unordered_map<la::GlobalId, double> by_gid;
+  by_gid.reserve(gids.size());
+  for (std::size_t i = 0; i < gids.size(); ++i) {
+    by_gid.emplace(gids[i], values[i]);
+  }
+  return by_gid;
+}
+
+// Wraps h5lite/format errors with the restore context (which file, which
+// dataset) so a truncated checkpoint produces an actionable diagnostic.
+template <class Fn>
+auto with_restore_context(const std::string& what, const std::string& path,
+                          Fn&& fn) {
+  try {
+    return fn();
+  } catch (const Error& err) {
+    throw Error("checkpoint: cannot restore " + what + " from '" + path +
+                "': " + err.what());
+  }
+}
+
+}  // namespace
+
+void save_checkpoint(simmpi::Comm& comm, const la::DistVector& v,
+                     const std::string& label, const std::string& path) {
+  std::vector<la::GlobalId> all_gids;
+  std::vector<double> all_values;
+  gather_owned(comm, v, &all_gids, &all_values);
   if (comm.rank() == 0) {
     H5LiteWriter writer(path);
     writer.write_ints(label + "/gids",
@@ -32,24 +85,66 @@ void load_checkpoint(simmpi::Comm& comm, la::DistVector& v,
                      const std::string& label, const std::string& path) {
   // Every rank reads the (host-shared) file and picks its owned entries —
   // mirroring the staging-from-shared-volume pattern the paper uses on EC2.
-  H5LiteReader reader(path);
-  const auto gids = reader.read_ints(label + "/gids");
-  const auto values = reader.read_doubles(label + "/values");
-  HETERO_REQUIRE(gids.size() == values.size(),
-                 "checkpoint: gid/value size mismatch");
-  std::unordered_map<la::GlobalId, double> by_gid;
-  by_gid.reserve(gids.size());
-  for (std::size_t i = 0; i < gids.size(); ++i) {
-    by_gid.emplace(gids[i], values[i]);
-  }
-  const la::IndexMap& map = v.map();
-  for (int l = 0; l < map.owned_count(); ++l) {
-    const auto it = by_gid.find(map.gid(l));
-    HETERO_REQUIRE(it != by_gid.end(),
-                   "checkpoint: file is missing a required gid");
-    v[l] = it->second;
+  with_restore_context("'" + label + "'", path, [&] {
+    H5LiteReader reader(path);
+    const auto gids = reader.read_ints(label + "/gids");
+    const auto values = reader.read_doubles(label + "/values");
+    scatter_owned(v, index_by_gid(gids, values, "'" + label + "'"),
+                  "'" + label + "'");
+  });
+  comm.barrier();
+}
+
+void save_solver_checkpoint(simmpi::Comm& comm, const la::DistVector& u_now,
+                            const la::DistVector& u_prev, double time,
+                            int steps_done, const std::string& path) {
+  HETERO_REQUIRE(&u_now.map() == &u_prev.map(),
+                 "solver checkpoint: u_now and u_prev must share a map");
+  std::vector<la::GlobalId> all_gids;
+  std::vector<double> all_now;
+  gather_owned(comm, u_now, &all_gids, &all_now);
+  std::vector<la::GlobalId> prev_gids;
+  std::vector<double> all_prev;
+  gather_owned(comm, u_prev, &prev_gids, &all_prev);
+  if (comm.rank() == 0) {
+    H5LiteWriter writer(path);
+    writer.write_ints("state/gids",
+                      {static_cast<std::uint64_t>(all_gids.size())},
+                      all_gids);
+    writer.write_doubles("state/now",
+                         {static_cast<std::uint64_t>(all_now.size())},
+                         all_now);
+    writer.write_doubles("state/prev",
+                         {static_cast<std::uint64_t>(all_prev.size())},
+                         all_prev);
+    writer.write_doubles("state/meta", {2},
+                         {time, static_cast<double>(steps_done)});
+    writer.close();
   }
   comm.barrier();
+}
+
+SolverCheckpointMeta load_solver_checkpoint(simmpi::Comm& comm,
+                                            la::DistVector& u_now,
+                                            la::DistVector& u_prev,
+                                            const std::string& path) {
+  SolverCheckpointMeta meta;
+  with_restore_context("solver state", path, [&] {
+    H5LiteReader reader(path);
+    const auto gids = reader.read_ints("state/gids");
+    const auto now = reader.read_doubles("state/now");
+    const auto prev = reader.read_doubles("state/prev");
+    const auto scalars = reader.read_doubles("state/meta");
+    HETERO_REQUIRE(scalars.size() == 2,
+                   "solver checkpoint: malformed state/meta");
+    scatter_owned(u_now, index_by_gid(gids, now, "state/now"), "state/now");
+    scatter_owned(u_prev, index_by_gid(gids, prev, "state/prev"),
+                  "state/prev");
+    meta.time = scalars[0];
+    meta.steps_done = static_cast<int>(scalars[1]);
+  });
+  comm.barrier();
+  return meta;
 }
 
 }  // namespace hetero::io

@@ -21,8 +21,31 @@ void save_checkpoint(simmpi::Comm& comm, const la::DistVector& v,
 
 /// Collective: fills `v` (owned entries; ghosts refreshed by the caller)
 /// from the checkpoint written by save_checkpoint, matching by gid. Missing
-/// gids are an error; extra gids in the file are ignored.
+/// gids are an error; extra gids in the file are ignored. A missing,
+/// truncated, or corrupt file raises a hetero::Error naming the path and
+/// label — never UB.
 void load_checkpoint(simmpi::Comm& comm, la::DistVector& v,
                      const std::string& label, const std::string& path);
+
+/// Scalars restored alongside the solver state.
+struct SolverCheckpointMeta {
+  double time = 0.0;  ///< Physical time at the checkpoint.
+  int steps_done = 0; ///< Completed solver steps at the checkpoint.
+};
+
+/// Collective: writes both BDF history levels plus {time, steps_done} to ONE
+/// file (H5LiteWriter truncates on open, so the datasets must be written
+/// together). `u_now` and `u_prev` must share an IndexMap.
+void save_solver_checkpoint(simmpi::Comm& comm, const la::DistVector& u_now,
+                            const la::DistVector& u_prev, double time,
+                            int steps_done, const std::string& path);
+
+/// Collective inverse of save_solver_checkpoint; fills owned entries of both
+/// vectors (gid-matched, so the rank count may differ from the writer's) and
+/// returns the scalars. Errors carry the path, like load_checkpoint.
+SolverCheckpointMeta load_solver_checkpoint(simmpi::Comm& comm,
+                                            la::DistVector& u_now,
+                                            la::DistVector& u_prev,
+                                            const std::string& path);
 
 }  // namespace hetero::io

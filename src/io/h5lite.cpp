@@ -114,29 +114,41 @@ void H5LiteWriter::close() {
 H5LiteReader::H5LiteReader(const std::string& path) : path_(path) {
   fd_ = ::open(path.c_str(), O_RDONLY);
   HETERO_REQUIRE(fd_ >= 0, "h5lite: cannot open " + path);
+  // Size check comes first so an empty or truncated file is reported as
+  // such, not as a short read halfway through parsing. The minimum valid
+  // file is the leading magic plus the 24-byte footer.
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  file_size_ = static_cast<std::uint64_t>(size);
+  HETERO_REQUIRE(size >= static_cast<off_t>(4 * sizeof(std::uint64_t)),
+                 "h5lite: file truncated: " + path);
   std::uint64_t magic = 0;
   read_at(0, &magic, sizeof(magic));
   HETERO_REQUIRE(magic == kMagic, "h5lite: bad magic in " + path);
-  const off_t size = ::lseek(fd_, 0, SEEK_END);
-  HETERO_REQUIRE(size >= static_cast<off_t>(3 * sizeof(std::uint64_t)),
-                 "h5lite: file truncated: " + path);
   std::uint64_t footer[3];
-  read_at(static_cast<std::uint64_t>(size) - sizeof(footer), footer,
-          sizeof(footer));
+  read_at(file_size_ - sizeof(footer), footer, sizeof(footer));
   HETERO_REQUIRE(footer[2] == kMagic,
                  "h5lite: missing footer (file not closed?): " + path);
   const std::uint64_t toc_offset = footer[0];
   const std::uint64_t count = footer[1];
+  HETERO_REQUIRE(
+      toc_offset >= sizeof(kMagic) && toc_offset <= file_size_ - sizeof(footer),
+      "h5lite: corrupt TOC offset in " + path);
   ::lseek(fd_, static_cast<off_t>(toc_offset), SEEK_SET);
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint32_t name_len = 0;
     read_all(fd_, &name_len, sizeof(name_len));
+    HETERO_REQUIRE(name_len > 0 && name_len <= file_size_,
+                   "h5lite: corrupt TOC entry in " + path);
     std::string name(name_len, '\0');
     read_all(fd_, name.data(), name_len);
     std::uint32_t dtype = 0;
     std::uint32_t ndims = 0;
     read_all(fd_, &dtype, sizeof(dtype));
     read_all(fd_, &ndims, sizeof(ndims));
+    HETERO_REQUIRE(dtype == static_cast<std::uint32_t>(DType::kFloat64) ||
+                       dtype == static_cast<std::uint32_t>(DType::kInt64),
+                   "h5lite: unknown dtype in " + path);
+    HETERO_REQUIRE(ndims <= 32, "h5lite: corrupt TOC entry in " + path);
     Entry entry;
     entry.info.dtype = static_cast<DType>(dtype);
     entry.info.shape.resize(ndims);
@@ -144,6 +156,12 @@ H5LiteReader::H5LiteReader(const std::string& path) : path_(path) {
       read_all(fd_, &d, sizeof(d));
     }
     read_all(fd_, &entry.offset, sizeof(entry.offset));
+    // The payload must fit between the header and the TOC.
+    HETERO_REQUIRE(entry.offset >= sizeof(kMagic) &&
+                       entry.info.element_count() * 8 <= toc_offset &&
+                       entry.offset <= toc_offset -
+                                           entry.info.element_count() * 8,
+                   "h5lite: dataset extends past the TOC in " + path);
     toc_.emplace(std::move(name), entry);
   }
 }

@@ -96,6 +96,7 @@ class H5LiteReader {
 
   std::string path_;
   std::map<std::string, Entry> toc_;
+  std::uint64_t file_size_ = 0;
   int fd_ = -1;
 };
 

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file degradation.hpp
+/// Network-degradation windows: virtual time is cut into fixed-width windows
+/// and each window is independently degraded (all communication costs scaled
+/// by `factor`) with probability `active_fraction`. The decision for a window
+/// is a pure hash of (seed, window index), so two ranks — or two campaign
+/// threads — asking about the same instant always agree, in any order.
+
+#include <cstdint>
+
+#include "support/hash.hpp"
+
+namespace hetero::netsim {
+
+struct DegradationSchedule {
+  double window_s = 60.0;       ///< Width of one window in virtual seconds.
+  double active_fraction = 0.0; ///< P(window is degraded), in [0, 1].
+  double factor = 3.0;          ///< Cost multiplier inside a degraded window.
+  std::uint64_t seed = 0;       ///< Decides *which* windows are degraded.
+
+  bool enabled() const { return active_fraction > 0.0 && factor != 1.0; }
+
+  /// Communication-cost multiplier at virtual time `t` (1.0 when healthy).
+  double factor_at(double t) const {
+    if (!enabled() || t < 0.0 || window_s <= 0.0) return 1.0;
+    const auto window = static_cast<std::uint64_t>(t / window_s);
+    const std::uint64_t h =
+        hash_combine(hash_combine(seed, 0x6e657464ULL /* "netd" */), window);
+    return hash_unit(h) < active_fraction ? factor : 1.0;
+  }
+};
+
+}  // namespace hetero::netsim

@@ -1,0 +1,85 @@
+#include "resil/fault_plan.hpp"
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace hetero::resil {
+
+namespace {
+
+// Domain salts keep the per-fault-kind hash streams independent: a seed that
+// crashes rank 3 at step 2 says nothing about launch failures or storms.
+constexpr std::uint64_t kCrashSalt = 0x6372617368ULL;    // "crash"
+constexpr std::uint64_t kLaunchSalt = 0x6c61756e6368ULL; // "launch"
+constexpr std::uint64_t kStormSalt = 0x73746f726dULL;    // "storm"
+constexpr std::uint64_t kNetSalt = 0x6e6574ULL;          // "net"
+
+double cell_unit(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+                 std::uint64_t b, std::uint64_t c) {
+  std::uint64_t h = hash_combine(seed, salt);
+  h = hash_combine(h, a);
+  h = hash_combine(h, b);
+  h = hash_combine(h, c);
+  return hash_unit(h);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultSpec& spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed) {
+  HETERO_REQUIRE(spec.rank_crash_rate >= 0.0 && spec.rank_crash_rate <= 1.0,
+                 "fault plan: rank_crash_rate must be in [0, 1]");
+  HETERO_REQUIRE(
+      spec.launch_failure_rate >= 0.0 && spec.launch_failure_rate <= 1.0,
+      "fault plan: launch_failure_rate must be in [0, 1]");
+  HETERO_REQUIRE(
+      spec.reclaim_storm_rate >= 0.0 && spec.reclaim_storm_rate <= 1.0,
+      "fault plan: reclaim_storm_rate must be in [0, 1]");
+  HETERO_REQUIRE(spec.net_degrade_rate >= 0.0 && spec.net_degrade_rate <= 1.0,
+                 "fault plan: net_degrade_rate must be in [0, 1]");
+  HETERO_REQUIRE(spec.net_degrade_factor >= 1.0,
+                 "fault plan: net_degrade_factor must be >= 1");
+  HETERO_REQUIRE(spec.net_degrade_window_s > 0.0,
+                 "fault plan: net_degrade_window_s must be positive");
+}
+
+std::optional<RankCrash> FaultPlan::rank_crash(int ranks, int steps,
+                                               int attempt,
+                                               int first_step) const {
+  if (spec_.rank_crash_rate <= 0.0) return std::nullopt;
+  HETERO_REQUIRE(ranks >= 1 && steps >= 0 && attempt >= 0 && first_step >= 0,
+                 "fault plan: rank_crash arguments must be non-negative");
+  for (int step = first_step; step < steps; ++step) {
+    for (int rank = 0; rank < ranks; ++rank) {
+      const double u =
+          cell_unit(seed_, kCrashSalt, static_cast<std::uint64_t>(attempt),
+                    static_cast<std::uint64_t>(step),
+                    static_cast<std::uint64_t>(rank));
+      if (u < spec_.rank_crash_rate) return RankCrash{rank, step};
+    }
+  }
+  return std::nullopt;
+}
+
+bool FaultPlan::launch_fails(int attempt) const {
+  if (spec_.launch_failure_rate <= 0.0) return false;
+  return cell_unit(seed_, kLaunchSalt, static_cast<std::uint64_t>(attempt), 0,
+                   0) < spec_.launch_failure_rate;
+}
+
+bool FaultPlan::reclaim_storm(std::int64_t hour) const {
+  if (spec_.reclaim_storm_rate <= 0.0 || hour < 0) return false;
+  return cell_unit(seed_, kStormSalt, static_cast<std::uint64_t>(hour), 0,
+                   0) < spec_.reclaim_storm_rate;
+}
+
+netsim::DegradationSchedule FaultPlan::degradation() const {
+  netsim::DegradationSchedule schedule;
+  schedule.window_s = spec_.net_degrade_window_s;
+  schedule.active_fraction = spec_.net_degrade_rate;
+  schedule.factor = spec_.net_degrade_factor;
+  schedule.seed = hash_combine(seed_, kNetSalt);
+  return schedule;
+}
+
+}  // namespace hetero::resil

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file fault_plan.hpp
+/// Seed-deterministic fault injection. A FaultSpec says *how often* things
+/// break; a FaultPlan derived from (spec, seed) says exactly *which* things
+/// break: which (attempt, step, rank) cell crashes in a direct run, which
+/// submission attempts hit a transient launch failure, which campaign hours
+/// see a spot-reclaim storm, and which virtual-time windows have a degraded
+/// network. Every query is a pure hash — no mutable state, no draw order —
+/// so results are identical at any `--jobs` level and on every replay of the
+/// same seed.
+
+#include <cstdint>
+#include <optional>
+
+#include "netsim/degradation.hpp"
+
+namespace hetero::resil {
+
+/// Fault rates. All default to zero: a default FaultSpec injects nothing.
+struct FaultSpec {
+  /// P(crash) per (attempt, step, rank) cell of a direct-mode run. The run
+  /// crashes at the first armed cell in execution (step-major) order.
+  double rank_crash_rate = 0.0;
+  /// P(transient launch failure) per scheduler submission attempt.
+  double launch_failure_rate = 0.0;
+  /// P(spot-reclaim storm) per campaign wall-clock hour; a storm reclaims
+  /// every spot instance regardless of bid.
+  double reclaim_storm_rate = 0.0;
+  /// Fraction of virtual-time windows with a degraded network.
+  double net_degrade_rate = 0.0;
+  /// Communication-cost multiplier inside a degraded window.
+  double net_degrade_factor = 3.0;
+  /// Width of one degradation window in virtual seconds.
+  double net_degrade_window_s = 60.0;
+
+  bool enabled() const {
+    return rank_crash_rate > 0.0 || launch_failure_rate > 0.0 ||
+           reclaim_storm_rate > 0.0 || net_degrade_rate > 0.0;
+  }
+};
+
+/// The cell a direct-mode attempt crashes in: `rank` dies at the start of
+/// `step` (zero-based, counted over the whole run, not the attempt).
+struct RankCrash {
+  int rank = 0;
+  int step = 0;
+};
+
+class FaultPlan {
+ public:
+  /// An empty plan: injects nothing. Lets callers hold a FaultPlan by value
+  /// without special-casing "no faults configured".
+  FaultPlan() = default;
+  FaultPlan(const FaultSpec& spec, std::uint64_t seed);
+
+  const FaultSpec& spec() const { return spec_; }
+  std::uint64_t seed() const { return seed_; }
+  bool enabled() const { return spec_.enabled(); }
+
+  /// First armed cell of `attempt` at or after `first_step`, scanning steps
+  /// in execution order and ranks within a step; nullopt = attempt survives.
+  /// Restarting from a checkpoint (larger `first_step`) exposes fewer cells,
+  /// which is exactly why checkpoint-restart converges faster than scratch.
+  std::optional<RankCrash> rank_crash(int ranks, int steps, int attempt,
+                                      int first_step = 0) const;
+
+  /// Does submission `attempt` (zero-based) hit a transient launch failure?
+  bool launch_fails(int attempt) const;
+
+  /// Does campaign hour `hour` see a spot-reclaim storm?
+  bool reclaim_storm(std::int64_t hour) const;
+
+  /// Degradation windows for simmpi/netsim, keyed off this plan's seed.
+  netsim::DegradationSchedule degradation() const;
+
+ private:
+  FaultSpec spec_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace hetero::resil

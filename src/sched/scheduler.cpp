@@ -118,6 +118,21 @@ JobOutcome ShellLauncher::submit(const JobRequest& request, Rng& rng) {
   return out;
 }
 
+JobOutcome FaultyScheduler::submit(const JobRequest& request, Rng& rng) {
+  JobOutcome out = inner_->submit(request, rng);
+  const int attempt = attempt_++;
+  if (out.launched && plan_.launch_fails(attempt)) {
+    out.launched = false;
+    out.transient = true;
+    out.failure_reason = "transient launch failure (injected, attempt " +
+                         std::to_string(attempt + 1) + ")";
+    obs::metrics().counter("resil.launch_faults").increment();
+    obs::trace_instant("launch_fault", "resil", 0.0, "attempt",
+                       static_cast<double>(attempt + 1));
+  }
+  return out;
+}
+
 std::unique_ptr<Scheduler> make_scheduler(
     const platform::PlatformSpec& spec) {
   switch (spec.scheduler) {

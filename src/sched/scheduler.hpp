@@ -20,6 +20,7 @@
 #include <string>
 
 #include "platform/platform_spec.hpp"
+#include "resil/fault_plan.hpp"
 #include "support/rng.hpp"
 
 namespace hetero::sched {
@@ -32,6 +33,9 @@ struct JobRequest {
 
 struct JobOutcome {
   bool launched = false;
+  /// A transient failure (injected outage, flaky daemon) may succeed on
+  /// resubmission; capability failures ("only 128 cores") never will.
+  bool transient = false;
   /// Time from submission until the job starts (queue wait, boot, setup).
   double wait_s = 0.0;
   std::string failure_reason;
@@ -77,6 +81,22 @@ class ShellLauncher final : public Scheduler {
 
  private:
   const platform::PlatformSpec* spec_;
+};
+
+/// Decorator injecting seed-deterministic *transient* launch failures from a
+/// resil::FaultPlan. The attempt counter advances per submit() call, so a
+/// retry loop sees the plan's per-attempt schedule in order.
+class FaultyScheduler final : public Scheduler {
+ public:
+  FaultyScheduler(std::unique_ptr<Scheduler> inner, resil::FaultPlan plan)
+      : inner_(std::move(inner)), plan_(std::move(plan)) {}
+  std::string name() const override { return inner_->name() + "+faults"; }
+  JobOutcome submit(const JobRequest& request, Rng& rng) override;
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  resil::FaultPlan plan_;
+  int attempt_ = 0;
 };
 
 /// Builds the right scheduler for a platform.

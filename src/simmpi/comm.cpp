@@ -114,9 +114,11 @@ void Comm::send_bytes(std::vector<std::byte> payload, int dest, int tag) {
                                      ? topo.intra_node_fabric()
                                      : topo.inter_node_fabric();
   const double bytes = static_cast<double>(payload.size());
-  const double overhead =
-      0.5 * fabric.params().latency_s + bytes / fabric.params().bandwidth_bps;
   const double before = now();
+  const double overhead =
+      (0.5 * fabric.params().latency_s +
+       bytes / fabric.params().bandwidth_bps) *
+      runtime_->degradation_.factor_at(before);
   clock().advance(overhead);
   stats.comm_seconds += overhead;
 
@@ -138,8 +140,12 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
   stats.bytes_received += env.payload.size();
 
   const double before = now();
-  const double transfer = runtime_->topology().message_time(
-      env.source, rank_, env.payload.size());
+  // Degradation is sampled at the departure instant so sender and receiver
+  // agree on the window regardless of host-thread scheduling.
+  const double transfer =
+      runtime_->topology().message_time(env.source, rank_,
+                                        env.payload.size()) *
+      runtime_->degradation_.factor_at(env.depart_time);
   clock().advance_to(env.depart_time + transfer);
   stats.comm_seconds += now() - before;
   if (auto* trace = obs::current_trace()) {

@@ -176,7 +176,7 @@ std::vector<std::byte> Runtime::group_collective(
   if (g.arrived == static_cast<int>(g.members.size())) {
     g.personalized = false;
     g.result = combine ? combine(g.inputs) : std::vector<std::byte>{};
-    g.exit = g.max_entry + g.cost;
+    g.exit = g.max_entry + g.cost * degradation_.factor_at(g.max_entry);
     g.arrived = 0;
     ++g.generation;
     for (auto& in : g.inputs) {
@@ -212,7 +212,7 @@ std::vector<std::byte> Runtime::group_collective_personalized(
     g.personalized = true;
     g.results_per_rank = combine(g.inputs);
     HETERO_CHECK(g.results_per_rank.size() == g.members.size());
-    g.exit = g.max_entry + g.cost;
+    g.exit = g.max_entry + g.cost * degradation_.factor_at(g.max_entry);
     g.arrived = 0;
     ++g.generation;
     for (auto& in : g.inputs) {
@@ -255,7 +255,8 @@ std::vector<std::byte> Runtime::collective(int rank,
     // Last arrival performs the combine and releases everyone.
     coll_personalized_ = false;
     coll_result_ = combine ? combine(coll_inputs_) : std::vector<std::byte>{};
-    coll_exit_ = coll_max_entry_ + coll_cost_;
+    coll_exit_ =
+        coll_max_entry_ + coll_cost_ * degradation_.factor_at(coll_max_entry_);
     coll_arrived_ = 0;
     ++coll_generation_;
     for (auto& in : coll_inputs_) {
@@ -289,7 +290,8 @@ std::vector<std::byte> Runtime::collective_personalized(
     coll_personalized_ = true;
     coll_results_per_rank_ = combine(coll_inputs_);
     HETERO_CHECK(static_cast<int>(coll_results_per_rank_.size()) == size());
-    coll_exit_ = coll_max_entry_ + coll_cost_;
+    coll_exit_ =
+        coll_max_entry_ + coll_cost_ * degradation_.factor_at(coll_max_entry_);
     coll_arrived_ = 0;
     ++coll_generation_;
     for (auto& in : coll_inputs_) {

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "netsim/degradation.hpp"
 #include "netsim/topology.hpp"
 #include "simmpi/simclock.hpp"
 
@@ -88,6 +89,16 @@ class Runtime {
     recv_timeout_s_ = host_seconds;
   }
   double recv_timeout() const { return recv_timeout_s_; }
+
+  /// Installs network-degradation windows: every modeled communication cost
+  /// is scaled by `schedule.factor_at(virtual time)`. Set before run();
+  /// the default schedule is inert.
+  void set_degradation(const netsim::DegradationSchedule& schedule) {
+    degradation_ = schedule;
+  }
+  const netsim::DegradationSchedule& degradation() const {
+    return degradation_;
+  }
 
  private:
   friend class Comm;
@@ -195,6 +206,7 @@ class Runtime {
 
   std::atomic<bool> aborted_{false};
   double recv_timeout_s_ = 120.0;
+  netsim::DegradationSchedule degradation_;
 };
 
 }  // namespace hetero::simmpi

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file hash.hpp
+/// Stateless 64-bit mixing helpers (splitmix64 finalizer). Used wherever a
+/// *random-looking but order-independent* decision is needed: fault plans and
+/// network-degradation windows hash (seed, salt, coordinates) instead of
+/// drawing from a sequential Rng, so the answer for any cell is the same no
+/// matter which thread asks first — the backbone of the byte-identical
+/// `--jobs 1` vs `--jobs 8` guarantee.
+
+#include <cstdint>
+
+namespace hetero {
+
+/// splitmix64 finalizer: bijective avalanche mix of a 64-bit word.
+inline std::uint64_t hash_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Folds `value` into `seed`; chain to hash tuples of coordinates.
+inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  return hash_mix(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                          (seed >> 2)));
+}
+
+/// Maps a hash to [0, 1) with 53 bits of precision.
+inline double hash_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace hetero

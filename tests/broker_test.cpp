@@ -232,6 +232,65 @@ TEST(Explain, RiskToleranceGatesSpotStrategies) {
   EXPECT_TRUE(has_campaign);
 }
 
+TEST(Predictor, RiskCostIsBoundedAndZeroWithoutSpot) {
+  // risk_usd is the expected dollars lost to reclaims: zero for strategies
+  // with no spot exposure, and never more than the whole bill.
+  Broker advisor(42);
+  const auto rec =
+      advisor.recommend(million_element_request(), min_effective_time());
+  int risky = 0;
+  auto check = [&](const Prediction& p) {
+    EXPECT_GE(p.risk_usd, 0.0);
+    EXPECT_LE(p.risk_usd, p.cost_usd);
+    if (p.candidate.strategy == Ec2Strategy::kOnDemand ||
+        p.candidate.platform != "ec2") {
+      EXPECT_DOUBLE_EQ(p.risk_usd, 0.0);
+    }
+    risky += p.risk_usd > 0.0;
+  };
+  for (const auto& rc : rec.ranked) {
+    check(rc.prediction);
+  }
+  for (const auto& rejection : rec.rejected) {
+    if (rejection.prediction.launched) {
+      check(rejection.prediction);
+    }
+  }
+  EXPECT_GT(risky, 0);  // some spot strategy carries real risk
+}
+
+TEST(Explain, RiskBudgetFailsOverWithAnExplanation) {
+  // A risk budget of one cent prices out every spot strategy; the broker
+  // must still recommend something and each priced-out rejection must name
+  // both the budget breach and the failover target.
+  JobRequest request = million_element_request();
+  request.risk_budget_usd = 0.01;
+  Broker advisor(42);
+  const auto rec = advisor.recommend(request, min_cost());
+  ASSERT_TRUE(rec.has_winner());
+  EXPECT_LE(rec.winner().risk_usd, 0.01);
+  const std::string target = rec.winner().candidate.label();
+  int priced_out = 0;
+  for (const auto& rejection : rec.rejected) {
+    if (rejection.reason.find("exceeds risk budget") == std::string::npos) {
+      continue;
+    }
+    ++priced_out;
+    EXPECT_NE(rejection.reason.find("failing over to " + target),
+              std::string::npos)
+        << rejection.reason;
+  }
+  EXPECT_GT(priced_out, 0);
+
+  // An unbounded budget changes nothing: no rejection mentions it.
+  JobRequest open_request = million_element_request();
+  open_request.risk_budget_usd = 1e9;
+  const auto rec_open = advisor.recommend(open_request, min_cost());
+  for (const auto& rejection : rec_open.rejected) {
+    EXPECT_EQ(rejection.reason.find("risk budget"), std::string::npos);
+  }
+}
+
 TEST(Broker, RankedByObjectiveAndDeterministicInSeed) {
   const JobRequest request = million_element_request();
   Broker a(42);

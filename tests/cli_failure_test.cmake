@@ -1,0 +1,63 @@
+# CLI regression for the failure paths of `heterolab run`:
+#   * an impossible launch (too many ranks for the machine) exits non-zero
+#     and prints the scheduler's reason to stderr, NOT stdout;
+#   * an injected fault with no recovery policy exits non-zero with the
+#     unrecovered-fault reason on stderr;
+#   * the same fault under --recovery ckpt exits zero.
+# Run via: cmake -DHETEROLAB=<binary> -P cli_failure_test.cmake
+
+if(NOT DEFINED HETEROLAB)
+  message(FATAL_ERROR "pass -DHETEROLAB=<path to heterolab>")
+endif()
+
+function(expect_run rc_kind reason_substring)
+  execute_process(
+    COMMAND ${HETEROLAB} run ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc_kind STREQUAL "fail")
+    if(rc EQUAL 0)
+      message(FATAL_ERROR "expected non-zero exit for: ${ARGN}")
+    endif()
+    if(NOT err MATCHES "${reason_substring}")
+      message(FATAL_ERROR
+        "stderr should name the failure ('${reason_substring}') for "
+        "${ARGN}; got stderr: ${err}")
+    endif()
+    if(out MATCHES "${reason_substring}")
+      message(FATAL_ERROR
+        "the failure reason leaked to stdout for ${ARGN}: ${out}")
+    endif()
+  else()
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "expected exit 0 for: ${ARGN}; rc=${rc} stderr: ${err}")
+    endif()
+  endif()
+endfunction()
+
+# Impossible launch: puma has 128 cores, 512 ranks cannot start.
+expect_run(fail "LAUNCH FAILED"
+  --app rd --platform puma --ranks 512)
+
+# Unrecovered injected fault (seed 4 arms a crash; policy none gives up).
+expect_run(fail "unrecovered"
+  --app rd --platform puma --ranks 8 --mode direct --cells 4
+  --faults 0.05 --recovery none --seed 4)
+
+# The same fault schedule recovers under checkpoint-restart.
+expect_run(ok ""
+  --app rd --platform puma --ranks 8 --mode direct --cells 4
+  --faults 0.05 --recovery ckpt --ckpt-every 2 --seed 4)
+
+# Unknown flags are rejected, not silently ignored.
+execute_process(
+  COMMAND ${HETEROLAB} run --no-such-flag 1
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown flag --no-such-flag was accepted")
+endif()
+
+message(STATUS "cli_failure_test passed")

@@ -222,6 +222,75 @@ TEST(Ec2Service, ReclaimStopsBilling) {
   EXPECT_DOUBLE_EQ(service.billed_usd(), billed_at_reclaim);
 }
 
+TEST(Ec2Service, ReclaimStormTakesEverySpotInstanceButNoOnDemand) {
+  // Bid absurdly high: the market alone would never reclaim. A storm hour
+  // takes every spot instance anyway — and never touches on-demand.
+  resil::FaultSpec spec;
+  spec.reclaim_storm_rate = 1.0;  // every hour is a storm
+  Ec2Service service(5);
+  service.set_fault_plan(resil::FaultPlan(spec, 99));
+  const int g = service.create_placement_group("x");
+  auto spot = service.request_spot("cc2.8xlarge", 4, 1000.0, {g});
+  ASSERT_GT(spot.instances.size(), 0u);
+  service.request_on_demand("cc2.8xlarge", 2);
+
+  const auto reclaimed = service.advance(3600.0);
+  EXPECT_EQ(reclaimed.size(), spot.instances.size());
+  for (const auto& inst : reclaimed) {
+    EXPECT_TRUE(inst.spot);
+  }
+  EXPECT_EQ(service.fleet().size(), 2u);  // the on-demand pair survives
+
+  // Reclaimed instances stop accruing: only the 2 on-demand hourly rates
+  // keep running after the storm.
+  const double accrued_at_storm = service.accrued_usd();
+  const double billed_at_storm = service.billed_usd();
+  service.advance(3600.0 - 1.0);  // stay inside the next billing hour
+  const double on_demand_rate =
+      2.0 * instance_type("cc2.8xlarge").on_demand_hourly_usd;
+  EXPECT_NEAR(service.accrued_usd() - accrued_at_storm,
+              on_demand_rate * (3599.0 / 3600.0), 1e-9);
+  EXPECT_DOUBLE_EQ(service.billed_usd() - billed_at_storm, on_demand_rate);
+}
+
+TEST(Ec2Service, StormScheduleIsDeterministicPerSeed) {
+  resil::FaultSpec spec;
+  spec.reclaim_storm_rate = 0.3;
+  const resil::FaultPlan plan(spec, 7);
+  auto storm_hours = [&](const resil::FaultPlan& p) {
+    std::vector<int> hours;
+    for (int h = 0; h < 100; ++h) {
+      if (p.reclaim_storm(h)) {
+        hours.push_back(h);
+      }
+    }
+    return hours;
+  };
+  const auto first = storm_hours(plan);
+  EXPECT_FALSE(first.empty());
+  EXPECT_LT(first.size(), 100u);
+  // Same (spec, seed) -> the same storm hours, on a fresh plan too.
+  EXPECT_EQ(first, storm_hours(resil::FaultPlan(spec, 7)));
+  EXPECT_NE(first, storm_hours(resil::FaultPlan(spec, 8)));
+
+  // Two services driven through identical advances reclaim identically.
+  auto run_service = [&](Ec2Service& service) {
+    service.set_fault_plan(resil::FaultPlan(spec, 7));
+    const int g = service.create_placement_group("x");
+    service.request_spot("cc2.8xlarge", 4, 1000.0, {g});
+    std::vector<std::size_t> reclaim_sizes;
+    for (int h = 0; h < 20; ++h) {
+      reclaim_sizes.push_back(service.advance(3600.0).size());
+    }
+    return reclaim_sizes;
+  };
+  Ec2Service a(5);
+  Ec2Service b(5);
+  EXPECT_EQ(run_service(a), run_service(b));
+  EXPECT_DOUBLE_EQ(a.billed_usd(), b.billed_usd());
+  EXPECT_DOUBLE_EQ(a.accrued_usd(), b.accrued_usd());
+}
+
 TEST(Ec2Service, AssemblyTopologyTracksPlacementGroups) {
   Ec2Service service(1);
   service.authorize_intranet_tcp();

@@ -97,6 +97,154 @@ TEST(Runner, DirectModeRunsTheRealApplication) {
   EXPECT_GT(r.iteration.solve_s, 0.0);
 }
 
+TEST(Runner, DirectFaultRecoversViaCheckpointRestart) {
+  // Scan a fixed seed window for a run where a crash fires *after* a
+  // checkpoint was written; the policy must ride it out and the recovered
+  // trajectory must still satisfy the RD exactness oracle.
+  ExperimentRunner runner(42);
+  Experiment base;
+  base.platform = "puma";
+  base.ranks = 8;
+  base.mode = Mode::kDirect;
+  base.cells_per_rank_axis = 3;
+  base.direct_steps = 6;
+  base.faults.rank_crash_rate = 0.05;
+  base.recovery.kind = resil::RecoveryKind::kCheckpointRestart;
+  base.recovery.checkpoint_every = 2;
+  base.recovery.max_attempts = 10;
+
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !found; ++seed) {
+    Experiment e = base;
+    e.seed = seed;
+    const auto r = runner.run(e);
+    if (!r.launched || r.resil.steps_recovered == 0) {
+      continue;
+    }
+    found = true;
+    EXPECT_TRUE(r.resil.recovered);
+    EXPECT_GT(r.resil.faults_injected, 0);
+    EXPECT_GT(r.resil.attempts, 1);
+    EXPECT_GT(r.resil.checkpoints_written, 0);
+    EXPECT_GT(r.resil.retry_delay_s, 0.0);
+    EXPECT_GT(r.resil.wasted_sim_s, 0.0);
+    EXPECT_EQ(r.resil.final_ranks, 8);
+    EXPECT_TRUE(r.solver_converged);
+    EXPECT_LT(r.nodal_error, 1e-6);  // oracle holds across the restart
+
+    // The fault-free run of the same experiment gives the same trajectory:
+    // checkpoint restore is exact, so the completed records agree.
+    Experiment calm = e;
+    calm.faults = resil::FaultSpec{};
+    calm.recovery = resil::RecoveryPolicy{};
+    const auto rc = runner.run(calm);
+    ASSERT_TRUE(rc.launched);
+    EXPECT_NEAR(r.nodal_error, rc.nodal_error, 1e-12);
+    EXPECT_NEAR(r.iteration.total_s, rc.iteration.total_s, 1e-9);
+  }
+  EXPECT_TRUE(found)
+      << "no seed in 1..20 produced a post-checkpoint crash";
+}
+
+TEST(Runner, DirectFaultShrinksToFewerRanksAndStillMatchesTheOracle) {
+  // A crash under shrink_ranks_on_crash restarts on the next smaller cube
+  // (8 -> 1); the gid-keyed checkpoint redistributes the state and the
+  // survivors finish the *same* global problem.
+  ExperimentRunner runner(42);
+  Experiment base;
+  base.platform = "puma";
+  base.ranks = 8;
+  base.mode = Mode::kDirect;
+  base.cells_per_rank_axis = 3;
+  base.direct_steps = 6;
+  base.faults.rank_crash_rate = 0.05;
+  base.recovery.kind = resil::RecoveryKind::kCheckpointRestart;
+  base.recovery.checkpoint_every = 2;
+  base.recovery.max_attempts = 10;
+  base.recovery.shrink_ranks_on_crash = true;
+
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !found; ++seed) {
+    Experiment e = base;
+    e.seed = seed;
+    const auto r = runner.run(e);
+    if (!r.launched || r.resil.faults_injected == 0) {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(r.resil.final_ranks, 1);  // 2^3 shrank to 1^3
+    EXPECT_TRUE(r.solver_converged);
+    EXPECT_LT(r.nodal_error, 1e-6);  // same oracle on fewer ranks
+  }
+  EXPECT_TRUE(found) << "no seed in 1..20 crashed at all";
+}
+
+TEST(Runner, UnrecoveredFaultReportsFailureNotAnException) {
+  ExperimentRunner runner(42);
+  Experiment e;
+  e.platform = "puma";
+  e.ranks = 8;
+  e.mode = Mode::kDirect;
+  e.cells_per_rank_axis = 3;
+  e.direct_steps = 4;
+  e.faults.rank_crash_rate = 1.0;  // every attempt dies at step 0
+  e.recovery.kind = resil::RecoveryKind::kNone;
+  const auto r = runner.run(e);
+  EXPECT_FALSE(r.launched);
+  EXPECT_NE(r.failure_reason.find("injected fault"), std::string::npos);
+  EXPECT_NE(r.failure_reason.find("unrecovered"), std::string::npos);
+  EXPECT_EQ(r.resil.faults_injected, 1);
+
+  // Scratch restarts cannot make progress either when every step-0 cell is
+  // armed — the policy gives up after max_attempts, not an infinite loop.
+  e.recovery.kind = resil::RecoveryKind::kRestartScratch;
+  e.recovery.max_attempts = 3;
+  const auto rs = runner.run(e);
+  EXPECT_FALSE(rs.launched);
+  EXPECT_EQ(rs.resil.attempts, 3);
+  EXPECT_EQ(rs.resil.faults_injected, 3);
+}
+
+TEST(Runner, TransientLaunchFailuresAreRetriedWithBackoff) {
+  ExperimentRunner runner(42);
+  Experiment base;
+  base.platform = "puma";
+  base.ranks = 27;
+  base.faults.launch_failure_rate = 0.5;
+  base.recovery.kind = resil::RecoveryKind::kRestartScratch;
+  base.recovery.max_attempts = 8;
+
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !found; ++seed) {
+    Experiment e = base;
+    e.seed = seed;
+    const auto r = runner.run(e);
+    if (!r.launched || r.resil.launch_retries == 0) {
+      continue;
+    }
+    found = true;
+    EXPECT_GT(r.resil.retry_delay_s, 0.0);
+    // The backoff is charged on top of the (re-queued) scheduler wait.
+    EXPECT_GT(r.queue_wait_s, r.resil.retry_delay_s);
+  }
+  EXPECT_TRUE(found) << "no seed in 1..20 hit a transient launch failure";
+}
+
+TEST(Runner, LaunchFailureRateOneGivesUpWithTheReason) {
+  ExperimentRunner runner(42);
+  Experiment e;
+  e.platform = "puma";
+  e.ranks = 27;
+  e.faults.launch_failure_rate = 1.0;
+  e.recovery.kind = resil::RecoveryKind::kRestartScratch;
+  e.recovery.max_attempts = 3;
+  const auto r = runner.run(e);
+  EXPECT_FALSE(r.launched);
+  EXPECT_NE(r.failure_reason.find("transient launch failure"),
+            std::string::npos);
+  EXPECT_EQ(r.resil.launch_retries, 2);  // 3 attempts = 2 retries
+}
+
 TEST(Runner, DirectModeRequiresCubicRanks) {
   ExperimentRunner runner(42);
   Experiment e;
@@ -244,6 +392,35 @@ TEST(Campaign, DeterministicInSeed) {
   EXPECT_DOUBLE_EQ(a.wall_clock_s, b.wall_clock_s);
   EXPECT_DOUBLE_EQ(a.billed_usd, b.billed_usd);
   EXPECT_EQ(a.interruptions, b.interruptions);
+}
+
+TEST(Campaign, ReclaimStormsForceInterruptionsDeterministically) {
+  // Bid so high the market alone would never reclaim; only injected storms
+  // can interrupt the campaign.
+  CampaignConfig base;
+  base.ranks = 256;
+  base.iterations = 3000;  // ~12 h of wall clock: many storm-roll hours
+  base.checkpoint_interval = 20;
+  base.spot_bid_usd = 100.0;
+
+  const auto calm = simulate_ec2_campaign(base);
+  EXPECT_TRUE(calm.completed);
+  EXPECT_EQ(calm.interruptions, 0);
+
+  CampaignConfig stormy = base;
+  stormy.faults.reclaim_storm_rate = 0.25;
+  const auto a = simulate_ec2_campaign(stormy);
+  const auto b = simulate_ec2_campaign(stormy);
+  EXPECT_TRUE(a.completed);
+  EXPECT_GT(a.interruptions, 0);
+  EXPECT_GT(a.iterations_redone, 0);
+  EXPECT_GT(a.wall_clock_s, calm.wall_clock_s);
+  // Byte-for-byte replay: the storm schedule is a pure hash of the seed.
+  EXPECT_DOUBLE_EQ(a.wall_clock_s, b.wall_clock_s);
+  EXPECT_DOUBLE_EQ(a.billed_usd, b.billed_usd);
+  EXPECT_DOUBLE_EQ(a.accrued_usd, b.accrued_usd);
+  EXPECT_EQ(a.interruptions, b.interruptions);
+  EXPECT_EQ(a.iterations_redone, b.iterations_redone);
 }
 
 TEST(Campaign, ValidatesConfig) {

@@ -150,6 +150,110 @@ TEST(Checkpoint, SurvivesARankCountChange) {
   std::remove(path.c_str());
 }
 
+TEST(SolverCheckpoint, RoundTripsAcrossARankCountChange) {
+  const std::string path = "/tmp/heterolab_solver_ckpt_test.h5l";
+  const int n = 25;
+  // Save on 2 ranks mid-run: two state vectors, the clock, the step count.
+  {
+    simmpi::Runtime rt(netsim::Topology::uniform(
+        2, 2, netsim::Fabric::gigabit_ethernet(),
+        netsim::Fabric::shared_memory()));
+    rt.run([&](simmpi::Comm& comm) {
+      std::unique_ptr<la::DistSystemBuilder> builder;
+      auto now = make_vector(comm, builder, n);
+      la::DistVector prev(now.map());
+      for (int l = 0; l < now.map().owned_count(); ++l) {
+        now[l] = 10.0 + static_cast<double>(now.map().gid(l));
+        prev[l] = -10.0 - static_cast<double>(now.map().gid(l));
+      }
+      save_solver_checkpoint(comm, now, prev, 3.5, 7, path);
+    });
+  }
+  // Restart on 3 ranks: the gid-keyed format redistributes both vectors.
+  {
+    simmpi::Runtime rt(netsim::Topology::uniform(
+        3, 2, netsim::Fabric::gigabit_ethernet(),
+        netsim::Fabric::shared_memory()));
+    rt.run([&](simmpi::Comm& comm) {
+      std::unique_ptr<la::DistSystemBuilder> builder;
+      auto now = make_vector(comm, builder, n);
+      la::DistVector prev(now.map());
+      const SolverCheckpointMeta meta =
+          load_solver_checkpoint(comm, now, prev, path);
+      EXPECT_DOUBLE_EQ(meta.time, 3.5);
+      EXPECT_EQ(meta.steps_done, 7);
+      for (int l = 0; l < now.map().owned_count(); ++l) {
+        const auto g = static_cast<double>(now.map().gid(l));
+        EXPECT_DOUBLE_EQ(now[l], 10.0 + g);
+        EXPECT_DOUBLE_EQ(prev[l], -10.0 - g);
+      }
+    });
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SolverCheckpoint, MissingFileIsAClearError) {
+  const std::string path = "/tmp/heterolab_ckpt_does_not_exist.h5l";
+  std::remove(path.c_str());
+  simmpi::Runtime rt(netsim::Topology::uniform(
+      1, 1, netsim::Fabric::gigabit_ethernet(),
+      netsim::Fabric::shared_memory()));
+  try {
+    rt.run([&](simmpi::Comm& comm) {
+      std::unique_ptr<la::DistSystemBuilder> builder;
+      auto now = make_vector(comm, builder, 5);
+      la::DistVector prev(now.map());
+      (void)load_solver_checkpoint(comm, now, prev, path);
+    });
+    FAIL() << "expected an Error for a missing checkpoint file";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("cannot restore"), std::string::npos) << what;
+  }
+}
+
+TEST(SolverCheckpoint, TruncatedFileIsAClearError) {
+  const std::string path = "/tmp/heterolab_ckpt_truncated.h5l";
+  {
+    simmpi::Runtime rt(netsim::Topology::uniform(
+        1, 1, netsim::Fabric::gigabit_ethernet(),
+        netsim::Fabric::shared_memory()));
+    rt.run([&](simmpi::Comm& comm) {
+      std::unique_ptr<la::DistSystemBuilder> builder;
+      auto now = make_vector(comm, builder, 5);
+      la::DistVector prev(now.map());
+      for (int l = 0; l < now.map().owned_count(); ++l) {
+        now[l] = 1.0;
+        prev[l] = 2.0;
+      }
+      save_solver_checkpoint(comm, now, prev, 1.0, 2, path);
+    });
+  }
+  {
+    // A crash mid-write leaves a short file: cut it to 6 bytes.
+    std::ofstream cut(path, std::ios::binary | std::ios::trunc);
+    cut << "stub!\n";
+  }
+  simmpi::Runtime rt(netsim::Topology::uniform(
+      1, 1, netsim::Fabric::gigabit_ethernet(),
+      netsim::Fabric::shared_memory()));
+  try {
+    rt.run([&](simmpi::Comm& comm) {
+      std::unique_ptr<la::DistSystemBuilder> builder;
+      auto now = make_vector(comm, builder, 5);
+      la::DistVector prev(now.map());
+      (void)load_solver_checkpoint(comm, now, prev, path);
+    });
+    FAIL() << "expected an Error for a truncated checkpoint file";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, MissingGidIsAnError) {
   const std::string path = "/tmp/heterolab_ckpt_missing.h5l";
   simmpi::Runtime rt(netsim::Topology::uniform(

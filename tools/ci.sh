@@ -9,7 +9,11 @@
 #             then re-run fig4 with --jobs 8 and require byte-identical
 #             output (the campaign engine's determinism guarantee)
 #   asan      ASan+UBSan build, full ctest
-#   tsan      TSan build, concurrency tests only (simmpi/la/obs/engine)
+#   tsan      TSan build, concurrency tests only (simmpi/resil/la/obs/engine)
+#   faultsoak fault-soak: ASan+UBSan build; runs the fault-injection and
+#             recovery tests plus bench_ablation_failure_recovery against
+#             its baseline, and requires --jobs 8 output byte-identical to
+#             --jobs 1 (fault schedules are pure hashes of the seed)
 #   all       everything above, in that order (the default)
 #
 # Each job builds in its own directory (build-ci-<job>) so sanitizer and
@@ -106,7 +110,33 @@ job_tsan() {
   configure_and_build build-ci-tsan \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=thread
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-      -R '^(simmpi_test|la_test|obs_test|campaign_engine_test)$'
+      -R '^(simmpi_test|resil_test|la_test|obs_test|campaign_engine_test)$'
+}
+
+job_faultsoak() {
+  echo "== ci job: fault-soak (ASan+UBSan fault injection + recovery) =="
+  configure_and_build build-ci-asan \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=address
+  # The resilience surface: fault plan, recovery loop, checkpoint IO,
+  # reclaim storms, broker failover, and the CLI failure paths.
+  ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
+      -R '^(resil_test|simmpi_test|io_test|cloud_test|core_test|campaign_engine_test|broker_test|cli_failure_test)$'
+  out_dir=build-ci-asan/bench-out
+  mkdir -p "$out_dir"
+  build-ci-asan/bench/bench_ablation_failure_recovery --jobs 1 \
+      --json "$out_dir/ablation_failure_recovery.jsonl" \
+      > "$out_dir/faults.jobs1.txt"
+  python3 tools/check_bench.py \
+      --baseline bench/baselines/ablation_failure_recovery.json \
+      "$out_dir/ablation_failure_recovery.jsonl"
+  # Fault injection must not cost determinism: --jobs 8 reproduces the
+  # sequential sweep byte for byte, text and JSONL alike.
+  build-ci-asan/bench/bench_ablation_failure_recovery --jobs 8 \
+      --json "$out_dir/ablation_failure_recovery.jobs8.jsonl" \
+      > "$out_dir/faults.jobs8.txt"
+  diff "$out_dir/faults.jobs1.txt" "$out_dir/faults.jobs8.txt"
+  diff "$out_dir/ablation_failure_recovery.jsonl" \
+      "$out_dir/ablation_failure_recovery.jobs8.jsonl"
 }
 
 run_job() {
@@ -116,9 +146,10 @@ run_job() {
     bench) job_bench ;;
     asan) job_asan ;;
     tsan) job_tsan ;;
-    all) job_release; job_debug; job_bench; job_asan; job_tsan ;;
+    faultsoak) job_faultsoak ;;
+    all) job_release; job_debug; job_bench; job_asan; job_tsan; job_faultsoak ;;
     *)
-      echo "ci: unknown job '$1' (expected release|debug|bench|asan|tsan|all)" >&2
+      echo "ci: unknown job '$1' (expected release|debug|bench|asan|tsan|faultsoak|all)" >&2
       exit 2
       ;;
   esac

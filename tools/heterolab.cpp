@@ -23,6 +23,7 @@
 #include "obs/bench_io.hpp"
 #include "platform/capability_table.hpp"
 #include "provision/planner.hpp"
+#include "resil/recovery.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/units.hpp"
@@ -73,6 +74,18 @@ int cmd_run(const CliArgs& args) {
   if (e.ec2_spot_mix) {
     e.ec2_placement_groups = 4;
   }
+  e.faults.rank_crash_rate = args.get_double("faults", 0.0);
+  e.faults.launch_failure_rate = args.get_double("launch-faults", 0.0);
+  e.faults.net_degrade_rate = args.get_double("degrade", 0.0);
+  e.recovery.kind =
+      resil::recovery_kind_by_name(args.get_string("recovery", "none"));
+  e.recovery.checkpoint_every =
+      static_cast<int>(args.get_int("ckpt-every", 2));
+  e.recovery.shrink_ranks_on_crash = args.get_bool("shrink", false);
+  HETERO_REQUIRE(e.faults.rank_crash_rate == 0.0 ||
+                     e.mode == core::Mode::kDirect,
+                 "--faults injects rank crashes into the simulated MPI run: "
+                 "needs --mode direct");
   if (e.mode == core::Mode::kDirect &&
       e.cells_per_rank_axis == 20 && !args.has("cells")) {
     e.cells_per_rank_axis = 4;  // keep direct runs laptop-sized by default
@@ -105,10 +118,23 @@ int cmd_run(const CliArgs& args) {
     } else {
       record.set("failure_reason", r.failure_reason);
     }
+    if (e.faults.enabled()) {
+      record.set("attempts", static_cast<double>(r.resil.attempts));
+      record.set("faults_injected",
+                 static_cast<double>(r.resil.faults_injected));
+      record.set("launch_retries",
+                 static_cast<double>(r.resil.launch_retries));
+      record.set("recovered", r.resil.recovered);
+      record.set("retry_delay_s", r.resil.retry_delay_s);
+      record.set("wasted_cost_usd", r.resil.wasted_cost_usd);
+      record.set("final_ranks", static_cast<double>(r.resil.final_ranks));
+    }
     reporter.add_record(std::move(record));
   }
   if (!r.launched) {
-    std::cout << "LAUNCH FAILED on " << e.platform << ": "
+    // Diagnostics go to stderr so a piped stdout (e.g. --json to a file
+    // plus shell redirection) stays machine-parseable.
+    std::cerr << "LAUNCH FAILED on " << e.platform << ": "
               << r.failure_reason << "\n";
     return 1;
   }
@@ -138,6 +164,21 @@ int cmd_run(const CliArgs& args) {
               << fmt_double(r.nodal_error, 10) << ", solver "
               << (r.solver_converged ? "converged" : "DID NOT CONVERGE")
               << "\n";
+  }
+  if (e.faults.enabled()) {
+    std::cout << "resilience    " << r.resil.attempts << " attempt(s), "
+              << r.resil.faults_injected << " fault(s), "
+              << r.resil.launch_retries << " launch retr"
+              << (r.resil.launch_retries == 1 ? "y" : "ies") << ", policy "
+              << resil::to_string(e.recovery.kind) << "\n";
+    if (r.resil.faults_injected > 0) {
+      std::cout << "              " << r.resil.steps_recovered
+                << " step(s) recovered from checkpoints, "
+                << r.resil.steps_wasted << " wasted; backoff "
+                << format_seconds(r.resil.retry_delay_s) << ", wasted cost "
+                << fmt_usd(r.resil.wasted_cost_usd) << ", finished on "
+                << r.resil.final_ranks << " ranks\n";
+    }
   }
   return 0;
 }
@@ -183,6 +224,7 @@ int cmd_campaign(const CliArgs& args) {
   config.checkpoint_interval = static_cast<int>(args.get_int("ckpt", 25));
   config.use_spot = !args.get_bool("ondemand", false);
   config.spot_bid_usd = args.get_double("bid", 0.70);
+  config.faults.reclaim_storm_rate = args.get_double("storm-rate", 0.0);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   const auto r = core::simulate_ec2_campaign(config);
   std::cout << "strategy       "
@@ -217,6 +259,9 @@ int cmd_broker(const CliArgs& args) {
     request.budget_usd = args.get_double("budget-usd", 0.0);
   }
   request.risk_tolerance = args.get_double("risk", 0.5);
+  if (args.has("risk-budget-usd")) {
+    request.risk_budget_usd = args.get_double("risk-budget-usd", 0.0);
+  }
   request.include_provisioning = !args.get_bool("ported", false);
 
   const auto objective =
@@ -278,16 +323,19 @@ int usage() {
       "  run --app rd|ns --platform P --ranks N [--mode direct|modeled]\n"
       "      [--cells C] [--spot] [--seed S] [--jobs J] [--json OUT.jsonl]\n"
       "      [--trace OUT.trace.json] [--metrics OUT.metrics.json]\n"
+      "      [--faults RATE] [--launch-faults RATE] [--degrade RATE]\n"
+      "      [--recovery none|scratch|ckpt] [--ckpt-every K] [--shrink]\n"
       "  fig4 | fig5 | table2 | fig6 | fig7 [--csv] [--jobs J]\n"
       "      [--json OUT.jsonl]\n"
       "  summary [--ranks N] [--jobs J]\n"
       "  campaign --ranks N --iterations K [--ondemand] [--ckpt I]\n"
-      "      [--bid USD] [--cells C]\n"
+      "      [--bid USD] [--cells C] [--storm-rate RATE]\n"
       "  provision [--platform P]\n"
       "  broker --app rd|ns [--elements E | --ranks N [--cells C]]\n"
       "      [--iterations K] [--deadline-h H] [--budget-usd D]\n"
       "      [--objective time|cost|effective|blend] [--risk R]\n"
-      "      [--ported] [--top N] [--seed S] [--jobs J]\n"
+      "      [--risk-budget-usd D] [--ported] [--top N] [--seed S]\n"
+      "      [--jobs J]\n"
       "--jobs J evaluates experiments on J worker threads (output is\n"
       "byte-identical at any J). Default: HETEROLAB_JOBS if set, else the\n"
       "hardware thread count; direct-mode runs default to 1.\n";
@@ -331,7 +379,9 @@ int main(int argc, char** argv) {
     if (command == "run") {
       return flags_understood(args, {"app", "platform", "ranks", "cells",
                                      "mode", "spot", "seed", "jobs", "json",
-                                     "trace", "metrics"})
+                                     "trace", "metrics", "faults",
+                                     "launch-faults", "degrade", "recovery",
+                                     "ckpt-every", "shrink"})
                  ? cmd_run(args)
                  : usage();
     }
@@ -347,7 +397,8 @@ int main(int argc, char** argv) {
     }
     if (command == "campaign") {
       return flags_understood(args, {"ranks", "iterations", "ckpt",
-                                     "ondemand", "bid", "cells", "seed"})
+                                     "ondemand", "bid", "cells", "seed",
+                                     "storm-rate"})
                  ? cmd_campaign(args)
                  : usage();
     }
@@ -359,7 +410,8 @@ int main(int argc, char** argv) {
       return flags_understood(
                  args, {"app", "elements", "ranks", "cells", "iterations",
                         "deadline-h", "budget-usd", "objective", "risk",
-                        "ported", "top", "seed", "jobs", "csv"})
+                        "risk-budget-usd", "ported", "top", "seed", "jobs",
+                        "csv"})
                  ? cmd_broker(args)
                  : usage();
     }
