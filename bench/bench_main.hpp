@@ -6,9 +6,6 @@
 /// CSV under `--csv`) and — when `--json <path>` is given — also appends
 /// one schema-versioned JSONL record per table row, the machine-readable
 /// results that `tools/check_bench.py` gates CI on.
-///
-/// The exception is bench_kernels, which links google-benchmark's own main
-/// and keeps its native `--benchmark_out` JSON instead.
 
 #include <iostream>
 #include <string>

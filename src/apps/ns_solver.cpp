@@ -4,6 +4,7 @@
 
 #include "fem/bdf.hpp"
 #include "fem/error_norms.hpp"
+#include "la/kernels.hpp"
 #include "support/error.hpp"
 
 namespace hetero::apps {
@@ -111,9 +112,18 @@ NsSolver::NsSolver(simmpi::Comm& comm, NsConfig config)
   }
   builder_ = std::make_unique<la::DistSystemBuilder>(comm, std::move(touched));
   precond_ = solvers::make_preconditioner(config_.preconditioner);
+  geo_cache_.emplace(submesh_);
 
   time_ = config_.t0;
   assemble();  // freezes the structure; history terms are zero here
+  workspace_ = std::make_unique<solvers::KrylovWorkspace>(builder_->map());
+  x_.emplace(builder_->map());
+  if (la::kernel_mode() == la::KernelMode::kFast) {
+    // Built here, outside the timed step phases, so every step has the same
+    // communication schedule — including the first step after a checkpoint
+    // restart re-creates the solver mid-run.
+    build_dirichlet_plan();
+  }
 
   const double nu = config_.viscosity / config_.density;
   auto interpolate_state = [&](double t) {
@@ -171,22 +181,20 @@ void NsSolver::assemble() {
   const std::size_t nvnv = static_cast<std::size_t>(nv * nv);
   const std::size_t npnp = static_cast<std::size_t>(np * np);
   const std::size_t nvnp = static_cast<std::size_t>(nv * np);
-  std::vector<double> me(nvnv);
-  std::vector<double> ke(nvnv);
-  std::vector<double> ce(nvnv);
-  std::vector<double> kp(npnp);
-  std::vector<double> de[3] = {std::vector<double>(nvnp),
-                               std::vector<double>(nvnp),
-                               std::vector<double>(nvnp)};
-  std::vector<la::GlobalId> vgids(static_cast<std::size_t>(nv));
-  std::vector<la::GlobalId> pgids(static_cast<std::size_t>(np));
-  std::vector<mesh::Vec3> beta(kernel_v_->quad_count());
-  std::vector<double> beta_c(kernel_v_->quad_count());
+  me_.resize(nvnv);
+  ke_.resize(nvnv);
+  ce_.resize(nvnv);
+  kp_.resize(npnp);
+  for (auto& d : de_) {
+    d.resize(nvnp);
+  }
+  vgids_.resize(static_cast<std::size_t>(nv));
+  pgids_.resize(static_cast<std::size_t>(np));
+  beta_.resize(kernel_v_->quad_count());
+  beta_c_.resize(kernel_v_->quad_count());
 
   // Extrapolated convective velocity u* = 2 u^k - u^{k-1} and BDF history,
   // in velocity-space-local ordering per component. Empty pre-init.
-  std::vector<double> ustar[3];
-  std::vector<double> hist[3];
   const bool have_state = x_now_.has_value();
   if (have_state) {
     x_now_->update_ghosts(*comm_, builder_->halo());
@@ -194,57 +202,58 @@ void NsSolver::assemble() {
     for (int c = 0; c < 3; ++c) {
       const auto now_vals = velocity_values(*x_now_, c);
       const auto prev_vals = velocity_values(*x_prev_, c);
-      ustar[c].resize(now_vals.size());
-      hist[c].resize(now_vals.size());
+      ustar_[c].resize(now_vals.size());
+      hist_[c].resize(now_vals.size());
       for (std::size_t i = 0; i < now_vals.size(); ++i) {
-        ustar[c][i] = ext[0] * now_vals[i] + ext[1] * prev_vals[i];
-        hist[c][i] = rho *
-                     (bdf.beta[0] * now_vals[i] + bdf.beta[1] * prev_vals[i]) /
-                     config_.dt;
+        ustar_[c][i] = ext[0] * now_vals[i] + ext[1] * prev_vals[i];
+        hist_[c][i] = rho *
+                      (bdf.beta[0] * now_vals[i] +
+                       bdf.beta[1] * prev_vals[i]) /
+                      config_.dt;
       }
     }
   }
 
   builder_->begin_assembly();
   for (std::size_t t = 0; t < submesh_.tet_count(); ++t) {
-    kernel_v_->mass(t, me);
-    kernel_v_->stiffness(t, ke);
-    kernel_p_->stiffness(t, kp);
+    kernel_v_->mass(t, me_);
+    kernel_v_->stiffness(t, ke_);
+    kernel_p_->stiffness(t, kp_);
     for (int c = 0; c < 3; ++c) {
       // D_c(i,j) = int d(phi^v_i)/dx_c psi^p_j.
-      kernel_vp_->grad_row_times_col(t, c, de[c]);
+      kernel_vp_->grad_row_times_col(t, c, de_[c]);
     }
     // Convection at quadrature points from the extrapolated velocity.
     if (have_state) {
       for (int c = 0; c < 3; ++c) {
-        kernel_v_->eval_at_quad(t, ustar[c], beta_c);
-        for (std::size_t q = 0; q < beta.size(); ++q) {
-          if (c == 0) beta[q].x = beta_c[q];
-          if (c == 1) beta[q].y = beta_c[q];
-          if (c == 2) beta[q].z = beta_c[q];
+        kernel_v_->eval_at_quad(t, ustar_[c], beta_c_);
+        for (std::size_t q = 0; q < beta_.size(); ++q) {
+          if (c == 0) beta_[q].x = beta_c_[q];
+          if (c == 1) beta_[q].y = beta_c_[q];
+          if (c == 2) beta_[q].z = beta_c_[q];
         }
       }
     } else {
-      std::fill(beta.begin(), beta.end(), mesh::Vec3{});
+      std::fill(beta_.begin(), beta_.end(), mesh::Vec3{});
     }
-    kernel_v_->convection(t, beta, ce);
+    kernel_v_->convection(t, beta_, ce_);
 
     // Pressure-Laplacian coefficient: delta h_K^2 / mu.
-    const auto geo = fem::TetGeometry::compute(submesh_, t);
+    const auto& geo = geo_cache_->get(t);
     const double h2 = std::cbrt(geo.det) * std::cbrt(geo.det);
     const double stab = stab_delta_ * h2 / mu;
 
-    space_v_->tet_dof_gids(t, vgids);
+    space_v_->tet_dof_gids(t, vgids_);
     // Pressure gids carry the component shift directly.
     for (int j = 0; j < np; ++j) {
-      pgids[static_cast<std::size_t>(j)] = fem::FeSpace::block_gid(
+      pgids_[static_cast<std::size_t>(j)] = fem::FeSpace::block_gid(
           space_p_->dof_gid(space_p_->tet_dofs(t)[static_cast<std::size_t>(j)]),
           3, kComps);
     }
     const auto vdofs = space_v_->tet_dofs(t);
 
     for (int i = 0; i < nv; ++i) {
-      const la::GlobalId gi = vgids[static_cast<std::size_t>(i)];
+      const la::GlobalId gi = vgids_[static_cast<std::size_t>(i)];
       for (int c = 0; c < 3; ++c) {
         const la::GlobalId row = fem::FeSpace::block_gid(gi, c, kComps);
         double rhs_i = 0.0;
@@ -253,36 +262,36 @@ void NsSolver::assemble() {
           // Momentum: (rho alpha/dt) M + mu K + rho C on the (c, c) block.
           builder_->add_matrix(
               row,
-              fem::FeSpace::block_gid(vgids[static_cast<std::size_t>(j)], c,
+              fem::FeSpace::block_gid(vgids_[static_cast<std::size_t>(j)], c,
                                       kComps),
-              mass_coeff * me[ij] + mu * ke[ij] + rho * ce[ij]);
+              mass_coeff * me_[ij] + mu * ke_[ij] + rho * ce_[ij]);
           if (have_state) {
-            rhs_i += me[ij] * hist[c][static_cast<std::size_t>(vdofs[j])];
+            rhs_i += me_[ij] * hist_[c][static_cast<std::size_t>(vdofs[j])];
           }
         }
         // Pressure gradient: -(p, d v_c / d x_c) = -D_c(i, j) p_j.
         for (int j = 0; j < np; ++j) {
-          builder_->add_matrix(row, pgids[static_cast<std::size_t>(j)],
-                               -de[c][static_cast<std::size_t>(i * np + j)]);
+          builder_->add_matrix(row, pgids_[static_cast<std::size_t>(j)],
+                               -de_[c][static_cast<std::size_t>(i * np + j)]);
         }
         builder_->add_rhs(row, rhs_i);
       }
     }
     // Continuity rows: (q, div u) + stabilization.
     for (int j = 0; j < np; ++j) {
-      const la::GlobalId prow = pgids[static_cast<std::size_t>(j)];
+      const la::GlobalId prow = pgids_[static_cast<std::size_t>(j)];
       for (int i = 0; i < nv; ++i) {
         for (int c = 0; c < 3; ++c) {
           builder_->add_matrix(
               prow,
-              fem::FeSpace::block_gid(vgids[static_cast<std::size_t>(i)], c,
+              fem::FeSpace::block_gid(vgids_[static_cast<std::size_t>(i)], c,
                                       kComps),
-              de[c][static_cast<std::size_t>(i * np + j)]);
+              de_[c][static_cast<std::size_t>(i * np + j)]);
         }
       }
       for (int jj = 0; jj < np; ++jj) {
-        builder_->add_matrix(prow, pgids[static_cast<std::size_t>(jj)],
-                             stab * kp[static_cast<std::size_t>(j * np + jj)]);
+        builder_->add_matrix(prow, pgids_[static_cast<std::size_t>(jj)],
+                             stab * kp_[static_cast<std::size_t>(j * np + jj)]);
       }
       builder_->add_rhs(prow, 0.0);
     }
@@ -293,6 +302,48 @@ void NsSolver::assemble() {
                                    per_tet_entries *
                                    config_.cpu.assembly_sec_per_entry));
   builder_->finalize(*comm_);
+}
+
+void NsSolver::build_dirichlet_plan() {
+  const double lo = -1.0 + 1e-12;
+  const double hi = 1.0 - 1e-12;
+  auto on_boundary = [lo, hi](const mesh::Vec3& x) {
+    return x.x < lo || x.x > hi || x.y < lo || x.y > hi || x.z < lo ||
+           x.z > hi;
+  };
+  auto corner = [lo](const mesh::Vec3& x) {
+    return x.x < lo && x.y < lo && x.z < lo;
+  };
+  // Velocity Dirichlet everywhere (velocity space, comps 0..2); pressure
+  // pinned at the (-1,-1,-1) corner (pressure space, comp 3). Both spaces
+  // write into one constraint set on the block map, in the same order as
+  // the reference path's two dof sweeps.
+  dirichlet_ = std::make_unique<fem::DirichletPlan>(
+      *comm_, builder_->map(), builder_->halo(),
+      [&](const std::function<void(int, const mesh::Vec3&, int)>& add) {
+        for (int d = 0; d < space_v_->local_dof_count(); ++d) {
+          const mesh::Vec3& x = space_v_->dof_coord(d);
+          if (!on_boundary(x)) {
+            continue;
+          }
+          for (int c = 0; c < 3; ++c) {
+            const int l = builder_->map().local(vel_gid(d, c));
+            if (l != la::kInvalidLocal && builder_->map().is_owned_local(l)) {
+              add(l, x, c);
+            }
+          }
+        }
+        for (int d = 0; d < space_p_->local_dof_count(); ++d) {
+          const mesh::Vec3& x = space_p_->dof_coord(d);
+          if (!corner(x)) {
+            continue;
+          }
+          const int l = builder_->map().local(pres_gid(d));
+          if (l != la::kInvalidLocal && builder_->map().is_owned_local(l)) {
+            add(l, x, 3);
+          }
+        }
+      });
 }
 
 StepRecord NsSolver::step() {
@@ -317,37 +368,49 @@ StepRecord NsSolver::step() {
   // Velocity Dirichlet everywhere from the exact solution (over the
   // velocity space); pressure pinned at the (-1,-1,-1) corner (pressure
   // space). Both spaces write into one constraint set on the block map.
-  fem::DirichletData bc(builder_->map());
-  for (int d = 0; d < space_v_->local_dof_count(); ++d) {
-    const mesh::Vec3& x = space_v_->dof_coord(d);
-    if (!on_boundary(x)) {
-      continue;
+  // Values come from es_velocity (comp 0..2) / es_pressure (comp 3).
+  auto bc_value = [&](const mesh::Vec3& p, int c) {
+    return c < 3 ? es_velocity(p, t_new, nu, c) : es_pressure(p, t_new, nu);
+  };
+  x_->copy_from(*x_now_);
+  if (la::kernel_mode() == la::KernelMode::kFast) {
+    // The plan normally exists already (built in the constructor, outside
+    // the timed phases); the fallback covers a mode switch after it.
+    if (!dirichlet_) {
+      build_dirichlet_plan();
     }
-    for (int c = 0; c < 3; ++c) {
-      const int l = builder_->map().local(vel_gid(d, c));
-      if (l != la::kInvalidLocal && builder_->map().is_owned_local(l)) {
-        bc.flags[l] = 1.0;
-        bc.values[l] = es_velocity(x, t_new, nu, c);
+    dirichlet_->update_block(*comm_, builder_->halo(), bc_value);
+    dirichlet_->apply(builder_->matrix(), builder_->rhs(), *x_);
+  } else {
+    fem::DirichletData bc(builder_->map());
+    for (int d = 0; d < space_v_->local_dof_count(); ++d) {
+      const mesh::Vec3& x = space_v_->dof_coord(d);
+      if (!on_boundary(x)) {
+        continue;
+      }
+      for (int c = 0; c < 3; ++c) {
+        const int l = builder_->map().local(vel_gid(d, c));
+        if (l != la::kInvalidLocal && builder_->map().is_owned_local(l)) {
+          bc.flags[l] = 1.0;
+          bc.values[l] = es_velocity(x, t_new, nu, c);
+        }
       }
     }
-  }
-  for (int d = 0; d < space_p_->local_dof_count(); ++d) {
-    const mesh::Vec3& x = space_p_->dof_coord(d);
-    if (!corner(x)) {
-      continue;
+    for (int d = 0; d < space_p_->local_dof_count(); ++d) {
+      const mesh::Vec3& x = space_p_->dof_coord(d);
+      if (!corner(x)) {
+        continue;
+      }
+      const int l = builder_->map().local(pres_gid(d));
+      if (l != la::kInvalidLocal && builder_->map().is_owned_local(l)) {
+        bc.flags[l] = 1.0;
+        bc.values[l] = es_pressure(x, t_new, nu);
+      }
     }
-    const int l = builder_->map().local(pres_gid(d));
-    if (l != la::kInvalidLocal && builder_->map().is_owned_local(l)) {
-      bc.flags[l] = 1.0;
-      bc.values[l] = es_pressure(x, t_new, nu);
-    }
+    bc.flags.update_ghosts(*comm_, builder_->halo());
+    bc.values.update_ghosts(*comm_, builder_->halo());
+    fem::apply_dirichlet(builder_->matrix(), builder_->rhs(), *x_, bc);
   }
-  bc.flags.update_ghosts(*comm_, builder_->halo());
-  bc.values.update_ghosts(*comm_, builder_->halo());
-
-  la::DistVector x(builder_->map());
-  x.copy_from(*x_now_);
-  fem::apply_dirichlet(builder_->matrix(), builder_->rhs(), x, bc);
   const double t_assembled = comm_->now();
 
   // ---- preconditioner ------------------------------------------------------
@@ -366,9 +429,9 @@ StepRecord NsSolver::step() {
   const auto report =
       config_.krylov == "gmres"
           ? solvers::gmres_solve(*comm_, builder_->matrix(), *precond_,
-                                 builder_->rhs(), x, sc)
+                                 builder_->rhs(), *x_, sc, *workspace_)
           : solvers::bicgstab_solve(*comm_, builder_->matrix(), *precond_,
-                                    builder_->rhs(), x, sc);
+                                    builder_->rhs(), *x_, sc, *workspace_);
   const auto rows = static_cast<double>(builder_->map().owned_count());
   comm_->compute(config_.cpu.scale(
       report.iterations *
@@ -377,7 +440,7 @@ StepRecord NsSolver::step() {
   const double t_solved = comm_->now();
 
   x_prev_->copy_from(*x_now_);
-  x_now_->copy_from(x);
+  x_now_->copy_from(*x_);
   time_ = t_new;
   ++steps_;
 
@@ -438,7 +501,7 @@ StepRecord NsSolver::step() {
     for (std::size_t t = 0; t < submesh_.tet_count(); ++t) {
       kernel_v_->eval_at_quad(t, u0, uh);
       kernel_v_->quad_points(t, xq);
-      const auto geo = fem::TetGeometry::compute(submesh_, t);
+      const auto& geo = geo_cache_->get(t);
       for (std::size_t q = 0; q < uh.size(); ++q) {
         const double diff = uh[q] - es_velocity(xq[q], time_, nu, 0);
         l2 += kernel_v_->table().points[q].weight * geo.det * diff * diff;

@@ -92,6 +92,7 @@ class NsSolver {
 
  private:
   void assemble();
+  void build_dirichlet_plan();
   la::GlobalId vel_gid(int dof, int comp) const;
   la::GlobalId pres_gid(int dof) const;
   std::vector<double> velocity_values(const la::DistVector& v,
@@ -113,6 +114,20 @@ class NsSolver {
   double stab_delta_ = 0.05;
   double time_ = 0.0;
   int steps_ = 0;
+
+  // Persistent per-step storage (see rd_solver.hpp): solver workspace,
+  // solution buffer, Dirichlet plan, tet geometries for the stabilization
+  // coefficient, and element/history scratch.
+  std::unique_ptr<solvers::KrylovWorkspace> workspace_;
+  std::optional<la::DistVector> x_;
+  std::unique_ptr<fem::DirichletPlan> dirichlet_;
+  std::optional<fem::GeometryCache> geo_cache_;
+  std::vector<double> me_, ke_, ce_, kp_;
+  std::vector<double> de_[3];
+  std::vector<la::GlobalId> vgids_, pgids_;
+  std::vector<mesh::Vec3> beta_;
+  std::vector<double> beta_c_;
+  std::vector<double> ustar_[3], hist_[3];
 };
 
 }  // namespace hetero::apps

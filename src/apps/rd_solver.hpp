@@ -100,6 +100,21 @@ class RdSolver {
   std::optional<la::DistVector> u_prev_;  // u^{k-1}
   double time_ = 0.0;
   int steps_ = 0;
+
+  // Persistent per-step storage: solver workspace, solution buffer,
+  // Dirichlet plan (fast mode; built in the constructor) and element
+  // scratch, so steady-state stepping performs no per-step allocations.
+  std::unique_ptr<solvers::KrylovWorkspace> workspace_;
+  std::optional<la::DistVector> x_;
+  std::unique_ptr<fem::DirichletPlan> dirichlet_;
+  std::vector<double> me_, ke_, fe_, ae_, re_, hist_;
+  std::vector<la::GlobalId> gids_;
+  // The element mass/stiffness/load integrals depend only on the (static)
+  // geometry; the time-dependent weak form only rescales them. Fast mode
+  // caches them per tet after the first full quadrature sweep, so later
+  // assemblies are a coefficient combination plus the frozen scatter.
+  bool elems_cached_ = false;
+  std::vector<double> elem_me_, elem_ke_, elem_fe_;
 };
 
 }  // namespace hetero::apps

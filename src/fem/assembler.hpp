@@ -5,9 +5,17 @@
 /// evaluation machinery — the paper's assembly phase (step ii). Applications
 /// combine these into global distributed systems through
 /// la::DistSystemBuilder.
+///
+/// Under la::KernelMode::kFast the kernels read tet geometries from a
+/// per-kernel cache filled once (the mesh never moves) instead of
+/// recomputing the Jacobian factorization on every call, and
+/// mass_stiffness_load() evaluates all three RD element quantities in a
+/// single quadrature sweep. Per-entry accumulation order is unchanged, so
+/// element matrices are bit-identical to the reference kernels.
 
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "fem/fe_space.hpp"
 #include "fem/reference.hpp"
@@ -38,6 +46,24 @@ struct TetGeometry {
 using SpatialFn = std::function<double(const mesh::Vec3&)>;
 using VectorFn = std::function<mesh::Vec3(const mesh::Vec3&)>;
 
+/// Per-mesh cache of affine tet geometries. Fast mode tabulates every tet
+/// once on first use (the mesh is static for the life of a kernel);
+/// reference mode recomputes per call exactly like the original kernels.
+/// Either way the values come from the same TetGeometry::compute, so the
+/// two modes are bit-identical.
+class GeometryCache {
+ public:
+  explicit GeometryCache(const mesh::TetMesh& mesh) : mesh_(&mesh) {}
+
+  const TetGeometry& get(std::size_t t) const;
+
+ private:
+  const mesh::TetMesh* mesh_;
+  mutable std::vector<TetGeometry> cache_;  // fast mode: all tets
+  mutable bool built_ = false;
+  mutable TetGeometry scratch_;  // reference mode: per-call recompute
+};
+
 /// Dense element kernels over one FeSpace; all outputs are row-major
 /// n×n (matrices) or length-n (vectors) with n = space.dofs_per_tet().
 class ElementKernel {
@@ -47,8 +73,8 @@ class ElementKernel {
   ElementKernel(const FeSpace& space, int quad_degree);
 
   const FeSpace& space() const { return *space_; }
-  int n() const { return table_.dofs; }
-  std::size_t quad_count() const { return table_.points.size(); }
+  int n() const { return table_->dofs; }
+  std::size_t quad_count() const { return table_->points.size(); }
 
   /// out(i,j) += sum_q w |J| phi_i phi_j  (set semantics: out overwritten).
   void mass(std::size_t t, std::span<double> out) const;
@@ -67,6 +93,14 @@ class ElementKernel {
   /// out(i) = sum_q w |J| f(x_q) phi_i.
   void load(std::size_t t, const SpatialFn& f, std::span<double> out) const;
 
+  /// Evaluates mass, stiffness and load for tet `t` in a single quadrature
+  /// sweep (one geometry fetch, one pass over quadrature points). Entry
+  /// accumulation order matches the separate kernels, so the outputs are
+  /// bit-identical; reference mode simply calls the three kernels.
+  void mass_stiffness_load(std::size_t t, const SpatialFn& f,
+                           std::span<double> mout, std::span<double> kout,
+                           std::span<double> fout) const;
+
   /// out(i,j) = sum_q w |J| phi_i  d(phi_j)/d(x_axis) — the pressure
   /// gradient / divergence coupling blocks of mixed formulations.
   void deriv(std::size_t t, int axis, std::span<double> out) const;
@@ -83,11 +117,14 @@ class ElementKernel {
   void eval_grad_at_quad(std::size_t t, std::span<const double> dof_values,
                          std::span<mesh::Vec3> out) const;
 
-  const ShapeTable& table() const { return table_; }
+  const ShapeTable& table() const { return *table_; }
 
  private:
+  const TetGeometry& geometry(std::size_t t) const { return geo_.get(t); }
+
   const FeSpace* space_;
-  ShapeTable table_;
+  const ShapeTable* table_;  // owned by the FeSpace shape-table cache
+  GeometryCache geo_;
 };
 
 /// Coupling kernels between two spaces on the same mesh (mixed velocity /
@@ -98,8 +135,8 @@ class MixedElementKernel {
   MixedElementKernel(const FeSpace& row_space, const FeSpace& col_space,
                      int quad_degree);
 
-  int rows() const { return row_table_.dofs; }
-  int cols() const { return col_table_.dofs; }
+  int rows() const { return row_table_->dofs; }
+  int cols() const { return col_table_->dofs; }
 
   /// out(i,j) = sum_q w |J| d(phi^row_i)/d(x_axis) psi^col_j — the
   /// divergence/pressure-gradient coupling: with row = velocity and col =
@@ -110,8 +147,9 @@ class MixedElementKernel {
  private:
   const FeSpace* row_;
   const FeSpace* col_;
-  ShapeTable row_table_;
-  ShapeTable col_table_;
+  const ShapeTable* row_table_;  // owned by the row space's cache
+  const ShapeTable* col_table_;
+  GeometryCache geo_;
 };
 
 }  // namespace hetero::fem

@@ -53,6 +53,16 @@ FeSpace::FeSpace(const mesh::TetMesh& mesh, int order,
   }
 }
 
+const ShapeTable& FeSpace::shape_table(int quad_degree) const {
+  for (const auto& [degree, table] : shape_tables_) {
+    if (degree == quad_degree) return *table;
+  }
+  shape_tables_.emplace_back(
+      quad_degree, std::make_unique<ShapeTable>(
+                       build_shape_table(order_, quad_degree)));
+  return *shape_tables_.back().second;
+}
+
 void FeSpace::tet_dof_gids(std::size_t t, std::span<la::GlobalId> out) const {
   const auto dofs = tet_dofs(t);
   HETERO_REQUIRE(out.size() == dofs.size(), "tet_dof_gids: bad span size");

@@ -11,9 +11,12 @@
 /// Vector-valued fields (Navier–Stokes velocity+pressure) expand scalar ids
 /// component-wise through `block_gid`.
 
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "fem/reference.hpp"
 #include "la/index_map.hpp"
 #include "mesh/edges.hpp"
 #include "mesh/tet_mesh.hpp"
@@ -61,6 +64,12 @@ class FeSpace {
     return scalar_gid * ncomp + comp;
   }
 
+  /// Reference-element shape/quadrature table for this space's order,
+  /// tabulated once per quadrature degree and shared by every kernel built
+  /// over this space (kernels used to own private copies). The returned
+  /// reference stays valid for the life of the space.
+  const ShapeTable& shape_table(int quad_degree) const;
+
  private:
   const mesh::TetMesh* mesh_;
   int order_;
@@ -68,6 +77,10 @@ class FeSpace {
   std::vector<la::GlobalId> dof_gids_;
   std::vector<mesh::Vec3> dof_coords_;
   std::vector<int> tet_dofs_;  // dofs_per_tet() entries per tet
+  // Lazily filled (degree, table) cache; unique_ptr keeps handed-out
+  // references stable while the vector grows.
+  mutable std::vector<std::pair<int, std::unique_ptr<ShapeTable>>>
+      shape_tables_;
 };
 
 }  // namespace hetero::fem

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/kernels.hpp"
 #include "support/error.hpp"
 
 namespace hetero::la {
@@ -18,6 +19,8 @@ void DistVector::set_all(double value) {
 void DistVector::axpy(double a, const DistVector& x) {
   HETERO_REQUIRE(x.map_ == map_, "axpy: vectors use different maps");
   const std::size_t n = static_cast<std::size_t>(owned_count());
+  vec_work().add(2 * static_cast<std::int64_t>(n),
+                 24 * static_cast<std::int64_t>(n));
   for (std::size_t i = 0; i < n; ++i) {
     values_[i] += a * x.values_[i];
   }
@@ -26,6 +29,8 @@ void DistVector::axpy(double a, const DistVector& x) {
 void DistVector::axpby(double a, const DistVector& x, double b) {
   HETERO_REQUIRE(x.map_ == map_, "axpby: vectors use different maps");
   const std::size_t n = static_cast<std::size_t>(owned_count());
+  vec_work().add(3 * static_cast<std::int64_t>(n),
+                 24 * static_cast<std::int64_t>(n));
   for (std::size_t i = 0; i < n; ++i) {
     values_[i] = a * x.values_[i] + b * values_[i];
   }
@@ -33,6 +38,8 @@ void DistVector::axpby(double a, const DistVector& x, double b) {
 
 void DistVector::scale(double a) {
   const std::size_t n = static_cast<std::size_t>(owned_count());
+  vec_work().add(static_cast<std::int64_t>(n),
+                 16 * static_cast<std::int64_t>(n));
   for (std::size_t i = 0; i < n; ++i) {
     values_[i] *= a;
   }
@@ -47,6 +54,8 @@ double DistVector::dot(simmpi::Comm& comm, const DistVector& other) const {
   HETERO_REQUIRE(other.map_ == map_, "dot: vectors use different maps");
   double local = 0.0;
   const std::size_t n = static_cast<std::size_t>(owned_count());
+  vec_work().add(2 * static_cast<std::int64_t>(n),
+                 16 * static_cast<std::int64_t>(n));
   for (std::size_t i = 0; i < n; ++i) {
     local += values_[i] * other.values_[i];
   }
@@ -64,6 +73,149 @@ double DistVector::norm_inf(simmpi::Comm& comm) const {
     local = std::max(local, std::fabs(values_[i]));
   }
   return comm.allreduce(local, simmpi::ReduceOp::kMax);
+}
+
+double DistVector::axpy_norm2(simmpi::Comm& comm, double a,
+                              const DistVector& x) {
+  HETERO_REQUIRE(x.map_ == map_, "axpy_norm2: vectors use different maps");
+  if (kernel_mode() == KernelMode::kReference) {
+    axpy(a, x);
+    return norm2(comm);
+  }
+  const std::size_t n = static_cast<std::size_t>(owned_count());
+  vec_work().add(4 * static_cast<std::int64_t>(n),
+                 24 * static_cast<std::int64_t>(n));
+  double local = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = values_[i] + a * x.values_[i];
+    values_[i] = v;
+    local += v * v;
+  }
+  return std::sqrt(comm.allreduce(local, simmpi::ReduceOp::kSum));
+}
+
+double DistVector::copy_axpy_norm2(simmpi::Comm& comm, const DistVector& x,
+                                   double a, const DistVector& y) {
+  HETERO_REQUIRE(x.map_ == map_ && y.map_ == map_,
+                 "copy_axpy_norm2: vectors use different maps");
+  if (kernel_mode() == KernelMode::kReference) {
+    copy_from(x);
+    axpy(a, y);
+    return norm2(comm);
+  }
+  const std::size_t n = static_cast<std::size_t>(owned_count());
+  const std::size_t total = values_.size();
+  vec_work().add(4 * static_cast<std::int64_t>(n),
+                 8 * static_cast<std::int64_t>(total + 2 * n));
+  double local = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = x.values_[i] + a * y.values_[i];
+    values_[i] = v;
+    local += v * v;
+  }
+  for (std::size_t i = n; i < total; ++i) {
+    values_[i] = x.values_[i];
+  }
+  return std::sqrt(comm.allreduce(local, simmpi::ReduceOp::kSum));
+}
+
+std::pair<double, double> DistVector::dot_pair(simmpi::Comm& comm,
+                                               const DistVector& a,
+                                               const DistVector& b) const {
+  HETERO_REQUIRE(a.map_ == map_ && b.map_ == map_,
+                 "dot_pair: vectors use different maps");
+  if (kernel_mode() == KernelMode::kReference) {
+    return {dot(comm, a), dot(comm, b)};
+  }
+  const std::size_t n = static_cast<std::size_t>(owned_count());
+  vec_work().add(4 * static_cast<std::int64_t>(n),
+                 24 * static_cast<std::int64_t>(n));
+  double da = 0.0;
+  double db = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    da += values_[i] * a.values_[i];
+    db += values_[i] * b.values_[i];
+  }
+  const double local[2] = {da, db};
+  const auto global =
+      comm.allreduce(std::span<const double>(local), simmpi::ReduceOp::kSum);
+  return {global[0], global[1]};
+}
+
+void DistVector::update_search_direction(const DistVector& r,
+                                         const DistVector& v, double beta,
+                                         double omega) {
+  HETERO_REQUIRE(r.map_ == map_ && v.map_ == map_,
+                 "update_search_direction: vectors use different maps");
+  if (kernel_mode() == KernelMode::kReference) {
+    axpy(-omega, v);
+    axpby(1.0, r, beta);
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(owned_count());
+  vec_work().add(5 * static_cast<std::int64_t>(n),
+                 32 * static_cast<std::int64_t>(n));
+  const double nomega = -omega;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = values_[i] + nomega * v.values_[i];
+    values_[i] = 1.0 * r.values_[i] + beta * t;
+  }
+}
+
+void DistVector::add_scaled(std::span<const double> coeffs,
+                            std::span<const DistVector* const> vs) {
+  HETERO_REQUIRE(coeffs.size() == vs.size(),
+                 "add_scaled: coefficient/vector count mismatch");
+  for (const DistVector* v : vs) {
+    HETERO_REQUIRE(v != nullptr && v->map_ == map_,
+                   "add_scaled: vectors use different maps");
+  }
+  if (kernel_mode() == KernelMode::kReference) {
+    for (std::size_t j = 0; j < vs.size(); ++j) {
+      axpy(coeffs[j], *vs[j]);
+    }
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(owned_count());
+  const auto k = static_cast<std::int64_t>(vs.size());
+  vec_work().add(2 * k * static_cast<std::int64_t>(n),
+                 8 * (k + 2) * static_cast<std::int64_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = values_[i];
+    for (std::size_t j = 0; j < vs.size(); ++j) {
+      acc += coeffs[j] * vs[j]->values_[i];
+    }
+    values_[i] = acc;
+  }
+}
+
+double cg_update_norm2(simmpi::Comm& comm, DistVector& x, double alpha,
+                       const DistVector& p, DistVector& r,
+                       const DistVector& ap) {
+  if (kernel_mode() == KernelMode::kReference) {
+    x.axpy(alpha, p);
+    r.axpy(-alpha, ap);
+    return r.norm2(comm);
+  }
+  HETERO_REQUIRE(&x.map() == &r.map() && &p.map() == &r.map() &&
+                     &ap.map() == &r.map(),
+                 "cg_update_norm2: vectors use different maps");
+  const std::size_t n = static_cast<std::size_t>(r.owned_count());
+  vec_work().add(6 * static_cast<std::int64_t>(n),
+                 56 * static_cast<std::int64_t>(n));
+  const double nalpha = -alpha;
+  auto xs = x.values();
+  auto rs = r.values();
+  auto ps = p.values();
+  auto aps = ap.values();
+  double local = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] += alpha * ps[i];
+    const double rv = rs[i] + nalpha * aps[i];
+    rs[i] = rv;
+    local += rv * rv;
+  }
+  return std::sqrt(comm.allreduce(local, simmpi::ReduceOp::kSum));
 }
 
 }  // namespace hetero::la

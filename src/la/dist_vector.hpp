@@ -5,8 +5,17 @@
 /// ghost entries are a cache refreshed by HaloExchange::import_ghosts.
 /// Reductions (dot, norms) run over owned entries plus one allreduce — the
 /// latency-bound operation that dominates Krylov solvers at scale.
+///
+/// The fused operations (axpy_norm2, dot_pair, update_search_direction,
+/// add_scaled, cg_update_norm2) collapse the separate update/reduce loops a
+/// Krylov iteration performs into single passes. Every fused loop evaluates
+/// the per-entry arithmetic in exactly the order the unfused calls would
+/// (no reassociation), so results are bit-identical to the reference
+/// sequence; under la::KernelMode::kReference they run the original unfused
+/// calls instead, and dot_pair issues two allreduces rather than one.
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "la/halo.hpp"
@@ -53,6 +62,33 @@ class DistVector {
   /// Global infinity norm; collective.
   double norm_inf(simmpi::Comm& comm) const;
 
+  // ---- fused kernels (collective ones say so) -----------------------------
+
+  /// this += a*x (owned), then returns ||this||_2. One pass + one
+  /// allreduce; collective.
+  double axpy_norm2(simmpi::Comm& comm, double a, const DistVector& x);
+
+  /// this = x (all local entries), this += a*y (owned), returns ||this||_2.
+  /// Fuses the copy_from/axpy/norm2 triple BiCGStab performs; collective.
+  double copy_axpy_norm2(simmpi::Comm& comm, const DistVector& x, double a,
+                         const DistVector& y);
+
+  /// (this . a, this . b) — fast mode pays one 2-element allreduce instead
+  /// of two scalar ones; collective.
+  std::pair<double, double> dot_pair(simmpi::Comm& comm, const DistVector& a,
+                                     const DistVector& b) const;
+
+  /// BiCGStab search-direction refresh: this = r + beta*(this - omega*v),
+  /// evaluated entrywise as the axpy(-omega, v); axpby(1, r, beta) pair.
+  void update_search_direction(const DistVector& r, const DistVector& v,
+                               double beta, double omega);
+
+  /// this += sum_i coeffs[i] * (*vs[i]) over owned entries, applied
+  /// left-to-right like the equivalent axpy sequence (GMRES solution
+  /// update).
+  void add_scaled(std::span<const double> coeffs,
+                  std::span<const DistVector* const> vs);
+
   /// Refreshes ghost entries from owners.
   void update_ghosts(simmpi::Comm& comm, const HaloExchange& halo) {
     halo.import_ghosts(comm, values_);
@@ -62,5 +98,12 @@ class DistVector {
   const IndexMap* map_;
   std::vector<double> values_;
 };
+
+/// The CG inner update, fused: x += alpha*p; r -= alpha*ap; returns
+/// ||r||_2. One pass over both vectors plus the norm's allreduce;
+/// collective.
+double cg_update_norm2(simmpi::Comm& comm, DistVector& x, double alpha,
+                       const DistVector& p, DistVector& r,
+                       const DistVector& ap);
 
 }  // namespace hetero::la

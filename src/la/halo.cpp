@@ -57,6 +57,14 @@ HaloExchange::HaloExchange(simmpi::Comm& comm, const IndexMap& map)
       peers_.push_back(std::move(peer));
     }
   }
+  // One allocation for the life of the plan: the pack/unpack scratch holds
+  // the largest single peer message in either direction.
+  std::size_t max_msg = 0;
+  for (const auto& peer : peers_) {
+    max_msg = std::max(max_msg,
+                       std::max(peer.send_lids.size(), peer.recv_lids.size()));
+  }
+  scratch_.reserve(max_msg);
   (void)kTagRequest;
 }
 
@@ -71,25 +79,28 @@ void HaloExchange::import_ghosts(simmpi::Comm& comm,
   metrics.exchanges.increment();
   metrics.bytes.add(moved);
   // Buffered sends first, then receives: deadlock-free with eager sends.
-  std::vector<double> buffer;
+  // The persistent scratch packs and unpacks every message (capacity was
+  // fixed at build time, so resize never allocates).
   for (const auto& peer : peers_) {
     if (peer.send_lids.empty()) {
       continue;
     }
-    buffer.resize(peer.send_lids.size());
+    scratch_.resize(peer.send_lids.size());
     for (std::size_t i = 0; i < peer.send_lids.size(); ++i) {
-      buffer[i] = values[static_cast<std::size_t>(peer.send_lids[i])];
+      scratch_[i] = values[static_cast<std::size_t>(peer.send_lids[i])];
     }
-    comm.send(std::span<const double>(buffer), peer.rank, kTagImport);
+    comm.send(std::span<const double>(scratch_), peer.rank, kTagImport);
   }
   for (const auto& peer : peers_) {
     if (peer.recv_lids.empty()) {
       continue;
     }
-    const auto got = comm.recv<double>(peer.rank, kTagImport);
-    HETERO_CHECK(got.size() == peer.recv_lids.size());
-    for (std::size_t i = 0; i < got.size(); ++i) {
-      values[static_cast<std::size_t>(peer.recv_lids[i])] = got[i];
+    scratch_.resize(peer.recv_lids.size());
+    const std::size_t got =
+        comm.recv_into(std::span<double>(scratch_), peer.rank, kTagImport);
+    HETERO_CHECK(got == peer.recv_lids.size());
+    for (std::size_t i = 0; i < got; ++i) {
+      values[static_cast<std::size_t>(peer.recv_lids[i])] = scratch_[i];
     }
   }
 }
@@ -108,26 +119,27 @@ void HaloExchange::export_add(simmpi::Comm& comm,
   auto& metrics = halo_metrics();
   metrics.exchanges.increment();
   metrics.bytes.add(moved);
-  std::vector<double> buffer;
   for (const auto& peer : peers_) {
     if (peer.recv_lids.empty()) {
       continue;
     }
-    buffer.resize(peer.recv_lids.size());
+    scratch_.resize(peer.recv_lids.size());
     for (std::size_t i = 0; i < peer.recv_lids.size(); ++i) {
-      buffer[i] = values[static_cast<std::size_t>(peer.recv_lids[i])];
+      scratch_[i] = values[static_cast<std::size_t>(peer.recv_lids[i])];
       values[static_cast<std::size_t>(peer.recv_lids[i])] = 0.0;
     }
-    comm.send(std::span<const double>(buffer), peer.rank, kTagExport);
+    comm.send(std::span<const double>(scratch_), peer.rank, kTagExport);
   }
   for (const auto& peer : peers_) {
     if (peer.send_lids.empty()) {
       continue;
     }
-    const auto got = comm.recv<double>(peer.rank, kTagExport);
-    HETERO_CHECK(got.size() == peer.send_lids.size());
-    for (std::size_t i = 0; i < got.size(); ++i) {
-      values[static_cast<std::size_t>(peer.send_lids[i])] += got[i];
+    scratch_.resize(peer.send_lids.size());
+    const std::size_t got =
+        comm.recv_into(std::span<double>(scratch_), peer.rank, kTagExport);
+    HETERO_CHECK(got == peer.send_lids.size());
+    for (std::size_t i = 0; i < got; ++i) {
+      values[static_cast<std::size_t>(peer.send_lids[i])] += scratch_[i];
     }
   }
 }

@@ -36,6 +36,11 @@ class HaloExchange {
   /// Total doubles imported per exchange (ghost count).
   std::size_t import_size() const;
 
+  /// Capacity of the persistent pack/unpack scratch, in doubles (the
+  /// largest single peer message either direction). Exposed so tests can
+  /// assert the plan allocates once at build time and reuses thereafter.
+  std::size_t scratch_capacity() const { return scratch_.capacity(); }
+
  private:
   struct Peer {
     int rank = 0;
@@ -48,6 +53,10 @@ class HaloExchange {
 
   const IndexMap* map_;
   std::vector<Peer> peers_;
+  /// Persistent pack/unpack buffer, sized at build time to the largest peer
+  /// message so exchanges never allocate. A plan belongs to one rank, and
+  /// exchanges on it are not reentrant — mutable scratch is safe.
+  mutable std::vector<double> scratch_;
 };
 
 }  // namespace hetero::la

@@ -1,0 +1,49 @@
+#include "la/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace hetero::la {
+
+namespace {
+
+KernelMode initial_mode() {
+  const char* env = std::getenv("HETERO_KERNELS");
+  if (env != nullptr && std::string_view(env) == "reference") {
+    return KernelMode::kReference;
+  }
+  return KernelMode::kFast;
+}
+
+std::atomic<KernelMode>& mode_slot() {
+  static std::atomic<KernelMode> mode{initial_mode()};
+  return mode;
+}
+
+}  // namespace
+
+KernelMode kernel_mode() {
+  return mode_slot().load(std::memory_order_relaxed);
+}
+
+void set_kernel_mode(KernelMode mode) {
+  mode_slot().store(mode, std::memory_order_relaxed);
+}
+
+KernelWork::KernelWork(const char* name)
+    : flops_(obs::metrics().counter(std::string(name) + ".flops")),
+      bytes_(obs::metrics().counter(std::string(name) + ".bytes")) {}
+
+KernelWork& spmv_work() {
+  static KernelWork work("la.kernel.spmv");
+  return work;
+}
+
+KernelWork& vec_work() {
+  static KernelWork work("la.kernel.vec");
+  return work;
+}
+
+}  // namespace hetero::la

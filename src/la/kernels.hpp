@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file kernels.hpp
+/// Hot-path kernel dispatch and FLOP/byte accounting.
+///
+/// Every optimized numeric kernel in the direct-mode engine (SpMV, fused
+/// vector updates, batched assembly scatter) dispatches on a process-wide
+/// KernelMode:
+///
+///   * kReference — the original straight-line implementations, kept as the
+///     executable specification of the numerics;
+///   * kFast      — blocked / fused / allocation-free variants that produce
+///     bit-identical values (every per-output accumulation chain evaluates
+///     in the same order; no reassociation, no FMA contraction relied upon).
+///
+/// The default is kFast; set HETERO_KERNELS=reference in the environment (or
+/// call set_kernel_mode) to pin the reference path. Having both in one
+/// binary is what lets the differential tests and bench_kernels prove the
+/// overhaul changes time but not math.
+///
+/// FLOP/byte counters feed the obs metrics registry (`la.kernel.*`,
+/// `fem.kernel.*`) so benches can report arithmetic intensity next to wall
+/// time; see docs/kernels.md for how the counts are modeled.
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace hetero::la {
+
+enum class KernelMode { kReference, kFast };
+
+/// Current process-wide kernel mode. First use reads HETERO_KERNELS
+/// ("reference" selects kReference; anything else, or unset, kFast).
+KernelMode kernel_mode();
+
+/// Overrides the mode for the whole process (tests and benches only; not a
+/// per-rank setting). Safe to call between runs, not mid-solve.
+void set_kernel_mode(KernelMode mode);
+
+/// Modeled work of one kernel family, accumulated into obs counters. The
+/// handles are resolved once (registry lookup takes a mutex) — callers add
+/// per kernel invocation, never per element.
+class KernelWork {
+ public:
+  /// `name` is the counter stem ("la.kernel.spmv", "fem.kernel.assembly",
+  /// ...); counters are named <name>.flops / <name>.bytes.
+  explicit KernelWork(const char* name);
+
+  void add(std::int64_t flops, std::int64_t bytes) {
+    flops_.add(static_cast<double>(flops));
+    bytes_.add(static_cast<double>(bytes));
+  }
+  double flops() const { return flops_.value(); }
+  double bytes() const { return bytes_.value(); }
+
+ private:
+  obs::Counter& flops_;
+  obs::Counter& bytes_;
+};
+
+/// Shared counter instances for the la-level kernel families.
+KernelWork& spmv_work();
+KernelWork& vec_work();
+
+}  // namespace hetero::la

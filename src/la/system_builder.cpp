@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "la/kernels.hpp"
 #include "support/error.hpp"
 
 namespace hetero::la {
@@ -23,14 +24,71 @@ DistSystemBuilder::DistSystemBuilder(simmpi::Comm& comm,
 void DistSystemBuilder::begin_assembly() {
   mat_pending_.clear();
   rhs_pending_.clear();
+  if (frozen_ && kernel_mode() == KernelMode::kFast) {
+    begin_fast_round();
+  } else {
+    fast_round_ = false;
+  }
 }
 
 void DistSystemBuilder::add_matrix(GlobalId row, GlobalId col, double value) {
+  if (fast_round_) {
+    const std::size_t i = mat_fast_pos_++;
+    HETERO_REQUIRE(i < mat_sequence_.size(),
+                   "refill produced a different number of matrix entries");
+    HETERO_REQUIRE(mat_sequence_[i].row == row && mat_sequence_[i].col == col,
+                   "refill changed the matrix sparsity sequence");
+    const std::int64_t slot = mat_fast_slot_[i];
+    if (slot >= 0) {
+      fast_values_[slot] += value;
+    } else {
+      mat_route_vals_[static_cast<std::size_t>(mat_fast_rank_[i])]
+                     [static_cast<std::size_t>(mat_fast_off_[i])] = value;
+    }
+    return;
+  }
   mat_pending_.push_back({row, col, value});
 }
 
 void DistSystemBuilder::add_rhs(GlobalId row, double value) {
+  if (fast_round_) {
+    const std::size_t i = rhs_fast_pos_++;
+    HETERO_REQUIRE(i < rhs_sequence_.size(),
+                   "refill produced a different number of rhs entries");
+    HETERO_REQUIRE(rhs_sequence_[i].row == row,
+                   "refill changed the rhs sequence");
+    const std::int32_t lid = rhs_fast_lid_[i];
+    if (lid >= 0) {
+      (*rhs_)[lid] += value;
+    } else {
+      rhs_route_vals_[static_cast<std::size_t>(rhs_fast_rank_[i])]
+                     [static_cast<std::size_t>(rhs_fast_off_[i])] = value;
+    }
+    return;
+  }
   rhs_pending_.push_back({row, value});
+}
+
+void DistSystemBuilder::add_dense_block(std::span<const GlobalId> rows,
+                                        std::span<const GlobalId> cols,
+                                        std::span<const double> block) {
+  HETERO_REQUIRE(block.size() == rows.size() * cols.size(),
+                 "add_dense_block: block shape mismatch");
+  std::size_t k = 0;
+  for (const GlobalId row : rows) {
+    for (const GlobalId col : cols) {
+      add_matrix(row, col, block[k++]);
+    }
+  }
+}
+
+void DistSystemBuilder::add_rhs_block(std::span<const GlobalId> rows,
+                                      std::span<const double> values) {
+  HETERO_REQUIRE(values.size() == rows.size(),
+                 "add_rhs_block: size mismatch");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    add_rhs(rows[i], values[i]);
+  }
 }
 
 int DistSystemBuilder::owner_of_row(GlobalId row) const {
@@ -43,9 +101,94 @@ int DistSystemBuilder::owner_of_row(GlobalId row) const {
 void DistSystemBuilder::finalize(simmpi::Comm& comm) {
   if (!frozen_) {
     first_finalize(comm);
+  } else if (fast_round_) {
+    fast_replay_finalize(comm);
   } else {
     replay_finalize(comm);
   }
+}
+
+void DistSystemBuilder::build_fast_plan() {
+  const std::size_t p = mat_route_.size();
+
+  mat_kept_count_ = static_cast<std::int64_t>(mat_kept_.size());
+  mat_fast_slot_.assign(mat_sequence_.size(), -1);
+  mat_fast_rank_.assign(mat_sequence_.size(), -1);
+  mat_fast_off_.assign(mat_sequence_.size(), -1);
+  for (std::size_t j = 0; j < mat_kept_.size(); ++j) {
+    mat_fast_slot_[mat_kept_[j]] = mat_slots_[j];
+  }
+  mat_route_vals_.assign(p, {});
+  for (std::size_t r = 0; r < p; ++r) {
+    mat_route_vals_[r].resize(mat_route_[r].size());
+    for (std::size_t off = 0; off < mat_route_[r].size(); ++off) {
+      mat_fast_rank_[mat_route_[r][off]] = static_cast<std::int32_t>(r);
+      mat_fast_off_[mat_route_[r][off]] = static_cast<std::int32_t>(off);
+    }
+  }
+
+  rhs_kept_count_ = rhs_kept_.size();
+  rhs_fast_lid_.assign(rhs_sequence_.size(), -1);
+  rhs_fast_rank_.assign(rhs_sequence_.size(), -1);
+  rhs_fast_off_.assign(rhs_sequence_.size(), -1);
+  for (std::size_t j = 0; j < rhs_kept_.size(); ++j) {
+    rhs_fast_lid_[rhs_kept_[j]] = rhs_slots_[j];
+  }
+  rhs_route_vals_.assign(p, {});
+  for (std::size_t r = 0; r < p; ++r) {
+    rhs_route_vals_[r].resize(rhs_route_[r].size());
+    for (std::size_t off = 0; off < rhs_route_[r].size(); ++off) {
+      rhs_fast_rank_[rhs_route_[r][off]] = static_cast<std::int32_t>(r);
+      rhs_fast_off_[rhs_route_[r][off]] = static_cast<std::int32_t>(off);
+    }
+  }
+  fast_plan_built_ = true;
+}
+
+void DistSystemBuilder::begin_fast_round() {
+  if (!fast_plan_built_) {
+    build_fast_plan();
+  }
+  mat_fast_pos_ = 0;
+  rhs_fast_pos_ = 0;
+  // Zero up front (the reference replay zeroes at finalize); kept entries
+  // then accumulate in add order, exactly the prefix of the reference
+  // accumulation sequence.
+  auto values = matrix_->local_mut().values_mut();
+  std::fill(values.begin(), values.end(), 0.0);
+  fast_values_ = values.data();
+  rhs_->set_all(0.0);
+  fast_round_ = true;
+}
+
+void DistSystemBuilder::fast_replay_finalize(simmpi::Comm& comm) {
+  HETERO_REQUIRE(mat_fast_pos_ == mat_sequence_.size(),
+                 "refill produced a different number of matrix entries");
+  HETERO_REQUIRE(rhs_fast_pos_ == rhs_sequence_.size(),
+                 "refill produced a different number of rhs entries");
+  // Kept values are already in place; ship the routed blocks and accumulate
+  // them after, per source rank — the reference replay's order.
+  const auto mat_in = comm.alltoallv(mat_route_vals_);
+  const auto rhs_in = comm.alltoallv(rhs_route_vals_);
+
+  auto values = matrix_->local_mut().values_mut();
+  std::size_t k = static_cast<std::size_t>(mat_kept_count_);
+  for (const auto& block : mat_in) {
+    for (double v : block) {
+      values[static_cast<std::size_t>(mat_slots_[k++])] += v;
+    }
+  }
+  HETERO_CHECK(k == mat_slots_.size());
+
+  k = rhs_kept_count_;
+  for (const auto& block : rhs_in) {
+    for (double v : block) {
+      (*rhs_)[rhs_slots_[k++]] += v;
+    }
+  }
+  HETERO_CHECK(k == rhs_slots_.size());
+  fast_round_ = false;
+  fast_values_ = nullptr;
 }
 
 void DistSystemBuilder::first_finalize(simmpi::Comm& comm) {

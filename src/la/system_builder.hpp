@@ -14,9 +14,21 @@
 /// plan, CSR pattern, communication routing) and later assemble→finalize
 /// rounds replay it shipping *values only* — the same optimization real FEM
 /// codes use.
+///
+/// Under la::KernelMode::kFast frozen rounds go further: begin_assembly()
+/// zeroes the CSR values and rhs up front and every add_* call scatters its
+/// value straight to its precomputed destination (CSR slot for locally kept
+/// entries, routing buffer otherwise) while checking the frozen sequence,
+/// so a refill performs no triplet buffering and no second pass. The
+/// accumulation order per slot is unchanged from the reference replay
+/// (kept contributions in add order first, then per-source-rank blocks), so
+/// refilled values are bit-identical. Sequence violations throw at the
+/// offending add_* call instead of at finalize().
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "la/dist_matrix.hpp"
@@ -41,6 +53,18 @@ class DistSystemBuilder {
   /// Adds b(row) += value. Rows may repeat freely within a round, but the
   /// sequence must repeat across rounds once frozen.
   void add_rhs(GlobalId row, double value);
+
+  /// Adds a dense element block: A(rows[i], cols[j]) += block[i*cols.size()
+  /// + j] in row-major order — the exact add_matrix sequence a nested i/j
+  /// loop would produce, so element kernels can hand their matrices over
+  /// whole.
+  void add_dense_block(std::span<const GlobalId> rows,
+                       std::span<const GlobalId> cols,
+                       std::span<const double> block);
+
+  /// Adds b(rows[i]) += values[i] for each i, in order.
+  void add_rhs_block(std::span<const GlobalId> rows,
+                     std::span<const double> values);
 
   /// Collective: ships contributions, builds (first time) or refills the
   /// distributed system.
@@ -67,6 +91,9 @@ class DistSystemBuilder {
 
   void first_finalize(simmpi::Comm& comm);
   void replay_finalize(simmpi::Comm& comm);
+  void fast_replay_finalize(simmpi::Comm& comm);
+  void build_fast_plan();
+  void begin_fast_round();
   int owner_of_row(GlobalId row) const;
 
   std::vector<GlobalId> touched_;
@@ -94,6 +121,25 @@ class DistSystemBuilder {
   std::vector<std::size_t> rhs_kept_;
   std::vector<int> rhs_slots_;                 // owned lid per combined pair
   std::vector<GlobalPair> rhs_sequence_;
+
+  // Fast-replay scatter plan (derived from the frozen routing on the first
+  // kFast round). Per sequence index: either the CSR slot (kept entries) or
+  // the (rank, position) in the persistent routing buffers.
+  bool fast_plan_built_ = false;
+  bool fast_round_ = false;          // current round scatters at add time
+  double* fast_values_ = nullptr;    // CSR values of the current fast round
+  std::size_t mat_fast_pos_ = 0;     // sequence cursor of the current round
+  std::size_t rhs_fast_pos_ = 0;
+  std::int64_t mat_kept_count_ = 0;  // prefix of mat_slots_ that is local
+  std::size_t rhs_kept_count_ = 0;
+  std::vector<std::int64_t> mat_fast_slot_;   // CSR slot, or -1 when routed
+  std::vector<std::int32_t> mat_fast_rank_;
+  std::vector<std::int32_t> mat_fast_off_;    // position within rank block
+  std::vector<std::int32_t> rhs_fast_lid_;    // owned lid, or -1 when routed
+  std::vector<std::int32_t> rhs_fast_rank_;
+  std::vector<std::int32_t> rhs_fast_off_;
+  std::vector<std::vector<double>> mat_route_vals_;  // persistent send blocks
+  std::vector<std::vector<double>> rhs_route_vals_;
 };
 
 }  // namespace hetero::la

@@ -119,6 +119,25 @@ class Comm {
     return out;
   }
 
+  /// Blocking receive into caller-provided storage: avoids the per-message
+  /// typed-vector allocation of recv() for hot exchange loops that keep a
+  /// persistent buffer. Returns the element count received; `out` must be
+  /// at least that large.
+  template <class T>
+  std::size_t recv_into(std::span<T> out, int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> raw = recv_bytes(source, tag);
+    HETERO_REQUIRE(raw.size() % sizeof(T) == 0,
+                   "recv_into: payload size is not a multiple of element "
+                   "size");
+    const std::size_t n = raw.size() / sizeof(T);
+    HETERO_REQUIRE(n <= out.size(), "recv_into: buffer too small");
+    if (n != 0) {
+      std::memcpy(out.data(), raw.data(), raw.size());
+    }
+    return n;
+  }
+
   /// Nonblocking receive: returns a request to wait on later. Matching
   /// follows the same (source, tag) non-overtaking order as recv().
   template <class T>

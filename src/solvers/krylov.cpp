@@ -35,16 +35,36 @@ void finish_solve(Span& span, const SolveReport& report) {
 }
 }  // namespace
 
+la::DistVector& KrylovWorkspace::acquire(std::size_t slot) {
+  if (slot >= vecs_.size()) {
+    vecs_.resize(slot + 1);
+  }
+  if (!vecs_[slot]) {
+    vecs_[slot] = std::make_unique<la::DistVector>(*map_);
+  } else {
+    vecs_[slot]->set_all(0.0);
+  }
+  return *vecs_[slot];
+}
+
 SolveReport cg_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
                      const Preconditioner& m, const la::DistVector& b,
                      la::DistVector& x, const SolverConfig& config) {
+  KrylovWorkspace ws(a.map());
+  return cg_solve(comm, a, m, b, x, config, ws);
+}
+
+SolveReport cg_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
+                     const Preconditioner& m, const la::DistVector& b,
+                     la::DistVector& x, const SolverConfig& config,
+                     KrylovWorkspace& ws) {
   SolveReport report;
   report.solver = "cg";
   obs::ScopedSpan span(comm, "cg_solve", "solver");
-  la::DistVector r(a.map());
-  la::DistVector z(a.map());
-  la::DistVector p(a.map());
-  la::DistVector ap(a.map());
+  la::DistVector& r = ws.acquire(0);
+  la::DistVector& z = ws.acquire(1);
+  la::DistVector& p = ws.acquire(2);
+  la::DistVector& ap = ws.acquire(3);
 
   // r = b - A x
   a.multiply(comm, x, r);
@@ -62,9 +82,8 @@ SolveReport cg_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
     const double pap = p.dot(comm, ap);
     HETERO_REQUIRE(pap != 0.0, "CG breakdown: p'Ap == 0");
     const double alpha = rz / pap;
-    x.axpy(alpha, p);
-    r.axpy(-alpha, ap);
-    rnorm = r.norm2(comm);
+    // x += alpha p; r -= alpha ap; rnorm = |r| in one fused sweep.
+    rnorm = la::cg_update_norm2(comm, x, alpha, p, r, ap);
     ++report.iterations;
     obs::trace_instant("iteration", "solver", comm.now(), "residual", rnorm);
     if (config.record_history) {
@@ -88,17 +107,25 @@ SolveReport cg_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
 SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
                            const Preconditioner& m, const la::DistVector& b,
                            la::DistVector& x, const SolverConfig& config) {
+  KrylovWorkspace ws(a.map());
+  return bicgstab_solve(comm, a, m, b, x, config, ws);
+}
+
+SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
+                           const Preconditioner& m, const la::DistVector& b,
+                           la::DistVector& x, const SolverConfig& config,
+                           KrylovWorkspace& ws) {
   SolveReport report;
   report.solver = "bicgstab";
   obs::ScopedSpan span(comm, "bicgstab_solve", "solver");
-  la::DistVector r(a.map());
-  la::DistVector r0(a.map());
-  la::DistVector p(a.map());
-  la::DistVector v(a.map());
-  la::DistVector s(a.map());
-  la::DistVector t(a.map());
-  la::DistVector phat(a.map());
-  la::DistVector shat(a.map());
+  la::DistVector& r = ws.acquire(0);
+  la::DistVector& r0 = ws.acquire(1);
+  la::DistVector& p = ws.acquire(2);
+  la::DistVector& v = ws.acquire(3);
+  la::DistVector& s = ws.acquire(4);
+  la::DistVector& t = ws.acquire(5);
+  la::DistVector& phat = ws.acquire(6);
+  la::DistVector& shat = ws.acquire(7);
 
   a.multiply(comm, x, r);
   r.axpby(1.0, b, -1.0);
@@ -120,9 +147,8 @@ SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
       p.copy_from(r);
     } else {
       const double beta = (rho / rho_prev) * (alpha / omega);
-      // p = r + beta (p - omega v)
-      p.axpy(-omega, v);
-      p.axpby(1.0, r, beta);
+      // p = r + beta (p - omega v), fused.
+      p.update_search_direction(r, v, beta, omega);
     }
     m.apply(p, phat);
     a.multiply(comm, phat, v);
@@ -131,9 +157,8 @@ SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
       break;
     }
     alpha = rho / r0v;
-    s.copy_from(r);
-    s.axpy(-alpha, v);
-    const double snorm = s.norm2(comm);
+    // s = r - alpha v with the norm folded into the same sweep.
+    const double snorm = s.copy_axpy_norm2(comm, r, -alpha, v);
     if (snorm <= eps) {
       x.axpy(alpha, phat);
       rnorm = snorm;
@@ -147,17 +172,18 @@ SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
     }
     m.apply(s, shat);
     a.multiply(comm, shat, t);
-    const double tt = t.dot(comm, t);
+    // (t.t, t.s) in one reduction.
+    const auto [tt, ts] = t.dot_pair(comm, t, s);
     if (tt == 0.0) {
       break;
     }
-    omega = t.dot(comm, s) / tt;
-    x.axpy(alpha, phat);
-    x.axpy(omega, shat);
-    r.copy_from(s);
-    r.axpy(-omega, t);
+    omega = ts / tt;
+    // x += alpha phat + omega shat (entry order matches the two axpys).
+    const double coeffs[2] = {alpha, omega};
+    const la::DistVector* dirs[2] = {&phat, &shat};
+    x.add_scaled(coeffs, dirs);
+    rnorm = r.copy_axpy_norm2(comm, s, -omega, t);
     rho_prev = rho;
-    rnorm = r.norm2(comm);
     ++report.iterations;
     obs::trace_instant("iteration", "solver", comm.now(), "residual", rnorm);
     if (config.record_history) {
@@ -176,15 +202,23 @@ SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
 SolveReport gmres_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
                         const Preconditioner& m, const la::DistVector& b,
                         la::DistVector& x, const SolverConfig& config) {
+  KrylovWorkspace ws(a.map());
+  return gmres_solve(comm, a, m, b, x, config, ws);
+}
+
+SolveReport gmres_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
+                        const Preconditioner& m, const la::DistVector& b,
+                        la::DistVector& x, const SolverConfig& config,
+                        KrylovWorkspace& ws) {
   SolveReport report;
   report.solver = "gmres";
   obs::ScopedSpan span(comm, "gmres_solve", "solver");
   const int restart = config.restart;
   HETERO_REQUIRE(restart >= 1, "GMRES restart must be >= 1");
 
-  la::DistVector r(a.map());
-  la::DistVector w(a.map());
-  la::DistVector z(a.map());
+  la::DistVector& r = ws.acquire(0);
+  la::DistVector& w = ws.acquire(1);
+  la::DistVector& z = ws.acquire(2);
 
   // Left preconditioning: iterate on M^{-1} A x = M^{-1} b; residual norms
   // below are preconditioned norms, which is also what Trilinos AztecOO
@@ -196,7 +230,9 @@ SolveReport gmres_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
   const double eps = threshold(report.initial_residual, config);
   double beta = report.initial_residual;
 
-  std::vector<la::DistVector> basis;  // Krylov basis V
+  // Krylov basis V: workspace slots 3.., grown per inner step and reused
+  // across restarts and solves.
+  std::vector<la::DistVector*> basis;
   std::vector<std::vector<double>> h(
       static_cast<std::size_t>(restart) + 1,
       std::vector<double>(static_cast<std::size_t>(restart), 0.0));
@@ -214,30 +250,30 @@ SolveReport gmres_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
       break;
     }
     basis.clear();
-    basis.emplace_back(a.map());
-    basis.back().copy_from(z);
-    basis.back().scale(1.0 / beta);
+    basis.push_back(&ws.acquire(3));
+    basis.back()->copy_from(z);
+    basis.back()->scale(1.0 / beta);
     std::fill(g.begin(), g.end(), 0.0);
     g[0] = beta;
 
     int k = 0;
     for (; k < restart && report.iterations < config.max_iterations; ++k) {
       // w = M^{-1} A v_k
-      a.multiply(comm, basis[static_cast<std::size_t>(k)], w);
+      a.multiply(comm, *basis[static_cast<std::size_t>(k)], w);
       m.apply(w, z);
       // Modified Gram-Schmidt.
       for (int i = 0; i <= k; ++i) {
-        const double hik = z.dot(comm, basis[static_cast<std::size_t>(i)]);
+        const double hik = z.dot(comm, *basis[static_cast<std::size_t>(i)]);
         h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = hik;
-        z.axpy(-hik, basis[static_cast<std::size_t>(i)]);
+        z.axpy(-hik, *basis[static_cast<std::size_t>(i)]);
       }
       const double hkk = z.norm2(comm);
       h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = hkk;
       ++report.iterations;
       if (hkk != 0.0) {
-        basis.emplace_back(a.map());
-        basis.back().copy_from(z);
-        basis.back().scale(1.0 / hkk);
+        basis.push_back(&ws.acquire(4 + static_cast<std::size_t>(k)));
+        basis.back()->copy_from(z);
+        basis.back()->scale(1.0 / hkk);
       }
       // Apply accumulated Givens rotations to the new column.
       for (int i = 0; i < k; ++i) {
@@ -282,10 +318,12 @@ SolveReport gmres_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
       y[static_cast<std::size_t>(i)] =
           acc / h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
     }
-    for (int i = 0; i < k; ++i) {
-      x.axpy(y[static_cast<std::size_t>(i)],
-             basis[static_cast<std::size_t>(i)]);
-    }
+    // x += sum_i y_i v_i; the fused multi-vector update keeps the same
+    // per-entry accumulation order as the axpy sequence.
+    x.add_scaled(
+        std::span<const double>(y.data(), static_cast<std::size_t>(k)),
+        std::span<const la::DistVector* const>(basis.data(),
+                                               static_cast<std::size_t>(k)));
   }
   report.final_residual = beta;
   report.converged = beta <= eps;

@@ -6,13 +6,41 @@
 /// systems). All global reductions go through the simulated communicator,
 /// so every dot product costs an allreduce on the rank clocks, exactly the
 /// latency sensitivity the paper observes at high process counts.
+///
+/// The iteration bodies use the fused DistVector kernels (see
+/// la/dist_vector.hpp), and time-stepping callers can pass a
+/// KrylovWorkspace to make repeat solves allocation-free; numerical
+/// behavior is identical either way (docs/kernels.md has the argument).
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "la/dist_matrix.hpp"
 #include "solvers/preconditioner.hpp"
 
 namespace hetero::solvers {
+
+/// Reusable solver vector storage bound to one IndexMap. Vectors are
+/// created on first use and keep their allocation across solves; acquire()
+/// re-zeroes them, so a solver sees exactly the state a freshly
+/// constructed DistVector would give.
+class KrylovWorkspace {
+ public:
+  explicit KrylovWorkspace(const la::IndexMap& map) : map_(&map) {}
+
+  /// Zeroed vector for `slot` (grown on demand).
+  la::DistVector& acquire(std::size_t slot);
+
+  const la::IndexMap& map() const { return *map_; }
+
+  /// Number of vectors materialized so far (tests/bench introspection).
+  std::size_t vector_count() const { return vecs_.size(); }
+
+ private:
+  const la::IndexMap* map_;
+  std::vector<std::unique_ptr<la::DistVector>> vecs_;
+};
 
 struct SolverConfig {
   double rel_tolerance = 1e-8;
@@ -37,15 +65,27 @@ struct SolveReport {
 SolveReport cg_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
                      const Preconditioner& m, const la::DistVector& b,
                      la::DistVector& x, const SolverConfig& config);
+SolveReport cg_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
+                     const Preconditioner& m, const la::DistVector& b,
+                     la::DistVector& x, const SolverConfig& config,
+                     KrylovWorkspace& ws);
 
 /// Preconditioned BiCGStab.
 SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
                            const Preconditioner& m, const la::DistVector& b,
                            la::DistVector& x, const SolverConfig& config);
+SolveReport bicgstab_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
+                           const Preconditioner& m, const la::DistVector& b,
+                           la::DistVector& x, const SolverConfig& config,
+                           KrylovWorkspace& ws);
 
 /// Restarted GMRES with left preconditioning.
 SolveReport gmres_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
                         const Preconditioner& m, const la::DistVector& b,
                         la::DistVector& x, const SolverConfig& config);
+SolveReport gmres_solve(simmpi::Comm& comm, const la::DistCsrMatrix& a,
+                        const Preconditioner& m, const la::DistVector& b,
+                        la::DistVector& x, const SolverConfig& config,
+                        KrylovWorkspace& ws);
 
 }  // namespace hetero::solvers

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/kernels.hpp"
 #include "support/error.hpp"
 
 namespace hetero::solvers {
@@ -43,14 +44,30 @@ SsorPreconditioner::SsorPreconditioner(double omega) : omega_(omega) {
 
 void SsorPreconditioner::build(const la::DistCsrMatrix& matrix) {
   const la::CsrMatrix& a = matrix.local();
+  const auto av = a.values();
+  // Same pattern object as last time -> values-only refresh (fast mode).
+  if (la::kernel_mode() == la::KernelMode::kFast &&
+      src_pattern_ == a.row_ptr().data() && a.rows() == n_) {
+    for (std::size_t j = 0; j < src_slot_.size(); ++j) {
+      values_[j] = av[static_cast<std::size_t>(src_slot_[j])];
+    }
+    for (int i = 0; i < n_; ++i) {
+      diag_[static_cast<std::size_t>(i)] =
+          av[static_cast<std::size_t>(diag_src_slot_[static_cast<std::size_t>(i)])];
+      HETERO_REQUIRE(diag_[static_cast<std::size_t>(i)] != 0.0,
+                     "SSOR hit a zero diagonal");
+    }
+    return;
+  }
   n_ = a.rows();
   row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
   col_idx_.clear();
   values_.clear();
+  src_slot_.clear();
+  diag_src_slot_.assign(static_cast<std::size_t>(n_), -1);
   diag_.assign(static_cast<std::size_t>(n_), 0.0);
   const auto arp = a.row_ptr();
   const auto aci = a.col_idx();
-  const auto av = a.values();
   for (int i = 0; i < n_; ++i) {
     for (auto k = arp[static_cast<std::size_t>(i)];
          k < arp[static_cast<std::size_t>(i) + 1]; ++k) {
@@ -58,8 +75,10 @@ void SsorPreconditioner::build(const la::DistCsrMatrix& matrix) {
       if (c < n_) {
         col_idx_.push_back(c);
         values_.push_back(av[static_cast<std::size_t>(k)]);
+        src_slot_.push_back(k);
         if (c == i) {
           diag_[static_cast<std::size_t>(i)] = av[static_cast<std::size_t>(k)];
+          diag_src_slot_[static_cast<std::size_t>(i)] = k;
         }
       }
     }
@@ -68,6 +87,7 @@ void SsorPreconditioner::build(const la::DistCsrMatrix& matrix) {
     HETERO_REQUIRE(diag_[static_cast<std::size_t>(i)] != 0.0,
                    "SSOR hit a zero diagonal");
   }
+  src_pattern_ = arp.data();
 }
 
 void SsorPreconditioner::apply(const la::DistVector& r,
@@ -106,15 +126,28 @@ void SsorPreconditioner::apply(const la::DistVector& r,
 }
 
 void Ilu0Preconditioner::build(const la::DistCsrMatrix& matrix) {
-  // Extract the owned square block (drop ghost columns).
   const la::CsrMatrix& a = matrix.local();
+  const auto av = a.values();
+  // Same pattern object as last time -> gather fresh values through the
+  // recorded slots and refactorize; skips the block re-extraction and all
+  // per-build allocations (fast mode only).
+  if (la::kernel_mode() == la::KernelMode::kFast &&
+      src_pattern_ == a.row_ptr().data() && a.rows() == n_) {
+    for (std::size_t j = 0; j < src_slot_.size(); ++j) {
+      values_[j] = av[static_cast<std::size_t>(src_slot_[j])];
+    }
+    factorize();
+    return;
+  }
+
+  // Extract the owned square block (drop ghost columns).
   n_ = a.rows();
   row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
   col_idx_.clear();
   values_.clear();
+  src_slot_.clear();
   const auto arp = a.row_ptr();
   const auto aci = a.col_idx();
-  const auto av = a.values();
   for (int i = 0; i < n_; ++i) {
     for (auto k = arp[static_cast<std::size_t>(i)];
          k < arp[static_cast<std::size_t>(i) + 1]; ++k) {
@@ -122,6 +155,7 @@ void Ilu0Preconditioner::build(const la::DistCsrMatrix& matrix) {
       if (c < n_) {
         col_idx_.push_back(c);
         values_.push_back(av[static_cast<std::size_t>(k)]);
+        src_slot_.push_back(k);
       }
     }
     row_ptr_[static_cast<std::size_t>(i) + 1] =
@@ -142,13 +176,55 @@ void Ilu0Preconditioner::build(const la::DistCsrMatrix& matrix) {
                    "ILU(0): local block is missing a diagonal entry");
   }
 
-  // In-place IKJ ILU(0). `where[c]` maps a column to its slot in row i.
-  std::vector<std::int64_t> where(static_cast<std::size_t>(n_), -1);
+  where_.assign(static_cast<std::size_t>(n_), -1);
+  src_pattern_ = arp.data();
+  sched_built_ = false;  // new pattern invalidates any recorded schedule
+  factorize();
+}
+
+void Ilu0Preconditioner::factorize() {
+  if (la::kernel_mode() != la::KernelMode::kFast) {
+    factorize_ikj(/*record=*/false);
+    return;
+  }
+  if (!sched_built_) {
+    pivot_slot_.clear();
+    pivot_diag_.clear();
+    pivot_ptr_.assign(1, 0);
+    upd_dst_.clear();
+    upd_src_.clear();
+    factorize_ikj(/*record=*/true);
+    sched_built_ = true;
+    return;
+  }
+  // Replay: the same divisions and updates, in the same order, as the IKJ
+  // loop — just without the column scatter/reset and the stored-position
+  // branch per candidate update.
+  const std::size_t pivots = pivot_slot_.size();
+  for (std::size_t p = 0; p < pivots; ++p) {
+    const double ukk = values_[static_cast<std::size_t>(pivot_diag_[p])];
+    HETERO_REQUIRE(std::fabs(ukk) > 1e-300, "ILU(0) hit a zero pivot");
+    const double lik =
+        values_[static_cast<std::size_t>(pivot_slot_[p])] / ukk;
+    values_[static_cast<std::size_t>(pivot_slot_[p])] = lik;
+    const auto begin = static_cast<std::size_t>(pivot_ptr_[p]);
+    const auto end = static_cast<std::size_t>(pivot_ptr_[p + 1]);
+    for (std::size_t j = begin; j < end; ++j) {
+      values_[static_cast<std::size_t>(upd_dst_[j])] -=
+          lik * values_[static_cast<std::size_t>(upd_src_[j])];
+    }
+  }
+}
+
+void Ilu0Preconditioner::factorize_ikj(bool record) {
+  // In-place IKJ ILU(0). `where_[c]` maps a column to its slot in row i;
+  // every row resets its entries to -1 before moving on, so the scratch
+  // can persist across builds.
   for (int i = 0; i < n_; ++i) {
     const auto begin = row_ptr_[static_cast<std::size_t>(i)];
     const auto end = row_ptr_[static_cast<std::size_t>(i) + 1];
     for (auto k = begin; k < end; ++k) {
-      where[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] =
+      where_[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] =
           k;
     }
     for (auto k = begin; k < end; ++k) {
@@ -161,19 +237,31 @@ void Ilu0Preconditioner::build(const la::DistCsrMatrix& matrix) {
       HETERO_REQUIRE(std::fabs(ukk) > 1e-300, "ILU(0) hit a zero pivot");
       const double lik = values_[static_cast<std::size_t>(k)] / ukk;
       values_[static_cast<std::size_t>(k)] = lik;
+      if (record) {
+        pivot_slot_.push_back(static_cast<std::int32_t>(k));
+        pivot_diag_.push_back(static_cast<std::int32_t>(
+            diag_slot_[static_cast<std::size_t>(kc)]));
+      }
       // Row update: a_i* -= l_ik * u_k* for stored positions only.
       for (auto kk = diag_slot_[static_cast<std::size_t>(kc)] + 1;
            kk < row_ptr_[static_cast<std::size_t>(kc) + 1]; ++kk) {
         const int c = col_idx_[static_cast<std::size_t>(kk)];
-        const auto slot = where[static_cast<std::size_t>(c)];
+        const auto slot = where_[static_cast<std::size_t>(c)];
         if (slot >= 0) {
           values_[static_cast<std::size_t>(slot)] -=
               lik * values_[static_cast<std::size_t>(kk)];
+          if (record) {
+            upd_dst_.push_back(static_cast<std::int32_t>(slot));
+            upd_src_.push_back(static_cast<std::int32_t>(kk));
+          }
         }
+      }
+      if (record) {
+        pivot_ptr_.push_back(static_cast<std::int64_t>(upd_dst_.size()));
       }
     }
     for (auto k = begin; k < end; ++k) {
-      where[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] =
+      where_[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] =
           -1;
     }
   }

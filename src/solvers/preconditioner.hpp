@@ -74,6 +74,12 @@ class SsorPreconditioner final : public Preconditioner {
   std::vector<int> col_idx_;
   std::vector<double> values_;
   std::vector<double> diag_;
+  // Fast-mode rebuild plan: the block structure over a frozen matrix
+  // pattern is static, so repeat build()s only gather fresh values through
+  // these source-slot lists (see docs/kernels.md).
+  const std::int64_t* src_pattern_ = nullptr;
+  std::vector<std::int64_t> src_slot_;
+  std::vector<std::int64_t> diag_src_slot_;
 };
 
 /// ILU(0) of the local owned block.
@@ -84,6 +90,9 @@ class Ilu0Preconditioner final : public Preconditioner {
   std::string name() const override { return "ilu0"; }
 
  private:
+  void factorize();
+  void factorize_ikj(bool record);
+
   // Factorization stored in one CSR image of the local square block:
   // strictly-lower entries hold L (unit diagonal implicit), diagonal and
   // upper hold U.
@@ -92,6 +101,23 @@ class Ilu0Preconditioner final : public Preconditioner {
   std::vector<int> col_idx_;
   std::vector<double> values_;
   std::vector<std::int64_t> diag_slot_;
+  // Fast-mode rebuild plan over a frozen matrix pattern: repeat build()s
+  // gather values through src_slot_ and refactorize in place instead of
+  // re-extracting the block; where_ is the persistent IKJ scratch.
+  const std::int64_t* src_pattern_ = nullptr;
+  std::vector<std::int64_t> src_slot_;
+  std::vector<std::int64_t> where_;
+  // Recorded IKJ schedule (fast mode): the elimination is a fixed sequence
+  // of slot operations for a fixed pattern, so refactorizations replay it —
+  // identical arithmetic, no column-map scatter or stored-position probing.
+  // pivot p divides slot pivot_slot_[p] by slot pivot_diag_[p], then
+  // applies upd_dst_[j] -= l * upd_src_[j] for its pivot_ptr_ range.
+  bool sched_built_ = false;
+  std::vector<std::int32_t> pivot_slot_;
+  std::vector<std::int32_t> pivot_diag_;
+  std::vector<std::int64_t> pivot_ptr_;
+  std::vector<std::int32_t> upd_dst_;
+  std::vector<std::int32_t> upd_src_;
 };
 
 /// Factory by name: "identity", "jacobi", "ssor", "ilu0".

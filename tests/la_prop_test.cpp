@@ -1,0 +1,319 @@
+// Property-based tests for the hot-path kernels. Each case draws a random
+// matrix/vector instance from a seed-deterministic splitmix64 generator
+// (tests/prop_util.hpp), runs the same operation under both kernel modes,
+// and checks two properties:
+//
+//   1. mode equivalence — the fast kernels are BITWISE identical to the
+//      reference kernels (EXPECT_EQ on doubles, not EXPECT_NEAR): the
+//      overhaul's contract is "same math, less time";
+//   2. oracle agreement — both modes match an independently written dense
+//      triple-loop / scalar-loop oracle within a tight ULP budget. For SpMV
+//      the oracle is exact by construction (column-sorted CSR accumulation
+//      interleaved with +0.0 terms), so the budget only absorbs ±0 signs.
+//
+// The generators never touch std::uniform_real_distribution, so a failing
+// case number reproduces the exact same bits on every platform.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "la/dist_vector.hpp"
+#include "la/halo.hpp"
+#include "la/index_map.hpp"
+#include "la/kernels.hpp"
+#include "netsim/fabric.hpp"
+#include "prop_util.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace hetero::la {
+namespace {
+
+using test::PropRng;
+
+/// Restores the process-wide kernel mode when a test scope exits.
+class ScopedKernelMode {
+ public:
+  explicit ScopedKernelMode(KernelMode mode) : saved_(kernel_mode()) {
+    set_kernel_mode(mode);
+  }
+  ~ScopedKernelMode() { set_kernel_mode(saved_); }
+  ScopedKernelMode(const ScopedKernelMode&) = delete;
+  ScopedKernelMode& operator=(const ScopedKernelMode&) = delete;
+
+ private:
+  KernelMode saved_;
+};
+
+TEST(SpmvProperty, FastMatchesReferenceBitwiseAndOracleWithinUlps) {
+  constexpr int kCases = 120;
+  for (int c = 0; c < kCases; ++c) {
+    PropRng rng(0x5eed0000ull + static_cast<std::uint64_t>(c));
+    const int rows = rng.uniform_int(1, 48);
+    const int cols = rng.uniform_int(1, 48);
+    const int max_row_nnz = rng.uniform_int(1, std::min(cols, 12));
+    const auto a = test::random_csr(rng, rows, cols, max_row_nnz, -2.0, 2.0);
+    const auto x = test::random_vector(rng, cols, -1.0, 1.0);
+
+    std::vector<double> y_ref(static_cast<std::size_t>(rows), 0.0);
+    std::vector<double> y_fast(static_cast<std::size_t>(rows), 0.0);
+    {
+      ScopedKernelMode mode(KernelMode::kReference);
+      a.multiply(x, y_ref);
+    }
+    {
+      ScopedKernelMode mode(KernelMode::kFast);
+      a.multiply(x, y_fast);
+    }
+    const auto oracle = test::dense_spmv_oracle(a, x);
+    for (int i = 0; i < rows; ++i) {
+      const auto l = static_cast<std::size_t>(i);
+      EXPECT_EQ(y_ref[l], y_fast[l])
+          << "case " << c << " row " << i << ": fast differs from reference";
+      EXPECT_LE(test::ulp_distance(y_ref[l], oracle[l]), 2u)
+          << "case " << c << " row " << i << ": reference " << y_ref[l]
+          << " vs dense oracle " << oracle[l];
+    }
+  }
+}
+
+TEST(SpmvProperty, MultiplyAddAccumulatesIdenticallyAcrossModes) {
+  constexpr int kCases = 40;
+  for (int c = 0; c < kCases; ++c) {
+    PropRng rng(0xacc00000ull + static_cast<std::uint64_t>(c));
+    const int rows = rng.uniform_int(1, 40);
+    const int cols = rng.uniform_int(1, 40);
+    const auto a = test::random_csr(rng, rows, cols,
+                                    rng.uniform_int(1, std::min(cols, 10)),
+                                    -3.0, 3.0);
+    const auto x = test::random_vector(rng, cols, -1.0, 1.0);
+    const auto y0 = test::random_vector(rng, rows, -5.0, 5.0);
+
+    auto y_ref = y0;
+    auto y_fast = y0;
+    {
+      ScopedKernelMode mode(KernelMode::kReference);
+      a.multiply_add(x, y_ref);
+    }
+    {
+      ScopedKernelMode mode(KernelMode::kFast);
+      a.multiply_add(x, y_fast);
+    }
+    // Both modes seed each row's accumulator with y0[i] before streaming
+    // the row's products; the oracle replays that exact chain densely.
+    const auto oracle = test::dense_spmv_oracle(a, x, &y0);
+    for (int i = 0; i < rows; ++i) {
+      const auto l = static_cast<std::size_t>(i);
+      EXPECT_EQ(y_ref[l], y_fast[l]) << "case " << c << " row " << i;
+      EXPECT_LE(test::ulp_distance(y_ref[l], oracle[l]), 2u)
+          << "case " << c << " row " << i;
+    }
+  }
+}
+
+/// Fused DistVector kernels. One single-rank runtime hosts every case: the
+/// map is trivial (all owned, no ghosts), which makes the scalar oracles
+/// exact replicas of the owned-entry loops, and the allreduce an identity.
+TEST(VecFusedProperty, FusedOpsMatchReferenceBitwiseAndScalarOracles) {
+  constexpr int kCases = 30;
+  auto rt = simmpi::Runtime(netsim::Topology::uniform(
+      1, 2, netsim::Fabric::gigabit_ethernet(), netsim::Fabric::shared_memory()));
+  rt.run([&](simmpi::Comm& comm) {
+    for (int c = 0; c < kCases; ++c) {
+      PropRng rng(0xfa57beefull + static_cast<std::uint64_t>(c));
+      const int n = rng.uniform_int(1, 64);
+      std::vector<GlobalId> touched;
+      for (int g = 0; g < n; ++g) {
+        touched.push_back(g);
+      }
+      const auto dir = GidDirectory::build(comm, touched);
+      const auto map = IndexMap::build(comm, dir, touched);
+      ASSERT_EQ(map.owned_count(), n);
+
+      const auto xs = test::random_vector(rng, n, -2.0, 2.0);
+      const auto ys = test::random_vector(rng, n, -2.0, 2.0);
+      const auto zs = test::random_vector(rng, n, -2.0, 2.0);
+      const auto ws = test::random_vector(rng, n, -2.0, 2.0);
+      const double alpha = rng.uniform(-1.5, 1.5);
+      const double beta = rng.uniform(-1.5, 1.5);
+      const double omega = rng.uniform(-1.5, 1.5);
+
+      DistVector x(map), y(map), z(map), w(map);
+      auto load = [&] {
+        for (int i = 0; i < n; ++i) {
+          x[i] = xs[static_cast<std::size_t>(i)];
+          y[i] = ys[static_cast<std::size_t>(i)];
+          z[i] = zs[static_cast<std::size_t>(i)];
+          w[i] = ws[static_cast<std::size_t>(i)];
+        }
+      };
+
+      // ---- axpy_norm2: y += alpha*x, return ||y|| -----------------------
+      load();
+      double nr;
+      {
+        ScopedKernelMode mode(KernelMode::kReference);
+        nr = y.axpy_norm2(comm, alpha, x);
+      }
+      std::vector<double> y_ref(y.owned().begin(), y.owned().end());
+      load();
+      double nf;
+      {
+        ScopedKernelMode mode(KernelMode::kFast);
+        nf = y.axpy_norm2(comm, alpha, x);
+      }
+      EXPECT_EQ(nr, nf) << "axpy_norm2 case " << c;
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(y_ref[static_cast<std::size_t>(i)], y[i])
+            << "axpy_norm2 case " << c << " entry " << i;
+      }
+      {
+        double acc = 0.0;
+        for (int i = 0; i < n; ++i) {
+          const auto l = static_cast<std::size_t>(i);
+          const double v = ys[l] + alpha * xs[l];
+          EXPECT_LE(test::ulp_distance(y[i], v), 0u)
+              << "axpy_norm2 case " << c << " entry " << i;
+          acc += v * v;
+        }
+        EXPECT_LE(test::ulp_distance(nf, std::sqrt(acc)), 1u)
+            << "axpy_norm2 case " << c << " norm";
+      }
+
+      // ---- copy_axpy_norm2: y = x; y += alpha*z; return ||y|| -----------
+      load();
+      {
+        ScopedKernelMode mode(KernelMode::kReference);
+        nr = y.copy_axpy_norm2(comm, x, alpha, z);
+      }
+      y_ref.assign(y.owned().begin(), y.owned().end());
+      load();
+      {
+        ScopedKernelMode mode(KernelMode::kFast);
+        nf = y.copy_axpy_norm2(comm, x, alpha, z);
+      }
+      EXPECT_EQ(nr, nf) << "copy_axpy_norm2 case " << c;
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(y_ref[static_cast<std::size_t>(i)], y[i])
+            << "copy_axpy_norm2 case " << c << " entry " << i;
+        const auto l = static_cast<std::size_t>(i);
+        EXPECT_LE(test::ulp_distance(y[i], xs[l] + alpha * zs[l]), 0u)
+            << "copy_axpy_norm2 case " << c << " entry " << i;
+      }
+
+      // ---- dot_pair: (y.x, y.z) -----------------------------------------
+      load();
+      std::pair<double, double> dr, df;
+      {
+        ScopedKernelMode mode(KernelMode::kReference);
+        dr = y.dot_pair(comm, x, z);
+      }
+      {
+        ScopedKernelMode mode(KernelMode::kFast);
+        df = y.dot_pair(comm, x, z);
+      }
+      EXPECT_EQ(dr.first, df.first) << "dot_pair case " << c;
+      EXPECT_EQ(dr.second, df.second) << "dot_pair case " << c;
+      {
+        double d1 = 0.0, d2 = 0.0;
+        for (int i = 0; i < n; ++i) {
+          const auto l = static_cast<std::size_t>(i);
+          d1 += ys[l] * xs[l];
+          d2 += ys[l] * zs[l];
+        }
+        EXPECT_LE(test::ulp_distance(df.first, d1), 1u)
+            << "dot_pair case " << c;
+        EXPECT_LE(test::ulp_distance(df.second, d2), 1u)
+            << "dot_pair case " << c;
+      }
+
+      // ---- update_search_direction: y = x + beta*(y - omega*z) ----------
+      load();
+      {
+        ScopedKernelMode mode(KernelMode::kReference);
+        y.update_search_direction(x, z, beta, omega);
+      }
+      y_ref.assign(y.owned().begin(), y.owned().end());
+      load();
+      {
+        ScopedKernelMode mode(KernelMode::kFast);
+        y.update_search_direction(x, z, beta, omega);
+      }
+      for (int i = 0; i < n; ++i) {
+        const auto l = static_cast<std::size_t>(i);
+        EXPECT_EQ(y_ref[l], y[i])
+            << "update_search_direction case " << c << " entry " << i;
+        // Oracle replays the documented axpy(-omega, z); axpby(1, x, beta)
+        // evaluation order.
+        double v = ys[l] + (-omega) * zs[l];
+        v = 1.0 * xs[l] + beta * v;
+        EXPECT_LE(test::ulp_distance(y[i], v), 0u)
+            << "update_search_direction case " << c << " entry " << i;
+      }
+
+      // ---- cg_update_norm2: y += alpha*x; w -= alpha*z; return ||w|| ----
+      load();
+      {
+        ScopedKernelMode mode(KernelMode::kReference);
+        nr = cg_update_norm2(comm, y, alpha, x, w, z);
+      }
+      y_ref.assign(y.owned().begin(), y.owned().end());
+      std::vector<double> w_ref(w.owned().begin(), w.owned().end());
+      load();
+      {
+        ScopedKernelMode mode(KernelMode::kFast);
+        nf = cg_update_norm2(comm, y, alpha, x, w, z);
+      }
+      EXPECT_EQ(nr, nf) << "cg_update_norm2 case " << c;
+      for (int i = 0; i < n; ++i) {
+        const auto l = static_cast<std::size_t>(i);
+        EXPECT_EQ(y_ref[l], y[i]) << "cg_update_norm2 case " << c;
+        EXPECT_EQ(w_ref[l], w[i]) << "cg_update_norm2 case " << c;
+      }
+      {
+        double acc = 0.0;
+        for (int i = 0; i < n; ++i) {
+          const auto l = static_cast<std::size_t>(i);
+          EXPECT_LE(test::ulp_distance(y[i], ys[l] + alpha * xs[l]), 0u)
+              << "cg_update_norm2 case " << c << " x entry " << i;
+          const double r = ws[l] + (-alpha) * zs[l];
+          EXPECT_LE(test::ulp_distance(w[i], r), 0u)
+              << "cg_update_norm2 case " << c << " r entry " << i;
+          acc += r * r;
+        }
+        EXPECT_LE(test::ulp_distance(nf, std::sqrt(acc)), 1u)
+            << "cg_update_norm2 case " << c << " norm";
+      }
+
+      // ---- add_scaled: y += alpha*x + beta*z + omega*w ------------------
+      load();
+      const std::vector<double> coeffs{alpha, beta, omega};
+      const std::vector<const DistVector*> vs{&x, &z, &w};
+      {
+        ScopedKernelMode mode(KernelMode::kReference);
+        y.add_scaled(coeffs, vs);
+      }
+      y_ref.assign(y.owned().begin(), y.owned().end());
+      load();
+      {
+        ScopedKernelMode mode(KernelMode::kFast);
+        y.add_scaled(coeffs, vs);
+      }
+      for (int i = 0; i < n; ++i) {
+        const auto l = static_cast<std::size_t>(i);
+        EXPECT_EQ(y_ref[l], y[i]) << "add_scaled case " << c << " entry " << i;
+        // Left-to-right axpy sequence, as documented.
+        double v = ys[l] + alpha * xs[l];
+        v = v + beta * zs[l];
+        v = v + omega * ws[l];
+        EXPECT_LE(test::ulp_distance(y[i], v), 0u)
+            << "add_scaled case " << c << " entry " << i;
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace hetero::la

@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file prop_util.hpp
+/// Seed-deterministic generators and oracles for the property-based
+/// numeric tests (la_prop_test.cpp). Every case is reproduced exactly by
+/// its case number: the generator is a self-contained splitmix64, so a
+/// failure report like "case 37" replays identically on any platform,
+/// independent of the standard library's distribution implementations.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "la/csr_matrix.hpp"
+
+namespace hetero::test {
+
+/// splitmix64: tiny, fast, and fully specified by its seed.
+class PropRng {
+ public:
+  explicit PropRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    const double u = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    return lo + (hi - lo) * u;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive; hi >= lo).
+  int uniform_int(int lo, int hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next_u64() % span);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Random vector with entries in [lo, hi).
+inline std::vector<double> random_vector(PropRng& rng, int n, double lo,
+                                         double hi) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) {
+    x = rng.uniform(lo, hi);
+  }
+  return v;
+}
+
+/// Random sparse matrix: every row gets 1..max_row_nnz entries at distinct
+/// columns (always including the clamped diagonal, so no row is empty),
+/// values in [lo, hi). Built through the same from_triplets path the
+/// assembly uses, which sorts and merges duplicates.
+inline la::CsrMatrix random_csr(PropRng& rng, int rows, int cols,
+                                int max_row_nnz, double lo, double hi) {
+  std::vector<la::Triplet> triplets;
+  for (int i = 0; i < rows; ++i) {
+    const int want = rng.uniform_int(1, max_row_nnz);
+    triplets.push_back({i, std::min(i, cols - 1), rng.uniform(lo, hi)});
+    for (int k = 1; k < want; ++k) {
+      triplets.push_back({i, rng.uniform_int(0, cols - 1),
+                          rng.uniform(lo, hi)});
+    }
+  }
+  return la::CsrMatrix::from_triplets(rows, cols, triplets);
+}
+
+/// Dense triple-loop SpMV oracle: expands the matrix to dense storage and
+/// accumulates every column in ascending order. CSR rows are column-sorted,
+/// and adding the zero entries in between does not perturb the partial sums
+/// (x + 0.0 == x), so this oracle reproduces the sparse kernel's exact
+/// accumulation chain — the ULP budget only absorbs ±0 sign artifacts.
+/// When `y0` is given, each row's chain starts from y0[i] (multiply_add).
+inline std::vector<double> dense_spmv_oracle(
+    const la::CsrMatrix& a, const std::vector<double>& x,
+    const std::vector<double>* y0 = nullptr) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<double> dense(static_cast<std::size_t>(rows) *
+                                static_cast<std::size_t>(cols),
+                            0.0);
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  for (int i = 0; i < rows; ++i) {
+    for (auto k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      dense[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols) +
+            static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])] =
+          values[static_cast<std::size_t>(k)];
+    }
+  }
+  std::vector<double> y(static_cast<std::size_t>(rows), 0.0);
+  for (int i = 0; i < rows; ++i) {
+    double acc = y0 ? (*y0)[static_cast<std::size_t>(i)] : 0.0;
+    for (int j = 0; j < cols; ++j) {
+      acc += dense[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols) +
+                   static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  return y;
+}
+
+/// ULP distance between two finite doubles (0 when a == b, including
+/// -0 vs +0). Monotone bit distance on the sign-magnitude number line.
+inline std::uint64_t ulp_distance(double a, double b) {
+  if (a == b) {
+    return 0;
+  }
+  if (std::isnan(a) || std::isnan(b)) {
+    return ~0ull;
+  }
+  auto to_ordered = [](double v) {
+    std::int64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits < 0 ? std::int64_t(0x8000000000000000ull) - bits : bits;
+  };
+  const std::int64_t ia = to_ordered(a);
+  const std::int64_t ib = to_ordered(b);
+  return static_cast<std::uint64_t>(ia > ib ? ia - ib : ib - ia);
+}
+
+}  // namespace hetero::test

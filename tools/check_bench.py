@@ -9,6 +9,11 @@ placement-group assembly costs ~4.4x at the same speed" — rather than exact
 numbers, so harmless model tweaks do not trip the gate but a regression in
 the reproduced qualitative result does.
 
+The same machinery gates bench_kernels (baseline kernels.json): there the
+fields are host wall-time speedups of the fast kernels over the reference
+kernels plus modeled FLOP/byte intensities, with generous minimums so the
+gate survives machine-to-machine variance (see docs/kernels.md).
+
 Usage:
     tools/check_bench.py --baseline bench/baselines/fig4.json RESULTS.jsonl
 

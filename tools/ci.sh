@@ -8,8 +8,12 @@
 #             --json and hold them to bench/baselines/ via check_bench.py;
 #             then re-run fig4 with --jobs 8 and require byte-identical
 #             output (the campaign engine's determinism guarantee)
-#   asan      ASan+UBSan build, full ctest
-#   tsan      TSan build, concurrency tests only (simmpi/resil/la/obs/engine)
+#   kernels   kernel-regression: run bench_kernels --json and hold the
+#             fast/reference speedups and arithmetic intensities to
+#             bench/baselines/kernels.json via check_bench.py
+#   asan      ASan+UBSan build, full ctest (includes the property-based
+#             numeric tests la_prop_test and kernels_diff_test)
+#   tsan      TSan build, concurrency + kernel-mode tests only
 #   faultsoak fault-soak: ASan+UBSan build; runs the fault-injection and
 #             recovery tests plus bench_ablation_failure_recovery against
 #             its baseline, and requires --jobs 8 output byte-identical to
@@ -98,6 +102,21 @@ job_bench() {
       "$out_dir/fig4_rd_weak_scaling.jobs8.jsonl"
 }
 
+job_kernels() {
+  echo "== ci job: kernels (hot-path kernel regression gate) =="
+  configure_and_build build-ci-release -DCMAKE_BUILD_TYPE=Release \
+      -DHETERO_WERROR=ON
+  out_dir=build-ci-release/bench-out
+  mkdir -p "$out_dir"
+  if [ ! -x build-ci-release/bench/bench_kernels ]; then
+    echo "ci: FAIL — bench binary bench_kernels missing" >&2
+    exit 1
+  fi
+  build-ci-release/bench/bench_kernels --json "$out_dir/kernels.jsonl"
+  python3 tools/check_bench.py --baseline bench/baselines/kernels.json \
+      "$out_dir/kernels.jsonl"
+}
+
 job_asan() {
   echo "== ci job: asan (ASan+UBSan, full ctest) =="
   configure_and_build build-ci-asan \
@@ -110,7 +129,7 @@ job_tsan() {
   configure_and_build build-ci-tsan \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=thread
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-      -R '^(simmpi_test|resil_test|la_test|obs_test|campaign_engine_test)$'
+      -R '^(simmpi_test|resil_test|la_test|la_prop_test|kernels_diff_test|obs_test|campaign_engine_test)$'
 }
 
 job_faultsoak() {
@@ -144,12 +163,13 @@ run_job() {
     release) job_release ;;
     debug) job_debug ;;
     bench) job_bench ;;
+    kernels) job_kernels ;;
     asan) job_asan ;;
     tsan) job_tsan ;;
     faultsoak) job_faultsoak ;;
-    all) job_release; job_debug; job_bench; job_asan; job_tsan; job_faultsoak ;;
+    all) job_release; job_debug; job_bench; job_kernels; job_asan; job_tsan; job_faultsoak ;;
     *)
-      echo "ci: unknown job '$1' (expected release|debug|bench|asan|tsan|faultsoak|all)" >&2
+      echo "ci: unknown job '$1' (expected release|debug|bench|kernels|asan|tsan|faultsoak|all)" >&2
       exit 2
       ;;
   esac
