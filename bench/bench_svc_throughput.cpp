@@ -1,0 +1,137 @@
+// Throughput of the advisory daemon's pipe transport: a 10k-request
+// stream with a bounded number of unique requests, answered cold (fresh
+// memo store, every unique request priced through the broker) and then
+// warm (same store, new process — every answer replayed from the log).
+// The paper's broker is only useful as a *service* if repeated sweeps are
+// cheap, so CI gates warm_speedup >= 5x and byte-identical replay.
+//
+//   bench_svc_throughput [--requests N] [--unique U] [--queue Q]
+//                        [--workers W] [--seed S] [--csv] [--json OUT]
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "bench_main.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace hetero;
+
+/// Deterministic request stream: `unique` distinct job descriptors cycled
+/// over `total` lines. Mirrors tools/gen_svc_requests.py for the CI soak.
+std::string make_requests(int total, int unique) {
+  static const char* kObjectives[] = {"effective", "cost", "time"};
+  std::string out;
+  out.reserve(static_cast<std::size_t>(total) * 112);
+  for (int i = 0; i < total; ++i) {
+    const int u = i % unique;
+    out += "{\"id\":" + std::to_string(i);
+    out += ",\"app\":\"";
+    out += (u % 2 == 0 ? "rd" : "ns");
+    // Element-count requests sweep the full candidate space (every rank
+    // count on every platform, spot strategies included) — the expensive
+    // cold path. frontier:false keeps the response a single decision
+    // line, so the warm replay measures the memo store, not IO.
+    out += "\",\"elements\":" + std::to_string(500000 + (u / 6) * 37500);
+    out += ",\"iterations\":" + std::to_string(50 + (u % 2) * 50);
+    out += ",\"objective\":\"";
+    out += kObjectives[u % 3];
+    out += "\",\"frontier\":false}\n";
+  }
+  return out;
+}
+
+struct RunResult {
+  std::string output;
+  double wall_s = 0.0;
+  std::uint64_t served = 0;
+};
+
+RunResult run_stream(const std::string& requests, const std::string& store,
+                     std::uint64_t seed, int workers, std::size_t queue) {
+  svc::ServiceOptions options;
+  options.seed = seed;
+  options.jobs = 0;  // resolve to HETEROLAB_JOBS / hardware width
+  options.store_path = store;
+  svc::Service service(options);
+  svc::ServeOptions serve_options;
+  serve_options.queue_capacity = queue;
+  serve_options.workers = workers;
+  std::istringstream in(requests);
+  std::ostringstream out;
+  const auto started = std::chrono::steady_clock::now();
+  const auto stats = svc::serve_pipe(service, in, out, serve_options);
+  RunResult r;
+  r.wall_s = std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - started)
+                 .count();
+  r.output = out.str();
+  r.served = stats.served;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  try {
+    const CliArgs args(argc, argv);
+    bench::BenchOutput output(args, "svc_throughput");
+    const int total = static_cast<int>(args.get_int("requests", 10000));
+    const int unique = static_cast<int>(args.get_int("unique", 250));
+    const int workers = static_cast<int>(args.get_int("workers", 1));
+    const auto queue =
+        static_cast<std::size_t>(args.get_int("queue", 16384));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    HETERO_REQUIRE(total > 0 && unique > 0 && unique <= total,
+                   "need 0 < --unique <= --requests");
+
+    const std::string store =
+        "/tmp/bench_svc_throughput_" + std::to_string(::getpid()) + ".log";
+    std::remove(store.c_str());
+    const std::string requests = make_requests(total, unique);
+
+    const RunResult cold = run_stream(requests, store, seed, workers, queue);
+    const RunResult warm = run_stream(requests, store, seed, workers, queue);
+    std::remove(store.c_str());
+
+    const bool identical = cold.output == warm.output;
+    const double speedup =
+        warm.wall_s > 0.0 ? cold.wall_s / warm.wall_s : 0.0;
+
+    Table table({"mode", "requests", "unique", "served", "wall[s]", "rps"});
+    const auto row = [&](const char* mode, const RunResult& r) {
+      table.add_row({mode, std::to_string(total), std::to_string(unique),
+                     std::to_string(r.served), fmt_double(r.wall_s, 3),
+                     fmt_double(static_cast<double>(total) / r.wall_s, 0)});
+    };
+    row("cold", cold);
+    row("warm", warm);
+    output.emit(table, "pipe");
+
+    obs::Json summary = obs::Json::object();
+    summary.set("series", "summary");
+    summary.set("requests", total);
+    summary.set("unique", unique);
+    summary.set("warm_speedup", speedup);
+    summary.set("identical", identical ? 1 : 0);
+    summary.set("cold_wall_s", cold.wall_s);
+    summary.set("warm_wall_s", warm.wall_s);
+    output.record(std::move(summary));
+
+    std::cout << "\nwarm speedup  " << fmt_double(speedup, 2)
+              << "x, replay " << (identical ? "byte-identical" : "DIFFERS")
+              << "\n";
+    return identical ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}

@@ -13,8 +13,13 @@ const Prediction& Recommendation::winner() const {
 }
 
 Broker::Broker(std::uint64_t seed, int jobs)
-    : engine_(seed, core::CampaignEngineOptions{.jobs = jobs}),
-      predictor_(engine_) {}
+    : owned_engine_(std::make_unique<core::CampaignEngine>(
+          seed, core::CampaignEngineOptions{.jobs = jobs})),
+      engine_(owned_engine_.get()),
+      predictor_(*engine_) {}
+
+Broker::Broker(core::CampaignEngine& engine)
+    : engine_(&engine), predictor_(engine) {}
 
 Recommendation Broker::recommend(const JobRequest& request,
                                  const Objective& objective) {
@@ -26,7 +31,7 @@ Recommendation Broker::recommend(const JobRequest& request,
   // is byte-identical at any jobs level.
   const auto candidates = enumerate_candidates(request);
   std::vector<Prediction> predictions(candidates.size());
-  engine_.parallel_for(candidates.size(), [&](std::size_t i) {
+  engine_->parallel_for(candidates.size(), [&](std::size_t i) {
     predictions[i] = predictor_.predict(candidates[i], request);
   });
 

@@ -9,6 +9,7 @@
 /// automated target-platform selection §VIII names as the open problem.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "broker/explain.hpp"
@@ -50,16 +51,23 @@ class Broker {
   /// memoizing CampaignEngine, so repeat recommendations are cache hits.
   explicit Broker(std::uint64_t seed = 42, int jobs = 0);
 
+  /// Runs through a caller-owned engine instead of a private one — the
+  /// advisory service routes every broker through its store-backed engine
+  /// this way, so predictions hit the shared (and persistent) memoization.
+  /// The engine must outlive the broker.
+  explicit Broker(core::CampaignEngine& engine);
+
   /// Full pipeline for one request; deterministic in the broker seed and
   /// independent of the jobs level (candidates keep enumeration order).
   Recommendation recommend(const JobRequest& request,
                            const Objective& objective);
 
   /// The engine predictions run through, for stats / instrumentation.
-  const core::CampaignEngine& engine() const { return engine_; }
+  const core::CampaignEngine& engine() const { return *engine_; }
 
  private:
-  core::CampaignEngine engine_;
+  std::unique_ptr<core::CampaignEngine> owned_engine_;
+  core::CampaignEngine* engine_;
   Predictor predictor_;
 };
 

@@ -285,6 +285,7 @@ struct CampaignEngine::Impl {
   std::atomic<std::uint64_t> jobs_run{0};
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> store_hits{0};
   std::atomic<std::uint64_t> batches{0};
 
   // Hoisted obs metrics (registry references are stable).
@@ -380,7 +381,19 @@ ExperimentResult CampaignEngine::run(const Experiment& e) {
     impl_->cache_misses.fetch_add(1, std::memory_order_relaxed);
     impl_->cache_miss_count.increment();
     try {
-      ExperimentResult result = execute_uncached(e);
+      ExperimentResult result;
+      // Second cache level: the persistent store answers across restarts.
+      const bool from_store = options_.result_store != nullptr &&
+                              options_.result_store->load(key, result);
+      if (from_store) {
+        impl_->store_hits.fetch_add(1, std::memory_order_relaxed);
+        obs::metrics().counter("engine.store_hits").increment();
+      } else {
+        result = execute_uncached(e);
+        if (options_.result_store != nullptr) {
+          options_.result_store->save(key, result);
+        }
+      }
       {
         std::lock_guard<std::mutex> lock(entry->mutex);
         entry->result = result;
@@ -449,6 +462,7 @@ CampaignEngineStats CampaignEngine::stats() const {
   out.jobs_run = impl_->jobs_run.load(std::memory_order_relaxed);
   out.cache_hits = impl_->cache_hits.load(std::memory_order_relaxed);
   out.cache_misses = impl_->cache_misses.load(std::memory_order_relaxed);
+  out.store_hits = impl_->store_hits.load(std::memory_order_relaxed);
   out.batches = impl_->batches.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(impl_->budget_mutex);

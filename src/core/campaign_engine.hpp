@@ -35,6 +35,21 @@
 
 namespace hetero::core {
 
+/// Optional persistence hook for the memoization cache: the engine consults
+/// it before computing a memoizable experiment and offers every freshly
+/// computed result back. Implementations must be thread-safe; loads must
+/// reproduce the saved result bit-exactly (svc::MemoStore adapts this onto
+/// an append-only on-disk log, making repeated sweeps incremental across
+/// process restarts).
+class ExperimentResultStore {
+ public:
+  virtual ~ExperimentResultStore() = default;
+  /// True and fills `out` when `key` is present.
+  virtual bool load(const std::string& key, ExperimentResult& out) = 0;
+  /// Offers a freshly computed result for persistence.
+  virtual void save(const std::string& key, const ExperimentResult& result) = 0;
+};
+
 struct CampaignEngineOptions {
   /// Concurrent jobs (pool width). 0 = resolve_jobs(0): the HETEROLAB_JOBS
   /// environment variable if set, else hardware concurrency. 1 = run
@@ -47,6 +62,10 @@ struct CampaignEngineOptions {
   int thread_budget = 0;
   /// Compute repeated experiment descriptors once and replay the result.
   bool memoize = true;
+  /// Persistent second level of the memoization cache; not owned, must
+  /// outlive the engine. nullptr (the default) keeps memoization purely
+  /// in-memory. Ignored when memoize is false.
+  ExperimentResultStore* result_store = nullptr;
 };
 
 struct CampaignEngineStats {
@@ -56,6 +75,8 @@ struct CampaignEngineStats {
   std::uint64_t cache_hits = 0;
   /// Experiments that populated the cache.
   std::uint64_t cache_misses = 0;
+  /// Cache misses answered by the persistent result store (no compute).
+  std::uint64_t store_hits = 0;
   /// parallel_for / run_batch invocations.
   std::uint64_t batches = 0;
   /// High-water mark of the in-flight simulated-thread weight.

@@ -1,6 +1,9 @@
 #include "obs/bench_io.hpp"
 
+#include <unistd.h>
+
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
@@ -71,26 +74,37 @@ Json cell_value(const std::string& cell) {
 }
 
 JsonlWriter::JsonlWriter(const std::string& path) : path_(path) {
-  std::ofstream os(path_, std::ios::trunc);
-  HETERO_REQUIRE(os.good(), "cannot open JSONL output file: " + path_);
+  FILE* f = std::fopen(path_.c_str(), "w");
+  HETERO_REQUIRE(f != nullptr, "cannot open JSONL output file: " + path_);
+  file_ = f;
 }
 
-JsonlWriter::~JsonlWriter() {
-  if (!buffer_.empty()) {
-    std::ofstream os(path_, std::ios::app);
-    os << buffer_;
-  }
-}
+JsonlWriter::~JsonlWriter() { close(); }
 
 void JsonlWriter::write(const Json& record) {
-  buffer_ += record.dump();
-  buffer_ += '\n';
-  // Flush line-by-line: cheap at bench-record rates, and partial output
-  // survives a crashed run.
-  std::ofstream os(path_, std::ios::app);
-  HETERO_REQUIRE(os.good(), "cannot append to JSONL file: " + path_);
-  os << buffer_;
-  buffer_.clear();
+  HETERO_REQUIRE(file_ != nullptr,
+                 "JsonlWriter: write after close: " + path_);
+  // One fwrite per record so a line lands in the stdio buffer whole, then
+  // an immediate flush to the OS: a crashed run leaves complete records
+  // only, never half a line.
+  const std::string line = record.dump() + '\n';
+  FILE* f = static_cast<FILE*>(file_);
+  const std::size_t n = std::fwrite(line.data(), 1, line.size(), f);
+  HETERO_REQUIRE(n == line.size() && std::fflush(f) == 0,
+                 "cannot append to JSONL file: " + path_);
+}
+
+void JsonlWriter::close() {
+  if (file_ == nullptr) {
+    return;
+  }
+  FILE* f = static_cast<FILE*>(file_);
+  file_ = nullptr;
+  // fsync before close: once the writer is gone the file is durable, not
+  // parked in the page cache waiting for a power cut to truncate it.
+  std::fflush(f);
+  ::fsync(fileno(f));
+  std::fclose(f);
 }
 
 std::vector<Json> read_jsonl(const std::string& path) {

@@ -1,6 +1,9 @@
 #include "obs/metrics.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 
 #include "support/error.hpp"
@@ -173,10 +176,17 @@ Json MetricsRegistry::to_json() const {
 }
 
 void MetricsRegistry::write_json(const std::string& path) const {
-  std::ofstream os(path);
-  HETERO_REQUIRE(os.good(), "cannot open metrics output file: " + path);
-  os << to_json().dump() << "\n";
-  HETERO_REQUIRE(os.good(), "failed writing metrics output file: " + path);
+  // Same durability contract as JsonlWriter: the whole document in one
+  // write, flushed and fsynced before close, so a metrics file either
+  // exists complete or not at all.
+  FILE* f = std::fopen(path.c_str(), "w");
+  HETERO_REQUIRE(f != nullptr, "cannot open metrics output file: " + path);
+  const std::string doc = to_json().dump() + "\n";
+  const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = n == doc.size() && std::fflush(f) == 0;
+  ::fsync(fileno(f));
+  std::fclose(f);
+  HETERO_REQUIRE(ok, "failed writing metrics output file: " + path);
 }
 
 MetricsRegistry& metrics() {

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file result_codec.hpp
+/// Bit-exact binary codec for core::ExperimentResult — the value format of
+/// the experiment-level entries in the persistent memo store. Doubles are
+/// stored as their IEEE-754 bit patterns (little-endian), so a result
+/// replayed from disk is indistinguishable from the freshly computed one
+/// and every downstream number (predictions, response records) stays
+/// byte-identical across a daemon restart.
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace hetero::svc {
+
+/// Version tag of the encoding below; bumped on layout changes so a store
+/// written by an older build is simply missed, never misread.
+inline constexpr unsigned char kResultCodecVersion = 1;
+
+std::string encode_result(const core::ExperimentResult& result);
+
+/// Throws hetero::Error on a malformed or version-mismatched payload.
+core::ExperimentResult decode_result(const std::string& bytes);
+
+}  // namespace hetero::svc

@@ -1,0 +1,412 @@
+#include "svc/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace hetero::svc {
+
+namespace {
+
+/// Responses leave in admission order no matter which worker finishes
+/// first: emit(seq, ...) buffers out-of-order payloads and flushes the
+/// contiguous prefix. Every admitted seq must be emitted exactly once
+/// (an empty payload releases the slot).
+class OrderedEmitter {
+ public:
+  explicit OrderedEmitter(std::ostream& out) : out_(out) {}
+
+  void emit(std::uint64_t seq, std::vector<std::string> lines) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.emplace(seq, std::move(lines));
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      for (const auto& line : pending_.begin()->second) {
+        out_ << line << '\n';
+      }
+      pending_.erase(pending_.begin());
+      ++next_;
+    }
+    out_.flush();
+  }
+
+ private:
+  std::ostream& out_;
+  std::mutex mutex_;
+  std::uint64_t next_ = 0;
+  std::map<std::uint64_t, std::vector<std::string>> pending_;
+};
+
+struct WorkItem {
+  std::uint64_t seq = 0;
+  SvcRequest request;
+};
+
+/// Bounded MPMC queue between the admitting reader and the workers.
+class WorkQueue {
+ public:
+  explicit WorkQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        depth_gauge_(obs::metrics().gauge("svc.queue_depth")) {}
+
+  /// False when the queue is full (caller decides: busy-reject or retry
+  /// via push_blocking).
+  bool try_push(WorkItem item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+      depth_gauge_.set(static_cast<double>(items_.size()));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  void push_blocking(WorkItem item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [&] { return items_.size() < capacity_; });
+      items_.push_back(std::move(item));
+      depth_gauge_.set(static_cast<double>(items_.size()));
+    }
+    not_empty_.notify_one();
+  }
+
+  /// False on a drained, closed queue (worker shutdown signal).
+  bool pop(WorkItem& item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return false;
+    }
+    item = std::move(items_.front());
+    items_.pop_front();
+    depth_gauge_.set(static_cast<double>(items_.size()));
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  obs::Gauge& depth_gauge_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<WorkItem> items_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+ServeStats serve_pipe(Service& service, std::istream& in, std::ostream& out,
+                      const ServeOptions& options) {
+  ServeStats stats;
+  OrderedEmitter emitter(out);
+  WorkQueue queue(options.queue_capacity);
+  std::atomic<std::uint64_t> served{0};
+
+  const int workers = options.workers < 1 ? 1 : options.workers;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      WorkItem item;
+      while (queue.pop(item)) {
+        std::vector<std::string> lines;
+        try {
+          lines = service.process(item.request);
+        } catch (const Error& e) {
+          lines.push_back(render_error(item.request.id, e.what()));
+        }
+        served.fetch_add(1, std::memory_order_relaxed);
+        emitter.emit(item.seq, std::move(lines));
+      }
+    });
+  }
+
+  std::uint64_t seq = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    SvcRequest request;
+    try {
+      request = parse_request_line(line);
+    } catch (const Error& e) {
+      ++stats.errors;
+      obs::metrics().counter("svc.errors").increment();
+      emitter.emit(seq++, {render_error(-1, e.what())});
+      continue;
+    }
+    if (request.kind == SvcRequest::Kind::kPing) {
+      ++stats.pings;
+      obs::metrics().counter("svc.pings").increment();
+      emitter.emit(seq++, {render_pong(request.id)});
+      continue;
+    }
+    if (request.kind == SvcRequest::Kind::kShutdown) {
+      break;  // graceful drain below, exactly like EOF
+    }
+    // Budget admission happens here, on the reader, in arrival order —
+    // the verdict depends only on the request stream, never on worker
+    // timing, so replays are byte-identical.
+    const BudgetVerdict verdict = service.admit(request);
+    if (!verdict.admitted) {
+      ++stats.throttled;
+      emitter.emit(seq++, {render_throttled(request.id, request.client,
+                                            verdict.need_tokens,
+                                            verdict.have_tokens)});
+      continue;
+    }
+    WorkItem item{seq, std::move(request)};
+    if (options.reject_when_full) {
+      if (!queue.try_push(std::move(item))) {
+        ++stats.busy;
+        obs::metrics().counter("svc.busy").increment();
+        emitter.emit(seq, {render_busy(item.request.id, queue.depth())});
+      }
+    } else {
+      queue.push_blocking(std::move(item));
+    }
+    ++seq;
+  }
+
+  queue.close();
+  for (auto& t : pool) {
+    t.join();
+  }
+  stats.served = served.load(std::memory_order_relaxed);
+  out << render_bye(stats.served) << '\n';
+  out.flush();
+  service.store().flush();
+  return stats;
+}
+
+namespace {
+
+/// One connected client: buffered line reads straight off the fd, every
+/// request answered synchronously on this connection's thread.
+class Connection {
+ public:
+  Connection(int fd, Service& service, const ServeOptions& options,
+             std::atomic<int>& inflight, ServeStats& stats,
+             std::mutex& stats_mutex, std::atomic<bool>& stopping)
+      : fd_(fd),
+        service_(service),
+        options_(options),
+        inflight_(inflight),
+        stats_(stats),
+        stats_mutex_(stats_mutex),
+        stopping_(stopping) {}
+
+  /// True when this connection asked the whole server to shut down.
+  bool run() {
+    std::string line;
+    bool shutdown = false;
+    std::uint64_t served = 0;
+    while (!shutdown && read_line(line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) {
+        continue;
+      }
+      // Global in-flight cap = admission control across connections.
+      const int depth = inflight_.fetch_add(1, std::memory_order_acq_rel);
+      if (options_.reject_when_full &&
+          depth >= static_cast<int>(options_.queue_capacity)) {
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        std::int64_t id = -1;
+        try {
+          id = parse_request_line(line).id;
+        } catch (const Error&) {
+        }
+        bump([](ServeStats& s) { ++s.busy; });
+        write_lines({render_busy(id, static_cast<std::size_t>(depth))});
+        continue;
+      }
+      bool is_shutdown = false;
+      std::vector<std::string> lines;
+      try {
+        lines = service_.process_line(line, &is_shutdown);
+      } catch (const Error& e) {
+        lines.push_back(render_error(-1, e.what()));
+      }
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      if (is_shutdown) {
+        shutdown = true;
+        stopping_.store(true, std::memory_order_release);
+        break;
+      }
+      if (!lines.empty() && lines.front().find("\"type\":\"pong\"") !=
+                                std::string::npos) {
+        bump([](ServeStats& s) { ++s.pings; });
+      } else if (!lines.empty() &&
+                 lines.front().find("\"type\":\"error\"") !=
+                     std::string::npos) {
+        bump([](ServeStats& s) { ++s.errors; });
+      } else if (!lines.empty() &&
+                 lines.front().find("\"type\":\"throttled\"") !=
+                     std::string::npos) {
+        bump([](ServeStats& s) { ++s.throttled; });
+      } else if (!lines.empty()) {
+        ++served;
+      }
+      write_lines(lines);
+    }
+    bump([served](ServeStats& s) { s.served += served; });
+    // Every connection gets its own goodbye so clients can detect a
+    // graceful close; `served` is this connection's tally.
+    write_lines({render_bye(served)});
+    ::close(fd_);
+    return shutdown;
+  }
+
+ private:
+  template <typename Fn>
+  void bump(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    fn(stats_);
+  }
+
+  bool read_line(std::string& line) {
+    line.clear();
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) {
+        if (!buffer_.empty()) {
+          line.swap(buffer_);
+          return true;
+        }
+        return false;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  void write_lines(const std::vector<std::string>& lines) {
+    std::string out;
+    for (const auto& line : lines) {
+      out += line;
+      out.push_back('\n');
+    }
+    std::size_t written = 0;
+    while (written < out.size()) {
+      // MSG_NOSIGNAL: a peer that already hung up (the shutdown poke, a
+      // client gone after `shutdown`) must yield EPIPE, not kill the
+      // daemon with SIGPIPE.
+      const ssize_t n = ::send(fd_, out.data() + written,
+                               out.size() - written, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return;  // client went away; nothing useful to do
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  }
+
+  int fd_;
+  Service& service_;
+  const ServeOptions& options_;
+  std::atomic<int>& inflight_;
+  ServeStats& stats_;
+  std::mutex& stats_mutex_;
+  std::atomic<bool>& stopping_;
+  std::string buffer_;
+};
+
+}  // namespace
+
+ServeStats serve_unix_socket(Service& service, const std::string& path,
+                             const ServeOptions& options) {
+  HETERO_REQUIRE(!path.empty(), "svc: socket path must be non-empty");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  HETERO_REQUIRE(path.size() < sizeof(addr.sun_path),
+                 "svc: socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HETERO_REQUIRE(listen_fd >= 0, "svc: cannot create socket");
+  ::unlink(path.c_str());
+  HETERO_REQUIRE(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "svc: cannot bind socket at " + path);
+  HETERO_REQUIRE(::listen(listen_fd, 64) == 0,
+                 "svc: cannot listen on " + path);
+
+  ServeStats stats;
+  std::mutex stats_mutex;
+  std::atomic<int> inflight{0};
+  std::atomic<bool> stopping{false};
+  std::vector<std::thread> connections;
+
+  while (!stopping.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping.load(std::memory_order_acquire)) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    connections.emplace_back([&, fd] {
+      Connection conn(fd, service, options, inflight, stats, stats_mutex,
+                      stopping);
+      if (conn.run()) {
+        // Unblock the accept() so the server notices the shutdown: a
+        // no-op connection to our own socket.
+        const int poke = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (poke >= 0) {
+          ::connect(poke, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr));
+          ::close(poke);
+        }
+      }
+    });
+  }
+
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  for (auto& t : connections) {
+    t.join();
+  }
+  service.store().flush();
+  return stats;
+}
+
+}  // namespace hetero::svc

@@ -1,0 +1,173 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "broker/candidates.hpp"
+#include "broker/objectives.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+#include "svc/result_codec.hpp"
+
+namespace hetero::svc {
+
+namespace {
+
+/// Namespace prefixes keep the two cache levels apart in one log.
+const std::string kRequestPrefix = "req|";
+const std::string kExperimentPrefix = "exp|";
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& payload) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < payload.size()) {
+    const std::size_t end = payload.find('\n', start);
+    lines.push_back(payload.substr(start, end - start));
+    if (end == std::string::npos) {
+      break;
+    }
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+/// Adapts the MemoStore onto the engine's persistence hook: experiment
+/// results ride the same checksummed log as the request payloads, under
+/// their own key prefix, encoded bit-exactly by the result codec.
+class Service::ExperimentMemo final : public core::ExperimentResultStore {
+ public:
+  explicit ExperimentMemo(MemoStore& store) : store_(store) {}
+
+  bool load(const std::string& key, core::ExperimentResult& out) override {
+    std::string bytes;
+    if (!store_.lookup(kExperimentPrefix + key, &bytes)) {
+      return false;
+    }
+    out = decode_result(bytes);
+    return true;
+  }
+
+  void save(const std::string& key,
+            const core::ExperimentResult& result) override {
+    store_.append(kExperimentPrefix + key, encode_result(result));
+  }
+
+ private:
+  MemoStore& store_;
+};
+
+Service::Service(ServiceOptions options) : options_(options) {
+  store_ = std::make_unique<MemoStore>(options_.store_path);
+  experiment_memo_ = std::make_unique<ExperimentMemo>(*store_);
+  core::CampaignEngineOptions engine_options;
+  engine_options.jobs = options_.jobs;
+  engine_options.result_store = experiment_memo_.get();
+  engine_ = std::make_unique<core::CampaignEngine>(options_.seed,
+                                                   engine_options);
+  broker_ = std::make_unique<broker::Broker>(*engine_);
+}
+
+Service::~Service() = default;
+
+double Service::request_cost(const SvcRequest& request) const {
+  // The engine weighs a modeled experiment as 1 simulated thread; a
+  // request prices one modeled experiment (or campaign simulation) per
+  // candidate, so its weight is the candidate count. Computed from the
+  // request alone: warm and cold paths charge identically.
+  return static_cast<double>(
+      broker::enumerate_candidates(request.job).size());
+}
+
+BudgetVerdict Service::admit(const SvcRequest& request) {
+  BudgetVerdict verdict;
+  if (options_.budget_capacity <= 0.0) {
+    return verdict;
+  }
+  verdict.need_tokens = request_cost(request);
+  std::lock_guard<std::mutex> lock(budget_mutex_);
+  auto [it, inserted] =
+      budgets_.emplace(request.client, options_.budget_capacity);
+  if (!inserted) {
+    it->second = std::min(options_.budget_capacity,
+                          it->second + options_.budget_refill);
+  }
+  verdict.have_tokens = it->second;
+  if (it->second < verdict.need_tokens) {
+    verdict.admitted = false;
+    obs::metrics().counter("svc.throttled").increment();
+    return verdict;
+  }
+  it->second -= verdict.need_tokens;
+  return verdict;
+}
+
+std::vector<std::string> Service::process(const SvcRequest& request) {
+  const auto started = std::chrono::steady_clock::now();
+  const std::string key =
+      kRequestPrefix + request_cache_key(request, options_.seed);
+  const std::string payload = store_->fetch_or_compute(key, [&] {
+    obs::trace_instant("svc_compute", "svc", 0.0, "candidates",
+                       request_cost(request));
+    const auto objective = broker::objective_by_name(request.objective);
+    const auto recommendation = broker_->recommend(request.job, objective);
+    return join_lines(render_response(request, recommendation));
+  });
+  std::vector<std::string> lines = split_lines(payload);
+  for (auto& line : lines) {
+    line = finalize_line(line, request.id);
+  }
+  obs::metrics().counter("svc.requests").increment();
+  obs::metrics()
+      .histogram("svc.request_latency_s")
+      .observe(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - started)
+                   .count());
+  return lines;
+}
+
+std::vector<std::string> Service::process_line(const std::string& line,
+                                               bool* is_shutdown) {
+  if (is_shutdown != nullptr) {
+    *is_shutdown = false;
+  }
+  SvcRequest request;
+  try {
+    request = parse_request_line(line);
+  } catch (const Error& e) {
+    obs::metrics().counter("svc.errors").increment();
+    return {render_error(-1, e.what())};
+  }
+  switch (request.kind) {
+    case SvcRequest::Kind::kPing:
+      obs::metrics().counter("svc.pings").increment();
+      return {render_pong(request.id)};
+    case SvcRequest::Kind::kShutdown:
+      if (is_shutdown != nullptr) {
+        *is_shutdown = true;
+      }
+      return {};
+    case SvcRequest::Kind::kJob:
+      break;
+  }
+  const BudgetVerdict verdict = admit(request);
+  if (!verdict.admitted) {
+    return {render_throttled(request.id, request.client,
+                             verdict.need_tokens, verdict.have_tokens)};
+  }
+  return process(request);
+}
+
+}  // namespace hetero::svc

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file service.hpp
+/// The advisory service core, transport-independent: one Service owns the
+/// persistent memo store, a store-backed CampaignEngine, and the broker
+/// pipeline, and turns parsed requests into rendered response lines.
+///
+/// Caching is two-level and content-addressed, both levels in one
+/// MemoStore log:
+///   * "req|..." entries memoize whole response payloads keyed on the full
+///     request descriptor + seed — a repeated request is answered without
+///     touching the broker at all (the warm path the throughput bench
+///     gates at >= 5x);
+///   * "exp|..." entries are the campaign engine's memoization spilled to
+///     disk via core::ExperimentResultStore — a *new* request after a
+///     restart still warm-starts from every experiment any earlier request
+///     priced (incremental sweeps).
+///
+/// Admission control (the bounded queue) lives in the transport layer
+/// (server.hpp); the Service supplies the deterministic per-client
+/// token-bucket budget check, priced in the engine's own simulated-thread
+/// units: a modeled candidate prediction weighs 1, so one request costs
+/// its candidate count. Buckets refill per admitted request — never per
+/// wall-clock second — so budget verdicts replay identically across runs.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "core/campaign_engine.hpp"
+#include "svc/memo_store.hpp"
+#include "svc/protocol.hpp"
+
+namespace hetero::svc {
+
+struct ServiceOptions {
+  std::uint64_t seed = 42;
+  /// Engine pool width for one recommendation (0 = --jobs resolution).
+  int jobs = 1;
+  /// Memo-store log path; empty = in-memory caching only (no warm start).
+  std::string store_path;
+  /// Token-bucket capacity per client, in simulated-thread units
+  /// (candidate predictions). 0 = budgets disabled.
+  double budget_capacity = 0.0;
+  /// Tokens credited to a client's bucket per admitted request of that
+  /// client (deterministic refill; no wall-clock involved).
+  double budget_refill = 0.0;
+};
+
+struct BudgetVerdict {
+  bool admitted = true;
+  double need_tokens = 0.0;
+  double have_tokens = 0.0;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admission-side cost of a job request in simulated-thread units: the
+  /// number of deployment candidates the broker will price. Deterministic
+  /// in the request alone (warm and cold runs charge the same).
+  double request_cost(const SvcRequest& request) const;
+
+  /// Token-bucket check-and-charge for one job request. Call exactly once
+  /// per request, in admission order, before process(). Thread-safe.
+  BudgetVerdict admit(const SvcRequest& request);
+
+  /// Answers one job request: serves the rendered payload from the
+  /// request-level memo (computing and persisting it on a miss, with
+  /// in-flight dedup across concurrent callers) and finalizes the id.
+  /// Thread-safe.
+  std::vector<std::string> process(const SvcRequest& request);
+
+  /// Convenience one-shot path (batch mode, tests): parse + admit +
+  /// process one raw input line; malformed lines become error records and
+  /// pings become pongs. `is_shutdown`, when non-null, reports a shutdown
+  /// request (the line itself produces no output).
+  std::vector<std::string> process_line(const std::string& line,
+                                        bool* is_shutdown = nullptr);
+
+  MemoStore& store() { return *store_; }
+  const core::CampaignEngine& engine() const { return *engine_; }
+  std::uint64_t seed() const { return options_.seed; }
+
+ private:
+  class ExperimentMemo;
+
+  ServiceOptions options_;
+  std::unique_ptr<MemoStore> store_;
+  std::unique_ptr<ExperimentMemo> experiment_memo_;
+  std::unique_ptr<core::CampaignEngine> engine_;
+  std::unique_ptr<broker::Broker> broker_;
+
+  std::mutex budget_mutex_;
+  std::unordered_map<std::string, double> budgets_;
+};
+
+}  // namespace hetero::svc

@@ -1,0 +1,536 @@
+// Tests for the advisory service: wire protocol, persistent memo store
+// (including corruption recovery), the bit-exact result codec, and the
+// pipe transport end to end — warm restarts must be byte-identical.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "svc/memo_store.hpp"
+#include "svc/protocol.hpp"
+#include "svc/result_codec.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace hetero;
+
+struct TempFile {
+  explicit TempFile(const std::string& name) : path("/tmp/" + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+std::string small_request(int id, int ranks = 8,
+                          const std::string& extra = "") {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"app\":\"rd\",\"ranks\":" + std::to_string(ranks) +
+         ",\"iterations\":10,\"frontier\":false" + extra + "}";
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+// --- protocol ---------------------------------------------------------
+
+TEST(SvcProtocol, ParsesDefaultsAndAllFields) {
+  const auto req = svc::parse_request_line(
+      R"({"id":7,"app":"ns","elements":500000,"iterations":20,)"
+      R"("deadline_h":12,"budget_usd":9.5,"risk":0.25,)"
+      R"("risk_budget_usd":3,"ported":true,"objective":"cost",)"
+      R"("frontier":false,"top":4,"client":"alice"})");
+  EXPECT_EQ(req.kind, svc::SvcRequest::Kind::kJob);
+  EXPECT_EQ(req.id, 7);
+  EXPECT_EQ(req.client, "alice");
+  EXPECT_EQ(req.job.app, perf::AppKind::kNavierStokes);
+  EXPECT_EQ(req.job.total_elements, 500000);
+  EXPECT_EQ(req.job.iterations, 20);
+  ASSERT_TRUE(req.job.deadline_h.has_value());
+  EXPECT_DOUBLE_EQ(*req.job.deadline_h, 12.0);
+  ASSERT_TRUE(req.job.budget_usd.has_value());
+  EXPECT_DOUBLE_EQ(*req.job.budget_usd, 9.5);
+  EXPECT_DOUBLE_EQ(req.job.risk_tolerance, 0.25);
+  ASSERT_TRUE(req.job.risk_budget_usd.has_value());
+  EXPECT_DOUBLE_EQ(*req.job.risk_budget_usd, 3.0);
+  EXPECT_FALSE(req.job.include_provisioning);  // ported inverts it
+  EXPECT_EQ(req.objective, "cost");
+  EXPECT_FALSE(req.want_frontier);
+  EXPECT_EQ(req.top, 4);
+
+  const auto defaults = svc::parse_request_line(R"({"id":0})");
+  EXPECT_EQ(defaults.client, "anon");
+  EXPECT_EQ(defaults.objective, "effective");
+  EXPECT_TRUE(defaults.want_frontier);
+  EXPECT_TRUE(defaults.job.include_provisioning);
+}
+
+TEST(SvcProtocol, StrictParseRejections) {
+  EXPECT_THROW(svc::parse_request_line(R"({"id":1,"frobnicate":1})"), Error);
+  EXPECT_THROW(svc::parse_request_line(R"({"app":"rd"})"), Error);  // no id
+  EXPECT_THROW(svc::parse_request_line(R"({"id":-1})"), Error);
+  EXPECT_THROW(svc::parse_request_line(R"({"id":1,"app":"xx"})"), Error);
+  EXPECT_THROW(
+      svc::parse_request_line(R"({"id":1,"objective":"fastest"})"), Error);
+  EXPECT_THROW(svc::parse_request_line(R"({"id":1,"schema":"v0"})"), Error);
+  EXPECT_THROW(svc::parse_request_line(R"({"id":1,"type":"query"})"), Error);
+  EXPECT_THROW(svc::parse_request_line("not json"), Error);
+  EXPECT_THROW(svc::parse_request_line(R"({"id":1.5})"), Error);
+}
+
+TEST(SvcProtocol, CacheKeySeparatesEveryAnswerField) {
+  const auto base = svc::parse_request_line(small_request(1));
+  const std::string key = svc::request_cache_key(base, 42);
+  // The id and client never reach the payload, so they must not split the
+  // cache; everything that changes the answer must.
+  auto other = svc::parse_request_line(small_request(999));
+  other.client = "bob";
+  EXPECT_EQ(svc::request_cache_key(other, 42), key);
+  EXPECT_NE(svc::request_cache_key(base, 43), key);
+  EXPECT_NE(svc::request_cache_key(
+                svc::parse_request_line(small_request(1, 27)), 42),
+            key);
+  EXPECT_NE(svc::request_cache_key(
+                svc::parse_request_line(
+                    small_request(1, 8, ",\"objective\":\"cost\"")),
+                42),
+            key);
+  EXPECT_NE(svc::request_cache_key(
+                svc::parse_request_line(small_request(1, 8, ",\"top\":3")),
+                42),
+            key);
+}
+
+TEST(SvcProtocol, FinalizeSubstitutesTheIdToken) {
+  EXPECT_EQ(svc::finalize_line(R"({"id":"@ID@","x":1})", 17),
+            R"({"id":17,"x":1})");
+  EXPECT_THROW(svc::finalize_line(R"({"id":3})", 17), Error);
+}
+
+// --- result codec -----------------------------------------------------
+
+TEST(SvcResultCodec, RoundTripsBitExactly) {
+  core::ExperimentResult r;
+  r.launched = true;
+  r.hosts = 13;
+  r.queue_wait_s = 0.1 + 0.2;  // not representable exactly: bit test
+  r.provisioning_hours = 11.65;
+  r.iteration.assembly_s = 1.0 / 3.0;
+  r.iteration.preconditioner_s = 2e-9;
+  r.iteration.solve_s = 123.456789012345678;
+  r.iteration.total_s = r.iteration.assembly_s + r.iteration.solve_s;
+  r.iteration.solver_iterations = 87.0;
+  r.cost_per_iteration_usd = 0.007;
+  r.est_cost_per_iteration_usd = 0.0065;
+  r.spot_hosts = 4;
+  r.work_per_rank.local_tets = 1234567890123;
+  r.work_per_rank.local_rows = 42;
+  r.work_per_rank.halo_doubles = -1;
+  r.work_per_rank.solver_iterations = 87;
+  r.nodal_error = 3.0303e-12;
+  r.solver_converged = true;
+  r.resil.attempts = 3;
+  r.resil.recovered = true;
+  r.resil.wasted_cost_usd = 0.25;
+  r.resil.final_ranks = 64;
+
+  const auto decoded = svc::decode_result(svc::encode_result(r));
+  EXPECT_EQ(decoded.launched, r.launched);
+  EXPECT_EQ(decoded.hosts, r.hosts);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.queue_wait_s),
+            std::bit_cast<std::uint64_t>(r.queue_wait_s));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.iteration.solve_s),
+            std::bit_cast<std::uint64_t>(r.iteration.solve_s));
+  EXPECT_EQ(decoded.work_per_rank.local_tets, r.work_per_rank.local_tets);
+  EXPECT_EQ(decoded.work_per_rank.halo_doubles,
+            r.work_per_rank.halo_doubles);
+  EXPECT_EQ(decoded.resil.attempts, r.resil.attempts);
+  EXPECT_EQ(decoded.resil.recovered, r.resil.recovered);
+  EXPECT_EQ(decoded.resil.final_ranks, r.resil.final_ranks);
+  EXPECT_EQ(svc::encode_result(decoded), svc::encode_result(r));
+
+  core::ExperimentResult failed;
+  failed.launched = false;
+  failed.failure_reason = "queue limit: max 16 nodes per job";
+  const auto failed2 = svc::decode_result(svc::encode_result(failed));
+  EXPECT_FALSE(failed2.launched);
+  EXPECT_EQ(failed2.failure_reason, failed.failure_reason);
+}
+
+TEST(SvcResultCodec, RejectsMalformedPayloads) {
+  core::ExperimentResult r;
+  std::string bytes = svc::encode_result(r);
+  EXPECT_THROW(svc::decode_result(bytes + "x"), Error);  // trailing junk
+  EXPECT_THROW(svc::decode_result(bytes.substr(0, bytes.size() - 3)), Error);
+  bytes[0] = 99;  // unknown version
+  EXPECT_THROW(svc::decode_result(bytes), Error);
+  EXPECT_THROW(svc::decode_result(""), Error);
+}
+
+// --- memo store -------------------------------------------------------
+
+TEST(MemoStore, PersistsAcrossReopen) {
+  TempFile log("svc_memo_reopen.log");
+  {
+    svc::MemoStore store(log.path);
+    store.append("alpha", "1");
+    store.append("beta", std::string("\0\n\xff binary", 10));
+    store.append("alpha", "SHADOWED");  // content-addressed: first wins
+    EXPECT_EQ(store.size(), 2u);
+  }
+  svc::MemoStore store(log.path);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.stats().recovered_records, 2u);
+  EXPECT_EQ(store.stats().dropped_bytes, 0u);
+  std::string v;
+  ASSERT_TRUE(store.lookup("alpha", &v));
+  EXPECT_EQ(v, "1");
+  ASSERT_TRUE(store.lookup("beta", &v));
+  EXPECT_EQ(v, std::string("\0\n\xff binary", 10));
+  EXPECT_FALSE(store.lookup("gamma", &v));
+}
+
+TEST(MemoStore, TruncatedTailDropsOnlyTheTornRecord) {
+  TempFile log("svc_memo_torn.log");
+  std::size_t full_size = 0;
+  {
+    svc::MemoStore store(log.path);
+    store.append("k1", "v1");
+    store.append("k2", "v2");
+    store.append("k3", "v3");
+  }
+  {
+    std::ifstream in(log.path, std::ios::binary | std::ios::ate);
+    full_size = static_cast<std::size_t>(in.tellg());
+  }
+  ASSERT_EQ(::truncate(log.path.c_str(),
+                       static_cast<off_t>(full_size - 3)),
+            0);  // tear the last record mid-value
+  svc::MemoStore store(log.path);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_GT(store.stats().dropped_bytes, 0u);
+  std::string v;
+  EXPECT_TRUE(store.lookup("k1", &v));
+  EXPECT_TRUE(store.lookup("k2", &v));
+  EXPECT_FALSE(store.lookup("k3", &v));
+  // The log is healthy again: appends after recovery survive a reopen.
+  store.append("k4", "v4");
+  store.flush();
+  svc::MemoStore reopened(log.path);
+  EXPECT_EQ(reopened.size(), 3u);
+  EXPECT_TRUE(reopened.lookup("k4", &v));
+  EXPECT_EQ(v, "v4");
+}
+
+TEST(MemoStore, FlippedChecksumByteDropsTheDamagedSuffix) {
+  TempFile log("svc_memo_flip.log");
+  {
+    svc::MemoStore store(log.path);
+    store.append("k1", "value-one");
+    store.append("k2", "value-two");
+    store.append("k3", "value-three");
+  }
+  // Flip one byte inside the second record's checksum field. Records are
+  // [magic u32][key_len u32][value_len u32][checksum u64][key][value]:
+  // record 1 spans 20 + 2 + 9 bytes, so record 2's checksum starts at
+  // offset 31 + 12.
+  {
+    std::fstream f(log.path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(31 + 12);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(31 + 12);
+    f.write(&byte, 1);
+  }
+  svc::MemoStore store(log.path);
+  // Recovery keeps the intact prefix and drops everything from the
+  // damaged record on — k3 is collateral, by design (append-only log).
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().recovered_records, 1u);
+  EXPECT_GT(store.stats().dropped_bytes, 0u);
+  std::string v;
+  EXPECT_TRUE(store.lookup("k1", &v));
+  EXPECT_EQ(v, "value-one");
+  EXPECT_FALSE(store.lookup("k2", &v));
+  EXPECT_FALSE(store.lookup("k3", &v));
+}
+
+TEST(MemoStore, InMemoryModeWorksWithoutAFile) {
+  svc::MemoStore store("");
+  store.append("k", "v");
+  store.flush();
+  std::string v;
+  EXPECT_TRUE(store.lookup("k", &v));
+  EXPECT_EQ(store.fetch_or_compute("k", [] { return std::string("X"); }),
+            "v");
+}
+
+TEST(MemoStore, ConcurrentFetchOrComputeRunsTheComputeOnce) {
+  svc::MemoStore store("");
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  std::vector<std::string> results(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      results[static_cast<std::size_t>(i)] =
+          store.fetch_or_compute("shared", [&] {
+            computes.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            return std::string("the-answer");
+          });
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(computes.load(), 1);
+  for (const auto& r : results) {
+    EXPECT_EQ(r, "the-answer");
+  }
+}
+
+TEST(MemoStore, FailedComputeReleasesTheKeyForRetry) {
+  svc::MemoStore store("");
+  EXPECT_THROW(store.fetch_or_compute(
+                   "k", []() -> std::string { throw Error("boom"); }),
+               Error);
+  EXPECT_EQ(store.fetch_or_compute("k", [] { return std::string("ok"); }),
+            "ok");
+}
+
+// --- service + pipe transport -----------------------------------------
+
+TEST(SvcServe, AnswersAStreamWithMonotoneIdsAndDrainsToBye) {
+  svc::Service service(svc::ServiceOptions{});
+  std::istringstream in(
+      "{\"id\":0,\"type\":\"ping\"}\n" + small_request(1) + "\n" +
+      "this is not json\n" +
+      small_request(3, 8, ",\"frontier\":true,\"top\":2") + "\n" +
+      "{\"id\":4,\"type\":\"shutdown\"}\n" + small_request(5) + "\n");
+  std::ostringstream out;
+  const auto stats = svc::serve_pipe(service, in, out);
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_EQ(stats.pings, 1u);
+  EXPECT_EQ(stats.errors, 1u);
+
+  const auto lines = lines_of(out.str());
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("\"type\":\"pong\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"decision\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\":1"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"type\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"id\":null"), std::string::npos);
+  // Request 3 asked for the frontier and 2 ranked alternates.
+  bool saw_frontier = false;
+  bool saw_ranked = false;
+  for (const auto& line : lines) {
+    saw_frontier |= line.find("\"type\":\"frontier\"") != std::string::npos;
+    saw_ranked |= line.find("\"type\":\"ranked\"") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_frontier);
+  EXPECT_TRUE(saw_ranked);
+  // Shutdown cut the stream before request 5; the bye record is last.
+  EXPECT_NE(lines.back().find("\"type\":\"bye\""), std::string::npos);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.find("\"id\":5"), std::string::npos);
+  }
+}
+
+TEST(SvcServe, WarmRestartIsByteIdenticalAndAppendsNothing) {
+  TempFile log("svc_warm_restart.log");
+  const std::string requests = small_request(1) + "\n" +
+                               small_request(2, 27) + "\n" +
+                               small_request(3) + "\n";
+  std::ostringstream cold;
+  {
+    svc::ServiceOptions options;
+    options.store_path = log.path;
+    svc::Service service(options);
+    std::istringstream in(requests);
+    svc::serve_pipe(service, in, cold);
+    EXPECT_GT(service.store().stats().appends, 0u);
+  }
+  std::ostringstream warm;
+  {
+    svc::ServiceOptions options;
+    options.store_path = log.path;
+    svc::Service service(options);
+    std::istringstream in(requests);
+    svc::serve_pipe(service, in, warm);
+    EXPECT_EQ(service.store().stats().appends, 0u);
+    EXPECT_EQ(service.store().stats().hits, 3u);
+  }
+  EXPECT_EQ(cold.str(), warm.str());
+}
+
+TEST(SvcServe, RestartMidStreamThenReplayMatchesTheUnbrokenRun) {
+  TempFile log("svc_split_stream.log");
+  const std::vector<std::string> reqs = {
+      small_request(1), small_request(2, 27),
+      small_request(3, 8, ",\"objective\":\"cost\""), small_request(4)};
+  const auto run = [&](const std::string& store_path, std::size_t begin,
+                       std::size_t end) {
+    std::string text;
+    for (std::size_t i = begin; i < end; ++i) {
+      text += reqs[i] + "\n";
+    }
+    svc::ServiceOptions options;
+    options.store_path = store_path;
+    svc::Service service(options);
+    std::istringstream in(text);
+    std::ostringstream out;
+    svc::serve_pipe(service, in, out);
+    // Strip the per-process bye record: we compare the answer streams.
+    std::string joined;
+    for (const auto& line : lines_of(out.str())) {
+      if (line.find("\"type\":\"bye\"") == std::string::npos) {
+        joined += line + "\n";
+      }
+    }
+    return joined;
+  };
+  const std::string first_half = run(log.path, 0, 2);   // killed here
+  const std::string second_half = run(log.path, 2, 4);  // warm restart
+  TempFile fresh("svc_split_stream_fresh.log");
+  const std::string unbroken = run(fresh.path, 0, 4);
+  EXPECT_EQ(first_half + second_half, unbroken);
+}
+
+TEST(SvcServe, NewRequestAfterRestartReusesStoredExperiments) {
+  TempFile log("svc_incremental.log");
+  {
+    svc::ServiceOptions options;
+    options.store_path = log.path;
+    svc::Service service(options);
+    std::istringstream in(small_request(1) + "\n");
+    std::ostringstream out;
+    svc::serve_pipe(service, in, out);
+  }
+  // Same job, different objective: a request never seen before whose
+  // experiments were all priced by the first run.
+  svc::ServiceOptions options;
+  options.store_path = log.path;
+  svc::Service service(options);
+  std::istringstream in(small_request(2, 8, ",\"objective\":\"cost\"") +
+                        "\n");
+  std::ostringstream out;
+  svc::serve_pipe(service, in, out);
+  EXPECT_GT(service.engine().stats().store_hits, 0u);
+  EXPECT_NE(out.str().find("\"type\":\"decision\""), std::string::npos);
+}
+
+TEST(SvcServe, TokenBucketThrottlesAndRefills) {
+  svc::ServiceOptions options;
+  svc::Service probe(svc::ServiceOptions{});
+  const double cost = probe.request_cost(
+      svc::parse_request_line(small_request(1)));
+  ASSERT_GT(cost, 0.0);
+  // Capacity covers exactly one request; refill half a request per
+  // admitted request, so every second request gets through.
+  options.budget_capacity = cost;
+  options.budget_refill = cost / 2;
+  svc::Service service(options);
+  std::istringstream in(small_request(1) + "\n" + small_request(2) + "\n" +
+                        small_request(3) + "\n");
+  std::ostringstream out;
+  const auto stats = svc::serve_pipe(service, in, out);
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_EQ(stats.throttled, 1u);
+  const auto lines = lines_of(out.str());
+  EXPECT_NE(lines[0].find("\"type\":\"decision\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"throttled\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\":2"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"type\":\"decision\""), std::string::npos);
+}
+
+TEST(SvcServe, RejectModeAnswersEveryRequestWithDecisionOrBusy) {
+  svc::Service service(svc::ServiceOptions{});
+  svc::ServeOptions serve_options;
+  serve_options.reject_when_full = true;
+  serve_options.queue_capacity = 1;
+  std::string text;
+  for (int i = 0; i < 12; ++i) {
+    text += small_request(i, 8) + "\n";
+  }
+  std::istringstream in(text);
+  std::ostringstream out;
+  const auto stats = svc::serve_pipe(service, in, out);
+  EXPECT_EQ(stats.served + stats.busy, 12u);
+  std::size_t answers = 0;
+  for (const auto& line : lines_of(out.str())) {
+    if (line.find("\"type\":\"decision\"") != std::string::npos ||
+        line.find("\"type\":\"busy\"") != std::string::npos) {
+      ++answers;
+    }
+  }
+  EXPECT_EQ(answers, 12u);
+}
+
+TEST(SvcServe, UnixSocketSpeaksTheSameProtocol) {
+  const std::string path = "/tmp/svc_test_socket_" +
+                           std::to_string(::getpid()) + ".sock";
+  svc::Service service(svc::ServiceOptions{});
+  svc::ServeStats stats;
+  std::thread server([&] {
+    stats = svc::serve_unix_socket(service, path);
+  });
+  // Wait for the socket to appear, then connect.
+  int fd = -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(fd, 0) << "could not connect to " << path;
+  const std::string payload = "{\"id\":0,\"type\":\"ping\"}\n" +
+                              small_request(1) + "\n" +
+                              "{\"id\":2,\"type\":\"shutdown\"}\n";
+  ASSERT_EQ(::write(fd, payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  std::string response;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.join();
+  EXPECT_NE(response.find("\"type\":\"pong\""), std::string::npos);
+  EXPECT_NE(response.find("\"type\":\"decision\""), std::string::npos);
+  EXPECT_NE(response.find("\"type\":\"bye\""), std::string::npos);
+  EXPECT_EQ(stats.served, 1u);
+  ::unlink(path.c_str());
+}
+
+}  // namespace

@@ -16,6 +16,14 @@ gate survives machine-to-machine variance (see docs/kernels.md).
 
 Usage:
     tools/check_bench.py --baseline bench/baselines/fig4.json RESULTS.jsonl
+    tools/check_bench.py --schema svc ANSWERS.jsonl
+
+`--schema svc` validates a heterolab-svc-v1 response stream instead (the
+advisory daemon's stdout): schema tag and known record type on every line,
+per-type required keys, non-decreasing response ids (the ordered-emitter
+contract), frontier/ranked seq numbering, and the final "bye" record.
+--baseline is optional in svc mode; when given, its checks run over the
+response records too.
 
 Baseline format (JSON):
     {
@@ -53,6 +61,20 @@ import json
 import sys
 
 SCHEMA = "heterolab-bench-v1"
+SVC_SCHEMA = "heterolab-svc-v1"
+
+# Required keys per svc record type, beyond the universal schema/type/id.
+SVC_REQUIRED = {
+    "decision": ["ok", "objective", "candidates", "feasible", "rejected",
+                 "frontier"],
+    "ranked": ["seq", "candidate", "effective_s", "cost_usd", "score"],
+    "frontier": ["seq", "candidate", "time_s", "cost_usd"],
+    "pong": [],
+    "error": ["reason"],
+    "busy": ["queue_depth"],
+    "throttled": ["client", "reason", "need_tokens", "have_tokens"],
+    "bye": ["served"],
+}
 
 
 def load_jsonl(path):
@@ -156,17 +178,130 @@ def run_check(check, records):
     raise CheckFailure(f"unknown check type: {kind!r}")
 
 
+def validate_svc_stream(records):
+    """Structural checks on a heterolab-svc-v1 response stream.
+
+    Returns a list of failure strings (empty when the stream is valid).
+    """
+    failures = []
+    last_id = None
+    frontier_seq = {}  # id -> next expected frontier seq
+    ranked_seq = {}    # id -> next expected ranked seq
+    for index, record in enumerate(records, 1):
+        where = f"record {index}"
+        if record.get("schema") != SVC_SCHEMA:
+            failures.append(
+                f"{where}: schema {record.get('schema')!r}, "
+                f"expected {SVC_SCHEMA!r}")
+            continue
+        rtype = record.get("type")
+        if rtype not in SVC_REQUIRED:
+            failures.append(f"{where}: unknown record type {rtype!r}")
+            continue
+        for key in SVC_REQUIRED[rtype]:
+            if key not in record:
+                failures.append(
+                    f"{where}: {rtype} record missing key {key!r}")
+        if rtype == "bye":
+            if index != len(records):
+                failures.append(
+                    f"{where}: bye record before end of stream")
+            continue
+        if "id" not in record:
+            failures.append(f"{where}: {rtype} record missing key 'id'")
+            continue
+        rid = record["id"]
+        if rid is None:
+            if rtype != "error":
+                failures.append(
+                    f"{where}: null id on a {rtype} record (only error "
+                    "records for unparseable lines may carry null)")
+            continue
+        if not isinstance(rid, int) or isinstance(rid, bool):
+            failures.append(f"{where}: id {rid!r} is not an integer")
+            continue
+        # The ordered emitter answers strictly in admission order, so ids
+        # never decrease (equal is fine: one request, many records).
+        if last_id is not None and rid < last_id:
+            failures.append(
+                f"{where}: id {rid} after id {last_id} — response ids "
+                "must be non-decreasing")
+        last_id = rid
+        if rtype == "decision":
+            frontier_seq[rid] = 0
+            ranked_seq[rid] = 1  # seq 0 is the winner, inline in decision
+            if record.get("ok") is True:
+                for key in ("winner", "effective_s", "cost_usd", "score"):
+                    if key not in record:
+                        failures.append(
+                            f"{where}: ok decision missing key {key!r}")
+            elif record.get("ok") is False:
+                if "reason" not in record:
+                    failures.append(
+                        f"{where}: not-ok decision missing key 'reason'")
+        elif rtype in ("frontier", "ranked"):
+            seqs = frontier_seq if rtype == "frontier" else ranked_seq
+            if rid not in seqs:
+                failures.append(
+                    f"{where}: {rtype} record for id {rid} without a "
+                    "preceding decision record")
+            elif record.get("seq") != seqs[rid]:
+                failures.append(
+                    f"{where}: {rtype} seq {record.get('seq')!r} for id "
+                    f"{rid}, expected {seqs[rid]}")
+            else:
+                seqs[rid] += 1
+    if records and records[-1].get("type") != "bye":
+        failures.append("stream does not end with a bye record")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Check bench JSONL output against a baseline.")
     parser.add_argument("results", help="JSONL written by a bench's --json")
-    parser.add_argument("--baseline", required=True,
-                        help="baseline JSON from bench/baselines/")
+    parser.add_argument("--baseline",
+                        help="baseline JSON from bench/baselines/ "
+                             "(required with --schema bench)")
+    parser.add_argument("--schema", choices=["bench", "svc"],
+                        default="bench",
+                        help="bench: heterolab-bench-v1 rows gated by a "
+                             "baseline; svc: a heterolab-svc-v1 response "
+                             "stream's structural contract")
     args = parser.parse_args()
 
+    records = load_jsonl(args.results)
+
+    if args.schema == "svc":
+        failures = []
+        if not records:
+            failures.append(f"{args.results}: no records")
+        failures.extend(validate_svc_stream(records))
+        if args.baseline:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+            for check in baseline.get("checks", []):
+                try:
+                    message = run_check(check, records)
+                except CheckFailure as err:
+                    failures.append(str(err))
+                else:
+                    print(f"  ok: {message}")
+        if failures:
+            for failure in failures[:25]:
+                print(f"FAIL [svc]: {failure}", file=sys.stderr)
+            if len(failures) > 25:
+                print(f"FAIL [svc]: ... and {len(failures) - 25} more",
+                      file=sys.stderr)
+            return 1
+        print(f"PASS [svc]: {len(records)} records, "
+              "stream contract holds")
+        return 0
+
+    if not args.baseline:
+        parser.error("--baseline is required with --schema bench")
     with open(args.baseline, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
-    records = load_jsonl(args.results)
 
     failures = []
     if not records:

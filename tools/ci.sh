@@ -18,6 +18,11 @@
 #             recovery tests plus bench_ablation_failure_recovery against
 #             its baseline, and requires --jobs 8 output byte-identical to
 #             --jobs 1 (fault schedules are pure hashes of the seed)
+#   svc       advisory daemon: svc tests under ASan, a 10k piped-request
+#             soak split across a mid-stream restart (warm replay must be
+#             byte-identical to the unbroken run, stream validated by
+#             check_bench.py --schema svc), and the Release
+#             bench_svc_throughput warm-speedup gate
 #   all       everything above, in that order (the default)
 #
 # Each job builds in its own directory (build-ci-<job>) so sanitizer and
@@ -129,7 +134,46 @@ job_tsan() {
   configure_and_build build-ci-tsan \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=thread
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-      -R '^(simmpi_test|resil_test|la_test|la_prop_test|kernels_diff_test|obs_test|campaign_engine_test)$'
+      -R '^(simmpi_test|resil_test|la_test|la_prop_test|kernels_diff_test|obs_test|campaign_engine_test|svc_test)$'
+}
+
+job_svc() {
+  echo "== ci job: svc (advisory daemon: soak, warm restart, throughput) =="
+  configure_and_build build-ci-asan \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=address
+  ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
+      -R '^(svc_test|cli_serve_pipe|cli_broker_requests_conflict)$'
+  out_dir=build-ci-asan/svc-out
+  mkdir -p "$out_dir"
+  rm -f "$out_dir"/memo.log "$out_dir"/memo-fresh.log
+  # 10k piped requests under ASan, split across a mid-stream restart: the
+  # second process warm-starts from the first one's memo store, and the
+  # concatenated answers must be byte-identical to one unbroken run.
+  python3 tools/gen_svc_requests.py --total 10000 --unique 100 \
+      > "$out_dir/all.jsonl"
+  python3 tools/gen_svc_requests.py --total 5000 --unique 100 \
+      > "$out_dir/first.jsonl"
+  python3 tools/gen_svc_requests.py --total 5000 --unique 100 \
+      --skip 5000 --start-id 5000 > "$out_dir/second.jsonl"
+  build-ci-asan/tools/heterolab serve --store "$out_dir/memo.log" \
+      --queue 16384 < "$out_dir/first.jsonl" > "$out_dir/out1.jsonl"
+  build-ci-asan/tools/heterolab serve --store "$out_dir/memo.log" \
+      --queue 16384 < "$out_dir/second.jsonl" > "$out_dir/out2.jsonl"
+  build-ci-asan/tools/heterolab serve --store "$out_dir/memo-fresh.log" \
+      --queue 16384 < "$out_dir/all.jsonl" > "$out_dir/outc.jsonl"
+  cat "$out_dir/out1.jsonl" "$out_dir/out2.jsonl" \
+      | grep -v '"type":"bye"' > "$out_dir/split.jsonl"
+  grep -v '"type":"bye"' "$out_dir/outc.jsonl" > "$out_dir/unbroken.jsonl"
+  diff "$out_dir/split.jsonl" "$out_dir/unbroken.jsonl"
+  python3 tools/check_bench.py --schema svc "$out_dir/outc.jsonl"
+  # Warm-restart throughput gate, in Release (timing under ASan is noise).
+  configure_and_build build-ci-release -DCMAKE_BUILD_TYPE=Release \
+      -DHETERO_WERROR=ON
+  mkdir -p build-ci-release/bench-out
+  build-ci-release/bench/bench_svc_throughput \
+      --json build-ci-release/bench-out/svc_throughput.jsonl
+  python3 tools/check_bench.py --baseline bench/baselines/svc.json \
+      build-ci-release/bench-out/svc_throughput.jsonl
 }
 
 job_faultsoak() {
@@ -167,9 +211,10 @@ run_job() {
     asan) job_asan ;;
     tsan) job_tsan ;;
     faultsoak) job_faultsoak ;;
-    all) job_release; job_debug; job_bench; job_kernels; job_asan; job_tsan; job_faultsoak ;;
+    svc) job_svc ;;
+    all) job_release; job_debug; job_bench; job_kernels; job_asan; job_tsan; job_faultsoak; job_svc ;;
     *)
-      echo "ci: unknown job '$1' (expected release|debug|bench|kernels|asan|tsan|faultsoak|all)" >&2
+      echo "ci: unknown job '$1' (expected release|debug|bench|kernels|asan|tsan|faultsoak|svc|all)" >&2
       exit 2
       ;;
   esac

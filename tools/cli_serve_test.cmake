@@ -1,0 +1,71 @@
+# End-to-end pipe-mode check through the real binary:
+#   1. `heterolab serve` answers a small request file (cold, persistent store)
+#   2. a second process over the same store answers identically (warm restart)
+#   3. `heterolab broker --requests` produces the same stream (shared schema)
+# Run via: cmake -DHETEROLAB=... -DWORK_DIR=... -P cli_serve_test.cmake
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(requests "${WORK_DIR}/requests.jsonl")
+file(WRITE "${requests}" "\
+{\"id\":0,\"type\":\"ping\"}
+{\"id\":1,\"app\":\"rd\",\"elements\":1000000,\"deadline_h\":24,\"budget_usd\":50}
+{\"id\":2,\"app\":\"ns\",\"ranks\":64,\"iterations\":50,\"objective\":\"cost\",\"top\":3}
+{\"id\":3,\"app\":\"rd\",\"elements\":1000000,\"deadline_h\":24,\"budget_usd\":50}
+{\"id\":4,\"type\":\"shutdown\"}
+")
+
+set(store "${WORK_DIR}/memo.log")
+
+execute_process(
+  COMMAND "${HETEROLAB}" serve --store "${store}"
+  INPUT_FILE "${requests}"
+  OUTPUT_FILE "${WORK_DIR}/cold.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold serve failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${HETEROLAB}" serve --store "${store}"
+  INPUT_FILE "${requests}"
+  OUTPUT_FILE "${WORK_DIR}/warm.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm serve failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORK_DIR}/cold.jsonl" "${WORK_DIR}/warm.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm restart output differs from cold output")
+endif()
+
+execute_process(
+  COMMAND "${HETEROLAB}" broker --requests "${requests}"
+  OUTPUT_FILE "${WORK_DIR}/batch.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "broker --requests failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORK_DIR}/cold.jsonl" "${WORK_DIR}/batch.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "batch mode output differs from serve output")
+endif()
+
+file(STRINGS "${WORK_DIR}/cold.jsonl" lines)
+list(LENGTH lines count)
+if(count LESS 5)
+  message(FATAL_ERROR "expected at least 5 response lines, got ${count}")
+endif()
+list(GET lines -1 last)
+if(NOT last MATCHES "\"type\":\"bye\"")
+  message(FATAL_ERROR "last record is not a bye record: ${last}")
+endif()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Deterministic heterolab-svc-v1 request stream for the CI soak.
+
+Emits `--total` request lines cycling over `--unique` distinct job
+descriptors (same construction as bench_svc_throughput's generator), so a
+10k-line soak prices only a bounded candidate space but exercises the
+request cache, the admission queue, and the ordered emitter at full depth.
+Ids are sequential from `--start-id`, which lets the warm-restart CI check
+split one stream across two daemon processes and still compare against the
+unbroken run.
+
+Usage:
+    tools/gen_svc_requests.py --total 10000 --unique 100 > requests.jsonl
+    tools/gen_svc_requests.py --total 5000 --start-id 5000 --skip 5000
+"""
+
+import argparse
+import sys
+
+OBJECTIVES = ["effective", "cost", "time"]
+
+
+def request_line(i, unique):
+    u = i % unique
+    app = "rd" if u % 2 == 0 else "ns"
+    elements = 500000 + (u // 6) * 37500
+    iterations = 50 + (u % 2) * 50
+    objective = OBJECTIVES[u % 3]
+    return (
+        f'{{"id":{i},"app":"{app}","elements":{elements},'
+        f'"iterations":{iterations},"objective":"{objective}",'
+        f'"frontier":false}}'
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Generate a deterministic svc request stream.")
+    parser.add_argument("--total", type=int, default=10000,
+                        help="request lines to emit (default 10000)")
+    parser.add_argument("--unique", type=int, default=100,
+                        help="distinct job descriptors cycled (default 100)")
+    parser.add_argument("--start-id", type=int, default=0,
+                        help="id of the first emitted request (default 0)")
+    parser.add_argument("--skip", type=int, default=0,
+                        help="skip this many positions of the cycle first "
+                             "(for split-stream replay checks)")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="append a shutdown request after the stream")
+    args = parser.parse_args()
+    if args.total < 0 or args.unique <= 0:
+        parser.error("need --total >= 0 and --unique > 0")
+
+    out = sys.stdout
+    for n in range(args.total):
+        i = args.skip + n
+        line = request_line(i, args.unique)
+        # Re-stamp the id so split streams stay sequential.
+        wanted = args.start_id + n
+        line = line.replace(f'{{"id":{i},', f'{{"id":{wanted},', 1)
+        out.write(line + "\n")
+    if args.shutdown:
+        out.write(
+            f'{{"id":{args.start_id + args.total},"type":"shutdown"}}\n')
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

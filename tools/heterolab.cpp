@@ -14,6 +14,7 @@
 // or flags print the usage and exit non-zero.
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "broker/broker.hpp"
@@ -27,6 +28,8 @@
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/units.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
 
 namespace {
 
@@ -243,7 +246,67 @@ int cmd_campaign(const CliArgs& args) {
   return 0;
 }
 
+svc::ServiceOptions service_options(const CliArgs& args) {
+  svc::ServiceOptions options;
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  options.jobs = static_cast<int>(args.get_int("jobs", 0));
+  options.store_path = args.get_string("store", "");
+  options.budget_capacity = args.get_double("budget-capacity", 0.0);
+  options.budget_refill = args.get_double("budget-refill", 0.0);
+  return options;
+}
+
+void print_serve_stats(const svc::ServeStats& stats, svc::Service& service) {
+  // Summary goes to stderr: stdout is the response stream.
+  const auto memo = service.store().stats();
+  std::cerr << "served " << stats.served << " request(s), " << stats.pings
+            << " ping(s), " << stats.errors << " error(s), " << stats.busy
+            << " busy, " << stats.throttled << " throttled; memo "
+            << memo.hits << "/" << memo.lookups << " hit(s), "
+            << memo.appends << " append(s)\n";
+}
+
+/// Batch advisory mode: answer a JSONL request file through the same
+/// parser, memo store, and response schema as the daemon.
+int cmd_broker_batch(const CliArgs& args) {
+  for (const char* flag :
+       {"app", "elements", "ranks", "cells", "iterations", "deadline-h",
+        "budget-usd", "objective", "risk", "risk-budget-usd", "ported",
+        "top", "csv"}) {
+    HETERO_REQUIRE(!args.has(flag),
+                   std::string("--requests reads every job field from the "
+                               "JSONL file; drop --") +
+                       flag);
+  }
+  const std::string path = args.get_string("requests", "");
+  std::ifstream in(path);
+  HETERO_REQUIRE(in.good(), "cannot open requests file: " + path);
+  svc::Service service(service_options(args));
+  const auto stats = svc::serve_pipe(service, in, std::cout);
+  print_serve_stats(stats, service);
+  return 0;
+}
+
+int cmd_serve(const CliArgs& args) {
+  svc::Service service(service_options(args));
+  svc::ServeOptions serve_options;
+  serve_options.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 1024));
+  serve_options.reject_when_full = args.get_bool("reject-when-full", false);
+  serve_options.workers = static_cast<int>(args.get_int("workers", 1));
+  const std::string socket_path = args.get_string("socket", "");
+  const auto stats =
+      socket_path.empty()
+          ? svc::serve_pipe(service, std::cin, std::cout, serve_options)
+          : svc::serve_unix_socket(service, socket_path, serve_options);
+  print_serve_stats(stats, service);
+  return 0;
+}
+
 int cmd_broker(const CliArgs& args) {
+  if (args.has("requests")) {
+    return cmd_broker_batch(args);
+  }
   broker::JobRequest request;
   request.app = args.get_string("app", "rd") == "ns"
                     ? perf::AppKind::kNavierStokes
@@ -336,6 +399,13 @@ int usage() {
       "      [--objective time|cost|effective|blend] [--risk R]\n"
       "      [--risk-budget-usd D] [--ported] [--top N] [--seed S]\n"
       "      [--jobs J]\n"
+      "  broker --requests FILE.jsonl [--store PATH] [--seed S] [--jobs J]\n"
+      "      answer a heterolab-svc-v1 request file in batch\n"
+      "  serve [--store PATH] [--socket PATH] [--queue N]\n"
+      "      [--reject-when-full] [--workers W] [--jobs J] [--seed S]\n"
+      "      [--budget-capacity T] [--budget-refill T]\n"
+      "      advisory daemon: JSONL requests on stdin (or the Unix socket),\n"
+      "      JSONL decisions on stdout (see docs/service.md)\n"
       "--jobs J evaluates experiments on J worker threads (output is\n"
       "byte-identical at any J). Default: HETEROLAB_JOBS if set, else the\n"
       "hardware thread count; direct-mode runs default to 1.\n";
@@ -411,8 +481,16 @@ int main(int argc, char** argv) {
                  args, {"app", "elements", "ranks", "cells", "iterations",
                         "deadline-h", "budget-usd", "objective", "risk",
                         "risk-budget-usd", "ported", "top", "seed", "jobs",
-                        "csv"})
+                        "csv", "requests", "store"})
                  ? cmd_broker(args)
+                 : usage();
+    }
+    if (command == "serve") {
+      return flags_understood(args, {"store", "socket", "queue",
+                                     "reject-when-full", "workers", "jobs",
+                                     "seed", "budget-capacity",
+                                     "budget-refill"})
+                 ? cmd_serve(args)
                  : usage();
     }
     std::cerr << "unknown command: " << command << "\n";
