@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -145,6 +146,11 @@ ServeStats serve_pipe(Service& service, std::istream& in, std::ostream& out,
           lines = service.process(item.request);
         } catch (const Error& e) {
           lines.push_back(render_error(item.request.id, e.what()));
+        } catch (const std::exception& e) {
+          // bad_alloc, system_error, ...: still render an answer so the
+          // seq slot is released (a swallowed slot stalls the emitter)
+          // and an escaping exception doesn't terminate the daemon.
+          lines.push_back(render_error(item.request.id, e.what()));
         }
         served.fetch_add(1, std::memory_order_relaxed);
         emitter.emit(item.seq, std::move(lines));
@@ -179,7 +185,19 @@ ServeStats serve_pipe(Service& service, std::istream& in, std::ostream& out,
     // Budget admission happens here, on the reader, in arrival order —
     // the verdict depends only on the request stream, never on worker
     // timing, so replays are byte-identical.
-    const BudgetVerdict verdict = service.admit(request);
+    BudgetVerdict verdict;
+    try {
+      verdict = service.admit(request);
+    } catch (const std::exception& e) {
+      // A request can parse cleanly yet be un-priceable (iterations < 1,
+      // no problem size): pricing it for admission throws. Answer an
+      // error record like the socket path does — unwinding here would
+      // std::terminate on the still-joinable worker pool.
+      ++stats.errors;
+      obs::metrics().counter("svc.errors").increment();
+      emitter.emit(seq++, {render_error(request.id, e.what())});
+      continue;
+    }
     if (!verdict.admitted) {
       ++stats.throttled;
       emitter.emit(seq++, {render_throttled(request.id, request.client,
@@ -187,12 +205,13 @@ ServeStats serve_pipe(Service& service, std::istream& in, std::ostream& out,
                                             verdict.have_tokens)});
       continue;
     }
+    const std::int64_t request_id = request.id;
     WorkItem item{seq, std::move(request)};
     if (options.reject_when_full) {
       if (!queue.try_push(std::move(item))) {
         ++stats.busy;
         obs::metrics().counter("svc.busy").increment();
-        emitter.emit(seq, {render_busy(item.request.id, queue.depth())});
+        emitter.emit(seq, {render_busy(request_id, queue.depth())});
       }
     } else {
       queue.push_blocking(std::move(item));
@@ -257,6 +276,10 @@ class Connection {
         lines = service_.process_line(line, &is_shutdown);
       } catch (const Error& e) {
         lines.push_back(render_error(-1, e.what()));
+      } catch (const std::exception& e) {
+        // Same fallback as the pipe workers: any escaping exception
+        // would unwind the connection thread and terminate the daemon.
+        lines.push_back(render_error(-1, e.what()));
       }
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
       if (is_shutdown) {
@@ -306,6 +329,9 @@ class Connection {
       }
       char chunk[4096];
       const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) {
+        continue;  // a signal is not end-of-stream; keep the client
+      }
       if (n <= 0) {
         if (!buffer_.empty()) {
           line.swap(buffer_);

@@ -101,6 +101,12 @@ BudgetVerdict Service::admit(const SvcRequest& request) {
   auto [it, inserted] =
       budgets_.emplace(request.client, options_.budget_capacity);
   if (!inserted) {
+    // Refill on every observed request, throttled ones included: the
+    // deterministic stand-in for wall-clock refill. Crediting only
+    // admitted requests would permanently starve a client whose request
+    // costs more than one refill (the bucket could never grow to
+    // `need`); the price is that retries themselves earn tokens, which
+    // docs/service.md states explicitly.
     it->second = std::min(options_.budget_capacity,
                           it->second + options_.budget_refill);
   }

@@ -20,8 +20,10 @@
 /// (server.hpp); the Service supplies the deterministic per-client
 /// token-bucket budget check, priced in the engine's own simulated-thread
 /// units: a modeled candidate prediction weighs 1, so one request costs
-/// its candidate count. Buckets refill per admitted request — never per
-/// wall-clock second — so budget verdicts replay identically across runs.
+/// its candidate count. Buckets refill once per job request *observed*
+/// from that client (throttled attempts included) — never per wall-clock
+/// second — so budget verdicts replay identically across runs and a
+/// throttled client always recovers after finitely many retries.
 
 #include <cstdint>
 #include <memory>
@@ -45,8 +47,9 @@ struct ServiceOptions {
   /// Token-bucket capacity per client, in simulated-thread units
   /// (candidate predictions). 0 = budgets disabled.
   double budget_capacity = 0.0;
-  /// Tokens credited to a client's bucket per admitted request of that
-  /// client (deterministic refill; no wall-clock involved).
+  /// Tokens credited to a client's bucket per job request observed from
+  /// that client, throttled attempts included (deterministic refill; no
+  /// wall-clock involved).
   double budget_refill = 0.0;
 };
 

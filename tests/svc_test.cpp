@@ -448,7 +448,8 @@ TEST(SvcServe, TokenBucketThrottlesAndRefills) {
       svc::parse_request_line(small_request(1)));
   ASSERT_GT(cost, 0.0);
   // Capacity covers exactly one request; refill half a request per
-  // admitted request, so every second request gets through.
+  // observed request (throttled attempts included), so every second
+  // request gets through.
   options.budget_capacity = cost;
   options.budget_refill = cost / 2;
   svc::Service service(options);
@@ -463,6 +464,30 @@ TEST(SvcServe, TokenBucketThrottlesAndRefills) {
   EXPECT_NE(lines[1].find("\"type\":\"throttled\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"id\":2"), std::string::npos);
   EXPECT_NE(lines[2].find("\"type\":\"decision\""), std::string::npos);
+}
+
+TEST(SvcServe, UnpriceableRequestWithBudgetsAnswersErrorAndKeepsServing) {
+  svc::ServiceOptions options;
+  options.budget_capacity = 1000.0;
+  options.budget_refill = 1000.0;
+  svc::Service service(options);
+  // iterations:0 parses fine but cannot be priced: with budgets on, the
+  // reader thread prices it for admission. That must yield an error
+  // record for the request's id — not an exception unwinding serve_pipe
+  // past the joinable worker pool — and the stream must keep flowing.
+  std::istringstream in(
+      "{\"id\":1,\"app\":\"rd\",\"ranks\":8,\"iterations\":0}\n" +
+      small_request(2) + "\n");
+  std::ostringstream out;
+  const auto stats = svc::serve_pipe(service, in, out);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  const auto lines = lines_of(out.str());
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"type\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"id\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"decision\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\":2"), std::string::npos);
 }
 
 TEST(SvcServe, RejectModeAnswersEveryRequestWithDecisionOrBusy) {
