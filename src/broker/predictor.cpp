@@ -3,6 +3,7 @@
 #include "core/campaign.hpp"
 #include "platform/platform_spec.hpp"
 #include "provision/planner.hpp"
+#include "support/error.hpp"
 #include "support/units.hpp"
 
 namespace hetero::broker {
@@ -59,6 +60,49 @@ Prediction Predictor::predict(const Candidate& candidate,
   if (p.candidate.strategy == Ec2Strategy::kSpotMix && p.hosts > 0) {
     p.risk_usd = p.cost_usd * static_cast<double>(p.spot_hosts) /
                  static_cast<double>(p.hosts);
+  }
+  p.effective_s = effective_seconds(p, request);
+  return p;
+}
+
+Prediction Predictor::predict_resumed(const Candidate& candidate,
+                                      const JobRequest& request,
+                                      const ResumeState& resume) {
+  HETERO_REQUIRE(resume.iterations_total >= 1,
+                 "resumed prediction needs iterations_total >= 1");
+  HETERO_REQUIRE(
+      resume.iterations_done >= 0 &&
+          resume.iterations_done <= resume.iterations_total,
+      "resumed prediction: iterations_done must be within the campaign");
+  JobRequest remaining = request;
+  remaining.iterations = resume.iterations_total - resume.iterations_done;
+  if (remaining.iterations == 0) {
+    remaining.iterations = 1;  // predict() needs work; scale to zero below
+  }
+  Prediction p = predict(candidate, remaining);
+  const int left = resume.iterations_total - resume.iterations_done;
+  if (!p.launched) {
+    return p;
+  }
+  if (left == 0) {
+    p.run_s = 0.0;
+    p.cost_usd = 0.0;
+    p.risk_usd = 0.0;
+  }
+  if (resume.same_platform) {
+    // The job is already running here: no fresh queue wait, and the live
+    // pace beats the model. Cost scales with the pace because every
+    // platform bills linearly in seconds.
+    p.queue_wait_s = 0.0;
+    if (resume.observed_seconds_per_iteration > 0.0 &&
+        p.seconds_per_iteration > 0.0) {
+      const double drift =
+          resume.observed_seconds_per_iteration / p.seconds_per_iteration;
+      p.seconds_per_iteration = resume.observed_seconds_per_iteration;
+      p.run_s *= drift;
+      p.cost_usd *= drift;
+      p.risk_usd *= drift;
+    }
   }
   p.effective_s = effective_seconds(p, request);
   return p;

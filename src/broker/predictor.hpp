@@ -52,6 +52,19 @@ struct Prediction {
   double risk_usd = 0.0;
 };
 
+/// Where a partially completed campaign stands when the online re-broker
+/// asks for a re-price: how much work is done, and what the live pace is.
+struct ResumeState {
+  int iterations_total = 0;
+  int iterations_done = 0;
+  /// Smoothed live seconds per iteration (obs::DriftEstimator output);
+  /// 0 = no observations yet, trust the model.
+  double observed_seconds_per_iteration = 0.0;
+  /// True when pricing the platform the job is already running on: no
+  /// fresh queue wait applies, and the observed pace overrides the model.
+  bool same_platform = false;
+};
+
 class Predictor {
  public:
   /// Owns a private sequential CampaignEngine seeded with `seed`.
@@ -66,6 +79,16 @@ class Predictor {
   /// Predicts a candidate; infeasible launches come back with
   /// launched = false and the scheduler's reason, never an exception.
   Prediction predict(const Candidate& candidate, const JobRequest& request);
+
+  /// Re-prices only the *remaining* iterations of a partially completed
+  /// campaign. On the same platform the queue wait drops (the job already
+  /// runs there) and the modeled pace is scaled to the observed drift —
+  /// run_s and cost_usd inflate together, because billing is linear in
+  /// seconds. Used by the rebroker control loop and the svc daemon's
+  /// `rebroker` advisory records.
+  Prediction predict_resumed(const Candidate& candidate,
+                             const JobRequest& request,
+                             const ResumeState& resume);
 
  private:
   Prediction predict_campaign(const Candidate& candidate,

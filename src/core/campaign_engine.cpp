@@ -82,6 +82,19 @@ std::string experiment_cache_key(const Experiment& e,
   append_bits(key, e.recovery.backoff_factor);
   append_bits(key, e.recovery.backoff_cap_s);
   append_int(key, e.recovery.shrink_ranks_on_crash ? 1 : 0);
+  // Re-brokering policy knobs likewise: an adaptive run and a static run
+  // of the same experiment must never share a memo entry.
+  append_int(key, e.rebroker.enabled ? 1 : 0);
+  key += e.rebroker.fallback_platform;
+  key.push_back('|');
+  append_int(key, e.rebroker.target_ranks);
+  append_bits(key, e.rebroker.hysteresis);
+  append_bits(key, e.rebroker.migrate_budget_usd);
+  append_int(key, e.rebroker.sample_every);
+  append_bits(key, e.rebroker.deadline_s);
+  append_int(key, e.rebroker.max_migrations);
+  key += e.rebroker.run_label;
+  key.push_back('|');
   append_int(key, static_cast<long long>(e.seed));
   append_int(key, static_cast<long long>(runner_seed));
   return key;

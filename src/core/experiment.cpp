@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "provision/planner.hpp"
+#include "rebroker/controller.hpp"
 #include "sched/scheduler.hpp"
 #include "simmpi/runtime.hpp"
 #include "support/error.hpp"
@@ -104,6 +105,19 @@ ExperimentResult ExperimentRunner::run(const Experiment& experiment) {
   HETERO_REQUIRE(experiment.ranks >= 1, "experiment needs ranks >= 1");
   const platform::PlatformSpec& spec =
       platform::platform_by_name(experiment.platform);
+  if (experiment.rebroker.enabled) {
+    HETERO_REQUIRE(experiment.mode == Mode::kDirect,
+                   "re-brokering needs --mode direct (the control loop "
+                   "samples live step times)");
+    // Validates the fallback name; throws for unknown platforms.
+    platform::platform_by_name(experiment.rebroker.fallback_platform);
+    if (experiment.rebroker.target_ranks > 0) {
+      const int t = static_cast<int>(
+          std::round(std::cbrt(experiment.rebroker.target_ranks)));
+      HETERO_REQUIRE(t * t * t == experiment.rebroker.target_ranks,
+                     "re-brokering target ranks must be cubic (1, 8, 27, ...)");
+    }
+  }
 
   ExperimentResult result;
   result.provisioning_hours =
@@ -261,9 +275,18 @@ ExperimentResult ExperimentRunner::run_direct(
   int axis = k;
   rstats.final_ranks = ranks;
 
+  // The platform the job is currently running on; re-brokering migrations
+  // swap it mid-run (everything billed or timed below reads through `cur`).
+  const platform::PlatformSpec* cur = &spec;
+
   const bool use_ckpt =
       policy.kind == resil::RecoveryKind::kCheckpointRestart;
-  const std::string ckpt_path = use_ckpt ? checkpoint_scratch_path() : "";
+  // Re-brokering checkpoints through `io` at the migration step even when
+  // the recovery policy itself never checkpoints.
+  const rebroker::Policy& rb = experiment.rebroker;
+  const bool rb_on = rb.enabled;
+  const bool need_ckpt_file = use_ckpt || rb_on;
+  const std::string ckpt_path = need_ckpt_file ? checkpoint_scratch_path() : "";
   // Checkpoint bookkeeping. Written by rank 0 of the running attempt, read
   // by the host thread and the next attempt — Runtime::run joins all rank
   // threads first, so there is no cross-attempt race.
@@ -273,18 +296,52 @@ ExperimentResult ExperimentRunner::run_direct(
   // Completed-step records by absolute step index; rank 0 writes. Re-run
   // steps overwrite with identical values (same discrete trajectory).
   std::vector<apps::StepRecord> records(static_cast<std::size_t>(steps));
+  // Dollar cost of each completed step on the platform it last ran on;
+  // rank 0 writes. Migrated runs blend their per-iteration cost from this.
+  std::vector<double> step_cost(static_cast<std::size_t>(steps), 0.0);
 
   // Steps the current attempt re-executes or runs; the crash cell lookup
   // starts here, so a restart from a checkpoint exposes fewer cells.
-  auto resume_step = [&] {
-    return (use_ckpt && have_checkpoint) ? ckpt_step : 0;
-  };
+  auto resume_step = [&] { return have_checkpoint ? ckpt_step : 0; };
+
+  // The re-brokering control loop. `canonical` is the host's copy; each
+  // attempt hands every simulated rank an identical copy, so the migrate
+  // verdict is reached on all ranks without communication, and rank 0's
+  // copy (whose trail saw every completed step) is adopted back. The
+  // default-constructed disabled controller still counts storms so a
+  // static plan's outcome reports what the market did to it.
+  rebroker::Controller canonical;
+  std::vector<rebroker::Controller> rank_ctl;
+  double rb_elapsed_base_s = 0.0;  // job virtual clock across attempts
+  double rb_spent_base_usd = 0.0;  // dollars billed across attempts
+  bool migration_pending = false;  // set by drive(), consumed by the host
+  if (rb_on) {
+    const std::uint64_t rb_seed = hash_combine(
+        hash_combine(0x7262726bULL /* "rbrk" */, seed_), experiment.seed);
+    const int redo_steps =
+        use_ckpt ? std::max(1, policy.checkpoint_every / 2)
+                 : std::max(1, steps / 2);
+    canonical =
+        rebroker::Controller(rb, experiment.app, experiment.cells_per_rank_axis,
+                             steps, rb_seed, resil::backoff_delay_s(policy, 0),
+                             redo_steps);
+  }
 
   // Runs one attempt of `solver` from `start_step`, injecting the planned
-  // crash and writing periodic checkpoints.
+  // crash or spot-reclaim storm, writing periodic checkpoints, and feeding
+  // completed steps to the re-brokering controllers. A migrate verdict
+  // checkpoints collectively and unwinds the attempt *cleanly* (no
+  // exception): every rank reaches the same verdict from the same
+  // allreduced step time, so they all return together.
   auto drive = [&](simmpi::Comm& comm, auto& solver, int start_step,
-                   const std::optional<resil::RankCrash>& crash) {
+                   const std::optional<resil::RankCrash>& crash,
+                   const std::optional<int>& storm) {
     for (int s = start_step; s < steps; ++s) {
+      if (storm && s == *storm && comm.rank() == 0) {
+        obs::trace_instant("spot_reclaim", "resil", comm.now(), "step",
+                           static_cast<double>(s));
+        throw resil::SpotReclaim(s);
+      }
       if (crash && s == crash->step && comm.rank() == crash->rank) {
         obs::trace_instant("rank_crash", "resil", comm.now(), "step",
                            static_cast<double>(s));
@@ -308,17 +365,43 @@ ExperimentResult ExperimentRunner::run_direct(
                              static_cast<double>(s + 1));
         }
       }
+      if (rb_on) {
+        // timing.total_s is an allreduced maximum — identical on every
+        // rank, so every controller copy folds the same observation.
+        const double cost_s = cur->cost_usd(ranks, record.timing.total_s);
+        if (comm.rank() == 0) {
+          step_cost[static_cast<std::size_t>(s)] = cost_s;
+        }
+        const bool migrate = rank_ctl[static_cast<std::size_t>(comm.rank())]
+                                 .observe_step(s, record.timing.total_s, cost_s);
+        if (migrate && s + 1 < steps) {
+          io::save_solver_checkpoint(comm, state_now(solver),
+                                     state_prev(solver), solver.current_time(),
+                                     s + 1, ckpt_path);
+          if (comm.rank() == 0) {
+            have_checkpoint = true;
+            ckpt_step = s + 1;
+            ++rstats.checkpoints_written;
+            resil_metrics().checkpoints.increment();
+            migration_pending = true;
+            obs::trace_instant("migration_checkpoint", "rebroker", comm.now(),
+                               "step", static_cast<double>(s + 1));
+          }
+          return;
+        }
+      }
     }
   };
 
   // One attempt: build the solver (restoring from the checkpoint if we
   // have one) and drive it to the end or to the planned crash.
   auto run_attempt = [&](simmpi::Runtime& runtime, auto make_solver,
-                         const std::optional<resil::RankCrash>& crash) {
+                         const std::optional<resil::RankCrash>& crash,
+                         const std::optional<int>& storm) {
     runtime.run([&](simmpi::Comm& comm) {
       auto solver = make_solver(comm);
       int start_step = 0;
-      if (use_ckpt && have_checkpoint) {
+      if (have_checkpoint) {
         la::DistVector u_now(solver.map());
         la::DistVector u_prev(solver.map());
         const io::SolverCheckpointMeta meta =
@@ -326,14 +409,37 @@ ExperimentResult ExperimentRunner::run_direct(
         solver.restore_state(u_now, u_prev, meta.time);
         start_step = meta.steps_done;
       }
-      drive(comm, solver, start_step, crash);
+      drive(comm, solver, start_step, crash, storm);
     });
   };
 
   for (int attempt = 0;; ++attempt) {
     rstats.attempts = attempt + 1;
-    const auto crash = plan.rank_crash(ranks, steps, attempt, resume_step());
-    simmpi::Runtime runtime(spec.topology(ranks));
+    auto crash = plan.rank_crash(ranks, steps, attempt, resume_step());
+    // Spot-reclaim storms only exist where there is a spot market; a
+    // migration to an on-premises queue leaves them behind. When both a
+    // crash and a storm arm in one attempt, only the earlier one can fire
+    // (ties go to the crash): one throwing rank per attempt keeps
+    // Runtime::run's first-error propagation deterministic.
+    std::optional<int> storm;
+    if (cur->spot_node_hour_usd > 0.0) {
+      storm = plan.spot_reclaim(steps, attempt, resume_step());
+    }
+    if (crash && storm) {
+      if (*storm < crash->step) {
+        crash.reset();
+      } else {
+        storm.reset();
+      }
+    }
+    if (rb_on) {
+      canonical.begin_attempt(attempt, cur->name, ranks, resume_step(),
+                              rb_elapsed_base_s, rb_spent_base_usd,
+                              canonical.outcome().storms,
+                              canonical.steps_observed());
+      rank_ctl.assign(static_cast<std::size_t>(ranks), canonical);
+    }
+    simmpi::Runtime runtime(cur->topology(ranks));
     if (plan.enabled()) {
       runtime.set_degradation(plan.degradation());
     }
@@ -344,32 +450,79 @@ ExperimentResult ExperimentRunner::run_direct(
             [&](simmpi::Comm& comm) {
               apps::RdConfig config;
               config.global_cells = global_cells;
-              config.cpu = spec.cpu_model();
+              config.cpu = cur->cpu_model();
               return apps::RdSolver(comm, config);
             },
-            crash);
+            crash, storm);
       } else {
         run_attempt(
             runtime,
             [&](simmpi::Comm& comm) {
               apps::NsConfig config;
               config.global_cells = global_cells;
-              config.cpu = spec.cpu_model();
+              config.cpu = cur->cpu_model();
               return apps::NsSolver(comm, config);
             },
-            crash);
+            crash, storm);
+      }
+      if (rb_on) {
+        canonical = rank_ctl[0];
+      }
+      if (migration_pending) {
+        migration_pending = false;
+        const double attempt_s = runtime.elapsed_sim_seconds();
+        const std::string from_platform = cur->name;
+        const int from_ranks = ranks;
+        const int target_ranks = canonical.move_ranks();
+        const platform::PlatformSpec& target =
+            platform::platform_by_name(rb.fallback_platform);
+        // The real submission to the fallback, on its own hashed stream:
+        // replays of the same seed see the same queue wait at any --jobs.
+        Rng migration_rng(hash_mix(hash_combine(
+            hash_combine(hash_combine(0x7262726bULL /* "rbrk" */, seed_),
+                         experiment.seed),
+            static_cast<std::uint64_t>(canonical.outcome().migrations))));
+        const sched::JobOutcome moved = sched::make_scheduler(target)->submit(
+            {target_ranks, /*estimated_runtime_s=*/3600.0}, migration_rng);
+        rb_elapsed_base_s += attempt_s;
+        rb_spent_base_usd += cur->cost_usd(ranks, attempt_s);
+        if (!moved.launched) {
+          // The fallback would not take the job; resume from the migration
+          // checkpoint on the platform we never left.
+          canonical.record_migration_failed(moved.failure_reason);
+          continue;
+        }
+        canonical.record_migration(ckpt_step, from_platform, from_ranks,
+                                   target.name, target_ranks, moved.wait_s);
+        rb_elapsed_base_s += moved.wait_s;
+        cur = &target;
+        ranks = target_ranks;
+        axis = static_cast<int>(std::round(std::cbrt(target_ranks)));
+        rstats.final_ranks = ranks;
+        obs::trace_instant("migration", "rebroker", rb_elapsed_base_s,
+                           "to_ranks", static_cast<double>(target_ranks));
+        continue;
       }
       break;  // attempt survived
     } catch (const resil::InjectedFault& fault) {
       ++rstats.faults_injected;
       const double dead_s = runtime.elapsed_sim_seconds();
       rstats.wasted_sim_s += dead_s;
-      rstats.wasted_cost_usd += spec.cost_usd(ranks, dead_s);
+      rstats.wasted_cost_usd += cur->cost_usd(ranks, dead_s);
       rstats.steps_wasted += std::max(0, fault.step() - resume_step());
       resil_metrics().faults.increment();
       resil_metrics().steps_wasted.add(
           static_cast<double>(std::max(0, fault.step() - resume_step())));
-      resil_metrics().wasted_cost_usd.add(spec.cost_usd(ranks, dead_s));
+      resil_metrics().wasted_cost_usd.add(cur->cost_usd(ranks, dead_s));
+      if (rb_on) {
+        canonical = rank_ctl[0];
+      }
+      if (fault.rank() < 0) {
+        // A storm, not a host: the whole allocation went away. Counted on
+        // the canonical controller even when re-brokering is off, so the
+        // outcome still reports what the market did.
+        canonical.record_storm(fault.step(), rb_elapsed_base_s + dead_s);
+      }
       if (policy.kind == resil::RecoveryKind::kNone ||
           attempt + 1 >= policy.max_attempts) {
         resil_metrics().unrecovered.increment();
@@ -378,7 +531,9 @@ ExperimentResult ExperimentRunner::run_direct(
             std::string(fault.what()) + "; unrecovered after " +
             std::to_string(attempt + 1) + " attempt(s) with policy '" +
             resil::to_string(policy.kind) + "'";
-        if (use_ckpt) std::remove(ckpt_path.c_str());
+        if (need_ckpt_file) std::remove(ckpt_path.c_str());
+        result.rebroker = canonical.take_outcome();
+        result.rebroker.final_platform = cur->name;
         return result;
       }
       const double delay = resil::backoff_delay_s(policy, attempt);
@@ -387,6 +542,8 @@ ExperimentResult ExperimentRunner::run_direct(
       resil_metrics().retry_delay_s.add(delay);
       resil_metrics().steps_recovered.add(
           static_cast<double>(resume_step()));
+      rb_elapsed_base_s += dead_s + delay;
+      rb_spent_base_usd += cur->cost_usd(ranks, dead_s);
       if (policy.shrink_ranks_on_crash && axis > 1) {
         // A reclaim took hosts: restart on the next smaller cube. The
         // checkpoint redistributes by gid, so the survivors pick up the
@@ -399,7 +556,7 @@ ExperimentResult ExperimentRunner::run_direct(
                          static_cast<double>(attempt + 1));
     }
   }
-  if (use_ckpt) std::remove(ckpt_path.c_str());
+  if (need_ckpt_file) std::remove(ckpt_path.c_str());
   rstats.recovered = rstats.faults_injected > 0;
   if (rstats.recovered) {
     resil_metrics().recoveries.increment();
@@ -438,8 +595,22 @@ ExperimentResult ExperimentRunner::run_direct(
   result.work_per_rank = work;
   result.nodal_error = nodal_error;
   result.solver_converged = converged;
-  result.cost_per_iteration_usd =
-      spec.cost_usd(ranks, result.iteration.total_s);
+  result.rebroker = canonical.take_outcome();
+  result.rebroker.final_platform = cur->name;
+  if (result.rebroker.migrations > 0) {
+    // A migrated run blends the per-step dollars each platform billed;
+    // without a migration the legacy single-platform formula applies
+    // unchanged (so an adaptive run that never moves prices identically
+    // to a static one).
+    double total_cost = 0.0;
+    for (const double c : step_cost) {
+      total_cost += c;
+    }
+    result.cost_per_iteration_usd = total_cost / steps;
+  } else {
+    result.cost_per_iteration_usd =
+        cur->cost_usd(ranks, result.iteration.total_s);
+  }
   result.est_cost_per_iteration_usd = result.cost_per_iteration_usd;
   return result;
 }

@@ -20,6 +20,7 @@
 #include "apps/app_common.hpp"
 #include "perf/scaling_model.hpp"
 #include "platform/platform_spec.hpp"
+#include "rebroker/policy.hpp"
 #include "resil/fault_plan.hpp"
 #include "resil/recovery.hpp"
 
@@ -63,6 +64,13 @@ struct Experiment {
   /// checkpoint-restart — with capped exponential backoff between attempts.
   resil::RecoveryPolicy recovery;
 
+  // --- online re-brokering ---------------------------------------------------
+  /// Closed-loop mid-run migration policy (direct mode only): sample live
+  /// step times, re-price the remaining work, and migrate to the fallback
+  /// platform when the deadline/cost verdict flips past the hysteresis
+  /// margin. Disabled by default; see docs/rebrokering.md.
+  rebroker::Policy rebroker;
+
   std::uint64_t seed = 42;
 };
 
@@ -97,6 +105,11 @@ struct ExperimentResult {
   /// Resilience ledger: attempts, wasted work, recovered steps, and what
   /// the faults cost in simulated time and dollars.
   resil::RecoveryStats resil;
+
+  /// Re-brokering ledger: samples/decisions/migrations, storms endured, and
+  /// the heterolab-rebroker-v1 decision trail. storms is filled even when
+  /// the policy is disabled (a static plan still suffers the market).
+  rebroker::Outcome rebroker;
 };
 
 class ExperimentRunner {

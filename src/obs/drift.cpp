@@ -1,0 +1,33 @@
+#include "obs/drift.hpp"
+
+#include "support/error.hpp"
+
+namespace hetero::obs {
+
+DriftEstimator::DriftEstimator(double model_s, double alpha)
+    : model_s_(model_s), alpha_(alpha), smoothed_s_(model_s) {
+  HETERO_REQUIRE(model_s >= 0.0, "drift: model seconds must be >= 0");
+  HETERO_REQUIRE(alpha > 0.0 && alpha <= 1.0,
+                 "drift: EWMA alpha must be in (0, 1]");
+}
+
+void DriftEstimator::observe(double observed_s) {
+  HETERO_REQUIRE(observed_s >= 0.0, "drift: observed seconds must be >= 0");
+  if (samples_ == 0) {
+    smoothed_s_ = observed_s;
+  } else {
+    smoothed_s_ = alpha_ * observed_s + (1.0 - alpha_) * smoothed_s_;
+  }
+  ++samples_;
+}
+
+double DriftEstimator::smoothed_s() const { return smoothed_s_; }
+
+double DriftEstimator::drift() const {
+  if (samples_ == 0 || model_s_ <= 0.0) {
+    return 1.0;
+  }
+  return smoothed_s_ / model_s_;
+}
+
+}  // namespace hetero::obs

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file drift.hpp
+/// Live wall-time drift estimation over a stream of StepRecord timings.
+/// A direct-mode run feeds the per-step `timing.total_s` of every completed
+/// step (an allreduced maximum, so every rank sees the same number) into a
+/// DriftEstimator primed with the Predictor's modeled per-step time; the
+/// estimator maintains an exponentially weighted moving average and reports
+/// the drift ratio observed/modeled. 1.0 means the run tracks the model;
+/// 2.0 means steps take twice as long as priced — the signal the online
+/// re-broker acts on (docs/rebrokering.md).
+///
+/// Deterministic by construction: the state is a pure fold over the
+/// observed sequence, so identical step streams give identical drift at
+/// any parallelism.
+
+namespace hetero::obs {
+
+class DriftEstimator {
+ public:
+  DriftEstimator() = default;
+  /// `model_s` is the modeled per-step seconds the observations are
+  /// measured against; `alpha` is the EWMA weight of the newest sample.
+  explicit DriftEstimator(double model_s, double alpha = 0.5);
+
+  /// Folds one observed per-step time (seconds) into the estimate.
+  void observe(double observed_s);
+
+  /// Smoothed live per-step seconds; the model value until first observe().
+  double smoothed_s() const;
+
+  /// Drift ratio smoothed/model; 1.0 until the first observation (or when
+  /// the model time is zero, where a ratio is meaningless).
+  double drift() const;
+
+  int samples() const { return samples_; }
+
+ private:
+  double model_s_ = 0.0;
+  double alpha_ = 0.5;
+  double smoothed_s_ = 0.0;
+  int samples_ = 0;
+};
+
+}  // namespace hetero::obs

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file controller.hpp
+/// The closed-loop re-brokering controller. One Controller follows a direct
+/// run through its attempt loop: at every completed step it folds the
+/// allreduced step time into an obs::DriftEstimator, re-prices the remaining
+/// work on the current platform and on the policy's fallback, and applies
+/// the deadline/cost verdict with hysteresis. When the verdict flips, the
+/// host checkpoints through `io` and resumes on the fallback via the
+/// gid-keyed redistribution machinery; the controller records every sample,
+/// decision, storm, and migration as a `heterolab-rebroker-v1` JSONL line.
+///
+/// Determinism contract: a Controller is a value. The runner keeps one copy
+/// per simulated rank plus a canonical host copy; every rank's copy sees the
+/// identical step stream (step times are allreduced maxima), so all copies
+/// reach the same migrate/stay decision without communication, and rank 0's
+/// copy is adopted as canonical after each attempt. All pricing inputs are
+/// coordinate-hashed, so replays from the same seed are byte-identical at
+/// any `--jobs` level.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/drift.hpp"
+#include "rebroker/policy.hpp"
+#include "rebroker/quote.hpp"
+
+namespace hetero::rebroker {
+
+/// Everything the verdict depends on, gathered in one place so tests can
+/// replay canned drift traces against advise() directly.
+struct AdviseInputs {
+  int steps_total = 0;
+  int steps_done = 0;
+  /// Virtual seconds since the job first started running (backoffs and
+  /// migration waits included, initial queue wait excluded).
+  double elapsed_s = 0.0;
+  double spent_usd = 0.0;
+  /// Live smoothed per-step seconds; 0 = trust the model.
+  double observed_step_s = 0.0;
+  /// Estimated spot-reclaim probability per step on the *current* platform.
+  double storm_rate = 0.0;
+  int storms_seen = 0;
+  /// Expected retry backoff charged per storm.
+  double backoff_expect_s = 0.0;
+  /// Steps redone per storm (work since the last checkpoint, on average).
+  int redo_steps_per_storm = 0;
+  PlatformQuote stay;
+  PlatformQuote move;
+  double hysteresis = 0.0;
+  double deadline_s = 0.0;      ///< 0 = none
+  double migrate_budget_usd = 0.0;  ///< 0 = unlimited
+};
+
+/// The verdict plus the projections it was based on (recorded in the trail).
+struct Advice {
+  bool migrate = false;
+  double stay_finish_s = 0.0;
+  double move_finish_s = 0.0;
+  double stay_cost_usd = 0.0;
+  double move_cost_usd = 0.0;
+  std::string reason;
+};
+
+/// Pure verdict function. Projects finish time and total spend for staying
+/// vs migrating, then decides:
+///  * fallback that cannot launch, or whose remaining spend exceeds the
+///    migration budget, is never chosen;
+///  * with a deadline: the side that meets it wins; when both (or neither)
+///    meet it, the cheaper side wins;
+///  * "cheaper" must clear the hysteresis margin — migrate only when
+///    move_cost * (1 + hysteresis) < stay_cost.
+Advice advise(const AdviseInputs& inputs);
+
+class Controller {
+ public:
+  Controller() = default;
+  /// `backoff_expect_s` and `redo_steps_per_storm` fold the recovery
+  /// policy's storm economics into the stay-side projection; the runner
+  /// derives them from RecoveryPolicy (first backoff delay, half the
+  /// checkpoint interval).
+  Controller(const Policy& policy, perf::AppKind app, int cells_per_rank_axis,
+             int steps_total, std::uint64_t seed, double backoff_expect_s,
+             int redo_steps_per_storm);
+
+  /// Host-side: (re-)prices stay and move for the attempt about to run and
+  /// resets the per-attempt drift fold. `elapsed_base_s` / `spent_base_usd`
+  /// carry the virtual clock and spend accumulated by earlier attempts;
+  /// `storms_seen` / `steps_observed` prime the storm-rate estimate.
+  void begin_attempt(int attempt, const std::string& platform, int ranks,
+                     int start_step, double elapsed_base_s,
+                     double spent_base_usd, int storms_seen,
+                     int steps_observed);
+
+  /// Rank-side, called after the absolute step `step` completes with the
+  /// allreduced step seconds and its dollar cost. Returns true when the
+  /// verdict asks for a migration (the caller checkpoints and unwinds).
+  /// Identical on every rank by construction.
+  bool observe_step(int step, double step_seconds, double step_cost_usd);
+
+  /// Host-side trail entries on the canonical copy. record_storm counts
+  /// storms even while the policy is disabled (the outcome still reports
+  /// what the run endured); the others are no-ops when disabled.
+  void record_storm(int step, double virtual_time_s);
+  void record_migration(int checkpoint_step, const std::string& from_platform,
+                        int from_ranks, const std::string& to_platform,
+                        int to_ranks, double queue_wait_s);
+  /// A failed fallback submission suppresses further migration attempts.
+  void record_migration_failed(const std::string& reason);
+
+  bool enabled() const { return policy_.enabled; }
+  const Policy& policy() const { return policy_; }
+  /// Virtual clock / spend including the attempt in flight.
+  double elapsed_s() const { return elapsed_base_s_ + elapsed_attempt_s_; }
+  double spent_usd() const { return spent_base_usd_ + spent_attempt_usd_; }
+  int steps_observed() const {
+    return steps_observed_base_ + steps_observed_attempt_;
+  }
+  /// Resolved fallback rank count for the current attempt (0 = infeasible).
+  int move_ranks() const { return move_.ranks; }
+  const Outcome& outcome() const { return outcome_; }
+  Outcome take_outcome() { return std::move(outcome_); }
+
+ private:
+  void append_record(const std::string& line) { outcome_.trail.push_back(line); }
+  AdviseInputs make_inputs(int steps_done) const;
+
+  Policy policy_;
+  perf::AppKind app_ = perf::AppKind::kReactionDiffusion;
+  int cells_ = 0;
+  int steps_total_ = 0;
+  std::uint64_t seed_ = 0;
+  double backoff_expect_s_ = 0.0;
+  int redo_steps_per_storm_ = 0;
+
+  int attempt_ = 0;
+  std::string platform_;
+  int ranks_ = 0;
+  double elapsed_base_s_ = 0.0;
+  double spent_base_usd_ = 0.0;
+  double elapsed_attempt_s_ = 0.0;
+  double spent_attempt_usd_ = 0.0;
+  int storms_seen_ = 0;
+  int steps_observed_base_ = 0;
+  int steps_observed_attempt_ = 0;
+  bool migration_suppressed_ = false;
+  obs::DriftEstimator drift_;
+  PlatformQuote stay_;
+  PlatformQuote move_;
+  Outcome outcome_;
+};
+
+}  // namespace hetero::rebroker

@@ -1,0 +1,68 @@
+#include "rebroker/quote.hpp"
+
+#include "platform/platform_spec.hpp"
+#include "sched/scheduler.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+namespace hetero::rebroker {
+
+namespace {
+
+std::uint64_t hash_string(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h = hash_combine(h, c);
+  }
+  return hash_combine(h, s.size());
+}
+
+}  // namespace
+
+PlatformQuote quote_platform(perf::AppKind app, int cells_per_rank_axis,
+                             const std::string& platform, int ranks,
+                             std::uint64_t seed, std::uint64_t salt) {
+  PlatformQuote quote;
+  quote.platform = platform;
+  quote.ranks = ranks;
+  const platform::PlatformSpec& spec = platform::platform_by_name(platform);
+  if (ranks < 1 || !spec.can_launch(ranks)) {
+    return quote;
+  }
+
+  perf::ModelConfig model =
+      app == perf::AppKind::kNavierStokes ? perf::ns_model() : perf::rd_model();
+  model.cells_per_rank_axis = cells_per_rank_axis;
+  const perf::PhaseBreakdown step = perf::project_iteration(
+      model, spec.topology(ranks), spec.cpu_model(), ranks);
+  quote.seconds_per_step = step.total_s;
+  quote.cost_per_step_usd = spec.cost_usd(ranks, step.total_s);
+
+  // A fresh submission's wait, drawn from the platform's scheduler
+  // simulator with a coordinate-hashed stream: the same (seed, salt,
+  // platform, ranks) always prices the same wait, no matter who asks.
+  std::uint64_t h = hash_combine(seed, salt);
+  h = hash_string(h, platform);
+  h = hash_combine(h, static_cast<std::uint64_t>(ranks));
+  Rng rng(hash_mix(h));
+  sched::JobRequest request;
+  request.ranks = ranks;
+  request.estimated_runtime_s = quote.seconds_per_step;
+  const sched::JobOutcome outcome = sched::make_scheduler(spec)->submit(request, rng);
+  quote.can_launch = outcome.launched;
+  quote.queue_wait_s = outcome.wait_s;
+  return quote;
+}
+
+int largest_cubic_ranks(const std::string& platform, int at_most) {
+  const platform::PlatformSpec& spec = platform::platform_by_name(platform);
+  int best = 0;
+  for (int k = 1; k * k * k <= at_most; ++k) {
+    const int ranks = k * k * k;
+    if (spec.can_launch(ranks)) {
+      best = ranks;
+    }
+  }
+  return best;
+}
+
+}  // namespace hetero::rebroker

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file quote.hpp
+/// Incremental re-pricing of the *remaining* work of a partially completed
+/// direct run: one PlatformQuote per (platform, ranks) pair, built from the
+/// same perf scaling model and scheduler simulators the Broker's Predictor
+/// prices whole campaigns with. Quotes are pure functions of their inputs
+/// (queue waits draw from a hashed Rng, not shared state), so the re-broker
+/// reaches identical verdicts on every rank and at any `--jobs` level.
+
+#include <cstdint>
+#include <string>
+
+#include "perf/scaling_model.hpp"
+
+namespace hetero::rebroker {
+
+/// The price of continuing (or restarting) the remaining steps somewhere.
+struct PlatformQuote {
+  std::string platform;
+  int ranks = 0;
+  /// False when the platform cannot launch `ranks` (capability limit) or
+  /// the simulated submission fails outright.
+  bool can_launch = false;
+  /// Modeled wall seconds per application step at this size.
+  double seconds_per_step = 0.0;
+  /// Dollars per application step (on-demand price; linear in seconds).
+  double cost_per_step_usd = 0.0;
+  /// Queue wait / boot time a fresh submission would pay. Zero when the
+  /// job is already running there.
+  double queue_wait_s = 0.0;
+};
+
+/// Prices one application step of `app` at `cells_per_rank_axis` per rank
+/// on `platform` with `ranks` processes. The queue wait is drawn from a
+/// scheduler simulator seeded by hash(seed, salt, platform, ranks) — stable
+/// across re-quotes with the same coordinates.
+PlatformQuote quote_platform(perf::AppKind app, int cells_per_rank_axis,
+                             const std::string& platform, int ranks,
+                             std::uint64_t seed, std::uint64_t salt);
+
+/// Largest cube count k^3 <= `at_most` that `platform` can launch; 0 when
+/// even a single rank is impossible. Used to resolve Policy::target_ranks
+/// == 0 (the gid-keyed checkpoint redistributes to any cubic count).
+int largest_cubic_ranks(const std::string& platform, int at_most);
+
+}  // namespace hetero::rebroker

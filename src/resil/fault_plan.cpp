@@ -13,6 +13,9 @@ constexpr std::uint64_t kCrashSalt = 0x6372617368ULL;    // "crash"
 constexpr std::uint64_t kLaunchSalt = 0x6c61756e6368ULL; // "launch"
 constexpr std::uint64_t kStormSalt = 0x73746f726dULL;    // "storm"
 constexpr std::uint64_t kNetSalt = 0x6e6574ULL;          // "net"
+// Per-step reclaim storms in direct runs; distinct from the hourly campaign
+// stream so campaign-level replays stay byte-identical.
+constexpr std::uint64_t kStepStormSalt = 0x737473746f726dULL;  // "ststorm"
 
 double cell_unit(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
                  std::uint64_t b, std::uint64_t c) {
@@ -71,6 +74,20 @@ bool FaultPlan::reclaim_storm(std::int64_t hour) const {
   if (spec_.reclaim_storm_rate <= 0.0 || hour < 0) return false;
   return cell_unit(seed_, kStormSalt, static_cast<std::uint64_t>(hour), 0,
                    0) < spec_.reclaim_storm_rate;
+}
+
+std::optional<int> FaultPlan::spot_reclaim(int steps, int attempt,
+                                           int first_step) const {
+  if (spec_.reclaim_storm_rate <= 0.0) return std::nullopt;
+  HETERO_REQUIRE(steps >= 0 && attempt >= 0 && first_step >= 0,
+                 "fault plan: spot_reclaim arguments must be non-negative");
+  for (int step = first_step; step < steps; ++step) {
+    const double u =
+        cell_unit(seed_, kStepStormSalt, static_cast<std::uint64_t>(attempt),
+                  static_cast<std::uint64_t>(step), 0);
+    if (u < spec_.reclaim_storm_rate) return step;
+  }
+  return std::nullopt;
 }
 
 netsim::DegradationSchedule FaultPlan::degradation() const {

@@ -71,6 +71,15 @@ class FaultPlan {
   /// Does campaign hour `hour` see a spot-reclaim storm?
   bool reclaim_storm(std::int64_t hour) const;
 
+  /// First step of `attempt` at or after `first_step` hit by a spot-reclaim
+  /// storm in a *direct* run on a spot-market platform; nullopt = the
+  /// attempt runs storm-free. Reuses reclaim_storm_rate as a per-(attempt,
+  /// step) probability, on an independent hash stream from the hourly
+  /// campaign query — a storm takes the whole allocation, so no rank
+  /// coordinate.
+  std::optional<int> spot_reclaim(int steps, int attempt,
+                                  int first_step = 0) const;
+
   /// Degradation windows for simmpi/netsim, keyed off this plan's seed.
   netsim::DegradationSchedule degradation() const;
 

@@ -38,4 +38,12 @@ InjectedFault::InjectedFault(int rank, int step)
       rank_(rank),
       step_(step) {}
 
+InjectedFault::InjectedFault(const std::string& message, int rank, int step)
+    : Error(message), rank_(rank), step_(step) {}
+
+SpotReclaim::SpotReclaim(int step)
+    : InjectedFault("spot reclaim: storm took the allocation at step " +
+                        std::to_string(step),
+                    -1, step) {}
+
 }  // namespace hetero::resil

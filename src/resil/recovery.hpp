@@ -66,9 +66,21 @@ class InjectedFault : public Error {
   int rank() const { return rank_; }
   int step() const { return step_; }
 
+ protected:
+  InjectedFault(const std::string& message, int rank, int step);
+
  private:
   int rank_;
   int step_;
+};
+
+/// A spot-reclaim storm taking the whole allocation at the start of `step`
+/// (direct runs on spot-market platforms). rank() is -1: no single host
+/// died, the market did — which is how the catch site tells a storm from a
+/// rank crash. Runtime::run preserves the concrete type via exception_ptr.
+class SpotReclaim : public InjectedFault {
+ public:
+  explicit SpotReclaim(int step);
 };
 
 }  // namespace hetero::resil

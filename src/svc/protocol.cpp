@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "broker/objectives.hpp"
+#include "platform/platform_spec.hpp"
 #include "support/error.hpp"
 
 namespace hetero::svc {
@@ -105,6 +106,8 @@ SvcRequest parse_request(const obs::Json& record) {
         req.kind = SvcRequest::Kind::kPing;
       } else if (type == "shutdown") {
         req.kind = SvcRequest::Kind::kShutdown;
+      } else if (type == "rebroker") {
+        req.kind = SvcRequest::Kind::kRebroker;
       } else {
         HETERO_REQUIRE(false, "svc request: unknown type '" + type + "'");
       }
@@ -147,6 +150,38 @@ SvcRequest parse_request(const obs::Json& record) {
     } else if (key == "top") {
       req.top = static_cast<int>(require_int(value, key));
       HETERO_REQUIRE(req.top >= 0, "svc request: top must be >= 0");
+    } else if (key == "platform") {
+      req.rb.platform = require_string(value, key);
+    } else if (key == "fallback") {
+      req.rb.fallback = require_string(value, key);
+    } else if (key == "steps") {
+      req.rb.steps = static_cast<int>(require_int(value, key));
+    } else if (key == "done") {
+      req.rb.done = static_cast<int>(require_int(value, key));
+    } else if (key == "observed_s") {
+      req.rb.observed_s = require_number(value, key);
+      HETERO_REQUIRE(req.rb.observed_s >= 0.0,
+                     "svc request: observed_s must be >= 0");
+    } else if (key == "storms") {
+      req.rb.storms = static_cast<int>(require_int(value, key));
+      HETERO_REQUIRE(req.rb.storms >= 0,
+                     "svc request: storms must be >= 0");
+    } else if (key == "hysteresis") {
+      req.rb.hysteresis = require_number(value, key);
+      HETERO_REQUIRE(req.rb.hysteresis >= 0.0,
+                     "svc request: hysteresis must be >= 0");
+    } else if (key == "deadline_s") {
+      req.rb.deadline_s = require_number(value, key);
+      HETERO_REQUIRE(req.rb.deadline_s >= 0.0,
+                     "svc request: deadline_s must be >= 0");
+    } else if (key == "migrate_budget_usd") {
+      req.rb.migrate_budget_usd = require_number(value, key);
+      HETERO_REQUIRE(req.rb.migrate_budget_usd >= 0.0,
+                     "svc request: migrate_budget_usd must be >= 0");
+    } else if (key == "target_ranks") {
+      req.rb.target_ranks = static_cast<int>(require_int(value, key));
+      HETERO_REQUIRE(req.rb.target_ranks >= 0,
+                     "svc request: target_ranks must be >= 0");
     } else {
       // Strict like the CLI's unknown-flag rejection: a typo must fail
       // loudly, not silently fall back to a default.
@@ -159,6 +194,18 @@ SvcRequest parse_request(const obs::Json& record) {
     // answered with an error record, never a worker-side exception.
     broker::objective_by_name(req.objective);
   }
+  if (req.kind == SvcRequest::Kind::kRebroker) {
+    HETERO_REQUIRE(req.rb.steps >= 1,
+                   "svc request: rebroker needs steps >= 1");
+    HETERO_REQUIRE(req.rb.done >= 0 && req.rb.done < req.rb.steps,
+                   "svc request: rebroker needs 0 <= done < steps");
+    HETERO_REQUIRE(req.job.ranks >= 1,
+                   "svc request: rebroker needs ranks >= 1");
+    // Unknown platform names become error records at admission time, never
+    // a worker-side exception.
+    platform::platform_by_name(req.rb.platform);
+    platform::platform_by_name(req.rb.fallback);
+  }
   return req;
 }
 
@@ -170,6 +217,35 @@ std::string request_cache_key(const SvcRequest& request, std::uint64_t seed) {
   std::string key;
   key.reserve(128);
   key += "req-v1|";
+  if (request.kind == SvcRequest::Kind::kRebroker) {
+    // Own sub-namespace: job-request keys stay byte-for-byte what they
+    // were, so existing memo stores keep warm-starting.
+    key += "rb|";
+    key += std::to_string(static_cast<int>(request.job.app));
+    key.push_back('|');
+    key += std::to_string(request.job.ranks);
+    key.push_back('|');
+    key += std::to_string(request.job.cells_per_rank_axis);
+    key.push_back('|');
+    key += request.rb.platform;
+    key.push_back('|');
+    key += request.rb.fallback;
+    key.push_back('|');
+    key += std::to_string(request.rb.steps);
+    key.push_back('|');
+    key += std::to_string(request.rb.done);
+    key.push_back('|');
+    append_bits(key, request.rb.observed_s);
+    key += std::to_string(request.rb.storms);
+    key.push_back('|');
+    append_bits(key, request.rb.hysteresis);
+    append_bits(key, request.rb.deadline_s);
+    append_bits(key, request.rb.migrate_budget_usd);
+    key += std::to_string(request.rb.target_ranks);
+    key.push_back('|');
+    key += std::to_string(seed);
+    return key;
+  }
   key += std::to_string(static_cast<int>(request.job.app));
   key.push_back('|');
   key += std::to_string(request.job.total_elements);
@@ -250,6 +326,19 @@ std::vector<std::string> render_response(
     }
   }
   return lines;
+}
+
+std::vector<std::string> render_rebroker(const RebrokerAnswer& answer) {
+  obs::Json j = stamp("rebroker");
+  j.set("action", answer.migrate ? "migrate" : "stay");
+  j.set("target", answer.target);
+  j.set("target_ranks", answer.target_ranks);
+  j.set("stay_finish_s", answer.stay_finish_s);
+  j.set("move_finish_s", answer.move_finish_s);
+  j.set("stay_cost_usd", answer.stay_cost_usd);
+  j.set("move_cost_usd", answer.move_cost_usd);
+  j.set("reason", answer.reason);
+  return {j.dump()};
 }
 
 std::string finalize_line(const std::string& line, std::int64_t id) {

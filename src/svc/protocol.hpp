@@ -41,8 +41,27 @@ inline constexpr const char* kSvcSchema = "heterolab-svc-v1";
 /// real id at emission time.
 inline constexpr const char* kIdToken = "\"@ID@\"";
 
+/// A `rebroker` advisory: where does a partially completed campaign stand,
+/// and should it migrate? The daemon re-prices the remaining steps on the
+/// current platform (at the observed pace) and on the fallback, and answers
+/// with one "rebroker" record carrying the stay/move projections and the
+/// hysteresis verdict — the same advise() kernel the in-process control
+/// loop runs (docs/rebrokering.md).
+struct RebrokerQuery {
+  std::string platform = "ec2";  ///< where the campaign runs now
+  std::string fallback = "puma"; ///< migration target to price
+  int steps = 0;                 ///< total steps of the campaign
+  int done = 0;                  ///< completed steps
+  double observed_s = 0.0;       ///< live smoothed seconds per step (0 = model)
+  int storms = 0;                ///< reclaim storms endured so far
+  double hysteresis = 0.15;
+  double deadline_s = 0.0;           ///< 0 = none
+  double migrate_budget_usd = 0.0;   ///< 0 = unlimited
+  int target_ranks = 0;              ///< 0 = auto (largest feasible cube)
+};
+
 struct SvcRequest {
-  enum class Kind { kJob, kPing, kShutdown };
+  enum class Kind { kJob, kPing, kShutdown, kRebroker };
   Kind kind = Kind::kJob;
   /// Client-chosen correlation id; echoed on every response record.
   std::int64_t id = 0;
@@ -56,6 +75,9 @@ struct SvcRequest {
 
   /// Alternatives after the winner included in the decision record.
   int top = 0;
+
+  /// kRebroker only: the mid-campaign state to re-price.
+  RebrokerQuery rb;
 };
 
 /// Parses one request record. Strict: unknown keys, a missing/negative id,
@@ -72,6 +94,22 @@ std::string request_cache_key(const SvcRequest& request, std::uint64_t seed);
 /// frontier lines — with kIdToken in place of the id (cacheable).
 std::vector<std::string> render_response(const SvcRequest& request,
                                          const broker::Recommendation& rec);
+
+/// The daemon's answer to a rebroker advisory (one "rebroker" record).
+struct RebrokerAnswer {
+  bool migrate = false;
+  std::string target;
+  int target_ranks = 0;
+  double stay_finish_s = 0.0;
+  double move_finish_s = 0.0;
+  double stay_cost_usd = 0.0;
+  double move_cost_usd = 0.0;
+  std::string reason;
+};
+
+/// Renders the rebroker advisory record with kIdToken in place of the id
+/// (cacheable through the same request-level memo as job decisions).
+std::vector<std::string> render_rebroker(const RebrokerAnswer& answer);
 
 /// Substitutes the numeric id for kIdToken in a rendered line.
 std::string finalize_line(const std::string& line, std::int64_t id);

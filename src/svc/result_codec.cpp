@@ -104,6 +104,17 @@ std::string encode_result(const core::ExperimentResult& r) {
   put_double(out, r.resil.wasted_cost_usd);
   put_bool(out, r.resil.recovered);
   put_i64(out, r.resil.final_ranks);
+  put_i64(out, r.rebroker.samples);
+  put_i64(out, r.rebroker.decisions);
+  put_i64(out, r.rebroker.migrations);
+  put_i64(out, r.rebroker.storms);
+  put_string(out, r.rebroker.final_platform);
+  put_double(out, r.rebroker.migration_wait_s);
+  put_double(out, r.rebroker.migration_cost_usd);
+  put_u64(out, r.rebroker.trail.size());
+  for (const auto& line : r.rebroker.trail) {
+    put_string(out, line);
+  }
   return out;
 }
 
@@ -148,6 +159,18 @@ core::ExperimentResult decode_result(const std::string& bytes) {
   r.resil.wasted_cost_usd = in.f64();
   r.resil.recovered = in.boolean();
   r.resil.final_ranks = in.i32();
+  r.rebroker.samples = in.i32();
+  r.rebroker.decisions = in.i32();
+  r.rebroker.migrations = in.i32();
+  r.rebroker.storms = in.i32();
+  r.rebroker.final_platform = in.str();
+  r.rebroker.migration_wait_s = in.f64();
+  r.rebroker.migration_cost_usd = in.f64();
+  const std::uint64_t trail_lines = in.u64();
+  r.rebroker.trail.reserve(trail_lines);
+  for (std::uint64_t i = 0; i < trail_lines; ++i) {
+    r.rebroker.trail.push_back(in.str());
+  }
   HETERO_REQUIRE(in.pos == bytes.size(),
                  "result codec: trailing bytes in payload");
   return r;

@@ -16,7 +16,8 @@ namespace hetero::svc {
 
 /// Version tag of the encoding below; bumped on layout changes so a store
 /// written by an older build is simply missed, never misread.
-inline constexpr unsigned char kResultCodecVersion = 1;
+/// v2 appended the rebroker::Outcome block (online re-brokering ledger).
+inline constexpr unsigned char kResultCodecVersion = 2;
 
 std::string encode_result(const core::ExperimentResult& result);
 

@@ -6,8 +6,11 @@
 
 #include "broker/candidates.hpp"
 #include "broker/objectives.hpp"
+#include "broker/predictor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "rebroker/controller.hpp"
+#include "resil/recovery.hpp"
 #include "support/error.hpp"
 #include "svc/result_codec.hpp"
 
@@ -87,6 +90,10 @@ double Service::request_cost(const SvcRequest& request) const {
   // request prices one modeled experiment (or campaign simulation) per
   // candidate, so its weight is the candidate count. Computed from the
   // request alone: warm and cold paths charge identically.
+  if (request.kind == SvcRequest::Kind::kRebroker) {
+    // A rebroker advisory prices exactly two candidates: stay and move.
+    return 2.0;
+  }
   return static_cast<double>(
       broker::enumerate_candidates(request.job).size());
 }
@@ -120,6 +127,80 @@ BudgetVerdict Service::admit(const SvcRequest& request) {
   return verdict;
 }
 
+std::vector<std::string> Service::answer_rebroker(const SvcRequest& request) {
+  const RebrokerQuery& rb = request.rb;
+  const int left = rb.steps - rb.done;
+  broker::Predictor predictor(*engine_);
+  broker::JobRequest job = request.job;
+  job.iterations = rb.steps;
+
+  // Stay: the platform the campaign already runs on, at the observed pace.
+  broker::Candidate stay_c;
+  stay_c.platform = rb.platform;
+  stay_c.ranks = request.job.ranks;
+  stay_c.cells_per_rank_axis = request.job.cells_per_rank_axis;
+  broker::ResumeState stay_rs;
+  stay_rs.iterations_total = rb.steps;
+  stay_rs.iterations_done = rb.done;
+  stay_rs.observed_seconds_per_iteration = rb.observed_s;
+  stay_rs.same_platform = true;
+  const broker::Prediction stay_p =
+      predictor.predict_resumed(stay_c, job, stay_rs);
+
+  // Move: the fallback, from a cold submission.
+  const int resolved =
+      rb.target_ranks > 0
+          ? rb.target_ranks
+          : rebroker::largest_cubic_ranks(rb.fallback, request.job.ranks);
+  broker::Candidate move_c = stay_c;
+  move_c.platform = rb.fallback;
+  move_c.ranks = std::max(1, resolved);
+  broker::ResumeState move_rs;
+  move_rs.iterations_total = rb.steps;
+  move_rs.iterations_done = rb.done;
+  const broker::Prediction move_p =
+      predictor.predict_resumed(move_c, job, move_rs);
+
+  // Both quotes already carry their drift/queue terms, so the verdict sees
+  // observed_step_s = 0 (no double scaling) and elapsed = spent = 0: the
+  // projections it returns are for the remaining work, from now.
+  rebroker::AdviseInputs in;
+  in.steps_total = rb.steps;
+  in.steps_done = rb.done;
+  in.storms_seen = rb.storms;
+  in.storm_rate = rb.storms > 0 ? static_cast<double>(rb.storms) /
+                                      std::max(1, rb.done)
+                                : 0.0;
+  in.backoff_expect_s = resil::RecoveryPolicy{}.backoff_base_s;
+  in.redo_steps_per_storm = 1;
+  in.stay.platform = rb.platform;
+  in.stay.ranks = stay_c.ranks;
+  in.stay.can_launch = true;
+  in.stay.seconds_per_step = stay_p.seconds_per_iteration;
+  in.stay.cost_per_step_usd = stay_p.launched ? stay_p.cost_usd / left : 0.0;
+  in.move.platform = rb.fallback;
+  in.move.ranks = move_c.ranks;
+  in.move.can_launch = resolved >= 1 && move_p.launched;
+  in.move.seconds_per_step = move_p.seconds_per_iteration;
+  in.move.cost_per_step_usd = move_p.launched ? move_p.cost_usd / left : 0.0;
+  in.move.queue_wait_s = move_p.queue_wait_s;
+  in.hysteresis = rb.hysteresis;
+  in.deadline_s = rb.deadline_s;
+  in.migrate_budget_usd = rb.migrate_budget_usd;
+  const rebroker::Advice advice = rebroker::advise(in);
+
+  RebrokerAnswer answer;
+  answer.migrate = advice.migrate;
+  answer.target = rb.fallback;
+  answer.target_ranks = move_c.ranks;
+  answer.stay_finish_s = advice.stay_finish_s;
+  answer.move_finish_s = advice.move_finish_s;
+  answer.stay_cost_usd = advice.stay_cost_usd;
+  answer.move_cost_usd = advice.move_cost_usd;
+  answer.reason = advice.reason;
+  return render_rebroker(answer);
+}
+
 std::vector<std::string> Service::process(const SvcRequest& request) {
   const auto started = std::chrono::steady_clock::now();
   const std::string key =
@@ -127,6 +208,9 @@ std::vector<std::string> Service::process(const SvcRequest& request) {
   const std::string payload = store_->fetch_or_compute(key, [&] {
     obs::trace_instant("svc_compute", "svc", 0.0, "candidates",
                        request_cost(request));
+    if (request.kind == SvcRequest::Kind::kRebroker) {
+      return join_lines(answer_rebroker(request));
+    }
     const auto objective = broker::objective_by_name(request.objective);
     const auto recommendation = broker_->recommend(request.job, objective);
     return join_lines(render_response(request, recommendation));
@@ -166,6 +250,7 @@ std::vector<std::string> Service::process_line(const std::string& line,
       }
       return {};
     case SvcRequest::Kind::kJob:
+    case SvcRequest::Kind::kRebroker:
       break;
   }
   const BudgetVerdict verdict = admit(request);

@@ -96,6 +96,9 @@ class Service {
  private:
   class ExperimentMemo;
 
+  /// Computes the rebroker advisory payload (cold path of process()).
+  std::vector<std::string> answer_rebroker(const SvcRequest& request);
+
   ServiceOptions options_;
   std::unique_ptr<MemoStore> store_;
   std::unique_ptr<ExperimentMemo> experiment_memo_;

@@ -25,6 +25,13 @@ contract), frontier/ranked seq numbering, and the final "bye" record.
 --baseline is optional in svc mode; when given, its checks run over the
 response records too.
 
+`--schema rebroker` validates a heterolab-rebroker-v1 decision trail (the
+closed-loop controller's JSONL ledger): schema tag and known record type
+(sample/decision/storm/migration) on every line, per-type required keys,
+virtual timestamps non-decreasing within each run label, decision actions
+restricted to stay/migrate, and migration records naming distinct source
+and target platforms plus the checkpoint step they resumed from.
+
 Baseline format (JSON):
     {
       "bench": "fig4_rd_weak_scaling",   # expected "bench" field
@@ -73,7 +80,27 @@ SVC_REQUIRED = {
     "error": ["reason"],
     "busy": ["queue_depth"],
     "throttled": ["client", "reason", "need_tokens", "have_tokens"],
+    "rebroker": ["action", "target", "target_ranks", "stay_finish_s",
+                 "move_finish_s", "stay_cost_usd", "move_cost_usd",
+                 "reason"],
     "bye": ["served"],
+}
+
+REBROKER_SCHEMA = "heterolab-rebroker-v1"
+
+# Required keys per rebroker trail record type, beyond schema/type.
+REBROKER_REQUIRED = {
+    "sample": ["run", "attempt", "platform", "ranks", "step",
+               "virtual_time_s", "step_s", "drift", "storm_rate"],
+    "decision": ["run", "attempt", "platform", "ranks", "step",
+                 "virtual_time_s", "action", "stay_finish_s",
+                 "move_finish_s", "stay_cost_usd", "move_cost_usd",
+                 "reason"],
+    "storm": ["run", "attempt", "platform", "ranks", "step",
+              "virtual_time_s"],
+    "migration": ["run", "attempt", "from_platform", "to_platform",
+                  "from_ranks", "to_ranks", "checkpoint_step",
+                  "queue_wait_s", "virtual_time_s"],
 }
 
 
@@ -256,6 +283,63 @@ def validate_svc_stream(records):
     return failures
 
 
+def validate_rebroker_stream(records):
+    """Structural checks on a heterolab-rebroker-v1 decision trail.
+
+    Returns a list of failure strings (empty when the trail is valid).
+    """
+    failures = []
+    last_time = {}  # run label -> last virtual_time_s seen
+    for index, record in enumerate(records, 1):
+        where = f"record {index}"
+        if record.get("schema") != REBROKER_SCHEMA:
+            failures.append(
+                f"{where}: schema {record.get('schema')!r}, "
+                f"expected {REBROKER_SCHEMA!r}")
+            continue
+        rtype = record.get("type")
+        if rtype not in REBROKER_REQUIRED:
+            failures.append(f"{where}: unknown record type {rtype!r}")
+            continue
+        missing = [key for key in REBROKER_REQUIRED[rtype]
+                   if key not in record]
+        for key in missing:
+            failures.append(f"{where}: {rtype} record missing key {key!r}")
+        if missing:
+            continue
+        run = record["run"]
+        stamp = record["virtual_time_s"]
+        if not isinstance(stamp, (int, float)) or isinstance(stamp, bool):
+            failures.append(
+                f"{where}: virtual_time_s {stamp!r} is not a number")
+            continue
+        # The trail replays one virtual clock per run: within a run label,
+        # timestamps never go backwards (equal is fine: a migration record
+        # and the next attempt's first sample share an instant).
+        if run in last_time and stamp < last_time[run]:
+            failures.append(
+                f"{where}: virtual_time_s {stamp:g} after "
+                f"{last_time[run]:g} in run {run!r} — the virtual clock "
+                "must be non-decreasing")
+        last_time[run] = stamp
+        if rtype == "decision":
+            if record["action"] not in ("stay", "migrate"):
+                failures.append(
+                    f"{where}: decision action {record['action']!r}, "
+                    "expected 'stay' or 'migrate'")
+        elif rtype == "migration":
+            if record["from_platform"] == record["to_platform"]:
+                failures.append(
+                    f"{where}: migration from and to the same platform "
+                    f"{record['from_platform']!r}")
+            step = record["checkpoint_step"]
+            if not isinstance(step, (int, float)) or step < 1:
+                failures.append(
+                    f"{where}: migration checkpoint_step {step!r} must "
+                    "be >= 1 (a migration resumes completed work)")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Check bench JSONL output against a baseline.")
@@ -263,14 +347,32 @@ def main():
     parser.add_argument("--baseline",
                         help="baseline JSON from bench/baselines/ "
                              "(required with --schema bench)")
-    parser.add_argument("--schema", choices=["bench", "svc"],
+    parser.add_argument("--schema", choices=["bench", "svc", "rebroker"],
                         default="bench",
                         help="bench: heterolab-bench-v1 rows gated by a "
                              "baseline; svc: a heterolab-svc-v1 response "
-                             "stream's structural contract")
+                             "stream's structural contract; rebroker: a "
+                             "heterolab-rebroker-v1 decision trail's "
+                             "structural contract")
     args = parser.parse_args()
 
     records = load_jsonl(args.results)
+
+    if args.schema == "rebroker":
+        failures = []
+        if not records:
+            failures.append(f"{args.results}: no records")
+        failures.extend(validate_rebroker_stream(records))
+        if failures:
+            for failure in failures[:25]:
+                print(f"FAIL [rebroker]: {failure}", file=sys.stderr)
+            if len(failures) > 25:
+                print(f"FAIL [rebroker]: ... and {len(failures) - 25} more",
+                      file=sys.stderr)
+            return 1
+        print(f"PASS [rebroker]: {len(records)} records, "
+              "trail contract holds")
+        return 0
 
     if args.schema == "svc":
         failures = []

@@ -23,6 +23,12 @@
 #             byte-identical to the unbroken run, stream validated by
 #             check_bench.py --schema svc), and the Release
 #             bench_svc_throughput warm-speedup gate
+#   rebroker  closed-loop re-brokering: rebroker tests under ASan,
+#             bench_ablation_rebroker against bench/baselines/rebroker.json
+#             (adaptive must beat static on cost AND completion at a 3%
+#             storm rate), the decision trail validated by check_bench.py
+#             --schema rebroker, and a byte-identity gate on the trail
+#             across --jobs 8 and a fresh same-seed re-run
 #   all       everything above, in that order (the default)
 #
 # Each job builds in its own directory (build-ci-<job>) so sanitizer and
@@ -57,7 +63,8 @@ job_release() {
   echo "== ci job: release (Release + -Werror, full ctest, broker smoke) =="
   configure_and_build build-ci-release \
       -DCMAKE_BUILD_TYPE=Release -DHETERO_WERROR=ON
-  ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+  ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
+      --timeout 600
   if [ ! -x build-ci-release/tools/heterolab ]; then
     echo "ci: FAIL — heterolab binary missing after build" >&2
     exit 1
@@ -75,7 +82,8 @@ job_debug() {
   echo "== ci job: debug (Debug build, full ctest) =="
   configure_and_build build-ci-debug \
       -DCMAKE_BUILD_TYPE=Debug -DHETERO_WERROR=ON
-  ctest --test-dir build-ci-debug --output-on-failure -j "$JOBS"
+  ctest --test-dir build-ci-debug --output-on-failure -j "$JOBS" \
+      --timeout 600
 }
 
 job_bench() {
@@ -126,7 +134,8 @@ job_asan() {
   echo "== ci job: asan (ASan+UBSan, full ctest) =="
   configure_and_build build-ci-asan \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=address
-  ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+  ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
+      --timeout 600
 }
 
 job_tsan() {
@@ -134,7 +143,8 @@ job_tsan() {
   configure_and_build build-ci-tsan \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=thread
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-      -R '^(simmpi_test|resil_test|la_test|la_prop_test|kernels_diff_test|obs_test|campaign_engine_test|svc_test)$'
+      --timeout 600 \
+      -R '^(simmpi_test|resil_test|la_test|la_prop_test|kernels_diff_test|obs_test|campaign_engine_test|rebroker_test|svc_test)$'
 }
 
 job_svc() {
@@ -142,6 +152,7 @@ job_svc() {
   configure_and_build build-ci-asan \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=address
   ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
+      --timeout 600 \
       -R '^(svc_test|cli_serve_pipe|cli_broker_requests_conflict)$'
   out_dir=build-ci-asan/svc-out
   mkdir -p "$out_dir"
@@ -183,6 +194,7 @@ job_faultsoak() {
   # The resilience surface: fault plan, recovery loop, checkpoint IO,
   # reclaim storms, broker failover, and the CLI failure paths.
   ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
+      --timeout 600 \
       -R '^(resil_test|simmpi_test|io_test|cloud_test|core_test|campaign_engine_test|broker_test|cli_failure_test)$'
   out_dir=build-ci-asan/bench-out
   mkdir -p "$out_dir"
@@ -202,6 +214,44 @@ job_faultsoak() {
       "$out_dir/ablation_failure_recovery.jobs8.jsonl"
 }
 
+job_rebroker() {
+  echo "== ci job: rebroker (closed-loop re-brokering gate) =="
+  configure_and_build build-ci-asan \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=address
+  # The closed-loop surface: controller/quote unit tests plus the
+  # resilience and core suites the migration path leans on.
+  ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
+      --timeout 600 \
+      -R '^(rebroker_test|resil_test|core_test|campaign_engine_test)$'
+  out_dir=build-ci-asan/bench-out
+  mkdir -p "$out_dir"
+  # Tentpole gate: at a 3% storm rate the adaptive plan must beat the
+  # static one on completion AND summed dollars, and the decision trail
+  # must parse as heterolab-rebroker-v1.
+  build-ci-asan/bench/bench_ablation_rebroker --jobs 1 \
+      --json "$out_dir/ablation_rebroker.jsonl" \
+      --trail "$out_dir/rebroker_trail.jsonl" \
+      > "$out_dir/rebroker.jobs1.txt"
+  python3 tools/check_bench.py --baseline bench/baselines/rebroker.json \
+      "$out_dir/ablation_rebroker.jsonl"
+  python3 tools/check_bench.py --schema rebroker \
+      "$out_dir/rebroker_trail.jsonl"
+  # Migration decisions are pure functions of seed + virtual time, so the
+  # trail is a determinism artifact: --jobs 8 and a fresh same-seed process
+  # must reproduce --jobs 1 byte for byte.
+  build-ci-asan/bench/bench_ablation_rebroker --jobs 8 \
+      --json "$out_dir/ablation_rebroker.jobs8.jsonl" \
+      --trail "$out_dir/rebroker_trail.jobs8.jsonl" \
+      > "$out_dir/rebroker.jobs8.txt"
+  diff "$out_dir/rebroker.jobs1.txt" "$out_dir/rebroker.jobs8.txt"
+  diff "$out_dir/ablation_rebroker.jsonl" \
+      "$out_dir/ablation_rebroker.jobs8.jsonl"
+  diff "$out_dir/rebroker_trail.jsonl" "$out_dir/rebroker_trail.jobs8.jsonl"
+  build-ci-asan/bench/bench_ablation_rebroker --jobs 8 \
+      --trail "$out_dir/rebroker_trail.rerun.jsonl" > /dev/null
+  diff "$out_dir/rebroker_trail.jsonl" "$out_dir/rebroker_trail.rerun.jsonl"
+}
+
 run_job() {
   case "$1" in
     release) job_release ;;
@@ -212,9 +262,10 @@ run_job() {
     tsan) job_tsan ;;
     faultsoak) job_faultsoak ;;
     svc) job_svc ;;
-    all) job_release; job_debug; job_bench; job_kernels; job_asan; job_tsan; job_faultsoak; job_svc ;;
+    rebroker) job_rebroker ;;
+    all) job_release; job_debug; job_bench; job_kernels; job_asan; job_tsan; job_faultsoak; job_svc; job_rebroker ;;
     *)
-      echo "ci: unknown job '$1' (expected release|debug|bench|kernels|asan|tsan|faultsoak|svc|all)" >&2
+      echo "ci: unknown job '$1' (expected release|debug|bench|kernels|asan|tsan|faultsoak|svc|rebroker|all)" >&2
       exit 2
       ;;
   esac

@@ -85,10 +85,28 @@ int cmd_run(const CliArgs& args) {
   e.recovery.checkpoint_every =
       static_cast<int>(args.get_int("ckpt-every", 2));
   e.recovery.shrink_ranks_on_crash = args.get_bool("shrink", false);
+  e.faults.reclaim_storm_rate = args.get_double("storm-rate", 0.0);
+  if (args.has("rebroker")) {
+    e.rebroker.enabled = true;
+    e.rebroker.fallback_platform = args.get_string("rebroker", "puma");
+    e.rebroker.hysteresis = args.get_double("rebroker-hysteresis", 0.15);
+    e.rebroker.migrate_budget_usd =
+        args.get_double("migrate-budget-usd", 0.0);
+    e.rebroker.deadline_s = args.get_double("rebroker-deadline-s", 0.0);
+    e.rebroker.sample_every =
+        static_cast<int>(args.get_int("rebroker-sample-every", 1));
+  }
   HETERO_REQUIRE(e.faults.rank_crash_rate == 0.0 ||
                      e.mode == core::Mode::kDirect,
                  "--faults injects rank crashes into the simulated MPI run: "
                  "needs --mode direct");
+  HETERO_REQUIRE(e.faults.reclaim_storm_rate == 0.0 ||
+                     e.mode == core::Mode::kDirect,
+                 "--storm-rate injects spot reclaims into the simulated MPI "
+                 "run: needs --mode direct");
+  HETERO_REQUIRE(!e.rebroker.enabled || e.mode == core::Mode::kDirect,
+                 "--rebroker monitors the simulated MPI run: needs "
+                 "--mode direct");
   if (e.mode == core::Mode::kDirect &&
       e.cells_per_rank_axis == 20 && !args.has("cells")) {
     e.cells_per_rank_axis = 4;  // keep direct runs laptop-sized by default
@@ -132,7 +150,29 @@ int cmd_run(const CliArgs& args) {
       record.set("wasted_cost_usd", r.resil.wasted_cost_usd);
       record.set("final_ranks", static_cast<double>(r.resil.final_ranks));
     }
+    if (e.rebroker.enabled) {
+      record.set("rebroker_samples",
+                 static_cast<double>(r.rebroker.samples));
+      record.set("rebroker_decisions",
+                 static_cast<double>(r.rebroker.decisions));
+      record.set("rebroker_migrations",
+                 static_cast<double>(r.rebroker.migrations));
+      record.set("rebroker_storms",
+                 static_cast<double>(r.rebroker.storms));
+      record.set("final_platform", r.rebroker.final_platform);
+      record.set("migration_wait_s", r.rebroker.migration_wait_s);
+      record.set("migration_cost_usd", r.rebroker.migration_cost_usd);
+    }
     reporter.add_record(std::move(record));
+  }
+  const std::string trail_path = args.get_string("rebroker-trail", "");
+  if (!trail_path.empty()) {
+    std::ofstream trail(trail_path, std::ios::trunc);
+    HETERO_REQUIRE(trail.good(),
+                   "cannot open --rebroker-trail path: " + trail_path);
+    for (const auto& line : r.rebroker.trail) {
+      trail << line << "\n";
+    }
   }
   if (!r.launched) {
     // Diagnostics go to stderr so a piped stdout (e.g. --json to a file
@@ -181,6 +221,19 @@ int cmd_run(const CliArgs& args) {
                 << format_seconds(r.resil.retry_delay_s) << ", wasted cost "
                 << fmt_usd(r.resil.wasted_cost_usd) << ", finished on "
                 << r.resil.final_ranks << " ranks\n";
+    }
+  }
+  if (e.rebroker.enabled) {
+    std::cout << "rebroker      " << r.rebroker.samples << " sample(s), "
+              << r.rebroker.decisions << " decision(s), "
+              << r.rebroker.migrations << " migration(s), "
+              << r.rebroker.storms << " storm(s); finished on "
+              << r.rebroker.final_platform << "\n";
+    if (r.rebroker.migrations > 0) {
+      std::cout << "              migration wait "
+                << format_seconds(r.rebroker.migration_wait_s)
+                << ", remaining-work cost "
+                << fmt_usd(r.rebroker.migration_cost_usd) << "\n";
     }
   }
   return 0;
@@ -388,6 +441,10 @@ int usage() {
       "      [--trace OUT.trace.json] [--metrics OUT.metrics.json]\n"
       "      [--faults RATE] [--launch-faults RATE] [--degrade RATE]\n"
       "      [--recovery none|scratch|ckpt] [--ckpt-every K] [--shrink]\n"
+      "      [--storm-rate RATE] [--rebroker PLATFORM]\n"
+      "      [--rebroker-hysteresis H] [--migrate-budget-usd D]\n"
+      "      [--rebroker-deadline-s S] [--rebroker-sample-every K]\n"
+      "      [--rebroker-trail OUT.jsonl]\n"
       "  fig4 | fig5 | table2 | fig6 | fig7 [--csv] [--jobs J]\n"
       "      [--json OUT.jsonl]\n"
       "  summary [--ranks N] [--jobs J]\n"
@@ -451,7 +508,12 @@ int main(int argc, char** argv) {
                                      "mode", "spot", "seed", "jobs", "json",
                                      "trace", "metrics", "faults",
                                      "launch-faults", "degrade", "recovery",
-                                     "ckpt-every", "shrink"})
+                                     "ckpt-every", "shrink", "storm-rate",
+                                     "rebroker", "rebroker-hysteresis",
+                                     "migrate-budget-usd",
+                                     "rebroker-deadline-s",
+                                     "rebroker-sample-every",
+                                     "rebroker-trail"})
                  ? cmd_run(args)
                  : usage();
     }
