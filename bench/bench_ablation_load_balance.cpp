@@ -1,0 +1,293 @@
+// Load-balancing ablation: the intra-platform-heterogeneity question the
+// per-platform speed model cannot answer — when a hashed fraction of ranks
+// runs its compute at 2x cost (binned CPUs, noisy hypervisor hosts), how
+// much of the lost time does capacity-weighted balancing win back?
+//
+// Two series share one JSONL report:
+//   * "modeled": analytic projections on puma at 1/8/27 ranks, crossing
+//     {no skew, 2x slow cores on a hashed quarter of ranks} with
+//     {unbalanced, perfectly balanced}. Unbalanced steps wait for the
+//     slowest rank (slowdown = max factor); balanced shares proportional
+//     to speed run at the harmonic mean (docs/load_balancing.md). The
+//     headline gate: at 27 ranks under 2x skew, balancing beats
+//     no-balancing >= 1.2x on modeled total time.
+//   * "direct": real simulated-MPI RD runs at 8 ranks, crossing skew with
+//     the live balancer (threshold 1.1, repartition and diffuse modes).
+//     Gates: the calm balanced run is *bitwise* the calm unbalanced run
+//     (observing step times never perturbs numerics); skewed balanced
+//     runs rebalance at least once and still pass the exact-solution
+//     oracle.
+//
+// CI byte-diffs the JSONL across --jobs levels and validates it against
+// bench/baselines/load_balance.json.
+
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_main.hpp"
+#include "core/experiment.hpp"
+#include "perf/scaling_model.hpp"
+#include "platform/platform_spec.hpp"
+#include "resil/skew_plan.hpp"
+#include "support/hash.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const CliArgs args(argc, argv);
+  bench::BenchOutput out(args, "ablation_load_balance");
+  auto engine = bench::make_engine(args);
+
+  // Mirror the runner's skew-plan derivation (experiment.cpp) so the
+  // analytic cells reproduce the engine's modeled results bit for bit:
+  // the engine seed is make_engine's default, the experiment seed is 1.
+  const std::uint64_t runner_seed = 42;
+  const std::uint64_t experiment_seed = 1;
+
+  resil::SkewSpec skew_on;
+  skew_on.slow_core_fraction = 0.25;
+  skew_on.slow_core_factor = 2.0;
+
+  auto plan_for = [&](bool skewed) {
+    const std::uint64_t skew_seed =
+        hash_combine(hash_combine(0x736b6577ULL /* "skew" */, runner_seed),
+                     experiment_seed);
+    return resil::SkewPlan(skewed ? skew_on : resil::SkewSpec{}, skew_seed,
+                           "puma");
+  };
+
+  // --- modeled series: analytic unbalanced vs balanced projections -------
+  struct ModeledCell {
+    int ranks = 0;
+    bool skewed = false;
+    bool balanced = false;
+    double slowdown = 1.0;
+    double total_s = 0.0;
+  };
+
+  const platform::PlatformSpec& puma = platform::platform_by_name("puma");
+  const perf::ModelConfig model = perf::rd_model();
+  std::vector<ModeledCell> modeled;
+  for (const int ranks : {1, 8, 27}) {
+    for (const bool skewed : {false, true}) {
+      for (const bool balanced : {false, true}) {
+        const resil::SkewPlan plan = plan_for(skewed);
+        std::vector<double> factors;
+        for (int r = 0; r < ranks; ++r) {
+          factors.push_back(plan.mean_factor(r));
+        }
+        ModeledCell cell;
+        cell.ranks = ranks;
+        cell.skewed = skewed;
+        cell.balanced = balanced;
+        cell.slowdown =
+            balanced
+                ? perf::skew_slowdown_balanced(std::span<const double>(factors))
+                : perf::skew_slowdown_unbalanced(
+                      std::span<const double>(factors));
+        apps::CpuCostModel cpu = puma.cpu_model();
+        cpu.speed_factor /= cell.slowdown;
+        cell.total_s =
+            perf::project_iteration(model, puma.topology(ranks), cpu, ranks)
+                .total_s;
+        modeled.push_back(cell);
+      }
+    }
+  }
+
+  Table modeled_table({"ranks", "skew", "balanced", "slowdown", "total[s]"});
+  for (const auto& c : modeled) {
+    modeled_table.add_row({std::to_string(c.ranks), c.skewed ? "on" : "off",
+                           c.balanced ? "on" : "off", fmt_double(c.slowdown, 6),
+                           fmt_double(c.total_s, 6)});
+  }
+  std::cout << "# modeled RD on puma, 20^3 cells/rank; skew = 2x slow cores "
+               "on a hashed quarter of ranks\n";
+  out.emit(modeled_table, "modeled");
+
+  auto modeled_cell = [&](int ranks, bool skewed,
+                          bool balanced) -> const ModeledCell& {
+    for (const auto& c : modeled) {
+      if (c.ranks == ranks && c.skewed == skewed && c.balanced == balanced) {
+        return c;
+      }
+    }
+    throw Error("bench: missing modeled cell");
+  };
+
+  // --- direct series: live balancer on the simulated-MPI RD runs ---------
+  struct DirectCell {
+    bool skewed = false;
+    bool balanced = false;
+    std::string mode = "off";
+    core::Experiment experiment;
+    core::ExperimentResult result;
+  };
+
+  auto make_direct = [&](bool skewed, bool balanced, const std::string& mode) {
+    core::Experiment e;
+    e.app = perf::AppKind::kReactionDiffusion;
+    e.platform = "puma";
+    e.ranks = 8;
+    e.cells_per_rank_axis = 4;
+    e.mode = core::Mode::kDirect;
+    e.direct_steps = 12;
+    e.seed = experiment_seed;
+    if (skewed) {
+      e.skew = skew_on;
+    }
+    if (balanced) {
+      e.balance.enabled = true;
+      e.balance.threshold = 1.1;
+      e.balance.mode = mode;
+    }
+    return e;
+  };
+
+  std::vector<DirectCell> direct;
+  for (const auto& [skewed, balanced, mode] :
+       std::vector<std::tuple<bool, bool, std::string>>{
+           {false, false, "off"},
+           {false, true, "repartition"},
+           {true, false, "off"},
+           {true, true, "repartition"},
+           {true, true, "diffuse"}}) {
+    DirectCell cell;
+    cell.skewed = skewed;
+    cell.balanced = balanced;
+    cell.mode = mode;
+    cell.experiment = make_direct(skewed, balanced, mode);
+    direct.push_back(cell);
+  }
+  engine.parallel_for(direct.size(), [&](std::size_t i) {
+    direct[i].result = engine.run(direct[i].experiment);
+  });
+
+  Table direct_table({"skew", "mode", "steps", "checks", "rebalances",
+                      "imbalance", "nodal_error", "effective[s]",
+                      "solver_iters"});
+  for (const auto& c : direct) {
+    const auto& r = c.result;
+    direct_table.add_row(
+        {c.skewed ? "on" : "off", c.mode,
+         std::to_string(c.experiment.direct_steps),
+         std::to_string(r.balance.checks), std::to_string(r.balance.rebalances),
+         fmt_double(r.balance.last_imbalance, 6),
+         fmt_double(r.nodal_error, 12),
+         fmt_double(r.iteration.total_s * c.experiment.direct_steps, 6),
+         fmt_double(r.iteration.solver_iterations, 6)});
+  }
+  std::cout << "\n# direct RD on puma, 8 ranks, 4^3 cells/rank, 12 steps; "
+               "balance threshold 1.1\n";
+  out.emit(direct_table, "direct");
+
+  auto direct_cell = [&](bool skewed, const std::string& mode) -> DirectCell& {
+    for (auto& c : direct) {
+      if (c.skewed == skewed && c.mode == mode) {
+        return c;
+      }
+    }
+    throw Error("bench: missing direct cell");
+  };
+
+  // --- sanity checks ------------------------------------------------------
+  bool sane = true;
+
+  // Headline gate: at 27 ranks under 2x skew, balancing wins >= 1.2x of
+  // modeled total time.
+  const ModeledCell& m27u = modeled_cell(27, true, false);
+  const ModeledCell& m27b = modeled_cell(27, true, true);
+  const double win = m27u.total_s / m27b.total_s;
+  std::cout << "\n# modeled balancing win at 27 ranks under 2x skew: "
+            << fmt_double(win, 4) << "x\n";
+  if (!(win >= 1.2)) {
+    std::cout << "!! balancing should win >= 1.2x of modeled total time at "
+                 "27 ranks under 2x skew (got "
+              << fmt_double(win, 4) << "x)\n";
+    sane = false;
+  }
+
+  // Zero-skew modeled cells: balancing a uniform machine is a no-op, so
+  // balanced and unbalanced totals must be *exactly* equal.
+  for (const int ranks : {1, 8, 27}) {
+    const ModeledCell& u = modeled_cell(ranks, false, false);
+    const ModeledCell& b = modeled_cell(ranks, false, true);
+    if (u.total_s != b.total_s || u.slowdown != 1.0 || b.slowdown != 1.0) {
+      std::cout << "!! zero-skew modeled cells must match bitwise at "
+                << ranks << " ranks\n";
+      sane = false;
+    }
+  }
+
+  // The engine's modeled path uses the same plan and the same unbalanced
+  // slowdown: its projection must equal the analytic cell bit for bit.
+  {
+    core::Experiment e;
+    e.app = perf::AppKind::kReactionDiffusion;
+    e.platform = "puma";
+    e.ranks = 27;
+    e.cells_per_rank_axis = model.cells_per_rank_axis;
+    e.skew = skew_on;
+    e.seed = experiment_seed;
+    const core::ExperimentResult r = engine.run(e);
+    if (r.iteration.total_s != m27u.total_s) {
+      std::cout << "!! engine modeled total ("
+                << fmt_double(r.iteration.total_s, 9)
+                << " s) diverged from the analytic unbalanced cell ("
+                << fmt_double(m27u.total_s, 9) << " s)\n";
+      sane = false;
+    }
+  }
+
+  // Calm direct runs: turning the balancer on must not perturb numerics —
+  // it checks but never rebalances, and the oracle errors are bitwise.
+  DirectCell& calm_off = direct_cell(false, "off");
+  DirectCell& calm_on = direct_cell(false, "repartition");
+  if (calm_on.result.balance.rebalances != 0 ||
+      calm_on.result.balance.checks <= 0) {
+    std::cout << "!! the calm balanced run should check but never rebalance "
+                 "(checks "
+              << calm_on.result.balance.checks << ", rebalances "
+              << calm_on.result.balance.rebalances << ")\n";
+    sane = false;
+  }
+  if (calm_on.result.nodal_error != calm_off.result.nodal_error ||
+      calm_on.result.iteration.solver_iterations !=
+          calm_off.result.iteration.solver_iterations) {
+    std::cout << "!! the calm balanced run must be bitwise the calm "
+                 "unbalanced run\n";
+    sane = false;
+  }
+
+  // Skew really costs time in the live runs.
+  DirectCell& skew_off_bal_off = calm_off;
+  DirectCell& skew_on_bal_off = direct_cell(true, "off");
+  if (skew_on_bal_off.result.iteration.total_s <=
+      1.2 * skew_off_bal_off.result.iteration.total_s) {
+    std::cout << "!! 2x skew should slow the unbalanced direct run by well "
+                 "over 1.2x\n";
+    sane = false;
+  }
+
+  // Skewed balanced runs rebalance and still pass the oracle, in both
+  // balancing modes.
+  for (const char* mode : {"repartition", "diffuse"}) {
+    DirectCell& c = direct_cell(true, mode);
+    if (c.result.balance.rebalances < 1) {
+      std::cout << "!! the skewed " << mode << " run never rebalanced\n";
+      sane = false;
+    }
+    if (!(c.result.nodal_error < 1e-8) || !c.result.solver_converged) {
+      std::cout << "!! the skewed " << mode
+                << " run should still pass the exact-solution oracle (nodal "
+                << fmt_double(c.result.nodal_error, 12) << ")\n";
+      sane = false;
+    }
+  }
+
+  std::cout << (sane ? "\n# sanity checks passed: balancing wins back the "
+                       "modeled skew loss and never perturbs calm runs\n"
+                     : "\n# SANITY CHECK FAILED\n");
+  return sane ? 0 : 1;
+}

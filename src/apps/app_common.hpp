@@ -7,6 +7,7 @@
 /// compute time to the virtual rank clocks.
 
 #include <cstdint>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -112,6 +113,11 @@ struct StepRecord {
   /// Discretization-error oracles (filled when error checks are enabled).
   double nodal_error = 0.0;
   double l2_error = 0.0;
+  /// Per-rank step seconds (this step, rank-local clock), allgathered so
+  /// every rank holds the identical vector. Only filled when the solver's
+  /// `collect_rank_step_s` config is set — the load balancer's input;
+  /// empty otherwise (no extra communication on the default path).
+  std::vector<double> rank_step_s;
 };
 
 }  // namespace hetero::apps

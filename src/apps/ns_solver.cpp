@@ -1,10 +1,12 @@
 #include "apps/ns_solver.hpp"
 
 #include <cmath>
+#include <span>
 
 #include "fem/bdf.hpp"
 #include "fem/error_norms.hpp"
 #include "la/kernels.hpp"
+#include "partition/partitioner.hpp"
 #include "support/error.hpp"
 
 namespace hetero::apps {
@@ -80,8 +82,24 @@ NsSolver::NsSolver(simmpi::Comm& comm, NsConfig config)
                             config_.global_cells,
                             {-1.0, -1.0, -1.0},
                             {1.0, 1.0, 1.0}};
-  mesh::BlockDecomposition decomposition(spec_, comm.size());
-  submesh_ = mesh::build_box_submesh(spec_, decomposition.box(comm.rank()));
+  // Step (i): block decomposition by default; capacity-weighted RCB over
+  // the global mesh when a rebalance supplied per-rank weights (see
+  // rd_solver.cpp — the same deterministic no-communication agreement).
+  if (config_.rank_weights.empty()) {
+    mesh::BlockDecomposition decomposition(spec_, comm.size());
+    submesh_ = mesh::build_box_submesh(spec_, decomposition.box(comm.rank()));
+  } else {
+    HETERO_REQUIRE(
+        static_cast<int>(config_.rank_weights.size()) == comm.size(),
+        "NS rank_weights needs exactly one weight per rank");
+    const mesh::TetMesh global = mesh::build_box_mesh(spec_);
+    const std::vector<int> part = partition::partition_rcb(
+        global, comm.size(), std::span<const double>(config_.rank_weights));
+    submesh_ = partition::extract_submesh(global, part, comm.rank());
+    HETERO_REQUIRE(submesh_.tet_count() > 0,
+                   "weighted repartition left a rank without elements; "
+                   "loosen the weight clamp or use fewer ranks");
+  }
   space_v_ = std::make_unique<fem::FeSpace>(submesh_, config_.velocity_order,
                                             spec_.vertex_count());
   space_p_ = std::make_unique<fem::FeSpace>(submesh_, 1, spec_.vertex_count());
@@ -469,6 +487,11 @@ StepRecord NsSolver::step() {
   record.timing.preconditioner_s = maxed[1];
   record.timing.solve_s = maxed[2];
   record.timing.total_s = maxed[3];
+
+  if (config_.collect_rank_step_s) {
+    const double mine = t_solved - t_begin;
+    record.rank_step_s = comm_->allgatherv(std::span<const double>(&mine, 1));
+  }
 
   trace_step_phases(comm_->world_rank(), t_begin, t_assembled,
                     t_preconditioned, t_solved);

@@ -53,6 +53,13 @@ struct NsConfig {
   int gmres_restart = 80;
   bool compute_errors = true;
   CpuCostModel cpu;
+  /// Per-rank capacity weights (one per rank, mean ~1). Empty = the
+  /// structured block decomposition; non-empty switches step (i) to a
+  /// capacity-weighted RCB over the global mesh (see RdConfig).
+  std::vector<double> rank_weights;
+  /// Allgather each rank's step seconds into StepRecord::rank_step_s.
+  /// Strictly opt-in: the extra collective changes modeled timings.
+  bool collect_rank_step_s = false;
 };
 
 /// Ethier–Steinman exact velocity (component c = 0,1,2) and pressure at

@@ -6,6 +6,7 @@
 #include "fem/bdf.hpp"
 #include "fem/error_norms.hpp"
 #include "la/kernels.hpp"
+#include "partition/partitioner.hpp"
 #include "support/error.hpp"
 
 namespace hetero::apps {
@@ -30,9 +31,26 @@ RdSolver::RdSolver(simmpi::Comm& comm, RdConfig config)
   spec_ = mesh::BoxMeshSpec{config_.global_cells, config_.global_cells,
                             config_.global_cells};
 
-  // Step (i): partition the domain; every rank builds only its block.
-  mesh::BlockDecomposition decomposition(spec_, comm.size());
-  submesh_ = mesh::build_box_submesh(spec_, decomposition.box(comm.rank()));
+  // Step (i): partition the domain. Default: every rank builds only its
+  // structured block. With capacity weights (a rebalance under per-rank
+  // skew), every rank runs the same deterministic weighted RCB over the
+  // global mesh and extracts its share — pure functions of the inputs, so
+  // all ranks agree without communication.
+  if (config_.rank_weights.empty()) {
+    mesh::BlockDecomposition decomposition(spec_, comm.size());
+    submesh_ = mesh::build_box_submesh(spec_, decomposition.box(comm.rank()));
+  } else {
+    HETERO_REQUIRE(
+        static_cast<int>(config_.rank_weights.size()) == comm.size(),
+        "RD rank_weights needs exactly one weight per rank");
+    const mesh::TetMesh global = mesh::build_box_mesh(spec_);
+    const std::vector<int> part = partition::partition_rcb(
+        global, comm.size(), std::span<const double>(config_.rank_weights));
+    submesh_ = partition::extract_submesh(global, part, comm.rank());
+    HETERO_REQUIRE(submesh_.tet_count() > 0,
+                   "weighted repartition left a rank without elements; "
+                   "loosen the weight clamp or use fewer ranks");
+  }
   space_ = std::make_unique<fem::FeSpace>(submesh_, config_.order,
                                           spec_.vertex_count());
   kernel_ = std::make_unique<fem::ElementKernel>(*space_,
@@ -241,6 +259,14 @@ StepRecord RdSolver::step() {
   record.timing.preconditioner_s = maxed[1];
   record.timing.solve_s = maxed[2];
   record.timing.total_s = maxed[3];
+
+  if (config_.collect_rank_step_s) {
+    // The balancer needs each rank's own step time, not the maximum: the
+    // gap between them is exactly the imbalance signal.
+    const double mine = t_solved - t_begin;
+    record.rank_step_s =
+        comm_->allgatherv(std::span<const double>(&mine, 1));
+  }
 
   trace_step_phases(comm_->world_rank(), t_begin, t_assembled,
                     t_preconditioned, t_solved);

@@ -50,6 +50,16 @@ struct RdConfig {
   bool compute_errors = true;
   /// Compute rates of the simulated platform.
   CpuCostModel cpu;
+  /// Per-rank capacity weights (one per rank, mean ~1). Empty = the
+  /// structured block decomposition. Non-empty switches step (i) to a
+  /// capacity-weighted RCB over the global mesh: slow ranks get fewer
+  /// elements. Global vertex gids keep the distributed dof map consistent
+  /// for any partition, so both paths run the same solver.
+  std::vector<double> rank_weights;
+  /// Allgather each rank's step seconds into StepRecord::rank_step_s (the
+  /// load balancer's input). Off by default: the extra collective changes
+  /// modeled timings (never numerics), so it is strictly opt-in.
+  bool collect_rank_step_s = false;
 };
 
 /// Exact solution and its boundary trace.

@@ -82,6 +82,23 @@ std::string experiment_cache_key(const Experiment& e,
   append_bits(key, e.recovery.backoff_factor);
   append_bits(key, e.recovery.backoff_cap_s);
   append_int(key, e.recovery.shrink_ranks_on_crash ? 1 : 0);
+  // Skew and balance knobs change both timings and (post-rebalance) the
+  // partition; a skewed/balanced cell must never alias a plain one.
+  append_bits(key, e.skew.slow_core_fraction);
+  append_bits(key, e.skew.slow_core_factor);
+  append_bits(key, e.skew.noise_rate);
+  append_bits(key, e.skew.noise_factor);
+  append_bits(key, e.skew.window_s);
+  append_int(key, e.balance.enabled ? 1 : 0);
+  append_bits(key, e.balance.threshold);
+  append_int(key, e.balance.check_every);
+  append_int(key, e.balance.min_steps);
+  append_int(key, e.balance.max_rebalances);
+  key += e.balance.mode;
+  key.push_back('|');
+  append_bits(key, e.balance.min_weight);
+  append_bits(key, e.balance.max_weight);
+  append_bits(key, e.balance.diffusion_eta);
   // Re-brokering policy knobs likewise: an adaptive run and a static run
   // of the same experiment must never share a memo entry.
   append_int(key, e.rebroker.enabled ? 1 : 0);

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "apps/ns_solver.hpp"
 #include "apps/rd_solver.hpp"
@@ -45,6 +46,16 @@ class ScopedTraceInstall {
   ScopedTraceInstall& operator=(const ScopedTraceInstall&) = delete;
   ~ScopedTraceInstall() { obs::set_current_trace(nullptr); }
 };
+
+struct LbMetrics {
+  obs::Counter& checks = obs::metrics().counter("lb.checks");
+  obs::Counter& rebalances = obs::metrics().counter("lb.rebalances");
+};
+
+LbMetrics& lb_metrics() {
+  static LbMetrics metrics;
+  return metrics;
+}
 
 struct ResilMetrics {
   obs::Counter& faults = obs::metrics().counter("resil.faults_injected");
@@ -88,6 +99,26 @@ const la::DistVector& state_prev(const apps::NsSolver& s) {
   return s.previous_state();
 }
 
+/// The experiment's skew plan for one platform. Salted like the fault
+/// stream so skew draws never correlate with crashes or spot prices.
+resil::SkewPlan make_skew_plan(const Experiment& e, std::uint64_t runner_seed,
+                               const std::string& platform) {
+  const std::uint64_t skew_seed =
+      hash_combine(hash_combine(0x736b6577ULL /* "skew" */, runner_seed),
+                   e.seed);
+  return resil::SkewPlan(e.skew, skew_seed, platform);
+}
+
+/// Mean per-rank skew factors — the modeled (expected-value) view of the
+/// direct-mode plan, hashed from the same stream.
+std::vector<double> skew_mean_factors(const resil::SkewPlan& plan, int ranks) {
+  std::vector<double> factors(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    factors[static_cast<std::size_t>(r)] = plan.mean_factor(r);
+  }
+  return factors;
+}
+
 }  // namespace
 
 ExperimentRunner::ExperimentRunner(std::uint64_t seed) : seed_(seed) {}
@@ -117,6 +148,21 @@ ExperimentResult ExperimentRunner::run(const Experiment& experiment) {
       HETERO_REQUIRE(t * t * t == experiment.rebroker.target_ranks,
                      "re-brokering target ranks must be cubic (1, 8, 27, ...)");
     }
+  }
+  if (experiment.balance.enabled) {
+    HETERO_REQUIRE(experiment.mode == Mode::kDirect,
+                   "load balancing needs --mode direct (the balancer samples "
+                   "live per-rank step times)");
+    HETERO_REQUIRE(!experiment.recovery.shrink_ranks_on_crash,
+                   "load balancing conflicts with shrink-on-crash recovery "
+                   "(weights are keyed to the original rank count)");
+    HETERO_REQUIRE(!experiment.rebroker.enabled,
+                   "load balancing conflicts with re-brokering (at most one "
+                   "controller may rebuild the run mid-flight)");
+    // Surfaces bad policy values (threshold <= 1, mode typos, ...) as API
+    // errors before any solver work starts.
+    lb::LoadBalancer probe(experiment.balance, experiment.ranks);
+    (void)probe;
   }
 
   ExperimentResult result;
@@ -187,6 +233,17 @@ ExperimentResult ExperimentRunner::run_modeled(
   const perf::ModelConfig model = model_for(experiment);
   result.work_per_rank = perf::work_per_rank(model, experiment.ranks);
 
+  apps::CpuCostModel cpu = spec.cpu_model();
+  if (experiment.skew.enabled()) {
+    // Synchronized iterations run at the pace of the slowest core: degrade
+    // the platform's uniform speed by the *unbalanced* skew slowdown.
+    // (Balanced projections go through perf::skew_slowdown_balanced
+    // directly; modeled runs never rebalance.)
+    const resil::SkewPlan splan = make_skew_plan(experiment, seed_, spec.name);
+    cpu.speed_factor /= perf::skew_slowdown_unbalanced(
+        skew_mean_factors(splan, experiment.ranks));
+  }
+
   if (spec.name == "ec2") {
     // Build the assembly through the cloud service so placement groups,
     // the spot market, and billing semantics all apply.
@@ -223,8 +280,8 @@ ExperimentResult ExperimentRunner::run_modeled(
     }
     const auto topo = service.assembly_topology(
         instances, experiment.ranks, experiment.cross_group_penalty);
-    result.iteration = perf::project_iteration(model, topo, spec.cpu_model(),
-                                               experiment.ranks);
+    result.iteration =
+        perf::project_iteration(model, topo, cpu, experiment.ranks);
     // Per-iteration cost at the blended hourly rate of the assembly.
     double hourly = 0.0;
     for (const auto& inst : instances) {
@@ -239,8 +296,8 @@ ExperimentResult ExperimentRunner::run_modeled(
   }
 
   const auto topo = spec.topology(experiment.ranks);
-  result.iteration = perf::project_iteration(model, topo, spec.cpu_model(),
-                                             experiment.ranks);
+  result.iteration =
+      perf::project_iteration(model, topo, cpu, experiment.ranks);
   result.cost_per_iteration_usd =
       spec.cost_usd(experiment.ranks, result.iteration.total_s);
   result.est_cost_per_iteration_usd = result.cost_per_iteration_usd;
@@ -285,7 +342,19 @@ ExperimentResult ExperimentRunner::run_direct(
   // the recovery policy itself never checkpoints.
   const rebroker::Policy& rb = experiment.rebroker;
   const bool rb_on = rb.enabled;
-  const bool need_ckpt_file = use_ckpt || rb_on;
+
+  // The load-balancing control loop mirrors the re-brokering one: every
+  // rank holds an identical LoadBalancer copy fed the same allgathered
+  // step-time vector, so the rebalance verdict is reached on all ranks
+  // without communication; rank 0's copy is canonical and is adopted back
+  // after the attempt.
+  lb::LoadBalancer lb_canonical(experiment.balance, experiment.ranks);
+  const bool lb_on = lb_canonical.enabled();
+  std::vector<lb::LoadBalancer> rank_lb;
+  std::vector<double> rank_weights;  // empty until the first rebalance
+  bool rebalance_pending = false;    // set by drive(), consumed by the host
+
+  const bool need_ckpt_file = use_ckpt || rb_on || lb_on;
   const std::string ckpt_path = need_ckpt_file ? checkpoint_scratch_path() : "";
   // Checkpoint bookkeeping. Written by rank 0 of the running attempt, read
   // by the host thread and the next attempt — Runtime::run joins all rank
@@ -390,6 +459,28 @@ ExperimentResult ExperimentRunner::run_direct(
           return;
         }
       }
+      if (lb_on && !record.rank_step_s.empty()) {
+        // rank_step_s is allgathered — identical on every rank, so every
+        // balancer copy folds the same observation and agrees.
+        const bool rebalance =
+            rank_lb[static_cast<std::size_t>(comm.rank())].observe(
+                s, std::span<const double>(record.rank_step_s));
+        if (rebalance && s + 1 < steps) {
+          io::save_solver_checkpoint(comm, state_now(solver),
+                                     state_prev(solver), solver.current_time(),
+                                     s + 1, ckpt_path);
+          if (comm.rank() == 0) {
+            have_checkpoint = true;
+            ckpt_step = s + 1;
+            ++rstats.checkpoints_written;
+            resil_metrics().checkpoints.increment();
+            rebalance_pending = true;
+            obs::trace_instant("rebalance_checkpoint", "lb", comm.now(),
+                               "step", static_cast<double>(s + 1));
+          }
+          return;
+        }
+      }
     }
   };
 
@@ -439,9 +530,21 @@ ExperimentResult ExperimentRunner::run_direct(
                               canonical.steps_observed());
       rank_ctl.assign(static_cast<std::size_t>(ranks), canonical);
     }
+    if (lb_on) {
+      rank_lb.assign(static_cast<std::size_t>(ranks), lb_canonical);
+    }
     simmpi::Runtime runtime(cur->topology(ranks));
     if (plan.enabled()) {
       runtime.set_degradation(plan.degradation());
+    }
+    if (experiment.skew.enabled()) {
+      // Per-rank slow cores and time-windowed noisy neighbors, hashed from
+      // (seed, platform, rank): every compute charge on rank r at virtual
+      // time t is stretched by the same factor at any --jobs.
+      const resil::SkewPlan splan =
+          make_skew_plan(experiment, seed_, cur->name);
+      runtime.set_compute_scale(
+          [splan](int rank, double now) { return splan.factor_at(rank, now); });
     }
     try {
       if (experiment.app == perf::AppKind::kReactionDiffusion) {
@@ -451,6 +554,8 @@ ExperimentResult ExperimentRunner::run_direct(
               apps::RdConfig config;
               config.global_cells = global_cells;
               config.cpu = cur->cpu_model();
+              config.rank_weights = rank_weights;
+              config.collect_rank_step_s = lb_on;
               return apps::RdSolver(comm, config);
             },
             crash, storm);
@@ -461,12 +566,29 @@ ExperimentResult ExperimentRunner::run_direct(
               apps::NsConfig config;
               config.global_cells = global_cells;
               config.cpu = cur->cpu_model();
+              config.rank_weights = rank_weights;
+              config.collect_rank_step_s = lb_on;
               return apps::NsSolver(comm, config);
             },
             crash, storm);
       }
       if (rb_on) {
         canonical = rank_ctl[0];
+      }
+      if (lb_on) {
+        lb_canonical = rank_lb[0];
+      }
+      if (rebalance_pending) {
+        rebalance_pending = false;
+        // Turn the measured speeds into the next attempt's capacity
+        // weights; the attempt resumes from the rebalance checkpoint on a
+        // freshly weighted partition (gid-keyed restore, as for recovery).
+        lb_canonical.record_rebalance();
+        rank_weights = lb_canonical.rank_weights();
+        lb_metrics().rebalances.increment();
+        obs::trace_instant("rebalance", "lb", runtime.elapsed_sim_seconds(),
+                           "step", static_cast<double>(ckpt_step));
+        continue;
       }
       if (migration_pending) {
         migration_pending = false;
@@ -517,6 +639,9 @@ ExperimentResult ExperimentRunner::run_direct(
       if (rb_on) {
         canonical = rank_ctl[0];
       }
+      if (lb_on) {
+        lb_canonical = rank_lb[0];
+      }
       if (fault.rank() < 0) {
         // A storm, not a host: the whole allocation went away. Counted on
         // the canonical controller even when re-brokering is off, so the
@@ -534,6 +659,7 @@ ExperimentResult ExperimentRunner::run_direct(
         if (need_ckpt_file) std::remove(ckpt_path.c_str());
         result.rebroker = canonical.take_outcome();
         result.rebroker.final_platform = cur->name;
+        result.balance = lb_canonical.outcome();
         return result;
       }
       const double delay = resil::backoff_delay_s(policy, attempt);
@@ -597,6 +723,10 @@ ExperimentResult ExperimentRunner::run_direct(
   result.solver_converged = converged;
   result.rebroker = canonical.take_outcome();
   result.rebroker.final_platform = cur->name;
+  result.balance = lb_canonical.outcome();
+  if (lb_on) {
+    lb_metrics().checks.add(static_cast<double>(result.balance.checks));
+  }
   if (result.rebroker.migrations > 0) {
     // A migrated run blends the per-step dollars each platform billed;
     // without a migration the legacy single-platform formula applies

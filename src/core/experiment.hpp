@@ -18,11 +18,13 @@
 #include <string>
 
 #include "apps/app_common.hpp"
+#include "lb/load_balancer.hpp"
 #include "perf/scaling_model.hpp"
 #include "platform/platform_spec.hpp"
 #include "rebroker/policy.hpp"
 #include "resil/fault_plan.hpp"
 #include "resil/recovery.hpp"
+#include "resil/skew_plan.hpp"
 
 namespace hetero::core {
 
@@ -71,6 +73,18 @@ struct Experiment {
   /// margin. Disabled by default; see docs/rebrokering.md.
   rebroker::Policy rebroker;
 
+  // --- intra-platform heterogeneity ------------------------------------------
+  /// Per-rank speed skew (slow cores + noisy neighbors). Direct mode scales
+  /// each rank's compute charges through the virtual clocks; modeled mode
+  /// degrades the platform's uniform speed by the skew's unbalanced
+  /// slowdown. All zero by default — runs are bit-identical to a skew-free
+  /// build. See docs/load_balancing.md.
+  resil::SkewSpec skew;
+  /// Dynamic load balancing (direct mode only): allgather measured per-rank
+  /// step times and repartition with capacity weights (or diffuse weight
+  /// between neighbors) when the weighted imbalance crosses the threshold.
+  lb::BalancePolicy balance;
+
   std::uint64_t seed = 42;
 };
 
@@ -110,6 +124,10 @@ struct ExperimentResult {
   /// the heterolab-rebroker-v1 decision trail. storms is filled even when
   /// the policy is disabled (a static plan still suffers the market).
   rebroker::Outcome rebroker;
+
+  /// Load-balancing ledger: imbalance checks made, rebalances triggered,
+  /// and the last weighted imbalance the balancer saw.
+  lb::BalanceOutcome balance;
 };
 
 class ExperimentRunner {

@@ -1,6 +1,7 @@
 #include "partition/partitioner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <numeric>
 
@@ -19,17 +20,38 @@ mesh::Vec3 centroid(const mesh::TetMesh& mesh, std::size_t t) {
   return c * 0.25;
 }
 
+void validate_weights(int parts, std::span<const double> weights,
+                      const char* who) {
+  HETERO_REQUIRE(weights.size() == static_cast<std::size_t>(parts),
+                 std::string(who) + " needs one weight per part");
+  for (const double w : weights) {
+    HETERO_REQUIRE(w > 0.0,
+                   std::string(who) + " weights must be strictly positive");
+  }
+}
+
 /// Recursively assigns `count` parts starting at `first_part` to the element
 /// index range [begin, end) of `order`, splitting along the longest axis of
-/// the current bounding box.
+/// the current bounding box. `weights`, when non-null, points at the
+/// per-part capacity weights (indexed by absolute part id): each bisection
+/// then splits the elements by the weight mass on either side instead of
+/// the part count. An empty range is legal (the covered parts go empty).
 void rcb_recurse(const mesh::TetMesh& mesh,
                  const std::vector<mesh::Vec3>& centroids,
                  std::vector<int>& order, std::size_t begin, std::size_t end,
-                 int first_part, int count, std::vector<int>& part) {
+                 int first_part, int count, const double* weights,
+                 std::vector<int>& part) {
   if (count == 1) {
     for (std::size_t i = begin; i < end; ++i) {
       part[static_cast<std::size_t>(order[i])] = first_part;
     }
+    return;
+  }
+  const int left_parts = count / 2;
+  const int right_parts = count - left_parts;
+  if (begin == end) {
+    // Nothing left to split: every covered part stays empty. Recursing
+    // further would read centroids of a nonexistent element.
     return;
   }
   // Bounding box of the subset.
@@ -51,12 +73,26 @@ void rcb_recurse(const mesh::TetMesh& mesh,
     const auto& c = centroids[static_cast<std::size_t>(e)];
     return axis == 0 ? c.x : axis == 1 ? c.y : c.z;
   };
-  // Split parts (and elements proportionally) as evenly as possible.
-  const int left_parts = count / 2;
-  const int right_parts = count - left_parts;
+  // Split elements across the cut: proportionally to the part counts
+  // (uniform), or to the weight mass on either side (weighted).
   const std::size_t n = end - begin;
-  const std::size_t left_n =
-      n * static_cast<std::size_t>(left_parts) / static_cast<std::size_t>(count);
+  std::size_t left_n;
+  if (weights == nullptr) {
+    left_n = n * static_cast<std::size_t>(left_parts) /
+             static_cast<std::size_t>(count);
+  } else {
+    double wl = 0.0;
+    double wr = 0.0;
+    for (int p = 0; p < left_parts; ++p) {
+      wl += weights[first_part + p];
+    }
+    for (int p = left_parts; p < count; ++p) {
+      wr += weights[first_part + p];
+    }
+    const auto want = std::llround(static_cast<double>(n) * wl / (wl + wr));
+    left_n = static_cast<std::size_t>(
+        std::clamp<long long>(want, 0, static_cast<long long>(n)));
+  }
   std::nth_element(order.begin() + static_cast<std::ptrdiff_t>(begin),
                    order.begin() + static_cast<std::ptrdiff_t>(begin + left_n),
                    order.begin() + static_cast<std::ptrdiff_t>(end),
@@ -66,17 +102,14 @@ void rcb_recurse(const mesh::TetMesh& mesh,
                      return ka < kb || (ka == kb && a < b);
                    });
   rcb_recurse(mesh, centroids, order, begin, begin + left_n, first_part,
-              left_parts, part);
+              left_parts, weights, part);
   rcb_recurse(mesh, centroids, order, begin + left_n, end,
-              first_part + left_parts, right_parts, part);
+              first_part + left_parts, right_parts, weights, part);
 }
 
-}  // namespace
-
-std::vector<int> partition_rcb(const mesh::TetMesh& mesh, int parts) {
+std::vector<int> rcb_impl(const mesh::TetMesh& mesh, int parts,
+                          const double* weights) {
   HETERO_REQUIRE(parts >= 1, "partition_rcb requires parts >= 1");
-  HETERO_REQUIRE(mesh.tet_count() >= static_cast<std::size_t>(parts),
-                 "fewer elements than parts");
   std::vector<mesh::Vec3> centroids(mesh.tet_count());
   for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
     centroids[t] = centroid(mesh, t);
@@ -84,25 +117,46 @@ std::vector<int> partition_rcb(const mesh::TetMesh& mesh, int parts) {
   std::vector<int> order(mesh.tet_count());
   std::iota(order.begin(), order.end(), 0);
   std::vector<int> part(mesh.tet_count(), -1);
-  rcb_recurse(mesh, centroids, order, 0, order.size(), 0, parts, part);
+  rcb_recurse(mesh, centroids, order, 0, order.size(), 0, parts, weights,
+              part);
   return part;
 }
 
-std::vector<int> partition_greedy(const Graph& graph, int parts) {
+std::vector<int> greedy_impl(const Graph& graph, int parts,
+                             const double* weights) {
   HETERO_REQUIRE(parts >= 1, "partition_greedy requires parts >= 1");
   const int n = static_cast<int>(graph.vertex_count());
-  HETERO_REQUIRE(n >= parts, "fewer graph vertices than parts");
   std::vector<int> part(static_cast<std::size_t>(n), -1);
   std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  double weight_total = 0.0;
+  if (weights != nullptr) {
+    for (int p = 0; p < parts; ++p) {
+      weight_total += weights[p];
+    }
+  }
 
   int assigned = 0;
   int seed = 0;  // first seed: vertex 0; later seeds: farthest unassigned
+  double weight_left = weight_total;
   for (int p = 0; p < parts; ++p) {
-    const std::size_t remaining_parts = static_cast<std::size_t>(parts - p);
-    const std::size_t target =
-        (static_cast<std::size_t>(n) - static_cast<std::size_t>(assigned) +
-         remaining_parts - 1) /
-        remaining_parts;
+    if (assigned == n) {
+      // Every vertex has a part; the remaining parts stay empty. (Without
+      // this guard the seed search below would index one past the end —
+      // the parts > n out-of-bounds write this sweep fixed.)
+      break;
+    }
+    const std::size_t remaining = static_cast<std::size_t>(n - assigned);
+    std::size_t target;
+    if (weights == nullptr) {
+      const auto remaining_parts = static_cast<std::size_t>(parts - p);
+      target = (remaining + remaining_parts - 1) / remaining_parts;
+    } else {
+      target = static_cast<std::size_t>(std::clamp<long long>(
+          std::llround(static_cast<double>(remaining) * weights[p] /
+                       weight_left),
+          1, static_cast<long long>(remaining)));
+      weight_left -= weights[p];
+    }
     // Grow part p from `seed` by BFS over unassigned vertices.
     std::deque<int> queue;
     if (part[static_cast<std::size_t>(seed)] != -1) {
@@ -175,15 +229,21 @@ std::vector<int> partition_greedy(const Graph& graph, int parts) {
   }
 
   // One boundary-refinement sweep: move a vertex to the neighbouring part
-  // where it has strictly more neighbours, if that does not unbalance.
+  // where it has strictly more neighbours, if that does not overfill the
+  // destination's (weighted) capacity.
   std::vector<std::size_t> sizes(static_cast<std::size_t>(parts), 0);
   for (int v = 0; v < n; ++v) {
     ++sizes[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])];
   }
-  const std::size_t max_size =
-      (static_cast<std::size_t>(n) + static_cast<std::size_t>(parts) - 1) /
-          static_cast<std::size_t>(parts) +
-      1;
+  std::vector<std::size_t> cap(static_cast<std::size_t>(parts), 0);
+  for (int p = 0; p < parts; ++p) {
+    const double share =
+        weights == nullptr
+            ? static_cast<double>(n) / static_cast<double>(parts)
+            : static_cast<double>(n) * weights[p] / weight_total;
+    cap[static_cast<std::size_t>(p)] =
+        static_cast<std::size_t>(std::ceil(share)) + 1;
+  }
   std::vector<int> gain(static_cast<std::size_t>(parts), 0);
   for (int v = 0; v < n; ++v) {
     const int pv = part[static_cast<std::size_t>(v)];
@@ -195,7 +255,8 @@ std::vector<int> partition_greedy(const Graph& graph, int parts) {
     for (int p = 0; p < parts; ++p) {
       if (p != pv && gain[static_cast<std::size_t>(p)] >
                          gain[static_cast<std::size_t>(best)] &&
-          sizes[static_cast<std::size_t>(p)] + 1 <= max_size &&
+          sizes[static_cast<std::size_t>(p)] + 1 <=
+              cap[static_cast<std::size_t>(p)] &&
           sizes[static_cast<std::size_t>(pv)] > 1) {
         best = p;
       }
@@ -207,6 +268,84 @@ std::vector<int> partition_greedy(const Graph& graph, int parts) {
     }
   }
   return part;
+}
+
+PartitionMetrics evaluate_impl(const Graph& graph,
+                               const std::vector<int>& part, int parts,
+                               const double* weights) {
+  HETERO_REQUIRE(part.size() == graph.vertex_count(),
+                 "partition size must match graph");
+  HETERO_REQUIRE(parts >= 1, "parts must be >= 1");
+  PartitionMetrics m;
+  m.parts = parts;
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(parts), 0);
+  for (int p : part) {
+    HETERO_REQUIRE(p >= 0 && p < parts, "part id out of range");
+    ++sizes[static_cast<std::size_t>(p)];
+  }
+  m.min_part_size = *std::min_element(sizes.begin(), sizes.end());
+  m.max_part_size = *std::max_element(sizes.begin(), sizes.end());
+  const auto n = static_cast<double>(graph.vertex_count());
+  if (graph.vertex_count() == 0) {
+    // Nothing to balance: an empty input is trivially perfect (the old
+    // formula divided 0 by 0 here and reported NaN).
+    m.imbalance = 1.0;
+    m.weighted_imbalance = 1.0;
+  } else {
+    m.imbalance =
+        static_cast<double>(m.max_part_size) / (n / static_cast<double>(parts));
+    if (weights == nullptr) {
+      m.weighted_imbalance = m.imbalance;
+    } else {
+      double weight_total = 0.0;
+      for (int p = 0; p < parts; ++p) {
+        weight_total += weights[p];
+      }
+      double worst = 0.0;
+      for (int p = 0; p < parts; ++p) {
+        const double ideal = n * weights[p] / weight_total;
+        worst = std::max(
+            worst, static_cast<double>(sizes[static_cast<std::size_t>(p)]) /
+                       ideal);
+      }
+      m.weighted_imbalance = worst;
+    }
+  }
+  std::size_t cut = 0;
+  for (int u = 0; u < static_cast<int>(graph.vertex_count()); ++u) {
+    for (int v : graph.neighbours(u)) {
+      if (u < v && part[static_cast<std::size_t>(u)] !=
+                       part[static_cast<std::size_t>(v)]) {
+        ++cut;
+      }
+    }
+  }
+  m.edge_cut = cut;
+  return m;
+}
+
+}  // namespace
+
+std::vector<int> partition_rcb(const mesh::TetMesh& mesh, int parts) {
+  return rcb_impl(mesh, parts, nullptr);
+}
+
+std::vector<int> partition_rcb(const mesh::TetMesh& mesh, int parts,
+                               std::span<const double> weights) {
+  HETERO_REQUIRE(parts >= 1, "partition_rcb requires parts >= 1");
+  validate_weights(parts, weights, "partition_rcb");
+  return rcb_impl(mesh, parts, weights.data());
+}
+
+std::vector<int> partition_greedy(const Graph& graph, int parts) {
+  return greedy_impl(graph, parts, nullptr);
+}
+
+std::vector<int> partition_greedy(const Graph& graph, int parts,
+                                  std::span<const double> weights) {
+  HETERO_REQUIRE(parts >= 1, "partition_greedy requires parts >= 1");
+  validate_weights(parts, weights, "partition_greedy");
+  return greedy_impl(graph, parts, weights.data());
 }
 
 mesh::TetMesh extract_submesh(const mesh::TetMesh& global,
@@ -235,7 +374,8 @@ mesh::TetMesh extract_submesh(const mesh::TetMesh& global,
     }
     tets.push_back(tet);
   }
-  HETERO_REQUIRE(!tets.empty(), "extract_submesh: rank owns no elements");
+  // A rank may legitimately own nothing (parts > elements, or extreme
+  // weights); it gets a valid empty mesh, not UB.
   mesh::TetMesh sub(std::move(vertices), std::move(tets));
   sub.set_vertex_gids(std::move(gids));
   // Keep global boundary faces fully contained in the local vertex set.
@@ -262,32 +402,15 @@ mesh::TetMesh extract_submesh(const mesh::TetMesh& global,
 
 PartitionMetrics evaluate_partition(const Graph& graph,
                                     const std::vector<int>& part, int parts) {
-  HETERO_REQUIRE(part.size() == graph.vertex_count(),
-                 "partition size must match graph");
+  return evaluate_impl(graph, part, parts, nullptr);
+}
+
+PartitionMetrics evaluate_partition(const Graph& graph,
+                                    const std::vector<int>& part, int parts,
+                                    std::span<const double> weights) {
   HETERO_REQUIRE(parts >= 1, "parts must be >= 1");
-  PartitionMetrics m;
-  m.parts = parts;
-  std::vector<std::size_t> sizes(static_cast<std::size_t>(parts), 0);
-  for (int p : part) {
-    HETERO_REQUIRE(p >= 0 && p < parts, "part id out of range");
-    ++sizes[static_cast<std::size_t>(p)];
-  }
-  m.min_part_size = *std::min_element(sizes.begin(), sizes.end());
-  m.max_part_size = *std::max_element(sizes.begin(), sizes.end());
-  const double ideal =
-      static_cast<double>(graph.vertex_count()) / static_cast<double>(parts);
-  m.imbalance = static_cast<double>(m.max_part_size) / ideal;
-  std::size_t cut = 0;
-  for (int u = 0; u < static_cast<int>(graph.vertex_count()); ++u) {
-    for (int v : graph.neighbours(u)) {
-      if (u < v && part[static_cast<std::size_t>(u)] !=
-                       part[static_cast<std::size_t>(v)]) {
-        ++cut;
-      }
-    }
-  }
-  m.edge_cut = cut;
-  return m;
+  validate_weights(parts, weights, "evaluate_partition");
+  return evaluate_impl(graph, part, parts, weights.data());
 }
 
 }  // namespace hetero::partition

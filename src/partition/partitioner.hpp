@@ -5,7 +5,18 @@
 /// bisection (geometric) and greedy graph growing with boundary refinement
 /// (combinatorial), plus the quality metrics the paper cares about — load
 /// balance (elements per process) and interface size (communication volume).
+///
+/// Both partitioners also come in *capacity-weighted* variants: part p
+/// targets a share proportional to `weights[p]`, the mechanism the dynamic
+/// load balancer (lb::LoadBalancer) uses to hand slow ranks fewer elements
+/// once per-rank speed skew has been measured.
+///
+/// Degenerate inputs are well-defined, never UB: `parts` may exceed the
+/// element count (the surplus parts receive zero elements), a zero-element
+/// input yields an all-empty partition, and `extract_submesh` on a rank
+/// that owns nothing returns an empty mesh.
 
+#include <span>
 #include <vector>
 
 #include "mesh/tet_mesh.hpp"
@@ -18,8 +29,13 @@ struct PartitionMetrics {
   int parts = 0;
   std::size_t min_part_size = 0;
   std::size_t max_part_size = 0;
-  /// max part size / ideal part size; 1.0 is perfect.
+  /// max part size / ideal part size; 1.0 is perfect. Defined as 1.0 for an
+  /// empty input (nothing to balance).
   double imbalance = 0.0;
+  /// max over parts of size_p / (n * w_p / sum(w)): the weighted analogue,
+  /// 1.0 when every part holds exactly its capacity share. Equals
+  /// `imbalance` when the weights are uniform (or none were given).
+  double weighted_imbalance = 0.0;
   /// Dual-graph edges crossing part boundaries (proportional to halo data).
   std::size_t edge_cut = 0;
 };
@@ -28,21 +44,42 @@ struct PartitionMetrics {
 /// Returns the part id of every element; parts need not be a power of two.
 std::vector<int> partition_rcb(const mesh::TetMesh& mesh, int parts);
 
+/// Capacity-weighted RCB: each bisection splits the elements in proportion
+/// to the summed weights of the parts on either side, so part p ends up
+/// with ~ n * weights[p] / sum(weights) elements. Weights must be strictly
+/// positive and one per part.
+std::vector<int> partition_rcb(const mesh::TetMesh& mesh, int parts,
+                               std::span<const double> weights);
+
 /// Greedy graph growing: seeds part after part from the farthest unassigned
 /// vertex, grows by BFS to the target size, then one pass of boundary
 /// refinement reduces the edge cut without breaking balance. Deterministic.
 std::vector<int> partition_greedy(const Graph& graph, int parts);
 
+/// Capacity-weighted greedy growing: part p grows to a target of
+/// ~ n * weights[p] / sum(weights) vertices, and the refinement pass
+/// respects per-part weighted capacity. Weights must be strictly positive
+/// and one per part.
+std::vector<int> partition_greedy(const Graph& graph, int parts,
+                                  std::span<const double> weights);
+
 /// Evaluates a partition against its dual graph.
 PartitionMetrics evaluate_partition(const Graph& graph,
                                     const std::vector<int>& part, int parts);
+
+/// Weighted variant: also fills `weighted_imbalance` against the capacity
+/// shares `weights` (strictly positive, one per part).
+PartitionMetrics evaluate_partition(const Graph& graph,
+                                    const std::vector<int>& part, int parts,
+                                    std::span<const double> weights);
 
 /// Extracts rank `rank`'s submesh from a partitioned global mesh: elements
 /// with part[t] == rank, vertices compacted to local indices, global vertex
 /// ids preserved (so distributed FEM dof ids stay consistent across ranks),
 /// and global boundary faces whose vertices all survive locally. This is
 /// the hand-off from the ParMETIS-style partitioners to the solvers —
-/// step (i) of the paper's pipeline for unstructured decompositions.
+/// step (i) of the paper's pipeline for unstructured decompositions. A rank
+/// that owns no elements receives a valid empty mesh.
 mesh::TetMesh extract_submesh(const mesh::TetMesh& global,
                               std::span<const int> part, int rank);
 

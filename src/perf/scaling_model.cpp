@@ -191,4 +191,26 @@ PhaseBreakdown project_iteration(const ModelConfig& config,
   return out;
 }
 
+double skew_slowdown_unbalanced(std::span<const double> rank_factors) {
+  HETERO_REQUIRE(!rank_factors.empty(),
+                 "skew slowdown needs at least one rank factor");
+  double worst = 0.0;
+  for (const double f : rank_factors) {
+    HETERO_REQUIRE(f > 0.0, "skew slowdown: rank factors must be positive");
+    worst = std::max(worst, f);
+  }
+  return worst;
+}
+
+double skew_slowdown_balanced(std::span<const double> rank_factors) {
+  HETERO_REQUIRE(!rank_factors.empty(),
+                 "skew slowdown needs at least one rank factor");
+  double inv_sum = 0.0;
+  for (const double f : rank_factors) {
+    HETERO_REQUIRE(f > 0.0, "skew slowdown: rank factors must be positive");
+    inv_sum += 1.0 / f;
+  }
+  return static_cast<double>(rank_factors.size()) / inv_sum;
+}
+
 }  // namespace hetero::perf

@@ -17,6 +17,8 @@
 /// latency-bound reductions per iteration, which is what makes its curves
 /// degrade everywhere — the paper's central qualitative finding.
 
+#include <span>
+
 #include "apps/app_common.hpp"
 #include "netsim/topology.hpp"
 
@@ -76,5 +78,18 @@ std::int64_t halo_dofs_per_rank(const ModelConfig& config, int ranks);
 PhaseBreakdown project_iteration(const ModelConfig& config,
                                  const netsim::Topology& topo,
                                  const apps::CpuCostModel& cpu, int ranks);
+
+/// Modeled compute slowdown of a bulk-synchronous step when every rank
+/// holds the *same* share of work but runs at per-rank compute-cost
+/// multipliers `rank_factors` (resil::SkewPlan::mean_factor): the step
+/// waits for the slowest rank, so the slowdown is max(factors).
+double skew_slowdown_unbalanced(std::span<const double> rank_factors);
+
+/// Modeled compute slowdown under *perfect* capacity-weighted balancing:
+/// shares proportional to speed make every rank finish together, so p
+/// ranks of speeds 1/f_r jointly run at the harmonic mean —
+/// slowdown = p / sum(1 / f_r). Always <= the unbalanced slowdown; the
+/// gap is what the load balancer can win back (docs/load_balancing.md).
+double skew_slowdown_balanced(std::span<const double> rank_factors);
 
 }  // namespace hetero::perf

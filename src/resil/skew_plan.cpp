@@ -1,0 +1,77 @@
+#include "resil/skew_plan.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace hetero::resil {
+
+namespace {
+
+// Independent streams for the static lottery and the window noise: a seed
+// that makes rank 3 a slow core says nothing about its noisy windows.
+constexpr std::uint64_t kSlowSalt = 0x736c6f77ULL;       // "slow"
+constexpr std::uint64_t kNoiseSalt = 0x6e6f697379ULL;    // "noisy"
+
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 0x736b6577ULL;  // "skew"
+  for (const char c : name) {
+    h = hash_combine(h, static_cast<std::uint64_t>(
+                            static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+double cell_unit(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+                 std::uint64_t b) {
+  std::uint64_t h = hash_combine(seed, salt);
+  h = hash_combine(h, a);
+  h = hash_combine(h, b);
+  return hash_unit(h);
+}
+
+}  // namespace
+
+SkewPlan::SkewPlan(const SkewSpec& spec, std::uint64_t seed,
+                   const std::string& platform)
+    : spec_(spec), seed_(hash_combine(seed, hash_name(platform))) {
+  HETERO_REQUIRE(
+      spec.slow_core_fraction >= 0.0 && spec.slow_core_fraction <= 1.0,
+      "skew plan: slow_core_fraction must be in [0, 1]");
+  HETERO_REQUIRE(spec.slow_core_factor >= 1.0,
+                 "skew plan: slow_core_factor must be >= 1");
+  HETERO_REQUIRE(spec.noise_rate >= 0.0 && spec.noise_rate <= 1.0,
+                 "skew plan: noise_rate must be in [0, 1]");
+  HETERO_REQUIRE(spec.noise_factor >= 1.0,
+                 "skew plan: noise_factor must be >= 1");
+  HETERO_REQUIRE(spec.window_s > 0.0, "skew plan: window_s must be positive");
+}
+
+double SkewPlan::static_factor(int rank) const {
+  if (spec_.slow_core_fraction <= 0.0) return 1.0;
+  const double u =
+      cell_unit(seed_, kSlowSalt, static_cast<std::uint64_t>(rank), 0);
+  return u < spec_.slow_core_fraction ? spec_.slow_core_factor : 1.0;
+}
+
+double SkewPlan::factor_at(int rank, double t) const {
+  double f = static_factor(rank);
+  if (spec_.noise_rate > 0.0 && t >= 0.0) {
+    const auto window =
+        static_cast<std::uint64_t>(std::floor(t / spec_.window_s));
+    const double u = cell_unit(seed_, kNoiseSalt,
+                               static_cast<std::uint64_t>(rank), window);
+    if (u < spec_.noise_rate) {
+      f *= spec_.noise_factor;
+    }
+  }
+  return f;
+}
+
+double SkewPlan::mean_factor(int rank) const {
+  return static_factor(rank) *
+         (1.0 + spec_.noise_rate * (spec_.noise_factor - 1.0));
+}
+
+}  // namespace hetero::resil

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file skew_plan.hpp
+/// Seed-deterministic per-rank speed skew. A SkewSpec says *how much*
+/// intra-platform heterogeneity exists; a SkewPlan derived from
+/// (spec, seed, platform) says exactly *which* ranks are slow and *when*
+/// the noisy-neighbor / thermal-throttle windows hit each rank. Every query
+/// is a pure hash of (seed, salt, rank [, window]) — no mutable state, no
+/// draw order — so the same experiment replays byte-identically at any
+/// `--jobs` level, exactly like the fault plans (fault_plan.hpp).
+///
+/// Two effects compose multiplicatively:
+///   * static slow cores: a hashed fraction of ranks runs all compute at
+///     `slow_core_factor` x cost (binned CPUs, one slow DIMM, a busy
+///     hypervisor host — the secondary attributes the paper's platforms
+///     differ in but a per-platform speed cannot express);
+///   * time-windowed noise: each (rank, floor(t / window_s)) cell is noisy
+///     with probability `noise_rate`, multiplying compute by
+///     `noise_factor` inside the window (cloud noisy neighbors, thermal
+///     throttling bursts).
+
+#include <cstdint>
+#include <string>
+
+namespace hetero::resil {
+
+/// Skew knobs. All default to "off": a default SkewSpec is inert.
+struct SkewSpec {
+  /// Fraction of ranks that are statically slow (hashed per rank).
+  double slow_core_fraction = 0.0;
+  /// Compute-cost multiplier of a slow rank (>= 1; 2.0 = half speed).
+  double slow_core_factor = 2.0;
+  /// Fraction of (rank, window) cells with a noisy neighbor.
+  double noise_rate = 0.0;
+  /// Compute-cost multiplier inside a noisy window.
+  double noise_factor = 1.5;
+  /// Width of one noise window in virtual seconds.
+  double window_s = 30.0;
+
+  bool enabled() const {
+    return (slow_core_fraction > 0.0 && slow_core_factor != 1.0) ||
+           (noise_rate > 0.0 && noise_factor != 1.0);
+  }
+};
+
+class SkewPlan {
+ public:
+  /// An inert plan: every factor is 1. Lets callers hold a SkewPlan by
+  /// value without special-casing "no skew configured".
+  SkewPlan() = default;
+  /// `platform` is hashed into the stream: the same seed draws different
+  /// slow ranks on puma and on ec2, so a migration re-rolls the lottery.
+  SkewPlan(const SkewSpec& spec, std::uint64_t seed,
+           const std::string& platform = "");
+
+  const SkewSpec& spec() const { return spec_; }
+  bool enabled() const { return spec_.enabled(); }
+
+  /// Static compute-cost multiplier of `rank` (1.0 or slow_core_factor).
+  double static_factor(int rank) const;
+
+  /// Full multiplier at virtual time `t`: static_factor x window noise.
+  double factor_at(int rank, double t) const;
+
+  /// Expected long-run multiplier of `rank`: static_factor x
+  /// (1 + noise_rate * (noise_factor - 1)). The modeled-mode analogue of
+  /// factor_at — what a long run averages over many windows.
+  double mean_factor(int rank) const;
+
+ private:
+  SkewSpec spec_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace hetero::resil

@@ -83,8 +83,17 @@ class Comm {
     return runtime_->clocks_[static_cast<std::size_t>(rank_)].time();
   }
 
-  /// Records `seconds` of modeled local computation.
-  void compute(double seconds) { clock().advance(seconds); }
+  /// Records `seconds` of modeled local computation. When the runtime has
+  /// a compute-scale hook (per-rank speed skew), the charge is multiplied
+  /// by this rank's factor at the current virtual time — slow cores and
+  /// noisy-neighbor windows stretch exactly the compute, never the
+  /// numerics or the communication model.
+  void compute(double seconds) {
+    if (runtime_->compute_scale_) {
+      seconds *= runtime_->compute_scale_(rank_, now());
+    }
+    clock().advance(seconds);
+  }
 
   const CommStats& stats() const {
     return runtime_->stats_[static_cast<std::size_t>(rank_)];

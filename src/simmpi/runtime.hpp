@@ -100,6 +100,18 @@ class Runtime {
     return degradation_;
   }
 
+  /// Per-rank compute-cost multiplier: `Comm::compute(s)` charges
+  /// `s * fn(world_rank, virtual time)` instead of `s`. The per-rank speed
+  /// skew (resil::SkewPlan) hooks in here. Set before run(); must be a pure
+  /// function of its arguments (it is called concurrently from every rank
+  /// thread). Unset (the default) charges `s` unchanged, so skew-free runs
+  /// are bit-identical to builds without the hook.
+  using ComputeScaleFn = std::function<double(int rank, double now)>;
+  void set_compute_scale(ComputeScaleFn fn) {
+    compute_scale_ = std::move(fn);
+  }
+  const ComputeScaleFn& compute_scale() const { return compute_scale_; }
+
  private:
   friend class Comm;
 
@@ -207,6 +219,7 @@ class Runtime {
   std::atomic<bool> aborted_{false};
   double recv_timeout_s_ = 120.0;
   netsim::DegradationSchedule degradation_;
+  ComputeScaleFn compute_scale_;
 };
 
 }  // namespace hetero::simmpi

@@ -51,6 +51,60 @@ expect_run(ok ""
   --app rd --platform puma --ranks 8 --mode direct --cells 4
   --faults 0.05 --recovery ckpt --ckpt-every 2 --seed 4)
 
+# --- skew / balance flag-interaction audit ----------------------------------
+
+# Skew stretches virtual-clock compute charges: meaningless outside direct
+# mode, so modeled runs must refuse it loudly.
+expect_run(fail "--skew .* needs --mode direct"
+  --app rd --platform puma --ranks 8 --skew 2)
+
+# The skew refinement flags are riders on --skew, never free-standing.
+expect_run(fail "--skew-fraction/--skew-noise refine --skew"
+  --app rd --platform puma --ranks 8 --mode direct --skew-fraction 0.5)
+
+# A slowdown factor below 1 would be a speedup; the plan rejects it.
+expect_run(fail "slow_core_factor"
+  --app rd --platform puma --ranks 8 --mode direct --skew 0.5)
+
+# Balancing samples live step times: direct mode only.
+expect_run(fail "--balance .* needs .*--mode direct"
+  --app rd --platform puma --ranks 8 --balance)
+
+# Tuning flags without --balance are a silent no-op waiting to happen.
+expect_run(fail "--balance-threshold/--balance-mode tune --balance"
+  --app rd --platform puma --ranks 8 --mode direct --balance-threshold 1.5)
+
+# Threshold 1.0 would re-trigger forever on rounding noise.
+expect_run(fail "threshold must be > 1"
+  --app rd --platform puma --ranks 8 --mode direct --balance
+  --balance-threshold 1.0)
+
+# Unknown balance modes fail fast, not at the first rebalance.
+expect_run(fail "repartition.*diffuse"
+  --app rd --platform puma --ranks 8 --mode direct --balance
+  --balance-mode magic)
+
+# Conflicting mid-run controllers: balance vs shrink-on-crash...
+expect_run(fail "--balance conflicts with --shrink"
+  --app rd --platform puma --ranks 8 --mode direct --balance
+  --faults 0.05 --recovery ckpt --shrink)
+
+# ...and balance vs re-brokering.
+expect_run(fail "--balance conflicts with --rebroker"
+  --app rd --platform puma --ranks 8 --mode direct --balance
+  --rebroker smp)
+
+# --steps drives the simulated run; modeled projections have no steps.
+expect_run(fail "--steps .* needs .*--mode direct"
+  --app rd --platform puma --ranks 8 --steps 5)
+expect_run(fail "at least one time step"
+  --app rd --platform puma --ranks 8 --mode direct --steps 0)
+
+# The happy path: skewed, balanced direct run exits zero.
+expect_run(ok ""
+  --app rd --platform puma --ranks 8 --mode direct --cells 4
+  --skew 2 --balance --balance-threshold 1.1 --steps 4)
+
 # Unknown flags are rejected, not silently ignored.
 execute_process(
   COMMAND ${HETEROLAB} run --no-such-flag 1

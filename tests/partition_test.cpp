@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
 #include <set>
+#include <span>
 
 #include "mesh/box_mesh.hpp"
 #include "partition/graph.hpp"
@@ -106,12 +109,76 @@ TEST(Partitioner, SinglePartIsTrivial) {
   }
 }
 
-TEST(Partitioner, RejectsImpossibleInputs) {
+TEST(Partitioner, RejectsNonPositivePartCounts) {
   const auto mesh = mesh::build_box_mesh({1, 1, 1});
   EXPECT_THROW(partition_rcb(mesh, 0), Error);
-  EXPECT_THROW(partition_rcb(mesh, 7), Error);  // 6 tets, 7 parts
+  EXPECT_THROW(partition_rcb(mesh, -3), Error);
   const Graph g = build_dual_graph(mesh);
-  EXPECT_THROW(partition_greedy(g, 7), Error);
+  EXPECT_THROW(partition_greedy(g, 0), Error);
+}
+
+TEST(Partitioner, MorePartsThanElementsLeavesSurplusPartsEmpty) {
+  // This used to throw (RCB) and write one past the end of the partition
+  // vector (greedy). Now: a valid partition where every element still lands
+  // in range and the surplus parts simply stay empty.
+  const auto mesh = mesh::build_box_mesh({1, 1, 1});  // 6 tets
+  const Graph g = build_dual_graph(mesh);
+  for (int parts : {7, 11, 64}) {
+    for (const auto& part :
+         {partition_rcb(mesh, parts), partition_greedy(g, parts)}) {
+      ASSERT_EQ(part.size(), mesh.tet_count());
+      std::set<int> used;
+      for (int p : part) {
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, parts);
+        used.insert(p);
+      }
+      // Nonempty parts cannot exceed the element count.
+      EXPECT_LE(used.size(), mesh.tet_count());
+      const auto m = evaluate_partition(g, part, parts);
+      EXPECT_EQ(m.parts, parts);
+      EXPECT_EQ(m.min_part_size, 0u);  // someone must be empty
+      EXPECT_GE(m.max_part_size, 1u);
+    }
+  }
+}
+
+TEST(Partitioner, CoincidentCentroidsStayDeterministicAndValid) {
+  // Four identical tets stacked on the same vertices: every centroid
+  // coincides, so RCB's coordinate sort has nothing to separate. The split
+  // must still terminate, stay in range, and replay identically.
+  const std::vector<mesh::Vec3> verts{
+      {0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}};
+  std::vector<std::array<int, 4>> tets(4, {0, 1, 2, 3});
+  const mesh::TetMesh mesh(verts, tets);
+  for (int parts : {2, 3, 4, 9}) {
+    const auto part = partition_rcb(mesh, parts);
+    ASSERT_EQ(part.size(), mesh.tet_count());
+    for (int p : part) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, parts);
+    }
+    EXPECT_EQ(part, partition_rcb(mesh, parts));
+  }
+}
+
+TEST(Partitioner, ExtractSubmeshOnEmptyRankReturnsEmptyMesh) {
+  const auto mesh = mesh::build_box_mesh({1, 1, 1});  // 6 tets
+  const auto part = partition_rcb(mesh, 8);           // >= 2 parts empty
+  const auto m = evaluate_partition(build_dual_graph(mesh), part, 8);
+  ASSERT_EQ(m.min_part_size, 0u);
+  for (int rank = 0; rank < 8; ++rank) {
+    const auto sub = extract_submesh(mesh, part, rank);
+    std::size_t owned = 0;
+    for (int p : part) {
+      owned += p == rank ? 1u : 0u;
+    }
+    EXPECT_EQ(sub.tet_count(), owned);
+    if (owned == 0) {
+      EXPECT_EQ(sub.vertex_count(), 0u);
+      EXPECT_TRUE(sub.boundary_faces().empty());
+    }
+  }
 }
 
 TEST(EvaluatePartition, KnownTinyCase) {
@@ -135,6 +202,78 @@ TEST(EvaluatePartition, RejectsBadPartitionVectors) {
   EXPECT_THROW(evaluate_partition(g, {0, 0}, 1), Error);  // size mismatch
   EXPECT_THROW(evaluate_partition(g, {5}, 2), Error);     // id out of range
 }
+
+TEST(EvaluatePartition, EmptyInputReportsUnitImbalanceNotNaN) {
+  // Zero vertices used to divide 0/parts and report NaN imbalance; the
+  // contract is now 1.0 (nothing to balance) for both metrics.
+  Graph g;
+  g.xadj = {0};
+  g.adjncy = {};
+  const auto m = evaluate_partition(g, {}, 4);
+  EXPECT_EQ(m.parts, 4);
+  EXPECT_EQ(m.max_part_size, 0u);
+  EXPECT_DOUBLE_EQ(m.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(m.weighted_imbalance, 1.0);
+  EXPECT_FALSE(std::isnan(m.imbalance));
+}
+
+TEST(EvaluatePartition, UniformWeightsMatchUnweightedImbalance) {
+  const auto mesh = mesh::build_box_mesh({3, 3, 3});
+  const Graph g = build_dual_graph(mesh);
+  const auto part = partition_rcb(mesh, 5);
+  const std::vector<double> uniform(5, 1.0);
+  const auto m = evaluate_partition(g, part, 5,
+                                    std::span<const double>(uniform));
+  const auto plain = evaluate_partition(g, part, 5);
+  EXPECT_DOUBLE_EQ(m.weighted_imbalance, plain.imbalance);
+  EXPECT_DOUBLE_EQ(m.imbalance, plain.imbalance);
+}
+
+TEST(EvaluatePartition, RejectsBadWeights) {
+  const auto mesh = mesh::build_box_mesh({2, 2, 2});
+  const Graph g = build_dual_graph(mesh);
+  const auto part = partition_rcb(mesh, 2);
+  const std::vector<double> short_w{1.0};
+  const std::vector<double> neg_w{1.0, -0.5};
+  EXPECT_THROW(evaluate_partition(g, part, 2,
+                                  std::span<const double>(short_w)),
+               Error);
+  EXPECT_THROW(
+      evaluate_partition(g, part, 2, std::span<const double>(neg_w)), Error);
+  EXPECT_THROW(partition_rcb(mesh, 2, std::span<const double>(short_w)),
+               Error);
+  EXPECT_THROW(partition_greedy(g, 2, std::span<const double>(neg_w)),
+               Error);
+}
+
+class WeightedPartitioners : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedPartitioners, SizesTrackCapacityWeights) {
+  const int parts = GetParam();
+  const auto mesh = mesh::build_box_mesh({4, 4, 4});
+  const Graph g = build_dual_graph(mesh);
+  // Part 0 twice as fast as the rest, last part half speed — the shape a
+  // skewed rank line produces.
+  std::vector<double> weights(static_cast<std::size_t>(parts), 1.0);
+  weights.front() = 2.0;
+  weights.back() = 0.5;
+  const std::span<const double> w(weights);
+  for (const auto& part :
+       {partition_rcb(mesh, parts, w), partition_greedy(g, parts, w)}) {
+    const auto m = evaluate_partition(g, part, parts, w);
+    // Every part within a modest factor of its capacity share.
+    EXPECT_LE(m.weighted_imbalance, 1.5);
+    // The fast part really got more than the slow one.
+    std::vector<std::size_t> sizes(static_cast<std::size_t>(parts), 0);
+    for (int p : part) {
+      ++sizes[static_cast<std::size_t>(p)];
+    }
+    EXPECT_GT(sizes.front(), sizes.back());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, WeightedPartitioners,
+                         ::testing::Values(2, 3, 5, 8));
 
 }  // namespace
 }  // namespace hetero::partition

@@ -29,6 +29,11 @@
 #             storm rate), the decision trail validated by check_bench.py
 #             --schema rebroker, and a byte-identity gate on the trail
 #             across --jobs 8 and a fresh same-seed re-run
+#   loadbalance  per-rank skew + load balancing: partitioner/balancer tests
+#             under ASan, bench_ablation_load_balance against
+#             bench/baselines/load_balance.json (balancing must win >= 1.2x
+#             of modeled total time at 27 ranks under 2x skew while calm
+#             cells stay bitwise), and a --jobs 1 vs 8 byte-identity gate
 #   all       everything above, in that order (the default)
 #
 # Each job builds in its own directory (build-ci-<job>) so sanitizer and
@@ -144,7 +149,7 @@ job_tsan() {
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=thread
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
       --timeout 600 \
-      -R '^(simmpi_test|resil_test|la_test|la_prop_test|kernels_diff_test|obs_test|campaign_engine_test|rebroker_test|svc_test)$'
+      -R '^(simmpi_test|resil_test|la_test|la_prop_test|kernels_diff_test|obs_test|campaign_engine_test|rebroker_test|lb_test|svc_test)$'
 }
 
 job_svc() {
@@ -252,6 +257,37 @@ job_rebroker() {
   diff "$out_dir/rebroker_trail.jsonl" "$out_dir/rebroker_trail.rerun.jsonl"
 }
 
+job_loadbalance() {
+  echo "== ci job: loadbalance (per-rank skew + balancing gate) =="
+  configure_and_build build-ci-asan \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=address
+  # The balancing surface: skew plan, weighted partitioners, the balancer
+  # itself, the core driver's rebalance loop, and the CLI flag audit.
+  ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
+      --timeout 600 \
+      -R '^(lb_test|partition_test|simmpi_test|core_test|campaign_engine_test|cli_failure_test)$'
+  out_dir=build-ci-asan/bench-out
+  mkdir -p "$out_dir"
+  # Tentpole gate: balancing must win >= 1.2x of modeled total time at 27
+  # ranks under 2x slow-core skew, while every zero-skew cell stays
+  # bitwise identical to its unbalanced twin.
+  build-ci-asan/bench/bench_ablation_load_balance --jobs 1 \
+      --json "$out_dir/ablation_load_balance.jsonl" \
+      > "$out_dir/loadbalance.jobs1.txt"
+  python3 tools/check_bench.py \
+      --baseline bench/baselines/load_balance.json \
+      "$out_dir/ablation_load_balance.jsonl"
+  # Skew factors are pure hashes of (seed, platform, rank) and rebalance
+  # verdicts replicate per rank, so the whole ablation is a determinism
+  # artifact: --jobs 8 must reproduce --jobs 1 byte for byte.
+  build-ci-asan/bench/bench_ablation_load_balance --jobs 8 \
+      --json "$out_dir/ablation_load_balance.jobs8.jsonl" \
+      > "$out_dir/loadbalance.jobs8.txt"
+  diff "$out_dir/loadbalance.jobs1.txt" "$out_dir/loadbalance.jobs8.txt"
+  diff "$out_dir/ablation_load_balance.jsonl" \
+      "$out_dir/ablation_load_balance.jobs8.jsonl"
+}
+
 run_job() {
   case "$1" in
     release) job_release ;;
@@ -263,9 +299,10 @@ run_job() {
     faultsoak) job_faultsoak ;;
     svc) job_svc ;;
     rebroker) job_rebroker ;;
-    all) job_release; job_debug; job_bench; job_kernels; job_asan; job_tsan; job_faultsoak; job_svc; job_rebroker ;;
+    loadbalance) job_loadbalance ;;
+    all) job_release; job_debug; job_bench; job_kernels; job_asan; job_tsan; job_faultsoak; job_svc; job_rebroker; job_loadbalance ;;
     *)
-      echo "ci: unknown job '$1' (expected release|debug|bench|kernels|asan|tsan|faultsoak|svc|rebroker|all)" >&2
+      echo "ci: unknown job '$1' (expected release|debug|bench|kernels|asan|tsan|faultsoak|svc|rebroker|loadbalance|all)" >&2
       exit 2
       ;;
   esac

@@ -107,10 +107,45 @@ int cmd_run(const CliArgs& args) {
   HETERO_REQUIRE(!e.rebroker.enabled || e.mode == core::Mode::kDirect,
                  "--rebroker monitors the simulated MPI run: needs "
                  "--mode direct");
+  if (args.has("skew")) {
+    e.skew.slow_core_factor = args.get_double("skew", 2.0);
+    e.skew.slow_core_fraction = args.get_double("skew-fraction", 0.25);
+    e.skew.noise_rate = args.get_double("skew-noise", 0.0);
+  }
+  e.balance.enabled = args.get_bool("balance", false);
+  if (e.balance.enabled) {
+    e.balance.mode = args.get_string("balance-mode", "repartition");
+    e.balance.threshold = args.get_double("balance-threshold", 1.25);
+  }
+  HETERO_REQUIRE(!args.has("skew") || e.mode == core::Mode::kDirect,
+                 "--skew stretches per-rank compute charges in the simulated "
+                 "MPI run: needs --mode direct");
+  HETERO_REQUIRE(args.has("skew") || (!args.has("skew-fraction") &&
+                                      !args.has("skew-noise")),
+                 "--skew-fraction/--skew-noise refine --skew: pass --skew "
+                 "FACTOR as well");
+  HETERO_REQUIRE(!e.balance.enabled || e.mode == core::Mode::kDirect,
+                 "--balance rebalances the simulated MPI run: needs "
+                 "--mode direct");
+  HETERO_REQUIRE(e.balance.enabled || (!args.has("balance-threshold") &&
+                                       !args.has("balance-mode")),
+                 "--balance-threshold/--balance-mode tune --balance: pass "
+                 "--balance as well");
+  HETERO_REQUIRE(!(e.balance.enabled && e.recovery.shrink_ranks_on_crash),
+                 "--balance conflicts with --shrink: rebalance weights are "
+                 "keyed to the original rank count");
+  HETERO_REQUIRE(!(e.balance.enabled && e.rebroker.enabled),
+                 "--balance conflicts with --rebroker: at most one mid-run "
+                 "controller may rebuild the job");
   if (e.mode == core::Mode::kDirect &&
       e.cells_per_rank_axis == 20 && !args.has("cells")) {
     e.cells_per_rank_axis = 4;  // keep direct runs laptop-sized by default
   }
+  e.direct_steps = static_cast<int>(args.get_int("steps", 3));
+  HETERO_REQUIRE(e.direct_steps >= 1, "--steps needs at least one time step");
+  HETERO_REQUIRE(!args.has("steps") || e.mode == core::Mode::kDirect,
+                 "--steps sets the simulated MPI run's step count: needs "
+                 "--mode direct");
   e.trace_path = args.get_string("trace", "");
   e.metrics_path = args.get_string("metrics", "");
   HETERO_REQUIRE(e.trace_path.empty() || e.mode == core::Mode::kDirect,
@@ -162,6 +197,12 @@ int cmd_run(const CliArgs& args) {
       record.set("final_platform", r.rebroker.final_platform);
       record.set("migration_wait_s", r.rebroker.migration_wait_s);
       record.set("migration_cost_usd", r.rebroker.migration_cost_usd);
+    }
+    if (e.balance.enabled) {
+      record.set("lb_checks", static_cast<double>(r.balance.checks));
+      record.set("lb_rebalances",
+                 static_cast<double>(r.balance.rebalances));
+      record.set("lb_last_imbalance", r.balance.last_imbalance);
     }
     reporter.add_record(std::move(record));
   }
@@ -235,6 +276,12 @@ int cmd_run(const CliArgs& args) {
                 << ", remaining-work cost "
                 << fmt_usd(r.rebroker.migration_cost_usd) << "\n";
     }
+  }
+  if (e.balance.enabled) {
+    std::cout << "balance       " << r.balance.checks << " check(s), "
+              << r.balance.rebalances << " rebalance(s), last imbalance "
+              << fmt_double(r.balance.last_imbalance, 3) << " ("
+              << e.balance.mode << ")\n";
   }
   return 0;
 }
@@ -445,6 +492,9 @@ int usage() {
       "      [--rebroker-hysteresis H] [--migrate-budget-usd D]\n"
       "      [--rebroker-deadline-s S] [--rebroker-sample-every K]\n"
       "      [--rebroker-trail OUT.jsonl]\n"
+      "      [--skew FACTOR] [--skew-fraction F] [--skew-noise RATE]\n"
+      "      [--balance] [--balance-mode repartition|diffuse]\n"
+      "      [--balance-threshold X] [--steps N]\n"
       "  fig4 | fig5 | table2 | fig6 | fig7 [--csv] [--jobs J]\n"
       "      [--json OUT.jsonl]\n"
       "  summary [--ranks N] [--jobs J]\n"
@@ -513,7 +563,10 @@ int main(int argc, char** argv) {
                                      "migrate-budget-usd",
                                      "rebroker-deadline-s",
                                      "rebroker-sample-every",
-                                     "rebroker-trail"})
+                                     "rebroker-trail", "skew",
+                                     "skew-fraction", "skew-noise",
+                                     "balance", "balance-mode",
+                                     "balance-threshold", "steps"})
                  ? cmd_run(args)
                  : usage();
     }
