@@ -1,0 +1,176 @@
+// Chaos soak of the supervised multi-process backend: a >= 500-experiment
+// modeled campaign runs on a worker pool with crash/hang/exit faults
+// injected at 5% each, and every surviving row must be byte-identical to
+// a fault-free single-process reference — the paper's campaigns only
+// tolerate preemptible and flaky resources if retries never change
+// results. Quarantined poison jobs (several chaos kills in a row) are the
+// one sanctioned difference, and each must carry an explained failure.
+// Exits non-zero on any mismatch, unexplained failure, or leaked child.
+//
+//   bench_proc_chaos_soak [--experiments N] [--workers W] [--chaos SPEC]
+//                         [--max-crashes K] [--seed S] [--csv] [--json OUT]
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_main.hpp"
+#include "core/experiment.hpp"
+#include "proc/supervisor.hpp"
+#include "support/error.hpp"
+#include "svc/result_codec.hpp"
+
+namespace {
+
+using namespace hetero;
+
+/// Deterministic modeled sweep across platforms, apps, rank counts,
+/// resolutions, and seeds — at least `count` distinct descriptors, so the
+/// engine's memoizer cannot collapse the batch.
+std::vector<core::Experiment> soak_campaign(int count) {
+  std::vector<core::Experiment> batch;
+  static const char* kPlatforms[] = {"puma", "ec2", "lagrange"};
+  int i = 0;
+  while (static_cast<int>(batch.size()) < count) {
+    core::Experiment e;
+    e.platform = kPlatforms[i % 3];
+    e.app = (i % 2 == 0) ? perf::AppKind::kReactionDiffusion
+                         : perf::AppKind::kNavierStokes;
+    static const int kRanks[] = {1, 8, 27, 64, 125};
+    e.ranks = kRanks[(i / 3) % 5];
+    e.cells_per_rank_axis = 10 + 10 * ((i / 15) % 2);
+    e.seed = 42 + static_cast<std::uint64_t>(i / 30);
+    batch.push_back(e);
+    ++i;
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  try {
+    const CliArgs args(argc, argv);
+    bench::BenchOutput output(args, "proc_chaos_soak");
+    const int count = static_cast<int>(args.get_int("experiments", 500));
+    const int workers = static_cast<int>(args.get_int("workers", 4));
+    const int max_crashes = static_cast<int>(args.get_int("max-crashes", 3));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    const std::string spec =
+        args.get_string("chaos", "crash:0.05,hang:0.05,exit:0.05");
+    HETERO_REQUIRE(count > 0 && workers > 0 && max_crashes > 0,
+                   "need positive --experiments, --workers, --max-crashes");
+
+    const auto batch = soak_campaign(count);
+
+    // Fault-free single-process reference: the byte-identity baseline.
+    std::vector<std::string> reference;
+    {
+      core::CampaignEngine plain(seed);
+      for (const auto& r : plain.run_batch(batch)) {
+        reference.push_back(svc::encode_result(r));
+      }
+    }
+
+    // The soak: worker pool with chaos injected, tight heartbeat so hung
+    // workers are reaped in fractions of a second and the soak stays fast.
+    proc::ProcOptions popt;
+    popt.workers = workers;
+    popt.chaos = proc::parse_chaos_spec(spec);
+    popt.max_crashes_per_job = max_crashes;
+    popt.heartbeat_interval_s = 0.02;
+    popt.heartbeat_timeout_s = 0.3;
+    popt.respawn_backoff_base_s = 0.01;
+    popt.respawn_backoff_cap_s = 0.05;
+    const auto started = std::chrono::steady_clock::now();
+    proc::ProcStats stats;
+    std::vector<core::ExperimentResult> chaotic;
+    {
+      proc::Supervisor supervisor(seed, popt);
+      core::CampaignEngineOptions eopt;
+      eopt.executor = &supervisor;
+      core::CampaignEngine engine(seed, eopt);
+      chaotic = engine.run_batch(batch);
+      stats = supervisor.stats();
+    }
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+
+    // Verdict: every row byte-identical, except quarantined rows, which
+    // must be failed results naming the repeated crash.
+    std::uint64_t identical = 0, quarantined = 0, violations = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::string encoded = svc::encode_result(chaotic[i]);
+      if (encoded == reference[i]) {
+        ++identical;
+        continue;
+      }
+      const bool explained =
+          !chaotic[i].launched &&
+          chaotic[i].failure_reason.find("quarantined") != std::string::npos;
+      if (explained) {
+        ++quarantined;
+      } else {
+        ++violations;
+        std::cerr << "row " << i << " differs and is not a quarantine:\n"
+                  << "  got  " << encoded << "\n  want " << reference[i]
+                  << "\n";
+      }
+    }
+
+    // The supervisor must not leak children past its destructor.
+    const bool no_children =
+        ::waitpid(-1, nullptr, WNOHANG) == -1 && errno == ECHILD;
+    if (!no_children) {
+      std::cerr << "supervisor destructor left live child processes\n";
+    }
+
+    Table table({"experiments", "workers", "chaos", "identical",
+                 "quarantined", "violations", "wall[s]"});
+    table.add_row({std::to_string(batch.size()), std::to_string(workers),
+                   spec, std::to_string(identical),
+                   std::to_string(quarantined), std::to_string(violations),
+                   fmt_double(wall_s, 2)});
+    output.emit(table, "soak");
+
+    Table fault_table({"crashes", "hung", "respawns", "redispatches",
+                       "shard_replays", "dispatched"});
+    fault_table.add_row(
+        {std::to_string(stats.worker_crashes),
+         std::to_string(stats.hung_workers), std::to_string(stats.respawns),
+         std::to_string(stats.redispatches),
+         std::to_string(stats.shard_replays),
+         std::to_string(stats.jobs_dispatched)});
+    output.emit(fault_table, "faults");
+
+    obs::Json summary = obs::Json::object();
+    summary.set("series", "summary");
+    summary.set("experiments", static_cast<std::int64_t>(batch.size()));
+    summary.set("identical", static_cast<std::int64_t>(identical));
+    summary.set("quarantined", static_cast<std::int64_t>(quarantined));
+    summary.set("violations", static_cast<std::int64_t>(violations));
+    summary.set("worker_crashes",
+                static_cast<std::int64_t>(stats.worker_crashes));
+    summary.set("no_leaked_children", no_children ? 1 : 0);
+    summary.set("wall_s", wall_s);
+    output.record(std::move(summary));
+
+    const bool pass = violations == 0 && no_children;
+    std::cout << "\nsoak " << (pass ? "PASS" : "FAIL") << ": " << identical
+              << " byte-identical, " << quarantined << " quarantined, "
+              << violations << " violations over " << stats.worker_crashes
+              << " worker deaths\n";
+    return pass ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}

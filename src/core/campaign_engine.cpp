@@ -388,6 +388,13 @@ ExperimentResult CampaignEngine::execute_uncached(const Experiment& e) {
 }
 
 ExperimentResult CampaignEngine::run(const Experiment& e) {
+  // With an executor installed, single runs are one-element batches so the
+  // memo/store/dispatch flow stays in one place. Trace/metrics runs are
+  // exempt: they must execute in *this* process for the files to appear.
+  if (options_.executor != nullptr && e.trace_path.empty() &&
+      e.metrics_path.empty()) {
+    return run_batch_executor({e})[0];
+  }
   // Side-effecting runs (trace/metrics files) are never replayed from the
   // cache: the caller wants the files written.
   if (!options_.memoize || !e.trace_path.empty() || !e.metrics_path.empty()) {
@@ -481,9 +488,138 @@ void CampaignEngine::parallel_for(
 
 std::vector<ExperimentResult> CampaignEngine::run_batch(
     const std::vector<Experiment>& batch) {
+  if (options_.executor != nullptr) {
+    return run_batch_executor(batch);
+  }
   std::vector<ExperimentResult> results(batch.size());
   parallel_for(batch.size(),
                [&](std::size_t i) { results[i] = run(batch[i]); });
+  return results;
+}
+
+std::vector<ExperimentResult> CampaignEngine::run_batch_executor(
+    const std::vector<Experiment>& batch) {
+  const std::size_t n = batch.size();
+  impl_->batches.fetch_add(1, std::memory_order_relaxed);
+  obs::trace_instant("batch_begin", "engine", 0.0, "tasks",
+                     static_cast<double>(n));
+  std::vector<ExperimentResult> results(n);
+  std::vector<std::exception_ptr> errors(n);
+  // Memoization happens here, on the supervisor side: only cache misses
+  // cross the process boundary, and freshly computed results come back
+  // through the same entry/result-store flow as the in-process path.
+  std::vector<std::shared_ptr<Impl::CacheEntry>> owned(n);
+  std::vector<std::shared_ptr<Impl::CacheEntry>> waiting(n);
+  std::vector<std::size_t> inline_indices;
+  std::vector<std::size_t> dispatch_indices;
+  std::vector<Experiment> dispatch;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Experiment& e = batch[i];
+    if (!e.trace_path.empty() || !e.metrics_path.empty()) {
+      // Process-global side effects: run locally, exclusively, afterwards.
+      inline_indices.push_back(i);
+      continue;
+    }
+    if (!options_.memoize) {
+      dispatch_indices.push_back(i);
+      dispatch.push_back(e);
+      continue;
+    }
+    const std::string key = experiment_cache_key(e, seed_);
+    std::shared_ptr<Impl::CacheEntry> entry;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(impl_->cache_mutex);
+      auto it = impl_->cache.find(key);
+      if (it == impl_->cache.end()) {
+        entry = std::make_shared<Impl::CacheEntry>();
+        impl_->cache.emplace(key, entry);
+        owner = true;
+      } else {
+        entry = it->second;
+      }
+    }
+    if (!owner) {
+      impl_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      impl_->cache_hit_count.increment();
+      waiting[i] = entry;
+      continue;
+    }
+    impl_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+    impl_->cache_miss_count.increment();
+    ExperimentResult stored;
+    if (options_.result_store != nullptr &&
+        options_.result_store->load(key, stored)) {
+      impl_->store_hits.fetch_add(1, std::memory_order_relaxed);
+      obs::metrics().counter("engine.store_hits").increment();
+      {
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        entry->result = stored;
+        entry->ready = true;
+      }
+      entry->cv.notify_all();
+      results[i] = std::move(stored);
+      continue;
+    }
+    owned[i] = entry;
+    dispatch_indices.push_back(i);
+    dispatch.push_back(e);
+  }
+  if (!dispatch.empty()) {
+    const std::vector<ExecOutcome> outcomes =
+        options_.executor->execute(dispatch);
+    HETERO_CHECK(outcomes.size() == dispatch.size());
+    for (std::size_t d = 0; d < dispatch.size(); ++d) {
+      const std::size_t i = dispatch_indices[d];
+      const ExecOutcome& out = outcomes[d];
+      impl_->jobs_run.fetch_add(1, std::memory_order_relaxed);
+      impl_->jobs_completed.increment();
+      if (out.failed) {
+        errors[i] = std::make_exception_ptr(Error(out.error));
+      } else {
+        results[i] = out.result;
+      }
+      if (owned[i] != nullptr) {
+        if (!out.failed && options_.result_store != nullptr) {
+          const std::string key = experiment_cache_key(batch[i], seed_);
+          options_.result_store->save(key, out.result);
+        }
+        {
+          std::lock_guard<std::mutex> lock(owned[i]->mutex);
+          owned[i]->result = out.result;
+          owned[i]->error = errors[i];
+          owned[i]->ready = true;
+        }
+        owned[i]->cv.notify_all();
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (waiting[i] == nullptr) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(waiting[i]->mutex);
+    waiting[i]->cv.wait(lock, [&] { return waiting[i]->ready; });
+    if (waiting[i]->error != nullptr) {
+      errors[i] = waiting[i]->error;
+    } else {
+      results[i] = waiting[i]->result;
+    }
+  }
+  for (const std::size_t i : inline_indices) {
+    try {
+      results[i] = execute_uncached(batch[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  }
+  obs::trace_instant("batch_end", "engine", 0.0, "tasks",
+                     static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i] != nullptr) {
+      std::rethrow_exception(errors[i]);
+    }
+  }
   return results;
 }
 

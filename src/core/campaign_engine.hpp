@@ -50,6 +50,29 @@ class ExperimentResultStore {
   virtual void save(const std::string& key, const ExperimentResult& result) = 0;
 };
 
+/// Outcome of one executor-run experiment: either a result or the message
+/// of the exception the experiment body threw (an application error —
+/// distinct from a *worker* failure, which the executor absorbs itself via
+/// retry/quarantine and reports as a failed result).
+struct ExecOutcome {
+  ExperimentResult result;
+  bool failed = false;
+  std::string error;
+};
+
+/// Pluggable execution backend for experiment batches. When an executor is
+/// installed the engine keeps its memoization/result-store layers but
+/// delegates the actual computation of cache misses to the executor —
+/// `proc::Supervisor` implements this over a supervised pool of forked
+/// worker processes. Implementations must tolerate concurrent calls
+/// (serialize internally) and must return outcomes in submission order.
+class BatchExecutor {
+ public:
+  virtual ~BatchExecutor() = default;
+  virtual std::vector<ExecOutcome> execute(
+      const std::vector<Experiment>& batch) = 0;
+};
+
 struct CampaignEngineOptions {
   /// Concurrent jobs (pool width). 0 = resolve_jobs(0): the HETEROLAB_JOBS
   /// environment variable if set, else hardware concurrency. 1 = run
@@ -66,6 +89,13 @@ struct CampaignEngineOptions {
   /// outlive the engine. nullptr (the default) keeps memoization purely
   /// in-memory. Ignored when memoize is false.
   ExperimentResultStore* result_store = nullptr;
+  /// Multi-process execution backend; not owned, must outlive the engine.
+  /// nullptr (the default) computes everything in-process on the thread
+  /// pool. Experiments with trace/metrics side effects always run
+  /// in-process (the recorder installation is process-global), and
+  /// parallel_for fan-outs keep using the pool — `jobs` semantics are
+  /// unchanged.
+  BatchExecutor* executor = nullptr;
 };
 
 struct CampaignEngineStats {
@@ -128,6 +158,8 @@ class CampaignEngine {
  private:
   class Pool;
 
+  std::vector<ExperimentResult> run_batch_executor(
+      const std::vector<Experiment>& batch);
   ExperimentResult execute_uncached(const Experiment& experiment);
   int experiment_weight(const Experiment& experiment) const;
 

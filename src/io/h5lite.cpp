@@ -3,9 +3,11 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
 
 #include "support/error.hpp"
+#include "support/io_util.hpp"
 
 namespace hetero::io {
 
@@ -13,29 +15,20 @@ namespace {
 constexpr std::uint64_t kMagic = 0x48354C4954453031ULL;  // "H5LITE01"
 
 void write_all(int fd, const void* data, std::size_t bytes) {
-  const char* p = static_cast<const char*>(data);
-  while (bytes > 0) {
-    const ssize_t n = ::write(fd, p, bytes);
-    HETERO_REQUIRE(n > 0, "h5lite: write failed");
-    p += n;
-    bytes -= static_cast<std::size_t>(n);
-  }
+  HETERO_REQUIRE(support::write_all(fd, data, bytes), "h5lite: write failed");
 }
 
 void read_all(int fd, void* data, std::size_t bytes) {
-  char* p = static_cast<char*>(data);
-  while (bytes > 0) {
-    const ssize_t n = ::read(fd, p, bytes);
-    HETERO_REQUIRE(n > 0, "h5lite: short read (corrupt file?)");
-    p += n;
-    bytes -= static_cast<std::size_t>(n);
-  }
+  HETERO_REQUIRE(support::read_full(fd, data, bytes) ==
+                     static_cast<ssize_t>(bytes),
+                 "h5lite: short read (corrupt file?)");
 }
 }  // namespace
 
-H5LiteWriter::H5LiteWriter(const std::string& path) : path_(path) {
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  HETERO_REQUIRE(fd_ >= 0, "h5lite: cannot create " + path);
+H5LiteWriter::H5LiteWriter(const std::string& path)
+    : path_(path), tmp_path_(path + ".tmp") {
+  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  HETERO_REQUIRE(fd_ >= 0, "h5lite: cannot create " + tmp_path_);
   write_all(fd_, &kMagic, sizeof(kMagic));
   cursor_ = sizeof(kMagic);
 }
@@ -45,11 +38,13 @@ H5LiteWriter::~H5LiteWriter() {
     try {
       close();
     } catch (...) {
-      // Destructor must not throw; the file may be unusable.
+      // Destructor must not throw; the previous file at path_ (if any)
+      // stays in place and the abandoned .tmp is removed below.
     }
   }
   if (fd_ >= 0) {
     ::close(fd_);
+    ::unlink(tmp_path_.c_str());
   }
 }
 
@@ -108,6 +103,15 @@ void H5LiteWriter::close() {
   write_all(fd_, &toc_offset, sizeof(toc_offset));
   write_all(fd_, &count, sizeof(count));
   write_all(fd_, &kMagic, sizeof(kMagic));
+  // Durability point: the complete file must be on disk before the rename
+  // publishes it, otherwise a crash could expose a truncated "finished"
+  // checkpoint. rename(2) within a directory is atomic, so readers see
+  // either the old file or the new one, never a partial write.
+  HETERO_REQUIRE(::fsync(fd_) == 0, "h5lite: fsync failed for " + tmp_path_);
+  ::close(fd_);
+  fd_ = -1;
+  HETERO_REQUIRE(std::rename(tmp_path_.c_str(), path_.c_str()) == 0,
+                 "h5lite: cannot rename " + tmp_path_ + " into place");
   closed_ = true;
 }
 

@@ -36,6 +36,11 @@ struct DatasetInfo {
 
 /// Write-mode file: datasets are appended, the table of contents lands at
 /// close(). Writing after close, duplicate names, or I/O failures throw.
+///
+/// Writes are crash-atomic: all bytes go to `path + ".tmp"`, and only
+/// close() fsyncs and rename()s the file into place. A crash mid-write
+/// (or a writer destroyed without close()) leaves at most an orphaned
+/// `.tmp` behind — the previous file at `path`, if any, stays loadable.
 class H5LiteWriter {
  public:
   explicit H5LiteWriter(const std::string& path);
@@ -51,7 +56,8 @@ class H5LiteWriter {
                   const std::vector<std::uint64_t>& shape,
                   const std::vector<std::int64_t>& data);
 
-  /// Flushes the table of contents; the file is unreadable without it.
+  /// Flushes the table of contents, fsyncs, and renames the temporary
+  /// file into place; until then `path` is untouched.
   void close();
 
  private:
@@ -64,6 +70,7 @@ class H5LiteWriter {
     std::uint64_t offset = 0;
   };
   std::string path_;
+  std::string tmp_path_;
   std::map<std::string, Entry> toc_;
   std::uint64_t cursor_ = 0;
   int fd_ = -1;

@@ -1,13 +1,14 @@
 #include "obs/bench_io.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cctype>
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "support/error.hpp"
+#include "support/io_util.hpp"
 
 namespace hetero::obs {
 
@@ -74,37 +75,31 @@ Json cell_value(const std::string& cell) {
 }
 
 JsonlWriter::JsonlWriter(const std::string& path) : path_(path) {
-  FILE* f = std::fopen(path_.c_str(), "w");
-  HETERO_REQUIRE(f != nullptr, "cannot open JSONL output file: " + path_);
-  file_ = f;
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  HETERO_REQUIRE(fd_ >= 0, "cannot open JSONL output file: " + path_);
 }
 
 JsonlWriter::~JsonlWriter() { close(); }
 
 void JsonlWriter::write(const Json& record) {
-  HETERO_REQUIRE(file_ != nullptr,
-                 "JsonlWriter: write after close: " + path_);
-  // One fwrite per record so a line lands in the stdio buffer whole, then
-  // an immediate flush to the OS: a crashed run leaves complete records
-  // only, never half a line.
+  HETERO_REQUIRE(fd_ >= 0, "JsonlWriter: write after close: " + path_);
+  // One write_all per record: the line reaches the OS whole even through
+  // EINTR storms and partial writes, so a crashed run leaves complete
+  // records only, never half a line.
   const std::string line = record.dump() + '\n';
-  FILE* f = static_cast<FILE*>(file_);
-  const std::size_t n = std::fwrite(line.data(), 1, line.size(), f);
-  HETERO_REQUIRE(n == line.size() && std::fflush(f) == 0,
+  HETERO_REQUIRE(support::write_all(fd_, line.data(), line.size()),
                  "cannot append to JSONL file: " + path_);
 }
 
 void JsonlWriter::close() {
-  if (file_ == nullptr) {
+  if (fd_ < 0) {
     return;
   }
-  FILE* f = static_cast<FILE*>(file_);
-  file_ = nullptr;
   // fsync before close: once the writer is gone the file is durable, not
   // parked in the page cache waiting for a power cut to truncate it.
-  std::fflush(f);
-  ::fsync(fileno(f));
-  std::fclose(f);
+  ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
 }
 
 std::vector<Json> read_jsonl(const std::string& path) {

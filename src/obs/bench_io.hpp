@@ -32,11 +32,13 @@ std::string field_name(const std::string& header);
 Json cell_value(const std::string& cell);
 
 /// Appends one JSON document per line; creates/truncates `path` on open.
-/// The file stays open for the writer's lifetime: every record is flushed
-/// to the OS as one complete line (a crashed run leaves only whole
-/// records behind, never a torn tail for check_bench.py to choke on), and
-/// close() fsyncs before releasing the descriptor so a reported-done file
-/// is durable, not just buffered.
+/// The file stays open for the writer's lifetime: every record reaches the
+/// OS as one complete line via an EINTR/short-write-safe write_all (a
+/// crashed run leaves only whole records behind, never a torn tail for
+/// check_bench.py to choke on — and a heartbeat signal interrupting the
+/// write(2) mid-record cannot drop bytes either), and close() fsyncs
+/// before releasing the descriptor so a reported-done file is durable,
+/// not just buffered.
 class JsonlWriter {
  public:
   explicit JsonlWriter(const std::string& path);
@@ -46,13 +48,13 @@ class JsonlWriter {
   JsonlWriter& operator=(const JsonlWriter&) = delete;
 
   void write(const Json& record);
-  /// Flush + fsync + close. Idempotent; the destructor calls it too.
+  /// fsync + close. Idempotent; the destructor calls it too.
   void close();
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
-  void* file_ = nullptr;  ///< FILE*, kept opaque to spare includers <cstdio>
+  int fd_ = -1;
 };
 
 /// Parses a JSONL file into one Json per non-empty line.

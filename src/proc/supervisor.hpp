@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file supervisor.hpp
+/// Supervised multi-process execution backend for the CampaignEngine.
+///
+/// The supervisor forks N worker processes up front (while the parent is
+/// still single-threaded) and implements `core::BatchExecutor`: each batch
+/// of cache-miss experiments is distributed over the workers by descriptor
+/// hash (a job is pinned to its slot, so retries and restarts land on the
+/// same shard), shipped as binary frames over per-worker pipes, and
+/// collected in submission order.
+///
+/// Failure is treated as the common case:
+///
+///   * every worker sends a heartbeat byte on a dedicated pipe from a
+///     SIGALRM tick; a worker silent past the deadline is SIGKILLed;
+///   * worker death (crash, chaos exit, hang-kill) is detected by pipe EOF
+///     and decoded via waitpid; the dead worker's in-flight job is
+///     re-dispatched and the slot respawns with capped exponential backoff;
+///   * a job that kills its worker `max_crashes_per_job` times is
+///     *quarantined*: recorded as a failed ExperimentResult naming the
+///     crash, so a poison job cannot wedge the campaign;
+///   * workers append every completed result to a per-slot crash-safe
+///     shard log (`support::RecordLog`, checksummed, torn tails truncated
+///     on recovery); the supervisor harvests shards on death and at batch
+///     start, so work finished by a worker that died before reporting —
+///     or by a previous interrupted run sharing the same shard directory —
+///     is never recomputed.
+///
+/// Determinism: workers run the same `ExperimentRunner(seed)` as the
+/// in-process pool and results are returned in submission order, so every
+/// table/CSV/JSONL stays byte-identical to `--workers 0` at any worker
+/// count (quarantined rows excepted, by construction). Chaos injection
+/// (`HETERO_CHAOS`) is itself seed-deterministic — see chaos.hpp.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/campaign_engine.hpp"
+#include "proc/chaos.hpp"
+
+namespace hetero::proc {
+
+struct ProcOptions {
+  /// Worker processes to fork. Must be >= 1 (callers degrade to the
+  /// in-process pool instead of constructing a Supervisor with 0).
+  int workers = 1;
+  /// Worker heartbeat tick (SIGALRM period).
+  double heartbeat_interval_s = 0.1;
+  /// A worker with an in-flight job and no heartbeat for this long is
+  /// declared hung and SIGKILLed.
+  double heartbeat_timeout_s = 5.0;
+  /// Crashes (of any kind) one job may cause before it is quarantined.
+  int max_crashes_per_job = 3;
+  /// Respawn backoff: min(cap, base * 2^(consecutive deaths - 1)).
+  double respawn_backoff_base_s = 0.05;
+  double respawn_backoff_cap_s = 1.0;
+  /// Directory for the per-worker result shards. Empty = a private
+  /// mkdtemp directory removed on destruction; a persistent path makes an
+  /// interrupted campaign restart incremental even without --store.
+  std::string shard_dir;
+  /// Chaos injection spec. When zero (the default), the HETERO_CHAOS
+  /// environment variable is consulted instead.
+  ChaosSpec chaos;
+};
+
+struct ProcStats {
+  std::uint64_t jobs_dispatched = 0;
+  std::uint64_t results_completed = 0;
+  /// Results answered from a shard log instead of a live worker (worker
+  /// died after computing, or a previous run left them behind).
+  std::uint64_t shard_replays = 0;
+  /// Worker deaths observed (crashes, chaos exits, hang kills).
+  std::uint64_t worker_crashes = 0;
+  /// Of which: heartbeat-deadline SIGKILLs.
+  std::uint64_t hung_workers = 0;
+  /// Workers forked after a death (initial spawns not counted).
+  std::uint64_t respawns = 0;
+  /// In-flight jobs re-sent after their worker died.
+  std::uint64_t redispatches = 0;
+  /// Jobs recorded as failed results after max_crashes_per_job deaths.
+  std::uint64_t quarantined = 0;
+};
+
+class Supervisor final : public core::BatchExecutor {
+ public:
+  /// Forks the workers immediately — construct while the process is still
+  /// single-threaded (before any engine pool exists). Throws on fork/pipe
+  /// failure or an invalid options combination.
+  Supervisor(std::uint64_t runner_seed, ProcOptions options = {});
+  /// Shuts the workers down (SIGKILL + waitpid — shards make abrupt death
+  /// safe) and removes a private shard directory.
+  ~Supervisor() override;
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// core::BatchExecutor: runs the batch on the worker pool. Thread-safe
+  /// (concurrent batches serialize). Outcomes are in submission order.
+  std::vector<core::ExecOutcome> execute(
+      const std::vector<core::Experiment>& batch) override;
+
+  /// SIGKILLs every live worker without reaping. Async-usable from the
+  /// shutdown watcher thread; the destructor still reaps.
+  void kill_workers();
+
+  int workers() const;
+  const std::string& shard_dir() const;
+  ProcStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// `--workers` resolution shared by every CLI consumer: an explicit
+/// request >= 0 wins (0 = disabled), a negative request consults a
+/// positive integer HETEROLAB_WORKERS, else 0 (in-process pool).
+int resolve_workers(int requested);
+
+/// Convenience used by the CLI and benches: a Supervisor when the resolved
+/// worker count is positive, nullptr (in-process pool) otherwise.
+std::unique_ptr<Supervisor> make_supervisor(int requested_workers,
+                                            std::uint64_t runner_seed,
+                                            ProcOptions options = {});
+
+}  // namespace hetero::proc

@@ -1,0 +1,57 @@
+#include "support/io_util.hpp"
+
+#include <cerrno>
+#include <unistd.h>
+
+namespace hetero::support {
+
+namespace {
+WriteHook g_write_hook = nullptr;
+}  // namespace
+
+void set_write_hook_for_tests(WriteHook hook) { g_write_hook = hook; }
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = g_write_hook != nullptr
+                          ? g_write_hook(fd, p + written, size - written)
+                          : ::write(fd, p + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (n == 0) {
+      // write(2) returning 0 for a non-zero count is not progress; treat it
+      // as an error rather than spinning.
+      errno = EIO;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ssize_t read_full(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return got > 0 ? static_cast<ssize_t>(got) : -1;
+    }
+    if (n == 0) {
+      break;  // EOF
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace hetero::support

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file io_util.hpp
+/// EINTR- and short-write-safe wrappers around read(2)/write(2), shared by
+/// every module that talks to raw file descriptors (the memo store, the
+/// JSONL writers, the h5lite container, the service sockets, and the
+/// multi-process campaign pipes).
+///
+/// POSIX allows any read/write to transfer fewer bytes than requested and
+/// to fail with EINTR when a signal lands mid-call — both are routine once
+/// worker heartbeats (SIGALRM) and supervisor kills are in play. These
+/// helpers loop until the full count transferred, the stream ended, or a
+/// real error occurred.
+///
+/// For regression tests, `set_write_hook_for_tests` interposes a failing
+/// writer under `write_all` so short writes and EINTR storms can be forced
+/// deterministically without a signal generator.
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace hetero::support {
+
+/// Writes all `size` bytes to `fd`, retrying on EINTR and partial writes.
+/// Returns true on success; false on a real write error (errno preserved).
+bool write_all(int fd, const void* data, std::size_t size);
+
+/// Reads exactly `size` bytes from `fd`, retrying on EINTR and short reads.
+/// Returns the number of bytes actually read: `size` on success, less when
+/// the stream ended early (EOF), and -1 on a real read error.
+ssize_t read_full(int fd, void* data, std::size_t size);
+
+/// Test hook: replaces the write(2) call under write_all. nullptr restores
+/// the real syscall. The hook sees (fd, data, size) and returns like
+/// write(2) — so tests can return short counts, or -1 with errno = EINTR,
+/// and assert that write_all still lands every byte. Not thread-safe;
+/// install/reset around the test body only.
+using WriteHook = ssize_t (*)(int fd, const void* data, std::size_t size);
+void set_write_hook_for_tests(WriteHook hook);
+
+}  // namespace hetero::support

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file record_log.hpp
+/// Append-only checksummed record log — the shared on-disk format behind
+/// `svc::MemoStore` and the per-worker result shards of the multi-process
+/// campaign backend (`hetero::proc`).
+///
+/// The file is a flat sequence of records
+///
+///   [magic u32 "HMS1"][key_len u32][value_len u32][checksum u64][key][value]
+///
+/// (little-endian, checksum = chained splitmix64 over key+value bytes and
+/// their lengths). Crash safety comes from *recovery*, not per-record
+/// fsync: open() replays the log and, at the first damaged record — a torn
+/// tail from a kill, a flipped byte — drops that record and everything
+/// after it (ftruncate), keeping every intact record before it in service.
+///
+/// Multi-process safety: the fd is opened O_APPEND so concurrent writers
+/// from different processes never interleave at a stale offset, and every
+/// append/recover takes an advisory flock(2) — two processes appending to
+/// the same log each land whole records (the contention tests exercise
+/// exactly this). flock is per open-file-description, so threads of one
+/// process must still serialize externally (MemoStore holds its own mutex).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace hetero::support {
+
+struct RecordLogStats {
+  /// Intact records replayed at open.
+  std::uint64_t recovered_records = 0;
+  /// Bytes of damaged suffix truncated off the log at open.
+  std::uint64_t dropped_bytes = 0;
+};
+
+/// Thin, non-thread-safe handle on one log file. An empty path is a null
+/// log: append() is a no-op and recover() reports nothing.
+class RecordLog {
+ public:
+  explicit RecordLog(std::string path);
+  /// fsyncs and closes.
+  ~RecordLog();
+
+  RecordLog(const RecordLog&) = delete;
+  RecordLog& operator=(const RecordLog&) = delete;
+
+  /// Replays every intact record through `sink` (in file order) and
+  /// truncates the damaged suffix, all under an exclusive flock. Call once
+  /// after construction; safe to call again to pick up records appended by
+  /// other processes since (already-seen records are replayed again).
+  RecordLogStats recover(
+      const std::function<void(std::string key, std::string value)>& sink);
+
+  /// Appends one record under an exclusive flock (whole record, single
+  /// write_all on an O_APPEND fd — atomic with respect to other appenders).
+  void append(const std::string& key, const std::string& value);
+
+  /// fsyncs the log. No-op for a null log.
+  void flush();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Checksum of a record payload: chained splitmix64 over 8-byte chunks of
+/// key and value plus their lengths. Exposed for the corruption tests.
+std::uint64_t record_checksum(const std::string& key,
+                              const std::string& value);
+
+}  // namespace hetero::support

@@ -1,137 +1,32 @@
 #include "svc/memo_store.hpp"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cstring>
-#include <vector>
-
 #include "obs/metrics.hpp"
-#include "support/error.hpp"
-#include "support/hash.hpp"
+#include "support/record_log.hpp"
 
 namespace hetero::svc {
 
-namespace {
-
-constexpr std::uint32_t kMagic = 0x484D5331;  // "HMS1"
-constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8;
-
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-std::uint32_t get_u32(const char* p) {
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) {
-    v = (v << 8) | static_cast<unsigned char>(p[i]);
-  }
-  return v;
-}
-
-std::uint64_t get_u64(const char* p) {
-  std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) {
-    v = (v << 8) | static_cast<unsigned char>(p[i]);
-  }
-  return v;
-}
-
-std::uint64_t checksum_bytes(std::uint64_t h, const std::string& bytes) {
-  std::size_t i = 0;
-  for (; i + 8 <= bytes.size(); i += 8) {
-    std::uint64_t chunk = 0;
-    std::memcpy(&chunk, bytes.data() + i, 8);
-    h = hash_combine(h, chunk);
-  }
-  std::uint64_t tail = 0;
-  for (std::size_t j = i; j < bytes.size(); ++j) {
-    tail = (tail << 8) | static_cast<unsigned char>(bytes[j]);
-  }
-  return hash_combine(h, tail);
-}
-
-}  // namespace
-
 std::uint64_t memo_checksum(const std::string& key, const std::string& value) {
-  std::uint64_t h = hash_combine(key.size(), value.size());
-  h = checksum_bytes(h, key);
-  return checksum_bytes(h, value);
+  return support::record_checksum(key, value);
 }
 
-MemoStore::MemoStore(std::string path) : path_(std::move(path)) {
-  if (path_.empty()) {
-    return;
-  }
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
-  HETERO_REQUIRE(fd_ >= 0, "MemoStore: cannot open log file: " + path_);
-  recover();
-}
-
-MemoStore::~MemoStore() {
-  if (fd_ >= 0) {
-    ::fsync(fd_);
-    ::close(fd_);
-  }
-}
-
-void MemoStore::recover() {
-  // Read the whole log, replay intact records, and truncate the first
-  // damaged one (plus everything after it) off the file.
-  std::string data;
-  {
-    char buf[1 << 16];
-    for (;;) {
-      const ssize_t n = ::read(fd_, buf, sizeof(buf));
-      HETERO_REQUIRE(n >= 0, "MemoStore: cannot read log file: " + path_);
-      if (n == 0) {
-        break;
-      }
-      data.append(buf, static_cast<std::size_t>(n));
-    }
-  }
-  std::size_t good = 0;
-  while (good + kHeaderBytes <= data.size()) {
-    const char* p = data.data() + good;
-    if (get_u32(p) != kMagic) {
-      break;
-    }
-    const std::uint32_t key_len = get_u32(p + 4);
-    const std::uint32_t value_len = get_u32(p + 8);
-    const std::uint64_t checksum = get_u64(p + 12);
-    const std::size_t total =
-        kHeaderBytes + static_cast<std::size_t>(key_len) + value_len;
-    if (good + total > data.size()) {
-      break;  // torn tail: the record was cut off mid-write
-    }
-    std::string key(data, good + kHeaderBytes, key_len);
-    std::string value(data, good + kHeaderBytes + key_len, value_len);
-    if (memo_checksum(key, value) != checksum) {
-      break;  // flipped bytes anywhere in the record
-    }
-    index_.insert_or_assign(std::move(key), std::move(value));
-    good += total;
-    ++stats_.recovered_records;
-  }
-  if (good < data.size()) {
-    stats_.dropped_bytes = data.size() - good;
-    HETERO_REQUIRE(::ftruncate(fd_, static_cast<off_t>(good)) == 0,
-                   "MemoStore: cannot truncate damaged log tail: " + path_);
+MemoStore::MemoStore(std::string path)
+    : path_(std::move(path)),
+      log_(std::make_unique<support::RecordLog>(path_)) {
+  const support::RecordLogStats recovery =
+      log_->recover([this](std::string key, std::string value) {
+        index_.insert_or_assign(std::move(key), std::move(value));
+      });
+  // Concurrent appenders may re-log a key another process already holds;
+  // insert_or_assign keeps the last occurrence, so duplicates are harmless.
+  stats_.recovered_records = recovery.recovered_records;
+  stats_.dropped_bytes = recovery.dropped_bytes;
+  if (recovery.dropped_bytes > 0) {
     obs::metrics().counter("svc.memo.dropped_bytes")
-        .add(static_cast<double>(stats_.dropped_bytes));
+        .add(static_cast<double>(recovery.dropped_bytes));
   }
-  HETERO_REQUIRE(::lseek(fd_, 0, SEEK_END) >= 0,
-                 "MemoStore: cannot seek log file: " + path_);
 }
+
+MemoStore::~MemoStore() = default;
 
 bool MemoStore::lookup(const std::string& key, std::string* value) const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -148,34 +43,12 @@ bool MemoStore::lookup(const std::string& key, std::string* value) const {
   return true;
 }
 
-void MemoStore::append_record_locked(const std::string& key,
-                                     const std::string& value) {
-  if (fd_ < 0) {
-    return;
-  }
-  std::string record;
-  record.reserve(kHeaderBytes + key.size() + value.size());
-  put_u32(record, kMagic);
-  put_u32(record, static_cast<std::uint32_t>(key.size()));
-  put_u32(record, static_cast<std::uint32_t>(value.size()));
-  put_u64(record, memo_checksum(key, value));
-  record += key;
-  record += value;
-  std::size_t written = 0;
-  while (written < record.size()) {
-    const ssize_t n = ::write(fd_, record.data() + written,
-                              record.size() - written);
-    HETERO_REQUIRE(n > 0, "MemoStore: cannot append to log file: " + path_);
-    written += static_cast<std::size_t>(n);
-  }
-}
-
 void MemoStore::append(const std::string& key, std::string value) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (index_.find(key) != index_.end()) {
     return;
   }
-  append_record_locked(key, value);
+  log_->append(key, value);
   index_.emplace(key, std::move(value));
   ++stats_.appends;
   obs::metrics().counter("svc.memo.appends").increment();
@@ -224,7 +97,7 @@ std::string MemoStore::fetch_or_compute(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (error == nullptr && index_.find(key) == index_.end()) {
-      append_record_locked(key, value);
+      log_->append(key, value);
       index_.emplace(key, value);
       ++stats_.appends;
       obs::metrics().counter("svc.memo.appends").increment();
@@ -247,10 +120,7 @@ std::string MemoStore::fetch_or_compute(
 
 void MemoStore::flush() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (fd_ >= 0) {
-    HETERO_REQUIRE(::fsync(fd_) == 0,
-                   "MemoStore: cannot fsync log file: " + path_);
-  }
+  log_->flush();
 }
 
 std::size_t MemoStore::size() const {

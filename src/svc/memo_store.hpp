@@ -8,7 +8,8 @@
 /// daemon killed mid-stream warm-starts from the log and re-answers the
 /// replayed requests byte-identically without recomputing anything.
 ///
-/// The log is a flat sequence of checksummed records
+/// The on-disk format is `support::RecordLog` (shared with the per-worker
+/// result shards of `hetero::proc`): a flat sequence of checksummed records
 ///
 ///   [magic u32][key_len u32][value_len u32][checksum u64][key][value]
 ///
@@ -16,8 +17,10 @@
 /// *recovery*, not from per-record fsync: open() replays the log and, on the
 /// first damaged record — a torn tail from a kill, a flipped byte — drops
 /// that record and everything after it (ftruncate), keeping every intact
-/// record before it in service. Writers append whole records; the file is
-/// fsynced on flush() and close.
+/// record before it in service. Writers append whole records under an
+/// advisory flock on an O_APPEND fd, so several *processes* sharing one
+/// store file each land whole records; the file is fsynced on flush() and
+/// close.
 ///
 /// Keys are opaque content addresses (the engine's full descriptor+seed
 /// cache key, or the service's request descriptor hash); values are opaque
@@ -32,6 +35,10 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+
+namespace hetero::support {
+class RecordLog;
+}  // namespace hetero::support
 
 namespace hetero::svc {
 
@@ -95,11 +102,8 @@ class MemoStore {
     std::exception_ptr error;
   };
 
-  void recover();
-  void append_record_locked(const std::string& key, const std::string& value);
-
   std::string path_;
-  int fd_ = -1;
+  std::unique_ptr<support::RecordLog> log_;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::string> index_;

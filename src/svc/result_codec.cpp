@@ -5,10 +5,15 @@
 #include <cstring>
 
 #include "support/error.hpp"
+#include "svc/memo_store.hpp"
 
 namespace hetero::svc {
 
 namespace {
+
+/// Keeps experiment-result entries apart from request payloads in a store
+/// log shared with the advisory service.
+const std::string kExperimentKeyPrefix = "exp|";
 
 void put_u64(std::string& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -115,6 +120,9 @@ std::string encode_result(const core::ExperimentResult& r) {
   for (const auto& line : r.rebroker.trail) {
     put_string(out, line);
   }
+  put_i64(out, r.balance.checks);
+  put_i64(out, r.balance.rebalances);
+  put_double(out, r.balance.last_imbalance);
   return out;
 }
 
@@ -171,9 +179,27 @@ core::ExperimentResult decode_result(const std::string& bytes) {
   for (std::uint64_t i = 0; i < trail_lines; ++i) {
     r.rebroker.trail.push_back(in.str());
   }
+  r.balance.checks = in.i32();
+  r.balance.rebalances = in.i32();
+  r.balance.last_imbalance = in.f64();
   HETERO_REQUIRE(in.pos == bytes.size(),
                  "result codec: trailing bytes in payload");
   return r;
+}
+
+bool MemoResultStore::load(const std::string& key,
+                           core::ExperimentResult& out) {
+  std::string bytes;
+  if (!store_.lookup(kExperimentKeyPrefix + key, &bytes)) {
+    return false;
+  }
+  out = decode_result(bytes);
+  return true;
+}
+
+void MemoResultStore::save(const std::string& key,
+                           const core::ExperimentResult& result) {
+  store_.append(kExperimentKeyPrefix + key, encode_result(result));
 }
 
 }  // namespace hetero::svc

@@ -356,6 +356,9 @@ class Connection {
       // daemon with SIGPIPE.
       const ssize_t n = ::send(fd_, out.data() + written,
                                out.size() - written, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) {
+        continue;  // a signal mid-reply must not truncate the response
+      }
       if (n <= 0) {
         return;  // client went away; nothing useful to do
       }

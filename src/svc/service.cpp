@@ -18,9 +18,9 @@ namespace hetero::svc {
 
 namespace {
 
-/// Namespace prefixes keep the two cache levels apart in one log.
+/// Request-level cache prefix; experiment results use MemoResultStore's
+/// own `exp|` prefix in the same log.
 const std::string kRequestPrefix = "req|";
-const std::string kExperimentPrefix = "exp|";
 
 std::string join_lines(const std::vector<std::string>& lines) {
   std::string out;
@@ -47,34 +47,9 @@ std::vector<std::string> split_lines(const std::string& payload) {
 
 }  // namespace
 
-/// Adapts the MemoStore onto the engine's persistence hook: experiment
-/// results ride the same checksummed log as the request payloads, under
-/// their own key prefix, encoded bit-exactly by the result codec.
-class Service::ExperimentMemo final : public core::ExperimentResultStore {
- public:
-  explicit ExperimentMemo(MemoStore& store) : store_(store) {}
-
-  bool load(const std::string& key, core::ExperimentResult& out) override {
-    std::string bytes;
-    if (!store_.lookup(kExperimentPrefix + key, &bytes)) {
-      return false;
-    }
-    out = decode_result(bytes);
-    return true;
-  }
-
-  void save(const std::string& key,
-            const core::ExperimentResult& result) override {
-    store_.append(kExperimentPrefix + key, encode_result(result));
-  }
-
- private:
-  MemoStore& store_;
-};
-
 Service::Service(ServiceOptions options) : options_(options) {
   store_ = std::make_unique<MemoStore>(options_.store_path);
-  experiment_memo_ = std::make_unique<ExperimentMemo>(*store_);
+  experiment_memo_ = std::make_unique<MemoResultStore>(*store_);
   core::CampaignEngineOptions engine_options;
   engine_options.jobs = options_.jobs;
   engine_options.result_store = experiment_memo_.get();

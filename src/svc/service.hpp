@@ -34,6 +34,7 @@
 #include "broker/broker.hpp"
 #include "core/campaign_engine.hpp"
 #include "svc/memo_store.hpp"
+#include "svc/result_codec.hpp"
 #include "svc/protocol.hpp"
 
 namespace hetero::svc {
@@ -94,14 +95,13 @@ class Service {
   std::uint64_t seed() const { return options_.seed; }
 
  private:
-  class ExperimentMemo;
 
   /// Computes the rebroker advisory payload (cold path of process()).
   std::vector<std::string> answer_rebroker(const SvcRequest& request);
 
   ServiceOptions options_;
   std::unique_ptr<MemoStore> store_;
-  std::unique_ptr<ExperimentMemo> experiment_memo_;
+  std::unique_ptr<MemoResultStore> experiment_memo_;
   std::unique_ptr<core::CampaignEngine> engine_;
   std::unique_ptr<broker::Broker> broker_;
 

@@ -1,0 +1,73 @@
+# Two heterolab processes sharing one --store file, appending concurrently:
+# the advisory flock in the RecordLog must keep every record whole, so a
+# third (cold) process over the same store answers byte-identically to a
+# reference run — and entirely from the store (no experiments recomputed).
+# Run via: cmake -DHETEROLAB=... -DWORK_DIR=... -P cli_store_contention_test.cmake
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(store "${WORK_DIR}/shared-store.log")
+
+# Reference outputs, computed without any store.
+foreach(fig fig4 fig6)
+  execute_process(
+    COMMAND "${HETEROLAB}" ${fig}
+    OUTPUT_FILE "${WORK_DIR}/ref-${fig}.txt"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "reference ${fig} failed with exit code ${rc}")
+  endif()
+endforeach()
+
+# Two writers racing on one store: fig4 and fig6 share the rd weak-scaling
+# sweep, so both processes append overlapping keys while each also runs a
+# worker-process pool of its own. The shell fan-out is the point — CMake's
+# execute_process cannot launch two commands concurrently.
+execute_process(
+  COMMAND sh -c "\
+'${HETEROLAB}' fig4 --store '${store}' --workers 2 \
+    > '${WORK_DIR}/race-fig4.txt' 2> '${WORK_DIR}/race-fig4.err' & p1=$!; \
+'${HETEROLAB}' fig6 --store '${store}' --workers 2 \
+    > '${WORK_DIR}/race-fig6.txt' 2> '${WORK_DIR}/race-fig6.err' & p2=$!; \
+wait $p1 && wait $p2"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "concurrent --store writers failed with exit ${rc}")
+endif()
+
+foreach(fig fig4 fig6)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK_DIR}/ref-${fig}.txt" "${WORK_DIR}/race-${fig}.txt"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${fig} under store contention differs from the "
+                        "store-less reference")
+  endif()
+endforeach()
+
+# A cold third process over the contended store must replay rather than
+# recompute: its proc summary reports 0 dispatched jobs, and its stdout is
+# byte-identical to the reference.
+execute_process(
+  COMMAND "${HETEROLAB}" fig4 --store "${store}" --workers 2
+  OUTPUT_FILE "${WORK_DIR}/replay-fig4.txt"
+  ERROR_FILE "${WORK_DIR}/replay-fig4.err"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "replay fig4 failed with exit code ${rc}")
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORK_DIR}/ref-fig4.txt" "${WORK_DIR}/replay-fig4.txt"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "replay over the contended store differs from the "
+                      "reference")
+endif()
+file(READ "${WORK_DIR}/replay-fig4.err" replay_err)
+if(NOT replay_err MATCHES "0 dispatched")
+  message(FATAL_ERROR "replay run recomputed experiments instead of "
+                      "answering from the store: ${replay_err}")
+endif()

@@ -76,6 +76,61 @@ TEST(H5Lite, DetectsTruncatedFiles) {
   EXPECT_THROW(H5LiteReader reader("/tmp/does-not-exist.h5l"), Error);
 }
 
+TEST(H5Lite, NothingIsPublishedUntilClose) {
+  TempFile f("h5lite_unpublished.h5l");
+  TempFile tmp("h5lite_unpublished.h5l.tmp");
+  H5LiteWriter writer(f.path);
+  writer.write_doubles("v", {1}, {2.0});
+  // Every byte so far lives in the side file; the target path must not
+  // exist yet (a crash here leaves no half-written "checkpoint").
+  EXPECT_THROW(H5LiteReader premature(f.path), Error);
+  {
+    std::ifstream side(tmp.path, std::ios::binary);
+    EXPECT_TRUE(side.good());
+  }
+  writer.close();
+  // close() renamed the side file into place.
+  {
+    std::ifstream side(tmp.path, std::ios::binary);
+    EXPECT_FALSE(side.good());
+  }
+  H5LiteReader reader(f.path);
+  EXPECT_DOUBLE_EQ(reader.read_doubles("v")[0], 2.0);
+}
+
+TEST(H5Lite, CrashMidRewriteLeavesThePreviousCheckpointLoadable) {
+  TempFile f("h5lite_atomic.h5l");
+  TempFile tmp("h5lite_atomic.h5l.tmp");
+  {
+    H5LiteWriter writer(f.path);
+    writer.write_doubles("state", {2}, {1.0, 2.0});
+    writer.close();
+  }
+  {
+    // Rewrite the same path, but "crash" before close(): the new bytes
+    // stay in the .tmp file and never reach the published checkpoint.
+    H5LiteWriter writer(f.path);
+    writer.write_doubles("state", {2}, {9.0, 9.0});
+    std::ifstream side(tmp.path, std::ios::binary);
+    EXPECT_TRUE(side.good());
+    const auto old = H5LiteReader(f.path).read_doubles("state");
+    EXPECT_DOUBLE_EQ(old[0], 1.0);
+    EXPECT_DOUBLE_EQ(old[1], 2.0);
+    writer.close();
+  }
+  // Simulate the on-disk debris of a kill mid-write — a truncated .tmp
+  // next to the published file — and confirm loading is unaffected.
+  {
+    std::ofstream os(tmp.path, std::ios::binary | std::ios::trunc);
+    const std::uint64_t magic = 0x48354C4954453031ULL;
+    os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    os.write("torn", 4);
+  }
+  const auto values = H5LiteReader(f.path).read_doubles("state");
+  EXPECT_DOUBLE_EQ(values[0], 9.0);
+  EXPECT_DOUBLE_EQ(values[1], 9.0);
+}
+
 TEST(H5Lite, UnclosedWriterLeavesNoFooter) {
   TempFile f("h5lite_nofooter.h5l");
   {

@@ -5,7 +5,9 @@
 // metrics agree exactly with the ExperimentResult it reports.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <limits>
 #include <string>
@@ -19,6 +21,7 @@
 #include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/io_util.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -350,6 +353,43 @@ TEST(BenchIo, JsonlRoundTripsThroughWriterAndReader) {
   ASSERT_EQ(records.size(), 2u);
   EXPECT_DOUBLE_EQ(records[0].at("x").as_number(), 1.0);
   EXPECT_EQ(records[1].at("y").as_string(), "two");
+  std::remove(path.c_str());
+}
+
+/// Interposed write(2) for the EINTR regression: alternates a spurious
+/// EINTR failure with a 1-byte transfer. (unistd.h write — the hook runs
+/// under support::write_all, which must retry both cases.)
+ssize_t eintr_stormy_write(int fd, const void* data, std::size_t size) {
+  static int calls = 0;
+  if (++calls % 2 == 1) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::write(fd, data, size < 1 ? size : 1);
+}
+
+TEST(BenchIo, JsonlWriterLandsWholeLinesThroughEintrStorms) {
+  const std::string path = temp_path("obs_test_eintr.jsonl");
+  {
+    obs::JsonlWriter writer(path);
+    support::set_write_hook_for_tests(&eintr_stormy_write);
+    for (int i = 0; i < 10; ++i) {
+      obs::Json record = obs::Json::object();
+      record.set("i", i);
+      record.set("label", "record-" + std::to_string(i));
+      writer.write(record);
+    }
+    support::set_write_hook_for_tests(nullptr);
+  }
+  // Despite every write(2) either failing with EINTR or moving one byte,
+  // every record must come back whole and in order.
+  const auto records = obs::read_jsonl(path);
+  ASSERT_EQ(records.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(records[i].at("i").as_number(), i);
+    EXPECT_EQ(records[i].at("label").as_string(),
+              "record-" + std::to_string(i));
+  }
   std::remove(path.c_str());
 }
 

@@ -1,13 +1,20 @@
 // Unit tests for the support module: RNG, statistics, tables, units, CLI.
 
 #include <gtest/gtest.h>
+#include <fcntl.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/io_util.hpp"
+#include "support/record_log.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -317,6 +324,140 @@ TEST(ErrorMacros, RequireThrowsWithContext) {
     EXPECT_NE(what.find("1 == 2"), std::string::npos);
     EXPECT_NE(what.find("numbers disagree"), std::string::npos);
   }
+}
+
+// --- io_util: EINTR / short-write hardening ----------------------------
+
+int g_hook_calls = 0;
+
+/// Adversarial write(2): every odd call fails with EINTR, every even call
+/// transfers at most one byte. write_all must still land everything.
+ssize_t hostile_write(int fd, const void* data, std::size_t size) {
+  ++g_hook_calls;
+  if (g_hook_calls % 2 == 1) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::write(fd, data, size < 1 ? size : 1);
+}
+
+ssize_t broken_write(int, const void*, std::size_t) {
+  errno = EIO;
+  return -1;
+}
+
+struct HookGuard {
+  explicit HookGuard(support::WriteHook hook) {
+    support::set_write_hook_for_tests(hook);
+  }
+  ~HookGuard() { support::set_write_hook_for_tests(nullptr); }
+};
+
+TEST(IoUtil, WriteAllSurvivesEintrStormsAndShortWrites) {
+  const std::string path = "/tmp/heterolab_io_util_test.bin";
+  std::remove(path.c_str());
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  const std::string payload = "twelve bytes";
+  {
+    HookGuard guard(&hostile_write);
+    g_hook_calls = 0;
+    EXPECT_TRUE(support::write_all(fd, payload.data(), payload.size()));
+    // One EINTR + one 1-byte transfer per landed byte.
+    EXPECT_GE(g_hook_calls, 2 * static_cast<int>(payload.size()));
+  }
+  ::close(fd);
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, payload);
+  std::remove(path.c_str());
+}
+
+TEST(IoUtil, WriteAllReportsRealErrorsInsteadOfSpinning) {
+  HookGuard guard(&broken_write);
+  const char byte = 'x';
+  errno = 0;
+  EXPECT_FALSE(support::write_all(1, &byte, 1));
+  EXPECT_EQ(errno, EIO);
+}
+
+TEST(IoUtil, ReadFullDistinguishesEofShortAndError) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(support::write_all(fds[1], "abc", 3));
+  char buf[8] = {};
+  // Short: the stream ended after 3 of 8 bytes.
+  ::close(fds[1]);
+  EXPECT_EQ(support::read_full(fds[0], buf, sizeof(buf)), 3);
+  EXPECT_EQ(std::string(buf, 3), "abc");
+  // EOF: nothing left at all.
+  EXPECT_EQ(support::read_full(fds[0], buf, sizeof(buf)), 0);
+  ::close(fds[0]);
+  // Error: closed descriptor.
+  EXPECT_EQ(support::read_full(fds[0], buf, sizeof(buf)), -1);
+}
+
+// --- record log: format + multi-process append safety ------------------
+
+TEST(RecordLog, RoundTripsAndRecoversAcrossReopen) {
+  const std::string path = "/tmp/heterolab_record_log_test.log";
+  std::remove(path.c_str());
+  {
+    support::RecordLog log(path);
+    log.append("alpha", "one");
+    log.append("beta", std::string("two\0three", 9));
+    log.flush();
+  }
+  support::RecordLog log(path);
+  std::vector<std::pair<std::string, std::string>> seen;
+  const auto stats = log.recover([&](std::string key, std::string value) {
+    seen.emplace_back(std::move(key), std::move(value));
+  });
+  EXPECT_EQ(stats.recovered_records, 2u);
+  EXPECT_EQ(stats.dropped_bytes, 0u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, "alpha");
+  EXPECT_EQ(seen[1].second, std::string("two\0three", 9));
+  std::remove(path.c_str());
+}
+
+TEST(RecordLog, TornTailIsTruncatedNotFatal) {
+  const std::string path = "/tmp/heterolab_record_log_torn.log";
+  std::remove(path.c_str());
+  {
+    support::RecordLog log(path);
+    log.append("intact", "value");
+    log.flush();
+  }
+  // A crash mid-append: half a record's worth of garbage at the tail.
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os.write("\x31\x53\x4d\x48garbage", 11);
+  }
+  support::RecordLog log(path);
+  int records = 0;
+  const auto stats = log.recover([&](std::string, std::string) {
+    ++records;
+  });
+  EXPECT_EQ(records, 1);
+  EXPECT_EQ(stats.recovered_records, 1u);
+  EXPECT_GT(stats.dropped_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordLog, NullLogIsInertAndChecksumIsStable) {
+  support::RecordLog log("");
+  EXPECT_FALSE(log.is_open());
+  log.append("k", "v");  // no-op, no crash
+  log.flush();
+  int calls = 0;
+  log.recover([&](std::string, std::string) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // The checksum is part of the on-disk format: pin it against drift.
+  EXPECT_EQ(support::record_checksum("k", "v"), support::record_checksum("k", "v"));
+  EXPECT_NE(support::record_checksum("k", "v"), support::record_checksum("k", "w"));
+  EXPECT_NE(support::record_checksum("kv", ""), support::record_checksum("k", "v"));
 }
 
 }  // namespace

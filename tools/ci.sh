@@ -34,6 +34,10 @@
 #             bench/baselines/load_balance.json (balancing must win >= 1.2x
 #             of modeled total time at 27 ranks under 2x skew while calm
 #             cells stay bitwise), and a --jobs 1 vs 8 byte-identity gate
+#   procsoak  multi-process backend: proc tests under ASan, a
+#             500-experiment chaos soak (5% crash/hang/exit injected; must
+#             complete byte-identical minus quarantined poison jobs), and a
+#             --workers 4 vs --workers 0 byte-diff gate on the CLI
 #   all       everything above, in that order (the default)
 #
 # Each job builds in its own directory (build-ci-<job>) so sanitizer and
@@ -149,7 +153,7 @@ job_tsan() {
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=thread
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
       --timeout 600 \
-      -R '^(simmpi_test|resil_test|la_test|la_prop_test|kernels_diff_test|obs_test|campaign_engine_test|rebroker_test|lb_test|svc_test)$'
+      -R '^(simmpi_test|resil_test|la_test|la_prop_test|kernels_diff_test|obs_test|campaign_engine_test|rebroker_test|lb_test|svc_test|proc_test)$'
 }
 
 job_svc() {
@@ -288,6 +292,32 @@ job_loadbalance() {
       "$out_dir/ablation_load_balance.jobs8.jsonl"
 }
 
+job_procsoak() {
+  echo "== ci job: proc-soak (supervised worker pool under chaos) =="
+  configure_and_build build-ci-asan \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=address
+  # The fault-tolerance surface: wire protocol, chaos planner, shard logs,
+  # supervisor end-to-end, the shared-store contention harness, and the
+  # graceful-shutdown/flush paths the CLI wires around the pool.
+  ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
+      --timeout 600 \
+      -R '^(proc_test|support_test|io_test|cli_store_contention_test|cli_failure_test)$'
+  out_dir=build-ci-asan/proc-out
+  mkdir -p "$out_dir"
+  # Tentpole gate: a 500-experiment campaign on 4 workers with 5% crash,
+  # hang, and exit chaos each must complete with every surviving row
+  # byte-identical to a fault-free single-process reference; quarantined
+  # poison jobs must carry an explained failure. The bench exits non-zero
+  # on any violation or leaked child.
+  build-ci-asan/bench/bench_proc_chaos_soak --experiments 500 --workers 4 \
+      --json "$out_dir/proc_chaos_soak.jsonl"
+  # CLI byte-diff gate: the worker-process pool must reproduce the
+  # in-process pool's stdout byte for byte (proc summary goes to stderr).
+  build-ci-asan/tools/heterolab fig4 --workers 4 > "$out_dir/fig4.w4.txt"
+  build-ci-asan/tools/heterolab fig4 --workers 0 > "$out_dir/fig4.w0.txt"
+  diff "$out_dir/fig4.w0.txt" "$out_dir/fig4.w4.txt"
+}
+
 run_job() {
   case "$1" in
     release) job_release ;;
@@ -300,9 +330,10 @@ run_job() {
     svc) job_svc ;;
     rebroker) job_rebroker ;;
     loadbalance) job_loadbalance ;;
-    all) job_release; job_debug; job_bench; job_kernels; job_asan; job_tsan; job_faultsoak; job_svc; job_rebroker; job_loadbalance ;;
+    procsoak) job_procsoak ;;
+    all) job_release; job_debug; job_bench; job_kernels; job_asan; job_tsan; job_faultsoak; job_svc; job_rebroker; job_loadbalance; job_procsoak ;;
     *)
-      echo "ci: unknown job '$1' (expected release|debug|bench|kernels|asan|tsan|faultsoak|svc|rebroker|loadbalance|all)" >&2
+      echo "ci: unknown job '$1' (expected release|debug|bench|kernels|asan|tsan|faultsoak|svc|rebroker|loadbalance|procsoak|all)" >&2
       exit 2
       ;;
   esac

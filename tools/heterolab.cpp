@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "broker/broker.hpp"
 #include "core/campaign.hpp"
@@ -23,11 +24,15 @@
 #include "core/report.hpp"
 #include "obs/bench_io.hpp"
 #include "platform/capability_table.hpp"
+#include "proc/supervisor.hpp"
 #include "provision/planner.hpp"
 #include "resil/recovery.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/shutdown.hpp"
 #include "support/units.hpp"
+#include "svc/memo_store.hpp"
+#include "svc/result_codec.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
 
@@ -48,18 +53,97 @@ int cmd_platforms(const CliArgs& args) {
   return 0;
 }
 
+/// Owns a registered shutdown-hook token; removes the hook on destruction.
+class ScopedShutdownHook {
+ public:
+  ScopedShutdownHook() = default;
+  explicit ScopedShutdownHook(std::function<void()> hook)
+      : token_(support::add_shutdown_hook(std::move(hook))) {}
+  ScopedShutdownHook(ScopedShutdownHook&& other) noexcept
+      : token_(other.token_) {
+    other.token_ = -1;
+  }
+  ScopedShutdownHook& operator=(ScopedShutdownHook&& other) noexcept {
+    if (this != &other) {
+      if (token_ >= 0) {
+        support::remove_shutdown_hook(token_);
+      }
+      token_ = other.token_;
+      other.token_ = -1;
+    }
+    return *this;
+  }
+  ~ScopedShutdownHook() {
+    if (token_ >= 0) {
+      support::remove_shutdown_hook(token_);
+    }
+  }
+
+ private:
+  int token_ = -1;
+};
+
+/// Engine plus the optional backends the flags wire behind it. Member
+/// order is the teardown contract (members destroy in reverse): the engine
+/// (which holds raw pointers into the others) goes first, then the
+/// supervisor, then the store's flush hook, then the stores.
+struct EngineBundle {
+  std::unique_ptr<svc::MemoStore> store;
+  std::unique_ptr<svc::MemoResultStore> result_store;
+  ScopedShutdownHook store_flush_hook;
+  std::unique_ptr<proc::Supervisor> supervisor;
+  std::unique_ptr<core::CampaignEngine> engine;
+};
+
 /// --jobs N > HETEROLAB_JOBS > hardware concurrency; `direct_default_1`
 /// makes direct-mode runs sequential unless --jobs is given explicitly
 /// (each direct experiment already spawns one thread per rank).
-core::CampaignEngine make_engine(const CliArgs& args,
-                                 bool direct_default_1 = false) {
+/// --workers N > HETEROLAB_WORKERS > 0 forks a supervised worker-process
+/// pool; --store PATH persists results across restarts; --proc-dir PATH
+/// keeps the worker shards on disk so interrupted runs resume.
+EngineBundle make_engine(const CliArgs& args, bool direct_default_1 = false) {
+  EngineBundle b;
   core::CampaignEngineOptions opt;
   opt.jobs = static_cast<int>(args.get_int("jobs", 0));
   if (opt.jobs == 0 && direct_default_1 && !args.has("jobs")) {
     opt.jobs = 1;
   }
-  return core::CampaignEngine(
-      static_cast<std::uint64_t>(args.get_int("seed", 42)), opt);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string store_path = args.get_string("store", "");
+  if (!store_path.empty()) {
+    b.store = std::make_unique<svc::MemoStore>(store_path);
+    b.result_store = std::make_unique<svc::MemoResultStore>(*b.store);
+    opt.result_store = b.result_store.get();
+    // A Ctrl-C mid-campaign must not lose appended results to the page
+    // cache: fsync the store from the shutdown watcher.
+    svc::MemoStore* store = b.store.get();
+    b.store_flush_hook = ScopedShutdownHook([store] { store->flush(); });
+  }
+  proc::ProcOptions popt;
+  popt.shard_dir = args.get_string("proc-dir", "");
+  // Fork the workers before the engine exists: fork(2) from a process
+  // that already has pool threads is a latent deadlock.
+  b.supervisor = proc::make_supervisor(
+      static_cast<int>(args.get_int("workers", -1)), seed, popt);
+  opt.executor = b.supervisor.get();
+  b.engine = std::make_unique<core::CampaignEngine>(seed, opt);
+  return b;
+}
+
+/// One stderr line per supervised run; stdout stays byte-identical to
+/// `--workers 0` so CSV/JSONL consumers (and the CI byte-diff gate) never
+/// see the process pool.
+void print_proc_stats(const proc::Supervisor* sup) {
+  if (sup == nullptr) {
+    return;
+  }
+  const auto s = sup->stats();
+  std::cerr << "proc          " << sup->workers() << " worker(s): "
+            << s.jobs_dispatched << " dispatched, " << s.results_completed
+            << " completed, " << s.shard_replays << " shard replay(s), "
+            << s.worker_crashes << " crash(es) (" << s.hung_workers
+            << " hung), " << s.respawns << " respawn(s), " << s.redispatches
+            << " redispatch(es), " << s.quarantined << " quarantined\n";
 }
 
 int cmd_run(const CliArgs& args) {
@@ -150,8 +234,9 @@ int cmd_run(const CliArgs& args) {
   e.metrics_path = args.get_string("metrics", "");
   HETERO_REQUIRE(e.trace_path.empty() || e.mode == core::Mode::kDirect,
                  "--trace records the simulated MPI run: needs --mode direct");
-  auto engine = make_engine(args, e.mode == core::Mode::kDirect);
-  const auto r = engine.run(e);
+  auto bundle = make_engine(args, e.mode == core::Mode::kDirect);
+  const auto r = bundle.engine->run(e);
+  print_proc_stats(bundle.supervisor.get());
   obs::BenchReporter reporter(args, "heterolab_run");
   if (reporter.enabled()) {
     obs::Json record = obs::Json::object();
@@ -287,7 +372,8 @@ int cmd_run(const CliArgs& args) {
 }
 
 int cmd_report(const std::string& which, const CliArgs& args) {
-  auto engine = make_engine(args);
+  auto bundle = make_engine(args);
+  auto& engine = *bundle.engine;
   const auto procs = core::paper_process_counts();
   const Table table = [&]() -> Table {
     if (which == "fig4") {
@@ -314,6 +400,7 @@ int cmd_report(const std::string& which, const CliArgs& args) {
                                static_cast<int>(args.get_int("ranks", 125)));
   }();
   render(table, args);
+  print_proc_stats(bundle.supervisor.get());
   obs::BenchReporter reporter(args, "heterolab_" + which);
   reporter.add_table(table);
   return 0;
@@ -382,13 +469,25 @@ int cmd_broker_batch(const CliArgs& args) {
   std::ifstream in(path);
   HETERO_REQUIRE(in.good(), "cannot open requests file: " + path);
   svc::Service service(service_options(args));
+  const int hook = support::add_shutdown_hook([&service] {
+    service.store().flush();
+    std::cerr << "broker: interrupted; memo store flushed\n";
+  });
   const auto stats = svc::serve_pipe(service, in, std::cout);
+  support::remove_shutdown_hook(hook);
   print_serve_stats(stats, service);
   return 0;
 }
 
 int cmd_serve(const CliArgs& args) {
   svc::Service service(service_options(args));
+  // A SIGINT/SIGTERM against the daemon must not strand appended memo
+  // records in the page cache; the guard's watcher runs this, prints its
+  // own stderr notice, and _exits 128+signo.
+  const int hook = support::add_shutdown_hook([&service] {
+    service.store().flush();
+    std::cerr << "serve: interrupted; memo store flushed\n";
+  });
   svc::ServeOptions serve_options;
   serve_options.queue_capacity =
       static_cast<std::size_t>(args.get_int("queue", 1024));
@@ -399,6 +498,7 @@ int cmd_serve(const CliArgs& args) {
       socket_path.empty()
           ? svc::serve_pipe(service, std::cin, std::cout, serve_options)
           : svc::serve_unix_socket(service, socket_path, serve_options);
+  support::remove_shutdown_hook(hook);
   print_serve_stats(stats, service);
   return 0;
 }
@@ -495,9 +595,12 @@ int usage() {
       "      [--skew FACTOR] [--skew-fraction F] [--skew-noise RATE]\n"
       "      [--balance] [--balance-mode repartition|diffuse]\n"
       "      [--balance-threshold X] [--steps N]\n"
+      "      [--workers W] [--store PATH] [--proc-dir DIR]\n"
       "  fig4 | fig5 | table2 | fig6 | fig7 [--csv] [--jobs J]\n"
-      "      [--json OUT.jsonl]\n"
-      "  summary [--ranks N] [--jobs J]\n"
+      "      [--json OUT.jsonl] [--workers W] [--store PATH]\n"
+      "      [--proc-dir DIR]\n"
+      "  summary [--ranks N] [--jobs J] [--workers W] [--store PATH]\n"
+      "      [--proc-dir DIR]\n"
       "  campaign --ranks N --iterations K [--ondemand] [--ckpt I]\n"
       "      [--bid USD] [--cells C] [--storm-rate RATE]\n"
       "  provision [--platform P]\n"
@@ -515,7 +618,13 @@ int usage() {
       "      JSONL decisions on stdout (see docs/service.md)\n"
       "--jobs J evaluates experiments on J worker threads (output is\n"
       "byte-identical at any J). Default: HETEROLAB_JOBS if set, else the\n"
-      "hardware thread count; direct-mode runs default to 1.\n";
+      "hardware thread count; direct-mode runs default to 1.\n"
+      "--workers W forks W supervised worker *processes* (heartbeats,\n"
+      "crash retry, poison-job quarantine; stdout stays byte-identical at\n"
+      "any W). Default: HETEROLAB_WORKERS if set, else 0 (in-process).\n"
+      "--store PATH persists results across restarts; --proc-dir DIR keeps\n"
+      "worker shards so an interrupted campaign resumes incrementally.\n"
+      "See docs/campaign_scaleout.md.\n";
   return 2;
 }
 
@@ -537,6 +646,11 @@ bool flags_understood(const CliArgs& args,
 
 int main(int argc, char** argv) {
   using namespace hetero;
+  // Installed first, while the process is single-threaded: Ctrl-C against
+  // any subcommand runs the registered cleanup hooks (flush + fsync
+  // writers, kill + reap campaign workers), prints a clear stderr message,
+  // and exits 128+signo instead of dying mid-write.
+  support::ShutdownGuard shutdown_guard;
   try {
     const CliArgs args(argc, argv);
     if (args.positional().size() != 1) {
@@ -566,7 +680,8 @@ int main(int argc, char** argv) {
                                      "rebroker-trail", "skew",
                                      "skew-fraction", "skew-noise",
                                      "balance", "balance-mode",
-                                     "balance-threshold", "steps"})
+                                     "balance-threshold", "steps",
+                                     "workers", "store", "proc-dir"})
                  ? cmd_run(args)
                  : usage();
     }
@@ -575,8 +690,10 @@ int main(int argc, char** argv) {
       const std::vector<std::string> allowed =
           command == "summary"
               ? std::vector<std::string>{"csv", "seed", "ranks", "jobs",
-                                         "json"}
-              : std::vector<std::string>{"csv", "seed", "jobs", "json"};
+                                         "json", "workers", "store",
+                                         "proc-dir"}
+              : std::vector<std::string>{"csv", "seed", "jobs", "json",
+                                         "workers", "store", "proc-dir"};
       return flags_understood(args, allowed) ? cmd_report(command, args)
                                              : usage();
     }
