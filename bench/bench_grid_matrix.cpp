@@ -1,0 +1,170 @@
+// The standing grid benchmark, self-checking: expands a grid-matrix
+// preset, evaluates it twice (single-threaded reference, then the full
+// worker pool), and fails unless the two heterolab-grid-v1 reports are
+// byte-identical line by line. On top of the differential gate it
+// re-asserts the balanced-vs-unbalanced invariant in-process — a balanced
+// skew projection never models slower than its bulk-synchronous twin — so
+// the bench is a verdict, not just a timing (the remaining cross-cell
+// invariants are `tools/check_bench.py --schema grid`'s job). Exits
+// non-zero on any violation.
+//
+//   bench_grid_matrix [--matrix full|ci|smoke] [--cells N] [--seed S]
+//                     [--iterations N] [--jobs N] [--csv] [--json OUT]
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_main.hpp"
+#include "grid/matrix.hpp"
+#include "grid/report.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace hetero;
+
+std::vector<std::string> report_lines(const grid::MatrixSpec& spec,
+                                      const std::vector<grid::GridCell>& cells,
+                                      core::CampaignEngine& engine) {
+  const auto results = grid::run_cells(engine, cells);
+  std::vector<std::string> lines;
+  for (const auto& record :
+       grid::build_report(spec, cells, results, grid::kGridRunnerSeed)) {
+    lines.push_back(record.dump());
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  try {
+    const CliArgs args(argc, argv);
+    bench::BenchOutput output(args, "grid_matrix");
+
+    grid::MatrixSpec spec = grid::preset(args.get_string("matrix", "ci"));
+    if (args.has("cells")) {
+      spec.name = "custom";
+      spec.sample_cells = args.get_int("cells", 0);
+      HETERO_REQUIRE(spec.sample_cells > 0, "--cells needs at least one cell");
+    }
+    spec.matrix_seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    spec.iterations = static_cast<int>(args.get_int("iterations", 100));
+    HETERO_REQUIRE(spec.iterations > 0, "--iterations must be positive");
+
+    const auto cells = grid::expand(spec);
+
+    // Single-threaded reference report: the byte-identity baseline.
+    std::vector<std::string> reference;
+    {
+      core::CampaignEngineOptions opt;
+      opt.jobs = 1;
+      core::CampaignEngine engine(grid::kGridRunnerSeed, opt);
+      reference = report_lines(spec, cells, engine);
+    }
+
+    // Timed run on the requested (default: hardware) worker count.
+    const auto started = std::chrono::steady_clock::now();
+    core::CampaignEngineStats stats;
+    std::vector<std::string> lines;
+    {
+      auto engine = bench::make_engine(args, grid::kGridRunnerSeed);
+      lines = report_lines(spec, cells, engine);
+      stats = engine.stats();
+    }
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+
+    // Differential gate: every report line byte-identical to the
+    // single-threaded reference.
+    std::uint64_t diverged = 0;
+    for (std::size_t i = 0; i < lines.size() || i < reference.size(); ++i) {
+      const std::string* got = i < lines.size() ? &lines[i] : nullptr;
+      const std::string* want = i < reference.size() ? &reference[i] : nullptr;
+      if (got && want && *got == *want) continue;
+      if (++diverged <= 3) {
+        std::cerr << "report line " << i << " differs across jobs levels:\n"
+                  << "  got  " << (got ? *got : "<missing>") << "\n  want "
+                  << (want ? *want : "<missing>") << "\n";
+      }
+    }
+
+    // Matrix invariants, re-derived from the cells and results directly.
+    core::CampaignEngine verify_engine(grid::kGridRunnerSeed);
+    const auto results = grid::run_cells(verify_engine, cells);
+    std::uint64_t launched = 0, balance_violations = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!results[i].launched) continue;
+      ++launched;
+      if (cells[i].skewlb != "skew-balanced") continue;
+      // Find the unbalanced twin: same cell but skewlb == "skew". The
+      // expansion orders skew before skew-balanced within a coordinate
+      // block, so scan backwards for the matching label prefix.
+      for (std::size_t j = i; j-- > 0;) {
+        const auto& twin = cells[j];
+        if (twin.platform != cells[i].platform ||
+            twin.ranks != cells[i].ranks ||
+            twin.app_pair != cells[i].app_pair ||
+            twin.resolution != cells[i].resolution ||
+            twin.fault != cells[i].fault) {
+          break;  // left the coordinate block
+        }
+        if (twin.skewlb == "skew" && twin.objective == cells[i].objective &&
+            twin.rep == cells[i].rep && results[j].launched) {
+          const double bal = results[i].iteration.total_s;
+          const double unbal = results[j].iteration.total_s;
+          if (bal > unbal * (1.0 + 1e-9)) {
+            ++balance_violations;
+            if (balance_violations <= 3) {
+              std::cerr << "balanced cell " << grid::cell_label(cells[i])
+                        << " modeled " << bal << " s > unbalanced twin's "
+                        << unbal << " s\n";
+            }
+          }
+          break;
+        }
+      }
+    }
+
+    const bool identical = diverged == 0;
+    const bool pass = identical && balance_violations == 0;
+
+    Table table({"cells", "unique", "launched", "wall[s]", "cells/s",
+                 "identical", "balance_ok"});
+    table.add_row(
+        {std::to_string(cells.size()), std::to_string(stats.cache_misses),
+         std::to_string(launched), fmt_double(wall_s, 3),
+         fmt_double(wall_s > 0 ? static_cast<double>(cells.size()) / wall_s
+                               : 0.0,
+                    1),
+         identical ? "yes" : "NO", balance_violations == 0 ? "yes" : "NO"});
+    output.emit(table, "matrix");
+
+    obs::Json summary = obs::Json::object();
+    summary.set("series", "summary");
+    summary.set("matrix", spec.name);
+    summary.set("cells", static_cast<std::int64_t>(cells.size()));
+    summary.set("unique_experiments",
+                static_cast<std::int64_t>(stats.cache_misses));
+    summary.set("launched", static_cast<std::int64_t>(launched));
+    summary.set("diverged_lines", static_cast<std::int64_t>(diverged));
+    summary.set("balance_violations",
+                static_cast<std::int64_t>(balance_violations));
+    summary.set("wall_s", wall_s);
+    output.record(std::move(summary));
+
+    std::cout << "\ngrid matrix " << (pass ? "PASS" : "FAIL") << ": "
+              << cells.size() << " cells, " << diverged
+              << " diverged line(s), " << balance_violations
+              << " balance violation(s)\n";
+    return pass ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}

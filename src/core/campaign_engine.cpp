@@ -61,6 +61,7 @@ std::string experiment_cache_key(const Experiment& e,
   key.push_back('|');
   append_int(key, e.ranks);
   append_int(key, e.cells_per_rank_axis);
+  append_int(key, e.element_order);
   append_int(key, static_cast<long long>(e.mode));
   append_int(key, e.direct_steps);
   append_int(key, e.ec2_spot_mix ? 1 : 0);
@@ -89,6 +90,7 @@ std::string experiment_cache_key(const Experiment& e,
   append_bits(key, e.skew.noise_rate);
   append_bits(key, e.skew.noise_factor);
   append_bits(key, e.skew.window_s);
+  append_int(key, e.skew_assume_balanced ? 1 : 0);
   append_int(key, e.balance.enabled ? 1 : 0);
   append_bits(key, e.balance.threshold);
   append_int(key, e.balance.check_every);

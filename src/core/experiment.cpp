@@ -32,6 +32,15 @@ perf::ModelConfig model_for(const Experiment& e) {
                             ? perf::rd_model()
                             : perf::ns_model();
   m.cells_per_rank_axis = e.cells_per_rank_axis;
+  if (e.app == perf::AppKind::kNavierStokes) {
+    m.ns_velocity_order = e.element_order;
+    if (e.element_order >= 2) {
+      // Taylor-Hood trades the stabilization terms for a heavier saddle
+      // point: the velocity block grows and GMRES needs more iterations
+      // per step than the stabilized equal-order pair.
+      m.base_solver_iterations *= 1.5;
+    }
+  }
   return m;
 }
 
@@ -134,6 +143,21 @@ resil::FaultPlan ExperimentRunner::make_plan(
 
 ExperimentResult ExperimentRunner::run(const Experiment& experiment) {
   HETERO_REQUIRE(experiment.ranks >= 1, "experiment needs ranks >= 1");
+  HETERO_REQUIRE(
+      experiment.element_order == 1 || experiment.element_order == 2,
+      "element_order must be 1 (P1/P1) or 2 (Taylor-Hood P2/P1)");
+  HETERO_REQUIRE(experiment.element_order == 1 ||
+                     experiment.app == perf::AppKind::kNavierStokes,
+                 "the Taylor-Hood pair applies to the Navier-Stokes app only "
+                 "(reaction-diffusion is a fixed P2 scalar discretization)");
+  if (experiment.skew_assume_balanced) {
+    HETERO_REQUIRE(experiment.mode == Mode::kModeled,
+                   "assume-balanced is the analytic modeled projection; "
+                   "direct runs balance for real via balance.enabled");
+    HETERO_REQUIRE(experiment.skew.enabled(),
+                   "assume-balanced needs skew enabled (a uniform platform "
+                   "has nothing to balance)");
+  }
   const platform::PlatformSpec& spec =
       platform::platform_by_name(experiment.platform);
   if (experiment.rebroker.enabled) {
@@ -236,12 +260,16 @@ ExperimentResult ExperimentRunner::run_modeled(
   apps::CpuCostModel cpu = spec.cpu_model();
   if (experiment.skew.enabled()) {
     // Synchronized iterations run at the pace of the slowest core: degrade
-    // the platform's uniform speed by the *unbalanced* skew slowdown.
-    // (Balanced projections go through perf::skew_slowdown_balanced
-    // directly; modeled runs never rebalance.)
+    // the platform's uniform speed by the *unbalanced* skew slowdown — or,
+    // under skew_assume_balanced, by the harmonic-mean slowdown of a
+    // perfectly capacity-balanced partition (the analytic twin of direct
+    // mode's dynamic balancer; always <= the unbalanced factor).
     const resil::SkewPlan splan = make_skew_plan(experiment, seed_, spec.name);
-    cpu.speed_factor /= perf::skew_slowdown_unbalanced(
-        skew_mean_factors(splan, experiment.ranks));
+    const std::vector<double> factors =
+        skew_mean_factors(splan, experiment.ranks);
+    cpu.speed_factor /= experiment.skew_assume_balanced
+                            ? perf::skew_slowdown_balanced(factors)
+                            : perf::skew_slowdown_unbalanced(factors);
   }
 
   if (spec.name == "ec2") {
@@ -565,6 +593,7 @@ ExperimentResult ExperimentRunner::run_direct(
             [&](simmpi::Comm& comm) {
               apps::NsConfig config;
               config.global_cells = global_cells;
+              config.velocity_order = experiment.element_order;
               config.cpu = cur->cpu_model();
               config.rank_weights = rank_weights;
               config.collect_rank_step_s = lb_on;
@@ -743,6 +772,19 @@ ExperimentResult ExperimentRunner::run_direct(
   }
   result.est_cost_per_iteration_usd = result.cost_per_iteration_usd;
   return result;
+}
+
+std::vector<double> modeled_skew_factors(const Experiment& experiment,
+                                         std::uint64_t runner_seed) {
+  if (!experiment.skew.enabled()) {
+    return std::vector<double>(static_cast<std::size_t>(experiment.ranks),
+                               1.0);
+  }
+  const platform::PlatformSpec& spec =
+      platform::platform_by_name(experiment.platform);
+  const resil::SkewPlan plan =
+      make_skew_plan(experiment, runner_seed, spec.name);
+  return skew_mean_factors(plan, experiment.ranks);
 }
 
 }  // namespace hetero::core

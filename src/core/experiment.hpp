@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/app_common.hpp"
 #include "lb/load_balancer.hpp"
@@ -36,6 +37,11 @@ struct Experiment {
   int ranks = 1;
   /// Elements per axis per rank (weak scaling; the paper uses 20).
   int cells_per_rank_axis = 20;
+  /// Velocity element order of the Navier–Stokes discretization: 1 = the
+  /// stabilized equal-order P1/P1 pair, 2 = the Taylor–Hood P2/P1 pair
+  /// (heavier blocks, more Krylov iterations — the grid benchmark's
+  /// "element pair" axis). Must stay 1 for reaction–diffusion.
+  int element_order = 1;
   Mode mode = Mode::kModeled;
   /// Direct mode: number of time steps to run (first steps are warm-up).
   int direct_steps = 3;
@@ -80,6 +86,11 @@ struct Experiment {
   /// slowdown. All zero by default — runs are bit-identical to a skew-free
   /// build. See docs/load_balancing.md.
   resil::SkewSpec skew;
+  /// Modeled mode only: project the skewed run under *perfect*
+  /// capacity-weighted balancing (perf::skew_slowdown_balanced) instead of
+  /// the bulk-synchronous worst-rank slowdown — the analytic counterpart
+  /// of direct mode's `balance.enabled`. Requires skew to be enabled.
+  bool skew_assume_balanced = false;
   /// Dynamic load balancing (direct mode only): allgather measured per-rank
   /// step times and repartition with capacity weights (or diffuse weight
   /// between neighbors) when the weighted imbalance crosses the threshold.
@@ -148,5 +159,13 @@ class ExperimentRunner {
 
   std::uint64_t seed_;
 };
+
+/// Per-rank mean compute-cost multipliers the modeled projection of this
+/// experiment runs under (the resil::SkewPlan derived from the runner and
+/// experiment seeds on the experiment's platform); all ones when skew is
+/// disabled. Exposed so report generators (the grid benchmark) can publish
+/// the skew imbalance a cell was modeled against.
+std::vector<double> modeled_skew_factors(const Experiment& experiment,
+                                         std::uint64_t runner_seed);
 
 }  // namespace hetero::core

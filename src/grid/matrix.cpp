@@ -1,0 +1,279 @@
+#include "grid/matrix.hpp"
+
+#include <algorithm>
+
+#include "broker/objectives.hpp"
+#include "broker/predictor.hpp"
+#include "core/report.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/units.hpp"
+
+namespace hetero::grid {
+
+namespace {
+
+/// Folds a string into a hash chain byte by byte (order-dependent, so
+/// "ns/p2p1" and "ns/p1p2" land in different streams).
+std::uint64_t hash_str(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h = hash_combine(h, static_cast<unsigned char>(c));
+  }
+  return hash_combine(h, s.size());
+}
+
+void apply_app_pair(const std::string& pair, core::Experiment* e) {
+  if (pair == "rd/p2") {
+    e->app = perf::AppKind::kReactionDiffusion;
+    e->element_order = 1;
+  } else if (pair == "ns/p1p1") {
+    e->app = perf::AppKind::kNavierStokes;
+    e->element_order = 1;
+  } else if (pair == "ns/p2p1") {
+    e->app = perf::AppKind::kNavierStokes;
+    e->element_order = 2;
+  } else {
+    throw Error("unknown app pair: " + pair +
+                " (expected rd/p2|ns/p1p1|ns/p2p1)");
+  }
+}
+
+void apply_platform(const std::string& label, core::Experiment* e) {
+  if (label == "ec2-spot") {
+    // The paper's "mix" configuration: spot requests over 4 placement
+    // groups topped up with on-demand hosts.
+    e->platform = "ec2";
+    e->ec2_spot_mix = true;
+    e->ec2_placement_groups = 4;
+  } else {
+    e->platform = label;
+  }
+}
+
+void apply_fault(const std::string& policy, core::Experiment* e) {
+  if (policy == "calm") {
+    return;
+  }
+  if (policy == "flaky-scratch" || policy == "flaky-ckpt") {
+    e->faults.launch_failure_rate = 0.3;
+    e->recovery.kind = policy == "flaky-ckpt"
+                           ? resil::RecoveryKind::kCheckpointRestart
+                           : resil::RecoveryKind::kRestartScratch;
+    return;
+  }
+  throw Error("unknown fault policy: " + policy +
+              " (expected calm|flaky-scratch|flaky-ckpt)");
+}
+
+void apply_skewlb(const std::string& treatment, core::Experiment* e) {
+  if (treatment == "calm") {
+    return;
+  }
+  if (treatment == "skew" || treatment == "skew-balanced") {
+    e->skew.slow_core_fraction = 0.25;
+    e->skew.slow_core_factor = 2.0;
+    e->skew_assume_balanced = treatment == "skew-balanced";
+    return;
+  }
+  throw Error("unknown skew treatment: " + treatment +
+              " (expected calm|skew|skew-balanced)");
+}
+
+bool is_stochastic(const std::string& platform, const std::string& fault,
+                   const std::string& skewlb) {
+  return platform == "ec2-spot" || fault != "calm" || skewlb != "calm";
+}
+
+/// Stochastic cells hash their seed from the matrix seed and every
+/// coordinate EXCEPT skew/balance and objective: a balanced projection
+/// must share its fault and queue draws with its unbalanced twin, and the
+/// objective axis only re-scores one shared result.
+std::uint64_t cell_seed(const MatrixSpec& spec, const GridCell& cell) {
+  if (!cell.stochastic) {
+    return 42 + static_cast<std::uint64_t>(cell.rep);
+  }
+  std::uint64_t h = hash_mix(spec.matrix_seed);
+  h = hash_str(h, cell.platform);
+  h = hash_combine(h, static_cast<std::uint64_t>(cell.ranks));
+  h = hash_str(h, cell.app_pair);
+  h = hash_combine(h, static_cast<std::uint64_t>(cell.resolution));
+  h = hash_str(h, cell.fault);
+  h = hash_combine(h, static_cast<std::uint64_t>(cell.rep));
+  return h;
+}
+
+/// Anchor cells are always kept by sampling: the calm rd/p2 core at the
+/// heaviest resolution under the first objective, across every platform
+/// and rank count — the stable spine baselines and frontiers rely on.
+bool is_anchor(const AxisSpec& axes, const GridCell& cell) {
+  return cell.fault == "calm" && cell.skewlb == "calm" && cell.rep == 0 &&
+         cell.app_pair == axes.app_pairs.front() &&
+         cell.resolution == axes.resolutions.back() &&
+         cell.objective == axes.objectives.front();
+}
+
+}  // namespace
+
+AxisSpec default_axes() {
+  AxisSpec axes;
+  axes.platforms = {"puma", "ellipse", "lagrange", "ec2", "ec2-spot"};
+  axes.ranks = core::paper_process_counts();
+  axes.app_pairs = {"rd/p2", "ns/p1p1", "ns/p2p1"};
+  axes.resolutions = {10, 20};
+  axes.fault_policies = {"calm", "flaky-scratch", "flaky-ckpt"};
+  axes.skew_balance = {"calm", "skew", "skew-balanced"};
+  axes.objectives = {"time", "cost", "effective"};
+  axes.seed_reps = 2;
+  return axes;
+}
+
+MatrixSpec preset(const std::string& name) {
+  MatrixSpec spec;
+  spec.name = name;
+  spec.axes = default_axes();
+  if (name == "full") {
+    return spec;
+  }
+  if (name == "ci") {
+    spec.sample_cells = 500;
+    return spec;
+  }
+  if (name == "smoke") {
+    spec.sample_cells = 64;
+    return spec;
+  }
+  throw Error("unknown --matrix preset: " + name +
+              " (expected full|ci|smoke)");
+}
+
+std::int64_t cardinality(const AxisSpec& axes) {
+  return static_cast<std::int64_t>(axes.platforms.size()) *
+         static_cast<std::int64_t>(axes.ranks.size()) *
+         static_cast<std::int64_t>(axes.app_pairs.size()) *
+         static_cast<std::int64_t>(axes.resolutions.size()) *
+         static_cast<std::int64_t>(axes.fault_policies.size()) *
+         static_cast<std::int64_t>(axes.skew_balance.size()) *
+         static_cast<std::int64_t>(axes.objectives.size()) *
+         static_cast<std::int64_t>(axes.seed_reps);
+}
+
+std::vector<GridCell> expand(const MatrixSpec& spec) {
+  const AxisSpec& axes = spec.axes;
+  HETERO_REQUIRE(!axes.platforms.empty() && !axes.ranks.empty() &&
+                     !axes.app_pairs.empty() && !axes.resolutions.empty() &&
+                     !axes.fault_policies.empty() &&
+                     !axes.skew_balance.empty() && !axes.objectives.empty() &&
+                     axes.seed_reps >= 1,
+                 "grid axes must all be non-empty");
+  const std::int64_t total = cardinality(axes);
+  HETERO_REQUIRE(spec.sample_cells >= 0 && spec.sample_cells <= total,
+                 "grid sample size must be within the matrix cardinality (" +
+                     std::to_string(total) + " cells)");
+
+  std::vector<GridCell> cells;
+  cells.reserve(static_cast<std::size_t>(total));
+  std::int64_t index = 0;
+  for (const std::string& platform : axes.platforms) {
+    for (const int ranks : axes.ranks) {
+      for (const std::string& pair : axes.app_pairs) {
+        for (const int resolution : axes.resolutions) {
+          for (const std::string& fault : axes.fault_policies) {
+            for (const std::string& skewlb : axes.skew_balance) {
+              for (int rep = 0; rep < axes.seed_reps; ++rep) {
+                for (const std::string& objective : axes.objectives) {
+                  GridCell cell;
+                  cell.index = index++;
+                  cell.platform = platform;
+                  cell.ranks = ranks;
+                  cell.app_pair = pair;
+                  cell.resolution = resolution;
+                  cell.fault = fault;
+                  cell.skewlb = skewlb;
+                  cell.objective = objective;
+                  cell.rep = rep;
+                  cell.stochastic = is_stochastic(platform, fault, skewlb);
+
+                  core::Experiment& e = cell.experiment;
+                  e.mode = core::Mode::kModeled;
+                  apply_platform(platform, &e);
+                  apply_app_pair(pair, &e);
+                  e.ranks = ranks;
+                  e.cells_per_rank_axis = resolution;
+                  apply_fault(fault, &e);
+                  apply_skewlb(skewlb, &e);
+                  e.seed = cell_seed(spec, cell);
+                  cells.push_back(std::move(cell));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (spec.sample_cells == 0 || spec.sample_cells == total) {
+    return cells;
+  }
+  // Deterministic sample: anchors first (in index order), the remainder
+  // ranked by a hash of (sample seed, index); final order is by index.
+  std::vector<std::int64_t> order(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    order[i] = static_cast<std::int64_t>(i);
+  }
+  auto rank_of = [&](std::int64_t i) -> std::pair<int, std::uint64_t> {
+    const GridCell& c = cells[static_cast<std::size_t>(i)];
+    if (is_anchor(axes, c)) {
+      return {0, static_cast<std::uint64_t>(c.index)};
+    }
+    return {1, hash_combine(hash_mix(spec.sample_seed),
+                            static_cast<std::uint64_t>(c.index))};
+  };
+  std::sort(order.begin(), order.end(),
+            [&](std::int64_t a, std::int64_t b) {
+              const auto ra = rank_of(a);
+              const auto rb = rank_of(b);
+              // Index is unique, so ties in the hash cannot leave the
+              // comparator unstable.
+              return ra != rb ? ra < rb : a < b;
+            });
+  order.resize(static_cast<std::size_t>(spec.sample_cells));
+  std::sort(order.begin(), order.end());
+  std::vector<GridCell> sampled;
+  sampled.reserve(order.size());
+  for (const std::int64_t i : order) {
+    sampled.push_back(cells[static_cast<std::size_t>(i)]);
+  }
+  return sampled;
+}
+
+std::string cell_label(const GridCell& cell) {
+  std::string pair = cell.app_pair;
+  std::replace(pair.begin(), pair.end(), '/', '-');
+  return cell.platform + "/" + std::to_string(cell.ranks) + "/" + pair +
+         "/c" + std::to_string(cell.resolution) + "/" + cell.fault + "/" +
+         cell.skewlb + "/" + cell.objective + "/r" + std::to_string(cell.rep);
+}
+
+double score_cell(const GridCell& cell, const core::ExperimentResult& result,
+                  int iterations) {
+  HETERO_REQUIRE(result.launched, "score_cell needs a launched result");
+  HETERO_REQUIRE(iterations >= 1, "score_cell needs iterations >= 1");
+  // The same accounting the broker's objectives rank: the production run
+  // is `iterations` modeled iterations, effective time folds in queue wait
+  // and the one-time porting effort (§VIII), and dead fault attempts bill
+  // their wasted dollars.
+  broker::Prediction p;
+  p.launched = true;
+  p.queue_wait_s = result.queue_wait_s;
+  p.provisioning_hours = result.provisioning_hours;
+  p.seconds_per_iteration = result.iteration.total_s;
+  p.run_s = result.iteration.total_s * iterations;
+  p.cost_usd = result.cost_per_iteration_usd * iterations +
+               result.resil.wasted_cost_usd;
+  p.effective_s =
+      p.queue_wait_s + p.provisioning_hours * kSecondsPerHour + p.run_s;
+  return broker::objective_by_name(cell.objective).score(p);
+}
+
+}  // namespace hetero::grid

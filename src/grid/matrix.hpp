@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file matrix.hpp
+/// The grid-benchmark matrix: a deterministic, seed-stable cross product of
+/// every axis the repo can vary — platform (including the EC2 spot-mix
+/// assembly), rank count, solver/app, element pair, fault policy,
+/// skew/balance treatment, broker objective, and a replica axis — expanded
+/// into tens of thousands of experiment descriptors. This is the repo's
+/// standing machine-readable benchmark (the SEE V.O. grid-benchmarking
+/// technical report is the model): every cell is an `core::Experiment` the
+/// CampaignEngine can evaluate, memoize, and replay byte-identically.
+///
+/// Determinism contract:
+///   * expansion order is fixed (nested loops, outermost platform), so cell
+///     indices are dense and stable for a given axis spec;
+///   * *calm* cells (no faults, no skew, not spot-mix) carry a constant
+///     experiment seed (42 + replica) — they form the stable comparable
+///     core of the standing report and must not move when the matrix seed
+///     is perturbed;
+///   * *stochastic* cells (injected launch faults, per-rank skew, or the
+///     EC2 spot lottery) hash their seed from (matrix seed, cell
+///     coordinates) — excluding the skew/balance and objective axes, so a
+///     balanced projection shares its fault and skew draws with its
+///     unbalanced twin and objectives re-score one shared result.
+///
+/// See docs/grid_benchmark.md for the report schema and invariants.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace hetero::grid {
+
+/// Runner seed every grid engine must use: the matrix seed perturbs only
+/// per-cell experiment seeds, never the runner stream, so calm cells are
+/// comparable across differently-seeded grid runs.
+inline constexpr std::uint64_t kGridRunnerSeed = 42;
+
+/// Axis value lists; the cross product of all of them is the full matrix.
+struct AxisSpec {
+  /// Platform labels; "ec2-spot" is ec2 with the paper's 4-placement-group
+  /// spot-mix assembly.
+  std::vector<std::string> platforms;
+  std::vector<int> ranks;
+  /// Solver x element pair: "rd/p2" (P2 scalar reaction-diffusion),
+  /// "ns/p1p1" (stabilized equal-order), "ns/p2p1" (Taylor-Hood).
+  std::vector<std::string> app_pairs;
+  /// Elements per axis per rank (weak-scaling load).
+  std::vector<int> resolutions;
+  /// "calm", "flaky-scratch", "flaky-ckpt" (transient launch faults under
+  /// the named recovery policy).
+  std::vector<std::string> fault_policies;
+  /// "calm", "skew" (2x slow cores, bulk-synchronous), "skew-balanced"
+  /// (same skew under the analytic capacity-balanced projection).
+  std::vector<std::string> skew_balance;
+  /// Broker objectives re-scoring each cell: "time", "cost", "effective".
+  std::vector<std::string> objectives;
+  /// Replica axis: independent seeds per replica.
+  int seed_reps = 1;
+};
+
+/// Everything needed to reproduce a matrix bit for bit.
+struct MatrixSpec {
+  /// Preset name this spec came from ("full", "ci", "smoke", "custom").
+  std::string name = "full";
+  AxisSpec axes;
+  /// Perturbs stochastic cells only (see file comment).
+  std::uint64_t matrix_seed = 42;
+  /// Production iterations each cell's score is computed over.
+  int iterations = 100;
+  /// 0 = every cell; otherwise a deterministic sample of this many cells
+  /// (anchor cells always included, remainder ranked by hash).
+  std::int64_t sample_cells = 0;
+  std::uint64_t sample_seed = 7;
+};
+
+/// One expanded cell: the axis coordinates plus the materialized
+/// experiment descriptor.
+struct GridCell {
+  /// Dense index in full cross-product order (stable cell id).
+  std::int64_t index = 0;
+  std::string platform;
+  int ranks = 0;
+  std::string app_pair;
+  int resolution = 0;
+  std::string fault;
+  std::string skewlb;
+  std::string objective;
+  int rep = 0;
+  /// True when the cell's seed derives from the matrix seed (faults, skew,
+  /// or the spot lottery); false for the stable calm core.
+  bool stochastic = false;
+  core::Experiment experiment;
+};
+
+/// The default axes: 5 platforms x 10 rank counts x 3 app/pair combos x
+/// 2 resolutions x 3 fault policies x 3 skew treatments x 3 objectives x
+/// 2 replicas = 16200 cells.
+AxisSpec default_axes();
+
+/// Named presets: "full" (every cell), "ci" (500-cell sample),
+/// "smoke" (64-cell sample). Throws on unknown names.
+MatrixSpec preset(const std::string& name);
+
+/// Exact cell count of the cross product.
+std::int64_t cardinality(const AxisSpec& axes);
+
+/// Expands the spec into its cell list: the full product in index order,
+/// or the deterministic sample when `sample_cells` > 0 (still sorted by
+/// cell index). Throws when the sample size exceeds the cardinality.
+std::vector<GridCell> expand(const MatrixSpec& spec);
+
+/// Compact coordinate label, e.g.
+/// "ec2-spot/343/ns-p2p1/c20/flaky-ckpt/skew/cost/r1" — unique per cell.
+std::string cell_label(const GridCell& cell);
+
+/// Scores a launched cell result under the cell's broker objective (lower
+/// is better), over `iterations` production iterations: builds the same
+/// effective-time/cost accounting the broker's objectives rank.
+double score_cell(const GridCell& cell, const core::ExperimentResult& result,
+                  int iterations);
+
+}  // namespace hetero::grid

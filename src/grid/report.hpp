@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file report.hpp
+/// Sharded execution and the `heterolab-grid-v1` JSONL report.
+///
+/// Execution streams the matrix through a `core::CampaignEngine` shard by
+/// shard, so a persistent result store (`--store`) checkpoints progress at
+/// shard granularity: an interrupted run restarted against the same store
+/// replays finished shards from disk and completes with a final report
+/// byte-identical to an uninterrupted run (the resume contract CI gates).
+///
+/// The report is fully deterministic — no timestamps, wall-clock readings,
+/// or machine facts; engine/backend statistics go to stderr, never into the
+/// report. Record order: one `header`, every `cell` in index order, one
+/// `capability` per platform, `frontier` points per app pair, one
+/// `summary`. See docs/grid_benchmark.md for the schema and the cross-cell
+/// invariants `tools/check_bench.py --schema grid` enforces.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/campaign_engine.hpp"
+#include "grid/matrix.hpp"
+#include "obs/json.hpp"
+
+namespace hetero::grid {
+
+inline constexpr const char* kGridSchema = "heterolab-grid-v1";
+
+struct GridRunOptions {
+  /// Cells evaluated per engine batch; the resume granularity.
+  int shard_size = 512;
+  /// Test hook for the interrupt-resume gate: after this many completed
+  /// shards, raise SIGTERM against the own process (0 = never). With the
+  /// CLI's shutdown guard installed the process flushes and exits 143,
+  /// leaving the result store holding exactly the finished shards.
+  int abort_after_shards = 0;
+  /// Progress callback after each shard: (completed shards, total shards,
+  /// completed cells, total cells). Null = silent.
+  std::function<void(int, int, std::int64_t, std::int64_t)> progress;
+};
+
+/// Evaluates the cells shard by shard; results[i] corresponds to cells[i].
+/// Cells sharing an experiment descriptor (the objective axis) are
+/// computed once by the engine's memoization.
+std::vector<core::ExperimentResult> run_cells(
+    core::CampaignEngine& engine, const std::vector<GridCell>& cells,
+    const GridRunOptions& options = {});
+
+/// Builds the heterolab-grid-v1 records for an evaluated matrix.
+/// `runner_seed` must be the engine seed the results were computed under
+/// (kGridRunnerSeed for grid runs); it feeds the per-cell skew-imbalance
+/// reporting and the unique-experiment count.
+std::vector<obs::Json> build_report(
+    const MatrixSpec& spec, const std::vector<GridCell>& cells,
+    const std::vector<core::ExperimentResult>& results,
+    std::uint64_t runner_seed);
+
+/// Writes records as JSONL (one compact line each) to `path`, or to stdout
+/// when `path` is "-".
+void write_report(const std::vector<obs::Json>& records,
+                  const std::string& path);
+
+}  // namespace hetero::grid

@@ -44,6 +44,14 @@ apps::WorkCounts work_per_rank(const ModelConfig& config, int ranks) {
     w.local_rows = 8 * n * n * n;
     w.matrix_entries_assembled = w.local_tets * 10 * 10;
     w.local_nonzeros = 27 * w.local_rows;
+  } else if (config.ns_velocity_order >= 2) {
+    // Taylor-Hood P2/P1: 3 velocity components at ~8 dofs per cell plus
+    // 1 pressure dof per vertex (~1 per cell) -> ~25 rows per cell;
+    // 34-dof tet blocks (3 x 10 velocity + 4 pressure) and the wider P2
+    // stencil push the row density to ~50 nonzeros.
+    w.local_rows = 25 * n * n * n;
+    w.matrix_entries_assembled = w.local_tets * 34 * 34;
+    w.local_nonzeros = 50 * w.local_rows;
   } else {
     // P1 4-component blocks: 4 dofs per vertex (~1 vertex per cell),
     // (4x4)^2 element blocks, ~37 nonzeros per block row.
@@ -73,11 +81,16 @@ std::int64_t halo_dofs_per_rank(const ModelConfig& config, int ranks) {
     return 0;
   }
   // Dofs on one n x n cell interface: P2 carries vertices + in-face edges
-  // (~4 n^2); the 4-component P1 system carries 4 (n+1)^2.
-  const std::int64_t per_face =
-      config.app == AppKind::kReactionDiffusion
-          ? 4 * n * n
-          : 4 * (n + 1) * (n + 1);
+  // (~4 n^2); the 4-component P1 system carries 4 (n+1)^2; Taylor-Hood
+  // carries three P2 velocity components plus the P1 pressure trace.
+  std::int64_t per_face;
+  if (config.app == AppKind::kReactionDiffusion) {
+    per_face = 4 * n * n;
+  } else if (config.ns_velocity_order >= 2) {
+    per_face = 3 * 4 * n * n + (n + 1) * (n + 1);
+  } else {
+    per_face = 4 * (n + 1) * (n + 1);
+  }
   return faces * per_face;
 }
 

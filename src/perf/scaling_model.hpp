@@ -40,6 +40,11 @@ struct ModelConfig {
   double allreduces_per_iteration = 3.0;
   /// Halo exchanges per Krylov iteration (one per operator apply).
   double halo_exchanges_per_iteration = 1.0;
+  /// Navier–Stokes velocity element order: 1 = the stabilized equal-order
+  /// P1/P1 pair, 2 = the Taylor–Hood P2/P1 pair (quadratic velocity,
+  /// linear pressure — inf-sup stable without stabilization, at ~6x the
+  /// dofs and denser element blocks). Ignored by the RD model.
+  int ns_velocity_order = 1;
 };
 
 /// Built-in configurations for the two applications.

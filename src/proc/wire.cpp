@@ -133,6 +133,7 @@ std::string encode_experiment(const core::Experiment& e) {
   put_string(out, e.platform);
   put_i64(out, e.ranks);
   put_i64(out, e.cells_per_rank_axis);
+  put_i64(out, e.element_order);
   put_i64(out, static_cast<std::int64_t>(e.mode));
   put_i64(out, e.direct_steps);
   put_bool(out, e.ec2_spot_mix);
@@ -168,6 +169,7 @@ std::string encode_experiment(const core::Experiment& e) {
   put_double(out, e.skew.noise_rate);
   put_double(out, e.skew.noise_factor);
   put_double(out, e.skew.window_s);
+  put_bool(out, e.skew_assume_balanced);
   put_bool(out, e.balance.enabled);
   put_double(out, e.balance.threshold);
   put_i64(out, e.balance.check_every);
@@ -193,6 +195,7 @@ core::Experiment decode_experiment(const std::string& bytes) {
   e.platform = in.str();
   e.ranks = in.i32();
   e.cells_per_rank_axis = in.i32();
+  e.element_order = in.i32();
   e.mode = static_cast<core::Mode>(in.i64());
   e.direct_steps = in.i32();
   e.ec2_spot_mix = in.boolean();
@@ -228,6 +231,7 @@ core::Experiment decode_experiment(const std::string& bytes) {
   e.skew.noise_rate = in.f64();
   e.skew.noise_factor = in.f64();
   e.skew.window_s = in.f64();
+  e.skew_assume_balanced = in.boolean();
   e.balance.enabled = in.boolean();
   e.balance.threshold = in.f64();
   e.balance.check_every = in.i32();

@@ -49,7 +49,7 @@ bool recv_frame(int fd, Frame* out);
 
 /// Version tag of the experiment encoding; bumped on layout changes so a
 /// mixed-build supervisor/worker pair fails loudly instead of misreading.
-inline constexpr unsigned char kExperimentCodecVersion = 1;
+inline constexpr unsigned char kExperimentCodecVersion = 2;
 
 std::string encode_experiment(const core::Experiment& experiment);
 

@@ -114,4 +114,71 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "unknown flag --no-such-flag was accepted")
 endif()
 
+# --- grid flag-interaction audit ---------------------------------------------
+# Same contract as above, for any subcommand.
+
+function(expect_cmd rc_kind reason_substring)
+  execute_process(
+    COMMAND ${HETEROLAB} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc_kind STREQUAL "fail")
+    if(rc EQUAL 0)
+      message(FATAL_ERROR "expected non-zero exit for: ${ARGN}")
+    endif()
+    if(NOT err MATCHES "${reason_substring}")
+      message(FATAL_ERROR
+        "stderr should name the failure ('${reason_substring}') for "
+        "${ARGN}; got stderr: ${err}")
+    endif()
+    if(out MATCHES "${reason_substring}")
+      message(FATAL_ERROR
+        "the failure reason leaked to stdout for ${ARGN}: ${out}")
+    endif()
+  else()
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "expected exit 0 for: ${ARGN}; rc=${rc} stderr: ${err}")
+    endif()
+  endif()
+endfunction()
+
+# A preset is a fixed cell set; a custom sample is another. Never both.
+expect_cmd(fail
+  "--matrix picks a preset cell set. it conflicts with --cells N .pick one."
+  grid --matrix ci --cells 10 --out -)
+
+# Sampling riders without their principal flag are silent no-ops waiting
+# to happen.
+expect_cmd(fail "--sample-seed seeds the --cells sample: pass --cells N"
+  grid --sample-seed 9 --out -)
+expect_cmd(fail
+  "--abort-after-shards interrupts a resumable run: pass --store PATH"
+  grid --abort-after-shards 1 --out -)
+
+# Degenerate values fail fast with the flag named.
+expect_cmd(fail "--cells needs at least one cell"
+  grid --cells 0 --out -)
+expect_cmd(fail "--iterations must be positive"
+  grid --matrix smoke --iterations 0 --out -)
+expect_cmd(fail "--shard-size must be positive"
+  grid --matrix smoke --shard-size 0 --out -)
+
+# Unknown presets are rejected before any expansion work.
+expect_cmd(fail "unknown --matrix preset: nightly .expected full.ci.smoke."
+  grid --matrix nightly --out -)
+
+# The happy path: the smoke preset renders a report to stdout.
+expect_cmd(ok "" grid --matrix smoke --out -)
+
+# Unknown flags on grid are rejected like everywhere else.
+execute_process(
+  COMMAND ${HETEROLAB} grid --frobnicate 1 --out -
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown flag --frobnicate was accepted by grid")
+endif()
+
 message(STATUS "cli_failure_test passed")

@@ -1,0 +1,366 @@
+// Tests for the grid-benchmark matrix: exact cross-product expansion,
+// seed-stability of the calm core, cache-key injectivity modulo the
+// objective axis, and the differential contract of the standing report —
+// byte-identical across jobs levels, across the in-process and
+// multi-process backends, across a cold store replay, and across a
+// mid-run SIGTERM plus resume.
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/campaign_engine.hpp"
+#include "core/experiment.hpp"
+#include "grid/matrix.hpp"
+#include "grid/report.hpp"
+#include "proc/supervisor.hpp"
+#include "support/error.hpp"
+#include "svc/memo_store.hpp"
+#include "svc/result_codec.hpp"
+
+namespace hetero::grid {
+namespace {
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name) : path("/tmp/" + name) {
+    std::string cmd = "rm -rf " + path;
+    std::system(cmd.c_str());
+    ::mkdir(path.c_str(), 0755);
+  }
+  ~TempDir() {
+    std::string cmd = "rm -rf " + path;
+    std::system(cmd.c_str());
+  }
+};
+
+/// The 200-cell sampled sub-matrix every differential case runs.
+MatrixSpec differential_spec() {
+  MatrixSpec spec = preset("full");
+  spec.sample_cells = 200;
+  return spec;
+}
+
+/// Evaluates the spec through `engine` and renders the report lines.
+std::vector<std::string> report_lines(const MatrixSpec& spec,
+                                      core::CampaignEngine& engine,
+                                      const GridRunOptions& options = {}) {
+  const auto cells = expand(spec);
+  const auto results = run_cells(engine, cells, options);
+  std::vector<std::string> lines;
+  for (const auto& record :
+       build_report(spec, cells, results, kGridRunnerSeed)) {
+    lines.push_back(record.dump());
+  }
+  return lines;
+}
+
+std::vector<std::string> reference_lines(const MatrixSpec& spec) {
+  core::CampaignEngine engine(kGridRunnerSeed, {.jobs = 1});
+  return report_lines(spec, engine);
+}
+
+/// Axis coordinates without the objective (cells differing only in
+/// objective share one experiment descriptor).
+using CellCoord = std::tuple<std::string, int, std::string, int, std::string,
+                             std::string, int>;
+
+CellCoord coord_modulo_objective(const GridCell& cell) {
+  return {cell.platform, cell.ranks,   cell.app_pair, cell.resolution,
+          cell.fault,    cell.skewlb,  cell.rep};
+}
+
+TEST(Matrix, CardinalityIsTheExactCrossProduct) {
+  const MatrixSpec spec = preset("full");
+  const auto cells = expand(spec);
+  EXPECT_EQ(cardinality(spec.axes), 5LL * 10 * 3 * 2 * 3 * 3 * 3 * 2);
+  ASSERT_EQ(static_cast<std::int64_t>(cells.size()), cardinality(spec.axes));
+  // Indices dense and in order; labels unique (no duplicate descriptors).
+  std::set<std::string> labels;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, static_cast<std::int64_t>(i));
+    EXPECT_TRUE(labels.insert(cell_label(cells[i])).second)
+        << "duplicate cell " << cell_label(cells[i]);
+  }
+}
+
+TEST(Matrix, ExpansionIsSeedStable) {
+  for (const char* name : {"full", "ci", "smoke"}) {
+    const MatrixSpec spec = preset(name);
+    const auto a = expand(spec);
+    const auto b = expand(spec);
+    ASSERT_EQ(a.size(), b.size()) << name;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].index, b[i].index);
+      EXPECT_EQ(cell_label(a[i]), cell_label(b[i]));
+      EXPECT_EQ(a[i].experiment.seed, b[i].experiment.seed);
+    }
+  }
+}
+
+TEST(Matrix, SamplesKeepEveryAnchorCell) {
+  // Anchors: calm rd/p2 c20 time rep0 — one per (platform, ranks), and
+  // every preset keeps all 50 so reports stay comparable across presets.
+  for (const char* name : {"ci", "smoke"}) {
+    const auto cells = expand(preset(name));
+    int anchors = 0;
+    for (const auto& cell : cells) {
+      if (cell.fault == "calm" && cell.skewlb == "calm" && cell.rep == 0 &&
+          cell.app_pair == "rd/p2" && cell.resolution == 20 &&
+          cell.objective == "time") {
+        ++anchors;
+      }
+    }
+    EXPECT_EQ(anchors, 5 * 10) << name;
+  }
+}
+
+TEST(Matrix, PresetRejectsUnknownNames) {
+  EXPECT_THROW(preset("fulll"), Error);
+  try {
+    preset("nightly");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(),
+                 "unknown --matrix preset: nightly (expected full|ci|smoke)");
+  }
+}
+
+TEST(Matrix, SampleLargerThanCardinalityThrows) {
+  MatrixSpec spec = preset("full");
+  spec.sample_cells = cardinality(spec.axes) + 1;
+  EXPECT_THROW(expand(spec), Error);
+}
+
+TEST(Matrix, CacheKeyInjectiveModuloObjective) {
+  // Over a 1000-cell sample: cells sharing coordinates-minus-objective
+  // share one cache key (objectives re-score one computed result), and
+  // distinct coordinates never collide.
+  MatrixSpec spec = preset("full");
+  spec.sample_cells = 1000;
+  const auto cells = expand(spec);
+  std::map<std::string, std::set<CellCoord>> by_key;
+  std::map<CellCoord, std::set<std::string>> by_coord;
+  for (const auto& cell : cells) {
+    const std::string key =
+        core::experiment_cache_key(cell.experiment, kGridRunnerSeed);
+    by_key[key].insert(coord_modulo_objective(cell));
+    by_coord[coord_modulo_objective(cell)].insert(key);
+  }
+  for (const auto& [key, coords] : by_key) {
+    EXPECT_EQ(coords.size(), 1u) << "cache key collides across cells: " << key;
+  }
+  for (const auto& [coord, keys] : by_coord) {
+    EXPECT_EQ(keys.size(), 1u) << "one cell maps to several cache keys";
+  }
+  EXPECT_EQ(by_key.size(), by_coord.size());
+}
+
+TEST(Matrix, SeedPerturbationMovesEveryStochasticCellAndNoCalmCell) {
+  MatrixSpec base = preset("full");
+  MatrixSpec perturbed = base;
+  perturbed.matrix_seed = 43;
+  const auto a = expand(base);
+  const auto b = expand(perturbed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stochastic, b[i].stochastic);
+    if (a[i].stochastic) {
+      EXPECT_NE(a[i].experiment.seed, b[i].experiment.seed)
+          << "stochastic cell pinned across matrix seeds: "
+          << cell_label(a[i]);
+    } else {
+      EXPECT_EQ(a[i].experiment.seed, b[i].experiment.seed)
+          << "calm cell moved with the matrix seed: " << cell_label(a[i]);
+    }
+  }
+}
+
+TEST(Matrix, BalancedTwinSharesItsSkewDraws) {
+  // The balanced projection must re-score the *same* lottery, so its seed
+  // (and everything else but the balance flag) matches its unbalanced twin.
+  const auto cells = expand(preset("full"));
+  std::map<CellCoord, const GridCell*> skewed;
+  for (const auto& cell : cells) {
+    if (cell.skewlb == "skew" && cell.objective == "time") {
+      CellCoord c = coord_modulo_objective(cell);
+      std::get<5>(c) = "skew-balanced";
+      skewed[c] = &cell;
+    }
+  }
+  int pairs = 0;
+  for (const auto& cell : cells) {
+    if (cell.skewlb != "skew-balanced" || cell.objective != "time") continue;
+    const auto it = skewed.find(coord_modulo_objective(cell));
+    ASSERT_NE(it, skewed.end()) << cell_label(cell);
+    EXPECT_EQ(cell.experiment.seed, it->second->experiment.seed);
+    EXPECT_TRUE(cell.experiment.skew_assume_balanced);
+    EXPECT_FALSE(it->second->experiment.skew_assume_balanced);
+    ++pairs;
+  }
+  EXPECT_GT(pairs, 0);
+}
+
+TEST(Experiment, TaylorHoodModelsHeavierThanEqualOrder) {
+  core::Experiment p1p1;
+  p1p1.platform = "ec2";
+  p1p1.ranks = 64;
+  p1p1.app = perf::AppKind::kNavierStokes;
+  core::Experiment p2p1 = p1p1;
+  p2p1.element_order = 2;
+  core::ExperimentRunner runner(kGridRunnerSeed);
+  const auto base = runner.run(p1p1);
+  const auto th = runner.run(p2p1);
+  ASSERT_TRUE(base.launched && th.launched);
+  EXPECT_GT(th.iteration.total_s, base.iteration.total_s)
+      << "the Taylor-Hood velocity space carries ~8x the velocity DoFs";
+}
+
+TEST(Experiment, TaylorHoodRequiresNavierStokes) {
+  core::Experiment e;
+  e.platform = "puma";
+  e.ranks = 8;
+  e.app = perf::AppKind::kReactionDiffusion;
+  e.element_order = 2;
+  core::ExperimentRunner runner(kGridRunnerSeed);
+  try {
+    runner.run(e);
+    FAIL() << "order-2 reaction-diffusion must be rejected";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find(
+                  "the Taylor-Hood pair applies to the Navier-Stokes app "
+                  "only (reaction-diffusion is a fixed P2 scalar "
+                  "discretization)"),
+              std::string::npos)
+        << err.what();
+  }
+}
+
+TEST(Report, ByteIdenticalAcrossJobsLevels) {
+  const MatrixSpec spec = differential_spec();
+  const auto reference = reference_lines(spec);
+  core::CampaignEngine parallel(kGridRunnerSeed, {.jobs = 8});
+  EXPECT_EQ(report_lines(spec, parallel), reference);
+}
+
+TEST(Report, ByteIdenticalAcrossProcessBackends) {
+  const MatrixSpec spec = differential_spec();
+  // Fork the worker pool before the reference engine spins up its thread
+  // pool (fork-after-threads deadlocks).
+  proc::ProcOptions popt;
+  popt.workers = 4;
+  proc::Supervisor supervisor(kGridRunnerSeed, popt);
+  const auto reference = reference_lines(spec);
+  core::CampaignEngineOptions opt;
+  opt.executor = &supervisor;
+  core::CampaignEngine engine(kGridRunnerSeed, opt);
+  EXPECT_EQ(report_lines(spec, engine), reference);
+  EXPECT_GT(supervisor.stats().jobs_dispatched, 0u);
+}
+
+TEST(Report, ColdStoreReplayIsByteIdentical) {
+  const MatrixSpec spec = differential_spec();
+  const auto reference = reference_lines(spec);
+  TempDir dir("grid_test_store");
+  const std::string path = dir.path + "/memo.log";
+  {
+    svc::MemoStore store(path);
+    svc::MemoResultStore adapter(store);
+    core::CampaignEngineOptions opt;
+    opt.jobs = 1;
+    opt.result_store = &adapter;
+    core::CampaignEngine engine(kGridRunnerSeed, opt);
+    EXPECT_EQ(report_lines(spec, engine), reference);
+    EXPECT_EQ(engine.stats().store_hits, 0u);
+  }
+  // A cold process replays every unique experiment from disk: no compute.
+  svc::MemoStore store(path);
+  svc::MemoResultStore adapter(store);
+  core::CampaignEngineOptions opt;
+  opt.jobs = 1;
+  opt.result_store = &adapter;
+  core::CampaignEngine engine(kGridRunnerSeed, opt);
+  EXPECT_EQ(report_lines(spec, engine), reference);
+  EXPECT_EQ(engine.stats().store_hits, engine.stats().cache_misses);
+  EXPECT_EQ(engine.stats().jobs_run, 0u);
+}
+
+TEST(Report, SigtermMidRunThenResumeIsByteIdentical) {
+  const MatrixSpec spec = differential_spec();
+  const auto reference = reference_lines(spec);
+  TempDir dir("grid_test_resume");
+  const std::string path = dir.path + "/memo.log";
+
+  // Child: run the grid against the store and die by SIGTERM after two of
+  // the eight 25-cell shards. The store's appends go straight to the fd,
+  // so the finished shards survive the kill.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    svc::MemoStore store(path);
+    svc::MemoResultStore adapter(store);
+    core::CampaignEngineOptions opt;
+    opt.jobs = 1;
+    opt.result_store = &adapter;
+    core::CampaignEngine engine(kGridRunnerSeed, opt);
+    GridRunOptions run;
+    run.shard_size = 25;
+    run.abort_after_shards = 2;
+    report_lines(spec, engine, run);
+    ::_exit(7);  // unreachable: the abort hook must have killed us
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of dying";
+  EXPECT_EQ(WTERMSIG(status), SIGTERM);
+
+  // Resume against the same store: finished shards replay from disk, the
+  // rest compute, and the final report matches the uninterrupted one.
+  svc::MemoStore store(path);
+  ASSERT_GT(store.size(), 0u) << "no shard survived the kill";
+  svc::MemoResultStore adapter(store);
+  core::CampaignEngineOptions opt;
+  opt.jobs = 1;
+  opt.result_store = &adapter;
+  core::CampaignEngine engine(kGridRunnerSeed, opt);
+  EXPECT_EQ(report_lines(spec, engine), reference);
+  EXPECT_GT(engine.stats().store_hits, 0u);
+  EXPECT_LT(engine.stats().jobs_run, engine.stats().cache_misses);
+}
+
+TEST(Report, BalancedNeverModelsSlowerThanUnbalanced) {
+  MatrixSpec spec = preset("full");
+  spec.sample_cells = 400;
+  const auto cells = expand(spec);
+  core::CampaignEngine engine(kGridRunnerSeed);
+  const auto results = run_cells(engine, cells);
+  std::map<CellCoord, double> unbalanced;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].skewlb == "skew" && results[i].launched) {
+      CellCoord c = coord_modulo_objective(cells[i]);
+      std::get<5>(c) = "skew-balanced";
+      unbalanced[c] = results[i].iteration.total_s;
+    }
+  }
+  int compared = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].skewlb != "skew-balanced" || !results[i].launched) continue;
+    const auto it = unbalanced.find(coord_modulo_objective(cells[i]));
+    if (it == unbalanced.end()) continue;  // twin not in the sample
+    EXPECT_LE(results[i].iteration.total_s, it->second * (1.0 + 1e-9))
+        << cell_label(cells[i]);
+    ++compared;
+  }
+  EXPECT_GT(compared, 0) << "sample carried no launched twin pairs";
+}
+
+}  // namespace
+}  // namespace hetero::grid

@@ -187,6 +187,7 @@ TEST(Wire, ExperimentCodecRoundTripsEveryField) {
   e.platform = "ec2";
   e.ranks = 125;
   e.cells_per_rank_axis = 17;
+  e.element_order = 2;
   e.mode = core::Mode::kDirect;
   e.direct_steps = 9;
   e.ec2_spot_mix = true;
@@ -211,6 +212,7 @@ TEST(Wire, ExperimentCodecRoundTripsEveryField) {
   e.skew.slow_core_factor = 2.5;
   e.skew.slow_core_fraction = 0.25;
   e.skew.noise_rate = 0.1;
+  e.skew_assume_balanced = true;
   e.balance.enabled = true;
   e.balance.mode = "diffuse";
   e.balance.threshold = 1.3;
@@ -221,6 +223,7 @@ TEST(Wire, ExperimentCodecRoundTripsEveryField) {
   EXPECT_EQ(d.platform, e.platform);
   EXPECT_EQ(d.ranks, e.ranks);
   EXPECT_EQ(d.cells_per_rank_axis, e.cells_per_rank_axis);
+  EXPECT_EQ(d.element_order, e.element_order);
   EXPECT_EQ(d.mode, e.mode);
   EXPECT_EQ(d.direct_steps, e.direct_steps);
   EXPECT_EQ(d.ec2_spot_mix, e.ec2_spot_mix);
@@ -238,6 +241,7 @@ TEST(Wire, ExperimentCodecRoundTripsEveryField) {
   EXPECT_EQ(d.rebroker.fallback_platform, e.rebroker.fallback_platform);
   EXPECT_DOUBLE_EQ(d.rebroker.hysteresis, e.rebroker.hysteresis);
   EXPECT_DOUBLE_EQ(d.skew.slow_core_factor, e.skew.slow_core_factor);
+  EXPECT_EQ(d.skew_assume_balanced, e.skew_assume_balanced);
   EXPECT_EQ(d.balance.enabled, e.balance.enabled);
   EXPECT_EQ(d.balance.mode, e.balance.mode);
   EXPECT_DOUBLE_EQ(d.balance.threshold, e.balance.threshold);

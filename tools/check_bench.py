@@ -32,6 +32,27 @@ virtual timestamps non-decreasing within each run label, decision actions
 restricted to stay/migrate, and migration records naming distinct source
 and target platforms plus the checkpoint step they resumed from.
 
+`--schema grid` validates a heterolab-grid-v1 grid-benchmark report
+(docs/grid_benchmark.md): record order (header, cells, capability,
+frontier, summary), per-type required keys, strictly increasing cell ids,
+launched/failed field contracts, the stochastic-flag classification, and
+the *cross-cell* invariants the paper's claims reduce to — a balanced
+skew projection never models slower than its unbalanced twin, frontier
+points reference launched calm cells with matching time/cost and are
+mutually non-dominated, and capability/summary tallies match the cell
+records they summarize.  `--against OTHER.jsonl` additionally compares two
+reports of the same matrix: calm (non-stochastic) cells must be
+byte-identical, and with --expect-stochastic-drift every stochastic cell
+launched in both runs must differ (the seed-perturbation gate).
+--baseline is optional in grid mode; when given, its checks run over the
+report records too.
+
+Cross-record check types (usable from any baseline):
+    {"type": "count", "match": {...}, "min": 1, "max": 10}
+    {"type": "forall", "match": {...}, "field": "total_s",
+     "min": 0.0, "max": 100.0}     # every matching record; empty set
+                                   # fails unless "allow_empty": true
+
 Baseline format (JSON):
     {
       "bench": "fig4_rd_weak_scaling",   # expected "bench" field
@@ -86,6 +107,26 @@ SVC_REQUIRED = {
     "bye": ["served"],
 }
 
+GRID_SCHEMA = "heterolab-grid-v1"
+
+# Required keys per grid record type, beyond the universal schema/type.
+GRID_REQUIRED = {
+    "header": ["matrix", "matrix_seed", "iterations", "cardinality",
+               "cells", "sampled", "axes"],
+    "cell": ["cell", "label", "platform", "ranks", "app_pair",
+             "resolution", "fault", "skewlb", "objective", "rep",
+             "stochastic", "seed", "launched"],
+    "capability": ["platform", "cells", "launched", "failed",
+                   "max_launched_ranks", "reasons"],
+    "frontier": ["app_pair", "seq", "cell", "platform", "ranks", "time_s",
+                 "cost_usd"],
+    "summary": ["cells", "launched", "failed", "stochastic_cells",
+                "calm_cells", "unique_experiments", "frontier_points"],
+}
+
+# Record-type order of a grid report stream.
+GRID_ORDER = ["header", "cell", "capability", "frontier", "summary"]
+
 REBROKER_SCHEMA = "heterolab-rebroker-v1"
 
 # Required keys per rebroker trail record type, beyond schema/type.
@@ -104,18 +145,27 @@ REBROKER_REQUIRED = {
 }
 
 
-def load_jsonl(path):
-    records = []
+def load_jsonl_raw(path):
+    """Parses a JSONL file into (record, raw_line) pairs.
+
+    The raw line (stripped of the newline) backs the byte-identity
+    comparisons of grid mode's --against.
+    """
+    pairs = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, 1):
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                pairs.append((json.loads(line), line))
             except json.JSONDecodeError as err:
                 raise SystemExit(f"{path}:{line_no}: invalid JSON: {err}")
-    return records
+    return pairs
+
+
+def load_jsonl(path):
+    return [record for record, _ in load_jsonl_raw(path)]
 
 
 def matches(record, match):
@@ -202,6 +252,36 @@ def run_check(check, records):
             raise CheckFailure(
                 f"{context}: ratio {ratio:g} > maximum {check['max']:g}")
         return f"{context}: ratio {ratio:g}"
+    if kind == "count":
+        found = [r for r in records if matches(r, check["match"])]
+        if "min" in check and len(found) < int(check["min"]):
+            raise CheckFailure(
+                f"{context}: {len(found)} matching records "
+                f"< minimum {int(check['min'])}")
+        if "max" in check and len(found) > int(check["max"]):
+            raise CheckFailure(
+                f"{context}: {len(found)} matching records "
+                f"> maximum {int(check['max'])}")
+        return f"{context}: {len(found)} records"
+    if kind == "forall":
+        found = [r for r in records if matches(r, check["match"])]
+        if not found and not check.get("allow_empty"):
+            raise CheckFailure(
+                f"{context}: no record matches (a vacuous forall hides "
+                "regressions; add \"allow_empty\": true to permit)")
+        for record in found:
+            if check.get("allow_null") and record.get(check["field"]) is None:
+                continue
+            value = numeric(record, check["field"], context)
+            if "min" in check and value < float(check["min"]):
+                raise CheckFailure(
+                    f"{context}: {value:g} < minimum {check['min']:g} "
+                    f"in {record.get('label') or record}")
+            if "max" in check and value > float(check["max"]):
+                raise CheckFailure(
+                    f"{context}: {value:g} > maximum {check['max']:g} "
+                    f"in {record.get('label') or record}")
+        return f"{context}: holds over {len(found)} records"
     raise CheckFailure(f"unknown check type: {kind!r}")
 
 
@@ -340,6 +420,279 @@ def validate_rebroker_stream(records):
     return failures
 
 
+def grid_twin_key(record):
+    """Groups the skew/skew-balanced twin cells: every axis but skewlb."""
+    return (record.get("platform"), record.get("ranks"),
+            record.get("app_pair"), record.get("resolution"),
+            record.get("fault"), record.get("objective"), record.get("rep"))
+
+
+def validate_grid_report(records):
+    """Structural and cross-cell checks on a heterolab-grid-v1 report.
+
+    Returns a list of failure strings (empty when the report is valid).
+    """
+    failures = []
+    if not records:
+        return ["no records"]
+
+    # Per-record shape and the header/cells/capability/frontier/summary
+    # stream order.
+    stage = 0
+    counts = {rtype: 0 for rtype in GRID_ORDER}
+    for index, record in enumerate(records, 1):
+        where = f"record {index}"
+        if record.get("schema") != GRID_SCHEMA:
+            failures.append(
+                f"{where}: schema {record.get('schema')!r}, "
+                f"expected {GRID_SCHEMA!r}")
+            continue
+        rtype = record.get("type")
+        if rtype not in GRID_REQUIRED:
+            failures.append(f"{where}: unknown record type {rtype!r}")
+            continue
+        counts[rtype] += 1
+        order = GRID_ORDER.index(rtype)
+        if order < stage:
+            failures.append(
+                f"{where}: {rtype} record after a {GRID_ORDER[stage]} "
+                "record — order is header, cells, capability, frontier, "
+                "summary")
+        stage = max(stage, order)
+        for key in GRID_REQUIRED[rtype]:
+            if key not in record:
+                failures.append(f"{where}: {rtype} record missing {key!r}")
+    if counts["header"] != 1 or records[0].get("type") != "header":
+        failures.append("report must start with exactly one header record")
+        return failures  # everything below keys off the header
+    if counts["summary"] != 1 or records[-1].get("type") != "summary":
+        failures.append("report must end with exactly one summary record")
+
+    header = records[0]
+    cells = [r for r in records if r.get("type") == "cell"]
+    if header.get("cells") != len(cells):
+        failures.append(
+            f"header claims {header.get('cells')!r} cells, report carries "
+            f"{len(cells)}")
+
+    # Cell contracts: strictly increasing ids, launched/failed field
+    # shapes, and the stochastic classification (matrix-seed-dependent iff
+    # spot-mix, faults, or skew are in play).
+    last_id = None
+    by_id = {}
+    for record in cells:
+        cid = record.get("cell")
+        where = f"cell {cid}"
+        if not isinstance(cid, int) or isinstance(cid, bool):
+            failures.append(f"cell id {cid!r} is not an integer")
+            continue
+        if last_id is not None and cid <= last_id:
+            failures.append(
+                f"{where}: id after {last_id} — cell ids must be strictly "
+                "increasing (duplicates would alias --against comparisons)")
+        last_id = cid
+        by_id[cid] = record
+        calm = (record.get("platform") != "ec2-spot"
+                and record.get("fault") == "calm"
+                and record.get("skewlb") == "calm")
+        if record.get("stochastic") is not (not calm):
+            failures.append(
+                f"{where}: stochastic={record.get('stochastic')!r} "
+                "contradicts the axes (stochastic iff spot-mix platform, "
+                "faults, or skew)")
+        launched = record.get("launched")
+        if launched is True:
+            for field in ("queue_wait_s", "total_s", "cost_usd", "score",
+                          "run_s", "effective_s", "skew_imbalance"):
+                value = record.get(field)
+                if not isinstance(value, (int, float)) or isinstance(
+                        value, bool):
+                    failures.append(
+                        f"{where}: launched cell field '{field}' is "
+                        f"{value!r}, expected a number")
+            total = record.get("total_s")
+            if isinstance(total, (int, float)) and total <= 0:
+                failures.append(
+                    f"{where}: launched cell total_s {total:g} must be "
+                    "positive")
+        elif launched is False:
+            if not record.get("failure_reason"):
+                failures.append(
+                    f"{where}: failed cell without a failure_reason")
+            for field in ("total_s", "cost_usd", "score"):
+                if record.get(field, "<absent>") is not None:
+                    failures.append(
+                        f"{where}: failed cell field '{field}' must be "
+                        f"null, got {record.get(field, '<absent>')!r}")
+        else:
+            failures.append(f"{where}: launched is {launched!r}, "
+                            "expected true or false")
+
+    # Balanced <= unbalanced: the same skew lottery projected under
+    # perfect capacity balancing must never model slower than the
+    # bulk-synchronous worst-rank wait.
+    twins = {}
+    for record in cells:
+        if (record.get("skewlb") in ("skew", "skew-balanced")
+                and record.get("launched") is True):
+            twins.setdefault(grid_twin_key(record), {})[
+                record["skewlb"]] = record
+    for pair in twins.values():
+        if "skew" not in pair or "skew-balanced" not in pair:
+            continue
+        unbal = pair["skew"].get("total_s")
+        bal = pair["skew-balanced"].get("total_s")
+        if (isinstance(unbal, (int, float)) and isinstance(bal, (int, float))
+                and bal > unbal * (1 + 1e-9)):
+            failures.append(
+                f"cell {pair['skew-balanced'].get('cell')}: balanced "
+                f"modeled time {bal:g} exceeds its unbalanced twin's "
+                f"{unbal:g} (cell {pair['skew'].get('cell')})")
+
+    # Capability tallies must match the cell records they summarize.
+    tally = {}
+    for record in cells:
+        t = tally.setdefault(record.get("platform"), [0, 0])
+        t[0] += 1
+        t[1] += 1 if record.get("launched") is True else 0
+    seen_platforms = set()
+    for record in (r for r in records if r.get("type") == "capability"):
+        platform = record.get("platform")
+        seen_platforms.add(platform)
+        total, launched = tally.get(platform, [0, 0])
+        if record.get("cells") != total:
+            failures.append(
+                f"capability {platform}: claims {record.get('cells')!r} "
+                f"cells, cell records say {total}")
+        if record.get("launched") != launched:
+            failures.append(
+                f"capability {platform}: claims {record.get('launched')!r} "
+                f"launched, cell records say {launched}")
+        if record.get("failed") != total - launched:
+            failures.append(
+                f"capability {platform}: failed "
+                f"{record.get('failed')!r} != cells - launched "
+                f"({total - launched})")
+    missing = set(tally) - seen_platforms
+    if missing:
+        failures.append(
+            f"platforms with cells but no capability record: "
+            f"{sorted(missing)}")
+
+    # Frontier: dense seq per app pair, every point backed by a launched
+    # calm cell with identical time/cost, and mutual non-domination.
+    frontier = [r for r in records if r.get("type") == "frontier"]
+    groups = {}
+    for record in frontier:
+        groups.setdefault(record.get("app_pair"), []).append(record)
+    for pair_name, points in groups.items():
+        for expected_seq, record in enumerate(points):
+            where = f"frontier {pair_name}/{record.get('seq')!r}"
+            if record.get("seq") != expected_seq:
+                failures.append(
+                    f"{where}: expected seq {expected_seq} (dense, "
+                    "in order)")
+            cell = by_id.get(record.get("cell"))
+            if cell is None:
+                failures.append(
+                    f"{where}: references unknown cell "
+                    f"{record.get('cell')!r}")
+                continue
+            if (cell.get("launched") is not True
+                    or cell.get("fault") != "calm"
+                    or cell.get("skewlb") != "calm"):
+                failures.append(
+                    f"{where}: cell {record.get('cell')} is not a "
+                    "launched calm cell")
+            if cell.get("app_pair") != pair_name:
+                failures.append(
+                    f"{where}: cell {record.get('cell')} belongs to "
+                    f"app pair {cell.get('app_pair')!r}")
+            if (record.get("time_s") != cell.get("total_s")
+                    or record.get("cost_usd") != cell.get("cost_usd")):
+                failures.append(
+                    f"{where}: time/cost do not match cell "
+                    f"{record.get('cell')}'s total_s/cost_usd")
+        for a in points:
+            for b in points:
+                if a is b:
+                    continue
+                try:
+                    dominated = (b["time_s"] <= a["time_s"]
+                                 and b["cost_usd"] <= a["cost_usd"]
+                                 and (b["time_s"] < a["time_s"]
+                                      or b["cost_usd"] < a["cost_usd"]))
+                except (KeyError, TypeError):
+                    continue  # shape failures already reported
+                if dominated:
+                    failures.append(
+                        f"frontier {pair_name}: point for cell "
+                        f"{a.get('cell')} is dominated by cell "
+                        f"{b.get('cell')} — frontier members must be "
+                        "mutually non-dominated")
+
+    # Summary tallies.
+    summary = records[-1]
+    if summary.get("type") == "summary":
+        launched = sum(1 for r in cells if r.get("launched") is True)
+        stochastic = sum(1 for r in cells if r.get("stochastic") is True)
+        expected = {
+            "cells": len(cells),
+            "launched": launched,
+            "failed": len(cells) - launched,
+            "stochastic_cells": stochastic,
+            "calm_cells": len(cells) - stochastic,
+            "frontier_points": len(frontier),
+        }
+        for key, value in expected.items():
+            if summary.get(key) != value:
+                failures.append(
+                    f"summary {key} = {summary.get(key)!r}, cell records "
+                    f"say {value}")
+    return failures
+
+
+def compare_grid_reports(pairs, against_pairs, expect_drift):
+    """Differential gate between two reports of the same matrix.
+
+    Calm cells must be byte-identical (re-run / resume / re-seed
+    stability); with expect_drift, stochastic cells launched in both runs
+    must differ (the seed-perturbation gate).
+    """
+    failures = []
+
+    def cell_lines(ps):
+        return {rec.get("cell"): (rec, line)
+                for rec, line in ps if rec.get("type") == "cell"}
+
+    ours = cell_lines(pairs)
+    theirs = cell_lines(against_pairs)
+    shared = [cid for cid in ours if cid in theirs]
+    if not shared:
+        return ["--against: the reports share no cell ids"]
+    calm_checked = 0
+    for cid in shared:
+        rec, line = ours[cid]
+        other_rec, other_line = theirs[cid]
+        if rec.get("stochastic") is False:
+            calm_checked += 1
+            if line != other_line:
+                failures.append(
+                    f"cell {cid}: calm cell drifted between the reports — "
+                    "calm cells must be byte-identical across re-runs, "
+                    "resumes, and matrix re-seeds")
+        elif (expect_drift and rec.get("launched") is True
+              and other_rec.get("launched") is True):
+            if line == other_line:
+                failures.append(
+                    f"cell {cid}: stochastic cell byte-identical across "
+                    "perturbed matrix seeds — its seed did not move")
+    if calm_checked == 0:
+        failures.append("--against: no calm cells shared between the "
+                        "reports (nothing to pin)")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Check bench JSONL output against a baseline.")
@@ -347,16 +700,67 @@ def main():
     parser.add_argument("--baseline",
                         help="baseline JSON from bench/baselines/ "
                              "(required with --schema bench)")
-    parser.add_argument("--schema", choices=["bench", "svc", "rebroker"],
+    parser.add_argument("--schema", choices=["bench", "svc", "rebroker",
+                                             "grid"],
                         default="bench",
                         help="bench: heterolab-bench-v1 rows gated by a "
                              "baseline; svc: a heterolab-svc-v1 response "
                              "stream's structural contract; rebroker: a "
                              "heterolab-rebroker-v1 decision trail's "
-                             "structural contract")
+                             "structural contract; grid: a "
+                             "heterolab-grid-v1 matrix report's cross-cell "
+                             "invariants")
+    parser.add_argument("--against", metavar="OTHER.jsonl",
+                        help="(grid only) second report of the same matrix: "
+                             "calm cells must be byte-identical")
+    parser.add_argument("--expect-stochastic-drift", action="store_true",
+                        help="(grid --against only) additionally require "
+                             "every stochastic cell launched in both "
+                             "reports to differ (seed-perturbation gate)")
     args = parser.parse_args()
 
-    records = load_jsonl(args.results)
+    if args.schema != "grid" and (args.against
+                                  or args.expect_stochastic_drift):
+        parser.error("--against/--expect-stochastic-drift apply to "
+                     "--schema grid only")
+    if args.expect_stochastic_drift and not args.against:
+        parser.error("--expect-stochastic-drift needs --against")
+
+    pairs = load_jsonl_raw(args.results)
+    records = [record for record, _ in pairs]
+
+    if args.schema == "grid":
+        failures = validate_grid_report(records)
+        if args.against:
+            failures.extend(compare_grid_reports(
+                pairs, load_jsonl_raw(args.against),
+                args.expect_stochastic_drift))
+        passed = 0
+        if args.baseline:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+            for check in baseline.get("checks", []):
+                try:
+                    message = run_check(check, records)
+                except CheckFailure as err:
+                    failures.append(str(err))
+                except KeyError as err:
+                    failures.append(
+                        f"{describe(check)}: baseline missing key {err}")
+                else:
+                    passed += 1
+                    print(f"  ok: {message}")
+        if failures:
+            for failure in failures[:25]:
+                print(f"FAIL [grid]: {failure}", file=sys.stderr)
+            if len(failures) > 25:
+                print(f"FAIL [grid]: ... and {len(failures) - 25} more",
+                      file=sys.stderr)
+            return 1
+        cells = sum(1 for r in records if r.get("type") == "cell")
+        print(f"PASS [grid]: {cells} cells, {passed} baseline checks, "
+              "matrix invariants hold")
+        return 0
 
     if args.schema == "rebroker":
         failures = []
@@ -387,6 +791,9 @@ def main():
                     message = run_check(check, records)
                 except CheckFailure as err:
                     failures.append(str(err))
+                except KeyError as err:
+                    failures.append(
+                        f"{describe(check)}: baseline missing key {err}")
                 else:
                     print(f"  ok: {message}")
         if failures:

@@ -38,6 +38,12 @@
 #             500-experiment chaos soak (5% crash/hang/exit injected; must
 #             complete byte-identical minus quarantined poison jobs), and a
 #             --workers 4 vs --workers 0 byte-diff gate on the CLI
+#   grid      grid-benchmark matrix: grid/campaign/proc tests under ASan,
+#             the self-checking bench_grid_matrix, the 500-cell ci matrix
+#             validated by check_bench.py --schema grid against
+#             bench/baselines/grid.json, a SIGTERM-at-50% interrupt-resume
+#             byte-diff gate on the CLI, and a seed-perturbation gate
+#             (--against --expect-stochastic-drift)
 #   all       everything above, in that order (the default)
 #
 # Each job builds in its own directory (build-ci-<job>) so sanitizer and
@@ -153,7 +159,7 @@ job_tsan() {
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=thread
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
       --timeout 600 \
-      -R '^(simmpi_test|resil_test|la_test|la_prop_test|kernels_diff_test|obs_test|campaign_engine_test|rebroker_test|lb_test|svc_test|proc_test)$'
+      -R '^(simmpi_test|resil_test|la_test|la_prop_test|kernels_diff_test|obs_test|campaign_engine_test|rebroker_test|lb_test|svc_test|proc_test|grid_test)$'
 }
 
 job_svc() {
@@ -318,6 +324,52 @@ job_procsoak() {
   diff "$out_dir/fig4.w0.txt" "$out_dir/fig4.w4.txt"
 }
 
+job_grid() {
+  echo "== ci job: grid (standing grid-benchmark matrix gate) =="
+  configure_and_build build-ci-asan \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETERO_SANITIZE=address
+  # The matrix surface: expansion/report/differential tests, the engine and
+  # worker pool underneath, the report validator's own fixture suite, and
+  # the grid flag audit inside cli_failure_test.
+  ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
+      --timeout 600 \
+      -R '^(grid_test|campaign_engine_test|proc_test|check_bench_test|cli_failure_test)$'
+  out_dir=build-ci-asan/grid-out
+  rm -rf "$out_dir"
+  mkdir -p "$out_dir"
+  # Self-checking bench: the jobs-level report differential plus the
+  # balanced<=unbalanced invariant, asserted in-process.
+  build-ci-asan/bench/bench_grid_matrix --matrix ci \
+      --json "$out_dir/grid_matrix.jsonl"
+  # Tentpole gate: the 500-cell ci matrix through the worker-pool backend
+  # with a persistent store, held to the standing baseline (anchor cells
+  # pinned exactly) and the cross-cell invariants by --schema grid.
+  build-ci-asan/tools/heterolab grid --matrix ci --workers 4 \
+      --store "$out_dir/ci.log" --out "$out_dir/ci.jsonl"
+  python3 tools/check_bench.py --schema grid \
+      --baseline bench/baselines/grid.json "$out_dir/ci.jsonl"
+  # Interrupt-resume gate: SIGTERM after 4 of the 8 shards (50%), then a
+  # fresh process resumes from the store and must reproduce the
+  # uninterrupted report byte for byte.
+  rc=0
+  build-ci-asan/tools/heterolab grid --matrix ci --shard-size 64 \
+      --abort-after-shards 4 --store "$out_dir/resume.log" \
+      --out "$out_dir/interrupted.jsonl" || rc=$?
+  if [ "$rc" -ne 143 ]; then
+    echo "ci: FAIL — interrupted grid run exited $rc, want 143 (SIGTERM)" >&2
+    exit 1
+  fi
+  build-ci-asan/tools/heterolab grid --matrix ci --shard-size 64 \
+      --store "$out_dir/resume.log" --out "$out_dir/resumed.jsonl"
+  diff "$out_dir/ci.jsonl" "$out_dir/resumed.jsonl"
+  # Seed-perturbation gate: under --seed 43 every stochastic cell launched
+  # in both reports must move while no calm cell does.
+  build-ci-asan/tools/heterolab grid --matrix ci --seed 43 \
+      --out "$out_dir/ci.seed43.jsonl"
+  python3 tools/check_bench.py --schema grid "$out_dir/ci.seed43.jsonl" \
+      --against "$out_dir/ci.jsonl" --expect-stochastic-drift
+}
+
 run_job() {
   case "$1" in
     release) job_release ;;
@@ -331,9 +383,10 @@ run_job() {
     rebroker) job_rebroker ;;
     loadbalance) job_loadbalance ;;
     procsoak) job_procsoak ;;
-    all) job_release; job_debug; job_bench; job_kernels; job_asan; job_tsan; job_faultsoak; job_svc; job_rebroker; job_loadbalance; job_procsoak ;;
+    grid) job_grid ;;
+    all) job_release; job_debug; job_bench; job_kernels; job_asan; job_tsan; job_faultsoak; job_svc; job_rebroker; job_loadbalance; job_procsoak; job_grid ;;
     *)
-      echo "ci: unknown job '$1' (expected release|debug|bench|kernels|asan|tsan|faultsoak|svc|rebroker|loadbalance|procsoak|all)" >&2
+      echo "ci: unknown job '$1' (expected release|debug|bench|kernels|asan|tsan|faultsoak|svc|rebroker|loadbalance|procsoak|grid|all)" >&2
       exit 2
       ;;
   esac

@@ -17,8 +17,11 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "broker/broker.hpp"
+#include "grid/matrix.hpp"
+#include "grid/report.hpp"
 #include "core/campaign.hpp"
 #include "core/campaign_engine.hpp"
 #include "core/report.hpp"
@@ -101,14 +104,19 @@ struct EngineBundle {
 /// --workers N > HETEROLAB_WORKERS > 0 forks a supervised worker-process
 /// pool; --store PATH persists results across restarts; --proc-dir PATH
 /// keeps the worker shards on disk so interrupted runs resume.
-EngineBundle make_engine(const CliArgs& args, bool direct_default_1 = false) {
+EngineBundle make_engine(const CliArgs& args, bool direct_default_1 = false,
+                         std::optional<std::uint64_t> seed_override = {}) {
   EngineBundle b;
   core::CampaignEngineOptions opt;
   opt.jobs = static_cast<int>(args.get_int("jobs", 0));
   if (opt.jobs == 0 && direct_default_1 && !args.has("jobs")) {
     opt.jobs = 1;
   }
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  // seed_override pins the runner seed regardless of --seed; the grid
+  // subcommand uses it so --seed moves only the matrix's stochastic cells.
+  const std::uint64_t seed = seed_override.has_value()
+      ? *seed_override
+      : static_cast<std::uint64_t>(args.get_int("seed", 42));
   const std::string store_path = args.get_string("store", "");
   if (!store_path.empty()) {
     b.store = std::make_unique<svc::MemoStore>(store_path);
@@ -579,6 +587,69 @@ int cmd_provision(const CliArgs& args) {
   return 0;
 }
 
+/// The standing grid benchmark: expand the matrix (preset or a sampled
+/// sub-matrix), stream it through the engine shard by shard, and write the
+/// heterolab-grid-v1 report. stdout (or --out) carries only the report —
+/// progress and engine/backend stats go to stderr, so the report is
+/// byte-identical at any --jobs/--workers level and across an interrupt +
+/// --store resume. The engine always runs under the fixed grid runner
+/// seed; --seed perturbs only the matrix's stochastic cells.
+int cmd_grid(const CliArgs& args) {
+  HETERO_REQUIRE(!(args.has("matrix") && args.has("cells")),
+                 "--matrix picks a preset cell set; it conflicts with "
+                 "--cells N (pick one)");
+  HETERO_REQUIRE(!args.has("sample-seed") || args.has("cells"),
+                 "--sample-seed seeds the --cells sample: pass --cells N "
+                 "as well");
+  HETERO_REQUIRE(!args.has("abort-after-shards") || args.has("store"),
+                 "--abort-after-shards interrupts a resumable run: pass "
+                 "--store PATH as well");
+  grid::MatrixSpec spec = grid::preset(args.get_string("matrix", "full"));
+  if (args.has("cells")) {
+    const long long n = args.get_int("cells", 0);
+    HETERO_REQUIRE(n >= 1, "--cells needs at least one cell");
+    spec.name = "custom";
+    spec.sample_cells = n;
+    spec.sample_seed =
+        static_cast<std::uint64_t>(args.get_int("sample-seed", 7));
+  }
+  spec.matrix_seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  spec.iterations = static_cast<int>(args.get_int("iterations", 100));
+  HETERO_REQUIRE(spec.iterations >= 1, "--iterations must be positive");
+  const std::vector<grid::GridCell> cells = grid::expand(spec);
+
+  grid::GridRunOptions ropt;
+  ropt.shard_size = static_cast<int>(args.get_int("shard-size", 512));
+  HETERO_REQUIRE(ropt.shard_size >= 1, "--shard-size must be positive");
+  ropt.abort_after_shards =
+      static_cast<int>(args.get_int("abort-after-shards", 0));
+  HETERO_REQUIRE(ropt.abort_after_shards >= 0,
+                 "--abort-after-shards must be >= 0");
+  ropt.progress = [](int shard, int shards, std::int64_t done,
+                     std::int64_t total) {
+    std::cerr << "grid: shard " << shard << "/" << shards << " done ("
+              << done << "/" << total << " cells)\n";
+  };
+
+  auto bundle = make_engine(args, false, grid::kGridRunnerSeed);
+  const std::vector<core::ExperimentResult> results =
+      grid::run_cells(*bundle.engine, cells, ropt);
+  const std::vector<obs::Json> records =
+      grid::build_report(spec, cells, results, grid::kGridRunnerSeed);
+  grid::write_report(records, args.get_string("out", "-"));
+
+  std::int64_t launched = 0;
+  for (const auto& r : results) {
+    launched += r.launched ? 1 : 0;
+  }
+  const auto stats = bundle.engine->stats();
+  std::cerr << "grid: " << cells.size() << " cell(s) of the " << spec.name
+            << " matrix, " << launched << " launched, " << stats.cache_hits
+            << " cache hit(s), " << stats.store_hits << " store hit(s)\n";
+  print_proc_stats(bundle.supervisor.get());
+  return 0;
+}
+
 int usage() {
   std::cout <<
       "usage: heterolab <command> [flags]\n"
@@ -603,6 +674,14 @@ int usage() {
       "      [--proc-dir DIR]\n"
       "  campaign --ranks N --iterations K [--ondemand] [--ckpt I]\n"
       "      [--bid USD] [--cells C] [--storm-rate RATE]\n"
+      "  grid [--matrix full|ci|smoke | --cells N [--sample-seed S]]\n"
+      "      [--out REPORT.jsonl] [--seed S] [--iterations K]\n"
+      "      [--shard-size C] [--jobs J] [--workers W] [--store PATH]\n"
+      "      [--proc-dir DIR] [--abort-after-shards K]\n"
+      "      the standing grid benchmark: expand the full platform x ranks\n"
+      "      x solver/element x faults x skew x objective cross product and\n"
+      "      emit the heterolab-grid-v1 report (stdout, or --out); resumes\n"
+      "      from --store byte-identically (see docs/grid_benchmark.md)\n"
       "  provision [--platform P]\n"
       "  broker --app rd|ns [--elements E | --ranks N [--cells C]]\n"
       "      [--iterations K] [--deadline-h H] [--budget-usd D]\n"
@@ -702,6 +781,14 @@ int main(int argc, char** argv) {
                                      "ondemand", "bid", "cells", "seed",
                                      "storm-rate"})
                  ? cmd_campaign(args)
+                 : usage();
+    }
+    if (command == "grid") {
+      return flags_understood(args, {"matrix", "cells", "sample-seed",
+                                     "out", "seed", "iterations",
+                                     "shard-size", "abort-after-shards",
+                                     "jobs", "workers", "store", "proc-dir"})
+                 ? cmd_grid(args)
                  : usage();
     }
     if (command == "provision") {
